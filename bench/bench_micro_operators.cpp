@@ -1,0 +1,148 @@
+// Operator micro-benchmarks (google-benchmark): the primitives the shared
+// star-join operators are built from. Not a paper table — used to validate
+// the cost model's CPU constants and catch performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "cube/view_builder.h"
+#include "exec/flat_hash.h"
+#include "exec/hash_aggregator.h"
+#include "exec/shared_operators.h"
+#include "exec/star_join.h"
+#include "index/bitmap.h"
+#include "schema/data_generator.h"
+
+namespace starshare {
+namespace {
+
+void BM_BitmapOr(benchmark::State& state) {
+  const uint64_t bits = static_cast<uint64_t>(state.range(0));
+  Bitmap a(bits), b(bits);
+  Rng rng(1);
+  for (uint64_t i = 0; i < bits / 16; ++i) {
+    a.Set(rng.NextBounded(bits));
+    b.Set(rng.NextBounded(bits));
+  }
+  for (auto _ : state) {
+    Bitmap c = Bitmap::Or(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(bits / 64));
+}
+BENCHMARK(BM_BitmapOr)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BitmapCountOnes(benchmark::State& state) {
+  const uint64_t bits = static_cast<uint64_t>(state.range(0));
+  Bitmap a(bits);
+  Rng rng(2);
+  for (uint64_t i = 0; i < bits / 8; ++i) a.Set(rng.NextBounded(bits));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.CountOnes());
+  }
+}
+BENCHMARK(BM_BitmapCountOnes)->Arg(1 << 20);
+
+void BM_BitmapIterate(benchmark::State& state) {
+  const uint64_t bits = 1 << 20;
+  Bitmap a(bits);
+  Rng rng(3);
+  for (uint64_t i = 0; i < bits / 32; ++i) a.Set(rng.NextBounded(bits));
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    a.ForEachSetBit([&sum](uint64_t pos) { sum += pos; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitmapIterate);
+
+void BM_FlatHashAggregate(benchmark::State& state) {
+  const uint64_t groups = static_cast<uint64_t>(state.range(0));
+  Rng rng(4);
+  std::vector<uint64_t> keys(1 << 16);
+  for (auto& k : keys) k = rng.NextBounded(groups);
+  for (auto _ : state) {
+    FlatHashMap<double> map(groups);
+    for (uint64_t k : keys) map.FindOrInsert(k) += 1.0;
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_FlatHashAggregate)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+struct JoinFixture {
+  StarSchema schema;
+  DiskModel disk;
+  std::unique_ptr<Table> table;
+  std::unique_ptr<MaterializedView> view;
+  std::vector<DimensionalQuery> queries;
+
+  explicit JoinFixture(uint64_t rows)
+      : schema(StarSchema::PaperTestSchema()) {
+    DataGenerator gen(schema, {.num_rows = rows, .seed = 5});
+    table = gen.Generate("ABCD");
+    view = std::make_unique<MaterializedView>(
+        schema, GroupBySpec::Base(schema), table.get());
+    for (size_t d = 0; d < schema.num_dims(); ++d) {
+      view->BuildIndex(schema, d, disk);
+    }
+    for (int i = 0; i < 4; ++i) {
+      QueryPredicate pred;
+      pred.AddConjunct(schema.dim(0), DimPredicate{0, 2, {i % 3}});
+      pred.AddConjunct(schema.dim(3), DimPredicate{3, 1, {i}});
+      queries.emplace_back(i + 1, "bench",
+                           GroupBySpec::Parse("A'B''", schema).value(),
+                           std::move(pred));
+    }
+  }
+};
+
+void BM_HashStarJoin(benchmark::State& state) {
+  JoinFixture f(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    QueryResult r = HashStarJoin(f.schema, f.queries[0], *f.view, f.disk);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashStarJoin)->Arg(100000);
+
+void BM_SharedScan4Queries(benchmark::State& state) {
+  JoinFixture f(static_cast<uint64_t>(state.range(0)));
+  std::vector<const DimensionalQuery*> ptrs;
+  for (const auto& q : f.queries) ptrs.push_back(&q);
+  for (auto _ : state) {
+    auto r = SharedScanStarJoin(f.schema, ptrs, *f.view, f.disk);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SharedScan4Queries)->Arg(100000);
+
+void BM_IndexStarJoin(benchmark::State& state) {
+  JoinFixture f(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    QueryResult r = IndexStarJoin(f.schema, f.queries[0], *f.view, f.disk);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_IndexStarJoin)->Arg(100000);
+
+void BM_ViewBuild(benchmark::State& state) {
+  JoinFixture f(static_cast<uint64_t>(state.range(0)));
+  ViewBuilder builder(f.schema);
+  const GroupBySpec spec = GroupBySpec::Parse("A'B'C'D", f.schema).value();
+  for (auto _ : state) {
+    auto t = builder.Build(*f.view, spec, f.disk);
+    benchmark::DoNotOptimize(t->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ViewBuild)->Arg(100000);
+
+}  // namespace
+}  // namespace starshare
+
+BENCHMARK_MAIN();

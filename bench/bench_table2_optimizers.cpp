@@ -1,0 +1,100 @@
+// Table 2 (Tests 4-7): the three optimization algorithms against the
+// optimal global plan.
+//
+//   Test 4: Queries 1, 2, 3  — non-selective; logical sharing available.
+//   Test 5: Queries 2, 3, 5  — mixed selectivity.
+//   Test 6: Queries 6, 7, 8  — very selective; little logical sharing.
+//   Test 7: Queries 1, 7, 9  — TPLO scatters across three fact tables.
+//
+// For each test and each algorithm (TPLO, ETPLG, GG, OPTIMAL) the harness
+// prints the plan's class structure, its estimated cost, and the measured
+// execution (shared operators). A naive row (each query separately on its
+// local optimum) anchors the no-sharing baseline.
+//
+// Expected shape (paper Table 2 discussion): GG <= ETPLG <= TPLO with GG
+// close to OPTIMAL on Tests 4, 5 and 7; all algorithms roughly equal on
+// Test 6.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "core/paper_workload.h"
+
+using namespace starshare;
+using namespace starshare::bench;
+
+namespace {
+
+std::string ClassSummary(const GlobalPlan& plan) {
+  std::vector<std::string> parts;
+  for (const auto& cls : plan.classes) {
+    std::string members;
+    for (const auto& m : cls.members) {
+      if (!members.empty()) members += ",";
+      members += "Q" + std::to_string(m.query->id());
+      members += m.method == JoinMethod::kHashScan ? "(h)" : "(i)";
+    }
+    parts.push_back("{" + members + "}=>" + cls.base->name());
+  }
+  return StrJoin(parts, "  ");
+}
+
+void RunTest(Engine& engine, int test_number,
+             const std::vector<int>& query_ids) {
+  const std::vector<DimensionalQuery> queries =
+      PaperWorkload::MakeQueries(engine, query_ids);
+
+  std::string ids;
+  for (int id : query_ids) ids += StrFormat(" Q%d", id);
+  PrintHeader(StrFormat("Table 2 / Test %d: MDX ={%s }", test_number,
+                        ids.c_str()));
+
+  // Naive baseline: every query separately on its locally optimal plan.
+  std::vector<ExecutedQuery> reference;
+  const Measurement naive =
+      Measure(engine, [&] { reference = engine.ExecuteNaive(queries); });
+  PrintRow("naive (no sharing)", naive);
+
+  for (OptimizerKind kind :
+       {OptimizerKind::kTplo, OptimizerKind::kEtplg,
+        OptimizerKind::kGlobalGreedy, OptimizerKind::kExhaustive}) {
+    const GlobalPlan plan = engine.Optimize(queries, kind);
+    std::vector<ExecutedQuery> results;
+    const Measurement m =
+        Measure(engine, [&] { results = engine.Execute(plan); });
+    PrintRow(StrFormat("%s (est %.1f ms)", OptimizerKindName(kind),
+                       plan.EstMs()),
+             m);
+    PrintNote("      plan: " + ClassSummary(plan));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      SS_CHECK_MSG(results[i].result.ApproxEquals(reference[i].result),
+                   "Test %d: %s result mismatch on Q%d", test_number,
+                   OptimizerKindName(kind), results[i].query->id());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t rows = PaperWorkload::RowsFromEnv();
+  Engine engine(StarSchema::PaperTestSchema());
+  PaperWorkload::Setup(engine, rows);
+  std::printf("Table 2 reproduction at %s base rows "
+              "(STARSHARE_ROWS=2000000 for paper scale)\n",
+              WithCommas(rows).c_str());
+
+  RunTest(engine, 4, {1, 2, 3});
+  RunTest(engine, 5, {2, 3, 5});
+  RunTest(engine, 6, {6, 7, 8});
+  RunTest(engine, 7, {1, 7, 9});
+
+  PrintNote(
+      "\nShape check vs. the paper: GG <= ETPLG <= TPLO everywhere, GG\n"
+      "close to OPTIMAL; Test 6 (all queries very selective) shows the\n"
+      "algorithms converging because index-based local optima leave little\n"
+      "logical sharing to exploit; Test 7 shows TPLO worst because its\n"
+      "local optima scatter across three different fact tables.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared plumbing for the reproduction harness: wall-clock timing, the
+// measurement triple every experiment reports, and table printing.
+//
+// Measurement model (DESIGN.md §2): each configuration reports
+//   * cpu_ms      — measured wall time of the in-memory execution,
+//   * io pages    — exact sequential/random/index page counts,
+//   * modeled_ms  — cpu_ms + page counts x 1998-class per-page costs.
+// Comparisons between strategies use modeled_ms on both sides, so the
+// paper's ratios and crossovers are directly comparable even though our
+// absolute CPU times are from modern hardware.
+
+#ifndef STARSHARE_BENCH_BENCH_UTIL_H_
+#define STARSHARE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+
+namespace starshare {
+namespace bench {
+
+struct Measurement {
+  double cpu_ms = 0;
+  IoStats io;
+  double modeled_io_ms = 0;
+
+  double TotalMs() const { return cpu_ms + modeled_io_ms; }
+};
+
+// Runs `fn` against `engine` with clean I/O counters and returns the
+// measurement triple.
+template <typename Fn>
+Measurement Measure(Engine& engine, Fn&& fn) {
+  engine.FlushCaches();
+  engine.ConsumeIoStats();
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  Measurement m;
+  m.cpu_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  m.io = engine.ConsumeIoStats();
+  m.modeled_io_ms = engine.ModeledIoMs(m.io);
+  return m;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-34s %10s %10s %10s %10s %12s\n", "configuration", "cpu_ms",
+              "seq_pg", "rand_pg", "idx_pg", "modeled_ms");
+}
+
+inline void PrintRow(const std::string& name, const Measurement& m) {
+  std::printf("%-34s %10.2f %10llu %10llu %10llu %12.2f\n", name.c_str(),
+              m.cpu_ms, static_cast<unsigned long long>(m.io.seq_pages_read),
+              static_cast<unsigned long long>(m.io.rand_pages_read),
+              static_cast<unsigned long long>(m.io.index_pages_read),
+              m.TotalMs());
+}
+
+inline void PrintNote(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+// Builds a one-class plan on `view_name` with an explicit join method per
+// query — how the paper forces operators in Tests 1-3. `methods` must have
+// one entry per query.
+inline GlobalPlan ForcedClassPlan(Engine& engine,
+                                  const std::vector<DimensionalQuery>& queries,
+                                  const std::string& view_name,
+                                  const std::vector<JoinMethod>& methods) {
+  MaterializedView* view = engine.views().FindByName(view_name);
+  SS_CHECK_MSG(view != nullptr, "no view named %s", view_name.c_str());
+  SS_CHECK(methods.size() == queries.size());
+  GlobalPlan plan;
+  plan.classes.push_back(ClassPlan{});
+  plan.classes[0].base = view;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    LocalPlan lp;
+    lp.query = &queries[i];
+    lp.method = methods[i];
+    plan.classes[0].members.push_back(lp);
+  }
+  engine.cost_model().AnnotatePlan(plan);
+  return plan;
+}
+
+}  // namespace bench
+}  // namespace starshare
+
+#endif  // STARSHARE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,129 @@
+// An interactive MDX shell over the paper's test cube: type an MDX
+// expression (terminated by ';'), see its expansion into component queries,
+// the Global Greedy plan, and the results. Also accepts meta commands:
+//
+//   \views          list materialized group-bys
+//   \queries        print the paper's nine canned queries
+//   \q<N>           run paper query N (e.g. \q5)
+//   \opt NAME       switch optimizer (tplo | etplg | gg | optimal)
+//   \sql            toggle printing each component query as SQL (§2)
+//   \quit           exit
+//
+//   ./build/examples/mdx_shell [rows]      (reads from stdin; pipe-friendly)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/str_util.h"
+#include "core/paper_workload.h"
+
+using namespace starshare;
+
+namespace {
+
+void RunMdx(Engine& engine, const std::string& mdx, OptimizerKind kind,
+            bool show_sql) {
+  auto queries = engine.ParseMdx(mdx);
+  if (!queries.ok()) {
+    std::printf("error: %s\n", queries.status().ToString().c_str());
+    return;
+  }
+  std::printf("expanded into %zu component quer%s:\n",
+              queries.value().size(),
+              queries.value().size() == 1 ? "y" : "ies");
+  for (const auto& q : queries.value()) {
+    std::printf("  %s\n", q.ToString(engine.schema()).c_str());
+  }
+  if (show_sql) {
+    for (const auto& q : queries.value()) {
+      std::printf("\n-- Q%d as SQL:\n%s;\n", q.id(),
+                  q.ToSql(engine.schema(), "ABCD").c_str());
+    }
+  }
+  const GlobalPlan plan = engine.Optimize(queries.value(), kind);
+  std::printf("%s plan:\n%s", OptimizerKindName(kind),
+              plan.Explain(engine.schema()).c_str());
+  engine.ConsumeIoStats();
+  const auto results = engine.Execute(plan);
+  const IoStats io = engine.ConsumeIoStats();
+  for (const auto& r : results) {
+    std::printf("\nQ%d (%zu groups):\n%s", r.query->id(),
+                r.result.num_rows(),
+                r.result.ToString(engine.schema(), 10).c_str());
+  }
+  std::printf("\nio: %s  (modeled %.1f ms)\n", io.ToString().c_str(),
+              engine.ModeledIoMs(io));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t rows =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+  std::printf("StarShare MDX shell — paper test cube, %llu rows.\n",
+              static_cast<unsigned long long>(rows));
+  std::printf("End expressions with ';'. \\queries lists canned queries; "
+              "\\quit exits.\n");
+
+  Engine engine(StarSchema::PaperTestSchema());
+  PaperWorkload::Setup(engine, rows);
+  OptimizerKind kind = OptimizerKind::kGlobalGreedy;
+  bool show_sql = false;
+
+  std::string buffer;
+  std::string line;
+  std::printf("mdx> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    // Meta commands act on a whole line.
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\views") {
+        for (const auto& view : engine.views().all()) {
+          std::printf("  %-12s %10llu rows%s\n", view->name().c_str(),
+                      static_cast<unsigned long long>(
+                          view->table().num_rows()),
+                      view->IndexedDims().empty() ? "" : "  [indexed]");
+        }
+      } else if (line == "\\queries") {
+        for (int i = 1; i <= PaperWorkload::kNumQueries; ++i) {
+          std::printf("  \\q%d: %s\n", i, PaperWorkload::QueryMdx(i));
+        }
+      } else if (line == "\\sql") {
+        show_sql = !show_sql;
+        std::printf("SQL output %s\n", show_sql ? "on" : "off");
+      } else if (StartsWith(line, "\\opt ")) {
+        auto parsed = ParseOptimizerKind(line.substr(5));
+        if (parsed.ok()) {
+          kind = parsed.value();
+          std::printf("optimizer set to %s\n", OptimizerKindName(kind));
+        } else {
+          std::printf("%s\n", parsed.status().ToString().c_str());
+        }
+      } else if (line.size() >= 3 && line[1] == 'q' && isdigit(line[2])) {
+        const int id = std::atoi(line.c_str() + 2);
+        if (id >= 1 && id <= PaperWorkload::kNumQueries) {
+          RunMdx(engine, PaperWorkload::QueryMdx(id), kind, show_sql);
+        } else {
+          std::printf("no such canned query\n");
+        }
+      } else {
+        std::printf("unknown command: %s\n", line.c_str());
+      }
+      std::printf("mdx> ");
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line + "\n";
+    if (buffer.find(';') != std::string::npos) {
+      RunMdx(engine, buffer, kind, show_sql);
+      buffer.clear();
+      std::printf("mdx> ");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nbye.\n");
+  return 0;
+}

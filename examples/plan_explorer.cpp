@@ -1,0 +1,64 @@
+// Plan explorer: compare what TPLO, ETPLG, GG and the exhaustive optimizer
+// do with any subset of the paper's nine queries — the tool to poke at the
+// paper's Tests 4-7 interactively.
+//
+//   ./build/examples/plan_explorer [query ids...]      (default: 1 2 3)
+//   STARSHARE_ROWS=500000 ./build/examples/plan_explorer 2 3 5
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/paper_workload.h"
+
+using namespace starshare;
+
+int main(int argc, char** argv) {
+  std::vector<int> ids;
+  for (int i = 1; i < argc; ++i) {
+    const int id = std::atoi(argv[i]);
+    if (id < 1 || id > PaperWorkload::kNumQueries) {
+      std::fprintf(stderr, "query ids must be 1..%d (got '%s')\n",
+                   PaperWorkload::kNumQueries, argv[i]);
+      return 1;
+    }
+    ids.push_back(id);
+  }
+  if (ids.empty()) ids = {1, 2, 3};
+
+  const uint64_t rows = PaperWorkload::RowsFromEnv(200'000);
+  std::printf("Setting up the paper's schema with %llu fact rows...\n",
+              static_cast<unsigned long long>(rows));
+  Engine engine(StarSchema::PaperTestSchema());
+  PaperWorkload::Setup(engine, rows);
+
+  const std::vector<DimensionalQuery> queries =
+      PaperWorkload::MakeQueries(engine, ids);
+  std::printf("\nComponent queries:\n");
+  for (const auto& q : queries) {
+    std::printf("  %s\n    MDX: %s\n", q.ToString(engine.schema()).c_str(),
+                PaperWorkload::QueryMdx(q.id()));
+  }
+
+  std::printf("\nMaterialized group-bys available (MSet):\n");
+  for (const auto& view : engine.views().all()) {
+    std::printf("  %-12s %10llu rows%s\n", view->name().c_str(),
+                static_cast<unsigned long long>(view->table().num_rows()),
+                view->IndexedDims().empty() ? "" : "  [indexed]");
+  }
+
+  for (OptimizerKind kind :
+       {OptimizerKind::kTplo, OptimizerKind::kEtplg,
+        OptimizerKind::kGlobalGreedy, OptimizerKind::kExhaustive}) {
+    const GlobalPlan plan = engine.Optimize(queries, kind);
+    std::printf("\n=== %s ===\n%s", OptimizerKindName(kind),
+                plan.Explain(engine.schema()).c_str());
+
+    engine.ConsumeIoStats();
+    engine.Execute(plan);
+    const IoStats io = engine.ConsumeIoStats();
+    std::printf("executed: %s  (modeled io %.1f ms)\n",
+                io.ToString().c_str(), engine.ModeledIoMs(io));
+  }
+  return 0;
+}

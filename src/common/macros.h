@@ -1,0 +1,46 @@
+// Checked-assertion macros used across StarShare.
+//
+// StarShare does not use exceptions. Internal invariant violations abort with
+// a readable message (SS_CHECK); fallible public operations return
+// starshare::Status / starshare::Result instead (see common/status.h).
+
+#ifndef STARSHARE_COMMON_MACROS_H_
+#define STARSHARE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a message when `condition` is false. Active in all
+// build types: the invariants it protects (page math, lattice containment,
+// plan well-formedness) are cheap relative to the work around them.
+#define SS_CHECK(condition)                                                  \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "SS_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+// Like SS_CHECK but with a printf-style explanation appended.
+#define SS_CHECK_MSG(condition, ...)                                         \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "SS_CHECK failed at %s:%d: %s: ", __FILE__,       \
+                   __LINE__, #condition);                                    \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define SS_DCHECK(condition) \
+  do {                       \
+  } while (false)
+#else
+#define SS_DCHECK(condition) SS_CHECK(condition)
+#endif
+
+#endif  // STARSHARE_COMMON_MACROS_H_

@@ -1,0 +1,85 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace starshare {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  SS_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  SS_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(span == 0 ? NextUint64()
+                                             : NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> [0,1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  SS_CHECK(n > 0);
+  SS_CHECK(theta >= 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace starshare

@@ -1,0 +1,110 @@
+// Error handling for fallible public APIs (parsing, name resolution,
+// catalog lookups). StarShare does not throw; operations that can fail on
+// user input return Status or Result<T>.
+
+#ifndef STARSHARE_COMMON_STATUS_H_
+#define STARSHARE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace starshare {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  // malformed input (bad MDX, bad spec string)
+  kNotFound,         // unknown table / dimension / member name
+  kFailedPrecondition,
+  kInternal,
+};
+
+// The result of an operation that can fail on user input.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value or an error Status. Accessing the value of an error Result
+// aborts, so callers must test ok() first.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    SS_CHECK_MSG(!std::get<Status>(data_).ok(),
+                 "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    SS_CHECK_MSG(ok(), "Result::value() on error: %s",
+                 std::get<Status>(data_).ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    SS_CHECK_MSG(ok(), "Result::value() on error: %s",
+                 std::get<Status>(data_).ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    SS_CHECK_MSG(ok(), "Result::value() on error: %s",
+                 std::get<Status>(data_).ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates an error Status from an expression returning Status.
+#define SS_RETURN_IF_ERROR(expr)               \
+  do {                                         \
+    ::starshare::Status ss_status__ = (expr);  \
+    if (!ss_status__.ok()) return ss_status__; \
+  } while (false)
+
+}  // namespace starshare
+
+#endif  // STARSHARE_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+// Small string helpers shared across modules (no std::format dependency).
+
+#ifndef STARSHARE_COMMON_STR_UTIL_H_
+#define STARSHARE_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace starshare {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+// ASCII upper-casing (MDX keywords are case-insensitive).
+std::string AsciiUpper(std::string s);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+// Formats a count with thousands separators ("1,234,567") for table output.
+std::string WithCommas(uint64_t value);
+
+// Fixed-point milliseconds, e.g. "13.897".
+std::string FormatMs(double ms, int decimals = 3);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_COMMON_STR_UTIL_H_

@@ -1,0 +1,415 @@
+#include "core/engine.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "opt/local_optimizer.h"
+#include "common/str_util.h"
+#include "storage/table_io.h"
+
+namespace starshare {
+
+Engine::Engine(StarSchema schema, EngineConfig config)
+    : schema_(std::move(schema)),
+      config_(config),
+      disk_(config.disk_timings),
+      cost_(schema_, config.disk_timings, config.cpu_costs),
+      builder_(schema_),
+      executor_(schema_, disk_) {
+  if (config_.buffer_pool_pages > 0) {
+    pool_ = std::make_unique<BufferPool>(config_.buffer_pool_pages);
+    disk_.AttachBufferPool(pool_.get());
+  }
+  if (config_.result_cache_entries > 0) {
+    result_cache_ =
+        std::make_unique<ResultCache>(config_.result_cache_entries);
+  }
+}
+
+MaterializedView* Engine::LoadFactTable(const DataGeneratorConfig& config) {
+  DataGenerator generator(schema_, config);
+  const GroupBySpec base = GroupBySpec::Base(schema_);
+  Result<MaterializedView*> view =
+      AttachFactTable(generator.Generate(base.ToString(schema_)));
+  SS_CHECK_MSG(view.ok(), "%s", view.status().ToString().c_str());
+  return view.value();
+}
+
+Result<MaterializedView*> Engine::AttachFactTable(
+    std::unique_ptr<Table> table) {
+  if (base_view_ != nullptr) {
+    return Status::FailedPrecondition("fact table already loaded");
+  }
+  if (table->num_key_columns() != schema_.num_dims()) {
+    return Status::InvalidArgument(
+        "fact table must have one key column per dimension");
+  }
+  Result<Table*> registered = catalog_.Register(std::move(table));
+  if (!registered.ok()) return registered.status();
+  auto view = std::make_unique<MaterializedView>(
+      schema_, GroupBySpec::Base(schema_), registered.value());
+  view->ComputeStats(schema_);
+  base_view_ = views_.Add(std::move(view));
+  return base_view_;
+}
+
+Status Engine::AppendFacts(const DataGeneratorConfig& config) {
+  DataGenerator generator(schema_, config);
+  return AppendFactTable(generator.Generate("delta"));
+}
+
+Status Engine::AppendFactTable(std::unique_ptr<Table> delta) {
+  if (base_view_ == nullptr) {
+    return Status::FailedPrecondition("load the fact table first");
+  }
+  if (delta == nullptr || delta->num_key_columns() != schema_.num_dims()) {
+    return Status::InvalidArgument(
+        "delta must have one key column per dimension");
+  }
+  if (delta->num_measures() != schema_.num_measures()) {
+    return Status::InvalidArgument(
+        "delta must carry one column per schema measure");
+  }
+  for (size_t d = 0; d < schema_.num_dims(); ++d) {
+    const int32_t card = static_cast<int32_t>(schema_.dim(d).cardinality(0));
+    for (int32_t key : delta->key_column(d)) {
+      if (key < 0 || key >= card) {
+        return Status::InvalidArgument(
+            "delta key out of range on dimension " +
+            schema_.dim(d).dim_name());
+      }
+    }
+  }
+  const MaterializedView delta_view(schema_, GroupBySpec::Base(schema_),
+                                    delta.get());
+
+  // 1. Append to the base table (new pages written).
+  Table& base = base_view_->table();
+  const uint64_t old_pages = base.num_pages();
+  std::vector<int32_t> key(schema_.num_dims());
+  std::vector<double> values(schema_.num_measures());
+  for (uint64_t r = 0; r < delta->num_rows(); ++r) {
+    for (size_t d = 0; d < schema_.num_dims(); ++d) {
+      key[d] = delta->key(d, r);
+    }
+    for (size_t m = 0; m < values.size(); ++m) {
+      values[m] = delta->measure(r, m);
+    }
+    base.AppendRowM(key.data(), values.data());
+  }
+  disk_.WritePages(base.num_pages() - old_pages);
+  const std::vector<size_t> base_indexed = base_view_->IndexedDims();
+  base_view_->ReplaceTable(schema_, &base);  // drops stale indexes/stats
+  base_view_->ComputeStats(schema_);
+  for (size_t d : base_indexed) base_view_->BuildIndex(schema_, d, disk_);
+
+  if (result_cache_ != nullptr) result_cache_->Clear();  // data changed
+
+  // 2. Refresh every view from (old view + delta): never rescans the base.
+  for (const auto& view : views_.all()) {
+    if (view.get() == base_view_) continue;
+    std::unique_ptr<Table> refreshed =
+        builder_.Refresh(*view, delta_view, disk_);
+    Result<Table*> registered = catalog_.Replace(std::move(refreshed));
+    if (!registered.ok()) return registered.status();
+    const std::vector<size_t> indexed = view->IndexedDims();
+    view->ReplaceTable(schema_, registered.value());
+    view->ComputeStats(schema_);
+    for (size_t d : indexed) view->BuildIndex(schema_, d, disk_);
+  }
+  return Status::Ok();
+}
+
+Result<MaterializedView*> Engine::MaterializeView(
+    const std::string& spec_text, bool clustered) {
+  Result<GroupBySpec> spec = GroupBySpec::Parse(spec_text, schema_);
+  if (!spec.ok()) return spec.status();
+  return MaterializeView(spec.value(), clustered);
+}
+
+Result<MaterializedView*> Engine::MaterializeView(const GroupBySpec& spec,
+                                                  bool clustered) {
+  if (base_view_ == nullptr) {
+    return Status::FailedPrecondition("load the fact table first");
+  }
+  if (views_.Find(spec) != nullptr) {
+    return Status::InvalidArgument("view already materialized: " +
+                                   spec.ToString(schema_));
+  }
+  // Aggregate from the smallest existing view able to produce it.
+  const auto sources = views_.CandidatesFor(spec);
+  if (sources.empty()) {
+    return Status::InvalidArgument("no source can materialize " +
+                                   spec.ToString(schema_));
+  }
+  Result<Table*> table = catalog_.Register(builder_.Build(
+      *sources.front(), spec, disk_, /*name=*/"", clustered));
+  if (!table.ok()) return table.status();
+  auto view = std::make_unique<MaterializedView>(schema_, spec, table.value());
+  view->set_clustered(clustered);
+  view->ComputeStats(schema_);
+  return views_.Add(std::move(view));
+}
+
+Result<std::vector<MaterializedView*>> Engine::MaterializeViews(
+    const std::vector<std::string>& spec_texts, bool clustered) {
+  if (base_view_ == nullptr) {
+    return Status::FailedPrecondition("load the fact table first");
+  }
+  if (spec_texts.empty()) {
+    return Status::InvalidArgument("no group-bys to materialize");
+  }
+  std::vector<GroupBySpec> specs;
+  std::vector<int> combined(schema_.num_dims(),
+                            std::numeric_limits<int>::max());
+  for (const std::string& text : spec_texts) {
+    Result<GroupBySpec> spec = GroupBySpec::Parse(text, schema_);
+    if (!spec.ok()) return spec.status();
+    if (views_.Find(spec.value()) != nullptr) {
+      return Status::InvalidArgument("view already materialized: " + text);
+    }
+    for (size_t d = 0; d < schema_.num_dims(); ++d) {
+      combined[d] = std::min(combined[d], spec.value().level(d));
+    }
+    specs.push_back(std::move(spec.value()));
+  }
+  // Smallest existing view able to produce every target.
+  const auto sources = views_.CandidatesFor(GroupBySpec(std::move(combined)));
+  if (sources.empty()) {
+    return Status::InvalidArgument(
+        "no single source can materialize all requested group-bys");
+  }
+  std::vector<std::unique_ptr<Table>> tables =
+      builder_.BuildMany(*sources.front(), specs, disk_, clustered);
+  std::vector<MaterializedView*> out;
+  out.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Result<Table*> registered = catalog_.Register(std::move(tables[i]));
+    if (!registered.ok()) return registered.status();
+    auto view = std::make_unique<MaterializedView>(schema_, specs[i],
+                                                   registered.value());
+    view->set_clustered(clustered);
+    view->ComputeStats(schema_);
+    out.push_back(views_.Add(std::move(view)));
+  }
+  return out;
+}
+
+Status Engine::BuildIndexes(const std::string& spec_text,
+                            const std::vector<std::string>& dims) {
+  Result<GroupBySpec> spec = GroupBySpec::Parse(spec_text, schema_);
+  if (!spec.ok()) return spec.status();
+  MaterializedView* view = views_.Find(spec.value());
+  if (view == nullptr) {
+    return Status::NotFound("view not materialized: " + spec_text);
+  }
+  for (const std::string& name : dims) {
+    Result<size_t> dim = schema_.DimIndex(name);
+    if (!dim.ok()) return dim.status();
+    if (view->KeyColForDim(dim.value()) == SIZE_MAX) {
+      return Status::InvalidArgument("dimension " + name +
+                                     " is aggregated away in " + spec_text);
+    }
+    view->BuildIndex(schema_, dim.value(), disk_);
+  }
+  return Status::Ok();
+}
+
+Status Engine::DropView(const std::string& spec_text) {
+  Result<GroupBySpec> spec = GroupBySpec::Parse(spec_text, schema_);
+  if (!spec.ok()) return spec.status();
+  if (spec.value() == GroupBySpec::Base(schema_)) {
+    return Status::InvalidArgument("cannot drop the base table");
+  }
+  MaterializedView* view = views_.Find(spec.value());
+  if (view == nullptr) {
+    return Status::NotFound("view not materialized: " + spec_text);
+  }
+  const std::string table_name = view->name();
+  SS_CHECK(views_.Remove(spec.value()));
+  return catalog_.Drop(table_name);
+}
+
+Result<std::vector<DimensionalQuery>> Engine::ParseMdx(
+    const std::string& text, int first_id) const {
+  return mdx::ParseAndExpandMdx(text, schema_, first_id);
+}
+
+GlobalPlan Engine::Optimize(const std::vector<DimensionalQuery>& queries,
+                            OptimizerKind kind) const {
+  std::vector<const DimensionalQuery*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const auto& q : queries) ptrs.push_back(&q);
+  return Optimize(ptrs, kind);
+}
+
+GlobalPlan Engine::Optimize(
+    const std::vector<const DimensionalQuery*>& queries,
+    OptimizerKind kind) const {
+  SS_CHECK_MSG(base_view_ != nullptr, "load the fact table first");
+  SS_CHECK_MSG(!queries.empty(), "nothing to optimize");
+  return MakeOptimizer(kind, schema_, views_, cost_)->Plan(queries);
+}
+
+std::vector<ExecutedQuery> Engine::Execute(const GlobalPlan& plan) {
+  return executor_.ExecutePlan(plan);
+}
+
+std::vector<ExecutedQuery> Engine::ExecuteNaive(
+    const std::vector<DimensionalQuery>& queries) {
+  std::vector<ExecutedQuery> out;
+  out.reserve(queries.size());
+  for (const DimensionalQuery& q : queries) {
+    std::vector<MaterializedView*> candidates;
+    if (q.agg() != AggOp::kSum) {
+      candidates = {base_view_};
+    } else {
+      candidates = views_.CandidatesFor(q.RequiredSpec(schema_));
+    }
+    const LocalChoice choice = BestLocalPlan(q, candidates, cost_);
+    out.push_back(ExecutedQuery{
+        &q, executor_.ExecuteSingle(q, *choice.view, choice.method)});
+  }
+  return out;
+}
+
+std::vector<ExecutedQuery> Engine::ExecuteUnshared(const GlobalPlan& plan) {
+  return executor_.ExecutePlanUnshared(plan);
+}
+
+std::vector<ExecutedQuery> Engine::ExecuteCached(
+    const std::vector<DimensionalQuery>& queries, OptimizerKind kind) {
+  SS_CHECK_MSG(result_cache_ != nullptr,
+               "result cache disabled; set result_cache_entries");
+  std::vector<ExecutedQuery> out(queries.size());
+  std::vector<const DimensionalQuery*> misses;
+  std::vector<size_t> miss_slots;
+  std::vector<std::string> miss_keys;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::string key = ResultCache::KeyOf(queries[i], schema_);
+    const QueryResult* cached = result_cache_->Lookup(key);
+    if (cached != nullptr) {
+      out[i] = ExecutedQuery{&queries[i], *cached};
+    } else {
+      misses.push_back(&queries[i]);
+      miss_slots.push_back(i);
+      miss_keys.push_back(key);
+    }
+  }
+  if (!misses.empty()) {
+    const GlobalPlan plan = Optimize(misses, kind);
+    std::vector<ExecutedQuery> fresh = executor_.ExecutePlan(plan);
+    // ExecutePlan returns by ascending query id; map back to input slots.
+    for (ExecutedQuery& r : fresh) {
+      for (size_t m = 0; m < misses.size(); ++m) {
+        if (misses[m] == r.query) {
+          result_cache_->Insert(miss_keys[m], r.result);
+          out[miss_slots[m]] = std::move(r);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status Engine::SaveCube(const std::string& directory) const {
+  if (base_view_ == nullptr) {
+    return Status::FailedPrecondition("nothing to save: no fact table");
+  }
+  ::mkdir(directory.c_str(), 0755);  // ok if it already exists
+
+  // Base first so LoadCube can attach it before the views.
+  std::vector<const MaterializedView*> ordered = {base_view_};
+  for (const auto& view : views_.all()) {
+    if (view.get() != base_view_) ordered.push_back(view.get());
+  }
+
+  std::string manifest;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const std::string filename = StrFormat("view_%zu.sstb", i);
+    SS_RETURN_IF_ERROR(
+        WriteTableFile(ordered[i]->table(), directory + "/" + filename));
+    manifest += StrFormat("%s\t%d\t%s\n",
+                          ordered[i]->spec().ToString(schema_).c_str(),
+                          ordered[i]->clustered() ? 1 : 0, filename.c_str());
+  }
+
+  FILE* f = std::fopen((directory + "/cube.manifest").c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot write manifest in " + directory);
+  }
+  const size_t written = std::fwrite(manifest.data(), 1, manifest.size(), f);
+  std::fclose(f);
+  if (written != manifest.size()) {
+    return Status::Internal("short manifest write in " + directory);
+  }
+  return Status::Ok();
+}
+
+Status Engine::LoadCube(const std::string& directory) {
+  if (base_view_ != nullptr) {
+    return Status::FailedPrecondition("engine already has a fact table");
+  }
+  std::ifstream manifest(directory + "/cube.manifest");
+  if (!manifest.is_open()) {
+    return Status::NotFound("no cube.manifest in " + directory);
+  }
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    const size_t tab1 = line.find('\t');
+    const size_t tab2 = line.find('\t', tab1 + 1);
+    if (tab1 == std::string::npos || tab2 == std::string::npos) {
+      return Status::InvalidArgument("malformed manifest line: " + line);
+    }
+    const std::string spec_text = line.substr(0, tab1);
+    const bool clustered = line.substr(tab1 + 1, tab2 - tab1 - 1) == "1";
+    const std::string filename = line.substr(tab2 + 1);
+
+    Result<GroupBySpec> spec = GroupBySpec::Parse(spec_text, schema_);
+    if (!spec.ok()) return spec.status();
+    Result<std::unique_ptr<Table>> table =
+        ReadTableFile(directory + "/" + filename);
+    if (!table.ok()) return table.status();
+
+    if (spec.value() == GroupBySpec::Base(schema_)) {
+      Result<MaterializedView*> base =
+          AttachFactTable(std::move(table.value()));
+      if (!base.ok()) return base.status();
+    } else {
+      if (base_view_ == nullptr) {
+        return Status::InvalidArgument(
+            "manifest must list the base table first");
+      }
+      Result<Table*> registered =
+          catalog_.Register(std::move(table.value()));
+      if (!registered.ok()) return registered.status();
+      auto view = std::make_unique<MaterializedView>(schema_, spec.value(),
+                                                     registered.value());
+      view->set_clustered(clustered);
+      view->ComputeStats(schema_);
+      views_.Add(std::move(view));
+    }
+  }
+  if (base_view_ == nullptr) {
+    return Status::InvalidArgument("manifest lists no base table");
+  }
+  return Status::Ok();
+}
+
+IoStats Engine::ConsumeIoStats() {
+  IoStats stats = disk_.stats();
+  disk_.ResetStats();
+  return stats;
+}
+
+void Engine::FlushCaches() {
+  if (pool_ != nullptr) pool_->Clear();
+}
+
+}  // namespace starshare

@@ -1,0 +1,191 @@
+// Engine — StarShare's public API.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   StarSchema schema = StarSchema::PaperTestSchema();
+//   Engine engine(std::move(schema));
+//   engine.LoadFactTable({.num_rows = 500'000});
+//   engine.MaterializeView("A'B'C'D");
+//   engine.BuildIndexes("A'B'C'D", {"A", "B", "C"});
+//   auto queries = engine.ParseMdx("{A''.A1.CHILDREN} on COLUMNS ... ");
+//   GlobalPlan plan =
+//       engine.Optimize(queries.value(), OptimizerKind::kGlobalGreedy);
+//   auto results = engine.Execute(plan);
+//
+// The engine owns all storage (catalog), the materialized-view set, the
+// disk model / buffer pool, and the cost model. Execution charges page
+// touches to the disk model; ConsumeIoStats() reads and resets the counters
+// so callers can attribute I/O to individual steps.
+
+#ifndef STARSHARE_CORE_ENGINE_H_
+#define STARSHARE_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cube/view_builder.h"
+#include "cube/view_set.h"
+#include "exec/executor.h"
+#include "exec/result_cache.h"
+#include "mdx/binder.h"
+#include "opt/optimizer.h"
+#include "schema/data_generator.h"
+#include "schema/star_schema.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+
+namespace starshare {
+
+struct EngineConfig {
+  DiskTimings disk_timings;
+  CpuCosts cpu_costs;
+  // 0 = run cold, as the paper does (it flushed all buffers before tests).
+  uint64_t buffer_pool_pages = 0;
+  // Entries in the query result cache (0 = disabled). The cache serves
+  // repeated identical component queries without touching storage and is
+  // invalidated whenever facts are appended.
+  size_t result_cache_entries = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(StarSchema schema, EngineConfig config = EngineConfig());
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const StarSchema& schema() const { return schema_; }
+  const CostModel& cost_model() const { return cost_; }
+  const ViewSet& views() const { return views_; }
+  const Catalog& catalog() const { return catalog_; }
+  DiskModel& disk() { return disk_; }
+
+  // ---- Data -------------------------------------------------------------
+
+  // Generates the synthetic base fact table and registers it as the base
+  // view (the paper's LL). Must be called (or AttachFactTable) before
+  // anything else.
+  MaterializedView* LoadFactTable(const DataGeneratorConfig& config);
+
+  // Registers caller-provided base data instead (key columns must be
+  // base-level member ids per dimension, in schema order).
+  Result<MaterializedView*> AttachFactTable(std::unique_ptr<Table> table);
+
+  MaterializedView* base_view() const { return base_view_; }
+
+  // Appends newly generated facts (config.num_rows, config.seed) to the
+  // base table and incrementally refreshes every materialized view from
+  // (old view + delta) — SUM views are self-maintainable, so the base is
+  // never rescanned (paper intro: "maintaining precomputed group-bys").
+  // Indexes and statistics of affected views are rebuilt.
+  Status AppendFacts(const DataGeneratorConfig& config);
+
+  // Same, with caller-provided delta rows (base-level member ids per
+  // dimension, in schema order).
+  Status AppendFactTable(std::unique_ptr<Table> delta);
+
+  // ---- Materialized group-bys -------------------------------------------
+
+  // Materializes the group-by written in spec syntax ("A'B''C''D"),
+  // aggregating from the smallest existing view that can produce it.
+  // `clustered` selects the physical layout: false (default) emits the
+  // paper-era heap/hash order, true emits an index-organized table sorted
+  // by key (cheap contiguous probes for prefix predicates).
+  Result<MaterializedView*> MaterializeView(const std::string& spec_text,
+                                            bool clustered = false);
+  Result<MaterializedView*> MaterializeView(const GroupBySpec& spec,
+                                            bool clustered = false);
+
+  // Materializes several group-bys with ONE shared scan of the smallest
+  // view able to produce all of them (batch cube construction). Returns
+  // the views in spec order; fails atomically before any work if a spec is
+  // malformed, already materialized, or unanswerable.
+  Result<std::vector<MaterializedView*>> MaterializeViews(
+      const std::vector<std::string>& spec_texts, bool clustered = false);
+
+  // Builds bitmap join indexes on `dims` (dimension names) of a view.
+  Status BuildIndexes(const std::string& spec_text,
+                      const std::vector<std::string>& dims);
+
+  // Drops a materialized view (its table, indexes and statistics). The
+  // base table cannot be dropped. Plans holding the view become invalid.
+  Status DropView(const std::string& spec_text);
+
+  // ---- Queries ------------------------------------------------------------
+
+  // Parses one MDX expression and expands it into its component queries.
+  Result<std::vector<DimensionalQuery>> ParseMdx(const std::string& text,
+                                                 int first_id = 1) const;
+
+  // Produces a global plan with the chosen algorithm. The returned plan
+  // holds pointers into `queries`, which must outlive it.
+  GlobalPlan Optimize(const std::vector<DimensionalQuery>& queries,
+                      OptimizerKind kind) const;
+  GlobalPlan Optimize(const std::vector<const DimensionalQuery*>& queries,
+                      OptimizerKind kind) const;
+
+  // Executes a plan with the §3 shared operators.
+  std::vector<ExecutedQuery> Execute(const GlobalPlan& plan);
+
+  // Cache-aware execution: answers what it can from the result cache, then
+  // plans (with `kind`) and executes only the misses as one shared batch.
+  // Results are returned in input order. Requires result_cache_entries > 0.
+  std::vector<ExecutedQuery> ExecuteCached(
+      const std::vector<DimensionalQuery>& queries, OptimizerKind kind);
+
+  // The cache, or nullptr when disabled.
+  const ResultCache* result_cache() const { return result_cache_.get(); }
+
+  // The no-sharing baseline: each query separately on its locally optimal
+  // (view, method) — what a data source that ignores query relationships
+  // would do.
+  std::vector<ExecutedQuery> ExecuteNaive(
+      const std::vector<DimensionalQuery>& queries);
+
+  // Executes `plan`'s members one at a time with no shared operators (the
+  // "queries running separately" bars of the paper's Figures 10-12).
+  std::vector<ExecutedQuery> ExecuteUnshared(const GlobalPlan& plan);
+
+  // ---- Persistence --------------------------------------------------------
+
+  // Writes the base table, every materialized view and a manifest into
+  // `directory` (created if missing). Indexes are not persisted.
+  Status SaveCube(const std::string& directory) const;
+
+  // Loads a cube saved by SaveCube into this engine (which must not have a
+  // fact table yet). Statistics are recomputed; rebuild indexes with
+  // BuildIndexes as needed.
+  Status LoadCube(const std::string& directory);
+
+  // ---- Accounting ---------------------------------------------------------
+
+  // Returns the I/O counters accumulated since the last call and resets
+  // them (the buffer pool, if any, is not cleared).
+  IoStats ConsumeIoStats();
+
+  // Clears the buffer pool ("flush caches").
+  void FlushCaches();
+
+  double ModeledIoMs(const IoStats& stats) const {
+    return config_.disk_timings.ModeledIoMs(stats);
+  }
+
+ private:
+  StarSchema schema_;
+  EngineConfig config_;
+  Catalog catalog_;
+  ViewSet views_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<ResultCache> result_cache_;
+  DiskModel disk_;
+  CostModel cost_;
+  ViewBuilder builder_;
+  Executor executor_;
+  MaterializedView* base_view_ = nullptr;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_CORE_ENGINE_H_

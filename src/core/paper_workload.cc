@@ -1,0 +1,92 @@
+#include "core/paper_workload.h"
+
+#include <cstdlib>
+
+namespace starshare {
+namespace {
+
+// §7.3, with FILTER(D.DD1) on every query. One string per query, 1-based.
+const char* const kQueryMdx[PaperWorkload::kNumQueries + 1] = {
+    "",
+    // Query 1: group-by A'B''C''; not selective.
+    "{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS {C''.C1} on PAGES "
+    "CONTEXT ABCD FILTER (D.DD1);",
+    // Query 2: group-by A''B'C''; not selective (A'' covers its level).
+    "{A''.A1, A''.A2, A''.A3} on COLUMNS {B''.B2.CHILDREN} on ROWS "
+    "{C''.C2} on PAGES CONTEXT ABCD FILTER (D.DD1);",
+    // Query 3: group-by A''B''C''; not selective.
+    "{A''.A2} on COLUMNS {B''.B2} on ROWS {C''.C1, C''.C3} on PAGES "
+    "CONTEXT ABCD FILTER (D.DD1);",
+    // Query 4: group-by A''B''C''; not selective (C'' covers its level).
+    "{A''.A3, A''.A2} on COLUMNS {B''.B3} on ROWS "
+    "{C''.C1, C''.C2, C''.C3} on PAGES CONTEXT ABCD FILTER (D.DD1);",
+    // Query 5: group-by A'B''C''; selective on A.
+    "{A''.A1.CHILDREN.AA2} on COLUMNS {B''.B1} on ROWS {C''.C3} on PAGES "
+    "CONTEXT ABCD FILTER (D.DD1);",
+    // Query 6: group-by A'B'C'; selective on A, B and C.
+    "{A''.A2.CHILDREN.AA5} on COLUMNS {B''.B1.CHILDREN.BB3} on ROWS "
+    "{C''.C3.CHILDREN.CC8} on PAGES CONTEXT ABCD FILTER (D.DD1);",
+    // Query 7: group-by A'B'C'; selective on A, B and C.
+    "{A''.A3.CHILDREN.AA7} on COLUMNS {B''.B2.CHILDREN.BB5} on ROWS "
+    "{C''.C1.CHILDREN.CC1} on PAGES CONTEXT ABCD FILTER (D.DD1);",
+    // Query 8: group-by A'B'C''; selective on A and B.
+    "{A''.A1.CHILDREN.AA2} on COLUMNS {B''.B2.CHILDREN.BB4} on ROWS "
+    "{C''.C1} on PAGES CONTEXT ABCD FILTER (D.DD1);",
+    // Query 9: group-by A'B''C'; not selective.
+    "{A''.A1.CHILDREN} on COLUMNS {B''.B2, B''.B3} on ROWS "
+    "{C''.C1.CHILDREN} on PAGES CONTEXT ABCD FILTER (D.DD1);",
+};
+
+}  // namespace
+
+const char* PaperWorkload::QueryMdx(int i) {
+  SS_CHECK(i >= 1 && i <= kNumQueries);
+  return kQueryMdx[i];
+}
+
+std::vector<std::string> PaperWorkload::ViewSpecs() {
+  return {"A'B'C'D", "A'B''C''D", "A''B'C'D", "A''B''C''D", "AB'C'D"};
+}
+
+void PaperWorkload::Setup(Engine& engine, uint64_t rows, uint64_t seed) {
+  DataGeneratorConfig config;
+  config.num_rows = rows;
+  config.seed = seed;
+  engine.LoadFactTable(config);
+  // All Table 1 views in one shared scan of the base (batch cube build).
+  Result<std::vector<MaterializedView*>> views =
+      engine.MaterializeViews(ViewSpecs());
+  SS_CHECK_MSG(views.ok(), "%s", views.status().ToString().c_str());
+  const Status indexed = engine.BuildIndexes(IndexedViewSpec(), IndexedDims());
+  SS_CHECK_MSG(indexed.ok(), "%s", indexed.ToString().c_str());
+  // View/index construction I/O is setup, not query work.
+  engine.ConsumeIoStats();
+}
+
+DimensionalQuery PaperWorkload::MakeQuery(const Engine& engine, int i) {
+  Result<std::vector<DimensionalQuery>> queries =
+      engine.ParseMdx(QueryMdx(i), /*first_id=*/i);
+  SS_CHECK_MSG(queries.ok(), "query %d: %s", i,
+               queries.status().ToString().c_str());
+  SS_CHECK_MSG(queries.value().size() == 1,
+               "paper query %d expanded to %zu component queries", i,
+               queries.value().size());
+  return std::move(queries.value()[0]);
+}
+
+std::vector<DimensionalQuery> PaperWorkload::MakeQueries(
+    const Engine& engine, const std::vector<int>& ids) {
+  std::vector<DimensionalQuery> out;
+  out.reserve(ids.size());
+  for (int i : ids) out.push_back(MakeQuery(engine, i));
+  return out;
+}
+
+uint64_t PaperWorkload::RowsFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("STARSHARE_ROWS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long long value = std::atoll(env);
+  return value > 0 ? static_cast<uint64_t>(value) : fallback;
+}
+
+}  // namespace starshare

@@ -1,0 +1,62 @@
+// The paper's experimental setup (§7.2–§7.3), shared by the benchmark
+// harness, the integration tests and the examples:
+//   * the 4-dimension test schema (A, B, C with 45/9/3-member hierarchies,
+//     D with 1400/35/7),
+//   * the six materialized group-bys of Table 1 (ABCD = the base data),
+//   * bitmap join indexes on the A'B'C'D view (the view the index-join
+//     tests read),
+//   * MDX Queries 1–9 exactly as §7.3, with FILTER(D.DD1) on each.
+//
+// Member ordinals inside a few CHILDREN chains are adjusted to be
+// hierarchy-consistent (the OCR of §7.3 garbles some: e.g. Query 7's
+// "A''.A3.CHILDREN.AA2" names a child that does not belong to A3; we use
+// AA7). Selectivity classes are preserved: Queries 1–4 are not selective,
+// Queries 5–8 are selective, Query 9 is not selective.
+
+#ifndef STARSHARE_CORE_PAPER_WORKLOAD_H_
+#define STARSHARE_CORE_PAPER_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace starshare {
+
+class PaperWorkload {
+ public:
+  static constexpr int kNumQueries = 9;
+
+  // MDX text of paper query i (1-based, 1..9).
+  static const char* QueryMdx(int i);
+
+  // The non-base materialized group-bys of Table 1 (spec syntax).
+  static std::vector<std::string> ViewSpecs();
+
+  // The view carrying bitmap join indexes, and the indexed dimensions.
+  static const char* IndexedViewSpec() { return "A'B'C'D"; }
+  static std::vector<std::string> IndexedDims() {
+    return {"A", "B", "C", "D"};
+  }
+
+  // Loads `rows` fact tuples, materializes every Table 1 view and builds
+  // the indexes. The engine must be freshly constructed with
+  // StarSchema::PaperTestSchema().
+  static void Setup(Engine& engine, uint64_t rows,
+                    uint64_t seed = 19980601);
+
+  // Expands paper query i; the expansion is always a single component
+  // query, returned with id = i.
+  static DimensionalQuery MakeQuery(const Engine& engine, int i);
+
+  // Queries for a test's MDX expression, e.g. {1, 2, 3} for Test 4.
+  static std::vector<DimensionalQuery> MakeQueries(
+      const Engine& engine, const std::vector<int>& ids);
+
+  // Scale selection for benches: $STARSHARE_ROWS or `fallback`.
+  static uint64_t RowsFromEnv(uint64_t fallback = 400'000);
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_CORE_PAPER_WORKLOAD_H_

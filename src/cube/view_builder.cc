@@ -1,0 +1,241 @@
+#include "cube/view_builder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "exec/flat_hash.h"
+#include "exec/key_packer.h"
+
+namespace starshare {
+namespace {
+
+// splitmix64 finalizer: the deterministic "heap order" permutation key.
+uint64_t HashKey(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// Aggregates packed group keys -> one SUM per measure column (views must
+// carry every measure so any measure query is answerable from them).
+class ViewBuilder::MultiAggregator {
+ public:
+  MultiAggregator(const StarSchema& schema, const GroupBySpec& target,
+                  size_t num_measures, uint64_t expected_cells)
+      : packer_(schema, target),
+        slots_(expected_cells),
+        sums_(num_measures) {}
+
+  const KeyPacker& packer() const { return packer_; }
+  size_t num_cells() const { return cell_keys_.size(); }
+  size_t num_measures() const { return sums_.size(); }
+
+  // Adds one input row: `values[m]` is the row's m-th measure.
+  void Add(uint64_t key, const double* values) {
+    uint32_t& slot = slots_.FindOrInsert(key);
+    if (slot == 0) {
+      cell_keys_.push_back(key);
+      for (auto& column : sums_) column.push_back(0);
+      slot = static_cast<uint32_t>(cell_keys_.size());
+    }
+    const size_t cell = slot - 1;
+    for (size_t m = 0; m < sums_.size(); ++m) {
+      sums_[m][cell] += values[m];
+    }
+  }
+
+  uint64_t cell_key(size_t cell) const { return cell_keys_[cell]; }
+  double cell_sum(size_t measure, size_t cell) const {
+    return sums_[measure][cell];
+  }
+
+ private:
+  KeyPacker packer_;
+  FlatHashMap<uint32_t> slots_;  // packed key -> cell index + 1
+  std::vector<uint64_t> cell_keys_;
+  std::vector<std::vector<double>> sums_;  // [measure][cell]
+};
+
+// Per-target plumbing for one pass over a source view.
+struct ViewBuilder::TargetState {
+  std::unique_ptr<MultiAggregator> agg;
+  std::vector<const std::vector<int32_t>*> src_cols;
+  std::vector<std::vector<int32_t>> maps;  // stored key -> target member
+  std::vector<const std::vector<double>*> measure_cols;
+  std::vector<int32_t> scratch;
+  std::vector<double> values;
+
+  void Accumulate(uint64_t row) {
+    for (size_t i = 0; i < src_cols.size(); ++i) {
+      scratch[i] = maps[i][static_cast<size_t>((*src_cols[i])[row])];
+    }
+    for (size_t m = 0; m < measure_cols.size(); ++m) {
+      values[m] = (*measure_cols[m])[row];
+    }
+    agg->Add(agg->packer().Pack(scratch.data()), values.data());
+  }
+};
+
+ViewBuilder::TargetState ViewBuilder::MakeTargetState(
+    const MaterializedView& source, const GroupBySpec& target) const {
+  TargetState state;
+  const size_t num_measures = source.table().num_measures();
+  state.agg = std::make_unique<MultiAggregator>(
+      schema_, target, num_measures,
+      std::min<uint64_t>(target.MaxCells(schema_),
+                         source.table().num_rows()));
+  const auto retained = target.RetainedDims(schema_);
+  for (size_t d : retained) {
+    state.src_cols.push_back(
+        &source.table().key_column(source.KeyColForDim(d)));
+    const Hierarchy& h = schema_.dim(d);
+    const int from = source.StoredLevel(d);
+    const int to = target.level(d);
+    std::vector<int32_t> map(h.cardinality(from));
+    for (uint32_t m = 0; m < map.size(); ++m) {
+      map[m] = h.MapUp(from, to, static_cast<int32_t>(m));
+    }
+    state.maps.push_back(std::move(map));
+  }
+  for (size_t m = 0; m < num_measures; ++m) {
+    state.measure_cols.push_back(&source.table().measure_column(m));
+  }
+  state.scratch.resize(retained.size());
+  state.values.resize(num_measures);
+  return state;
+}
+
+std::unique_ptr<Table> ViewBuilder::Emit(const MultiAggregator& agg,
+                                         const GroupBySpec& target,
+                                         const Table& source_table,
+                                         DiskModel& disk,
+                                         const std::string& name,
+                                         bool clustered) const {
+  // Deterministic emission order: lexicographic by key when clustered,
+  // otherwise a pseudo-random permutation of the keys (hash order).
+  std::vector<std::pair<uint64_t, uint32_t>> order;  // (sort key, cell)
+  order.reserve(agg.num_cells());
+  for (size_t cell = 0; cell < agg.num_cells(); ++cell) {
+    const uint64_t key = agg.cell_key(cell);
+    order.emplace_back(clustered ? key : HashKey(key),
+                       static_cast<uint32_t>(cell));
+  }
+  std::sort(order.begin(), order.end(),
+            [&agg](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return agg.cell_key(a.second) < agg.cell_key(b.second);
+            });
+
+  const auto retained = target.RetainedDims(schema_);
+  std::vector<std::string> key_names;
+  key_names.reserve(retained.size());
+  for (size_t d : retained) {
+    key_names.push_back(schema_.dim(d).LevelName(target.level(d)));
+  }
+  std::vector<std::string> measure_names;
+  for (size_t m = 0; m < source_table.num_measures(); ++m) {
+    measure_names.push_back(source_table.measure_name(m));
+  }
+  auto table = std::make_unique<Table>(
+      name.empty() ? target.ToString(schema_) : name, key_names,
+      measure_names);
+  table->Reserve(agg.num_cells());
+  std::vector<double> values(agg.num_measures());
+  for (const auto& [_, cell] : order) {
+    const std::vector<int32_t> keys = agg.packer().Unpack(agg.cell_key(cell));
+    for (size_t m = 0; m < values.size(); ++m) {
+      values[m] = agg.cell_sum(m, cell);
+    }
+    table->AppendRowM(keys.data(), values.data());
+  }
+  disk.WritePages(table->num_pages());
+  return table;
+}
+
+std::unique_ptr<Table> ViewBuilder::Build(const MaterializedView& source,
+                                          const GroupBySpec& target,
+                                          DiskModel& disk,
+                                          const std::string& name,
+                                          bool clustered) const {
+  SS_CHECK_MSG(source.spec().CanAnswer(target),
+               "view %s cannot materialize %s", source.name().c_str(),
+               target.ToString(schema_).c_str());
+
+  TargetState state = MakeTargetState(source, target);
+  source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+    disk.CountTuples(end - begin);
+    for (uint64_t row = begin; row < end; ++row) {
+      state.Accumulate(row);
+    }
+  });
+  return Emit(*state.agg, target, source.table(), disk, name, clustered);
+}
+
+std::unique_ptr<Table> ViewBuilder::Refresh(const MaterializedView& view,
+                                            const MaterializedView& delta,
+                                            DiskModel& disk) const {
+  SS_CHECK_MSG(delta.spec().CanAnswer(view.spec()),
+               "delta %s cannot refresh view %s", delta.name().c_str(),
+               view.name().c_str());
+  SS_CHECK_MSG(delta.table().num_measures() == view.table().num_measures(),
+               "delta and view measure counts differ");
+
+  // Fold in the existing cells (keys are already at the view's levels, in
+  // column order) using an identity-mapped state over the view itself...
+  TargetState fold = MakeTargetState(view, view.spec());
+  view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+    disk.CountTuples(end - begin);
+    for (uint64_t row = begin; row < end; ++row) {
+      fold.Accumulate(row);
+    }
+  });
+
+  // ...then the delta, mapped up to the view's levels, into the SAME
+  // aggregator.
+  TargetState delta_state = MakeTargetState(delta, view.spec());
+  delta_state.agg = std::move(fold.agg);
+  delta.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+    disk.CountTuples(end - begin);
+    for (uint64_t row = begin; row < end; ++row) {
+      delta_state.Accumulate(row);
+    }
+  });
+
+  return Emit(*delta_state.agg, view.spec(), view.table(), disk, view.name(),
+              view.clustered());
+}
+
+std::vector<std::unique_ptr<Table>> ViewBuilder::BuildMany(
+    const MaterializedView& source, const std::vector<GroupBySpec>& targets,
+    DiskModel& disk, bool clustered) const {
+  std::vector<TargetState> states;
+  states.reserve(targets.size());
+  for (const GroupBySpec& target : targets) {
+    SS_CHECK_MSG(source.spec().CanAnswer(target),
+                 "view %s cannot materialize %s", source.name().c_str(),
+                 target.ToString(schema_).c_str());
+    states.push_back(MakeTargetState(source, target));
+  }
+
+  // One shared scan feeds every target's aggregation.
+  source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+    disk.CountTuples(end - begin);
+    for (uint64_t row = begin; row < end; ++row) {
+      for (TargetState& state : states) state.Accumulate(row);
+    }
+  });
+
+  std::vector<std::unique_ptr<Table>> tables;
+  tables.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    tables.push_back(Emit(*states[i].agg, targets[i], source.table(), disk,
+                          "", clustered));
+  }
+  return tables;
+}
+
+}  // namespace starshare

@@ -1,0 +1,77 @@
+// Materializes a group-by table from a finer source (the base table or any
+// view whose spec CanAnswer the target): scan, map each retained key up the
+// hierarchy, hash-aggregate SUM(measure), emit a new table.
+//
+// Row order: by default cells are emitted in a deterministic pseudo-random
+// permutation (hash of the packed group key) — the heap/hash-file layout a
+// paper-era system dumps its aggregation table into, under which index
+// probes spread Yao-style. Pass clustered=true to emit sorted
+// lexicographically by key instead (an index-organized view), which makes
+// prefix-structured predicates probe contiguous runs; the MaterializedView
+// must then be marked clustered() so the cost model knows.
+
+#ifndef STARSHARE_CUBE_VIEW_BUILDER_H_
+#define STARSHARE_CUBE_VIEW_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "cube/materialized_view.h"
+#include "schema/groupby_spec.h"
+#include "schema/star_schema.h"
+#include "storage/disk_model.h"
+#include "storage/table.h"
+
+namespace starshare {
+
+class ViewBuilder {
+ public:
+  explicit ViewBuilder(const StarSchema& schema) : schema_(schema) {}
+
+  // Builds the table for `target` from `source`. The source must be able to
+  // answer the target (checked). Scan + write costs are charged to `disk`.
+  // The new table is named `target.ToString(schema)` unless `name` is given.
+  std::unique_ptr<Table> Build(const MaterializedView& source,
+                               const GroupBySpec& target, DiskModel& disk,
+                               const std::string& name = "",
+                               bool clustered = false) const;
+
+  // Builds several group-bys in ONE shared scan of `source` — the paper's
+  // base-table sharing applied to cube construction: each scanned tuple
+  // feeds every target's aggregation. Costs one scan plus all writes.
+  // Returns the tables in target order (named by spec string).
+  std::vector<std::unique_ptr<Table>> BuildMany(
+      const MaterializedView& source,
+      const std::vector<GroupBySpec>& targets, DiskModel& disk,
+      bool clustered = false) const;
+
+  // Incremental view maintenance: returns a fresh table for `view` that
+  // folds the rows of `delta` (a view at the SAME or finer granularity,
+  // typically newly appended base facts) into the view's current cells.
+  // SUM views are self-maintainable, so this reads only the old view and
+  // the delta — never the full base. Layout follows view.clustered().
+  std::unique_ptr<Table> Refresh(const MaterializedView& view,
+                                 const MaterializedView& delta,
+                                 DiskModel& disk) const;
+
+ private:
+  class MultiAggregator;
+  struct TargetState;
+
+  // One target's aggregation state over one source view.
+  TargetState MakeTargetState(const MaterializedView& source,
+                              const GroupBySpec& target) const;
+
+  // Emits the contents of a finished aggregator as a table carrying every
+  // measure of `source_table`.
+  std::unique_ptr<Table> Emit(const MultiAggregator& agg,
+                              const GroupBySpec& target,
+                              const Table& source_table, DiskModel& disk,
+                              const std::string& name, bool clustered) const;
+
+  const StarSchema& schema_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_CUBE_VIEW_BUILDER_H_

@@ -1,0 +1,77 @@
+#include "cube/view_selection.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace starshare {
+
+uint64_t EstimateViewRows(const StarSchema& schema, const GroupBySpec& spec,
+                          uint64_t base_rows) {
+  return std::min(spec.MaxCells(schema), base_rows);
+}
+
+std::vector<GroupBySpec> EnumerateLattice(const StarSchema& schema) {
+  std::vector<GroupBySpec> out;
+  std::vector<int> levels(schema.num_dims(), 0);
+  for (;;) {
+    GroupBySpec spec{std::vector<int>(levels)};
+    if (!(spec == GroupBySpec::Base(schema))) out.push_back(spec);
+    // Odometer increment over per-dimension levels (0..all_level).
+    size_t d = 0;
+    while (d < levels.size()) {
+      if (levels[d] < schema.dim(d).all_level()) {
+        ++levels[d];
+        break;
+      }
+      levels[d] = 0;
+      ++d;
+    }
+    if (d == levels.size()) break;
+  }
+  return out;
+}
+
+std::vector<GroupBySpec> GreedySelectViews(const StarSchema& schema,
+                                           uint64_t base_rows, size_t k) {
+  const std::vector<GroupBySpec> lattice = EnumerateLattice(schema);
+  std::vector<uint64_t> est_rows(lattice.size());
+  for (size_t i = 0; i < lattice.size(); ++i) {
+    est_rows[i] = EstimateViewRows(schema, lattice[i], base_rows);
+  }
+
+  // cost_to_answer[i]: rows of the cheapest chosen table answering point i.
+  std::vector<uint64_t> cost_to_answer(lattice.size(), base_rows);
+  std::vector<bool> chosen(lattice.size(), false);
+  std::vector<GroupBySpec> result;
+
+  for (size_t round = 0; round < k && round < lattice.size(); ++round) {
+    size_t best = SIZE_MAX;
+    int64_t best_benefit = -1;
+    for (size_t c = 0; c < lattice.size(); ++c) {
+      if (chosen[c]) continue;
+      int64_t benefit = 0;
+      for (size_t q = 0; q < lattice.size(); ++q) {
+        if (lattice[c].CanAnswer(lattice[q]) &&
+            est_rows[c] < cost_to_answer[q]) {
+          benefit += static_cast<int64_t>(cost_to_answer[q] - est_rows[c]);
+        }
+      }
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best = c;
+      }
+    }
+    if (best == SIZE_MAX || best_benefit <= 0) break;
+    chosen[best] = true;
+    result.push_back(lattice[best]);
+    for (size_t q = 0; q < lattice.size(); ++q) {
+      if (lattice[best].CanAnswer(lattice[q])) {
+        cost_to_answer[q] = std::min(cost_to_answer[q], est_rows[best]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace starshare

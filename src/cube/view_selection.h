@@ -1,0 +1,38 @@
+// Greedy materialized-view selection in the style of Harinarayan, Rajaraman
+// and Ullman ("Implementing Data Cubes Efficiently", SIGMOD 1996) — the
+// precomputation scheme the paper cites ([HRU96]) as the source of the view
+// sets its optimizers choose among. Not part of the paper's contribution,
+// but StarShare provides it so a user can pick a sensible MSet instead of
+// hand-listing specs.
+
+#ifndef STARSHARE_CUBE_VIEW_SELECTION_H_
+#define STARSHARE_CUBE_VIEW_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "schema/groupby_spec.h"
+#include "schema/star_schema.h"
+
+namespace starshare {
+
+// Estimated rows of a view at `spec`: the standard cap of cell count by
+// base-table rows (every cell holds >= 1 base tuple).
+uint64_t EstimateViewRows(const StarSchema& schema, const GroupBySpec& spec,
+                          uint64_t base_rows);
+
+// All lattice points (every combination of per-dimension levels including
+// ALL), excluding the base itself. Exponential in dimensions; fine for the
+// OLAP schemas this targets (4 dims x 4 levels = 255 candidates).
+std::vector<GroupBySpec> EnumerateLattice(const StarSchema& schema);
+
+// Picks `k` views greedily by the HRU benefit heuristic: each round, choose
+// the candidate maximizing the total reduction in "rows scanned to answer
+// each lattice point from its cheapest chosen ancestor". The base table is
+// always implicitly available. Returns the chosen specs in selection order.
+std::vector<GroupBySpec> GreedySelectViews(const StarSchema& schema,
+                                           uint64_t base_rows, size_t k);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_CUBE_VIEW_SELECTION_H_

@@ -1,0 +1,52 @@
+#include "cube/view_set.h"
+
+#include <algorithm>
+
+namespace starshare {
+
+MaterializedView* ViewSet::Add(std::unique_ptr<MaterializedView> view) {
+  SS_CHECK(view != nullptr);
+  SS_CHECK_MSG(Find(view->spec()) == nullptr, "duplicate view %s",
+               view->name().c_str());
+  views_.push_back(std::move(view));
+  return views_.back().get();
+}
+
+MaterializedView* ViewSet::Find(const GroupBySpec& spec) const {
+  for (const auto& v : views_) {
+    if (v->spec() == spec) return v.get();
+  }
+  return nullptr;
+}
+
+bool ViewSet::Remove(const GroupBySpec& spec) {
+  for (auto it = views_.begin(); it != views_.end(); ++it) {
+    if ((*it)->spec() == spec) {
+      views_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+MaterializedView* ViewSet::FindByName(const std::string& name) const {
+  for (const auto& v : views_) {
+    if (v->name() == name) return v.get();
+  }
+  return nullptr;
+}
+
+std::vector<MaterializedView*> ViewSet::CandidatesFor(
+    const GroupBySpec& required) const {
+  std::vector<MaterializedView*> out;
+  for (const auto& v : views_) {
+    if (v->spec().CanAnswer(required)) out.push_back(v.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MaterializedView* a, const MaterializedView* b) {
+              return a->table().num_rows() < b->table().num_rows();
+            });
+  return out;
+}
+
+}  // namespace starshare

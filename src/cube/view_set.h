@@ -1,0 +1,46 @@
+// The set of materialized group-bys available to the optimizer — the
+// paper's MSet (which always contains the lowest-level base data LL).
+
+#ifndef STARSHARE_CUBE_VIEW_SET_H_
+#define STARSHARE_CUBE_VIEW_SET_H_
+
+#include <memory>
+#include <vector>
+
+#include "cube/materialized_view.h"
+#include "schema/groupby_spec.h"
+
+namespace starshare {
+
+class ViewSet {
+ public:
+  ViewSet() = default;
+  ViewSet(const ViewSet&) = delete;
+  ViewSet& operator=(const ViewSet&) = delete;
+
+  MaterializedView* Add(std::unique_ptr<MaterializedView> view);
+
+  // The view at exactly `spec`, or nullptr.
+  MaterializedView* Find(const GroupBySpec& spec) const;
+
+  // Removes (and frees) the view at `spec`. Returns false if absent.
+  bool Remove(const GroupBySpec& spec);
+  MaterializedView* FindByName(const std::string& name) const;
+
+  // Views that can answer a query requiring `required`, sorted by table
+  // rows ascending (smallest candidate first).
+  std::vector<MaterializedView*> CandidatesFor(
+      const GroupBySpec& required) const;
+
+  const std::vector<std::unique_ptr<MaterializedView>>& all() const {
+    return views_;
+  }
+  size_t size() const { return views_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<MaterializedView>> views_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_CUBE_VIEW_SET_H_

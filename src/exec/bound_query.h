@@ -1,0 +1,84 @@
+// BoundQuery: one dimensional query bound to the view it is evaluated from.
+// Precomputes, per retained target dimension, the view column to read and a
+// dense stored-level -> target-level mapping array (the "dimension hash
+// table" of the paper's plans, realized as a perfect-hash array because
+// member ids are dense), plus the aggregation hash table. Every star-join
+// operator — single or shared — funnels matching tuples through
+// Accumulate().
+
+#ifndef STARSHARE_EXEC_BOUND_QUERY_H_
+#define STARSHARE_EXEC_BOUND_QUERY_H_
+
+#include <vector>
+
+#include "cube/materialized_view.h"
+#include "exec/hash_aggregator.h"
+#include "query/query.h"
+#include "query/result.h"
+
+namespace starshare {
+
+class BoundQuery {
+ public:
+  BoundQuery(const StarSchema& schema, const DimensionalQuery& query,
+             const MaterializedView& view)
+      : query_(&query),
+        agg_(schema, query.target(), query.agg(),
+             std::min<uint64_t>(query.EstimatedGroups(schema),
+                                view.table().num_rows())),
+        measures_(&view.table().measure_column(query.measure())) {
+    SS_CHECK_MSG(view.spec().CanAnswer(query.RequiredSpec(schema)),
+                 "view %s cannot answer query Q%d", view.name().c_str(),
+                 query.id());
+    SS_CHECK_MSG(query.measure() < view.table().num_measures(),
+                 "query Q%d aggregates measure %zu but view %s has %zu",
+                 query.id(), query.measure(), view.name().c_str(),
+                 view.table().num_measures());
+    const auto retained = query.target().RetainedDims(schema);
+    for (size_t d : retained) {
+      const size_t col = view.KeyColForDim(d);
+      SS_CHECK(col != SIZE_MAX);
+      cols_.push_back(&view.table().key_column(col));
+      const Hierarchy& h = schema.dim(d);
+      const int from = view.StoredLevel(d);
+      const int to = query.target().level(d);
+      std::vector<int32_t> map(h.cardinality(from));
+      for (uint32_t m = 0; m < map.size(); ++m) {
+        map[m] = h.MapUp(from, to, static_cast<int32_t>(m));
+      }
+      maps_.push_back(std::move(map));
+    }
+    scratch_.resize(retained.size());
+  }
+
+  BoundQuery(const BoundQuery&) = delete;
+  BoundQuery& operator=(const BoundQuery&) = delete;
+  BoundQuery(BoundQuery&&) = default;
+
+  const DimensionalQuery& query() const { return *query_; }
+
+  // Adds view row `row` (already known to pass the query's selection) to
+  // the aggregation, reading the query's own measure column.
+  void Accumulate(uint64_t row) {
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      scratch_[i] = maps_[i][(*cols_[i])[row]];
+    }
+    agg_.Add(agg_.packer().Pack(scratch_.data()), (*measures_)[row]);
+  }
+
+  size_t num_retained() const { return cols_.size(); }
+
+  QueryResult Finish() const { return agg_.Finish(); }
+
+ private:
+  const DimensionalQuery* query_;
+  HashAggregator agg_;
+  const std::vector<double>* measures_;
+  std::vector<const std::vector<int32_t>*> cols_;
+  std::vector<std::vector<int32_t>> maps_;
+  std::vector<int32_t> scratch_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_BOUND_QUERY_H_

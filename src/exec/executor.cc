@@ -1,0 +1,104 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "exec/shared_operators.h"
+#include "exec/star_join.h"
+
+namespace starshare {
+namespace {
+
+void SortById(std::vector<ExecutedQuery>& out) {
+  std::sort(out.begin(), out.end(),
+            [](const ExecutedQuery& a, const ExecutedQuery& b) {
+              return a.query->id() < b.query->id();
+            });
+}
+
+}  // namespace
+
+QueryResult Executor::ExecuteSingle(const DimensionalQuery& query,
+                                    const MaterializedView& view,
+                                    JoinMethod method) const {
+  switch (method) {
+    case JoinMethod::kHashScan:
+      return HashStarJoin(schema_, query, view, disk_);
+    case JoinMethod::kIndexProbe:
+      return IndexStarJoin(schema_, query, view, disk_);
+  }
+  SS_CHECK(false);
+  return QueryResult();
+}
+
+std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
+  SS_CHECK(cls.base != nullptr && !cls.members.empty());
+  std::vector<const DimensionalQuery*> hash_queries;
+  std::vector<const DimensionalQuery*> index_queries;
+  for (const auto& m : cls.members) {
+    (m.method == JoinMethod::kHashScan ? hash_queries : index_queries)
+        .push_back(m.query);
+  }
+
+  // The shared-scan pass masks are 32 bits wide; an oversized class is
+  // evaluated in chunks (one extra scan per 32 hash members — still far
+  // cheaper than per-query scans, and correct).
+  if (cls.members.size() > kMaxClassQueries) {
+    std::vector<ExecutedQuery> out;
+    for (size_t begin = 0; begin < cls.members.size();
+         begin += kMaxClassQueries) {
+      ClassPlan chunk;
+      chunk.base = cls.base;
+      const size_t end =
+          std::min(begin + kMaxClassQueries, cls.members.size());
+      chunk.members.assign(cls.members.begin() + static_cast<long>(begin),
+                           cls.members.begin() + static_cast<long>(end));
+      for (auto& r : ExecuteClass(chunk)) out.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  std::vector<QueryResult> results;
+  std::vector<const DimensionalQuery*> order;
+  if (hash_queries.empty()) {
+    results = SharedIndexStarJoin(schema_, index_queries, *cls.base, disk_);
+    order = index_queries;
+  } else {
+    results = SharedHybridStarJoin(schema_, hash_queries, index_queries,
+                                   *cls.base, disk_);
+    order = hash_queries;
+    order.insert(order.end(), index_queries.begin(), index_queries.end());
+  }
+
+  std::vector<ExecutedQuery> out;
+  out.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    out.push_back(ExecutedQuery{order[i], std::move(results[i])});
+  }
+  return out;
+}
+
+std::vector<ExecutedQuery> Executor::ExecutePlan(
+    const GlobalPlan& plan) const {
+  std::vector<ExecutedQuery> out;
+  for (const auto& cls : plan.classes) {
+    std::vector<ExecutedQuery> cls_results = ExecuteClass(cls);
+    for (auto& r : cls_results) out.push_back(std::move(r));
+  }
+  SortById(out);
+  return out;
+}
+
+std::vector<ExecutedQuery> Executor::ExecutePlanUnshared(
+    const GlobalPlan& plan) const {
+  std::vector<ExecutedQuery> out;
+  for (const auto& cls : plan.classes) {
+    for (const auto& m : cls.members) {
+      out.push_back(ExecutedQuery{
+          m.query, ExecuteSingle(*m.query, *cls.base, m.method)});
+    }
+  }
+  SortById(out);
+  return out;
+}
+
+}  // namespace starshare

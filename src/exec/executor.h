@@ -1,0 +1,52 @@
+// Top-level plan execution: dispatches each class of a GlobalPlan to the
+// appropriate shared operator, or runs queries one at a time for the naive
+// (no-sharing) baseline the paper compares against.
+
+#ifndef STARSHARE_EXEC_EXECUTOR_H_
+#define STARSHARE_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "plan/plan.h"
+#include "query/result.h"
+#include "storage/disk_model.h"
+
+namespace starshare {
+
+struct ExecutedQuery {
+  const DimensionalQuery* query = nullptr;
+  QueryResult result;
+};
+
+class Executor {
+ public:
+  Executor(const StarSchema& schema, DiskModel& disk)
+      : schema_(schema), disk_(disk) {}
+
+  // One query, one view, one method — no sharing.
+  QueryResult ExecuteSingle(const DimensionalQuery& query,
+                            const MaterializedView& view,
+                            JoinMethod method) const;
+
+  // One class with the §3 operator its member methods call for:
+  //   * any hash member  -> shared scan / hybrid shared scan,
+  //   * all index members -> shared index join.
+  // Results in member order.
+  std::vector<ExecutedQuery> ExecuteClass(const ClassPlan& cls) const;
+
+  // Whole plan; results ordered by query id ascending.
+  std::vector<ExecutedQuery> ExecutePlan(const GlobalPlan& plan) const;
+
+  // Naive baseline: every member of every class evaluated separately (its
+  // own scan or probe), as if the queries had been submitted one at a time.
+  // Results ordered by query id ascending.
+  std::vector<ExecutedQuery> ExecutePlanUnshared(const GlobalPlan& plan) const;
+
+ private:
+  const StarSchema& schema_;
+  DiskModel& disk_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_EXECUTOR_H_

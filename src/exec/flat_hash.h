@@ -1,0 +1,100 @@
+// A minimal open-addressing hash map from uint64 keys to a POD value,
+// used on the hot aggregation and dimension-join paths. Linear probing,
+// power-of-two capacity, max load factor 0.7. Keys must not equal
+// kEmptyKey (all ones) — packed group-by keys never do (checked by callers).
+
+#ifndef STARSHARE_EXEC_FLAT_HASH_H_
+#define STARSHARE_EXEC_FLAT_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace starshare {
+
+template <typename V>
+class FlatHashMap {
+ public:
+  static constexpr uint64_t kEmptyKey = ~0ULL;
+
+  explicit FlatHashMap(size_t expected_entries = 16) {
+    size_t cap = 16;
+    while (cap * 7 < expected_entries * 10) cap <<= 1;
+    slots_.assign(cap, Slot{kEmptyKey, V{}});
+  }
+
+  // Returns the value slot for `key`, inserting a default-constructed value
+  // if absent.
+  V& FindOrInsert(uint64_t key) {
+    SS_DCHECK(key != kEmptyKey);
+    if ((size_ + 1) * 10 > slots_.size() * 7) Grow();
+    size_t i = Hash(key) & (slots_.size() - 1);
+    for (;;) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return slot.value;
+      if (slot.key == kEmptyKey) {
+        slot.key = key;
+        ++size_;
+        return slot.value;
+      }
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+
+  // Returns the value for `key` or nullptr.
+  const V* Find(uint64_t key) const {
+    SS_DCHECK(key != kEmptyKey);
+    size_t i = Hash(key) & (slots_.size() - 1);
+    for (;;) {
+      const Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == kEmptyKey) return nullptr;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+  V* Find(uint64_t key) {
+    return const_cast<V*>(static_cast<const FlatHashMap*>(this)->Find(key));
+  }
+
+  size_t size() const { return size_; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key;
+    V value;
+  };
+
+  static uint64_t Hash(uint64_t x) {
+    // splitmix64 finalizer: strong enough for packed keys.
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{kEmptyKey, V{}});
+    size_ = 0;
+    for (const Slot& slot : old) {
+      if (slot.key != kEmptyKey) FindOrInsert(slot.key) = slot.value;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_FLAT_HASH_H_

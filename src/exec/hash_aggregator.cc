@@ -1,0 +1,33 @@
+#include "exec/hash_aggregator.h"
+
+namespace starshare {
+
+HashAggregator::HashAggregator(const StarSchema& schema,
+                               const GroupBySpec& target, AggOp op,
+                               size_t expected_groups)
+    : target_(target),
+      op_(op),
+      packer_(schema, target),
+      groups_(expected_groups) {}
+
+QueryResult HashAggregator::Finish() const {
+  QueryResult result(target_, op_);
+  groups_.ForEach([this, &result](uint64_t key, const Accum& a) {
+    double value = a.agg;
+    switch (op_) {
+      case AggOp::kCount:
+        value = static_cast<double>(a.count);
+        break;
+      case AggOp::kAvg:
+        value = a.count == 0 ? 0 : a.agg / static_cast<double>(a.count);
+        break;
+      default:
+        break;
+    }
+    result.AddRow(packer_.Unpack(key), value);
+  });
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace starshare

@@ -1,0 +1,71 @@
+// Hash-based aggregation (the final operator of every star-join plan,
+// paper Fig. 1). Accumulates packed group keys -> running aggregate and
+// emits a canonical QueryResult.
+
+#ifndef STARSHARE_EXEC_HASH_AGGREGATOR_H_
+#define STARSHARE_EXEC_HASH_AGGREGATOR_H_
+
+#include <cstdint>
+
+#include "exec/flat_hash.h"
+#include "exec/key_packer.h"
+#include "query/query.h"
+#include "query/result.h"
+
+namespace starshare {
+
+class HashAggregator {
+ public:
+  HashAggregator(const StarSchema& schema, const GroupBySpec& target,
+                 AggOp op, size_t expected_groups = 64);
+
+  const KeyPacker& packer() const { return packer_; }
+
+  // Adds one input tuple to group `packed_key`.
+  void Add(uint64_t packed_key, double value) {
+    Accum& a = groups_.FindOrInsert(packed_key);
+    switch (op_) {
+      case AggOp::kSum:
+      case AggOp::kAvg:
+        a.agg += value;
+        break;
+      case AggOp::kCount:
+        break;  // count tracked below
+      case AggOp::kMin:
+        a.agg = (a.count == 0 || value < a.agg) ? value : a.agg;
+        break;
+      case AggOp::kMax:
+        a.agg = (a.count == 0 || value > a.agg) ? value : a.agg;
+        break;
+    }
+    ++a.count;
+  }
+
+  size_t num_groups() const { return groups_.size(); }
+
+  // Finalizes into a canonically sorted QueryResult.
+  QueryResult Finish() const;
+
+  // Iterates raw (packed key, sum, count) — used by the view builder.
+  template <typename Fn>
+  void ForEachRaw(Fn&& fn) const {
+    groups_.ForEach([&fn](uint64_t key, const Accum& a) {
+      fn(key, a.agg, a.count);
+    });
+  }
+
+ private:
+  struct Accum {
+    double agg = 0;
+    uint64_t count = 0;
+  };
+
+  GroupBySpec target_;
+  AggOp op_;
+  KeyPacker packer_;
+  FlatHashMap<Accum> groups_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_HASH_AGGREGATOR_H_

@@ -1,0 +1,40 @@
+#include "exec/key_packer.h"
+
+#include <vector>
+
+namespace starshare {
+namespace {
+
+uint32_t BitsFor(uint64_t cardinality) {
+  uint32_t bits = 1;
+  while ((1ULL << bits) < cardinality) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+KeyPacker::KeyPacker(const StarSchema& schema, const GroupBySpec& target) {
+  retained_dims_ = target.RetainedDims(schema);
+  // The first retained dimension occupies the *high* bits, so packed-key
+  // order equals lexicographic order of the unpacked key vector (the view
+  // builder relies on this to emit lexicographically clustered tables).
+  uint32_t total_bits = 0;
+  std::vector<uint32_t> bits(retained_dims_.size());
+  for (size_t i = 0; i < retained_dims_.size(); ++i) {
+    const size_t d = retained_dims_[i];
+    bits[i] = BitsFor(schema.dim(d).cardinality(target.level(d)));
+    total_bits += bits[i];
+  }
+  SS_CHECK_MSG(total_bits <= 63,
+               "group-by key needs %u bits; widen KeyPacker to multi-word "
+               "keys for this schema",
+               total_bits);
+  uint32_t shift = total_bits;
+  for (size_t i = 0; i < retained_dims_.size(); ++i) {
+    shift -= bits[i];
+    shifts_.push_back(shift);
+    masks_.push_back((1ULL << bits[i]) - 1);
+  }
+}
+
+}  // namespace starshare

@@ -1,0 +1,54 @@
+#include "exec/result_cache.h"
+
+#include "common/str_util.h"
+
+namespace starshare {
+
+std::string ResultCache::KeyOf(const DimensionalQuery& query,
+                               const StarSchema& schema) {
+  // Target, aggregate, measure and normalized predicate fully determine
+  // the result.
+  std::string key = query.target().ToString(schema);
+  key += '|';
+  key += AggOpName(query.agg());
+  key += StrFormat("|m%zu|", query.measure());
+  for (const DimPredicate& pred : query.predicate().conjuncts()) {
+    key += StrFormat("d%zu@%d:", pred.dim, pred.level);
+    for (int32_t m : pred.members) key += StrFormat("%d,", m);
+    key += ';';
+  }
+  return key;
+}
+
+const QueryResult* ResultCache::Lookup(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return &lru_.front().result;
+}
+
+void ResultCache::Insert(const std::string& key, QueryResult result) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void ResultCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace starshare

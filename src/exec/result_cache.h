@@ -1,0 +1,60 @@
+// An LRU cache of query results keyed by the query's semantic signature
+// (target + predicate + aggregate). OLAP dashboards re-issue identical
+// component queries constantly; a hit skips planning and evaluation
+// entirely. The engine invalidates the cache whenever the data changes
+// (AppendFacts).
+
+#ifndef STARSHARE_EXEC_RESULT_CACHE_H_
+#define STARSHARE_EXEC_RESULT_CACHE_H_
+
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "query/query.h"
+#include "query/result.h"
+
+namespace starshare {
+
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // The semantic key: independent of query id and label.
+  static std::string KeyOf(const DimensionalQuery& query,
+                           const StarSchema& schema);
+
+  // Returns the cached result or nullptr; a hit refreshes recency.
+  const QueryResult* Lookup(const std::string& key);
+
+  // Inserts (or refreshes) a result, evicting the LRU entry beyond
+  // capacity.
+  void Insert(const std::string& key, QueryResult result);
+
+  // Drops everything (data changed).
+  void Clear();
+
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    QueryResult result;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_RESULT_CACHE_H_

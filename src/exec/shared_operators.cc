@@ -1,0 +1,177 @@
+#include "exec/shared_operators.h"
+
+#include "exec/bound_query.h"
+#include "exec/star_join.h"
+#include "index/bitmap.h"
+
+namespace starshare {
+namespace {
+
+// One shared dimension filter: a pass mask per stored member, bit q set iff
+// hash query q accepts that member (queries that do not restrict the
+// dimension accept everything). This is the shared dimension hash table of
+// Fig. 2 carrying per-query predicate flags.
+struct SharedDimFilter {
+  const std::vector<int32_t>* col;
+  std::vector<uint32_t> masks;
+};
+
+std::vector<SharedDimFilter> BuildSharedFilters(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view) {
+  SS_CHECK(queries.size() <= kMaxClassQueries);
+  const uint32_t all_mask =
+      queries.empty() ? 0
+                      : static_cast<uint32_t>((uint64_t{1} << queries.size()) - 1);
+  std::vector<SharedDimFilter> filters;
+  for (size_t d = 0; d < schema.num_dims(); ++d) {
+    bool restricted = false;
+    for (const auto* q : queries) {
+      if (q->predicate().ForDim(d) != nullptr) {
+        restricted = true;
+        break;
+      }
+    }
+    if (!restricted) continue;
+    const size_t col = view.KeyColForDim(d);
+    SS_CHECK(col != SIZE_MAX);
+    SharedDimFilter filter;
+    filter.col = &view.table().key_column(col);
+    filter.masks.assign(
+        schema.dim(d).cardinality(view.StoredLevel(d)), all_mask);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const DimPredicate* pred = queries[qi]->predicate().ForDim(d);
+      if (pred == nullptr) continue;  // query unrestricted on d: bit stays set
+      const std::vector<uint8_t> pass = BuildPassTable(schema, view, *pred);
+      const uint32_t bit = uint32_t{1} << qi;
+      for (size_t m = 0; m < pass.size(); ++m) {
+        if (!pass[m]) filter.masks[m] &= ~bit;
+      }
+    }
+    filters.push_back(std::move(filter));
+  }
+  return filters;
+}
+
+}  // namespace
+
+std::vector<QueryResult> SharedHybridStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& hash_queries,
+    const std::vector<const DimensionalQuery*>& index_queries,
+    const MaterializedView& view, DiskModel& disk) {
+  SS_CHECK(!hash_queries.empty() || !index_queries.empty());
+
+  std::vector<BoundQuery> hash_bound;
+  hash_bound.reserve(hash_queries.size());
+  for (const auto* q : hash_queries) hash_bound.emplace_back(schema, *q, view);
+
+  // Index members: build candidate bitmaps up front (index I/O + bitmap
+  // CPU); their probe phase is replaced by filtering during the shared
+  // scan. Unindexed predicates become residual filters.
+  std::vector<BoundQuery> index_bound;
+  std::vector<Bitmap> index_bitmaps;
+  std::vector<ResidualFilter> index_residuals;
+  index_bound.reserve(index_queries.size());
+  index_bitmaps.reserve(index_queries.size());
+  index_residuals.reserve(index_queries.size());
+  for (const auto* q : index_queries) {
+    index_bound.emplace_back(schema, *q, view);
+    std::vector<const DimPredicate*> residual_preds;
+    index_bitmaps.push_back(
+        BuildResultBitmap(schema, *q, view, disk, &residual_preds));
+    index_residuals.emplace_back(schema, view, residual_preds);
+  }
+
+  const std::vector<SharedDimFilter> filters =
+      BuildSharedFilters(schema, hash_queries, view);
+  const uint32_t all_mask =
+      hash_queries.empty()
+          ? 0
+          : static_cast<uint32_t>((uint64_t{1} << hash_queries.size()) - 1);
+
+  view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+    disk.CountTuples(end - begin);
+    for (uint64_t row = begin; row < end; ++row) {
+      // Hash members: one probe per shared dimension filter for all of them.
+      uint32_t mask = all_mask;
+      for (const SharedDimFilter& f : filters) {
+        mask &= f.masks[static_cast<size_t>((*f.col)[row])];
+        if (mask == 0) break;
+      }
+      disk.CountHashProbes(filters.size());
+      while (mask != 0) {
+        const int qi = __builtin_ctz(mask);
+        hash_bound[static_cast<size_t>(qi)].Accumulate(row);
+        mask &= mask - 1;
+      }
+      // Index members: candidate bitmap + residual predicates used as the
+      // selection filter (§3.3).
+      for (size_t qi = 0; qi < index_bound.size(); ++qi) {
+        if (index_bitmaps[qi].Test(row) &&
+            index_residuals[qi].Matches(row)) {
+          index_bound[qi].Accumulate(row);
+        }
+      }
+    }
+  });
+
+  std::vector<QueryResult> results;
+  results.reserve(hash_bound.size() + index_bound.size());
+  for (const auto& b : hash_bound) results.push_back(b.Finish());
+  for (const auto& b : index_bound) results.push_back(b.Finish());
+  return results;
+}
+
+std::vector<QueryResult> SharedScanStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk) {
+  return SharedHybridStarJoin(schema, queries, {}, view, disk);
+}
+
+std::vector<QueryResult> SharedIndexStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk) {
+  SS_CHECK(!queries.empty());
+  SS_CHECK(queries.size() <= kMaxClassQueries);
+
+  std::vector<BoundQuery> bound;
+  std::vector<Bitmap> bitmaps;
+  std::vector<ResidualFilter> residuals;
+  bound.reserve(queries.size());
+  bitmaps.reserve(queries.size());
+  residuals.reserve(queries.size());
+  for (const auto* q : queries) {
+    bound.emplace_back(schema, *q, view);
+    std::vector<const DimPredicate*> residual_preds;
+    bitmaps.push_back(
+        BuildResultBitmap(schema, *q, view, disk, &residual_preds));
+    residuals.emplace_back(schema, view, residual_preds);
+  }
+
+  // Step 1 of §3.2's shared operator: OR the per-query result bitmaps.
+  Bitmap unioned = bitmaps[0];
+  for (size_t i = 1; i < bitmaps.size(); ++i) unioned.OrWith(bitmaps[i]);
+
+  // Steps 2–4: one probe pass; split tuples to their group-bys by testing
+  // each query's bitmap at the tuple position.
+  const std::vector<uint64_t> positions = unioned.ToPositions();
+  view.table().ProbePositions(disk, positions, [&](uint64_t row) {
+    for (size_t qi = 0; qi < bound.size(); ++qi) {
+      if (bitmaps[qi].Test(row) && residuals[qi].Matches(row)) {
+        bound[qi].Accumulate(row);
+      }
+    }
+  });
+  disk.CountTuples(positions.size());
+
+  std::vector<QueryResult> results;
+  results.reserve(bound.size());
+  for (const auto& b : bound) results.push_back(b.Finish());
+  return results;
+}
+
+}  // namespace starshare

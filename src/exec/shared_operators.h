@@ -1,0 +1,55 @@
+// The paper's three shared star-join operators (§3): the reason related
+// queries should be planned onto a common base table at all.
+//
+// All operators require every query to be answerable from `view` and return
+// per-query results in input order. Queries sharing a class may have
+// *disjoint* predicates — sharing is of the scan / probe / dimension hash
+// tables, not of selections.
+
+#ifndef STARSHARE_EXEC_SHARED_OPERATORS_H_
+#define STARSHARE_EXEC_SHARED_OPERATORS_H_
+
+#include <vector>
+
+#include "cube/materialized_view.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "storage/disk_model.h"
+
+namespace starshare {
+
+// Maximum queries per shared class (per-dimension pass masks are 32-bit).
+inline constexpr size_t kMaxClassQueries = 32;
+
+// Shared scan hash-based star join (§3.1, Fig. 2): one scan of `view`, one
+// pass-mask table per restricted dimension shared by all queries, one
+// aggregation per query.
+std::vector<QueryResult> SharedScanStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk);
+
+// Shared join-index-based star join (§3.2, Fig. 4): per-query result
+// bitmaps are ORed, the base table is probed once with the union, and each
+// retrieved tuple is routed to the queries whose bitmap has its position
+// set ("Filter tuples").
+std::vector<QueryResult> SharedIndexStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk);
+
+// Shared scan for hash-based + index-based star join (§3.3, Fig. 5):
+// `hash_queries` run as a shared scan; each of `index_queries` builds its
+// result bitmap from the indexes but, instead of probing, filters the
+// scanned tuples through the bitmap — its probe I/O is absorbed by the scan
+// the hash queries need anyway. Results: hash queries first, then index
+// queries, each in input order.
+std::vector<QueryResult> SharedHybridStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& hash_queries,
+    const std::vector<const DimensionalQuery*>& index_queries,
+    const MaterializedView& view, DiskModel& disk);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_SHARED_OPERATORS_H_

@@ -1,0 +1,126 @@
+#include "exec/star_join.h"
+
+#include "exec/bound_query.h"
+
+namespace starshare {
+
+std::vector<uint8_t> BuildPassTable(const StarSchema& schema,
+                                    const MaterializedView& view,
+                                    const DimPredicate& pred) {
+  const Hierarchy& h = schema.dim(pred.dim);
+  const int stored = view.StoredLevel(pred.dim);
+  SS_CHECK_MSG(stored <= pred.level,
+               "predicate level %d below stored level %d on %s", pred.level,
+               stored, view.name().c_str());
+  std::vector<uint8_t> pass(h.cardinality(stored), 0);
+  for (int32_t m : pred.MembersAtLevel(h, stored)) {
+    pass[static_cast<size_t>(m)] = 1;
+  }
+  return pass;
+}
+
+QueryResult HashStarJoin(const StarSchema& schema,
+                         const DimensionalQuery& query,
+                         const MaterializedView& view, DiskModel& disk) {
+  BoundQuery bound(schema, query, view);
+
+  // "Build hash tables on each dimension table" (restricted dims only; an
+  // unrestricted dimension needs no filtering, and its level mapping lives
+  // in the BoundQuery).
+  struct Filter {
+    const std::vector<int32_t>* col;
+    std::vector<uint8_t> pass;
+  };
+  std::vector<Filter> filters;
+  for (const auto& pred : query.predicate().conjuncts()) {
+    const size_t col = view.KeyColForDim(pred.dim);
+    SS_CHECK(col != SIZE_MAX);
+    filters.push_back(
+        Filter{&view.table().key_column(col), BuildPassTable(schema, view, pred)});
+  }
+
+  view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+    disk.CountTuples(end - begin);
+    for (uint64_t row = begin; row < end; ++row) {
+      bool pass = true;
+      for (const Filter& f : filters) {
+        if (!f.pass[static_cast<size_t>((*f.col)[row])]) {
+          pass = false;
+          break;
+        }
+      }
+      disk.CountHashProbes(filters.size());
+      if (pass) bound.Accumulate(row);
+    }
+  });
+  return bound.Finish();
+}
+
+ResidualFilter::ResidualFilter(
+    const StarSchema& schema, const MaterializedView& view,
+    const std::vector<const DimPredicate*>& preds) {
+  for (const DimPredicate* pred : preds) {
+    const size_t col = view.KeyColForDim(pred->dim);
+    SS_CHECK(col != SIZE_MAX);
+    filters_.push_back(Filter{&view.table().key_column(col),
+                              BuildPassTable(schema, view, *pred)});
+  }
+}
+
+Bitmap BuildResultBitmap(const StarSchema& schema,
+                         const DimensionalQuery& query,
+                         const MaterializedView& view, DiskModel& disk,
+                         std::vector<const DimPredicate*>* residual) {
+  Bitmap result;
+  bool first = true;
+  for (const auto& pred : query.predicate().conjuncts()) {
+    // Prefer the index at the predicate's own level (one segment per
+    // predicate member); fall back to the stored-level index with the
+    // member set expanded to descendants; predicates on unindexed
+    // dimensions become residual filters applied per retrieved tuple.
+    const BitmapJoinIndex* index = view.IndexOn(pred.dim, pred.level);
+    std::vector<int32_t> members = pred.members;
+    if (index == nullptr) {
+      index = view.IndexOn(pred.dim);
+      members = pred.MembersAtLevel(schema.dim(pred.dim),
+                                    view.StoredLevel(pred.dim));
+    }
+    if (index == nullptr) {
+      SS_CHECK_MSG(residual != nullptr,
+                   "no bitmap index on dim %s of view %s and no residual "
+                   "filtering requested",
+                   schema.dim(pred.dim).dim_name().c_str(),
+                   view.name().c_str());
+      residual->push_back(&pred);
+      continue;
+    }
+    Bitmap dim_bitmap = index->Lookup(members, disk);  // ORed per §3.2
+    if (first) {
+      result = std::move(dim_bitmap);
+      first = false;
+    } else {
+      result.AndWith(dim_bitmap);
+    }
+  }
+  SS_CHECK_MSG(!first,
+               "index star join requires >= 1 indexed restricted dimension");
+  return result;
+}
+
+QueryResult IndexStarJoin(const StarSchema& schema,
+                          const DimensionalQuery& query,
+                          const MaterializedView& view, DiskModel& disk) {
+  BoundQuery bound(schema, query, view);
+  std::vector<const DimPredicate*> residual_preds;
+  const Bitmap result =
+      BuildResultBitmap(schema, query, view, disk, &residual_preds);
+  const ResidualFilter residual(schema, view, residual_preds);
+  const std::vector<uint64_t> positions = result.ToPositions();
+  view.table().ProbePositions(disk, positions, [&](uint64_t row) {
+    if (residual.Matches(row)) bound.Accumulate(row);
+  });
+  disk.CountTuples(positions.size());
+  return bound.Finish();
+}
+
+}  // namespace starshare

@@ -1,0 +1,78 @@
+// Single-query star-join operators — the building blocks the paper starts
+// from (§3, Figs. 1 and 3) and the evaluation path of plans that share
+// nothing.
+
+#ifndef STARSHARE_EXEC_STAR_JOIN_H_
+#define STARSHARE_EXEC_STAR_JOIN_H_
+
+#include "cube/materialized_view.h"
+#include "index/bitmap.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "storage/disk_model.h"
+
+namespace starshare {
+
+// Pipelined right-deep hash-based star join + aggregation (Fig. 1): builds
+// a pass table per restricted dimension, streams the view once, aggregates
+// passing tuples.
+QueryResult HashStarJoin(const StarSchema& schema,
+                         const DimensionalQuery& query,
+                         const MaterializedView& view, DiskModel& disk);
+
+// Bitmap join-index star join (Fig. 3): OR the per-member bitmaps within
+// each indexed restricted dimension, AND across dimensions, probe the
+// candidate tuples, apply any residual (unindexed) predicates, aggregate.
+// Requires a view index on at least one restricted dimension.
+QueryResult IndexStarJoin(const StarSchema& schema,
+                          const DimensionalQuery& query,
+                          const MaterializedView& view, DiskModel& disk);
+
+// Applies the restricted dimensions of a query that have no usable index:
+// dense pass tables over the view's stored keys, tested per retrieved
+// tuple.
+class ResidualFilter {
+ public:
+  ResidualFilter(const StarSchema& schema, const MaterializedView& view,
+                 const std::vector<const DimPredicate*>& preds);
+
+  bool Matches(uint64_t row) const {
+    for (const auto& f : filters_) {
+      if (!f.pass[static_cast<size_t>((*f.col)[row])]) return false;
+    }
+    return true;
+  }
+
+  bool empty() const { return filters_.empty(); }
+  size_t num_predicates() const { return filters_.size(); }
+
+ private:
+  struct Filter {
+    const std::vector<int32_t>* col;
+    std::vector<uint8_t> pass;
+  };
+  std::vector<Filter> filters_;
+};
+
+// The query's candidate bitmap over `view` (steps 1–5 of §3.2) from the
+// indexed restricted dimensions, shared by IndexStarJoin and the shared
+// index operators. Charges index I/O. Predicates without an index are
+// appended to `residual` (may be null only if the caller knows every
+// restricted dimension is indexed). At least one restricted dimension must
+// be indexed.
+Bitmap BuildResultBitmap(const StarSchema& schema,
+                         const DimensionalQuery& query,
+                         const MaterializedView& view, DiskModel& disk,
+                         std::vector<const DimPredicate*>* residual = nullptr);
+
+// Dense pass table for one predicate on the view's stored level of the
+// predicate's dimension: pass[key] == 1 iff `key` maps up into the member
+// set. (The hash table a relational engine would build on the dimension
+// table, realized as an array because member ids are dense.)
+std::vector<uint8_t> BuildPassTable(const StarSchema& schema,
+                                    const MaterializedView& view,
+                                    const DimPredicate& pred);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_STAR_JOIN_H_

@@ -1,0 +1,81 @@
+#include "index/bitmap.h"
+
+namespace starshare {
+
+void Bitmap::SetAll() {
+  for (auto& w : words_) w = ~0ULL;
+  // Keep bits past num_bits_ zero so CountOnes stays exact.
+  const uint64_t tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+void Bitmap::ClearAll() {
+  for (auto& w : words_) w = 0;
+}
+
+void Bitmap::OrWith(const Bitmap& other) {
+  SS_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitmap::AndWith(const Bitmap& other) {
+  SS_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitmap::AndNotWith(const Bitmap& other) {
+  SS_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+void Bitmap::Invert() {
+  for (auto& w : words_) w = ~w;
+  const uint64_t tail = num_bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+Bitmap Bitmap::Or(const Bitmap& a, const Bitmap& b) {
+  Bitmap out = a;
+  out.OrWith(b);
+  return out;
+}
+
+Bitmap Bitmap::And(const Bitmap& a, const Bitmap& b) {
+  Bitmap out = a;
+  out.AndWith(b);
+  return out;
+}
+
+uint64_t Bitmap::CountOnes() const {
+  uint64_t count = 0;
+  for (uint64_t w : words_) count += __builtin_popcountll(w);
+  return count;
+}
+
+bool Bitmap::AnySet() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool Bitmap::IntersectsWith(const Bitmap& other) const {
+  SS_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<uint64_t> Bitmap::ToPositions() const {
+  std::vector<uint64_t> out;
+  out.reserve(CountOnes());
+  ForEachSetBit([&out](uint64_t pos) { out.push_back(pos); });
+  return out;
+}
+
+}  // namespace starshare

@@ -1,0 +1,89 @@
+// Word-aligned bitmap over tuple positions, the currency of index-based star
+// joins (paper §3.2): predicate -> per-dimension bitmaps, OR within a
+// dimension, AND across dimensions, OR across queries for the shared probe.
+
+#ifndef STARSHARE_INDEX_BITMAP_H_
+#define STARSHARE_INDEX_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/page.h"
+
+namespace starshare {
+
+class Bitmap {
+ public:
+  Bitmap() : num_bits_(0) {}
+  explicit Bitmap(uint64_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  Bitmap(const Bitmap&) = default;
+  Bitmap& operator=(const Bitmap&) = default;
+  Bitmap(Bitmap&&) = default;
+  Bitmap& operator=(Bitmap&&) = default;
+
+  uint64_t num_bits() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  void Set(uint64_t i) {
+    SS_DCHECK(i < num_bits_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+  void Reset(uint64_t i) {
+    SS_DCHECK(i < num_bits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  bool Test(uint64_t i) const {
+    SS_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void SetAll();
+  void ClearAll();
+
+  // In-place boolean algebra. Operands must have equal num_bits().
+  void OrWith(const Bitmap& other);
+  void AndWith(const Bitmap& other);
+  void AndNotWith(const Bitmap& other);  // this &= ~other
+  void Invert();                         // this = ~this (trailing bits kept 0)
+
+  static Bitmap Or(const Bitmap& a, const Bitmap& b);
+  static Bitmap And(const Bitmap& a, const Bitmap& b);
+
+  // Number of set bits.
+  uint64_t CountOnes() const;
+  bool AnySet() const;
+  bool IntersectsWith(const Bitmap& other) const;
+
+  // Calls fn(position) for every set bit, ascending.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<uint64_t>(w) * 64 + static_cast<uint64_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Ascending positions of all set bits.
+  std::vector<uint64_t> ToPositions() const;
+
+  // Uncompressed footprint, used when charging bitmap materialization.
+  uint64_t SizeBytes() const { return words_.size() * 8; }
+  uint64_t NumPages() const { return PagesForBytes(SizeBytes()); }
+
+  bool operator==(const Bitmap& other) const = default;
+
+ private:
+  uint64_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_INDEX_BITMAP_H_

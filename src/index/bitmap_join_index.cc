@@ -1,0 +1,73 @@
+#include "index/bitmap_join_index.h"
+
+namespace starshare {
+
+BitmapJoinIndex::BitmapJoinIndex(const Table& table, size_t key_col,
+                                 uint32_t num_values,
+                                 const std::vector<int32_t>& value_map,
+                                 DiskModel& disk)
+    : key_col_(key_col), num_values_(num_values), num_rows_(table.num_rows()) {
+  SS_CHECK(key_col < table.num_key_columns());
+  rid_lists_.resize(num_values);
+  const std::vector<int32_t>& keys = table.key_column(key_col);
+  // Index construction scans the table once.
+  table.ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t row = begin; row < end; ++row) {
+      const int32_t key = keys[row];
+      SS_CHECK_MSG(key >= 0 && static_cast<size_t>(key) < value_map.size(),
+                   "key %d outside the value map (%zu entries)", key,
+                   value_map.size());
+      const int32_t v = value_map[static_cast<size_t>(key)];
+      SS_CHECK_MSG(v >= 0 && static_cast<uint32_t>(v) < num_values,
+                   "mapped value %d out of index domain [0,%u)", v,
+                   num_values);
+      rid_lists_[static_cast<size_t>(v)].push_back(
+          static_cast<uint32_t>(row));
+    }
+  });
+  disk.WritePages(TotalPages());
+}
+
+BitmapJoinIndex::BitmapJoinIndex(size_t key_col, uint64_t num_rows,
+                                 std::vector<std::vector<uint32_t>> rid_lists,
+                                 DiskModel& disk)
+    : key_col_(key_col),
+      num_values_(static_cast<uint32_t>(rid_lists.size())),
+      num_rows_(num_rows),
+      rid_lists_(std::move(rid_lists)) {
+  disk.WritePages(TotalPages());
+}
+
+Bitmap BitmapJoinIndex::Lookup(std::span<const int32_t> values,
+                               DiskModel& disk) const {
+  Bitmap out(num_rows_);
+  uint64_t pages = 0;
+  for (int32_t v : values) {
+    if (v < 0 || static_cast<uint32_t>(v) >= num_values_) continue;
+    const auto& list = rid_lists_[static_cast<size_t>(v)];
+    pages += PagesForBytes(SegmentBytes(list.size()));
+    for (uint32_t row : list) out.Set(row);
+  }
+  disk.ReadIndexPages(pages);
+  return out;
+}
+
+uint64_t BitmapJoinIndex::PagesForValue(int32_t value) const {
+  if (value < 0 || static_cast<uint32_t>(value) >= num_values_) return 0;
+  return PagesForBytes(
+      SegmentBytes(rid_lists_[static_cast<size_t>(value)].size()));
+}
+
+uint64_t BitmapJoinIndex::TotalPages() const {
+  uint64_t total_bytes = 0;
+  for (const auto& list : rid_lists_) total_bytes += SegmentBytes(list.size());
+  return PagesForBytes(total_bytes);
+}
+
+std::vector<int32_t> BitmapJoinIndex::IdentityMap(uint32_t num_values) {
+  std::vector<int32_t> map(num_values);
+  for (uint32_t i = 0; i < num_values; ++i) map[i] = static_cast<int32_t>(i);
+  return map;
+}
+
+}  // namespace starshare

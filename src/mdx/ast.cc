@@ -1,0 +1,38 @@
+#include "mdx/ast.h"
+
+#include "common/str_util.h"
+
+namespace starshare {
+namespace mdx {
+
+std::string MemberExpr::ToString() const { return StrJoin(segments, "."); }
+
+std::string SetExpr::ToString() const {
+  std::vector<std::string> parts;
+  if (kind == Kind::kMembers) {
+    parts.reserve(members.size());
+    for (const auto& m : members) parts.push_back(m.ToString());
+    return "{" + StrJoin(parts, ", ") + "}";
+  }
+  parts.reserve(nested.size());
+  for (const auto& s : nested) parts.push_back(s.ToString());
+  return "NEST(" + StrJoin(parts, ", ") + ")";
+}
+
+std::string MdxExpression::ToString() const {
+  std::string out;
+  for (const auto& axis : axes) {
+    out += axis.set.ToString() + " ON " + axis.axis_name + "\n";
+  }
+  out += "CONTEXT " + cube;
+  if (!filters.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(filters.size());
+    for (const auto& f : filters) parts.push_back(f.ToString());
+    out += " FILTER(" + StrJoin(parts, ", ") + ")";
+  }
+  return out;
+}
+
+}  // namespace mdx
+}  // namespace starshare

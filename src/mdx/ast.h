@@ -1,0 +1,56 @@
+// Abstract syntax of the MDX subset (paper §2, §7.3):
+//
+//   expression := axis+ CONTEXT cube [FILTER '(' member (',' member)* ')'] [';']
+//   axis       := set ON axisname          (axisname: COLUMNS | ROWS |
+//                                           PAGES | CHAPTERS | SECTIONS)
+//   set        := '{' member_list '}'
+//              |  '(' member_list ')'
+//              |  NEST '(' set (',' set)* ')'
+//   member     := segment ('.' segment)*   (segment: identifier, [quoted],
+//                                           CHILDREN, or ALL)
+
+#ifndef STARSHARE_MDX_AST_H_
+#define STARSHARE_MDX_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace starshare {
+namespace mdx {
+
+// A dotted member reference, e.g. {"A''", "A1", "CHILDREN", "AA2"}.
+// CHILDREN / ALL appear as the literal uppercase segment.
+struct MemberExpr {
+  std::vector<std::string> segments;
+
+  std::string ToString() const;
+};
+
+// A set of members, or a NEST (cross join) of sets.
+struct SetExpr {
+  enum class Kind { kMembers, kNest };
+
+  Kind kind = Kind::kMembers;
+  std::vector<MemberExpr> members;  // kMembers
+  std::vector<SetExpr> nested;      // kNest
+
+  std::string ToString() const;
+};
+
+struct AxisExpr {
+  SetExpr set;
+  std::string axis_name;  // COLUMNS / ROWS / PAGES / ...
+};
+
+struct MdxExpression {
+  std::vector<AxisExpr> axes;
+  std::string cube;                 // CONTEXT <cube>
+  std::vector<MemberExpr> filters;  // FILTER(...) slicer members
+
+  std::string ToString() const;
+};
+
+}  // namespace mdx
+}  // namespace starshare
+
+#endif  // STARSHARE_MDX_AST_H_

@@ -1,0 +1,296 @@
+#include "mdx/binder.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/str_util.h"
+#include "mdx/parser.h"
+
+namespace starshare {
+namespace mdx {
+namespace {
+
+std::vector<int32_t> AllMembers(const Hierarchy& h, int level) {
+  std::vector<int32_t> out(h.cardinality(level));
+  for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<int32_t>(i);
+  return out;
+}
+
+// A variant is one alternative reading of an axis: the dimensions it groups
+// by and their member restrictions. Variants multiply across axes and NEST
+// components; they are alternatives (distinct queries) within one set.
+using Variant = std::vector<ResolvedMembers>;
+
+// Partitions the resolved elements of a plain member set by (dim, level),
+// unioning member ids — the level-signature partitioning of §2.
+Result<std::vector<Variant>> EvaluateMemberSet(const SetExpr& set,
+                                               const StarSchema& schema) {
+  std::map<std::pair<size_t, int>, ResolvedMembers> groups;
+  std::vector<std::pair<size_t, int>> order;  // deterministic output order
+  for (const MemberExpr& member : set.members) {
+    Result<ResolvedMembers> resolved = ResolveMember(member, schema);
+    if (!resolved.ok()) return resolved.status();
+    ResolvedMembers r = std::move(resolved.value());
+    const auto key = std::make_pair(r.dim, r.level);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      groups.emplace(key, std::move(r));
+      order.push_back(key);
+    } else {
+      ResolvedMembers& g = it->second;
+      g.is_all = g.is_all && r.is_all;
+      g.members.insert(g.members.end(), r.members.begin(), r.members.end());
+      std::sort(g.members.begin(), g.members.end());
+      g.members.erase(std::unique(g.members.begin(), g.members.end()),
+                      g.members.end());
+    }
+  }
+  std::vector<Variant> variants;
+  variants.reserve(order.size());
+  for (const auto& key : order) {
+    variants.push_back(Variant{groups.at(key)});
+  }
+  return variants;
+}
+
+Result<std::vector<Variant>> EvaluateSet(const SetExpr& set,
+                                         const StarSchema& schema) {
+  if (set.kind == SetExpr::Kind::kMembers) {
+    return EvaluateMemberSet(set, schema);
+  }
+  // NEST: cross product of the component sets' variants, concatenating
+  // their dimension contributions.
+  std::vector<Variant> result{Variant{}};
+  for (const SetExpr& inner : set.nested) {
+    Result<std::vector<Variant>> inner_variants = EvaluateSet(inner, schema);
+    if (!inner_variants.ok()) return inner_variants.status();
+    std::vector<Variant> next;
+    for (const Variant& left : result) {
+      for (const Variant& right : inner_variants.value()) {
+        Variant combined = left;
+        combined.insert(combined.end(), right.begin(), right.end());
+        next.push_back(std::move(combined));
+      }
+    }
+    result = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace
+
+bool ResolvedMembers::CoversLevel(const StarSchema& schema) const {
+  return is_all ||
+         members.size() == schema.dim(dim).cardinality(level);
+}
+
+Result<ResolvedMembers> ResolveMember(const MemberExpr& expr,
+                                      const StarSchema& schema) {
+  SS_CHECK(!expr.segments.empty());
+  const std::string& head = expr.segments[0];
+  ResolvedMembers out;
+  size_t next_segment = 1;
+  bool resolved_head = false;
+
+  // Dimension-qualified: "D.DD1", "Products.ALL", bare "D".
+  if (auto dim = schema.DimIndex(head); dim.ok()) {
+    out.dim = dim.value();
+    const Hierarchy& h = schema.dim(out.dim);
+    if (expr.segments.size() == 1) {
+      // Bare dimension: every base-level member.
+      out.level = 0;
+      out.members = AllMembers(h, 0);
+      resolved_head = true;
+    } else if (expr.segments[1] == "ALL") {
+      out.is_all = true;
+      out.level = h.all_level();
+      next_segment = 2;
+      resolved_head = true;
+    } else if (expr.segments[1] == "MEMBERS") {
+      out.level = 0;
+      out.members = AllMembers(h, 0);
+      next_segment = 2;
+      resolved_head = true;
+    } else if (auto member = h.FindMember(expr.segments[1]); member.ok()) {
+      out.level = member.value().first;
+      out.members = {member.value().second};
+      next_segment = 2;
+      resolved_head = true;
+    }
+    // Fall through when segment 1 is a level name ("Store.State.MEMBERS"
+    // is not in the paper's subset, so dimension.level is not supported) or
+    // resolvable another way below.
+  }
+
+  // Level-qualified: "A''.A1", bare level "A'" (every member), or
+  // "Quarter.Qtr2" with custom level names.
+  if (!resolved_head) {
+    for (size_t d = 0; d < schema.num_dims() && !resolved_head; ++d) {
+      const Hierarchy& h = schema.dim(d);
+      auto level = h.FindLevel(head);
+      if (!level.ok() || level.value() >= h.all_level()) continue;
+      out.dim = d;
+      out.level = level.value();
+      if (expr.segments.size() == 1 || expr.segments[1] == "MEMBERS") {
+        out.members = AllMembers(h, out.level);
+        next_segment = expr.segments.size() == 1 ? 1 : 2;
+        resolved_head = true;
+      } else if (auto m = h.FindMemberAtLevel(out.level, expr.segments[1]);
+                 m.ok()) {
+        out.members = {m.value()};
+        next_segment = 2;
+        resolved_head = true;
+      }
+    }
+  }
+
+  // Bare member name: search every dimension and level.
+  if (!resolved_head) {
+    auto ref = schema.FindMember(head);
+    if (!ref.ok()) {
+      return Status::NotFound(StrFormat(
+          "cannot resolve '%s' (in '%s') as a dimension, level or member",
+          head.c_str(), expr.ToString().c_str()));
+    }
+    out.dim = ref.value().dim;
+    out.level = ref.value().level;
+    if (out.level == schema.dim(out.dim).all_level()) {
+      out.is_all = true;
+    } else {
+      out.members = {ref.value().member};
+    }
+    resolved_head = true;
+  }
+
+  // Trailing modifiers: CHILDREN drills down; a member name narrows.
+  const Hierarchy& h = schema.dim(out.dim);
+  for (size_t i = next_segment; i < expr.segments.size(); ++i) {
+    const std::string& seg = expr.segments[i];
+    if (seg == "CHILDREN") {
+      if (out.level < 1) {
+        return Status::InvalidArgument(
+            "CHILDREN below the base level in " + expr.ToString());
+      }
+      std::vector<int32_t> kids;
+      if (out.is_all) {
+        out.is_all = false;
+        kids = AllMembers(h, h.num_levels() - 1);
+        out.level = h.num_levels() - 1;
+      } else {
+        for (int32_t m : out.members) {
+          const auto c = h.Children(out.level, m);
+          kids.insert(kids.end(), c.begin(), c.end());
+        }
+        out.level -= 1;
+      }
+      std::sort(kids.begin(), kids.end());
+      out.members = std::move(kids);
+      continue;
+    }
+    // A named member narrowing the current set.
+    auto m = h.FindMemberAtLevel(out.level, seg);
+    if (!m.ok()) return m.status();
+    if (!std::binary_search(out.members.begin(), out.members.end(),
+                            m.value())) {
+      return Status::InvalidArgument(StrFormat(
+          "'%s' does not belong to the preceding set in '%s'", seg.c_str(),
+          expr.ToString().c_str()));
+    }
+    out.members = {m.value()};
+  }
+  return out;
+}
+
+Result<std::vector<DimensionalQuery>> ExpandMdx(const MdxExpression& expr,
+                                                const StarSchema& schema,
+                                                int first_id) {
+  // Per-axis variant lists.
+  std::vector<std::vector<Variant>> axis_variants;
+  for (const AxisExpr& axis : expr.axes) {
+    Result<std::vector<Variant>> variants = EvaluateSet(axis.set, schema);
+    if (!variants.ok()) return variants.status();
+    if (variants.value().empty()) {
+      return Status::InvalidArgument("axis " + axis.axis_name +
+                                     " denotes no members");
+    }
+    axis_variants.push_back(std::move(variants.value()));
+  }
+
+  // Slicer members (FILTER): a bare measure name selects which measure the
+  // queries aggregate (FILTER(Sales, ...)); everything else resolves as a
+  // member restriction.
+  size_t measure = 0;
+  std::vector<ResolvedMembers> slicers;
+  for (const MemberExpr& f : expr.filters) {
+    if (f.segments.size() == 1) {
+      Result<size_t> m = schema.MeasureIndex(f.segments[0]);
+      if (m.ok()) {
+        measure = m.value();
+        continue;
+      }
+    }
+    Result<ResolvedMembers> resolved = ResolveMember(f, schema);
+    if (!resolved.ok()) return resolved.status();
+    slicers.push_back(std::move(resolved.value()));
+  }
+
+  // Cross product of variants across axes.
+  std::vector<Variant> combos{Variant{}};
+  for (const auto& variants : axis_variants) {
+    std::vector<Variant> next;
+    for (const Variant& left : combos) {
+      for (const Variant& right : variants) {
+        Variant combined = left;
+        combined.insert(combined.end(), right.begin(), right.end());
+        next.push_back(std::move(combined));
+      }
+    }
+    combos = std::move(next);
+  }
+
+  std::vector<DimensionalQuery> queries;
+  queries.reserve(combos.size());
+  int id = first_id;
+  for (const Variant& combo : combos) {
+    std::vector<int> levels(schema.num_dims(), 0);
+    for (size_t d = 0; d < schema.num_dims(); ++d) {
+      levels[d] = schema.dim(d).all_level();
+    }
+    QueryPredicate predicate;
+    for (const ResolvedMembers& r : combo) {
+      if (r.is_all) continue;
+      if (levels[r.dim] != schema.dim(r.dim).all_level()) {
+        return Status::InvalidArgument(
+            "dimension " + schema.dim(r.dim).dim_name() +
+            " appears on more than one axis");
+      }
+      levels[r.dim] = r.level;
+      if (!r.CoversLevel(schema)) {
+        predicate.AddConjunct(
+            schema.dim(r.dim),
+            DimPredicate{r.dim, r.level, r.members});
+      }
+    }
+    for (const ResolvedMembers& s : slicers) {
+      if (s.is_all || s.CoversLevel(schema)) continue;
+      predicate.AddConjunct(schema.dim(s.dim),
+                            DimPredicate{s.dim, s.level, s.members});
+    }
+    GroupBySpec target{std::move(levels)};
+    std::string label = target.ToString(schema);
+    queries.emplace_back(id, std::move(label), std::move(target),
+                         std::move(predicate), AggOp::kSum, measure);
+    ++id;
+  }
+  return queries;
+}
+
+Result<std::vector<DimensionalQuery>> ParseAndExpandMdx(
+    const std::string& text, const StarSchema& schema, int first_id) {
+  Result<MdxExpression> expr = ParseMdx(text);
+  if (!expr.ok()) return expr.status();
+  return ExpandMdx(expr.value(), schema, first_id);
+}
+
+}  // namespace mdx
+}  // namespace starshare

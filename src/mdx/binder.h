@@ -1,0 +1,66 @@
+// Name resolution and query expansion (paper §2).
+//
+// Binding resolves each member expression against the star schema into
+// (dimension, level, member set). Expansion then reproduces the paper's
+// observation that one MDX expression denotes *several* group-by queries:
+// the elements of an axis set are partitioned by (dimension, level) — e.g.
+// {Qtr1.CHILDREN, Qtr2, Qtr3, Qtr4.CHILDREN} splits into a Month-level and
+// a Quarter-level variant — and the cross product of variants across axes
+// (and across NEST components) yields one DimensionalQuery per combination,
+// each with the per-dimension selection predicates of its variants.
+// FILTER members are slicers: they restrict every query but contribute no
+// group-by column.
+
+#ifndef STARSHARE_MDX_BINDER_H_
+#define STARSHARE_MDX_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mdx/ast.h"
+#include "query/query.h"
+#include "schema/star_schema.h"
+
+namespace starshare {
+namespace mdx {
+
+// One dimension's resolved contribution: group at `level`, restrict to
+// `members` (empty predicate when the set covers the whole level or the
+// expression was Dim.ALL).
+struct ResolvedMembers {
+  size_t dim = 0;
+  int level = 0;
+  std::vector<int32_t> members;
+  bool is_all = false;  // Dim.ALL — no restriction and no grouping
+
+  // True when `members` covers every member of `level` (no selectivity).
+  bool CoversLevel(const StarSchema& schema) const;
+};
+
+// Resolves a dotted member expression. Accepted shapes:
+//   Member                      bare member name, any dimension/level
+//   Dim.Member                  member name within a dimension
+//   Dim.ALL                     the ALL member (slicer no-op)
+//   Level.Member                member at an explicit level ("A''.A1")
+//   Level | Dim                 every member of the level (bare "A'" or "A")
+//   <any of the above>.CHILDREN drill down one level (repeatable)
+//   <...>.CHILDREN.Member       narrow to one named child
+Result<ResolvedMembers> ResolveMember(const MemberExpr& expr,
+                                      const StarSchema& schema);
+
+// Expands a parsed MDX expression into its component dimensional queries.
+// Queries get ids first_id, first_id+1, ... and labels describing their
+// group-by.
+Result<std::vector<DimensionalQuery>> ExpandMdx(const MdxExpression& expr,
+                                                const StarSchema& schema,
+                                                int first_id = 1);
+
+// Convenience: parse + expand.
+Result<std::vector<DimensionalQuery>> ParseAndExpandMdx(
+    const std::string& text, const StarSchema& schema, int first_id = 1);
+
+}  // namespace mdx
+}  // namespace starshare
+
+#endif  // STARSHARE_MDX_BINDER_H_

@@ -1,0 +1,138 @@
+#include "mdx/lexer.h"
+
+#include "common/str_util.h"
+
+namespace starshare {
+namespace mdx {
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || (c >= '0' && c <= '9');
+}
+
+TokenType KeywordOrIdent(const std::string& text) {
+  const std::string upper = AsciiUpper(text);
+  if (upper == "NEST" || upper == "CROSSJOIN") return TokenType::kNest;
+  if (upper == "ON") return TokenType::kOn;
+  if (upper == "CONTEXT") return TokenType::kContext;
+  if (upper == "FILTER" || upper == "WHERE") return TokenType::kFilter;
+  if (upper == "CHILDREN") return TokenType::kChildren;
+  if (upper == "ALL") return TokenType::kAll;
+  return TokenType::kIdent;
+}
+
+}  // namespace
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kLBrace:
+      return "'{'";
+    case TokenType::kRBrace:
+      return "'}'";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kNest:
+      return "NEST";
+    case TokenType::kOn:
+      return "ON";
+    case TokenType::kContext:
+      return "CONTEXT";
+    case TokenType::kFilter:
+      return "FILTER";
+    case TokenType::kChildren:
+      return "CHILDREN";
+    case TokenType::kAll:
+      return "ALL";
+    case TokenType::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    switch (c) {
+      case '{':
+        tokens.push_back({TokenType::kLBrace, "{", start});
+        ++i;
+        continue;
+      case '}':
+        tokens.push_back({TokenType::kRBrace, "}", start});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back({TokenType::kLParen, "(", start});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenType::kRParen, ")", start});
+        ++i;
+        continue;
+      case ',':
+        tokens.push_back({TokenType::kComma, ",", start});
+        ++i;
+        continue;
+      case '.':
+        tokens.push_back({TokenType::kDot, ".", start});
+        ++i;
+        continue;
+      case ';':
+        tokens.push_back({TokenType::kSemicolon, ";", start});
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    if (c == '[') {
+      // Bracketed identifier: anything up to the closing bracket.
+      const size_t close = text.find(']', i + 1);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated '[' at position %zu", start));
+      }
+      tokens.push_back(
+          {TokenType::kIdent, text.substr(i + 1, close - i - 1), start});
+      i = close + 1;
+      continue;
+    }
+    if (IsIdentStart(c) || (c >= '0' && c <= '9')) {
+      size_t end = i + 1;
+      while (end < text.size() && IsIdentChar(text[end])) ++end;
+      // Trailing primes belong to level references like A''.
+      while (end < text.size() && text[end] == '\'') ++end;
+      const std::string word = text.substr(i, end - i);
+      tokens.push_back({KeywordOrIdent(word), word, start});
+      i = end;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unexpected character '%c' at position %zu", c, start));
+  }
+  tokens.push_back({TokenType::kEof, "", text.size()});
+  return tokens;
+}
+
+}  // namespace mdx
+}  // namespace starshare

@@ -1,0 +1,54 @@
+// Tokenizer for the MDX subset of the paper (§2, §7.3).
+//
+// Identifiers may carry trailing primes so level references like "A''"
+// tokenize as one identifier; bracketed identifiers ([1991]) are unwrapped;
+// keywords are recognized case-insensitively. CROSSJOIN is a synonym for
+// NEST and WHERE for FILTER (standard MDX spellings of the paper's
+// keywords).
+
+#ifndef STARSHARE_MDX_LEXER_H_
+#define STARSHARE_MDX_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace starshare {
+namespace mdx {
+
+enum class TokenType {
+  kIdent,
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  // Keywords:
+  kNest,
+  kOn,
+  kContext,
+  kFilter,
+  kChildren,
+  kAll,
+  kEof,
+};
+
+const char* TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;  // original identifier spelling (brackets stripped)
+  size_t pos = 0;    // byte offset in the input, for error messages
+};
+
+// Tokenizes `text`; returns an error on any character that cannot start a
+// token. The result always ends with a kEof token.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace mdx
+}  // namespace starshare
+
+#endif  // STARSHARE_MDX_LEXER_H_

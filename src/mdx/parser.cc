@@ -1,0 +1,153 @@
+#include "mdx/parser.h"
+
+#include "common/str_util.h"
+#include "mdx/lexer.h"
+
+namespace starshare {
+namespace mdx {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<MdxExpression> Parse() {
+    MdxExpression expr;
+    // Axes until CONTEXT.
+    while (Peek().type != TokenType::kContext) {
+      if (Peek().type == TokenType::kEof) {
+        return Error("expected CONTEXT before end of input");
+      }
+      AxisExpr axis;
+      Result<SetExpr> set = ParseSet();
+      if (!set.ok()) return set.status();
+      axis.set = std::move(set.value());
+      SS_RETURN_IF_ERROR(Expect(TokenType::kOn));
+      if (Peek().type != TokenType::kIdent) {
+        return Error("expected an axis name after ON");
+      }
+      axis.axis_name = AsciiUpper(Next().text);
+      expr.axes.push_back(std::move(axis));
+    }
+    if (expr.axes.empty()) return Error("MDX expression has no axes");
+    Next();  // CONTEXT
+    if (Peek().type != TokenType::kIdent) {
+      return Error("expected a cube name after CONTEXT");
+    }
+    expr.cube = Next().text;
+    if (Peek().type == TokenType::kFilter) {
+      Next();
+      // FILTER (m1, m2, ...) — parentheses optional (MDX's WHERE form).
+      const bool parenthesized = Peek().type == TokenType::kLParen;
+      if (parenthesized) Next();
+      for (;;) {
+        Result<MemberExpr> member = ParseMember();
+        if (!member.ok()) return member.status();
+        expr.filters.push_back(std::move(member.value()));
+        if (Peek().type != TokenType::kComma) break;
+        Next();
+      }
+      if (parenthesized) SS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    }
+    if (Peek().type == TokenType::kSemicolon) Next();
+    if (Peek().type != TokenType::kEof) {
+      return Error("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(StrFormat(
+        "MDX parse error at position %zu (near %s): %s", Peek().pos,
+        TokenTypeName(Peek().type), message.c_str()));
+  }
+
+  Status Expect(TokenType type) {
+    if (Peek().type != type) {
+      return Error(StrFormat("expected %s", TokenTypeName(type)));
+    }
+    Next();
+    return Status::Ok();
+  }
+
+  Result<SetExpr> ParseSet() {
+    if (Peek().type == TokenType::kNest) {
+      Next();
+      SS_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      SetExpr set;
+      set.kind = SetExpr::Kind::kNest;
+      for (;;) {
+        Result<SetExpr> inner = ParseSet();
+        if (!inner.ok()) return inner.status();
+        set.nested.push_back(std::move(inner.value()));
+        if (Peek().type != TokenType::kComma) break;
+        Next();
+      }
+      SS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      return set;
+    }
+    if (Peek().type == TokenType::kLBrace ||
+        Peek().type == TokenType::kLParen) {
+      const TokenType open = Next().type;
+      const TokenType close = open == TokenType::kLBrace
+                                  ? TokenType::kRBrace
+                                  : TokenType::kRParen;
+      SetExpr set;
+      for (;;) {
+        Result<MemberExpr> member = ParseMember();
+        if (!member.ok()) return member.status();
+        set.members.push_back(std::move(member.value()));
+        if (Peek().type != TokenType::kComma) break;
+        Next();
+      }
+      SS_RETURN_IF_ERROR(Expect(close));
+      return set;
+    }
+    // A bare member is a singleton set.
+    Result<MemberExpr> member = ParseMember();
+    if (!member.ok()) return member.status();
+    SetExpr set;
+    set.members.push_back(std::move(member.value()));
+    return set;
+  }
+
+  Result<MemberExpr> ParseMember() {
+    MemberExpr member;
+    for (;;) {
+      const TokenType t = Peek().type;
+      if (t == TokenType::kIdent) {
+        member.segments.push_back(Next().text);
+      } else if (t == TokenType::kChildren) {
+        Next();
+        member.segments.push_back("CHILDREN");
+      } else if (t == TokenType::kAll) {
+        Next();
+        member.segments.push_back("ALL");
+      } else {
+        return Error("expected a member segment");
+      }
+      if (Peek().type != TokenType::kDot) break;
+      Next();
+    }
+    return member;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<MdxExpression> ParseMdx(const std::string& text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()));
+  return parser.Parse();
+}
+
+}  // namespace mdx
+}  // namespace starshare

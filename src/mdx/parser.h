@@ -1,0 +1,21 @@
+// Recursive-descent parser for the MDX subset (grammar in mdx/ast.h).
+
+#ifndef STARSHARE_MDX_PARSER_H_
+#define STARSHARE_MDX_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "mdx/ast.h"
+
+namespace starshare {
+namespace mdx {
+
+// Parses one MDX expression. Errors carry the byte position of the
+// offending token.
+Result<MdxExpression> ParseMdx(const std::string& text);
+
+}  // namespace mdx
+}  // namespace starshare
+
+#endif  // STARSHARE_MDX_PARSER_H_

@@ -1,0 +1,60 @@
+#include "opt/etplg.h"
+
+#include <limits>
+#include <set>
+
+#include "opt/local_optimizer.h"
+
+namespace starshare {
+
+GlobalPlan EtplgOptimizer::Plan(
+    const std::vector<const DimensionalQuery*>& queries) const {
+  const auto sorted = SortByGroupbyLevel(queries);
+
+  GlobalPlan plan;
+  std::set<const MaterializedView*> used;  // the paper's SharedSet
+
+  for (const DimensionalQuery* q : sorted) {
+    // D: the best unused materialized group-by for q alone.
+    std::vector<MaterializedView*> unused_candidates;
+    for (MaterializedView* v : AnswerableViews(*q)) {
+      if (!used.contains(v)) unused_candidates.push_back(v);
+    }
+    double unused_cost = std::numeric_limits<double>::infinity();
+    LocalChoice unused_choice;
+    if (!unused_candidates.empty()) {
+      unused_choice = BestLocalPlan(*q, unused_candidates, cost_);
+      unused_cost = unused_choice.est_ms;
+    }
+
+    // S: the existing class with the smallest marginal cost of admitting q.
+    size_t best_class = SIZE_MAX;
+    double best_marginal = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < plan.classes.size(); ++i) {
+      const ClassPlan& cls = plan.classes[i];
+      if (!ViewAnswers(*cls.base, *q)) continue;
+      const double marginal = cost_.CostOfAddMs(cls, *q);
+      if (marginal < best_marginal) {
+        best_marginal = marginal;
+        best_class = i;
+      }
+    }
+
+    if (best_class != SIZE_MAX && best_marginal <= unused_cost) {
+      // Join the class; re-derive the class plan with the new member.
+      ClassPlan& cls = plan.classes[best_class];
+      std::vector<const DimensionalQuery*> members;
+      for (const auto& m : cls.members) members.push_back(m.query);
+      members.push_back(q);
+      cls = cost_.MakeClassPlan(cls.base, std::move(members));
+    } else {
+      SS_CHECK_MSG(!unused_candidates.empty(),
+                   "no base table available for query Q%d", q->id());
+      plan.classes.push_back(cost_.MakeClassPlan(unused_choice.view, {q}));
+      used.insert(unused_choice.view);
+    }
+  }
+  return plan;
+}
+
+}  // namespace starshare

@@ -1,0 +1,29 @@
+// Extended Two-Phase Local Greedy (paper §5).
+//
+// Processes queries in GroupbyLevel order, growing classes of queries that
+// share a base table. For each query it compares (a) the best standalone
+// plan on a not-yet-used materialized group-by D against (b) the marginal
+// cost of joining the cheapest existing class — the §5.1 shared cost, where
+// a query added to a class pays only its non-shared CPU/I/O plus whatever
+// it adds to the class's shared I/O. A class's base table, once chosen, is
+// never revisited (the limitation GG removes).
+
+#ifndef STARSHARE_OPT_ETPLG_H_
+#define STARSHARE_OPT_ETPLG_H_
+
+#include "opt/optimizer.h"
+
+namespace starshare {
+
+class EtplgOptimizer : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+
+  GlobalPlan Plan(
+      const std::vector<const DimensionalQuery*>& queries) const override;
+  OptimizerKind kind() const override { return OptimizerKind::kEtplg; }
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_OPT_ETPLG_H_

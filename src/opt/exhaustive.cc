@@ -1,0 +1,91 @@
+#include "opt/exhaustive.h"
+
+#include <algorithm>
+#include <map>
+
+#include "opt/gg.h"
+
+namespace starshare {
+namespace {
+
+struct SearchState {
+  const CostModel* cost;
+  // Per query: candidate views sorted by standalone cost.
+  std::vector<const DimensionalQuery*> queries;
+  std::vector<std::vector<MaterializedView*>> candidates;
+
+  // Current partial assignment: view -> member queries.
+  std::map<MaterializedView*, std::vector<const DimensionalQuery*>> classes;
+  std::map<MaterializedView*, double> class_costs;
+  double total = 0;
+
+  double best_total;
+  std::map<MaterializedView*, std::vector<const DimensionalQuery*>> best;
+  uint64_t nodes = 0;
+
+  void Recurse(size_t i) {
+    if (++nodes > ExhaustiveOptimizer::kMaxNodes) return;
+    if (total >= best_total) return;  // class costs are monotone: prune
+    if (i == queries.size()) {
+      best_total = total;
+      best = classes;
+      return;
+    }
+    const DimensionalQuery* q = queries[i];
+    for (MaterializedView* v : candidates[i]) {
+      auto& members = classes[v];
+      members.push_back(q);
+      const auto old_cost_it = class_costs.find(v);
+      const double old_cost =
+          old_cost_it == class_costs.end() ? 0 : old_cost_it->second;
+      const double new_cost = cost->ClassCostMs(v, members);
+      class_costs[v] = new_cost;
+      total += new_cost - old_cost;
+
+      Recurse(i + 1);
+
+      total -= new_cost - old_cost;
+      members.pop_back();
+      if (members.empty()) {
+        classes.erase(v);
+        class_costs.erase(v);
+      } else {
+        class_costs[v] = old_cost;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+GlobalPlan ExhaustiveOptimizer::Plan(
+    const std::vector<const DimensionalQuery*>& queries) const {
+  // Seed the bound (and the fallback plan) with GG.
+  GlobalGreedyOptimizer gg(schema_, views_, cost_);
+  GlobalPlan seed = gg.Plan(queries);
+
+  SearchState state;
+  state.cost = &cost_;
+  state.queries = queries;
+  state.best_total = seed.EstMs();
+  for (const auto* q : queries) {
+    std::vector<MaterializedView*> cands = AnswerableViews(*q);
+    std::sort(cands.begin(), cands.end(),
+              [&](MaterializedView* a, MaterializedView* b) {
+                return cost_.BestSingleCost(*q, *a).second <
+                       cost_.BestSingleCost(*q, *b).second;
+              });
+    state.candidates.push_back(std::move(cands));
+  }
+  state.Recurse(0);
+
+  if (state.best.empty()) return seed;  // GG already optimal (or node cap)
+
+  GlobalPlan plan;
+  for (auto& [view, members] : state.best) {
+    plan.classes.push_back(cost_.MakeClassPlan(view, members));
+  }
+  return plan;
+}
+
+}  // namespace starshare

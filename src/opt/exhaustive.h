@@ -1,0 +1,31 @@
+// The optimal global plan, found the way the paper found its Table 2
+// yardstick: "by exploring all possible query plans". Enumerates every
+// assignment of queries to answering views (branch-and-bound, seeded with
+// the GG plan; class costs are monotone in membership so partial-cost
+// pruning is safe) and, per class, the §3 operator/method combination the
+// cost model deems cheapest. Exponential — intended for the handful of
+// queries an MDX expression produces, and guarded by a node budget.
+
+#ifndef STARSHARE_OPT_EXHAUSTIVE_H_
+#define STARSHARE_OPT_EXHAUSTIVE_H_
+
+#include "opt/optimizer.h"
+
+namespace starshare {
+
+class ExhaustiveOptimizer : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+
+  GlobalPlan Plan(
+      const std::vector<const DimensionalQuery*>& queries) const override;
+  OptimizerKind kind() const override { return OptimizerKind::kExhaustive; }
+
+  // Search-space guard: if the branch-and-bound expands more nodes than
+  // this, the best plan found so far (at worst the GG seed) is returned.
+  static constexpr uint64_t kMaxNodes = 2'000'000;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_OPT_EXHAUSTIVE_H_

@@ -1,0 +1,101 @@
+#include "opt/gg.h"
+
+#include <limits>
+#include <set>
+
+#include "opt/local_optimizer.h"
+
+namespace starshare {
+
+GlobalPlan GlobalGreedyOptimizer::Plan(
+    const std::vector<const DimensionalQuery*>& queries) const {
+  const auto sorted = SortByGroupbyLevel(queries);
+
+  GlobalPlan plan;
+  std::set<const MaterializedView*> used;  // the paper's SharedSet
+
+  for (const DimensionalQuery* q : sorted) {
+    // N: the best unused materialized group-by for q alone.
+    std::vector<MaterializedView*> unused_candidates;
+    for (MaterializedView* v : AnswerableViews(*q)) {
+      if (!used.contains(v)) unused_candidates.push_back(v);
+    }
+    double unused_cost = std::numeric_limits<double>::infinity();
+    LocalChoice unused_choice;
+    if (!unused_candidates.empty()) {
+      unused_choice = BestLocalPlan(*q, unused_candidates, cost_);
+      unused_cost = unused_choice.est_ms;
+    }
+
+    // For each class, pick S'_i: the base (possibly different from the
+    // current one) minimizing the cost of computing members + q together.
+    size_t best_class = SIZE_MAX;
+    double best_cost_of_add = std::numeric_limits<double>::infinity();
+    MaterializedView* best_new_base = nullptr;
+    for (size_t i = 0; i < plan.classes.size(); ++i) {
+      const ClassPlan& cls = plan.classes[i];
+      std::vector<const DimensionalQuery*> members;
+      for (const auto& m : cls.members) members.push_back(m.query);
+      members.push_back(q);
+
+      MaterializedView* s_prime = nullptr;
+      double rebased_cost = std::numeric_limits<double>::infinity();
+      for (MaterializedView* v : SharedBaseCandidates(members)) {
+        const double c = cost_.ClassCostMs(v, members);
+        if (c < rebased_cost) {
+          rebased_cost = c;
+          s_prime = v;
+        }
+      }
+      if (s_prime == nullptr) continue;
+
+      members.pop_back();
+      const double cost_of_add =
+          rebased_cost - cost_.ClassCostMs(cls.base, members);
+      if (cost_of_add < best_cost_of_add) {
+        best_cost_of_add = cost_of_add;
+        best_class = i;
+        best_new_base = s_prime;
+      }
+    }
+
+    if (best_class == SIZE_MAX || unused_cost < best_cost_of_add) {
+      SS_CHECK_MSG(!unused_candidates.empty(),
+                   "no base table available for query Q%d", q->id());
+      plan.classes.push_back(cost_.MakeClassPlan(unused_choice.view, {q}));
+      used.insert(unused_choice.view);
+      continue;
+    }
+
+    // Admit q to the chosen class, rebasing it onto S' if different.
+    ClassPlan& cls = plan.classes[best_class];
+    std::vector<const DimensionalQuery*> members;
+    for (const auto& m : cls.members) members.push_back(m.query);
+    members.push_back(q);
+
+    if (best_new_base != cls.base) {
+      used.erase(cls.base);
+      used.insert(best_new_base);
+    }
+    cls = cost_.MakeClassPlan(best_new_base, std::move(members));
+
+    // MergeClass: if another class already uses S', fold it in so the table
+    // is scanned once (the paper's repeated-I/O guard).
+    for (size_t j = 0; j < plan.classes.size(); ++j) {
+      if (j == best_class) continue;
+      if (plan.classes[j].base != best_new_base) continue;
+      std::vector<const DimensionalQuery*> merged;
+      for (const auto& m : plan.classes[best_class].members) {
+        merged.push_back(m.query);
+      }
+      for (const auto& m : plan.classes[j].members) merged.push_back(m.query);
+      plan.classes[best_class] =
+          cost_.MakeClassPlan(best_new_base, std::move(merged));
+      plan.classes.erase(plan.classes.begin() + static_cast<long>(j));
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace starshare

@@ -1,0 +1,34 @@
+// Global Greedy (paper §6).
+//
+// Like ETPLG, but when admitting a new query a class may *change its base
+// table*: for every class the algorithm finds S', the materialized group-by
+// minimizing the cost of computing all current members plus the new query
+// from a single table, and compares that rebased marginal cost against
+// opening a new class on the best unused view. Rebasing deliberately
+// chooses locally sub-optimal tables when the shared scan they enable is
+// globally cheaper (the paper's Example 2: move both queries onto A'B'C'
+// and share its scan). When a class rebases onto a view that is already
+// some other class's base, the two classes merge (MergeClass), so the plan
+// never scans one table twice.
+
+#ifndef STARSHARE_OPT_GG_H_
+#define STARSHARE_OPT_GG_H_
+
+#include "opt/optimizer.h"
+
+namespace starshare {
+
+class GlobalGreedyOptimizer : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+
+  GlobalPlan Plan(
+      const std::vector<const DimensionalQuery*>& queries) const override;
+  OptimizerKind kind() const override {
+    return OptimizerKind::kGlobalGreedy;
+  }
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_OPT_GG_H_

@@ -1,0 +1,22 @@
+#include "opt/local_optimizer.h"
+
+namespace starshare {
+
+LocalChoice BestLocalPlan(const DimensionalQuery& query,
+                          const std::vector<MaterializedView*>& candidates,
+                          const CostModel& cost) {
+  SS_CHECK_MSG(!candidates.empty(), "no view can answer query Q%d",
+               query.id());
+  LocalChoice best;
+  bool first = true;
+  for (MaterializedView* view : candidates) {
+    const auto [method, ms] = cost.BestSingleCost(query, *view);
+    if (first || ms < best.est_ms) {
+      best = LocalChoice{view, method, ms};
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace starshare

@@ -1,0 +1,33 @@
+// Single-query optimization: the "optimal local plan" of §4 — the best
+// (materialized group-by, star-join method) pair for one query in
+// isolation, found by enumerating every answering view and costing both
+// methods (what the paper delegates to "a standard relational query
+// optimizer").
+
+#ifndef STARSHARE_OPT_LOCAL_OPTIMIZER_H_
+#define STARSHARE_OPT_LOCAL_OPTIMIZER_H_
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cube/view_set.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace starshare {
+
+struct LocalChoice {
+  MaterializedView* view = nullptr;
+  JoinMethod method = JoinMethod::kHashScan;
+  double est_ms = 0;
+};
+
+// The cheapest standalone plan for `query` among `candidates` (must be
+// non-empty; every candidate must answer the query).
+LocalChoice BestLocalPlan(const DimensionalQuery& query,
+                          const std::vector<MaterializedView*>& candidates,
+                          const CostModel& cost);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_OPT_LOCAL_OPTIMIZER_H_

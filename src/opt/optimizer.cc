@@ -1,0 +1,107 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "opt/etplg.h"
+#include "opt/exhaustive.h"
+#include "opt/gg.h"
+#include "opt/tplo.h"
+
+namespace starshare {
+
+const char* OptimizerKindName(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kTplo:
+      return "TPLO";
+    case OptimizerKind::kEtplg:
+      return "ETPLG";
+    case OptimizerKind::kGlobalGreedy:
+      return "GG";
+    case OptimizerKind::kExhaustive:
+      return "OPTIMAL";
+  }
+  return "?";
+}
+
+Result<OptimizerKind> ParseOptimizerKind(const std::string& name) {
+  if (name == "TPLO" || name == "tplo") return OptimizerKind::kTplo;
+  if (name == "ETPLG" || name == "etplg") return OptimizerKind::kEtplg;
+  if (name == "GG" || name == "gg") return OptimizerKind::kGlobalGreedy;
+  if (name == "OPTIMAL" || name == "optimal" || name == "exhaustive") {
+    return OptimizerKind::kExhaustive;
+  }
+  return Status::InvalidArgument("unknown optimizer: " + name);
+}
+
+std::vector<MaterializedView*> Optimizer::AnswerableViews(
+    const DimensionalQuery& query) const {
+  if (query.agg() != AggOp::kSum) {
+    MaterializedView* base = views_.Find(GroupBySpec::Base(schema_));
+    SS_CHECK_MSG(base != nullptr, "base table missing from view set");
+    return {base};
+  }
+  return views_.CandidatesFor(query.RequiredSpec(schema_));
+}
+
+bool Optimizer::ViewAnswers(const MaterializedView& view,
+                            const DimensionalQuery& query) const {
+  if (query.agg() != AggOp::kSum &&
+      !(view.spec() == GroupBySpec::Base(schema_))) {
+    return false;
+  }
+  return view.spec().CanAnswer(query.RequiredSpec(schema_));
+}
+
+std::vector<MaterializedView*> Optimizer::SharedBaseCandidates(
+    const std::vector<const DimensionalQuery*>& queries) const {
+  SS_CHECK(!queries.empty());
+  bool sum_only = true;
+  std::vector<int> levels(schema_.num_dims(),
+                          std::numeric_limits<int>::max());
+  for (const auto* q : queries) {
+    if (q->agg() != AggOp::kSum) sum_only = false;
+    const GroupBySpec required = q->RequiredSpec(schema_);
+    for (size_t d = 0; d < schema_.num_dims(); ++d) {
+      levels[d] = std::min(levels[d], required.level(d));
+    }
+  }
+  if (!sum_only) {
+    MaterializedView* base = views_.Find(GroupBySpec::Base(schema_));
+    SS_CHECK(base != nullptr);
+    return {base};
+  }
+  return views_.CandidatesFor(GroupBySpec(std::move(levels)));
+}
+
+std::vector<const DimensionalQuery*> Optimizer::SortByGroupbyLevel(
+    std::vector<const DimensionalQuery*> queries) {
+  std::stable_sort(queries.begin(), queries.end(),
+                   [](const DimensionalQuery* a, const DimensionalQuery* b) {
+                     const int la = a->target().TotalLevel();
+                     const int lb = b->target().TotalLevel();
+                     if (la != lb) return la < lb;
+                     return a->id() < b->id();
+                   });
+  return queries;
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         const StarSchema& schema,
+                                         const ViewSet& views,
+                                         const CostModel& cost) {
+  switch (kind) {
+    case OptimizerKind::kTplo:
+      return std::make_unique<TploOptimizer>(schema, views, cost);
+    case OptimizerKind::kEtplg:
+      return std::make_unique<EtplgOptimizer>(schema, views, cost);
+    case OptimizerKind::kGlobalGreedy:
+      return std::make_unique<GlobalGreedyOptimizer>(schema, views, cost);
+    case OptimizerKind::kExhaustive:
+      return std::make_unique<ExhaustiveOptimizer>(schema, views, cost);
+  }
+  SS_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace starshare

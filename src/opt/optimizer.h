@@ -1,0 +1,80 @@
+// Common interface of the multiple-dimensional-query optimizers, plus the
+// factory and the shared helpers they use.
+//
+// Every optimizer answers the same question: given the component queries of
+// an MDX expression and the set of materialized group-bys (MSet, which
+// always contains the base data LL), produce a GlobalPlan — a partition of
+// the queries into classes with a shared base table and per-query join
+// methods — minimizing estimated total cost under the §5.1 cost model.
+
+#ifndef STARSHARE_OPT_OPTIMIZER_H_
+#define STARSHARE_OPT_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cube/view_set.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace starshare {
+
+enum class OptimizerKind {
+  kTplo,          // Two-Phase Local Optimal (§4)
+  kEtplg,         // Extended Two-Phase Local Greedy (§5)
+  kGlobalGreedy,  // Global Greedy (§6)
+  kExhaustive,    // optimal global plan by enumeration (§7's yardstick)
+};
+
+const char* OptimizerKindName(OptimizerKind kind);
+Result<OptimizerKind> ParseOptimizerKind(const std::string& name);
+
+class Optimizer {
+ public:
+  Optimizer(const StarSchema& schema, const ViewSet& views,
+            const CostModel& cost)
+      : schema_(schema), views_(views), cost_(cost) {}
+  virtual ~Optimizer() = default;
+
+  virtual GlobalPlan Plan(
+      const std::vector<const DimensionalQuery*>& queries) const = 0;
+  virtual OptimizerKind kind() const = 0;
+  const char* name() const { return OptimizerKindName(kind()); }
+
+ protected:
+  // Views able to answer `query`. Non-SUM aggregates can only be computed
+  // from the base data (views store SUM cells), so their candidate list is
+  // just LL.
+  std::vector<MaterializedView*> AnswerableViews(
+      const DimensionalQuery& query) const;
+
+  // Queries sorted by the paper's GroupbyLevel: finest group-bys first
+  // (ascending total level), ties by query id.
+  static std::vector<const DimensionalQuery*> SortByGroupbyLevel(
+      std::vector<const DimensionalQuery*> queries);
+
+  // True if `view` can serve as the base table for `query` (lattice
+  // containment, and non-SUM aggregates restricted to the base data).
+  bool ViewAnswers(const MaterializedView& view,
+                   const DimensionalQuery& query) const;
+
+  // Views usable as a shared base for *all* of `queries` (per-dimension min
+  // of required levels; sorted smallest first).
+  std::vector<MaterializedView*> SharedBaseCandidates(
+      const std::vector<const DimensionalQuery*>& queries) const;
+
+  const StarSchema& schema_;
+  const ViewSet& views_;
+  const CostModel& cost_;
+};
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         const StarSchema& schema,
+                                         const ViewSet& views,
+                                         const CostModel& cost);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_OPT_OPTIMIZER_H_

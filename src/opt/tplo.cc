@@ -1,0 +1,35 @@
+#include "opt/tplo.h"
+
+#include "opt/local_optimizer.h"
+
+namespace starshare {
+
+GlobalPlan TploOptimizer::Plan(
+    const std::vector<const DimensionalQuery*>& queries) const {
+  GlobalPlan plan;
+  for (const DimensionalQuery* q : queries) {
+    const LocalChoice choice = BestLocalPlan(*q, AnswerableViews(*q), cost_);
+
+    // Phase two: merge with an existing class on the same base table.
+    ClassPlan* home = nullptr;
+    for (auto& cls : plan.classes) {
+      if (cls.base == choice.view) {
+        home = &cls;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      plan.classes.push_back(ClassPlan{});
+      home = &plan.classes.back();
+      home->base = choice.view;
+    }
+    LocalPlan lp;
+    lp.query = q;
+    lp.method = choice.method;
+    home->members.push_back(lp);
+  }
+  cost_.AnnotatePlan(plan);
+  return plan;
+}
+
+}  // namespace starshare

@@ -1,0 +1,28 @@
+// Two-Phase Local Optimal (paper §4).
+//
+// Phase one: independently pick the optimal local plan (best view + join
+// method) for every component query. Phase two: merge the plans that happen
+// to share a base table into classes so the §3 shared operators apply. TPLO
+// never trades local optimality for sharing, so related queries often land
+// on different views and share nothing (the paper's Fig. 6 problem, and why
+// it loses Tests 4, 5 and 7).
+
+#ifndef STARSHARE_OPT_TPLO_H_
+#define STARSHARE_OPT_TPLO_H_
+
+#include "opt/optimizer.h"
+
+namespace starshare {
+
+class TploOptimizer : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+
+  GlobalPlan Plan(
+      const std::vector<const DimensionalQuery*>& queries) const override;
+  OptimizerKind kind() const override { return OptimizerKind::kTplo; }
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_OPT_TPLO_H_

@@ -1,0 +1,78 @@
+#include "plan/plan.h"
+
+#include "common/str_util.h"
+
+namespace starshare {
+
+const char* JoinMethodName(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kHashScan:
+      return "hash-scan";
+    case JoinMethod::kIndexProbe:
+      return "index-probe";
+  }
+  return "?";
+}
+
+bool ClassPlan::HasHashMember() const {
+  for (const auto& m : members) {
+    if (m.method == JoinMethod::kHashScan) return true;
+  }
+  return false;
+}
+
+bool ClassPlan::HasIndexMember() const {
+  for (const auto& m : members) {
+    if (m.method == JoinMethod::kIndexProbe) return true;
+  }
+  return false;
+}
+
+double ClassPlan::EstMs() const {
+  double total = est_shared_io_ms + est_shared_cpu_ms;
+  for (const auto& m : members) total += m.EstMs();
+  return total;
+}
+
+double GlobalPlan::EstMs() const {
+  double total = 0;
+  for (const auto& c : classes) total += c.EstMs();
+  return total;
+}
+
+size_t GlobalPlan::NumQueries() const {
+  size_t n = 0;
+  for (const auto& c : classes) n += c.members.size();
+  return n;
+}
+
+size_t GlobalPlan::ClassOf(int query_id) const {
+  for (size_t i = 0; i < classes.size(); ++i) {
+    for (const auto& m : classes[i].members) {
+      if (m.query->id() == query_id) return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+std::string GlobalPlan::Explain(const StarSchema& schema) const {
+  std::string out;
+  for (const auto& cls : classes) {
+    out += StrFormat(
+        "Class %s (%s rows): shared io %.3fms, shared cpu %.3fms\n",
+        cls.base->name().c_str(),
+        WithCommas(cls.base->table().num_rows()).c_str(),
+        cls.est_shared_io_ms, cls.est_shared_cpu_ms);
+    for (const auto& m : cls.members) {
+      out += StrFormat(
+          "  Q%d %s => %s [%s]  nonshared cpu %.3fms io %.3fms\n",
+          m.query->id(), m.query->target().ToString(schema).c_str(),
+          cls.base->name().c_str(), JoinMethodName(m.method),
+          m.est_nonshared_cpu_ms, m.est_nonshared_io_ms);
+    }
+  }
+  out += StrFormat("Estimated total: %.3fms\n", EstMs());
+  return out;
+}
+
+}  // namespace starshare

@@ -1,0 +1,71 @@
+// Plan representation for multiple-dimensional-query evaluation.
+//
+// A GlobalPlan partitions the component queries of an MDX expression into
+// classes (the paper's "Class"es): every query in a class is computed from
+// the same base table (a materialized group-by), so the class can be
+// evaluated with one of the shared operators of §3. Within a class each
+// query has a LocalPlan naming its star-join method.
+
+#ifndef STARSHARE_PLAN_PLAN_H_
+#define STARSHARE_PLAN_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "cube/materialized_view.h"
+#include "query/query.h"
+
+namespace starshare {
+
+enum class JoinMethod {
+  kHashScan,    // pipelined right-deep hash star join fed by a table scan
+  kIndexProbe,  // bitmap join-index star join probing matching tuples
+};
+
+const char* JoinMethodName(JoinMethod method);
+
+// One query's plan within a class: which view it reads and how.
+struct LocalPlan {
+  const DimensionalQuery* query = nullptr;
+  JoinMethod method = JoinMethod::kHashScan;
+
+  // Cost-model estimates (milliseconds), filled by the optimizer.
+  double est_nonshared_cpu_ms = 0;
+  double est_nonshared_io_ms = 0;  // e.g. index-lookup I/O
+
+  double EstMs() const { return est_nonshared_cpu_ms + est_nonshared_io_ms; }
+};
+
+// Queries sharing one base table, evaluated by a shared operator.
+struct ClassPlan {
+  MaterializedView* base = nullptr;
+  std::vector<LocalPlan> members;
+
+  // Cost-model estimates for the shared portions (milliseconds).
+  double est_shared_io_ms = 0;
+  double est_shared_cpu_ms = 0;
+
+  bool HasHashMember() const;
+  bool HasIndexMember() const;
+
+  double EstMs() const;
+};
+
+struct GlobalPlan {
+  std::vector<ClassPlan> classes;
+
+  double EstMs() const;
+  size_t NumQueries() const;
+
+  // Finds the class index containing query id `query_id`, or SIZE_MAX.
+  size_t ClassOf(int query_id) const;
+
+  // Multi-line human-readable description, e.g.
+  //   Class A'B'C'D (1,020,600 rows):
+  //     Q2 [hash-scan]  est 13.9ms  (A''B'C''D <= A'B'C'D)
+  std::string Explain(const StarSchema& schema) const;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_PLAN_PLAN_H_

@@ -1,0 +1,105 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace starshare {
+
+void DimPredicate::Normalize() {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+}
+
+bool DimPredicate::Matches(const Hierarchy& hierarchy, int key_level,
+                           int32_t key) const {
+  SS_DCHECK(key_level <= level);
+  const int32_t mapped = hierarchy.MapUp(key_level, level, key);
+  return std::binary_search(members.begin(), members.end(), mapped);
+}
+
+double DimPredicate::Selectivity(const Hierarchy& hierarchy) const {
+  const double card = hierarchy.cardinality(level);
+  return static_cast<double>(members.size()) / card;
+}
+
+std::vector<int32_t> DimPredicate::MembersAtLevel(const Hierarchy& hierarchy,
+                                                  int to_level) const {
+  SS_CHECK(to_level <= level);
+  if (to_level == level) return members;
+  std::vector<int32_t> out;
+  for (int32_t m : members) {
+    auto desc = hierarchy.DescendantsAtLevel(level, m, to_level);
+    out.insert(out.end(), desc.begin(), desc.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string DimPredicate::ToString(const StarSchema& schema) const {
+  const Hierarchy& h = schema.dim(dim);
+  std::vector<std::string> names;
+  names.reserve(members.size());
+  for (int32_t m : members) names.push_back(h.MemberName(level, m));
+  return h.LevelName(level) + " IN {" + StrJoin(names, ", ") + "}";
+}
+
+void QueryPredicate::AddConjunct(const Hierarchy& hierarchy,
+                                 DimPredicate pred) {
+  pred.Normalize();
+  for (auto& existing : conjuncts_) {
+    if (existing.dim != pred.dim) continue;
+    // Conjunction on one dimension: expand both to the finer level and
+    // intersect.
+    const int fine = std::min(existing.level, pred.level);
+    std::vector<int32_t> a = existing.MembersAtLevel(hierarchy, fine);
+    std::vector<int32_t> b = pred.MembersAtLevel(hierarchy, fine);
+    std::vector<int32_t> both;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(both));
+    existing.level = fine;
+    existing.members = std::move(both);
+    return;
+  }
+  conjuncts_.push_back(std::move(pred));
+}
+
+const DimPredicate* QueryPredicate::ForDim(size_t dim) const {
+  for (const auto& p : conjuncts_) {
+    if (p.dim == dim) return &p;
+  }
+  return nullptr;
+}
+
+bool QueryPredicate::MatchesBaseRow(const StarSchema& schema,
+                                    const int32_t* base_keys) const {
+  for (const auto& p : conjuncts_) {
+    if (!p.Matches(schema.dim(p.dim), /*key_level=*/0, base_keys[p.dim])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double QueryPredicate::Selectivity(const StarSchema& schema) const {
+  double sel = 1.0;
+  for (const auto& p : conjuncts_) sel *= p.Selectivity(schema.dim(p.dim));
+  return sel;
+}
+
+int QueryPredicate::ConstraintLevel(const StarSchema& schema,
+                                    size_t dim) const {
+  const DimPredicate* p = ForDim(dim);
+  return p == nullptr ? schema.dim(dim).all_level() : p->level;
+}
+
+std::string QueryPredicate::ToString(const StarSchema& schema) const {
+  if (conjuncts_.empty()) return "TRUE";
+  std::vector<std::string> parts;
+  parts.reserve(conjuncts_.size());
+  for (const auto& p : conjuncts_) parts.push_back(p.ToString(schema));
+  return StrJoin(parts, " AND ");
+}
+
+}  // namespace starshare

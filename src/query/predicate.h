@@ -1,0 +1,84 @@
+// Selection predicates of dimensional queries.
+//
+// MDX queries restrict each dimension independently ("A'' = A1 or A'' = A2",
+// "B' in CHILDREN(B''.B2)"), so a query predicate is a conjunction of
+// per-dimension member-set predicates; different queries of one MDX
+// expression have *disjoint* predicates (paper §2), which is why classic
+// common-selection multi-query optimization does not apply and base-table
+// sharing does.
+
+#ifndef STARSHARE_QUERY_PREDICATE_H_
+#define STARSHARE_QUERY_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/groupby_spec.h"
+#include "schema/star_schema.h"
+
+namespace starshare {
+
+// "member of dimension `dim` at `level` is in `members`".
+struct DimPredicate {
+  size_t dim = 0;
+  int level = 0;
+  std::vector<int32_t> members;  // kept sorted and deduplicated
+
+  // Sorts + dedups `members`.
+  void Normalize();
+
+  // True if a key at `key_level` (<= level) of the dimension maps up into
+  // the member set.
+  bool Matches(const Hierarchy& hierarchy, int key_level, int32_t key) const;
+
+  // |members| / cardinality(level): the fraction of base tuples passing,
+  // assuming uniform keys.
+  double Selectivity(const Hierarchy& hierarchy) const;
+
+  // Member set expanded down to `to_level` (<= level), sorted.
+  std::vector<int32_t> MembersAtLevel(const Hierarchy& hierarchy,
+                                      int to_level) const;
+
+  std::string ToString(const StarSchema& schema) const;
+
+  bool operator==(const DimPredicate& other) const = default;
+};
+
+// Conjunction of per-dimension predicates (at most one entry per dimension).
+class QueryPredicate {
+ public:
+  QueryPredicate() = default;
+
+  // Adds `pred` to the conjunction. If the dimension is already restricted,
+  // both predicates are expanded to the finer of the two levels and
+  // intersected (the conjunction semantics).
+  void AddConjunct(const Hierarchy& hierarchy, DimPredicate pred);
+
+  const std::vector<DimPredicate>& conjuncts() const { return conjuncts_; }
+  bool empty() const { return conjuncts_.empty(); }
+
+  // The predicate on `dim`, or nullptr if unrestricted.
+  const DimPredicate* ForDim(size_t dim) const;
+
+  // True if a full base-level key tuple satisfies every conjunct.
+  bool MatchesBaseRow(const StarSchema& schema,
+                      const int32_t* base_keys) const;
+
+  // Product of per-dimension selectivities.
+  double Selectivity(const StarSchema& schema) const;
+
+  // Per dimension, the level the predicate constrains (all_level if none).
+  int ConstraintLevel(const StarSchema& schema, size_t dim) const;
+
+  std::string ToString(const StarSchema& schema) const;
+
+  bool operator==(const QueryPredicate& other) const = default;
+
+ private:
+  std::vector<DimPredicate> conjuncts_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_QUERY_PREDICATE_H_

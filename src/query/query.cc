@@ -1,0 +1,147 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace starshare {
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+      return "SUM";
+    case AggOp::kCount:
+      return "COUNT";
+    case AggOp::kMin:
+      return "MIN";
+    case AggOp::kMax:
+      return "MAX";
+    case AggOp::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+GroupBySpec DimensionalQuery::RequiredSpec(const StarSchema& schema) const {
+  std::vector<int> levels(schema.num_dims());
+  for (size_t d = 0; d < schema.num_dims(); ++d) {
+    levels[d] =
+        std::min(target_.level(d), predicate_.ConstraintLevel(schema, d));
+  }
+  return GroupBySpec(std::move(levels));
+}
+
+double DimensionalQuery::Selectivity(const StarSchema& schema) const {
+  return predicate_.Selectivity(schema);
+}
+
+uint64_t DimensionalQuery::EstimatedGroups(const StarSchema& schema) const {
+  uint64_t groups = 1;
+  for (size_t d = 0; d < schema.num_dims(); ++d) {
+    const int g = target_.level(d);
+    if (g >= schema.dim(d).all_level()) continue;
+    const DimPredicate* p = predicate_.ForDim(d);
+    uint64_t dim_groups;
+    if (p == nullptr) {
+      dim_groups = schema.dim(d).cardinality(g);
+    } else if (p->level >= g) {
+      // Selection at-or-above the output level: the passing members expand
+      // to descendants at the output level.
+      dim_groups = p->members.size();
+      for (int l = p->level - 1; l >= g; --l) {
+        dim_groups *= schema.dim(d).cardinality(l) /
+                      schema.dim(d).cardinality(l + 1);
+      }
+    } else {
+      // Selection below the output level (cannot arise from MDX expansion,
+      // but stay safe): at most one group per passing member's ancestor.
+      dim_groups = std::min<uint64_t>(p->members.size(),
+                                      schema.dim(d).cardinality(g));
+    }
+    groups *= dim_groups;
+  }
+  return groups;
+}
+
+namespace {
+
+// SQL-safe column name for a hierarchy level: the custom level name when
+// set, else Dim_lvlN (the primed forms contain quote characters).
+std::string SqlLevelColumn(const Hierarchy& h, int level) {
+  if (level == 0) return h.dim_name();
+  const std::string name = h.LevelName(level);
+  if (name != h.PrimedLevelName(level)) return name;  // custom name
+  return h.dim_name() + "_lvl" + std::to_string(level);
+}
+
+std::string SqlQuote(const std::string& text) {
+  std::string out = "'";
+  for (char c : text) {
+    if (c == '\'') out += "''";
+    out += c;
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string DimensionalQuery::ToSql(const StarSchema& schema,
+                                    const std::string& fact_table) const {
+  std::vector<std::string> select_cols;
+  std::vector<std::string> from_tables = {fact_table};
+  std::vector<std::string> join_conds;
+  std::vector<std::string> filters;
+  std::vector<std::string> group_cols;
+
+  for (size_t d = 0; d < schema.num_dims(); ++d) {
+    const Hierarchy& h = schema.dim(d);
+    const int g = target_.level(d);
+    const DimPredicate* pred = predicate_.ForDim(d);
+    const bool grouped = g < h.all_level();
+    if (!grouped && pred == nullptr) continue;
+
+    const std::string dim_table = h.dim_name() + "dim";
+    from_tables.push_back(dim_table);
+    join_conds.push_back(fact_table + "." + h.dim_name() + " = " +
+                         dim_table + "." + h.dim_name());
+    if (grouped) {
+      const std::string col = dim_table + "." + SqlLevelColumn(h, g);
+      select_cols.push_back(col);
+      group_cols.push_back(col);
+    }
+    if (pred != nullptr) {
+      std::vector<std::string> names;
+      names.reserve(pred->members.size());
+      for (int32_t m : pred->members) {
+        names.push_back(SqlQuote(h.MemberName(pred->level, m)));
+      }
+      const std::string col =
+          dim_table + "." + SqlLevelColumn(h, pred->level);
+      filters.push_back(names.size() == 1
+                            ? col + " = " + names[0]
+                            : col + " IN (" + StrJoin(names, ", ") + ")");
+    }
+  }
+
+  select_cols.push_back(StrFormat("%s(%s.%s)", AggOpName(agg_),
+                                  fact_table.c_str(),
+                                  schema.measure_name(measure_).c_str()));
+  std::string sql = "SELECT " + StrJoin(select_cols, ", ") + "\nFROM " +
+                    StrJoin(from_tables, ", ");
+  std::vector<std::string> where = join_conds;
+  where.insert(where.end(), filters.begin(), filters.end());
+  if (!where.empty()) sql += "\nWHERE " + StrJoin(where, "\n  AND ");
+  if (!group_cols.empty()) sql += "\nGROUP BY " + StrJoin(group_cols, ", ");
+  return sql;
+}
+
+std::string DimensionalQuery::ToString(const StarSchema& schema) const {
+  return StrFormat("Q%d[%s]: %s(%s) GROUP BY %s WHERE %s", id_,
+                   label_.c_str(), AggOpName(agg_),
+                   schema.measure_name(measure_).c_str(),
+                   target_.ToString(schema).c_str(),
+                   predicate_.ToString(schema).c_str());
+}
+
+}  // namespace starshare

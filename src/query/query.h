@@ -1,0 +1,87 @@
+// A component dimensional query of an MDX expression: a target group-by plus
+// a conjunctive per-dimension selection (paper §2). In relational terms, a
+// select-star-join over the fact (or materialized aggregate) table followed
+// by aggregation at the target hierarchy levels.
+
+#ifndef STARSHARE_QUERY_QUERY_H_
+#define STARSHARE_QUERY_QUERY_H_
+
+#include <string>
+
+#include "query/predicate.h"
+#include "schema/groupby_spec.h"
+
+namespace starshare {
+
+enum class AggOp {
+  kSum,
+  kCount,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggOpName(AggOp op);
+
+class DimensionalQuery {
+ public:
+  DimensionalQuery() = default;
+  DimensionalQuery(int id, std::string label, GroupBySpec target,
+                   QueryPredicate predicate, AggOp agg = AggOp::kSum,
+                   size_t measure = 0)
+      : id_(id),
+        label_(std::move(label)),
+        target_(std::move(target)),
+        predicate_(std::move(predicate)),
+        agg_(agg),
+        measure_(measure) {}
+
+  int id() const { return id_; }
+  const std::string& label() const { return label_; }
+  const GroupBySpec& target() const { return target_; }
+  const QueryPredicate& predicate() const { return predicate_; }
+  AggOp agg() const { return agg_; }
+  // Which measure column of the fact table / views this query aggregates.
+  size_t measure() const { return measure_; }
+
+  // The coarsest granularity a table must retain to answer this query:
+  // per dimension, min(target level, predicate constraint level). A view V
+  // can answer the query iff V.spec().CanAnswer(RequiredSpec()).
+  GroupBySpec RequiredSpec(const StarSchema& schema) const;
+
+  // Fraction of base tuples passing the selection.
+  double Selectivity(const StarSchema& schema) const;
+
+  // Estimated number of result groups: capped product of (restricted member
+  // counts at the target level per dimension).
+  uint64_t EstimatedGroups(const StarSchema& schema) const;
+
+  std::string ToString(const StarSchema& schema) const;
+
+  // The equivalent SQL over the star schema — the paper's §2 reading of a
+  // component query as a select-star-join + group-by:
+  //
+  //   SELECT Adim.A_lvl1, SUM(F.dollars)
+  //   FROM F, Adim, Ddim
+  //   WHERE F.A = Adim.A AND F.D = Ddim.D
+  //     AND Adim.A_lvl1 IN ('AA1', 'AA2') AND Ddim.D_lvl1 = 'DD1'
+  //   GROUP BY Adim.A_lvl1
+  //
+  // `fact_table` names the FROM table. Dimension tables join only when the
+  // dimension is grouped or restricted. Custom level names are used when
+  // the hierarchy has them; otherwise columns are written Dim_lvlN.
+  std::string ToSql(const StarSchema& schema,
+                    const std::string& fact_table = "F") const;
+
+ private:
+  int id_ = 0;
+  std::string label_;
+  GroupBySpec target_;
+  QueryPredicate predicate_;
+  AggOp agg_ = AggOp::kSum;
+  size_t measure_ = 0;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_QUERY_QUERY_H_

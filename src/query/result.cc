@@ -1,0 +1,89 @@
+#include "query/result.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace starshare {
+
+void QueryResult::AddRow(std::vector<int32_t> keys, double value) {
+  rows_.push_back(Row{std::move(keys), value});
+}
+
+void QueryResult::Canonicalize() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const Row& a, const Row& b) { return a.keys < b.keys; });
+}
+
+double QueryResult::TotalValue() const {
+  double total = 0;
+  for (const auto& row : rows_) total += row.value;
+  return total;
+}
+
+bool QueryResult::ApproxEquals(const QueryResult& other,
+                               double tolerance) const {
+  if (rows_.size() != other.rows_.size()) return false;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].keys != other.rows_[i].keys) return false;
+    const double diff = std::fabs(rows_[i].value - other.rows_[i].value);
+    const double scale =
+        std::max(1.0, std::fabs(rows_[i].value) + std::fabs(other.rows_[i].value));
+    if (diff > tolerance * scale) return false;
+  }
+  return true;
+}
+
+std::string QueryResult::ToCsv(const StarSchema& schema) const {
+  std::string out;
+  const auto retained = target_.RetainedDims(schema);
+  std::vector<std::string> header;
+  for (size_t d : retained) {
+    header.push_back(schema.dim(d).LevelName(target_.level(d)));
+  }
+  header.push_back(StrFormat("%s_%s", AggOpName(agg_),
+                             schema.measure_name().c_str()));
+  out += StrJoin(header, ",") + "\n";
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    for (size_t i = 0; i < retained.size(); ++i) {
+      cells.push_back(schema.dim(retained[i])
+                          .MemberName(target_.level(retained[i]),
+                                      row.keys[i]));
+    }
+    cells.push_back(StrFormat("%.17g", row.value));
+    out += StrJoin(cells, ",") + "\n";
+  }
+  return out;
+}
+
+std::string QueryResult::ToString(const StarSchema& schema,
+                                  size_t max_rows) const {
+  std::string out;
+  const auto retained = target_.RetainedDims(schema);
+  std::vector<std::string> header;
+  for (size_t d : retained) {
+    header.push_back(schema.dim(d).LevelName(target_.level(d)));
+  }
+  header.push_back(StrFormat("%s(%s)", AggOpName(agg_),
+                             schema.measure_name().c_str()));
+  out += StrJoin(header, " | ") + "\n";
+  size_t shown = 0;
+  for (const auto& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += StrFormat("... (%zu more rows)\n", rows_.size() - max_rows);
+      break;
+    }
+    std::vector<std::string> cells;
+    for (size_t i = 0; i < retained.size(); ++i) {
+      cells.push_back(schema.dim(retained[i])
+                          .MemberName(target_.level(retained[i]), row.keys[i]));
+    }
+    cells.push_back(StrFormat("%.2f", row.value));
+    out += StrJoin(cells, " | ") + "\n";
+  }
+  return out;
+}
+
+}  // namespace starshare

@@ -1,0 +1,60 @@
+// Query results: one row per group, canonically sorted so results from
+// different evaluation strategies compare exactly.
+
+#ifndef STARSHARE_QUERY_RESULT_H_
+#define STARSHARE_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "schema/star_schema.h"
+
+namespace starshare {
+
+class QueryResult {
+ public:
+  struct Row {
+    std::vector<int32_t> keys;  // member ids at the target levels, in
+                                // retained-dimension order
+    double value = 0;
+  };
+
+  QueryResult() = default;
+  QueryResult(GroupBySpec target, AggOp agg)
+      : target_(std::move(target)), agg_(agg) {}
+
+  const GroupBySpec& target() const { return target_; }
+  AggOp agg() const { return agg_; }
+
+  void AddRow(std::vector<int32_t> keys, double value);
+
+  // Sorts rows lexicographically by keys. Must be called before comparisons.
+  void Canonicalize();
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Sum of all aggregate values (a cheap whole-result checksum).
+  double TotalValue() const;
+
+  // Exact key match and |value difference| <= tolerance per row.
+  bool ApproxEquals(const QueryResult& other, double tolerance = 1e-6) const;
+
+  // Pretty table; prints at most `max_rows` rows.
+  std::string ToString(const StarSchema& schema, size_t max_rows = 20) const;
+
+  // CSV with a header row; member ids rendered as member names. Values
+  // printed with enough digits to round-trip doubles.
+  std::string ToCsv(const StarSchema& schema) const;
+
+ private:
+  GroupBySpec target_;
+  AggOp agg_ = AggOp::kSum;
+  std::vector<Row> rows_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_QUERY_RESULT_H_

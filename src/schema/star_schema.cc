@@ -1,0 +1,65 @@
+#include "schema/star_schema.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace starshare {
+
+StarSchema::StarSchema(std::vector<DimensionConfig> dims,
+                       std::string measure_name)
+    : StarSchema(std::move(dims),
+                 std::vector<std::string>{std::move(measure_name)}) {}
+
+StarSchema::StarSchema(std::vector<DimensionConfig> dims,
+                       std::vector<std::string> measure_names)
+    : measure_names_(std::move(measure_names)) {
+  SS_CHECK(!dims.empty());
+  SS_CHECK(!measure_names_.empty());
+  hierarchies_.reserve(dims.size());
+  for (auto& cfg : dims) {
+    zipf_thetas_.push_back(cfg.zipf_theta);
+    hierarchies_.emplace_back(cfg.name, cfg.top_cardinality,
+                              std::move(cfg.fanouts));
+  }
+}
+
+Result<size_t> StarSchema::MeasureIndex(const std::string& name) const {
+  for (size_t m = 0; m < measure_names_.size(); ++m) {
+    if (measure_names_[m] == name) return m;
+  }
+  return Status::NotFound("no measure named " + name);
+}
+
+StarSchema StarSchema::PaperTestSchema() {
+  std::vector<DimensionConfig> dims;
+  dims.push_back({.name = "A", .top_cardinality = 3, .fanouts = {5, 3}});
+  dims.push_back({.name = "B", .top_cardinality = 3, .fanouts = {5, 3}});
+  dims.push_back({.name = "C", .top_cardinality = 3, .fanouts = {5, 3}});
+  // D: 8,575 base members under 35 middle members (DD1..DD35, so the
+  // FILTER(D.DD1) slicer selects 1/35) under 7 top members — sized so the
+  // Table 1 view row counts land in the paper's 0.7M-1.5M band at the full
+  // 2M-row scale (A'B''C''D ~0.67M, A''B'C'D ~1.2M, A'B'C'D ~1.7M).
+  dims.push_back({.name = "D", .top_cardinality = 7, .fanouts = {245, 5}});
+  return StarSchema(std::move(dims), "dollars");
+}
+
+Result<size_t> StarSchema::DimIndex(const std::string& name) const {
+  for (size_t d = 0; d < hierarchies_.size(); ++d) {
+    if (hierarchies_[d].dim_name() == name) return d;
+  }
+  return Status::NotFound("no dimension named " + name);
+}
+
+Result<StarSchema::MemberRef> StarSchema::FindMember(
+    const std::string& name) const {
+  for (size_t d = 0; d < hierarchies_.size(); ++d) {
+    auto hit = hierarchies_[d].FindMember(name);
+    if (hit.ok()) {
+      return MemberRef{d, hit.value().first, hit.value().second};
+    }
+  }
+  return Status::NotFound("no member named " + name + " in any dimension");
+}
+
+}  // namespace starshare

@@ -1,0 +1,77 @@
+// The logical star schema: an ordered list of dimensions (each with a
+// hierarchy) plus one measure. The physical fact table and materialized
+// group-bys are storage/Table instances described by a GroupBySpec.
+
+#ifndef STARSHARE_SCHEMA_STAR_SCHEMA_H_
+#define STARSHARE_SCHEMA_STAR_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/hierarchy.h"
+
+namespace starshare {
+
+// Configuration for one synthetic dimension.
+struct DimensionConfig {
+  std::string name;
+  uint32_t top_cardinality = 3;
+  // fanouts[l] children per member of level l+1; size = num_levels - 1.
+  std::vector<uint32_t> fanouts;
+  // Zipf skew of fact-table keys over this dimension's base members.
+  // 0 = uniform.
+  double zipf_theta = 0.0;
+};
+
+class StarSchema {
+ public:
+  StarSchema(std::vector<DimensionConfig> dims, std::string measure_name);
+
+  // Multi-measure schema (e.g. dollars + units). Queries name the measure
+  // they aggregate; views store one SUM column per measure.
+  StarSchema(std::vector<DimensionConfig> dims,
+             std::vector<std::string> measure_names);
+
+  // The paper's test schema (§7.2): dimensions A, B, C with 3-level
+  // hierarchies (3 top members, fanouts 3 then 5 -> base cardinality 45) and
+  // D with a 3-level hierarchy sized so the full-scale (2M-row) view sizes
+  // land in Table 1's 0.7M-1.5M band (base cardinality 8,575 under 35
+  // DD members).
+  static StarSchema PaperTestSchema();
+
+  size_t num_dims() const { return hierarchies_.size(); }
+  const Hierarchy& dim(size_t d) const { return hierarchies_[d]; }
+  size_t num_measures() const { return measure_names_.size(); }
+  const std::string& measure_name(size_t m = 0) const {
+    return measure_names_[m];
+  }
+  const std::vector<std::string>& measure_names() const {
+    return measure_names_;
+  }
+  // Index of the measure named `name`.
+  Result<size_t> MeasureIndex(const std::string& name) const;
+  double zipf_theta(size_t d) const { return zipf_thetas_[d]; }
+
+  // Index of the dimension named `name` (exact match).
+  Result<size_t> DimIndex(const std::string& name) const;
+
+  // Resolves a member name by searching every dimension; the encoding of
+  // level into the name makes matches unambiguous for distinct dim names.
+  // Returns (dim, level, member).
+  struct MemberRef {
+    size_t dim;
+    int level;
+    int32_t member;
+  };
+  Result<MemberRef> FindMember(const std::string& name) const;
+
+ private:
+  std::vector<Hierarchy> hierarchies_;
+  std::vector<double> zipf_thetas_;
+  std::vector<std::string> measure_names_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_SCHEMA_STAR_SCHEMA_H_

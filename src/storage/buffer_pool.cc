@@ -1,0 +1,32 @@
+#include "storage/buffer_pool.h"
+
+namespace starshare {
+
+bool BufferPool::Access(uint32_t table_id, uint64_t page) {
+  if (capacity_pages_ == 0) {
+    ++misses_;
+    return false;
+  }
+  const uint64_t key = Key(table_id, page);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  lru_.push_front(key);
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_pages_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace starshare

@@ -1,0 +1,55 @@
+// A small LRU page cache.
+//
+// The paper flushed both the OS and Paradise buffers before every test, so
+// StarShare's executor defaults to running *cold* (no pool attached). The
+// pool exists for the buffer-size ablation bench and for workloads that
+// legitimately re-read a base table (e.g. TPLO plans that scan the same view
+// twice without sharing).
+
+#ifndef STARSHARE_STORAGE_BUFFER_POOL_H_
+#define STARSHARE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace starshare {
+
+class BufferPool {
+ public:
+  // `capacity_pages` == 0 means the pool never retains anything.
+  explicit BufferPool(uint64_t capacity_pages)
+      : capacity_pages_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Records an access to page `page` of table `table_id`. Returns true if
+  // the page was resident (a cache hit); either way the page becomes the
+  // most recently used and may evict the LRU page.
+  bool Access(uint32_t table_id, uint64_t page);
+
+  // Drops all resident pages (the "flush caches" the paper performs).
+  void Clear();
+
+  uint64_t capacity_pages() const { return capacity_pages_; }
+  uint64_t resident_pages() const { return lru_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  // 32-bit table id in the high bits, page index in the low bits.
+  static uint64_t Key(uint32_t table_id, uint64_t page) {
+    return (static_cast<uint64_t>(table_id) << 40) | page;
+  }
+
+  uint64_t capacity_pages_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_STORAGE_BUFFER_POOL_H_

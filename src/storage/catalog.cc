@@ -1,0 +1,56 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+namespace starshare {
+
+Result<Table*> Catalog::Register(std::unique_ptr<Table> table) {
+  SS_CHECK(table != nullptr);
+  const std::string& name = table->name();
+  if (tables_.contains(name)) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  table->set_id(next_id_++);
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Table* Catalog::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::Ok();
+}
+
+Result<Table*> Catalog::Replace(std::unique_ptr<Table> table) {
+  SS_CHECK(table != nullptr);
+  if (!tables_.contains(table->name())) {
+    return Status::NotFound("cannot replace missing table: " + table->name());
+  }
+  table->set_id(next_id_++);
+  Table* raw = table.get();
+  tables_[raw->name()] = std::move(table);
+  return raw;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+uint64_t Catalog::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [_, table] : tables_) total += table->SizeBytes();
+  return total;
+}
+
+}  // namespace starshare

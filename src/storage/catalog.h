@@ -1,0 +1,49 @@
+// Name -> table registry. Owns all table storage in an engine instance.
+
+#ifndef STARSHARE_STORAGE_CATALOG_H_
+#define STARSHARE_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace starshare {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Registers `table` (taking ownership), assigning it a unique id.
+  // Fails if a table with the same name already exists.
+  Result<Table*> Register(std::unique_ptr<Table> table);
+
+  // Returns the table or nullptr.
+  Table* Find(const std::string& name) const;
+
+  // Removes the table with `name` (freeing its storage).
+  Status Drop(const std::string& name);
+
+  // Replaces the table of the same name (which must exist), assigning the
+  // replacement a fresh id. Used by incremental view maintenance.
+  Result<Table*> Replace(std::unique_ptr<Table> table);
+
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+  // Total bytes across all registered tables.
+  uint64_t TotalBytes() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  uint32_t next_id_ = 1;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_STORAGE_CATALOG_H_

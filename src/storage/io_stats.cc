@@ -1,0 +1,43 @@
+#include "storage/io_stats.h"
+
+#include "common/str_util.h"
+
+namespace starshare {
+
+IoStats& IoStats::operator+=(const IoStats& other) {
+  seq_pages_read += other.seq_pages_read;
+  rand_pages_read += other.rand_pages_read;
+  index_pages_read += other.index_pages_read;
+  pages_written += other.pages_written;
+  cached_pages += other.cached_pages;
+  tuples_processed += other.tuples_processed;
+  hash_probes += other.hash_probes;
+  return *this;
+}
+
+IoStats IoStats::operator-(const IoStats& other) const {
+  IoStats out;
+  out.seq_pages_read = seq_pages_read - other.seq_pages_read;
+  out.rand_pages_read = rand_pages_read - other.rand_pages_read;
+  out.index_pages_read = index_pages_read - other.index_pages_read;
+  out.pages_written = pages_written - other.pages_written;
+  out.cached_pages = cached_pages - other.cached_pages;
+  out.tuples_processed = tuples_processed - other.tuples_processed;
+  out.hash_probes = hash_probes - other.hash_probes;
+  return out;
+}
+
+std::string IoStats::ToString() const {
+  return StrFormat(
+      "seq=%llu rand=%llu index=%llu written=%llu cached=%llu tuples=%llu "
+      "probes=%llu",
+      static_cast<unsigned long long>(seq_pages_read),
+      static_cast<unsigned long long>(rand_pages_read),
+      static_cast<unsigned long long>(index_pages_read),
+      static_cast<unsigned long long>(pages_written),
+      static_cast<unsigned long long>(cached_pages),
+      static_cast<unsigned long long>(tuples_processed),
+      static_cast<unsigned long long>(hash_probes));
+}
+
+}  // namespace starshare

@@ -1,0 +1,36 @@
+// I/O accounting: every operator charges its page touches here.
+
+#ifndef STARSHARE_STORAGE_IO_STATS_H_
+#define STARSHARE_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace starshare {
+
+// Counters for one execution (or one scope of an execution). All counts are
+// in pages except where noted.
+struct IoStats {
+  uint64_t seq_pages_read = 0;    // sequential scan reads that missed cache
+  uint64_t rand_pages_read = 0;   // random (probe) reads that missed cache
+  uint64_t index_pages_read = 0;  // bitmap-index segment reads
+  uint64_t pages_written = 0;     // view materialization output
+  uint64_t cached_pages = 0;      // reads absorbed by the buffer pool
+  uint64_t tuples_processed = 0;  // tuples examined by operators (CPU proxy)
+  uint64_t hash_probes = 0;       // dimension / aggregation hash probes
+
+  IoStats& operator+=(const IoStats& other);
+  IoStats operator-(const IoStats& other) const;
+  bool operator==(const IoStats& other) const = default;
+
+  // Total pages actually read from "disk" (excludes cache hits).
+  uint64_t TotalPagesRead() const {
+    return seq_pages_read + rand_pages_read + index_pages_read;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_STORAGE_IO_STATS_H_

@@ -1,0 +1,27 @@
+// Page geometry shared by the storage layer, the indexes and the cost model.
+//
+// StarShare tables live in memory, but all I/O-sensitive operators account
+// their work in 8 KiB pages exactly as a disk-resident system would: a
+// sequential scan touches every page of a table once; a bitmap-index probe
+// touches the distinct pages containing matching tuples. The optimizer's
+// cost model and the executor's IoStats use the same geometry, so estimated
+// and measured page counts are directly comparable (and tested to be).
+
+#ifndef STARSHARE_STORAGE_PAGE_H_
+#define STARSHARE_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace starshare {
+
+// Logical page size, in bytes. 8 KiB matches the paper-era Paradise setup.
+inline constexpr uint64_t kPageSizeBytes = 8192;
+
+// Number of pages needed to hold `bytes` bytes (at least 1 for non-empty).
+inline constexpr uint64_t PagesForBytes(uint64_t bytes) {
+  return (bytes + kPageSizeBytes - 1) / kPageSizeBytes;
+}
+
+}  // namespace starshare
+
+#endif  // STARSHARE_STORAGE_PAGE_H_

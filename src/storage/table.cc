@@ -1,0 +1,44 @@
+#include "storage/table.h"
+
+#include <utility>
+
+namespace starshare {
+
+Table::Table(std::string name, std::vector<std::string> key_column_names,
+             std::string measure_name)
+    : Table(std::move(name), std::move(key_column_names),
+            std::vector<std::string>{std::move(measure_name)}) {}
+
+Table::Table(std::string name, std::vector<std::string> key_column_names,
+             std::vector<std::string> measure_names)
+    : name_(std::move(name)),
+      key_column_names_(std::move(key_column_names)),
+      measure_names_(std::move(measure_names)) {
+  // Zero key columns is legal: the grand-total group-by "()" has a single
+  // measure cell and no keys. At least one measure is required.
+  SS_CHECK_MSG(!measure_names_.empty(), "table %s needs >= 1 measure",
+               name_.c_str());
+  key_columns_.resize(key_column_names_.size());
+  measures_.resize(measure_names_.size());
+}
+
+void Table::Reserve(uint64_t rows) {
+  for (auto& col : key_columns_) col.reserve(rows);
+  for (auto& col : measures_) col.reserve(rows);
+}
+
+void Table::AppendRow(const int32_t* keys, double measure) {
+  SS_DCHECK(measures_.size() == 1);
+  AppendRowM(keys, &measure);
+}
+
+void Table::AppendRowM(const int32_t* keys, const double* measures) {
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    key_columns_[i].push_back(keys[i]);
+  }
+  for (size_t m = 0; m < measures_.size(); ++m) {
+    measures_[m].push_back(measures[m]);
+  }
+}
+
+}  // namespace starshare

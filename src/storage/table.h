@@ -1,0 +1,133 @@
+// Columnar table storage with page-exact I/O charging.
+//
+// Every StarShare table (the base fact table and every materialized
+// group-by) has the same shape: k int32 key columns (one per retained
+// dimension, holding the member id at the level the table is aggregated to)
+// plus m double measure columns. Tuple width is therefore 4k + 8m bytes
+// (the paper's ~20-byte fact tuples at k = 4, m = 1).
+
+#ifndef STARSHARE_STORAGE_TABLE_H_
+#define STARSHARE_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/disk_model.h"
+#include "storage/page.h"
+
+namespace starshare {
+
+class Table {
+ public:
+  // Single-measure table (the common case).
+  Table(std::string name, std::vector<std::string> key_column_names,
+        std::string measure_name);
+
+  // Multi-measure table (e.g. a fact table carrying dollars + units).
+  Table(std::string name, std::vector<std::string> key_column_names,
+        std::vector<std::string> measure_names);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  // Identifier used by the buffer pool; assigned when the table is
+  // registered in a Catalog (0 until then).
+  uint32_t id() const { return id_; }
+  void set_id(uint32_t id) { id_ = id; }
+
+  size_t num_key_columns() const { return key_columns_.size(); }
+  const std::string& key_column_name(size_t i) const {
+    return key_column_names_[i];
+  }
+
+  size_t num_measures() const { return measures_.size(); }
+  const std::string& measure_name(size_t m = 0) const {
+    return measure_names_[m];
+  }
+
+  uint64_t num_rows() const { return measures_[0].size(); }
+  uint64_t tuple_width_bytes() const {
+    return 4 * num_key_columns() + 8 * num_measures();
+  }
+  uint64_t rows_per_page() const {
+    return kPageSizeBytes / tuple_width_bytes();
+  }
+  uint64_t num_pages() const {
+    // Rows never straddle pages, so geometry is ceil(rows / rows_per_page)
+    // (slightly more than the raw byte count suggests).
+    const uint64_t rpp = rows_per_page();
+    return (num_rows() + rpp - 1) / rpp;
+  }
+  uint64_t PageOfRow(uint64_t row) const { return row / rows_per_page(); }
+  uint64_t SizeBytes() const { return num_rows() * tuple_width_bytes(); }
+
+  void Reserve(uint64_t rows);
+
+  // Appends a row to a single-measure table.
+  void AppendRow(const int32_t* keys, double measure);
+  // Appends a row with one value per measure column.
+  void AppendRowM(const int32_t* keys, const double* measures);
+
+  // Raw column access for hot loops.
+  const std::vector<int32_t>& key_column(size_t i) const {
+    return key_columns_[i];
+  }
+  const std::vector<double>& measure_column(size_t m = 0) const {
+    return measures_[m];
+  }
+  int32_t key(size_t col, uint64_t row) const { return key_columns_[col][row]; }
+  double measure(uint64_t row, size_t m = 0) const {
+    return measures_[m][row];
+  }
+
+  // Sequential scan: invokes fn(row_begin, row_end) once per page, charging
+  // one sequential page read per page to `disk`.
+  template <typename Fn>
+  void ScanPages(DiskModel& disk, Fn&& fn) const {
+    const uint64_t rpp = rows_per_page();
+    const uint64_t rows = num_rows();
+    for (uint64_t begin = 0, page = 0; begin < rows; begin += rpp, ++page) {
+      disk.ReadSequential(id_, page);
+      fn(begin, std::min(begin + rpp, rows));
+    }
+  }
+
+  // Random probe of sorted row positions: invokes fn(row) per position,
+  // charging one random page read per *distinct* page touched. Positions
+  // must be sorted ascending (bitmap iteration yields them sorted).
+  template <typename Fn>
+  void ProbePositions(DiskModel& disk, std::span<const uint64_t> positions,
+                      Fn&& fn) const {
+    const uint64_t rpp = rows_per_page();
+    uint64_t last_page = UINT64_MAX;
+    for (uint64_t row : positions) {
+      SS_DCHECK(row < num_rows());
+      const uint64_t page = row / rpp;
+      if (page != last_page) {
+        SS_DCHECK(last_page == UINT64_MAX || page > last_page);
+        disk.ReadRandom(id_, page);
+        last_page = page;
+      }
+      fn(row);
+    }
+  }
+
+ private:
+  std::string name_;
+  uint32_t id_ = 0;
+  std::vector<std::string> key_column_names_;
+  std::vector<std::string> measure_names_;
+  std::vector<std::vector<int32_t>> key_columns_;
+  std::vector<std::vector<double>> measures_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_STORAGE_TABLE_H_

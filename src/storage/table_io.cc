@@ -1,0 +1,154 @@
+#include "storage/table_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace starshare {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'S', 'T', 'B'};
+constexpr uint32_t kVersion = 2;
+
+// RAII FILE handle.
+struct FileCloser {
+  void operator()(FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<FILE, FileCloser>;
+
+bool WriteBytes(FILE* f, const void* data, size_t n) {
+  if (n == 0) return true;  // empty columns have null data()
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool WriteU32(FILE* f, uint32_t v) { return WriteBytes(f, &v, 4); }
+bool WriteU64(FILE* f, uint64_t v) { return WriteBytes(f, &v, 8); }
+
+bool WriteString(FILE* f, const std::string& s) {
+  return WriteU32(f, static_cast<uint32_t>(s.size())) &&
+         WriteBytes(f, s.data(), s.size());
+}
+
+bool ReadBytes(FILE* f, void* data, size_t n) {
+  if (n == 0) return true;
+  return std::fread(data, 1, n, f) == n;
+}
+
+bool ReadU32(FILE* f, uint32_t* v) { return ReadBytes(f, v, 4); }
+bool ReadU64(FILE* f, uint64_t* v) { return ReadBytes(f, v, 8); }
+
+bool ReadString(FILE* f, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(f, &len)) return false;
+  if (len > (1u << 20)) return false;  // sanity: 1 MiB name limit
+  s->resize(len);
+  return ReadBytes(f, s->data(), len);
+}
+
+}  // namespace
+
+Status WriteTableFile(const Table& table, const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  FILE* f = file.get();
+  bool ok = WriteBytes(f, kMagic, 4) && WriteU32(f, kVersion) &&
+            WriteString(f, table.name()) &&
+            WriteU32(f, static_cast<uint32_t>(table.num_measures()));
+  for (size_t m = 0; ok && m < table.num_measures(); ++m) {
+    ok = WriteString(f, table.measure_name(m));
+  }
+  ok = ok && WriteU32(f, static_cast<uint32_t>(table.num_key_columns()));
+  for (size_t c = 0; ok && c < table.num_key_columns(); ++c) {
+    ok = WriteString(f, table.key_column_name(c));
+  }
+  ok = ok && WriteU64(f, table.num_rows());
+  for (size_t c = 0; ok && c < table.num_key_columns(); ++c) {
+    const auto& col = table.key_column(c);
+    ok = WriteBytes(f, col.data(), col.size() * sizeof(int32_t));
+  }
+  for (size_t m = 0; ok && m < table.num_measures(); ++m) {
+    const auto& col = table.measure_column(m);
+    ok = WriteBytes(f, col.data(), col.size() * sizeof(double));
+  }
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Table>> ReadTableFile(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  FILE* f = file.get();
+
+  char magic[4];
+  uint32_t version = 0;
+  if (!ReadBytes(f, magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a StarShare table file: " + path);
+  }
+  if (!ReadU32(f, &version) || version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported table file version %u in %s", version,
+                  path.c_str()));
+  }
+  std::string name;
+  uint32_t num_measures = 0;
+  if (!ReadString(f, &name) || !ReadU32(f, &num_measures) ||
+      num_measures == 0 || num_measures > 64) {
+    return Status::InvalidArgument("corrupt table header in " + path);
+  }
+  std::vector<std::string> measure_names(num_measures);
+  for (auto& measure_name : measure_names) {
+    if (!ReadString(f, &measure_name)) {
+      return Status::InvalidArgument("corrupt measure names in " + path);
+    }
+  }
+  uint32_t num_keys = 0;
+  if (!ReadU32(f, &num_keys) || num_keys > 64) {
+    return Status::InvalidArgument("corrupt table header in " + path);
+  }
+  std::vector<std::string> key_names(num_keys);
+  for (auto& key_name : key_names) {
+    if (!ReadString(f, &key_name)) {
+      return Status::InvalidArgument("corrupt column names in " + path);
+    }
+  }
+  uint64_t rows = 0;
+  if (!ReadU64(f, &rows)) {
+    return Status::InvalidArgument("corrupt row count in " + path);
+  }
+
+  auto table = std::make_unique<Table>(name, key_names, measure_names);
+  std::vector<std::vector<int32_t>> cols(num_keys);
+  for (auto& col : cols) {
+    col.resize(rows);
+    if (!ReadBytes(f, col.data(), rows * sizeof(int32_t))) {
+      return Status::InvalidArgument("truncated key column in " + path);
+    }
+  }
+  std::vector<std::vector<double>> measures(num_measures);
+  for (auto& col : measures) {
+    col.resize(rows);
+    if (!ReadBytes(f, col.data(), rows * sizeof(double))) {
+      return Status::InvalidArgument("truncated measure column in " + path);
+    }
+  }
+  table->Reserve(rows);
+  std::vector<int32_t> key(num_keys);
+  std::vector<double> values(num_measures);
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < num_keys; ++c) key[c] = cols[c][r];
+    for (uint32_t m = 0; m < num_measures; ++m) values[m] = measures[m][r];
+    table->AppendRowM(key.data(), values.data());
+  }
+  return table;
+}
+
+}  // namespace starshare

@@ -1,0 +1,37 @@
+// Binary table persistence: a compact little-endian format holding the
+// schema header and raw column arrays. Used by Engine::SaveCube/LoadCube so
+// a generated-and-aggregated cube can be reused across runs instead of
+// being rebuilt.
+//
+// Format (version 2):
+//   magic   "SSTB"                      4 bytes
+//   version u32
+//   name                                length-prefixed string (u32 + bytes)
+//   m       u32                         number of measures
+//   measure names                       m length-prefixed strings
+//   k       u32                         number of key columns
+//   key column names                    k length-prefixed strings
+//   rows    u64
+//   key columns                         k x rows x int32 (raw)
+//   measure columns                     m x rows x double (raw)
+
+#ifndef STARSHARE_STORAGE_TABLE_IO_H_
+#define STARSHARE_STORAGE_TABLE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace starshare {
+
+// Writes `table` to `path`, replacing any existing file.
+Status WriteTableFile(const Table& table, const std::string& path);
+
+// Reads a table previously written by WriteTableFile.
+Result<std::unique_ptr<Table>> ReadTableFile(const std::string& path);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_STORAGE_TABLE_IO_H_

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "exec/flat_hash.h"
+#include "exec/hash_aggregator.h"
+#include "exec/key_packer.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::SmallSchema;
+
+// ------------------------------------------------------------ FlatHashMap
+
+TEST(FlatHashMapTest, InsertAndFind) {
+  FlatHashMap<int> map;
+  map.FindOrInsert(10) = 7;
+  map.FindOrInsert(20) = 9;
+  ASSERT_NE(map.Find(10), nullptr);
+  EXPECT_EQ(*map.Find(10), 7);
+  EXPECT_EQ(*map.Find(20), 9);
+  EXPECT_EQ(map.Find(30), nullptr);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatHashMapTest, FindOrInsertReturnsSameSlot) {
+  FlatHashMap<int> map;
+  map.FindOrInsert(5) = 1;
+  map.FindOrInsert(5) += 10;
+  EXPECT_EQ(*map.Find(5), 11);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, GrowsPastInitialCapacity) {
+  FlatHashMap<uint64_t> map(4);
+  for (uint64_t k = 0; k < 10000; ++k) map.FindOrInsert(k * 3 + 1) = k;
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(map.Find(k * 3 + 1), nullptr);
+    ASSERT_EQ(*map.Find(k * 3 + 1), k);
+  }
+}
+
+TEST(FlatHashMapTest, ForEachVisitsAll) {
+  FlatHashMap<int> map;
+  for (uint64_t k = 1; k <= 100; ++k) map.FindOrInsert(k) = 1;
+  uint64_t sum = 0;
+  int entries = 0;
+  map.ForEach([&](uint64_t key, int) {
+    sum += key;
+    ++entries;
+  });
+  EXPECT_EQ(entries, 100);
+  EXPECT_EQ(sum, 5050u);
+}
+
+TEST(FlatHashMapTest, ZeroKeyWorks) {
+  FlatHashMap<int> map;
+  map.FindOrInsert(0) = 42;
+  EXPECT_EQ(*map.Find(0), 42);
+}
+
+// -------------------------------------------------------------- KeyPacker
+
+TEST(KeyPackerTest, RoundTripsAllCombinations) {
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Parse("X'Y''Z", s).value();
+  KeyPacker packer(s, spec);
+  EXPECT_EQ(packer.num_keys(), 3u);
+  for (int32_t x = 0; x < 4; ++x) {
+    for (int32_t y = 0; y < 2; ++y) {
+      for (int32_t z = 0; z < 12; ++z) {
+        const int32_t keys[] = {x, y, z};
+        const auto out = packer.Unpack(packer.Pack(keys));
+        ASSERT_EQ(out, (std::vector<int32_t>{x, y, z}));
+      }
+    }
+  }
+}
+
+TEST(KeyPackerTest, DistinctKeysDistinctPackings) {
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Base(s);
+  KeyPacker packer(s, spec);
+  std::set<uint64_t> seen;
+  for (int32_t x = 0; x < 12; ++x) {
+    for (int32_t y = 0; y < 12; ++y) {
+      const int32_t keys[] = {x, y, 0};
+      seen.insert(packer.Pack(keys));
+    }
+  }
+  EXPECT_EQ(seen.size(), 144u);
+}
+
+TEST(KeyPackerTest, RetainedDimsOnly) {
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Parse("Z'", s).value();
+  KeyPacker packer(s, spec);
+  EXPECT_EQ(packer.num_keys(), 1u);
+  EXPECT_EQ(packer.retained_dims(), (std::vector<size_t>{2}));
+}
+
+TEST(KeyPackerTest, NeverCollidesWithEmptySentinel) {
+  StarSchema s = StarSchema::PaperTestSchema();
+  KeyPacker packer(s, GroupBySpec::Base(s));
+  const int32_t max_keys[] = {44, 44, 44, 1399};
+  EXPECT_NE(packer.Pack(max_keys), FlatHashMap<int>::kEmptyKey);
+}
+
+// --------------------------------------------------------- HashAggregator
+
+TEST(HashAggregatorTest, SumsGroups) {
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Parse("X''", s).value();
+  HashAggregator agg(s, spec, AggOp::kSum);
+  const int32_t g0[] = {0};
+  const int32_t g1[] = {1};
+  agg.Add(agg.packer().Pack(g0), 1.5);
+  agg.Add(agg.packer().Pack(g0), 2.5);
+  agg.Add(agg.packer().Pack(g1), 10.0);
+  EXPECT_EQ(agg.num_groups(), 2u);
+  QueryResult result = agg.Finish();
+  ASSERT_EQ(result.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(result.rows()[0].value, 4.0);
+  EXPECT_DOUBLE_EQ(result.rows()[1].value, 10.0);
+}
+
+struct AggCase {
+  AggOp op;
+  double expected;  // over inputs {3, 1, 2}
+};
+
+class HashAggregatorOpTest : public ::testing::TestWithParam<AggCase> {};
+
+TEST_P(HashAggregatorOpTest, ComputesAggregate) {
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Parse("X''", s).value();
+  HashAggregator agg(s, spec, GetParam().op);
+  const int32_t g[] = {0};
+  for (double v : {3.0, 1.0, 2.0}) agg.Add(agg.packer().Pack(g), v);
+  QueryResult result = agg.Finish();
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(result.rows()[0].value, GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, HashAggregatorOpTest,
+    ::testing::Values(AggCase{AggOp::kSum, 6.0}, AggCase{AggOp::kCount, 3.0},
+                      AggCase{AggOp::kMin, 1.0}, AggCase{AggOp::kMax, 3.0},
+                      AggCase{AggOp::kAvg, 2.0}));
+
+TEST(HashAggregatorTest, FinishIsCanonicallySorted) {
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Parse("XZ", s).value();
+  HashAggregator agg(s, spec, AggOp::kSum);
+  // Insert in scrambled order.
+  for (int32_t x : {11, 3, 7}) {
+    for (int32_t z : {5, 1}) {
+      const int32_t g[] = {x, z};
+      agg.Add(agg.packer().Pack(g), 1.0);
+    }
+  }
+  QueryResult result = agg.Finish();
+  ASSERT_EQ(result.num_rows(), 6u);
+  for (size_t i = 1; i < result.num_rows(); ++i) {
+    EXPECT_LT(result.rows()[i - 1].keys, result.rows()[i].keys);
+  }
+}
+
+// ------------------------------------------------------------ QueryResult
+
+TEST(QueryResultTest, ApproxEquals) {
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Parse("X''", s).value();
+  QueryResult a(spec, AggOp::kSum), b(spec, AggOp::kSum);
+  a.AddRow({0}, 100.0);
+  b.AddRow({0}, 100.0 + 1e-9);
+  a.Canonicalize();
+  b.Canonicalize();
+  EXPECT_TRUE(a.ApproxEquals(b));
+  QueryResult c(spec, AggOp::kSum);
+  c.AddRow({0}, 101.0);
+  c.Canonicalize();
+  EXPECT_FALSE(a.ApproxEquals(c));
+  QueryResult d(spec, AggOp::kSum);  // different row count
+  EXPECT_FALSE(a.ApproxEquals(d));
+}
+
+TEST(QueryResultTest, DifferentKeysNotEqual) {
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Parse("X''", s).value();
+  QueryResult a(spec, AggOp::kSum), b(spec, AggOp::kSum);
+  a.AddRow({0}, 5.0);
+  b.AddRow({1}, 5.0);
+  EXPECT_FALSE(a.ApproxEquals(b));
+}
+
+TEST(QueryResultTest, TotalValue) {
+  StarSchema s = SmallSchema();
+  QueryResult r(GroupBySpec::Parse("X''", s).value(), AggOp::kSum);
+  r.AddRow({0}, 1.0);
+  r.AddRow({1}, 2.5);
+  EXPECT_DOUBLE_EQ(r.TotalValue(), 3.5);
+}
+
+TEST(QueryResultTest, ToStringTruncates) {
+  StarSchema s = SmallSchema();
+  QueryResult r(GroupBySpec::Parse("X", s).value(), AggOp::kSum);
+  for (int32_t i = 0; i < 10; ++i) r.AddRow({i}, 1.0);
+  r.Canonicalize();
+  const std::string text = r.ToString(s, 3);
+  EXPECT_NE(text.find("7 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starshare

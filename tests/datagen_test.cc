@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "schema/data_generator.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::SmallSchema;
+
+TEST(DataGeneratorTest, ShapeMatchesSchema) {
+  StarSchema schema = SmallSchema();
+  DataGenerator gen(schema, {.num_rows = 1000, .seed = 1});
+  auto table = gen.Generate("fact");
+  EXPECT_EQ(table->name(), "fact");
+  EXPECT_EQ(table->num_rows(), 1000u);
+  EXPECT_EQ(table->num_key_columns(), schema.num_dims());
+  EXPECT_EQ(table->key_column_name(0), "X");
+  EXPECT_EQ(table->measure_name(), "amount");
+}
+
+TEST(DataGeneratorTest, KeysWithinBaseCardinality) {
+  StarSchema schema = SmallSchema();
+  DataGenerator gen(schema, {.num_rows = 5000, .seed = 2});
+  auto table = gen.Generate("fact");
+  for (size_t d = 0; d < schema.num_dims(); ++d) {
+    const int32_t card = static_cast<int32_t>(schema.dim(d).cardinality(0));
+    for (uint64_t r = 0; r < table->num_rows(); ++r) {
+      ASSERT_GE(table->key(d, r), 0);
+      ASSERT_LT(table->key(d, r), card);
+    }
+  }
+}
+
+TEST(DataGeneratorTest, MeasuresWithinRange) {
+  StarSchema schema = SmallSchema();
+  DataGenerator gen(schema,
+                    {.num_rows = 2000, .seed = 3, .measure_min = 10.0,
+                     .measure_max = 20.0});
+  auto table = gen.Generate("fact");
+  for (uint64_t r = 0; r < table->num_rows(); ++r) {
+    ASSERT_GE(table->measure(r), 10.0);
+    ASSERT_LT(table->measure(r), 20.0);
+  }
+}
+
+TEST(DataGeneratorTest, DeterministicForSeed) {
+  StarSchema schema = SmallSchema();
+  DataGenerator gen(schema, {.num_rows = 500, .seed = 99});
+  auto a = gen.Generate("a");
+  auto b = gen.Generate("b");
+  for (uint64_t r = 0; r < 500; ++r) {
+    for (size_t d = 0; d < schema.num_dims(); ++d) {
+      ASSERT_EQ(a->key(d, r), b->key(d, r));
+    }
+    ASSERT_DOUBLE_EQ(a->measure(r), b->measure(r));
+  }
+}
+
+TEST(DataGeneratorTest, DifferentSeedsDiffer) {
+  StarSchema schema = SmallSchema();
+  auto a = DataGenerator(schema, {.num_rows = 500, .seed = 1}).Generate("a");
+  auto b = DataGenerator(schema, {.num_rows = 500, .seed = 2}).Generate("b");
+  int diffs = 0;
+  for (uint64_t r = 0; r < 500; ++r) {
+    if (a->key(0, r) != b->key(0, r)) ++diffs;
+  }
+  EXPECT_GT(diffs, 300);
+}
+
+TEST(DataGeneratorTest, UniformKeysRoughlyBalanced) {
+  StarSchema schema = SmallSchema();
+  DataGenerator gen(schema, {.num_rows = 24000, .seed = 5});
+  auto table = gen.Generate("fact");
+  std::vector<int> counts(schema.dim(0).cardinality(0), 0);
+  for (uint64_t r = 0; r < table->num_rows(); ++r) ++counts[table->key(0, r)];
+  const int expected = 24000 / static_cast<int>(counts.size());
+  for (int c : counts) EXPECT_NEAR(c, expected, expected / 2);
+}
+
+TEST(DataGeneratorTest, ZipfSkewsKeys) {
+  std::vector<DimensionConfig> dims;
+  dims.push_back({.name = "X",
+                  .top_cardinality = 2,
+                  .fanouts = {10, 5},
+                  .zipf_theta = 1.2});
+  StarSchema schema(std::move(dims), "m");
+  DataGenerator gen(schema, {.num_rows = 20000, .seed = 6});
+  auto table = gen.Generate("fact");
+  std::vector<int> counts(schema.dim(0).cardinality(0), 0);
+  for (uint64_t r = 0; r < table->num_rows(); ++r) ++counts[table->key(0, r)];
+  EXPECT_GT(counts[0], 4 * counts[20]);
+}
+
+TEST(DataGeneratorTest, PaperScaleGeometry) {
+  // At the paper's tuple shape (4 dims), tuples are 24 bytes; 2M rows is
+  // about 46 MB / ~5,860 pages.
+  StarSchema schema = StarSchema::PaperTestSchema();
+  DataGenerator gen(schema, {.num_rows = 10000, .seed = 7});
+  auto table = gen.Generate("fact");
+  EXPECT_EQ(table->tuple_width_bytes(), 24u);
+  EXPECT_EQ(table->num_pages(), PagesForBytes(10000 * 24));
+}
+
+}  // namespace
+}  // namespace starshare

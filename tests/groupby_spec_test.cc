@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "schema/groupby_spec.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::SmallSchema;
+
+StarSchema Paper() { return StarSchema::PaperTestSchema(); }
+
+TEST(GroupBySpecTest, BaseIsAllZeros) {
+  StarSchema s = Paper();
+  GroupBySpec base = GroupBySpec::Base(s);
+  EXPECT_EQ(base.levels(), (std::vector<int>{0, 0, 0, 0}));
+  EXPECT_EQ(base.ToString(s), "ABCD");
+}
+
+TEST(GroupBySpecTest, ParseRoundTrips) {
+  StarSchema s = Paper();
+  for (const char* text :
+       {"ABCD", "A'B'C'D", "A'B''C''D", "A''B''C''D", "AB'C'D", "A''D'",
+        "D''"}) {
+    auto spec = GroupBySpec::Parse(text, s);
+    ASSERT_TRUE(spec.ok()) << text << ": " << spec.status().ToString();
+    EXPECT_EQ(spec.value().ToString(s), text);
+  }
+}
+
+TEST(GroupBySpecTest, ParseLL) {
+  StarSchema s = Paper();
+  EXPECT_EQ(GroupBySpec::Parse("LL", s).value(), GroupBySpec::Base(s));
+}
+
+TEST(GroupBySpecTest, ParseOmittedDimsAreAll) {
+  StarSchema s = Paper();
+  auto spec = GroupBySpec::Parse("A'C''", s).value();
+  EXPECT_EQ(spec.level(0), 1);
+  EXPECT_EQ(spec.level(1), s.dim(1).all_level());
+  EXPECT_EQ(spec.level(2), 2);
+  EXPECT_EQ(spec.level(3), s.dim(3).all_level());
+}
+
+TEST(GroupBySpecTest, ParseRejectsGarbage) {
+  StarSchema s = Paper();
+  EXPECT_FALSE(GroupBySpec::Parse("Q", s).ok());
+  EXPECT_FALSE(GroupBySpec::Parse("AA", s).ok());       // A repeated
+  EXPECT_FALSE(GroupBySpec::Parse("A''''", s).ok());    // level too deep
+  EXPECT_FALSE(GroupBySpec::Parse("A'B'x", s).ok());
+}
+
+TEST(GroupBySpecTest, ParseAllowsSpaces) {
+  StarSchema s = Paper();
+  EXPECT_TRUE(GroupBySpec::Parse("A' B'' C D", s).ok());
+}
+
+TEST(GroupBySpecTest, CanAnswerIsLatticeOrder) {
+  StarSchema s = Paper();
+  auto base = GroupBySpec::Base(s);
+  auto mid = GroupBySpec::Parse("A'B'C'D", s).value();
+  auto coarse = GroupBySpec::Parse("A''B''C''D", s).value();
+  auto other = GroupBySpec::Parse("AB''C''D", s).value();
+
+  EXPECT_TRUE(base.CanAnswer(mid));
+  EXPECT_TRUE(base.CanAnswer(coarse));
+  EXPECT_TRUE(mid.CanAnswer(coarse));
+  EXPECT_FALSE(coarse.CanAnswer(mid));
+  EXPECT_FALSE(mid.CanAnswer(other));   // B'' finer than B' on one dim...
+  EXPECT_FALSE(other.CanAnswer(mid));   // ...incomparable both ways
+  EXPECT_TRUE(mid.CanAnswer(mid));      // reflexive
+}
+
+TEST(GroupBySpecTest, LeastCommonAncestor) {
+  StarSchema s = Paper();
+  auto a = GroupBySpec::Parse("A'B''CD", s).value();
+  auto b = GroupBySpec::Parse("A''B'C'D", s).value();
+  auto lca = a.LeastCommonAncestor(b);
+  EXPECT_EQ(lca.ToString(s), "A''B''C'D");
+  EXPECT_TRUE(a.CanAnswer(lca));
+  EXPECT_TRUE(b.CanAnswer(lca));
+}
+
+TEST(GroupBySpecTest, RetainedDims) {
+  StarSchema s = Paper();
+  auto spec = GroupBySpec::Parse("A'C''", s).value();
+  EXPECT_EQ(spec.RetainedDims(s), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(GroupBySpec::Base(s).RetainedDims(s).size(), 4u);
+}
+
+TEST(GroupBySpecTest, MaxCells) {
+  StarSchema s = Paper();
+  EXPECT_EQ(GroupBySpec::Parse("A''B''C''D''", s).value().MaxCells(s),
+            3u * 3 * 3 * 7);
+  EXPECT_EQ(GroupBySpec::Parse("A'B'C'D", s).value().MaxCells(s),
+            9u * 9 * 9 * 8575);
+}
+
+TEST(GroupBySpecTest, TotalLevel) {
+  StarSchema s = Paper();
+  EXPECT_EQ(GroupBySpec::Base(s).TotalLevel(), 0);
+  EXPECT_EQ(GroupBySpec::Parse("A'B'C'D", s).value().TotalLevel(), 3);
+  // Omitted dim contributes its ALL level.
+  EXPECT_EQ(GroupBySpec::Parse("A'", s).value().TotalLevel(), 1 + 3 + 3 + 3);
+}
+
+TEST(GroupBySpecTest, HashableAndDistinct) {
+  StarSchema s = Paper();
+  std::unordered_set<GroupBySpec, GroupBySpecHash> set;
+  set.insert(GroupBySpec::Parse("A'B'C'D", s).value());
+  set.insert(GroupBySpec::Parse("A'B'C'D", s).value());
+  set.insert(GroupBySpec::Parse("A''B'C'D", s).value());
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(GroupBySpecTest, SmallSchemaMixedDepths) {
+  StarSchema s = SmallSchema();  // Z has only 2 levels
+  auto spec = GroupBySpec::Parse("X''Z'", s).value();
+  EXPECT_EQ(spec.level(0), 2);
+  EXPECT_EQ(spec.level(2), 1);
+  EXPECT_FALSE(GroupBySpec::Parse("Z''", s).ok());  // too deep for Z
+}
+
+}  // namespace
+}  // namespace starshare

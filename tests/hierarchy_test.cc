@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "schema/hierarchy.h"
+#include "schema/star_schema.h"
+
+namespace starshare {
+namespace {
+
+// A -> A' -> A'' with |A''| = 3, fanouts 5 (A'->A) and 3 (A''->A').
+Hierarchy PaperA() { return Hierarchy("A", 3, {5, 3}); }
+
+TEST(HierarchyTest, Cardinalities) {
+  Hierarchy h = PaperA();
+  EXPECT_EQ(h.num_levels(), 3);
+  EXPECT_EQ(h.all_level(), 3);
+  EXPECT_EQ(h.cardinality(2), 3u);
+  EXPECT_EQ(h.cardinality(1), 9u);
+  EXPECT_EQ(h.cardinality(0), 45u);
+  EXPECT_EQ(h.cardinality(h.all_level()), 1u);
+}
+
+TEST(HierarchyTest, ParentMapping) {
+  Hierarchy h = PaperA();
+  EXPECT_EQ(h.Parent(0, 0), 0);
+  EXPECT_EQ(h.Parent(0, 4), 0);
+  EXPECT_EQ(h.Parent(0, 5), 1);
+  EXPECT_EQ(h.Parent(1, 2), 0);
+  EXPECT_EQ(h.Parent(1, 3), 1);
+  EXPECT_EQ(h.Parent(2, 2), 0);  // top -> ALL
+}
+
+TEST(HierarchyTest, MapUpComposesParents) {
+  Hierarchy h = PaperA();
+  for (int32_t m = 0; m < 45; ++m) {
+    EXPECT_EQ(h.MapUp(0, 0, m), m);
+    EXPECT_EQ(h.MapUp(0, 1, m), m / 5);
+    EXPECT_EQ(h.MapUp(0, 2, m), m / 15);
+    EXPECT_EQ(h.MapUp(0, h.all_level(), m), 0);
+  }
+  EXPECT_EQ(h.MapUp(1, 2, 8), 2);
+}
+
+TEST(HierarchyTest, ChildrenAreContiguous) {
+  Hierarchy h = PaperA();
+  EXPECT_EQ(h.Children(2, 0), (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(h.Children(2, 1), (std::vector<int32_t>{3, 4, 5}));
+  EXPECT_EQ(h.Children(1, 2), (std::vector<int32_t>{10, 11, 12, 13, 14}));
+  EXPECT_EQ(h.Children(h.all_level(), 0).size(), 3u);  // ALL -> top members
+}
+
+TEST(HierarchyTest, ChildrenConsistentWithParent) {
+  Hierarchy h = PaperA();
+  for (int level = 1; level < h.num_levels(); ++level) {
+    for (int32_t m = 0; m < static_cast<int32_t>(h.cardinality(level)); ++m) {
+      for (int32_t child : h.Children(level, m)) {
+        EXPECT_EQ(h.Parent(level - 1, child), m);
+      }
+    }
+  }
+}
+
+TEST(HierarchyTest, DescendantsAtLevel) {
+  Hierarchy h = PaperA();
+  EXPECT_EQ(h.DescendantsAtLevel(2, 0, 2), (std::vector<int32_t>{0}));
+  EXPECT_EQ(h.DescendantsAtLevel(2, 0, 1), (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(h.DescendantsAtLevel(2, 0, 0).size(), 15u);
+  EXPECT_EQ(h.DescendantsAtLevel(2, 1, 0).front(), 15);
+  EXPECT_EQ(h.DescendantsAtLevel(h.all_level(), 0, 0).size(), 45u);
+}
+
+TEST(HierarchyTest, SyntheticNames) {
+  Hierarchy h = PaperA();
+  EXPECT_EQ(h.MemberName(2, 0), "A1");
+  EXPECT_EQ(h.MemberName(1, 1), "AA2");
+  EXPECT_EQ(h.MemberName(0, 44), "AAA45");
+  EXPECT_EQ(h.MemberName(h.all_level(), 0), "A.ALL");
+}
+
+TEST(HierarchyTest, PrimedLevelNames) {
+  Hierarchy h = PaperA();
+  EXPECT_EQ(h.PrimedLevelName(0), "A");
+  EXPECT_EQ(h.PrimedLevelName(1), "A'");
+  EXPECT_EQ(h.PrimedLevelName(2), "A''");
+  EXPECT_EQ(h.PrimedLevelName(h.all_level()), "A(ALL)");
+}
+
+TEST(HierarchyTest, FindLevel) {
+  Hierarchy h = PaperA();
+  EXPECT_EQ(h.FindLevel("A").value(), 0);
+  EXPECT_EQ(h.FindLevel("A''").value(), 2);
+  EXPECT_EQ(h.FindLevel("ALL").value(), h.all_level());
+  EXPECT_FALSE(h.FindLevel("B").ok());
+}
+
+TEST(HierarchyTest, FindMemberAtLevel) {
+  Hierarchy h = PaperA();
+  EXPECT_EQ(h.FindMemberAtLevel(2, "A2").value(), 1);
+  EXPECT_EQ(h.FindMemberAtLevel(1, "AA9").value(), 8);
+  EXPECT_EQ(h.FindMemberAtLevel(0, "AAA1").value(), 0);
+  EXPECT_FALSE(h.FindMemberAtLevel(2, "A4").ok());   // out of range
+  EXPECT_FALSE(h.FindMemberAtLevel(2, "AA1").ok());  // wrong level
+  EXPECT_FALSE(h.FindMemberAtLevel(2, "A").ok());    // no ordinal
+}
+
+TEST(HierarchyTest, FindMemberAcrossLevels) {
+  Hierarchy h = PaperA();
+  EXPECT_EQ(h.FindMember("A3").value(), (std::pair<int, int32_t>{2, 2}));
+  EXPECT_EQ(h.FindMember("AA5").value(), (std::pair<int, int32_t>{1, 4}));
+  EXPECT_EQ(h.FindMember("AAA20").value(), (std::pair<int, int32_t>{0, 19}));
+  EXPECT_EQ(h.FindMember("A.ALL").value().first, h.all_level());
+  EXPECT_FALSE(h.FindMember("B1").ok());
+  EXPECT_FALSE(h.FindMember("AAAA1").ok());
+}
+
+TEST(HierarchyTest, CustomLevelAndMemberNames) {
+  // Levels: 0 = Month (18), 1 = Quarter (6), 2 = Year (2).
+  Hierarchy h("Time", 2, {3, 3});
+  h.SetLevelNames({"Month", "Quarter", "Year"});
+  h.SetMemberNames(2, {"1991", "1992"});
+  h.SetMemberNames(1, {"Qtr1", "Qtr2", "Qtr3", "Qtr1_92", "Qtr2_92",
+                       "Qtr3_92"});
+  EXPECT_EQ(h.LevelName(1), "Quarter");
+  EXPECT_EQ(h.PrimedLevelName(1), "Time'");
+  EXPECT_EQ(h.FindLevel("Quarter").value(), 1);
+  EXPECT_EQ(h.MemberName(2, 0), "1991");
+  EXPECT_EQ(h.FindMember("Qtr2").value(), (std::pair<int, int32_t>{1, 1}));
+  EXPECT_EQ(h.FindMemberAtLevel(2, "1992").value(), 1);
+  // Level 0 has no custom names: the synthetic scheme still applies there.
+  EXPECT_EQ(h.FindMemberAtLevel(0, "TimeTimeTime3").value(), 2);
+}
+
+TEST(StarSchemaTest, PaperSchemaShape) {
+  StarSchema s = StarSchema::PaperTestSchema();
+  EXPECT_EQ(s.num_dims(), 4u);
+  EXPECT_EQ(s.dim(0).dim_name(), "A");
+  EXPECT_EQ(s.dim(3).dim_name(), "D");
+  EXPECT_EQ(s.dim(0).cardinality(0), 45u);
+  EXPECT_EQ(s.dim(3).cardinality(0), 8575u);
+  EXPECT_EQ(s.dim(3).cardinality(1), 35u);  // DD1..DD35
+  EXPECT_EQ(s.measure_name(), "dollars");
+}
+
+TEST(StarSchemaTest, DimIndex) {
+  StarSchema s = StarSchema::PaperTestSchema();
+  EXPECT_EQ(s.DimIndex("C").value(), 2u);
+  EXPECT_FALSE(s.DimIndex("Q").ok());
+}
+
+TEST(StarSchemaTest, FindMemberSearchesAllDims) {
+  StarSchema s = StarSchema::PaperTestSchema();
+  const auto ref = s.FindMember("DD1").value();
+  EXPECT_EQ(ref.dim, 3u);
+  EXPECT_EQ(ref.level, 1);
+  EXPECT_EQ(ref.member, 0);
+  EXPECT_FALSE(s.FindMember("ZZ1").ok());
+}
+
+}  // namespace
+}  // namespace starshare

@@ -1,0 +1,144 @@
+// Incremental view maintenance: AppendFacts folds new base tuples into
+// every materialized view from (old view + delta) — SUM views are
+// self-maintainable — and the refreshed cube must be indistinguishable from
+// one rebuilt from scratch.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::BruteForce;
+using testing::MakeQuery;
+using testing::SmallSchema;
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(SmallSchema());
+    engine_->LoadFactTable({.num_rows = 6000, .seed = 131});
+    ASSERT_TRUE(engine_->MaterializeView("X'Y'").ok());
+    ASSERT_TRUE(engine_->MaterializeView("X''Z'", /*clustered=*/true).ok());
+    ASSERT_TRUE(engine_->BuildIndexes("X'Y'", {"X", "Y"}).ok());
+  }
+
+  const StarSchema& schema() const { return engine_->schema(); }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(MaintenanceTest, RefreshedViewsMatchRebuiltFromScratch) {
+  ASSERT_TRUE(engine_->AppendFacts({.num_rows = 2500, .seed = 999}).ok());
+  EXPECT_EQ(engine_->base_view()->table().num_rows(), 8500u);
+
+  // A second engine builds the same final state from scratch.
+  Engine fresh(SmallSchema());
+  fresh.LoadFactTable({.num_rows = 6000, .seed = 131});
+  ASSERT_TRUE(fresh.AppendFacts({.num_rows = 2500, .seed = 999}).ok());
+  // (fresh has no views; build them from the final base)
+  ASSERT_TRUE(fresh.MaterializeView("X'Y'").ok());
+  ASSERT_TRUE(fresh.MaterializeView("X''Z'", /*clustered=*/true).ok());
+
+  for (const char* name : {"X'Y'", "X''Z'"}) {
+    const Table* refreshed = engine_->catalog().Find(name);
+    const Table* rebuilt = fresh.catalog().Find(name);
+    ASSERT_NE(refreshed, nullptr);
+    ASSERT_NE(rebuilt, nullptr);
+    ASSERT_EQ(refreshed->num_rows(), rebuilt->num_rows()) << name;
+    // Same emission rules -> identical layout and contents.
+    for (uint64_t r = 0; r < refreshed->num_rows(); ++r) {
+      for (size_t c = 0; c < refreshed->num_key_columns(); ++c) {
+        ASSERT_EQ(refreshed->key(c, r), rebuilt->key(c, r)) << name;
+      }
+      ASSERT_NEAR(refreshed->measure(r), rebuilt->measure(r), 1e-6) << name;
+    }
+  }
+}
+
+TEST_F(MaintenanceTest, QueriesCorrectAfterAppend) {
+  ASSERT_TRUE(engine_->AppendFacts({.num_rows = 3000, .seed = 777}).ok());
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(schema(), 1, "X'Y''", {{"X", 2, {0}}}));
+  queries.push_back(
+      MakeQuery(schema(), 2, "X'Y'", {{"X", 1, {1}}, {"Y", 1, {2}}}));
+  queries.push_back(MakeQuery(schema(), 3, "X''Z'", {{"Z", 1, {1}}}));
+
+  const GlobalPlan plan =
+      engine_->Optimize(queries, OptimizerKind::kGlobalGreedy);
+  const auto shared = engine_->Execute(plan);
+  const auto naive = engine_->ExecuteNaive(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult expected =
+        BruteForce(schema(), engine_->base_view()->table(), queries[i]);
+    EXPECT_TRUE(shared[i].result.ApproxEquals(expected)) << "Q" << i + 1;
+    EXPECT_TRUE(naive[i].result.ApproxEquals(expected)) << "Q" << i + 1;
+  }
+}
+
+TEST_F(MaintenanceTest, IndexesRebuiltAfterAppend) {
+  ASSERT_TRUE(engine_->AppendFacts({.num_rows = 1000, .seed = 55}).ok());
+  MaterializedView* view = engine_->views().FindByName("X'Y'");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->IndexedDims(), (std::vector<size_t>{0, 1}));
+  // The rebuilt index covers the refreshed row count.
+  EXPECT_EQ(view->IndexOn(0)->num_rows(), view->table().num_rows());
+  EXPECT_TRUE(view->has_stats());
+}
+
+TEST_F(MaintenanceTest, RefreshNeverRescansBase) {
+  engine_->ConsumeIoStats();
+  const uint64_t base_pages = engine_->base_view()->table().num_pages();
+  ASSERT_TRUE(engine_->AppendFacts({.num_rows = 500, .seed = 3}).ok());
+  const IoStats io = engine_->ConsumeIoStats();
+  // Sequential reads cover views, delta and index rebuilds — but the
+  // refresh itself must not scan anything the size of the base. X'Y' gets
+  // its index rebuilt (one scan of the small refreshed view), so allow
+  // view-sized reads only.
+  EXPECT_LT(io.seq_pages_read, base_pages);
+}
+
+TEST_F(MaintenanceTest, AppendValidation) {
+  // Wrong column count.
+  auto bad = std::make_unique<Table>("d", std::vector<std::string>{"X"}, "m");
+  EXPECT_EQ(engine_->AppendFactTable(std::move(bad)).code(),
+            StatusCode::kInvalidArgument);
+  // Out-of-range key.
+  auto oob = std::make_unique<Table>(
+      "d", std::vector<std::string>{"X", "Y", "Z"}, "m");
+  const int32_t keys[] = {99, 0, 0};
+  oob->AppendRow(keys, 1.0);
+  EXPECT_EQ(engine_->AppendFactTable(std::move(oob)).code(),
+            StatusCode::kInvalidArgument);
+  // No fact table yet.
+  Engine empty(SmallSchema());
+  EXPECT_EQ(empty.AppendFacts({.num_rows = 10}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MaintenanceTest, RepeatedAppendsAccumulate) {
+  double expected_total = 0;
+  for (uint64_t r = 0; r < engine_->base_view()->table().num_rows(); ++r) {
+    expected_total += engine_->base_view()->table().measure(r);
+  }
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(
+        engine_->AppendFacts({.num_rows = 400, .seed = 1000u + round}).ok());
+  }
+  EXPECT_EQ(engine_->base_view()->table().num_rows(), 6000u + 3 * 400);
+  // The grand total over the refreshed X''Z' view equals the base total.
+  std::vector<DimensionalQuery> q;
+  q.push_back(MakeQuery(schema(), 1, "()", {}));
+  const auto results = engine_->ExecuteNaive(q);
+  double base_total = 0;
+  for (uint64_t r = 0; r < engine_->base_view()->table().num_rows(); ++r) {
+    base_total += engine_->base_view()->table().measure(r);
+  }
+  EXPECT_NEAR(results[0].result.TotalValue(), base_total,
+              1e-9 * base_total);
+}
+
+}  // namespace
+}  // namespace starshare

@@ -1,0 +1,139 @@
+// Deeper MDX expansion coverage: nested NEST, multi-axis cross products,
+// slicer interaction with axis predicates, and expansion against the full
+// paper workload (query-by-query SQL shape).
+
+#include <gtest/gtest.h>
+
+#include "core/paper_workload.h"
+#include "mdx/binder.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using mdx::ParseAndExpandMdx;
+
+StarSchema Paper() { return StarSchema::PaperTestSchema(); }
+
+TEST(MdxExpandTest, NestedNestFlattensAllComponents) {
+  StarSchema s = Paper();
+  // NEST(NEST({A''.A1},{B''.B2}), {C''.C3}) == one variant over A,B,C.
+  auto queries = ParseAndExpandMdx(
+                     "NEST(NEST({A''.A1}, {B''.B2}), {C''.C3}) on COLUMNS "
+                     "CONTEXT ABCD;",
+                     s)
+                     .value();
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(queries[0].target().ToString(s), "A''B''C''");
+  EXPECT_NE(queries[0].predicate().ForDim(0), nullptr);
+  EXPECT_NE(queries[0].predicate().ForDim(1), nullptr);
+  EXPECT_NE(queries[0].predicate().ForDim(2), nullptr);
+}
+
+TEST(MdxExpandTest, NestOfMixedGranularitySetsMultipliesVariants) {
+  StarSchema s = Paper();
+  // Set 1: 2 variants over A (level 1 and level 2); set 2: 2 variants over
+  // B. NEST multiplies: 4 component queries.
+  auto queries = ParseAndExpandMdx(
+                     "NEST({A''.A1.CHILDREN, A''.A2}, "
+                     "     {B''.B1.CHILDREN, B''.B3}) on COLUMNS "
+                     "CONTEXT ABCD;",
+                     s)
+                     .value();
+  ASSERT_EQ(queries.size(), 4u);
+  std::set<std::string> targets;
+  for (const auto& q : queries) targets.insert(q.target().ToString(s));
+  EXPECT_EQ(targets, (std::set<std::string>{"A'B'", "A'B''", "A''B'",
+                                            "A''B''"}));
+}
+
+TEST(MdxExpandTest, ThreeAxesTimesTwoVariantsEach) {
+  StarSchema s = Paper();
+  auto queries = ParseAndExpandMdx(
+                     "{A''.A1.CHILDREN, A''.A2} on COLUMNS "
+                     "{B''.B1.CHILDREN, B''.B2} on ROWS "
+                     "{C''.C1.CHILDREN, C''.C3} on PAGES "
+                     "CONTEXT ABCD;",
+                     s)
+                     .value();
+  EXPECT_EQ(queries.size(), 8u);  // 2 x 2 x 2
+  // Ids are sequential from 1.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].id(), static_cast<int>(i) + 1);
+  }
+}
+
+TEST(MdxExpandTest, SlicerIntersectsAxisPredicateOnSameDim) {
+  StarSchema s = Paper();
+  // Axis restricts A'' to {A1, A2}; slicer pins A''=A2: conjunction = A2.
+  auto queries = ParseAndExpandMdx(
+                     "{A''.A1, A''.A2} on COLUMNS CONTEXT ABCD "
+                     "FILTER (A''.A2);",
+                     s)
+                     .value();
+  ASSERT_EQ(queries.size(), 1u);
+  const DimPredicate* pred = queries[0].predicate().ForDim(0);
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->members, (std::vector<int32_t>{1}));
+  // Target still groups by A'' (axis semantics win for grouping).
+  EXPECT_EQ(queries[0].target().level(0), 2);
+}
+
+TEST(MdxExpandTest, ContradictorySlicerYieldsEmptyResult) {
+  StarSchema s = Paper();
+  auto queries = ParseAndExpandMdx(
+                     "{A''.A1} on COLUMNS CONTEXT ABCD FILTER (A''.A2);", s)
+                     .value();
+  ASSERT_EQ(queries.size(), 1u);
+  const DimPredicate* pred = queries[0].predicate().ForDim(0);
+  ASSERT_NE(pred, nullptr);
+  EXPECT_TRUE(pred->members.empty());  // A1 ∩ A2 = ∅ — legal, just empty
+}
+
+TEST(MdxExpandTest, PaperQueriesExpandAndRenderSql) {
+  StarSchema s = Paper();
+  for (int i = 1; i <= PaperWorkload::kNumQueries; ++i) {
+    auto queries = ParseAndExpandMdx(PaperWorkload::QueryMdx(i), s, i);
+    ASSERT_TRUE(queries.ok()) << "Q" << i;
+    ASSERT_EQ(queries.value().size(), 1u) << "Q" << i;
+    const std::string sql = queries.value()[0].ToSql(s, "ABCD");
+    // Every paper query joins D (the slicer) and groups by 3 dims.
+    EXPECT_NE(sql.find("Ddim"), std::string::npos) << "Q" << i;
+    EXPECT_NE(sql.find("GROUP BY"), std::string::npos) << "Q" << i;
+    EXPECT_NE(sql.find("SUM(ABCD.dollars)"), std::string::npos) << "Q" << i;
+  }
+}
+
+TEST(MdxExpandTest, BareDimensionGroupsAtBaseLevel) {
+  StarSchema s = Paper();
+  auto queries =
+      ParseAndExpandMdx("{D} on COLUMNS CONTEXT ABCD;", s).value();
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(queries[0].target().level(3), 0);
+  EXPECT_EQ(queries[0].predicate().ForDim(3), nullptr);  // covers the level
+}
+
+TEST(MdxExpandTest, MembersSuffixSameAsBareLevel) {
+  StarSchema s = Paper();
+  auto a = ParseAndExpandMdx("{A'} on COLUMNS CONTEXT ABCD;", s).value();
+  auto b = ParseAndExpandMdx("{A'.MEMBERS} on COLUMNS CONTEXT ABCD;", s)
+               .value();
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].target(), b[0].target());
+  EXPECT_EQ(a[0].predicate(), b[0].predicate());
+}
+
+TEST(MdxExpandTest, EmptyAxisVariantStillsYieldsQueries) {
+  // A set whose members all resolve to ALL contributes no grouping but
+  // must not kill the expansion.
+  StarSchema s = Paper();
+  auto queries = ParseAndExpandMdx(
+                     "{B.ALL} on COLUMNS {A''.A1} on ROWS CONTEXT ABCD;", s)
+                     .value();
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(queries[0].target().ToString(s), "A''");
+}
+
+}  // namespace
+}  // namespace starshare

@@ -1,0 +1,102 @@
+// Randomized end-to-end MDX sweep: generate syntactically valid MDX
+// expressions against the paper schema, expand them, and check that
+// (1) expansion produces the predicted number of component queries
+//     (product over axes of per-axis level-signature counts),
+// (2) every component query evaluates identically under naive and shared
+//     execution, matching a brute-force scan of the base data.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/engine.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::BruteForce;
+
+// Builds one axis set over dimension `d`: 1-3 elements, each either a
+// top-level member or a CHILDREN drill, tracking the distinct levels used.
+std::string RandomAxisSet(Rng& rng, const StarSchema& schema, size_t d,
+                          std::set<int>* levels_used) {
+  const Hierarchy& h = schema.dim(d);
+  const int top = h.num_levels() - 1;
+  const uint32_t top_card = h.cardinality(top);
+  std::vector<std::string> elements;
+  const int count = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < count; ++i) {
+    const int32_t member = static_cast<int32_t>(rng.NextBounded(top_card));
+    if (rng.NextBernoulli(0.5)) {
+      elements.push_back(h.MemberName(top, member) + ".CHILDREN");
+      levels_used->insert(top - 1);
+    } else {
+      elements.push_back(h.LevelName(top) + "." + h.MemberName(top, member));
+      levels_used->insert(top);
+    }
+  }
+  return "{" + StrJoin(elements, ", ") + "}";
+}
+
+class MdxPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MdxPropertySweep, RandomExpressionsEvaluateCorrectly) {
+  Rng rng(GetParam() * 60013 + 17);
+  Engine engine(StarSchema::PaperTestSchema());
+  engine.LoadFactTable({.num_rows = 20000, .seed = GetParam()});
+  ASSERT_TRUE(engine.MaterializeView("A'B'C'D").ok());
+  ASSERT_TRUE(engine.MaterializeView("A''B''C''D").ok());
+  ASSERT_TRUE(
+      engine.BuildIndexes("A'B'C'D", {"A", "B", "C", "D"}).ok());
+
+  const StarSchema& schema = engine.schema();
+
+  // 1-3 axes over distinct dimensions from {A, B, C}; optional D slicer.
+  const char* axis_names[] = {"COLUMNS", "ROWS", "PAGES"};
+  const size_t num_axes = 1 + rng.NextBounded(3);
+  std::vector<size_t> dims = {0, 1, 2};
+  // Shuffle the dims deterministically.
+  for (size_t i = dims.size(); i > 1; --i) {
+    std::swap(dims[i - 1], dims[rng.NextBounded(i)]);
+  }
+
+  std::string mdx;
+  size_t expected_queries = 1;
+  for (size_t a = 0; a < num_axes; ++a) {
+    std::set<int> levels_used;
+    mdx += RandomAxisSet(rng, schema, dims[a], &levels_used) + " on " +
+           axis_names[a] + " ";
+    expected_queries *= levels_used.size();
+  }
+  mdx += "CONTEXT ABCD";
+  if (rng.NextBernoulli(0.7)) {
+    const uint32_t card = schema.dim(3).cardinality(1);
+    mdx += " FILTER (D.DD" +
+           std::to_string(1 + rng.NextBounded(card)) + ")";
+  }
+  mdx += ";";
+  SCOPED_TRACE(mdx);
+
+  auto queries = engine.ParseMdx(mdx);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  EXPECT_EQ(queries.value().size(), expected_queries);
+
+  const GlobalPlan plan =
+      engine.Optimize(queries.value(), OptimizerKind::kGlobalGreedy);
+  const auto shared = engine.Execute(plan);
+  const auto naive = engine.ExecuteNaive(queries.value());
+  ASSERT_EQ(shared.size(), queries.value().size());
+  for (size_t i = 0; i < queries.value().size(); ++i) {
+    const QueryResult expected = BruteForce(
+        schema, engine.base_view()->table(), queries.value()[i]);
+    EXPECT_TRUE(shared[i].result.ApproxEquals(expected)) << "Q" << i + 1;
+    EXPECT_TRUE(naive[i].result.ApproxEquals(expected)) << "Q" << i + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MdxPropertySweep,
+                         ::testing::Range<uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace starshare

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include "mdx/binder.h"
+#include "mdx/lexer.h"
+#include "mdx/parser.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using mdx::MdxExpression;
+using mdx::ParseAndExpandMdx;
+using mdx::ParseMdx;
+using mdx::ResolveMember;
+using mdx::Token;
+using mdx::Tokenize;
+using mdx::TokenType;
+
+StarSchema Paper() { return StarSchema::PaperTestSchema(); }
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("{A''.A1, B} on COLUMNS").value();
+  ASSERT_EQ(tokens.size(), 10u);  // { A'' . A1 , B } on COLUMNS EOF
+  EXPECT_EQ(tokens[0].type, TokenType::kLBrace);
+  EXPECT_EQ(tokens[1].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[1].text, "A''");
+  EXPECT_EQ(tokens[2].type, TokenType::kDot);
+  EXPECT_EQ(tokens[3].text, "A1");
+  EXPECT_EQ(tokens[4].type, TokenType::kComma);
+  EXPECT_EQ(tokens[8].type, TokenType::kIdent);  // COLUMNS is not reserved
+  EXPECT_EQ(tokens[9].type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("nest ON Context FILTER children all").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kNest);
+  EXPECT_EQ(tokens[1].type, TokenType::kOn);
+  EXPECT_EQ(tokens[2].type, TokenType::kContext);
+  EXPECT_EQ(tokens[3].type, TokenType::kFilter);
+  EXPECT_EQ(tokens[4].type, TokenType::kChildren);
+  EXPECT_EQ(tokens[5].type, TokenType::kAll);
+}
+
+TEST(LexerTest, BracketedIdentifiers) {
+  auto tokens = Tokenize("[1991] [North Region]").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[0].text, "1991");
+  EXPECT_EQ(tokens[1].text, "North Region");
+}
+
+TEST(LexerTest, UnterminatedBracketFails) {
+  EXPECT_FALSE(Tokenize("[oops").ok());
+}
+
+TEST(LexerTest, BadCharacterFails) {
+  EXPECT_FALSE(Tokenize("{A} @ COLUMNS").ok());
+}
+
+TEST(LexerTest, NumbersLexAsIdents) {
+  auto tokens = Tokenize("1991").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[0].text, "1991");
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(ParserTest, PaperQueryShape) {
+  auto expr = ParseMdx(
+                  "{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS "
+                  "{C''.C1} on PAGES CONTEXT ABCD FILTER (D.DD1);")
+                  .value();
+  ASSERT_EQ(expr.axes.size(), 3u);
+  EXPECT_EQ(expr.axes[0].axis_name, "COLUMNS");
+  EXPECT_EQ(expr.axes[1].axis_name, "ROWS");
+  EXPECT_EQ(expr.axes[2].axis_name, "PAGES");
+  EXPECT_EQ(expr.cube, "ABCD");
+  ASSERT_EQ(expr.filters.size(), 1u);
+  EXPECT_EQ(expr.filters[0].segments,
+            (std::vector<std::string>{"D", "DD1"}));
+  EXPECT_EQ(expr.axes[0].set.members[0].segments,
+            (std::vector<std::string>{"A''", "A1", "CHILDREN"}));
+}
+
+TEST(ParserTest, NestOfSets) {
+  auto expr = ParseMdx(
+                  "NEST({V1, V2}, (R1.CHILDREN, R2, R3)) on COLUMNS "
+                  "{Q1} on ROWS CONTEXT SalesCube")
+                  .value();
+  ASSERT_EQ(expr.axes.size(), 2u);
+  const auto& nest = expr.axes[0].set;
+  EXPECT_EQ(nest.kind, mdx::SetExpr::Kind::kNest);
+  ASSERT_EQ(nest.nested.size(), 2u);
+  EXPECT_EQ(nest.nested[0].members.size(), 2u);
+  EXPECT_EQ(nest.nested[1].members.size(), 3u);
+}
+
+TEST(ParserTest, FilterWithMultipleMembers) {
+  auto expr =
+      ParseMdx("{A} on COLUMNS CONTEXT Cube FILTER (Sales, [1991], P.ALL)")
+          .value();
+  ASSERT_EQ(expr.filters.size(), 3u);
+  EXPECT_EQ(expr.filters[1].segments[0], "1991");
+  EXPECT_EQ(expr.filters[2].segments,
+            (std::vector<std::string>{"P", "ALL"}));
+}
+
+TEST(ParserTest, CrossjoinAndWhereSynonyms) {
+  auto expr = ParseMdx(
+                  "CROSSJOIN({V1}, {R1}) on COLUMNS CONTEXT Cube "
+                  "WHERE (S1, [1991])")
+                  .value();
+  EXPECT_EQ(expr.axes[0].set.kind, mdx::SetExpr::Kind::kNest);
+  ASSERT_EQ(expr.filters.size(), 2u);
+  EXPECT_EQ(expr.filters[1].segments[0], "1991");
+}
+
+TEST(ParserTest, WhereWithoutParentheses) {
+  auto expr =
+      ParseMdx("{A} on COLUMNS CONTEXT Cube WHERE D.DD1;").value();
+  ASSERT_EQ(expr.filters.size(), 1u);
+  EXPECT_EQ(expr.filters[0].segments,
+            (std::vector<std::string>{"D", "DD1"}));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseMdx("").ok());                        // no axes
+  EXPECT_FALSE(ParseMdx("{A} on COLUMNS").ok());          // no CONTEXT
+  EXPECT_FALSE(ParseMdx("{A} COLUMNS CONTEXT X").ok());   // missing ON
+  EXPECT_FALSE(ParseMdx("{A,} on COLUMNS CONTEXT X").ok());
+  EXPECT_FALSE(ParseMdx("{A} on COLUMNS CONTEXT X trailing").ok());
+  EXPECT_FALSE(ParseMdx("{A on COLUMNS CONTEXT X").ok());  // unclosed brace
+}
+
+TEST(ParserTest, ToStringRoundTripParses) {
+  auto expr = ParseMdx(
+                  "NEST({A''.A1}, {B''.B2.CHILDREN}) on COLUMNS "
+                  "{C''.C1} on ROWS CONTEXT ABCD FILTER (D.DD1)")
+                  .value();
+  auto again = ParseMdx(expr.ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().ToString(), expr.ToString());
+}
+
+// ----------------------------------------------------------------- binder
+
+TEST(BinderTest, LevelQualifiedMember) {
+  StarSchema s = Paper();
+  auto r = ResolveMember({{"A''", "A2"}}, s).value();
+  EXPECT_EQ(r.dim, 0u);
+  EXPECT_EQ(r.level, 2);
+  EXPECT_EQ(r.members, (std::vector<int32_t>{1}));
+}
+
+TEST(BinderTest, ChildrenDrillsDown) {
+  StarSchema s = Paper();
+  auto r = ResolveMember({{"A''", "A1", "CHILDREN"}}, s).value();
+  EXPECT_EQ(r.level, 1);
+  EXPECT_EQ(r.members, (std::vector<int32_t>{0, 1, 2}));
+}
+
+TEST(BinderTest, ChildrenThenNarrow) {
+  StarSchema s = Paper();
+  auto r = ResolveMember({{"A''", "A2", "CHILDREN", "AA5"}}, s).value();
+  EXPECT_EQ(r.level, 1);
+  EXPECT_EQ(r.members, (std::vector<int32_t>{4}));
+}
+
+TEST(BinderTest, NarrowToNonChildFails) {
+  StarSchema s = Paper();
+  EXPECT_FALSE(ResolveMember({{"A''", "A3", "CHILDREN", "AA2"}}, s).ok());
+}
+
+TEST(BinderTest, DoubleChildren) {
+  StarSchema s = Paper();
+  auto r = ResolveMember({{"A''", "A1", "CHILDREN", "CHILDREN"}}, s).value();
+  EXPECT_EQ(r.level, 0);
+  EXPECT_EQ(r.members.size(), 15u);
+}
+
+TEST(BinderTest, ChildrenBelowBaseFails) {
+  StarSchema s = Paper();
+  EXPECT_FALSE(ResolveMember({{"A", "AAA1", "CHILDREN"}}, s).ok());
+}
+
+TEST(BinderTest, DimensionQualifiedMember) {
+  StarSchema s = Paper();
+  auto r = ResolveMember({{"D", "DD1"}}, s).value();
+  EXPECT_EQ(r.dim, 3u);
+  EXPECT_EQ(r.level, 1);
+  EXPECT_EQ(r.members, (std::vector<int32_t>{0}));
+}
+
+TEST(BinderTest, DimensionAll) {
+  StarSchema s = Paper();
+  auto r = ResolveMember({{"B", "ALL"}}, s).value();
+  EXPECT_EQ(r.dim, 1u);
+  EXPECT_TRUE(r.is_all);
+}
+
+TEST(BinderTest, BareMemberName) {
+  StarSchema s = Paper();
+  auto r = ResolveMember({{"BB4"}}, s).value();
+  EXPECT_EQ(r.dim, 1u);
+  EXPECT_EQ(r.level, 1);
+  EXPECT_EQ(r.members, (std::vector<int32_t>{3}));
+}
+
+TEST(BinderTest, BareLevelMeansAllMembers) {
+  StarSchema s = Paper();
+  auto r = ResolveMember({{"A'"}}, s).value();
+  EXPECT_EQ(r.level, 1);
+  EXPECT_EQ(r.members.size(), 9u);
+  EXPECT_TRUE(r.CoversLevel(s));
+}
+
+TEST(BinderTest, UnknownNameFails) {
+  StarSchema s = Paper();
+  EXPECT_FALSE(ResolveMember({{"Nonsense99"}}, s).ok());
+}
+
+// -------------------------------------------------------------- expansion
+
+TEST(ExpandTest, SingleQueryPerSimpleExpression) {
+  StarSchema s = Paper();
+  auto queries = ParseAndExpandMdx(
+                     "{A''.A1.CHILDREN} on COLUMNS {B''.B1} on ROWS "
+                     "{C''.C1} on PAGES CONTEXT ABCD FILTER (D.DD1);",
+                     s)
+                     .value();
+  ASSERT_EQ(queries.size(), 1u);
+  const DimensionalQuery& q = queries[0];
+  EXPECT_EQ(q.target().ToString(s), "A'B''C''");
+  // Slicer D: predicate at level 1, no group-by contribution.
+  const DimPredicate* d = q.predicate().ForDim(3);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->level, 1);
+  EXPECT_EQ(d->members, (std::vector<int32_t>{0}));
+  EXPECT_NEAR(q.Selectivity(s), (3.0 / 9) * (1.0 / 3) * (1.0 / 3) / 35,
+              1e-12);
+}
+
+TEST(ExpandTest, MixedGranularitySetSplits) {
+  StarSchema s = Paper();
+  // Children of A1 (level A') and A2, A3 themselves (level A'').
+  auto queries = ParseAndExpandMdx(
+                     "{A''.A1.CHILDREN, A''.A2, A''.A3} on COLUMNS "
+                     "CONTEXT ABCD;",
+                     s)
+                     .value();
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0].target().ToString(s), "A'");
+  EXPECT_EQ(queries[1].target().ToString(s), "A''");
+  EXPECT_EQ(queries[0].id(), 1);
+  EXPECT_EQ(queries[1].id(), 2);
+}
+
+TEST(ExpandTest, CoveringSetHasNoPredicate) {
+  StarSchema s = Paper();
+  auto queries =
+      ParseAndExpandMdx("{A''.A1, A''.A2, A''.A3} on COLUMNS CONTEXT ABCD;",
+                        s)
+          .value();
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(queries[0].predicate().ForDim(0), nullptr);
+  EXPECT_EQ(queries[0].target().level(0), 2);
+}
+
+TEST(ExpandTest, MicrosoftExampleExpandsToSixQueries) {
+  // The OLE DB for OLAP example from §2, rebuilt on a retail-style schema:
+  // salesmen x (states of USA_North | USA_South | Japan) on COLUMNS and
+  // quarters/months on ROWS -> 3 x 2 = 6 group-by queries.
+  std::vector<DimensionConfig> dims;
+  dims.push_back({.name = "Salesman", .top_cardinality = 4, .fanouts = {}});
+  // Store: State(8) -> Region(4) -> Country(2).
+  dims.push_back({.name = "Store", .top_cardinality = 2, .fanouts = {2, 2}});
+  // Time: Month(24) -> Quarter(8) -> Year(2).
+  dims.push_back({.name = "Time", .top_cardinality = 2, .fanouts = {3, 4}});
+  StarSchema s(std::move(dims), "Sales");
+  // Readable member names.
+  const_cast<Hierarchy&>(s.dim(0)).SetMemberNames(
+      0, {"Venkatrao", "Netz", "Smith", "Lee"});
+  const_cast<Hierarchy&>(s.dim(1)).SetLevelNames(
+      {"State", "Region", "Country"});
+  const_cast<Hierarchy&>(s.dim(1)).SetMemberNames(2, {"USA", "Japan"});
+  const_cast<Hierarchy&>(s.dim(1)).SetMemberNames(
+      1, {"USA_North", "USA_South", "Japan_East", "Japan_West"});
+  const_cast<Hierarchy&>(s.dim(2)).SetLevelNames(
+      {"Month", "Quarter", "Year"});
+  const_cast<Hierarchy&>(s.dim(2)).SetMemberNames(
+      1, {"Qtr1", "Qtr2", "Qtr3", "Qtr4", "Qtr1_92", "Qtr2_92", "Qtr3_92",
+          "Qtr4_92"});
+  const_cast<Hierarchy&>(s.dim(2)).SetMemberNames(2, {"1991", "1992"});
+
+  auto queries = ParseAndExpandMdx(
+                     "NEST({Venkatrao, Netz}, "
+                     "     (USA_North.CHILDREN, USA_South, Japan)) "
+                     "on COLUMNS "
+                     "{Qtr1.CHILDREN, Qtr2, Qtr3, Qtr4.CHILDREN} on ROWS "
+                     "CONTEXT SalesCube FILTER (Sales, [1991])",
+                     s)
+                     .value();
+  ASSERT_EQ(queries.size(), 6u);  // the paper's six group-bys
+
+  // Targets: {Salesman} x {State, Region, Country} x {Quarter, Month}.
+  std::set<std::string> targets;
+  for (const auto& q : queries) {
+    targets.insert(q.target().ToString(s));
+    // The 1991 slicer restricts Time on every query.
+    const DimPredicate* year = q.predicate().ForDim(2);
+    ASSERT_NE(year, nullptr);
+    EXPECT_GE(year->level, 0);
+  }
+  EXPECT_EQ(targets.size(), 6u);
+  EXPECT_TRUE(targets.contains("SalesmanStore'Time'"));   // region x quarter
+  EXPECT_TRUE(targets.contains("SalesmanStoreTime"));     // state x month
+}
+
+TEST(ExpandTest, SameDimOnTwoAxesFails) {
+  StarSchema s = Paper();
+  EXPECT_FALSE(
+      ParseAndExpandMdx("{A''.A1} on COLUMNS {A''.A2} on ROWS CONTEXT ABCD;",
+                        s)
+          .ok());
+}
+
+TEST(ExpandTest, UnknownMemberFails) {
+  StarSchema s = Paper();
+  EXPECT_FALSE(
+      ParseAndExpandMdx("{A''.A9} on COLUMNS CONTEXT ABCD;", s).ok());
+}
+
+TEST(ExpandTest, FirstIdRespected) {
+  StarSchema s = Paper();
+  auto queries =
+      ParseAndExpandMdx("{A''.A1} on COLUMNS CONTEXT ABCD;", s, 41).value();
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(queries[0].id(), 41);
+}
+
+}  // namespace
+}  // namespace starshare

@@ -1,0 +1,160 @@
+// Multi-measure fact tables: views carry one SUM column per measure, each
+// query aggregates the measure it names, MDX selects measures via FILTER,
+// and every lifecycle feature (batch build, maintenance, persistence,
+// caching) preserves all measure columns.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/engine.h"
+#include "storage/table_io.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::BruteForce;
+
+StarSchema TwoMeasureSchema() {
+  std::vector<DimensionConfig> dims;
+  dims.push_back({.name = "X", .top_cardinality = 2, .fanouts = {3, 2}});
+  dims.push_back({.name = "Y", .top_cardinality = 2, .fanouts = {3, 2}});
+  return StarSchema(std::move(dims),
+                    std::vector<std::string>{"revenue", "units"});
+}
+
+DimensionalQuery MeasureQuery(const StarSchema& s, int id,
+                              const std::string& target, size_t measure,
+                              std::vector<int32_t> x_members = {0}) {
+  QueryPredicate pred;
+  pred.AddConjunct(s.dim(0), DimPredicate{0, 2, std::move(x_members)});
+  return DimensionalQuery(id, target, GroupBySpec::Parse(target, s).value(),
+                          std::move(pred), AggOp::kSum, measure);
+}
+
+class MultiMeasureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(TwoMeasureSchema());
+    base_ = engine_->LoadFactTable({.num_rows = 9000, .seed = 161});
+  }
+
+  const StarSchema& schema() const { return engine_->schema(); }
+
+  std::unique_ptr<Engine> engine_;
+  MaterializedView* base_ = nullptr;
+};
+
+TEST_F(MultiMeasureTest, SchemaAndTableShape) {
+  EXPECT_EQ(schema().num_measures(), 2u);
+  EXPECT_EQ(schema().MeasureIndex("units").value(), 1u);
+  EXPECT_FALSE(schema().MeasureIndex("profit").ok());
+  EXPECT_EQ(base_->table().num_measures(), 2u);
+  EXPECT_EQ(base_->table().tuple_width_bytes(), 4u * 2 + 8 * 2);
+  EXPECT_EQ(base_->table().measure_name(1), "units");
+}
+
+TEST_F(MultiMeasureTest, QueriesAggregateTheirOwnMeasure) {
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MeasureQuery(schema(), 1, "X'", 0));
+  queries.push_back(MeasureQuery(schema(), 2, "X'", 1));
+  const auto results = engine_->ExecuteNaive(queries);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(results[i].result.ApproxEquals(
+        BruteForce(schema(), base_->table(), queries[i])))
+        << "measure " << i;
+  }
+  // Different measures -> different totals (independently generated).
+  EXPECT_NE(results[0].result.TotalValue(), results[1].result.TotalValue());
+}
+
+TEST_F(MultiMeasureTest, ViewsCarryEveryMeasureColumn) {
+  auto view = engine_->MaterializeView("X'Y'");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value()->table().num_measures(), 2u);
+  // A units query is answerable from the view and matches brute force.
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MeasureQuery(schema(), 1, "X'", 1));
+  const GlobalPlan plan =
+      engine_->Optimize(queries, OptimizerKind::kGlobalGreedy);
+  EXPECT_EQ(plan.classes[0].base->name(), "X'Y'");
+  const auto results = engine_->Execute(plan);
+  EXPECT_TRUE(results[0].result.ApproxEquals(
+      BruteForce(schema(), base_->table(), queries[0])));
+}
+
+TEST_F(MultiMeasureTest, SharedClassMixesMeasures) {
+  // Two queries over different measures share one scan; results must not
+  // cross-contaminate.
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MeasureQuery(schema(), 1, "X'", 0));
+  queries.push_back(MeasureQuery(schema(), 2, "X'", 1, {1}));
+  const GlobalPlan plan =
+      engine_->Optimize(queries, OptimizerKind::kGlobalGreedy);
+  ASSERT_EQ(plan.classes.size(), 1u);
+  engine_->ConsumeIoStats();
+  const auto results = engine_->Execute(plan);
+  EXPECT_EQ(engine_->ConsumeIoStats().seq_pages_read,
+            plan.classes[0].base->table().num_pages());
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(results[i].result.ApproxEquals(
+        BruteForce(schema(), base_->table(), queries[i])));
+  }
+}
+
+TEST_F(MultiMeasureTest, MdxFilterSelectsMeasure) {
+  auto revenue =
+      engine_->ParseMdx("{X''.X1.CHILDREN} on COLUMNS CONTEXT C "
+                        "FILTER (revenue);");
+  auto units = engine_->ParseMdx("{X''.X1.CHILDREN} on COLUMNS CONTEXT C "
+                                 "FILTER (units);");
+  ASSERT_TRUE(revenue.ok());
+  ASSERT_TRUE(units.ok());
+  EXPECT_EQ(revenue.value()[0].measure(), 0u);
+  EXPECT_EQ(units.value()[0].measure(), 1u);
+  const auto a = engine_->ExecuteNaive(revenue.value());
+  const auto b = engine_->ExecuteNaive(units.value());
+  EXPECT_NE(a[0].result.TotalValue(), b[0].result.TotalValue());
+  EXPECT_TRUE(b[0].result.ApproxEquals(
+      BruteForce(schema(), base_->table(), units.value()[0])));
+}
+
+TEST_F(MultiMeasureTest, MaintenancePreservesAllMeasures) {
+  ASSERT_TRUE(engine_->MaterializeView("X''Y'").ok());
+  ASSERT_TRUE(engine_->AppendFacts({.num_rows = 3000, .seed = 9}).ok());
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MeasureQuery(schema(), 1, "X''Y'", 1));
+  const auto results = engine_->ExecuteNaive(queries);
+  EXPECT_TRUE(results[0].result.ApproxEquals(
+      BruteForce(schema(), base_->table(), queries[0])));
+}
+
+TEST_F(MultiMeasureTest, PersistenceRoundTripsMeasures) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "starshare_multimeasure_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(engine_->MaterializeView("X'Y''").ok());
+  ASSERT_TRUE(engine_->SaveCube(dir.string()).ok());
+
+  Engine loaded(TwoMeasureSchema());
+  ASSERT_TRUE(loaded.LoadCube(dir.string()).ok());
+  EXPECT_EQ(loaded.base_view()->table().num_measures(), 2u);
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MeasureQuery(loaded.schema(), 1, "X'", 1));
+  const auto results = loaded.ExecuteNaive(queries);
+  EXPECT_TRUE(results[0].result.ApproxEquals(
+      BruteForce(loaded.schema(), loaded.base_view()->table(), queries[0])));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(MultiMeasureTest, ResultCacheKeysIncludeMeasure) {
+  StarSchema s = TwoMeasureSchema();
+  const DimensionalQuery a = MeasureQuery(s, 1, "X'", 0);
+  const DimensionalQuery b = MeasureQuery(s, 1, "X'", 1);
+  EXPECT_NE(ResultCache::KeyOf(a, s), ResultCache::KeyOf(b, s));
+}
+
+}  // namespace
+}  // namespace starshare

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "opt/local_optimizer.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::MakeQuery;
+using testing::SmallSchema;
+
+TEST(OptimizerKindTest, NamesAndParsing) {
+  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kTplo), "TPLO");
+  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kEtplg), "ETPLG");
+  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kGlobalGreedy), "GG");
+  EXPECT_STREQ(OptimizerKindName(OptimizerKind::kExhaustive), "OPTIMAL");
+  EXPECT_EQ(ParseOptimizerKind("gg").value(), OptimizerKind::kGlobalGreedy);
+  EXPECT_EQ(ParseOptimizerKind("TPLO").value(), OptimizerKind::kTplo);
+  EXPECT_EQ(ParseOptimizerKind("optimal").value(),
+            OptimizerKind::kExhaustive);
+  EXPECT_FALSE(ParseOptimizerKind("nope").ok());
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Flash-like random reads so selective queries can win with indexes
+    // at this small scale.
+    EngineConfig config;
+    config.disk_timings.rand_page_ms = 2.0;
+    engine_ = std::make_unique<Engine>(SmallSchema(), config);
+    engine_->LoadFactTable({.num_rows = 40000, .seed = 51});
+    // The lattice around the paper's Example 2: two "locally optimal" small
+    // views plus their common finer parent.
+    for (const char* spec :
+         {"X'Y'", "X'Y''", "X''Y'", "X''Y''", "X''Y''Z'"}) {
+      ASSERT_TRUE(engine_->MaterializeView(spec).ok()) << spec;
+    }
+    ASSERT_TRUE(
+        engine_->BuildIndexes("XYZ", {"X", "Y", "Z"}).ok());
+  }
+
+  const StarSchema& schema() const { return engine_->schema(); }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(OptimizerTest, LocalOptimizerPicksSmallestAnsweringView) {
+  DimensionalQuery q = MakeQuery(schema(), 1, "X''Y''", {});
+  std::vector<MaterializedView*> candidates;
+  for (const auto& v : engine_->views().all()) {
+    if (v->spec().CanAnswer(q.RequiredSpec(schema()))) {
+      candidates.push_back(v.get());
+    }
+  }
+  const LocalChoice choice =
+      BestLocalPlan(q, candidates, engine_->cost_model());
+  // X''Y'' (4 cells) is the smallest answering view and must win.
+  EXPECT_EQ(choice.view->name(), "X''Y''");
+  EXPECT_EQ(choice.method, JoinMethod::kHashScan);
+}
+
+TEST_F(OptimizerTest, TploKeepsLocalOptimaApart) {
+  // Q1's unique best view is X'Y'' and Q2's is X''Y' — TPLO must not
+  // sacrifice either for sharing (the paper's Fig. 6 situation).
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(schema(), 1, "X'Y''", {}));
+  queries.push_back(MakeQuery(schema(), 2, "X''Y'", {}));
+  GlobalPlan plan = engine_->Optimize(queries, OptimizerKind::kTplo);
+  ASSERT_EQ(plan.classes.size(), 2u);
+  EXPECT_NE(plan.classes[0].base, plan.classes[1].base);
+}
+
+TEST_F(OptimizerTest, TploMergesIdenticalChoices) {
+  // Both queries' local optimum is the same view: phase two merges them.
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(schema(), 1, "X''Y''", {{"X", 2, {0}}}));
+  queries.push_back(MakeQuery(schema(), 2, "X''Y''", {{"Y", 2, {1}}}));
+  GlobalPlan plan = engine_->Optimize(queries, OptimizerKind::kTplo);
+  ASSERT_EQ(plan.classes.size(), 1u);
+  EXPECT_EQ(plan.classes[0].members.size(), 2u);
+}
+
+TEST_F(OptimizerTest, EtplgJoinsExistingClassWhenCheaper) {
+  // Q2 could run on its own view, but joining Q1's class costs only CPU.
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(schema(), 1, "X'Y'", {{"X", 2, {0}}}));
+  queries.push_back(MakeQuery(schema(), 2, "X'Y''", {{"Y", 2, {1}}}));
+  GlobalPlan plan = engine_->Optimize(queries, OptimizerKind::kEtplg);
+  ASSERT_EQ(plan.classes.size(), 1u);
+  EXPECT_EQ(plan.classes[0].members.size(), 2u);
+}
+
+TEST_F(OptimizerTest, GgRebasesOntoCommonParent) {
+  // The paper's Example 2: the two queries' locally optimal views differ
+  // (X'Y'' and X''Y'), but computing both from the common finer view X'Y'
+  // shares its scan. GG must end with a single class on X'Y'.
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(schema(), 1, "X'Y''", {}));
+  queries.push_back(MakeQuery(schema(), 2, "X''Y'", {}));
+
+  GlobalPlan gg = engine_->Optimize(queries, OptimizerKind::kGlobalGreedy);
+  ASSERT_EQ(gg.classes.size(), 1u);
+  EXPECT_EQ(gg.classes[0].base->name(), "X'Y'");
+
+  // ETPLG cannot change a class's base: it ends with two classes and a
+  // costlier plan.
+  GlobalPlan etplg = engine_->Optimize(queries, OptimizerKind::kEtplg);
+  EXPECT_EQ(etplg.classes.size(), 2u);
+  EXPECT_LE(gg.EstMs(), etplg.EstMs());
+}
+
+TEST_F(OptimizerTest, HeuristicsNeverBeatExhaustive) {
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(schema(), 1, "X'Y''", {{"X", 2, {0}}}));
+  queries.push_back(MakeQuery(schema(), 2, "X''Y'", {{"Y", 2, {1}}}));
+  queries.push_back(MakeQuery(schema(), 3, "X''Z'", {{"Z", 1, {1}}}));
+
+  const GlobalPlan optimal =
+      engine_->Optimize(queries, OptimizerKind::kExhaustive);
+  for (OptimizerKind kind : {OptimizerKind::kTplo, OptimizerKind::kEtplg,
+                             OptimizerKind::kGlobalGreedy}) {
+    const GlobalPlan plan = engine_->Optimize(queries, kind);
+    EXPECT_LE(optimal.EstMs(), plan.EstMs() + 1e-9)
+        << OptimizerKindName(kind);
+    EXPECT_EQ(plan.NumQueries(), 3u) << OptimizerKindName(kind);
+  }
+}
+
+TEST_F(OptimizerTest, EveryPlanCoversEveryQueryOnce) {
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(schema(), 1, "X'Y'", {{"X", 2, {0}}}));
+  queries.push_back(MakeQuery(schema(), 2, "X''", {}));
+  queries.push_back(
+      MakeQuery(schema(), 3, "XY", {{"X", 0, {2}}, {"Y", 0, {3}}}));
+  for (OptimizerKind kind :
+       {OptimizerKind::kTplo, OptimizerKind::kEtplg,
+        OptimizerKind::kGlobalGreedy, OptimizerKind::kExhaustive}) {
+    const GlobalPlan plan = engine_->Optimize(queries, kind);
+    std::set<int> ids;
+    for (const auto& cls : plan.classes) {
+      ASSERT_NE(cls.base, nullptr);
+      for (const auto& m : cls.members) {
+        EXPECT_TRUE(ids.insert(m.query->id()).second)
+            << "duplicate query in plan of " << OptimizerKindName(kind);
+        // The class base must actually answer the member.
+        EXPECT_TRUE(
+            cls.base->spec().CanAnswer(m.query->RequiredSpec(schema())));
+      }
+    }
+    EXPECT_EQ(ids.size(), 3u);
+  }
+}
+
+TEST_F(OptimizerTest, PlansUseDistinctClassBases) {
+  // No optimizer should ever emit two classes on one base table (TPLO and
+  // ETPLG merge; GG has MergeClass).
+  std::vector<DimensionalQuery> queries;
+  for (int i = 0; i < 5; ++i) {
+    queries.push_back(MakeQuery(schema(), i + 1, "X''Y''",
+                                {{"X", 2, {i % 2}}}));
+  }
+  for (OptimizerKind kind :
+       {OptimizerKind::kTplo, OptimizerKind::kEtplg,
+        OptimizerKind::kGlobalGreedy, OptimizerKind::kExhaustive}) {
+    const GlobalPlan plan = engine_->Optimize(queries, kind);
+    std::set<const MaterializedView*> bases;
+    for (const auto& cls : plan.classes) {
+      EXPECT_TRUE(bases.insert(cls.base).second)
+          << OptimizerKindName(kind) << " reused a base table";
+    }
+  }
+}
+
+TEST_F(OptimizerTest, NonSumAggregatesPinnedToBaseData) {
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(schema(), 1, "X''", {}, AggOp::kMax));
+  queries.push_back(MakeQuery(schema(), 2, "X''", {}, AggOp::kAvg));
+  for (OptimizerKind kind :
+       {OptimizerKind::kTplo, OptimizerKind::kEtplg,
+        OptimizerKind::kGlobalGreedy, OptimizerKind::kExhaustive}) {
+    const GlobalPlan plan = engine_->Optimize(queries, kind);
+    for (const auto& cls : plan.classes) {
+      EXPECT_EQ(cls.base->spec(), GroupBySpec::Base(schema()))
+          << OptimizerKindName(kind);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, SelectiveQueriesGetIndexPlans) {
+  // Needle queries on the indexed base: the local plan should be an index
+  // probe, and a class of needles should stay index-based.
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(schema(), 1, "XYZ",
+                              {{"X", 0, {1}}, {"Y", 0, {2}}, {"Z", 0, {3}}}));
+  queries.push_back(MakeQuery(schema(), 2, "XYZ",
+                              {{"X", 0, {5}}, {"Y", 0, {6}}, {"Z", 0, {7}}}));
+  const GlobalPlan plan =
+      engine_->Optimize(queries, OptimizerKind::kGlobalGreedy);
+  ASSERT_EQ(plan.classes.size(), 1u);
+  EXPECT_FALSE(plan.classes[0].HasHashMember());
+  EXPECT_EQ(plan.classes[0].base->spec(), GroupBySpec::Base(schema()));
+}
+
+}  // namespace
+}  // namespace starshare

@@ -1,0 +1,162 @@
+// Integration tests on the paper's §7 workload at reduced scale: the nine
+// MDX queries, the Table 1 view set, and the plan shapes behind Tests 4–7.
+
+#include <gtest/gtest.h>
+
+#include "core/paper_workload.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::BruteForce;
+
+class PaperWorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    engine_ = new Engine(StarSchema::PaperTestSchema());
+    PaperWorkload::Setup(*engine_, /*rows=*/60000, /*seed=*/71);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static const StarSchema& schema() { return engine_->schema(); }
+
+  static Engine* engine_;
+};
+
+Engine* PaperWorkloadTest::engine_ = nullptr;
+
+TEST_F(PaperWorkloadTest, SetupMaterializesTableOneViews) {
+  EXPECT_EQ(engine_->views().size(), 6u);  // base + 5
+  for (const std::string& spec : PaperWorkload::ViewSpecs()) {
+    EXPECT_NE(engine_->views().FindByName(spec), nullptr) << spec;
+  }
+  // The indexed view has indexes on all four dimensions.
+  MaterializedView* indexed =
+      engine_->views().FindByName(PaperWorkload::IndexedViewSpec());
+  ASSERT_NE(indexed, nullptr);
+  EXPECT_EQ(indexed->IndexedDims().size(), 4u);
+}
+
+TEST_F(PaperWorkloadTest, QueryTargetsMatchPaper) {
+  const struct {
+    int id;
+    const char* target;
+  } expected[] = {
+      {1, "A'B''C''"}, {2, "A''B'C''"}, {3, "A''B''C''"},
+      {4, "A''B''C''"}, {5, "A'B''C''"}, {6, "A'B'C'"},
+      {7, "A'B'C'"},    {8, "A'B'C''"},  {9, "A'B''C'"},
+  };
+  for (const auto& e : expected) {
+    const DimensionalQuery q = PaperWorkload::MakeQuery(*engine_, e.id);
+    EXPECT_EQ(q.target().ToString(schema()), e.target) << "query " << e.id;
+    EXPECT_EQ(q.id(), e.id);
+    // Every query carries the D.DD1 slicer.
+    const DimPredicate* d = q.predicate().ForDim(3);
+    ASSERT_NE(d, nullptr) << "query " << e.id;
+    EXPECT_EQ(d->level, 1);
+    EXPECT_EQ(d->members, (std::vector<int32_t>{0}));
+  }
+}
+
+TEST_F(PaperWorkloadTest, SelectivityClassesMatchPaper) {
+  // §7.3: Queries 1-4 and 9 are not selective; 5-8 are selective.
+  for (int selective : {5, 6, 7, 8}) {
+    const DimensionalQuery q = PaperWorkload::MakeQuery(*engine_, selective);
+    EXPECT_LT(q.Selectivity(schema()) * 35, 1.0 / 50) << "query " << selective;
+  }
+  for (int broad : {1, 2, 3, 4, 9}) {
+    const DimensionalQuery q = PaperWorkload::MakeQuery(*engine_, broad);
+    EXPECT_GT(q.Selectivity(schema()) * 35, 1.0 / 30) << "query " << broad;
+  }
+}
+
+TEST_F(PaperWorkloadTest, AllNineQueriesEvaluateCorrectlyEverywhere) {
+  // Every query, from every strategy, equals brute force on the base data.
+  for (int i = 1; i <= PaperWorkload::kNumQueries; ++i) {
+    std::vector<DimensionalQuery> queries;
+    queries.push_back(PaperWorkload::MakeQuery(*engine_, i));
+    const QueryResult expected = BruteForce(
+        schema(), engine_->base_view()->table(), queries[0]);
+    const auto naive = engine_->ExecuteNaive(queries);
+    EXPECT_TRUE(naive[0].result.ApproxEquals(expected)) << "naive Q" << i;
+    for (OptimizerKind kind :
+         {OptimizerKind::kTplo, OptimizerKind::kGlobalGreedy}) {
+      const GlobalPlan plan = engine_->Optimize(queries, kind);
+      const auto got = engine_->Execute(plan);
+      EXPECT_TRUE(got[0].result.ApproxEquals(expected))
+          << OptimizerKindName(kind) << " Q" << i;
+    }
+  }
+}
+
+TEST_F(PaperWorkloadTest, Test4ShapeGgSharesMoreThanTplo) {
+  // Test 4 = Queries 1, 2, 3 (non-selective): GG must find logical sharing
+  // and cost no more than ETPLG, which costs no more than TPLO.
+  const auto queries = PaperWorkload::MakeQueries(*engine_, {1, 2, 3});
+  const GlobalPlan tplo = engine_->Optimize(queries, OptimizerKind::kTplo);
+  const GlobalPlan etplg = engine_->Optimize(queries, OptimizerKind::kEtplg);
+  const GlobalPlan gg =
+      engine_->Optimize(queries, OptimizerKind::kGlobalGreedy);
+  const GlobalPlan optimal =
+      engine_->Optimize(queries, OptimizerKind::kExhaustive);
+
+  EXPECT_LE(gg.EstMs(), etplg.EstMs() + 1e-9);
+  EXPECT_LE(etplg.EstMs(), tplo.EstMs() + 1e-9);
+  EXPECT_LE(optimal.EstMs(), gg.EstMs() + 1e-9);
+  // TPLO picks three different local optima (no sharing at all).
+  EXPECT_EQ(tplo.classes.size(), 3u);
+  // GG consolidates onto fewer base tables.
+  EXPECT_LT(gg.classes.size(), tplo.classes.size());
+}
+
+TEST_F(PaperWorkloadTest, Test6ShapeAllSelectiveAgree) {
+  // Test 6 = Queries 6, 7, 8 (very selective): index plans are locally
+  // optimal, there is little logical sharing to find, and all three
+  // algorithms land within a small factor of each other.
+  const auto queries = PaperWorkload::MakeQueries(*engine_, {6, 7, 8});
+  const GlobalPlan tplo = engine_->Optimize(queries, OptimizerKind::kTplo);
+  const GlobalPlan gg =
+      engine_->Optimize(queries, OptimizerKind::kGlobalGreedy);
+  EXPECT_LE(gg.EstMs(), tplo.EstMs() + 1e-9);
+  EXPECT_LT(tplo.EstMs(), 2.0 * gg.EstMs());
+}
+
+TEST_F(PaperWorkloadTest, Test7ShapeTploScattersEtplgShares) {
+  // Test 7 = Queries 1, 7, 9: the paper reports ETPLG = GG = optimal and
+  // TPLO worst because TPLO chooses a different fact table per query.
+  const auto queries = PaperWorkload::MakeQueries(*engine_, {1, 7, 9});
+  const GlobalPlan tplo = engine_->Optimize(queries, OptimizerKind::kTplo);
+  const GlobalPlan etplg = engine_->Optimize(queries, OptimizerKind::kEtplg);
+  const GlobalPlan gg =
+      engine_->Optimize(queries, OptimizerKind::kGlobalGreedy);
+  EXPECT_LE(gg.EstMs(), etplg.EstMs() + 1e-9);
+  EXPECT_LE(etplg.EstMs(), tplo.EstMs() + 1e-9);
+  EXPECT_LT(gg.classes.size(), 3u);  // sharing found
+}
+
+TEST_F(PaperWorkloadTest, SharedExecutionBeatsNaiveOnTest4) {
+  const auto queries = PaperWorkload::MakeQueries(*engine_, {1, 2, 3});
+  const GlobalPlan plan =
+      engine_->Optimize(queries, OptimizerKind::kGlobalGreedy);
+  engine_->ConsumeIoStats();
+  const auto shared = engine_->Execute(plan);
+  const double shared_ms = engine_->ModeledIoMs(engine_->ConsumeIoStats());
+  const auto naive = engine_->ExecuteNaive(queries);
+  const double naive_ms = engine_->ModeledIoMs(engine_->ConsumeIoStats());
+  EXPECT_LT(shared_ms, naive_ms);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(shared[i].result.ApproxEquals(naive[i].result));
+  }
+}
+
+TEST_F(PaperWorkloadTest, RowsFromEnvFallback) {
+  // (Does not set the variable; just exercises the fallback path.)
+  EXPECT_EQ(PaperWorkload::RowsFromEnv(1234), 1234u);
+}
+
+}  // namespace
+}  // namespace starshare

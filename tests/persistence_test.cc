@@ -1,0 +1,136 @@
+// Table file I/O and cube save/load round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/engine.h"
+#include "storage/table_io.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::BruteForce;
+using testing::MakeQuery;
+using testing::SmallSchema;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("starshare_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistenceTest, TableRoundTrip) {
+  Table original("t", {"a", "b"}, "m");
+  for (int32_t r = 0; r < 1000; ++r) {
+    const int32_t keys[] = {r % 7, r % 11};
+    original.AppendRow(keys, r * 0.5);
+  }
+  const std::string path = (dir_ / "t.sstb").string();
+  ASSERT_TRUE(WriteTableFile(original, path).ok());
+
+  auto loaded = ReadTableFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Table& t = *loaded.value();
+  EXPECT_EQ(t.name(), "t");
+  EXPECT_EQ(t.measure_name(), "m");
+  ASSERT_EQ(t.num_key_columns(), 2u);
+  EXPECT_EQ(t.key_column_name(0), "a");
+  ASSERT_EQ(t.num_rows(), 1000u);
+  for (uint64_t r = 0; r < 1000; ++r) {
+    ASSERT_EQ(t.key(0, r), original.key(0, r));
+    ASSERT_EQ(t.key(1, r), original.key(1, r));
+    ASSERT_DOUBLE_EQ(t.measure(r), original.measure(r));
+  }
+}
+
+TEST_F(PersistenceTest, EmptyTableRoundTrip) {
+  Table original("empty", {"k"}, "m");
+  const std::string path = (dir_ / "e.sstb").string();
+  ASSERT_TRUE(WriteTableFile(original, path).ok());
+  auto loaded = ReadTableFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->num_rows(), 0u);
+}
+
+TEST_F(PersistenceTest, ReadErrors) {
+  EXPECT_EQ(ReadTableFile((dir_ / "missing.sstb").string()).status().code(),
+            StatusCode::kNotFound);
+
+  // Not a table file.
+  const std::string junk = (dir_ / "junk.sstb").string();
+  FILE* f = std::fopen(junk.c_str(), "wb");
+  std::fwrite("garbage", 1, 7, f);
+  std::fclose(f);
+  EXPECT_EQ(ReadTableFile(junk).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Truncated file.
+  Table t("t", {"k"}, "m");
+  const int32_t key = 1;
+  for (int i = 0; i < 100; ++i) t.AppendRow(&key, 1.0);
+  const std::string path = (dir_ / "trunc.sstb").string();
+  ASSERT_TRUE(WriteTableFile(t, path).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  EXPECT_EQ(ReadTableFile(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistenceTest, CubeSaveLoadRoundTrip) {
+  Engine original(SmallSchema());
+  original.LoadFactTable({.num_rows = 8000, .seed = 121});
+  ASSERT_TRUE(original.MaterializeView("X'Y'").ok());
+  ASSERT_TRUE(original.MaterializeView("X''Z'", /*clustered=*/true).ok());
+  ASSERT_TRUE(original.SaveCube(dir_.string()).ok());
+
+  Engine loaded(SmallSchema());
+  ASSERT_TRUE(loaded.LoadCube(dir_.string()).ok());
+  EXPECT_EQ(loaded.views().size(), 3u);
+  EXPECT_EQ(loaded.base_view()->table().num_rows(), 8000u);
+  MaterializedView* clustered = loaded.views().FindByName("X''Z'");
+  ASSERT_NE(clustered, nullptr);
+  EXPECT_TRUE(clustered->clustered());
+  EXPECT_FALSE(loaded.views().FindByName("X'Y'")->clustered());
+  EXPECT_TRUE(loaded.base_view()->has_stats());
+
+  // Queries against the loaded cube match brute force on the loaded base.
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(loaded.schema(), 1, "X'Y''", {{"X", 2, {0}}}));
+  const auto results = loaded.ExecuteNaive(queries);
+  EXPECT_TRUE(results[0].result.ApproxEquals(BruteForce(
+      loaded.schema(), loaded.base_view()->table(), queries[0])));
+}
+
+TEST_F(PersistenceTest, LoadRejectsNonEmptyEngine) {
+  Engine original(SmallSchema());
+  original.LoadFactTable({.num_rows = 100, .seed = 1});
+  ASSERT_TRUE(original.SaveCube(dir_.string()).ok());
+  EXPECT_EQ(original.LoadCube(dir_.string()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, LoadMissingDirectoryFails) {
+  Engine engine(SmallSchema());
+  EXPECT_EQ(engine.LoadCube((dir_ / "nope").string()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, SaveWithoutDataFails) {
+  Engine engine(SmallSchema());
+  EXPECT_EQ(engine.SaveCube(dir_.string()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace starshare

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "query/predicate.h"
+#include "query/query.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::MakeQuery;
+
+StarSchema Paper() { return StarSchema::PaperTestSchema(); }
+
+TEST(DimPredicateTest, NormalizeSortsAndDedups) {
+  DimPredicate p{0, 2, {2, 0, 2, 1}};
+  p.Normalize();
+  EXPECT_EQ(p.members, (std::vector<int32_t>{0, 1, 2}));
+}
+
+TEST(DimPredicateTest, MatchesMapsUp) {
+  StarSchema s = Paper();
+  DimPredicate p{0, 2, {0}};  // A'' = A1
+  // Base members 0..14 map to A1 (fanouts 5*3).
+  EXPECT_TRUE(p.Matches(s.dim(0), 0, 0));
+  EXPECT_TRUE(p.Matches(s.dim(0), 0, 14));
+  EXPECT_FALSE(p.Matches(s.dim(0), 0, 15));
+  // From the middle level: A' members 0..2 are under A1.
+  EXPECT_TRUE(p.Matches(s.dim(0), 1, 2));
+  EXPECT_FALSE(p.Matches(s.dim(0), 1, 3));
+  // At the predicate's own level.
+  EXPECT_TRUE(p.Matches(s.dim(0), 2, 0));
+}
+
+TEST(DimPredicateTest, Selectivity) {
+  StarSchema s = Paper();
+  DimPredicate top{0, 2, {0}};
+  EXPECT_DOUBLE_EQ(top.Selectivity(s.dim(0)), 1.0 / 3);
+  DimPredicate mid{0, 1, {0, 1, 2}};
+  EXPECT_DOUBLE_EQ(mid.Selectivity(s.dim(0)), 3.0 / 9);
+  DimPredicate d{3, 1, {0}};
+  EXPECT_DOUBLE_EQ(d.Selectivity(s.dim(3)), 1.0 / 35);
+}
+
+TEST(DimPredicateTest, MembersAtLevelExpandsDescendants) {
+  StarSchema s = Paper();
+  DimPredicate p{0, 2, {1}};  // A2
+  EXPECT_EQ(p.MembersAtLevel(s.dim(0), 2), (std::vector<int32_t>{1}));
+  EXPECT_EQ(p.MembersAtLevel(s.dim(0), 1), (std::vector<int32_t>{3, 4, 5}));
+  EXPECT_EQ(p.MembersAtLevel(s.dim(0), 0).size(), 15u);
+  EXPECT_EQ(p.MembersAtLevel(s.dim(0), 0).front(), 15);
+}
+
+TEST(DimPredicateTest, ToStringNamesMembers) {
+  StarSchema s = Paper();
+  DimPredicate p{0, 2, {0, 2}};
+  EXPECT_EQ(p.ToString(s), "A'' IN {A1, A3}");
+}
+
+TEST(QueryPredicateTest, ForDim) {
+  StarSchema s = Paper();
+  QueryPredicate q;
+  q.AddConjunct(s.dim(0), DimPredicate{0, 2, {0}});
+  EXPECT_NE(q.ForDim(0), nullptr);
+  EXPECT_EQ(q.ForDim(1), nullptr);
+}
+
+TEST(QueryPredicateTest, AddConjunctSameDimIntersects) {
+  StarSchema s = Paper();
+  QueryPredicate q;
+  q.AddConjunct(s.dim(0), DimPredicate{0, 2, {0}});        // under A1
+  q.AddConjunct(s.dim(0), DimPredicate{0, 1, {1, 2, 3}});  // AA2,AA3,AA4
+  const DimPredicate* p = q.ForDim(0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->level, 1);
+  // AA4 (id 3) is under A2, so only AA2, AA3 survive.
+  EXPECT_EQ(p->members, (std::vector<int32_t>{1, 2}));
+}
+
+TEST(QueryPredicateTest, MatchesBaseRowConjunction) {
+  StarSchema s = Paper();
+  QueryPredicate q;
+  q.AddConjunct(s.dim(0), DimPredicate{0, 2, {0}});  // A under A1: 0..14
+  q.AddConjunct(s.dim(2), DimPredicate{2, 2, {2}});  // C under C3: 30..44
+  int32_t yes[] = {3, 0, 40, 0};
+  int32_t no_a[] = {20, 0, 40, 0};
+  int32_t no_c[] = {3, 0, 3, 0};
+  EXPECT_TRUE(q.MatchesBaseRow(s, yes));
+  EXPECT_FALSE(q.MatchesBaseRow(s, no_a));
+  EXPECT_FALSE(q.MatchesBaseRow(s, no_c));
+}
+
+TEST(QueryPredicateTest, SelectivityIsProduct) {
+  StarSchema s = Paper();
+  QueryPredicate q;
+  q.AddConjunct(s.dim(0), DimPredicate{0, 2, {0}});
+  q.AddConjunct(s.dim(3), DimPredicate{3, 1, {0}});
+  EXPECT_DOUBLE_EQ(q.Selectivity(s), (1.0 / 3) * (1.0 / 35));
+}
+
+TEST(QueryPredicateTest, ConstraintLevel) {
+  StarSchema s = Paper();
+  QueryPredicate q;
+  q.AddConjunct(s.dim(0), DimPredicate{0, 1, {0}});
+  EXPECT_EQ(q.ConstraintLevel(s, 0), 1);
+  EXPECT_EQ(q.ConstraintLevel(s, 1), s.dim(1).all_level());
+}
+
+TEST(QueryPredicateTest, EmptyPredicateToString) {
+  StarSchema s = Paper();
+  QueryPredicate q;
+  EXPECT_EQ(q.ToString(s), "TRUE");
+  EXPECT_DOUBLE_EQ(q.Selectivity(s), 1.0);
+  int32_t keys[] = {0, 0, 0, 0};
+  EXPECT_TRUE(q.MatchesBaseRow(s, keys));
+}
+
+// ------------------------------------------------------ DimensionalQuery
+
+TEST(DimensionalQueryTest, RequiredSpecCombinesTargetAndPredicates) {
+  StarSchema s = Paper();
+  // Target A''B'C'' with a predicate on A at level 1 and a slicer on D at
+  // level 1 (D not in the target).
+  DimensionalQuery q = MakeQuery(s, 1, "A''B'C''",
+                                 {{"A", 1, {0}}, {"D", 1, {0}}});
+  const GroupBySpec required = q.RequiredSpec(s);
+  EXPECT_EQ(required.level(0), 1);  // min(target 2, pred 1)
+  EXPECT_EQ(required.level(1), 1);  // target only
+  EXPECT_EQ(required.level(2), 2);
+  EXPECT_EQ(required.level(3), 1);  // slicer only
+}
+
+TEST(DimensionalQueryTest, SelectivityDelegatesToPredicate) {
+  StarSchema s = Paper();
+  DimensionalQuery q = MakeQuery(s, 1, "A''", {{"A", 2, {0, 1}}});
+  EXPECT_DOUBLE_EQ(q.Selectivity(s), 2.0 / 3);
+}
+
+TEST(DimensionalQueryTest, EstimatedGroupsUnrestricted) {
+  StarSchema s = Paper();
+  DimensionalQuery q = MakeQuery(s, 1, "A''B''", {});
+  EXPECT_EQ(q.EstimatedGroups(s), 9u);
+}
+
+TEST(DimensionalQueryTest, EstimatedGroupsWithSelectionAboveOutput) {
+  StarSchema s = Paper();
+  // Group by A' restricted to children of A1: exactly 3 groups.
+  DimensionalQuery q = MakeQuery(s, 1, "A'", {{"A", 2, {0}}});
+  EXPECT_EQ(q.EstimatedGroups(s), 3u);
+}
+
+TEST(DimensionalQueryTest, EstimatedGroupsAtOutputLevel) {
+  StarSchema s = Paper();
+  DimensionalQuery q = MakeQuery(s, 1, "A'", {{"A", 1, {2, 5}}});
+  EXPECT_EQ(q.EstimatedGroups(s), 2u);
+}
+
+TEST(DimensionalQueryTest, ToStringReadable) {
+  StarSchema s = Paper();
+  DimensionalQuery q = MakeQuery(s, 7, "A''B''", {{"A", 2, {1}}});
+  const std::string text = q.ToString(s);
+  EXPECT_NE(text.find("Q7"), std::string::npos);
+  EXPECT_NE(text.find("GROUP BY A''B''"), std::string::npos);
+  EXPECT_NE(text.find("A'' IN {A2}"), std::string::npos);
+}
+
+TEST(DimensionalQueryTest, ToSqlSelectJoinWhereGroupBy) {
+  StarSchema s = Paper();
+  DimensionalQuery q = MakeQuery(s, 1, "A'B''",
+                                 {{"A", 1, {0, 1}}, {"D", 1, {0}}});
+  const std::string sql = q.ToSql(s, "ABCD");
+  EXPECT_NE(sql.find("SELECT Adim.A_lvl1, Bdim.B_lvl2, SUM(ABCD.dollars)"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("FROM ABCD, Adim, Bdim, Ddim"), std::string::npos);
+  EXPECT_NE(sql.find("ABCD.A = Adim.A"), std::string::npos);
+  EXPECT_NE(sql.find("Adim.A_lvl1 IN ('AA1', 'AA2')"), std::string::npos);
+  EXPECT_NE(sql.find("Ddim.D_lvl1 = 'DD1'"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY Adim.A_lvl1, Bdim.B_lvl2"),
+            std::string::npos);
+  // C is neither grouped nor restricted: no join with Cdim.
+  EXPECT_EQ(sql.find("Cdim"), std::string::npos);
+}
+
+TEST(DimensionalQueryTest, ToSqlGrandTotalHasNoGroupBy) {
+  StarSchema s = Paper();
+  DimensionalQuery q = MakeQuery(s, 1, "()", {});
+  const std::string sql = q.ToSql(s);
+  EXPECT_NE(sql.find("SELECT SUM(F.dollars)"), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("GROUP BY"), std::string::npos);
+  EXPECT_EQ(sql.find("WHERE"), std::string::npos);
+}
+
+TEST(DimensionalQueryTest, ToSqlUsesCustomLevelNames) {
+  std::vector<DimensionConfig> dims;
+  dims.push_back({.name = "Time", .top_cardinality = 2, .fanouts = {3}});
+  StarSchema s(std::move(dims), "sales");
+  const_cast<Hierarchy&>(s.dim(0)).SetLevelNames({"Month", "Quarter"});
+  DimensionalQuery q = MakeQuery(s, 1, "Time'", {{"Time", 1, {0}}});
+  const std::string sql = q.ToSql(s);
+  EXPECT_NE(sql.find("Timedim.Quarter"), std::string::npos) << sql;
+}
+
+TEST(AggOpTest, Names) {
+  EXPECT_STREQ(AggOpName(AggOp::kSum), "SUM");
+  EXPECT_STREQ(AggOpName(AggOp::kCount), "COUNT");
+  EXPECT_STREQ(AggOpName(AggOp::kMin), "MIN");
+  EXPECT_STREQ(AggOpName(AggOp::kMax), "MAX");
+  EXPECT_STREQ(AggOpName(AggOp::kAvg), "AVG");
+}
+
+}  // namespace
+}  // namespace starshare

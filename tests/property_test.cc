@@ -1,0 +1,159 @@
+// Randomized property sweeps over the whole stack. For seeds 0..N:
+// generate a random view set and random queries, then check the system
+// invariants the rest of the suite spot-checks:
+//   1. every execution strategy (naive, every optimizer's plan) returns
+//      results identical to brute force on the base data;
+//   2. the exhaustive optimizer's estimated cost never exceeds any
+//      heuristic's;
+//   3. executing a plan never reads more sequential pages than one scan per
+//      class base;
+//   4. plans are well-formed (each query exactly once, answering bases).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::BruteForce;
+using testing::SmallSchema;
+
+struct RandomWorkload {
+  std::unique_ptr<Engine> engine;
+  std::vector<DimensionalQuery> queries;
+};
+
+void MakeWorkloadInto(RandomWorkload& w, uint64_t seed) {
+  Rng rng(seed * 1000003 + 7);
+  EngineConfig config;
+  // Vary the disk profile so both join methods get exercised.
+  config.disk_timings.rand_page_ms = rng.NextBernoulli(0.5) ? 10.0 : 1.5;
+  w.engine = std::make_unique<Engine>(SmallSchema(), config);
+  w.engine->LoadFactTable(
+      {.num_rows = 4000 + rng.NextBounded(8000), .seed = seed});
+
+  const StarSchema& schema = w.engine->schema();
+
+  // Materialize 2-4 random non-base views.
+  const int num_views = 2 + static_cast<int>(rng.NextBounded(3));
+  for (int v = 0; v < num_views; ++v) {
+    std::vector<int> levels(schema.num_dims());
+    bool non_base = false;
+    for (size_t d = 0; d < schema.num_dims(); ++d) {
+      levels[d] = static_cast<int>(
+          rng.NextBounded(schema.dim(d).all_level() + 1));
+      if (levels[d] > 0) non_base = true;
+    }
+    if (!non_base) levels[0] = 1;
+    GroupBySpec spec{std::move(levels)};
+    if (w.engine->views().Find(spec) == nullptr) {
+      ASSERT_TRUE(w.engine->MaterializeView(spec).ok());
+      // Index some views on their retained dimensions.
+      if (rng.NextBernoulli(0.5)) {
+        std::vector<std::string> dims;
+        for (size_t d : spec.RetainedDims(schema)) {
+          dims.push_back(schema.dim(d).dim_name());
+        }
+        ASSERT_TRUE(
+            w.engine->BuildIndexes(spec.ToString(schema), dims).ok());
+      }
+    }
+  }
+  ASSERT_TRUE(w.engine
+                  ->BuildIndexes(GroupBySpec::Base(schema).ToString(schema),
+                                 {"X", "Y", "Z"})
+                  .ok());
+
+  // 2-5 random queries: random target levels, random member predicates.
+  const int num_queries = 2 + static_cast<int>(rng.NextBounded(4));
+  for (int i = 0; i < num_queries; ++i) {
+    std::vector<int> levels(schema.num_dims());
+    QueryPredicate predicate;
+    for (size_t d = 0; d < schema.num_dims(); ++d) {
+      levels[d] = static_cast<int>(
+          rng.NextBounded(schema.dim(d).all_level() + 1));
+      if (levels[d] < schema.dim(d).all_level() && rng.NextBernoulli(0.6)) {
+        const uint32_t card = schema.dim(d).cardinality(levels[d]);
+        const uint32_t picks = 1 + static_cast<uint32_t>(rng.NextBounded(
+                                       std::max<uint32_t>(1, card / 2)));
+        std::vector<int32_t> members;
+        for (uint32_t p = 0; p < picks; ++p) {
+          members.push_back(static_cast<int32_t>(rng.NextBounded(card)));
+        }
+        predicate.AddConjunct(schema.dim(d),
+                              DimPredicate{d, levels[d], members});
+      }
+    }
+    w.queries.emplace_back(i + 1, "rand", GroupBySpec{std::move(levels)},
+                           std::move(predicate));
+  }
+}
+
+class PropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySweep, AllStrategiesAgreeWithBruteForce) {
+  RandomWorkload w;
+  MakeWorkloadInto(w, GetParam());
+  const StarSchema& schema = w.engine->schema();
+  const Table& base = w.engine->base_view()->table();
+
+  std::vector<QueryResult> expected;
+  for (const auto& q : w.queries) {
+    expected.push_back(BruteForce(schema, base, q));
+  }
+
+  const auto naive = w.engine->ExecuteNaive(w.queries);
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    ASSERT_TRUE(naive[i].result.ApproxEquals(expected[i]))
+        << "naive Q" << i + 1;
+  }
+
+  double optimal_cost = -1;
+  for (OptimizerKind kind :
+       {OptimizerKind::kExhaustive, OptimizerKind::kTplo,
+        OptimizerKind::kEtplg, OptimizerKind::kGlobalGreedy}) {
+    const GlobalPlan plan = w.engine->Optimize(w.queries, kind);
+
+    // Well-formedness.
+    std::set<int> ids;
+    for (const auto& cls : plan.classes) {
+      for (const auto& m : cls.members) {
+        ASSERT_TRUE(ids.insert(m.query->id()).second);
+        ASSERT_TRUE(
+            cls.base->spec().CanAnswer(m.query->RequiredSpec(schema)));
+      }
+    }
+    ASSERT_EQ(ids.size(), w.queries.size()) << OptimizerKindName(kind);
+
+    // Cost dominance of the exhaustive plan.
+    if (kind == OptimizerKind::kExhaustive) {
+      optimal_cost = plan.EstMs();
+    } else {
+      EXPECT_LE(optimal_cost, plan.EstMs() + 1e-6)
+          << OptimizerKindName(kind);
+    }
+
+    // Execution correctness + scan accounting.
+    w.engine->ConsumeIoStats();
+    const auto results = w.engine->Execute(plan);
+    const IoStats stats = w.engine->ConsumeIoStats();
+    uint64_t scan_budget = 0;
+    for (const auto& cls : plan.classes) {
+      scan_budget += cls.base->table().num_pages();
+    }
+    EXPECT_LE(stats.seq_pages_read, scan_budget) << OptimizerKindName(kind);
+
+    for (size_t i = 0; i < w.queries.size(); ++i) {
+      ASSERT_TRUE(results[i].result.ApproxEquals(expected[i]))
+          << OptimizerKindName(kind) << " Q" << i + 1;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep, ::testing::Range<uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace starshare

@@ -1,0 +1,142 @@
+// Query result cache: semantic keys, LRU behavior, engine integration and
+// invalidation on data change.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "exec/result_cache.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::BruteForce;
+using testing::MakeQuery;
+using testing::SmallSchema;
+
+TEST(ResultCacheTest, KeyIgnoresIdAndLabel) {
+  StarSchema s = SmallSchema();
+  DimensionalQuery a = MakeQuery(s, 1, "X'Y''", {{"X", 2, {0}}});
+  DimensionalQuery b = MakeQuery(s, 99, "X'Y''", {{"X", 2, {0}}});
+  EXPECT_EQ(ResultCache::KeyOf(a, s), ResultCache::KeyOf(b, s));
+}
+
+TEST(ResultCacheTest, KeyDistinguishesSemantics) {
+  StarSchema s = SmallSchema();
+  DimensionalQuery base = MakeQuery(s, 1, "X'Y''", {{"X", 2, {0}}});
+  // Different members.
+  EXPECT_NE(ResultCache::KeyOf(base, s),
+            ResultCache::KeyOf(MakeQuery(s, 1, "X'Y''", {{"X", 2, {1}}}), s));
+  // Different target.
+  EXPECT_NE(ResultCache::KeyOf(base, s),
+            ResultCache::KeyOf(MakeQuery(s, 1, "X'Y'", {{"X", 2, {0}}}), s));
+  // Different aggregate.
+  EXPECT_NE(
+      ResultCache::KeyOf(base, s),
+      ResultCache::KeyOf(MakeQuery(s, 1, "X'Y''", {{"X", 2, {0}}},
+                                   AggOp::kMax),
+                         s));
+  // Different predicate level.
+  EXPECT_NE(ResultCache::KeyOf(base, s),
+            ResultCache::KeyOf(
+                MakeQuery(s, 1, "X'Y''", {{"X", 1, {0, 1, 2}}}), s));
+}
+
+TEST(ResultCacheTest, LruEviction) {
+  StarSchema s = SmallSchema();
+  ResultCache cache(2);
+  QueryResult r(GroupBySpec::Parse("X''", s).value(), AggOp::kSum);
+  cache.Insert("a", r);
+  cache.Insert("b", r);
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // refresh a
+  cache.Insert("c", r);                   // evicts b
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheTest, InsertRefreshesExisting) {
+  StarSchema s = SmallSchema();
+  ResultCache cache(4);
+  QueryResult r1(GroupBySpec::Parse("X''", s).value(), AggOp::kSum);
+  r1.AddRow({0}, 1.0);
+  QueryResult r2(GroupBySpec::Parse("X''", s).value(), AggOp::kSum);
+  r2.AddRow({0}, 2.0);
+  cache.Insert("k", r1);
+  cache.Insert("k", r2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.Lookup("k")->rows()[0].value, 2.0);
+}
+
+class EngineCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineConfig config;
+    config.result_cache_entries = 16;
+    engine_ = std::make_unique<Engine>(SmallSchema(), config);
+    engine_->LoadFactTable({.num_rows = 10000, .seed = 141});
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(EngineCacheTest, SecondRunIsFree) {
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(engine_->schema(), 1, "X'Y''",
+                              {{"X", 2, {0}}}));
+  queries.push_back(MakeQuery(engine_->schema(), 2, "X''Z'", {}));
+
+  engine_->ConsumeIoStats();
+  const auto first =
+      engine_->ExecuteCached(queries, OptimizerKind::kGlobalGreedy);
+  EXPECT_GT(engine_->ConsumeIoStats().TotalPagesRead(), 0u);
+
+  const auto second =
+      engine_->ExecuteCached(queries, OptimizerKind::kGlobalGreedy);
+  EXPECT_EQ(engine_->ConsumeIoStats().TotalPagesRead(), 0u);  // all hits
+  EXPECT_EQ(engine_->result_cache()->hits(), 2u);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(second[i].query->id(), queries[i].id());
+    EXPECT_TRUE(first[i].result.ApproxEquals(second[i].result));
+    EXPECT_TRUE(first[i].result.ApproxEquals(BruteForce(
+        engine_->schema(), engine_->base_view()->table(), queries[i])));
+  }
+}
+
+TEST_F(EngineCacheTest, PartialHitsExecuteOnlyMisses) {
+  std::vector<DimensionalQuery> warm;
+  warm.push_back(MakeQuery(engine_->schema(), 1, "X''", {{"X", 2, {0}}}));
+  engine_->ExecuteCached(warm, OptimizerKind::kGlobalGreedy);
+
+  std::vector<DimensionalQuery> mixed;
+  mixed.push_back(MakeQuery(engine_->schema(), 1, "Y''", {{"Y", 2, {1}}}));
+  mixed.push_back(MakeQuery(engine_->schema(), 2, "X''", {{"X", 2, {0}}}));
+  const auto results =
+      engine_->ExecuteCached(mixed, OptimizerKind::kGlobalGreedy);
+  ASSERT_EQ(results.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(results[i].result.ApproxEquals(BruteForce(
+        engine_->schema(), engine_->base_view()->table(), mixed[i])));
+  }
+  EXPECT_EQ(engine_->result_cache()->hits(), 1u);
+}
+
+TEST_F(EngineCacheTest, AppendInvalidates) {
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(engine_->schema(), 1, "X''", {}));
+  const auto before =
+      engine_->ExecuteCached(queries, OptimizerKind::kGlobalGreedy);
+  ASSERT_TRUE(engine_->AppendFacts({.num_rows = 2000, .seed = 7}).ok());
+  EXPECT_EQ(engine_->result_cache()->size(), 0u);
+  const auto after =
+      engine_->ExecuteCached(queries, OptimizerKind::kGlobalGreedy);
+  // More facts -> larger totals; a stale cache would return `before`.
+  EXPECT_GT(after[0].result.TotalValue(), before[0].result.TotalValue());
+  EXPECT_TRUE(after[0].result.ApproxEquals(BruteForce(
+      engine_->schema(), engine_->base_view()->table(), queries[0])));
+}
+
+}  // namespace
+}  // namespace starshare

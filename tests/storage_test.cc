@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/disk_model.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/table.h"
+
+namespace starshare {
+namespace {
+
+// ------------------------------------------------------------------ page
+
+TEST(PageTest, PagesForBytes) {
+  EXPECT_EQ(PagesForBytes(0), 0u);
+  EXPECT_EQ(PagesForBytes(1), 1u);
+  EXPECT_EQ(PagesForBytes(kPageSizeBytes), 1u);
+  EXPECT_EQ(PagesForBytes(kPageSizeBytes + 1), 2u);
+  EXPECT_EQ(PagesForBytes(10 * kPageSizeBytes), 10u);
+}
+
+// -------------------------------------------------------------- io_stats
+
+TEST(IoStatsTest, AddAndSubtract) {
+  IoStats a{.seq_pages_read = 10, .rand_pages_read = 3};
+  IoStats b{.seq_pages_read = 4, .rand_pages_read = 1};
+  a += b;
+  EXPECT_EQ(a.seq_pages_read, 14u);
+  EXPECT_EQ(a.rand_pages_read, 4u);
+  const IoStats d = a - b;
+  EXPECT_EQ(d.seq_pages_read, 10u);
+  EXPECT_EQ(d.rand_pages_read, 3u);
+}
+
+TEST(IoStatsTest, TotalPagesRead) {
+  IoStats s{.seq_pages_read = 5, .rand_pages_read = 2, .index_pages_read = 3,
+            .pages_written = 100, .cached_pages = 50};
+  EXPECT_EQ(s.TotalPagesRead(), 10u);  // writes and cache hits excluded
+}
+
+TEST(IoStatsTest, ToStringMentionsCounters) {
+  IoStats s{.seq_pages_read = 7};
+  EXPECT_NE(s.ToString().find("seq=7"), std::string::npos);
+}
+
+// ----------------------------------------------------------- buffer pool
+
+TEST(BufferPoolTest, ZeroCapacityNeverHits) {
+  BufferPool pool(0);
+  EXPECT_FALSE(pool.Access(1, 0));
+  EXPECT_FALSE(pool.Access(1, 0));
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+TEST(BufferPoolTest, SecondAccessHits) {
+  BufferPool pool(8);
+  EXPECT_FALSE(pool.Access(1, 5));
+  EXPECT_TRUE(pool.Access(1, 5));
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPoolTest, DistinctTablesDistinctPages) {
+  BufferPool pool(8);
+  pool.Access(1, 5);
+  EXPECT_FALSE(pool.Access(2, 5));  // same page id, different table
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(2);
+  pool.Access(1, 0);
+  pool.Access(1, 1);
+  pool.Access(1, 2);                 // evicts page 0
+  EXPECT_FALSE(pool.Access(1, 0));   // page 0 gone (this evicts page 1)
+  EXPECT_TRUE(pool.Access(1, 2));    // page 2 still resident
+}
+
+TEST(BufferPoolTest, AccessRefreshesRecency) {
+  BufferPool pool(2);
+  pool.Access(1, 0);
+  pool.Access(1, 1);
+  pool.Access(1, 0);                // 0 becomes MRU
+  pool.Access(1, 2);                // evicts 1, not 0
+  EXPECT_TRUE(pool.Access(1, 0));
+}
+
+TEST(BufferPoolTest, ClearDropsEverything) {
+  BufferPool pool(4);
+  pool.Access(1, 0);
+  pool.Clear();
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  EXPECT_FALSE(pool.Access(1, 0));
+}
+
+// ------------------------------------------------------------ disk model
+
+TEST(DiskModelTest, ChargesSequentialAndRandom) {
+  DiskModel disk;
+  disk.ReadSequential(1, 0);
+  disk.ReadSequential(1, 1);
+  disk.ReadRandom(1, 7);
+  disk.ReadIndexPages(3);
+  disk.WritePages(2);
+  EXPECT_EQ(disk.stats().seq_pages_read, 2u);
+  EXPECT_EQ(disk.stats().rand_pages_read, 1u);
+  EXPECT_EQ(disk.stats().index_pages_read, 3u);
+  EXPECT_EQ(disk.stats().pages_written, 2u);
+}
+
+TEST(DiskModelTest, BufferPoolAbsorbsRereads) {
+  BufferPool pool(16);
+  DiskModel disk;
+  disk.AttachBufferPool(&pool);
+  disk.ReadSequential(1, 0);
+  disk.ReadSequential(1, 0);
+  EXPECT_EQ(disk.stats().seq_pages_read, 1u);
+  EXPECT_EQ(disk.stats().cached_pages, 1u);
+}
+
+TEST(DiskModelTest, ModeledIoUsesTimings) {
+  DiskTimings timings{.seq_page_ms = 2.0, .rand_page_ms = 20.0,
+                      .index_page_ms = 1.0, .write_page_ms = 0.5};
+  DiskModel disk(timings);
+  disk.ReadSequential(1, 0);
+  disk.ReadRandom(1, 1);
+  disk.ReadIndexPages(4);
+  disk.WritePages(2);
+  EXPECT_DOUBLE_EQ(disk.ModeledIoMs(), 2.0 + 20.0 + 4.0 + 1.0);
+}
+
+TEST(DiskModelTest, ResetStats) {
+  DiskModel disk;
+  disk.ReadSequential(1, 0);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().seq_pages_read, 0u);
+}
+
+// ----------------------------------------------------------------- table
+
+Table MakeTable(uint64_t rows, size_t keys = 2) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < keys; ++i) names.push_back("k" + std::to_string(i));
+  Table t("t", names, "m");
+  std::vector<int32_t> key(keys);
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < keys; ++i) key[i] = static_cast<int32_t>(r % 10);
+    t.AppendRow(key.data(), static_cast<double>(r));
+  }
+  return t;
+}
+
+TEST(TableTest, Geometry) {
+  Table t = MakeTable(1000, 4);
+  EXPECT_EQ(t.num_rows(), 1000u);
+  EXPECT_EQ(t.tuple_width_bytes(), 4u * 4 + 8);  // 24 bytes
+  EXPECT_EQ(t.rows_per_page(), kPageSizeBytes / 24);
+  EXPECT_EQ(t.num_pages(), PagesForBytes(1000 * 24));
+  EXPECT_EQ(t.PageOfRow(0), 0u);
+  EXPECT_EQ(t.PageOfRow(t.rows_per_page()), 1u);
+}
+
+TEST(TableTest, EmptyTableHasNoPages) {
+  Table t("e", {"k"}, "m");
+  EXPECT_EQ(t.num_pages(), 0u);
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t("t", {"a", "b"}, "m");
+  const int32_t keys[] = {3, 9};
+  t.AppendRow(keys, 2.5);
+  EXPECT_EQ(t.key(0, 0), 3);
+  EXPECT_EQ(t.key(1, 0), 9);
+  EXPECT_DOUBLE_EQ(t.measure(0), 2.5);
+}
+
+TEST(TableTest, ScanChargesOnePagePerPage) {
+  Table t = MakeTable(5000, 4);
+  DiskModel disk;
+  uint64_t rows_seen = 0;
+  t.ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+    rows_seen += end - begin;
+  });
+  EXPECT_EQ(rows_seen, 5000u);
+  EXPECT_EQ(disk.stats().seq_pages_read, t.num_pages());
+}
+
+TEST(TableTest, ScanBatchesAlignToPages) {
+  Table t = MakeTable(1000, 4);
+  DiskModel disk;
+  const uint64_t rpp = t.rows_per_page();
+  uint64_t expected_begin = 0;
+  t.ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LE(end - begin, rpp);
+    expected_begin = end;
+  });
+  EXPECT_EQ(expected_begin, 1000u);
+}
+
+TEST(TableTest, ProbeChargesDistinctPagesOnly) {
+  Table t = MakeTable(5000, 4);
+  DiskModel disk;
+  const uint64_t rpp = t.rows_per_page();
+  // Three probes on page 0, two on page 2.
+  std::vector<uint64_t> positions = {0, 1, 2, 2 * rpp, 2 * rpp + 1};
+  uint64_t seen = 0;
+  t.ProbePositions(disk, positions, [&](uint64_t) { ++seen; });
+  EXPECT_EQ(seen, 5u);
+  EXPECT_EQ(disk.stats().rand_pages_read, 2u);
+}
+
+TEST(TableTest, ProbeEmptyPositions) {
+  Table t = MakeTable(100, 2);
+  DiskModel disk;
+  t.ProbePositions(disk, {}, [](uint64_t) { FAIL(); });
+  EXPECT_EQ(disk.stats().rand_pages_read, 0u);
+}
+
+// --------------------------------------------------------------- catalog
+
+TEST(CatalogTest, RegisterAssignsDistinctIds) {
+  Catalog catalog;
+  auto* a = catalog.Register(std::make_unique<Table>(
+                               "a", std::vector<std::string>{"k"}, "m"))
+                .value();
+  auto* b = catalog.Register(std::make_unique<Table>(
+                               "b", std::vector<std::string>{"k"}, "m"))
+                .value();
+  EXPECT_NE(a->id(), 0u);
+  EXPECT_NE(a->id(), b->id());
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .Register(std::make_unique<Table>(
+                      "t", std::vector<std::string>{"k"}, "m"))
+                  .ok());
+  EXPECT_FALSE(catalog
+                   .Register(std::make_unique<Table>(
+                       "t", std::vector<std::string>{"k"}, "m"))
+                   .ok());
+}
+
+TEST(CatalogTest, FindAndDrop) {
+  Catalog catalog;
+  catalog.Register(
+      std::make_unique<Table>("t", std::vector<std::string>{"k"}, "m"));
+  EXPECT_NE(catalog.Find("t"), nullptr);
+  EXPECT_EQ(catalog.Find("nope"), nullptr);
+  EXPECT_TRUE(catalog.Drop("t").ok());
+  EXPECT_EQ(catalog.Find("t"), nullptr);
+  EXPECT_FALSE(catalog.Drop("t").ok());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  catalog.Register(
+      std::make_unique<Table>("zeta", std::vector<std::string>{"k"}, "m"));
+  catalog.Register(
+      std::make_unique<Table>("alpha", std::vector<std::string>{"k"}, "m"));
+  const auto names = catalog.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace starshare

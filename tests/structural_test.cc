@@ -1,0 +1,162 @@
+// Structural / robustness coverage: deep hierarchies and wide schemas,
+// DropView, CSV export, the GG MergeClass path, and the exhaustive
+// optimizer's node-cap fallback.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "opt/exhaustive.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::BruteForce;
+using testing::MakeQuery;
+using testing::SmallSchema;
+
+// Five dimensions, one with a 5-level hierarchy — deeper and wider than
+// anything else in the suite.
+StarSchema DeepSchema() {
+  std::vector<DimensionConfig> dims;
+  dims.push_back({.name = "P", .top_cardinality = 2, .fanouts = {2, 2, 2, 2}});
+  dims.push_back({.name = "Q", .top_cardinality = 3, .fanouts = {4}});
+  dims.push_back({.name = "R", .top_cardinality = 2, .fanouts = {5, 2}});
+  dims.push_back({.name = "S", .top_cardinality = 4, .fanouts = {}});
+  dims.push_back({.name = "T", .top_cardinality = 2, .fanouts = {6}});
+  return StarSchema(std::move(dims), "v");
+}
+
+TEST(DeepSchemaTest, HierarchyArithmeticAtDepthFive) {
+  StarSchema s = DeepSchema();
+  const Hierarchy& p = s.dim(0);
+  EXPECT_EQ(p.num_levels(), 5);
+  EXPECT_EQ(p.cardinality(0), 32u);
+  EXPECT_EQ(p.cardinality(4), 2u);
+  EXPECT_EQ(p.MapUp(0, 4, 31), 1);
+  EXPECT_EQ(p.MapUp(1, 3, 7), 1);
+  EXPECT_EQ(p.DescendantsAtLevel(4, 0, 0).size(), 16u);
+  EXPECT_EQ(p.MemberName(0, 0), "PPPPP1");
+  EXPECT_EQ(p.FindMember("PPP3").value(), (std::pair<int, int32_t>{2, 2}));
+}
+
+TEST(DeepSchemaTest, EndToEndAcrossFiveDims) {
+  Engine engine(DeepSchema());
+  engine.LoadFactTable({.num_rows = 12000, .seed = 151});
+  ASSERT_TRUE(engine.MaterializeView("P''Q'R'T").ok());
+  ASSERT_TRUE(engine.MaterializeView("P'''S").ok());
+
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(engine.schema(), 1, "P'''Q'",
+                              {{"P", 4, {0}}, {"T", 1, {1}}}));
+  queries.push_back(MakeQuery(engine.schema(), 2, "P''''S", {{"S", 0, {2}}}));
+  queries.push_back(MakeQuery(engine.schema(), 3, "R''T'", {}));
+
+  for (OptimizerKind kind :
+       {OptimizerKind::kTplo, OptimizerKind::kGlobalGreedy,
+        OptimizerKind::kExhaustive}) {
+    const GlobalPlan plan = engine.Optimize(queries, kind);
+    const auto results = engine.Execute(plan);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_TRUE(results[i].result.ApproxEquals(BruteForce(
+          engine.schema(), engine.base_view()->table(), queries[i])))
+          << OptimizerKindName(kind) << " Q" << i + 1;
+    }
+  }
+}
+
+TEST(DropViewTest, RemovesFromPlansAndCatalog) {
+  Engine engine(SmallSchema());
+  engine.LoadFactTable({.num_rows = 8000, .seed = 153});
+  ASSERT_TRUE(engine.MaterializeView("X'Y'").ok());
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(engine.schema(), 1, "X'Y''", {{"X", 2, {0}}}));
+
+  GlobalPlan with_view =
+      engine.Optimize(queries, OptimizerKind::kGlobalGreedy);
+  EXPECT_EQ(with_view.classes[0].base->name(), "X'Y'");
+
+  ASSERT_TRUE(engine.DropView("X'Y'").ok());
+  EXPECT_EQ(engine.views().FindByName("X'Y'"), nullptr);
+  EXPECT_EQ(engine.catalog().Find("X'Y'"), nullptr);
+
+  // Planning falls back to the base and stays correct.
+  GlobalPlan without =
+      engine.Optimize(queries, OptimizerKind::kGlobalGreedy);
+  EXPECT_EQ(without.classes[0].base, engine.base_view());
+  const auto results = engine.Execute(without);
+  EXPECT_TRUE(results[0].result.ApproxEquals(BruteForce(
+      engine.schema(), engine.base_view()->table(), queries[0])));
+
+  // Error paths.
+  EXPECT_EQ(engine.DropView("X'Y'").code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.DropView("XYZ").code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(engine.DropView("garbage!").ok());
+}
+
+TEST(CsvTest, HeaderNamesAndRoundTrippableValues) {
+  StarSchema s = SmallSchema();
+  QueryResult r(GroupBySpec::Parse("X''Z'", s).value(), AggOp::kSum);
+  r.AddRow({0, 2}, 1234.5625);
+  r.AddRow({1, 0}, -0.125);
+  r.Canonicalize();
+  const std::string csv = r.ToCsv(s);
+  // Z has two levels, so Z' (the top) uses single-copy names Z1..Z3.
+  EXPECT_EQ(csv,
+            "X'',Z',SUM_amount\n"
+            "X1,Z3,1234.5625\n"
+            "X2,Z1,-0.125\n");
+}
+
+TEST(GlobalGreedyTest, MergeClassFoldsConvergingClasses) {
+  // Three queries processed in GroupbyLevel order: the first two open
+  // classes on different views; the third makes one class rebase onto the
+  // other's base, which must merge them (one class, one scan).
+  Engine engine(SmallSchema());
+  engine.LoadFactTable({.num_rows = 30000, .seed = 155});
+  ASSERT_TRUE(engine.MaterializeView("X'Y'Z'").ok());
+
+  std::vector<DimensionalQuery> queries;
+  // All three answerable by X'Y'Z'; their "local best" views differ only
+  // through the shared base. With one non-base view, GG consolidates all
+  // onto it and MergeClass guarantees no duplicate bases.
+  queries.push_back(MakeQuery(engine.schema(), 1, "X'Y'", {{"X", 2, {0}}}));
+  queries.push_back(MakeQuery(engine.schema(), 2, "Y'Z'", {{"Y", 2, {1}}}));
+  queries.push_back(MakeQuery(engine.schema(), 3, "X'Z'", {{"Z", 1, {1}}}));
+
+  const GlobalPlan plan =
+      engine.Optimize(queries, OptimizerKind::kGlobalGreedy);
+  std::set<const MaterializedView*> bases;
+  for (const auto& cls : plan.classes) {
+    EXPECT_TRUE(bases.insert(cls.base).second) << "duplicate class base";
+  }
+  EXPECT_EQ(plan.classes.size(), 1u);
+  EXPECT_EQ(plan.classes[0].base->name(), "X'Y'Z'");
+}
+
+TEST(ExhaustiveTest, NodeCapStillReturnsValidPlan) {
+  // 10 queries x many candidate views overflow any reasonable node budget;
+  // the optimizer must still return a well-formed plan no worse than GG.
+  Engine engine(SmallSchema());
+  engine.LoadFactTable({.num_rows = 5000, .seed = 157});
+  for (const char* spec :
+       {"X'Y'Z", "X'Y'Z'", "X''Y'Z", "X'Y''Z", "X'Y'", "X''Z'", "Y'Z'"}) {
+    ASSERT_TRUE(engine.MaterializeView(spec).ok()) << spec;
+  }
+  std::vector<DimensionalQuery> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(MakeQuery(engine.schema(), i + 1, "X''Y''",
+                                {{"X", 2, {i % 2}}, {"Y", 2, {(i / 2) % 2}}}));
+  }
+  const GlobalPlan optimal =
+      engine.Optimize(queries, OptimizerKind::kExhaustive);
+  const GlobalPlan gg =
+      engine.Optimize(queries, OptimizerKind::kGlobalGreedy);
+  EXPECT_EQ(optimal.NumQueries(), 10u);
+  EXPECT_LE(optimal.EstMs(), gg.EstMs() + 1e-9);
+  const auto results = engine.Execute(optimal);
+  EXPECT_EQ(results.size(), 10u);
+}
+
+}  // namespace
+}  // namespace starshare

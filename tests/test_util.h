@@ -1,0 +1,108 @@
+// Shared helpers for the StarShare test suite: tiny deterministic schemas,
+// a brute-force reference evaluator, and query construction shorthand.
+
+#ifndef STARSHARE_TESTS_TEST_UTIL_H_
+#define STARSHARE_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "schema/star_schema.h"
+#include "storage/table.h"
+
+namespace starshare {
+namespace testing {
+
+// A small 3-dimension schema: X, Y with 3-level hierarchies (top 2,
+// fanouts 2 then 3 -> base 12), Z with 2 levels (top 3, fanout 4 -> 12).
+inline StarSchema SmallSchema() {
+  std::vector<DimensionConfig> dims;
+  dims.push_back({.name = "X", .top_cardinality = 2, .fanouts = {3, 2}});
+  dims.push_back({.name = "Y", .top_cardinality = 2, .fanouts = {3, 2}});
+  dims.push_back({.name = "Z", .top_cardinality = 3, .fanouts = {4}});
+  return StarSchema(std::move(dims), "amount");
+}
+
+// Brute-force reference: evaluate `query` by scanning the base (level-0)
+// table directly, with no operators, indexes or views involved.
+inline QueryResult BruteForce(const StarSchema& schema, const Table& base,
+                              const DimensionalQuery& query) {
+  const auto retained = query.target().RetainedDims(schema);
+  std::map<std::vector<int32_t>, std::pair<double, uint64_t>> groups;
+  std::vector<int32_t> keys(schema.num_dims());
+  for (uint64_t row = 0; row < base.num_rows(); ++row) {
+    for (size_t d = 0; d < schema.num_dims(); ++d) {
+      keys[d] = base.key(d, row);
+    }
+    if (!query.predicate().MatchesBaseRow(schema, keys.data())) continue;
+    std::vector<int32_t> group;
+    group.reserve(retained.size());
+    for (size_t d : retained) {
+      group.push_back(
+          schema.dim(d).MapUp(0, query.target().level(d), keys[d]));
+    }
+    auto& [agg, count] = groups[group];
+    const double v = base.measure(row, query.measure());
+    switch (query.agg()) {
+      case AggOp::kSum:
+      case AggOp::kAvg:
+        agg += v;
+        break;
+      case AggOp::kCount:
+        break;
+      case AggOp::kMin:
+        agg = count == 0 ? v : std::min(agg, v);
+        break;
+      case AggOp::kMax:
+        agg = count == 0 ? v : std::max(agg, v);
+        break;
+    }
+    ++count;
+  }
+  QueryResult result(query.target(), query.agg());
+  for (const auto& [group, accum] : groups) {
+    double value = accum.first;
+    if (query.agg() == AggOp::kCount) {
+      value = static_cast<double>(accum.second);
+    } else if (query.agg() == AggOp::kAvg) {
+      value = accum.first / static_cast<double>(accum.second);
+    }
+    result.AddRow(group, value);
+  }
+  result.Canonicalize();
+  return result;
+}
+
+// Builds a query in one line: target spec text plus (dim, level, members)
+// predicate triples.
+struct PredSpec {
+  std::string dim;
+  int level;
+  std::vector<int32_t> members;
+};
+
+inline DimensionalQuery MakeQuery(const StarSchema& schema, int id,
+                                  const std::string& target_spec,
+                                  const std::vector<PredSpec>& preds,
+                                  AggOp agg = AggOp::kSum) {
+  auto target = GroupBySpec::Parse(target_spec, schema);
+  SS_CHECK_MSG(target.ok(), "%s", target.status().ToString().c_str());
+  QueryPredicate predicate;
+  for (const PredSpec& p : preds) {
+    auto dim = schema.DimIndex(p.dim);
+    SS_CHECK(dim.ok());
+    predicate.AddConjunct(schema.dim(dim.value()),
+                          DimPredicate{dim.value(), p.level, p.members});
+  }
+  return DimensionalQuery(id, target_spec, std::move(target.value()),
+                          std::move(predicate), agg);
+}
+
+}  // namespace testing
+}  // namespace starshare
+
+#endif  // STARSHARE_TESTS_TEST_UTIL_H_
