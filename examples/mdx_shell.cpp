@@ -7,15 +7,24 @@
 //   \q<N>           run paper query N (e.g. \q5)
 //   \opt NAME       switch optimizer (tplo | etplg | gg | optimal)
 //   \sql            toggle printing each component query as SQL (§2)
+//   \save DIR       persist the cube (checksummed v3 table files)
+//   \load DIR       replace the session's cube with a saved one
+//   \fault SITE [p] arm a fault at an injection site (\fault off disarms)
 //   \quit           exit
+//
+// Every failure — bad MDX, a missing or corrupt cube file, an injected
+// fault during execution — prints a diagnostic and returns to the prompt;
+// the REPL never dies with the query.
 //
 //   ./build/examples/mdx_shell [rows]      (reads from stdin; pipe-friendly)
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "common/fault_injector.h"
 #include "common/str_util.h"
 #include "core/paper_workload.h"
 
@@ -49,12 +58,49 @@ void RunMdx(Engine& engine, const std::string& mdx, OptimizerKind kind,
   const auto results = engine.Execute(plan);
   const IoStats io = engine.ConsumeIoStats();
   for (const auto& r : results) {
-    std::printf("\nQ%d (%zu groups):\n%s", r.query->id(),
+    if (!r.ok()) {
+      std::printf("\nQ%d FAILED: %s\n", r.query->id(),
+                  r.status.ToString().c_str());
+      continue;
+    }
+    std::printf("\nQ%d (%zu groups)%s:\n%s", r.query->id(),
                 r.result.num_rows(),
+                r.degraded ? "  [degraded: fact-table fallback]" : "",
                 r.result.ToString(engine.schema(), 10).c_str());
+  }
+  if (!engine.last_execution_report().clean()) {
+    std::printf("\nexecution report: %s",
+                engine.last_execution_report().ToString().c_str());
   }
   std::printf("\nio: %s  (modeled %.1f ms)\n", io.ToString().c_str(),
               engine.ModeledIoMs(io));
+}
+
+// \fault SITE [probability] | \fault off — arms one site (defaults to an
+// always-firing error fault) so degradation can be watched interactively.
+void HandleFaultCommand(const std::string& args) {
+  if (args == "off") {
+    FaultInjector::Instance().Disable();
+    std::printf("fault injection off\n");
+    return;
+  }
+  const size_t space = args.find(' ');
+  const std::string site = args.substr(0, space);
+  double probability = 1.0;
+  if (space != std::string::npos) {
+    probability = std::strtod(args.c_str() + space + 1, nullptr);
+  }
+  if (site.empty()) {
+    std::printf("usage: \\fault SITE [probability] | \\fault off\n");
+    return;
+  }
+  if (!FaultInjector::enabled()) FaultInjector::Instance().Enable(42);
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.probability = probability;
+  FaultInjector::Instance().Arm(site, spec);
+  std::printf("armed %s with p=%g (see DESIGN.md for site names)\n",
+              site.c_str(), probability);
 }
 
 }  // namespace
@@ -67,8 +113,8 @@ int main(int argc, char** argv) {
   std::printf("End expressions with ';'. \\queries lists canned queries; "
               "\\quit exits.\n");
 
-  Engine engine(StarSchema::PaperTestSchema());
-  PaperWorkload::Setup(engine, rows);
+  auto engine_ptr = std::make_unique<Engine>(StarSchema::PaperTestSchema());
+  PaperWorkload::Setup(*engine_ptr, rows);
   OptimizerKind kind = OptimizerKind::kGlobalGreedy;
   bool show_sql = false;
 
@@ -77,6 +123,7 @@ int main(int argc, char** argv) {
   std::printf("mdx> ");
   std::fflush(stdout);
   while (std::getline(std::cin, line)) {
+    Engine& engine = *engine_ptr;
     // Meta commands act on a whole line.
     if (buffer.empty() && !line.empty() && line[0] == '\\') {
       if (line == "\\quit" || line == "\\q") break;
@@ -102,6 +149,30 @@ int main(int argc, char** argv) {
         } else {
           std::printf("%s\n", parsed.status().ToString().c_str());
         }
+      } else if (StartsWith(line, "\\save ")) {
+        const Status s = engine.SaveCube(line.substr(6));
+        std::printf("%s\n", s.ok() ? "cube saved" : s.ToString().c_str());
+      } else if (StartsWith(line, "\\load ")) {
+        // Load into a fresh engine; the session's cube is replaced only on
+        // success, so a missing or corrupt cube file costs nothing.
+        auto fresh = std::make_unique<Engine>(StarSchema::PaperTestSchema());
+        std::vector<std::string> skipped;
+        const Status s = fresh->LoadCube(line.substr(6), &skipped);
+        if (s.ok()) {
+          engine_ptr = std::move(fresh);
+          std::printf("cube loaded (%zu views)\n",
+                      engine_ptr->views().size());
+          for (const std::string& spec : skipped) {
+            std::printf("  warning: skipped corrupt view file for %s\n",
+                        spec.c_str());
+          }
+        } else {
+          std::printf("load failed: %s\n", s.ToString().c_str());
+        }
+      } else if (StartsWith(line, "\\fault")) {
+        const size_t arg_at = line.find(' ');
+        HandleFaultCommand(
+            arg_at == std::string::npos ? "" : line.substr(arg_at + 1));
       } else if (line.size() >= 3 && line[1] == 'q' && isdigit(line[2])) {
         const int id = std::atoi(line.c_str() + 2);
         if (id >= 1 && id <= PaperWorkload::kNumQueries) {

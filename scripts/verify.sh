@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain build + full test suite, then the same
+# suite under AddressSanitizer + UBSan (-DSTARSHARE_SANITIZE=ON). Both must
+# pass. Run from the repository root:
+#
+#   scripts/verify.sh [jobs]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> plain build + tests"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> ASan+UBSan build + tests"
+cmake -B build-sanitize -S . -DSTARSHARE_SANITIZE=ON >/dev/null
+cmake --build build-sanitize -j "$JOBS"
+ASAN_OPTIONS=detect_leaks=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+
+echo "==> verify OK"

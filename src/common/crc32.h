@@ -1,0 +1,30 @@
+// CRC-32 (the IEEE 802.3 polynomial, as used by zip/png) for table-file
+// section checksums. Table-driven, byte-at-a-time: ~500 MB/s, plenty for
+// load/save paths which are not hot.
+
+#ifndef STARSHARE_COMMON_CRC32_H_
+#define STARSHARE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace starshare {
+
+// One-shot CRC of a buffer. Chain calls by passing the previous return
+// value as `seed` to checksum discontiguous sections as one stream.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+// Incremental accumulator for checksumming a section as it is serialized.
+class Crc32Accumulator {
+ public:
+  void Update(const void* data, size_t n) { crc_ = Crc32(data, n, crc_); }
+  uint32_t value() const { return crc_; }
+  void Reset() { crc_ = 0; }
+
+ private:
+  uint32_t crc_ = 0;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_COMMON_CRC32_H_

@@ -1,0 +1,84 @@
+#include "common/fault_injector.h"
+
+namespace starshare {
+
+std::atomic<bool> FaultInjector::enabled_{false};
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kShortRead:
+      return "short-read";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Enable(uint64_t seed) {
+  rng_ = Rng(seed);
+  sites_.clear();
+  total_fires_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  sites_.clear();
+  total_fires_ = 0;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  SS_CHECK_MSG(enabled(), "FaultInjector::Arm before Enable");
+  SiteState state;
+  state.spec = spec;
+  sites_[site] = state;  // re-arming resets the site's counters
+}
+
+void FaultInjector::Disarm(const std::string& site) { sites_.erase(site); }
+
+std::optional<FaultKind> FaultInjector::Hit(const char* site, int64_t key) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return std::nullopt;
+  SiteState& state = it->second;
+  const FaultSpec& spec = state.spec;
+  if (spec.key != FaultSpec::kAnyKey && spec.key != key) return std::nullopt;
+  ++state.hits;
+  if (spec.max_fires >= 0 &&
+      state.fires >= static_cast<uint64_t>(spec.max_fires)) {
+    return std::nullopt;
+  }
+  bool fire;
+  if (spec.countdown >= 1) {
+    fire = state.hits == static_cast<uint64_t>(spec.countdown);
+  } else {
+    fire = rng_.NextBernoulli(spec.probability);
+  }
+  if (!fire) return std::nullopt;
+  ++state.fires;
+  ++total_fires_;
+  return spec.kind;
+}
+
+uint64_t FaultInjector::NextBitIndex(uint64_t n_bytes) {
+  if (n_bytes == 0) return 0;
+  return rng_.NextBounded(n_bytes * 8);
+}
+
+uint64_t FaultInjector::hits(const std::string& site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::fires(const std::string& site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace starshare

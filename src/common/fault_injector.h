@@ -1,0 +1,114 @@
+// Deterministic fault injection for robustness testing.
+//
+// Production code is threaded with *named injection sites* (e.g.
+// "table_io.read", "disk.read_seq", "exec.bind_query"). A test arms a site
+// with a FaultSpec — fail with probability p, or on exactly the Nth hit —
+// and the code under test observes an injected I/O error, short read or
+// bit-flip at that point. Everything is driven by one explicit seed, so a
+// failing schedule replays exactly.
+//
+// The injector is OFF by default and costs one relaxed atomic load per site
+// when disabled (see FaultHit below); no site allocates, locks or draws
+// random numbers unless a test called FaultInjector::Enable. The injector
+// is not thread-safe — like the rest of StarShare it assumes a
+// single-threaded engine.
+//
+// Site names in use are catalogued in DESIGN.md ("Failure model & fault
+// injection").
+
+#ifndef STARSHARE_COMMON_FAULT_INJECTOR_H_
+#define STARSHARE_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace starshare {
+
+enum class FaultKind : uint8_t {
+  kError,      // the operation fails outright (fopen/fread/... error)
+  kShortRead,  // the read returns fewer bytes than requested
+  kBitFlip,    // the read succeeds but one bit of the buffer is flipped
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// When a site fires. Exactly one trigger applies: `countdown >= 1` fires on
+// that (1-based) matching hit only; otherwise every matching hit fires with
+// `probability`. `key` restricts the spec to hits carrying the same key
+// (operators pass the query id); kAnyKey matches every hit. `max_fires`
+// bounds the total number of fires (-1 = unbounded).
+struct FaultSpec {
+  static constexpr int64_t kAnyKey = -1;
+
+  FaultKind kind = FaultKind::kError;
+  double probability = 1.0;
+  int64_t countdown = -1;
+  int64_t key = kAnyKey;
+  int64_t max_fires = -1;
+};
+
+class FaultInjector {
+ public:
+  // The process-wide injector (tests and sites share one schedule).
+  static FaultInjector& Instance();
+
+  // Arms the injector: resets the RNG to `seed`, clears all site specs and
+  // counters. Until Disable() is called, armed sites may fire.
+  void Enable(uint64_t seed);
+
+  // Disarms everything and restores the zero-cost disabled state.
+  void Disable();
+
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Arms (or re-arms) one site. Enable() must have been called.
+  void Arm(const std::string& site, FaultSpec spec);
+  void Disarm(const std::string& site);
+
+  // Called by instrumented code at a site. Returns the fault kind to
+  // inject, or nullopt. Prefer the free function FaultHit, which performs
+  // the cheap disabled check first.
+  std::optional<FaultKind> Hit(const char* site,
+                               int64_t key = FaultSpec::kAnyKey);
+
+  // Deterministic bit index for kBitFlip sites: in [0, n_bytes * 8).
+  uint64_t NextBitIndex(uint64_t n_bytes);
+
+  // Counters for assertions: matching hits seen / faults fired at a site.
+  uint64_t hits(const std::string& site) const;
+  uint64_t fires(const std::string& site) const;
+  uint64_t total_fires() const { return total_fires_; }
+
+ private:
+  FaultInjector() : rng_(0) {}
+
+  struct SiteState {
+    FaultSpec spec;
+    uint64_t hits = 0;   // hits matching the spec's key filter
+    uint64_t fires = 0;
+  };
+
+  static std::atomic<bool> enabled_;
+  Rng rng_;
+  std::unordered_map<std::string, SiteState> sites_;
+  uint64_t total_fires_ = 0;
+};
+
+// The per-site entry point: nullopt (and no other work) unless a test
+// enabled the injector.
+inline std::optional<FaultKind> FaultHit(const char* site,
+                                         int64_t key = FaultSpec::kAnyKey) {
+  if (!FaultInjector::enabled()) return std::nullopt;
+  return FaultInjector::Instance().Hit(site, key);
+}
+
+}  // namespace starshare
+
+#endif  // STARSHARE_COMMON_FAULT_INJECTOR_H_

@@ -19,6 +19,8 @@ enum class StatusCode {
   kNotFound,         // unknown table / dimension / member name
   kFailedPrecondition,
   kInternal,
+  kCorruption,  // stored data failed validation (bad CRC, torn file)
+  kUnavailable,  // transient I/O failure; retrying may succeed
 };
 
 // The result of an operation that can fail on user input.
@@ -40,6 +42,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

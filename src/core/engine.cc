@@ -256,11 +256,49 @@ GlobalPlan Engine::Optimize(
 }
 
 std::vector<ExecutedQuery> Engine::Execute(const GlobalPlan& plan) {
-  return executor_.ExecutePlan(plan);
+  return RunPlanWithFallback(plan);
+}
+
+void Engine::RecoverQuery(ExecutedQuery& entry) {
+  ExecutionReport::Event event;
+  event.query_id = entry.query->id();
+  event.error = entry.status;
+  // Re-plan as a single-query hash star join against the fact table: the
+  // base answers every query (any aggregate, any predicate), needs no
+  // index, and shares no state with whatever just failed.
+  if (base_view_ != nullptr) {
+    Result<QueryResult> fallback = executor_.ExecuteSingle(
+        *entry.query, *base_view_, JoinMethod::kHashScan);
+    if (fallback.ok()) {
+      entry.result = std::move(fallback.value());
+      entry.status = Status::Ok();
+      entry.degraded = true;
+      event.recovered = true;
+    } else {
+      event.fallback_error = fallback.status();
+      entry.status = Status(
+          fallback.status().code(),
+          event.error.message() +
+              "; fact-table fallback also failed: " +
+              fallback.status().message());
+    }
+  }
+  report_.events.push_back(std::move(event));
+}
+
+std::vector<ExecutedQuery> Engine::RunPlanWithFallback(
+    const GlobalPlan& plan) {
+  report_ = ExecutionReport();
+  std::vector<ExecutedQuery> out = executor_.ExecutePlan(plan);
+  for (ExecutedQuery& entry : out) {
+    if (!entry.status.ok()) RecoverQuery(entry);
+  }
+  return out;
 }
 
 std::vector<ExecutedQuery> Engine::ExecuteNaive(
     const std::vector<DimensionalQuery>& queries) {
+  report_ = ExecutionReport();
   std::vector<ExecutedQuery> out;
   out.reserve(queries.size());
   for (const DimensionalQuery& q : queries) {
@@ -271,8 +309,17 @@ std::vector<ExecutedQuery> Engine::ExecuteNaive(
       candidates = views_.CandidatesFor(q.RequiredSpec(schema_));
     }
     const LocalChoice choice = BestLocalPlan(q, candidates, cost_);
-    out.push_back(ExecutedQuery{
-        &q, executor_.ExecuteSingle(q, *choice.view, choice.method)});
+    Result<QueryResult> r =
+        executor_.ExecuteSingle(q, *choice.view, choice.method);
+    ExecutedQuery entry;
+    entry.query = &q;
+    if (r.ok()) {
+      entry.result = std::move(r.value());
+    } else {
+      entry.status = r.status();
+      RecoverQuery(entry);
+    }
+    out.push_back(std::move(entry));
   }
   return out;
 }
@@ -285,6 +332,7 @@ std::vector<ExecutedQuery> Engine::ExecuteCached(
     const std::vector<DimensionalQuery>& queries, OptimizerKind kind) {
   SS_CHECK_MSG(result_cache_ != nullptr,
                "result cache disabled; set result_cache_entries");
+  report_ = ExecutionReport();
   std::vector<ExecutedQuery> out(queries.size());
   std::vector<const DimensionalQuery*> misses;
   std::vector<size_t> miss_slots;
@@ -293,7 +341,8 @@ std::vector<ExecutedQuery> Engine::ExecuteCached(
     const std::string key = ResultCache::KeyOf(queries[i], schema_);
     const QueryResult* cached = result_cache_->Lookup(key);
     if (cached != nullptr) {
-      out[i] = ExecutedQuery{&queries[i], *cached};
+      out[i].query = &queries[i];
+      out[i].result = *cached;
     } else {
       misses.push_back(&queries[i]);
       miss_slots.push_back(i);
@@ -302,12 +351,13 @@ std::vector<ExecutedQuery> Engine::ExecuteCached(
   }
   if (!misses.empty()) {
     const GlobalPlan plan = Optimize(misses, kind);
-    std::vector<ExecutedQuery> fresh = executor_.ExecutePlan(plan);
+    std::vector<ExecutedQuery> fresh = RunPlanWithFallback(plan);
     // ExecutePlan returns by ascending query id; map back to input slots.
     for (ExecutedQuery& r : fresh) {
       for (size_t m = 0; m < misses.size(); ++m) {
         if (misses[m] == r.query) {
-          result_cache_->Insert(miss_keys[m], r.result);
+          // Never cache a failed (empty) result; a later call retries it.
+          if (r.status.ok()) result_cache_->Insert(miss_keys[m], r.result);
           out[miss_slots[m]] = std::move(r);
           break;
         }
@@ -351,7 +401,8 @@ Status Engine::SaveCube(const std::string& directory) const {
   return Status::Ok();
 }
 
-Status Engine::LoadCube(const std::string& directory) {
+Status Engine::LoadCube(const std::string& directory,
+                        std::vector<std::string>* skipped_views) {
   if (base_view_ != nullptr) {
     return Status::FailedPrecondition("engine already has a fact table");
   }
@@ -373,11 +424,21 @@ Status Engine::LoadCube(const std::string& directory) {
 
     Result<GroupBySpec> spec = GroupBySpec::Parse(spec_text, schema_);
     if (!spec.ok()) return spec.status();
+    const bool is_base = spec.value() == GroupBySpec::Base(schema_);
     Result<std::unique_ptr<Table>> table =
         ReadTableFile(directory + "/" + filename);
-    if (!table.ok()) return table.status();
+    if (!table.ok()) {
+      // A view is derived data: when the caller opts in, skip it (it can be
+      // re-materialized from the base) rather than failing the whole cube.
+      // The base table itself is irreplaceable and always a hard error.
+      if (!is_base && skipped_views != nullptr) {
+        skipped_views->push_back(spec_text);
+        continue;
+      }
+      return table.status();
+    }
 
-    if (spec.value() == GroupBySpec::Base(schema_)) {
+    if (is_base) {
       Result<MaterializedView*> base =
           AttachFactTable(std::move(table.value()));
       if (!base.ok()) return base.status();

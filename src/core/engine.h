@@ -126,8 +126,18 @@ class Engine {
   GlobalPlan Optimize(const std::vector<const DimensionalQuery*>& queries,
                       OptimizerKind kind) const;
 
-  // Executes a plan with the §3 shared operators.
+  // Executes a plan with the §3 shared operators, degrading gracefully:
+  // when a member of a shared class fails (e.g. an injected device fault),
+  // the remaining members still produce their results, and the failed
+  // query is re-planned as a single-query hash star join against the base
+  // fact table. Only if that fallback also fails does the entry come back
+  // with an error Status. Degradations are recorded in
+  // last_execution_report(). The process never aborts on a query failure.
   std::vector<ExecutedQuery> Execute(const GlobalPlan& plan);
+
+  // What degraded (and what recovered) during the most recent Execute /
+  // ExecuteCached / ExecuteNaive call. clean() when nothing did.
+  const ExecutionReport& last_execution_report() const { return report_; }
 
   // Cache-aware execution: answers what it can from the result cache, then
   // plans (with `kind`) and executes only the misses as one shared batch.
@@ -156,8 +166,14 @@ class Engine {
 
   // Loads a cube saved by SaveCube into this engine (which must not have a
   // fact table yet). Statistics are recomputed; rebuild indexes with
-  // BuildIndexes as needed.
-  Status LoadCube(const std::string& directory);
+  // BuildIndexes as needed. Table files are read with bounded
+  // retry-with-backoff, and a corrupt file surfaces as kCorruption, never
+  // an abort. When `skipped_views` is non-null, a corrupt or unreadable
+  // *view* file (derived, rebuildable data) is skipped and its spec
+  // appended there instead of failing the load; the base table must always
+  // load.
+  Status LoadCube(const std::string& directory,
+                  std::vector<std::string>* skipped_views = nullptr);
 
   // ---- Accounting ---------------------------------------------------------
 
@@ -173,6 +189,13 @@ class Engine {
   }
 
  private:
+  // Runs the plan, then applies the fact-table fallback to failed entries
+  // and records events in report_ (which it resets first).
+  std::vector<ExecutedQuery> RunPlanWithFallback(const GlobalPlan& plan);
+
+  // Applies the fallback to one failed entry, appending its report event.
+  void RecoverQuery(ExecutedQuery& entry);
+
   StarSchema schema_;
   EngineConfig config_;
   Catalog catalog_;
@@ -184,6 +207,7 @@ class Engine {
   ViewBuilder builder_;
   Executor executor_;
   MaterializedView* base_view_ = nullptr;
+  ExecutionReport report_;
 };
 
 }  // namespace starshare

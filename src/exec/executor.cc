@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/str_util.h"
 #include "exec/shared_operators.h"
 #include "exec/star_join.h"
 
@@ -15,19 +16,60 @@ void SortById(std::vector<ExecutedQuery>& out) {
             });
 }
 
+ExecutedQuery FromOutcome(const DimensionalQuery* query, QueryResult result,
+                          Status status) {
+  ExecutedQuery out;
+  out.query = query;
+  out.result = std::move(result);
+  out.status = std::move(status);
+  return out;
+}
+
 }  // namespace
 
-QueryResult Executor::ExecuteSingle(const DimensionalQuery& query,
-                                    const MaterializedView& view,
-                                    JoinMethod method) const {
+size_t ExecutionReport::num_recovered() const {
+  size_t n = 0;
+  for (const Event& e : events) n += e.recovered ? 1 : 0;
+  return n;
+}
+
+size_t ExecutionReport::num_failed() const {
+  return events.size() - num_recovered();
+}
+
+std::string ExecutionReport::ToString() const {
+  if (clean()) return "all queries ran on their planned paths";
+  std::string out = StrFormat("%zu quer%s degraded (%zu recovered):\n",
+                              events.size(),
+                              events.size() == 1 ? "y" : "ies",
+                              num_recovered());
+  for (const Event& e : events) {
+    out += StrFormat("  Q%d: %s", e.query_id, e.error.ToString().c_str());
+    if (e.recovered) {
+      out += " -> recovered via fact-table fallback";
+    } else if (!e.fallback_error.ok()) {
+      out += StrFormat(" -> fallback failed: %s",
+                       e.fallback_error.ToString().c_str());
+    } else {
+      out += " -> no fallback available";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<QueryResult> Executor::ExecuteSingle(const DimensionalQuery& query,
+                                            const MaterializedView& view,
+                                            JoinMethod method) const {
   switch (method) {
     case JoinMethod::kHashScan:
-      return HashStarJoin(schema_, query, view, disk_);
+      return TryHashStarJoin(schema_, query, view, disk_);
     case JoinMethod::kIndexProbe:
-      return IndexStarJoin(schema_, query, view, disk_);
+      return TryIndexStarJoin(schema_, query, view, disk_);
   }
-  SS_CHECK(false);
-  return QueryResult();
+  return Status::Internal(
+      StrFormat("unknown join method %d for query %d",
+                static_cast<int>(method), query.id()));
 }
 
 std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
@@ -57,22 +99,31 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
     return out;
   }
 
-  std::vector<QueryResult> results;
+  Result<SharedOutcome> outcome = Status::Internal("unreachable");
   std::vector<const DimensionalQuery*> order;
   if (hash_queries.empty()) {
-    results = SharedIndexStarJoin(schema_, index_queries, *cls.base, disk_);
+    outcome = TrySharedIndexStarJoin(schema_, index_queries, *cls.base, disk_);
     order = index_queries;
   } else {
-    results = SharedHybridStarJoin(schema_, hash_queries, index_queries,
-                                   *cls.base, disk_);
+    outcome = TrySharedHybridStarJoin(schema_, hash_queries, index_queries,
+                                      *cls.base, disk_);
     order = hash_queries;
     order.insert(order.end(), index_queries.begin(), index_queries.end());
   }
 
   std::vector<ExecutedQuery> out;
   out.reserve(order.size());
+  if (!outcome.ok()) {
+    // Whole-class failure (malformed class): every member inherits it.
+    for (const auto* q : order) {
+      out.push_back(FromOutcome(q, QueryResult(), outcome.status()));
+    }
+    return out;
+  }
   for (size_t i = 0; i < order.size(); ++i) {
-    out.push_back(ExecutedQuery{order[i], std::move(results[i])});
+    out.push_back(FromOutcome(order[i],
+                              std::move(outcome->results[i]),
+                              std::move(outcome->statuses[i])));
   }
   return out;
 }
@@ -93,8 +144,12 @@ std::vector<ExecutedQuery> Executor::ExecutePlanUnshared(
   std::vector<ExecutedQuery> out;
   for (const auto& cls : plan.classes) {
     for (const auto& m : cls.members) {
-      out.push_back(ExecutedQuery{
-          m.query, ExecuteSingle(*m.query, *cls.base, m.method)});
+      Result<QueryResult> r = ExecuteSingle(*m.query, *cls.base, m.method);
+      if (r.ok()) {
+        out.push_back(FromOutcome(m.query, std::move(r.value()), Status::Ok()));
+      } else {
+        out.push_back(FromOutcome(m.query, QueryResult(), r.status()));
+      }
     }
   }
   SortById(out);

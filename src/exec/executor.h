@@ -1,12 +1,19 @@
 // Top-level plan execution: dispatches each class of a GlobalPlan to the
 // appropriate shared operator, or runs queries one at a time for the naive
 // (no-sharing) baseline the paper compares against.
+//
+// Execution never aborts on a per-query failure: every entry of the
+// returned vector carries a Status, and a failed member of a shared class
+// does not disturb its siblings (the Engine layers fact-table fallback on
+// top; see core/engine.h).
 
 #ifndef STARSHARE_EXEC_EXECUTOR_H_
 #define STARSHARE_EXEC_EXECUTOR_H_
 
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "plan/plan.h"
 #include "query/result.h"
 #include "storage/disk_model.h"
@@ -16,6 +23,30 @@ namespace starshare {
 struct ExecutedQuery {
   const DimensionalQuery* query = nullptr;
   QueryResult result;
+  // OK iff `result` is valid. Failed queries keep an empty result.
+  Status status;
+  // True when the result came from the fact-table fallback path after the
+  // planned evaluation failed (see ExecutionReport).
+  bool degraded = false;
+
+  bool ok() const { return status.ok(); }
+};
+
+// What went wrong (and what was saved) during one Engine::Execute call.
+// Empty when every query ran on its planned path.
+struct ExecutionReport {
+  struct Event {
+    int query_id = 0;
+    Status error;           // the planned evaluation's failure
+    bool recovered = false; // fact-table fallback produced the result
+    Status fallback_error;  // set when the fallback also failed
+  };
+  std::vector<Event> events;
+
+  bool clean() const { return events.empty(); }
+  size_t num_recovered() const;
+  size_t num_failed() const;  // events that did not recover
+  std::string ToString() const;
 };
 
 class Executor {
@@ -23,15 +54,17 @@ class Executor {
   Executor(const StarSchema& schema, DiskModel& disk)
       : schema_(schema), disk_(disk) {}
 
-  // One query, one view, one method — no sharing.
-  QueryResult ExecuteSingle(const DimensionalQuery& query,
-                            const MaterializedView& view,
-                            JoinMethod method) const;
+  // One query, one view, one method — no sharing. An unknown method or an
+  // injected fault is an error Status, never an abort.
+  Result<QueryResult> ExecuteSingle(const DimensionalQuery& query,
+                                    const MaterializedView& view,
+                                    JoinMethod method) const;
 
   // One class with the §3 operator its member methods call for:
   //   * any hash member  -> shared scan / hybrid shared scan,
   //   * all index members -> shared index join.
-  // Results in member order.
+  // Results in member order; per-member failures are carried in each
+  // entry's `status` and do not affect the other members.
   std::vector<ExecutedQuery> ExecuteClass(const ClassPlan& cls) const;
 
   // Whole plan; results ordered by query id ascending.

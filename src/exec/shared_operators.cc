@@ -1,5 +1,7 @@
 #include "exec/shared_operators.h"
 
+#include "common/fault_injector.h"
+#include "common/str_util.h"
 #include "exec/bound_query.h"
 #include "exec/star_join.h"
 #include "index/bitmap.h"
@@ -54,42 +56,118 @@ std::vector<SharedDimFilter> BuildSharedFilters(
   return filters;
 }
 
+// Fires the per-member execution fault sites, if armed for this query.
+Status MemberBindFault(const DimensionalQuery& query) {
+  if (FaultHit("exec.bind_query", query.id())) {
+    return Status::Internal(
+        StrFormat("injected execution fault binding query %d", query.id()));
+  }
+  return Status::Ok();
+}
+
+// Builds the candidate bitmap for one index member, attributing any fault
+// during its (private) index I/O to that member alone.
+Status BuildMemberBitmap(const StarSchema& schema,
+                         const DimensionalQuery& query,
+                         const MaterializedView& view, DiskModel& disk,
+                         Bitmap* bitmap,
+                         std::vector<const DimPredicate*>* residual) {
+  if (FaultHit("exec.build_bitmap", query.id())) {
+    return Status::Internal(StrFormat(
+        "injected fault building result bitmap for query %d", query.id()));
+  }
+  *bitmap = BuildResultBitmap(schema, query, view, disk, residual);
+  Status device = disk.TakeFault();
+  if (!device.ok()) {
+    return Status(device.code(),
+                  StrFormat("query %d bitmap construction: %s", query.id(),
+                            device.message().c_str()));
+  }
+  return Status::Ok();
+}
+
+// One surviving member of a shared pass: its slot in the caller's outcome
+// arrays plus its execution state.
+struct LiveHashMember {
+  size_t slot;
+  const DimensionalQuery* query;
+};
+
 }  // namespace
 
-std::vector<QueryResult> SharedHybridStarJoin(
+Result<SharedOutcome> TrySharedHybridStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& hash_queries,
     const std::vector<const DimensionalQuery*>& index_queries,
     const MaterializedView& view, DiskModel& disk) {
-  SS_CHECK(!hash_queries.empty() || !index_queries.empty());
+  if (hash_queries.empty() && index_queries.empty()) {
+    return Status::InvalidArgument("shared hybrid star join with no queries");
+  }
+  const size_t n_hash = hash_queries.size();
+  SharedOutcome out;
+  out.results.resize(n_hash + index_queries.size());
+  out.statuses.resize(n_hash + index_queries.size());
+
+  disk.TakeFault();  // discard faults latched by earlier, unrelated work
+
+  // Per-member private phases. A member failing here drops out; the shared
+  // pass runs with the survivors.
+  std::vector<const DimensionalQuery*> live_hash;
+  std::vector<size_t> live_hash_slots;
+  for (size_t i = 0; i < hash_queries.size(); ++i) {
+    Status s = MemberBindFault(*hash_queries[i]);
+    if (!s.ok()) {
+      out.statuses[i] = std::move(s);
+      continue;
+    }
+    live_hash.push_back(hash_queries[i]);
+    live_hash_slots.push_back(i);
+  }
+
+  std::vector<const DimensionalQuery*> live_index;
+  std::vector<size_t> live_index_slots;
+  std::vector<Bitmap> index_bitmaps;
+  std::vector<std::vector<const DimPredicate*>> index_residual_preds;
+  for (size_t i = 0; i < index_queries.size(); ++i) {
+    const size_t slot = n_hash + i;
+    Status s = MemberBindFault(*index_queries[i]);
+    if (s.ok()) {
+      Bitmap bitmap;
+      std::vector<const DimPredicate*> residual;
+      s = BuildMemberBitmap(schema, *index_queries[i], view, disk, &bitmap,
+                            &residual);
+      if (s.ok()) {
+        live_index.push_back(index_queries[i]);
+        live_index_slots.push_back(slot);
+        index_bitmaps.push_back(std::move(bitmap));
+        index_residual_preds.push_back(std::move(residual));
+        continue;
+      }
+    }
+    out.statuses[slot] = std::move(s);
+  }
+
+  if (live_hash.empty() && live_index.empty()) return out;  // nothing left
 
   std::vector<BoundQuery> hash_bound;
-  hash_bound.reserve(hash_queries.size());
-  for (const auto* q : hash_queries) hash_bound.emplace_back(schema, *q, view);
+  hash_bound.reserve(live_hash.size());
+  for (const auto* q : live_hash) hash_bound.emplace_back(schema, *q, view);
 
-  // Index members: build candidate bitmaps up front (index I/O + bitmap
-  // CPU); their probe phase is replaced by filtering during the shared
-  // scan. Unindexed predicates become residual filters.
   std::vector<BoundQuery> index_bound;
-  std::vector<Bitmap> index_bitmaps;
   std::vector<ResidualFilter> index_residuals;
-  index_bound.reserve(index_queries.size());
-  index_bitmaps.reserve(index_queries.size());
-  index_residuals.reserve(index_queries.size());
-  for (const auto* q : index_queries) {
-    index_bound.emplace_back(schema, *q, view);
-    std::vector<const DimPredicate*> residual_preds;
-    index_bitmaps.push_back(
-        BuildResultBitmap(schema, *q, view, disk, &residual_preds));
-    index_residuals.emplace_back(schema, view, residual_preds);
+  index_bound.reserve(live_index.size());
+  index_residuals.reserve(live_index.size());
+  for (size_t i = 0; i < live_index.size(); ++i) {
+    index_bound.emplace_back(schema, *live_index[i], view);
+    index_residuals.emplace_back(schema, view, index_residual_preds[i]);
   }
 
   const std::vector<SharedDimFilter> filters =
-      BuildSharedFilters(schema, hash_queries, view);
+      BuildSharedFilters(schema, live_hash, view);
   const uint32_t all_mask =
-      hash_queries.empty()
+      live_hash.empty()
           ? 0
-          : static_cast<uint32_t>((uint64_t{1} << hash_queries.size()) - 1);
+          : static_cast<uint32_t>((uint64_t{1} << live_hash.size()) - 1);
 
   view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
     disk.CountTuples(end - begin);
@@ -117,40 +195,61 @@ std::vector<QueryResult> SharedHybridStarJoin(
     }
   });
 
-  std::vector<QueryResult> results;
-  results.reserve(hash_bound.size() + index_bound.size());
-  for (const auto& b : hash_bound) results.push_back(b.Finish());
-  for (const auto& b : index_bound) results.push_back(b.Finish());
-  return results;
+  // A device fault during the shared scan takes down every member that
+  // depended on it — but only those; members failed above keep their own
+  // (more precise) statuses.
+  const Status scan_fault = disk.TakeFault();
+  if (!scan_fault.ok()) {
+    for (size_t slot : live_hash_slots) out.statuses[slot] = scan_fault;
+    for (size_t slot : live_index_slots) out.statuses[slot] = scan_fault;
+    return out;
+  }
+
+  for (size_t i = 0; i < live_hash_slots.size(); ++i) {
+    out.results[live_hash_slots[i]] = hash_bound[i].Finish();
+  }
+  for (size_t i = 0; i < live_index_slots.size(); ++i) {
+    out.results[live_index_slots[i]] = index_bound[i].Finish();
+  }
+  return out;
 }
 
-std::vector<QueryResult> SharedScanStarJoin(
+Result<SharedOutcome> TrySharedIndexStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& queries,
     const MaterializedView& view, DiskModel& disk) {
-  return SharedHybridStarJoin(schema, queries, {}, view, disk);
-}
-
-std::vector<QueryResult> SharedIndexStarJoin(
-    const StarSchema& schema,
-    const std::vector<const DimensionalQuery*>& queries,
-    const MaterializedView& view, DiskModel& disk) {
-  SS_CHECK(!queries.empty());
+  if (queries.empty()) {
+    return Status::InvalidArgument("shared index star join with no queries");
+  }
   SS_CHECK(queries.size() <= kMaxClassQueries);
+  SharedOutcome out;
+  out.results.resize(queries.size());
+  out.statuses.resize(queries.size());
 
+  disk.TakeFault();
+
+  std::vector<size_t> live_slots;
   std::vector<BoundQuery> bound;
   std::vector<Bitmap> bitmaps;
   std::vector<ResidualFilter> residuals;
-  bound.reserve(queries.size());
-  bitmaps.reserve(queries.size());
-  residuals.reserve(queries.size());
-  for (const auto* q : queries) {
-    bound.emplace_back(schema, *q, view);
-    std::vector<const DimPredicate*> residual_preds;
-    bitmaps.push_back(
-        BuildResultBitmap(schema, *q, view, disk, &residual_preds));
-    residuals.emplace_back(schema, view, residual_preds);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Status s = MemberBindFault(*queries[i]);
+    if (s.ok()) {
+      Bitmap bitmap;
+      std::vector<const DimPredicate*> residual;
+      s = BuildMemberBitmap(schema, *queries[i], view, disk, &bitmap,
+                            &residual);
+      if (s.ok()) {
+        live_slots.push_back(i);
+        bound.emplace_back(schema, *queries[i], view);
+        bitmaps.push_back(std::move(bitmap));
+        residuals.emplace_back(schema, view, residual);
+        continue;
+      }
+    }
+    out.statuses[i] = std::move(s);
   }
+  if (live_slots.empty()) return out;
 
   // Step 1 of §3.2's shared operator: OR the per-query result bitmaps.
   Bitmap unioned = bitmaps[0];
@@ -168,10 +267,51 @@ std::vector<QueryResult> SharedIndexStarJoin(
   });
   disk.CountTuples(positions.size());
 
-  std::vector<QueryResult> results;
-  results.reserve(bound.size());
-  for (const auto& b : bound) results.push_back(b.Finish());
-  return results;
+  const Status probe_fault = disk.TakeFault();
+  if (!probe_fault.ok()) {
+    for (size_t slot : live_slots) out.statuses[slot] = probe_fault;
+    return out;
+  }
+  for (size_t i = 0; i < live_slots.size(); ++i) {
+    out.results[live_slots[i]] = bound[i].Finish();
+  }
+  return out;
+}
+
+std::vector<QueryResult> SharedHybridStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& hash_queries,
+    const std::vector<const DimensionalQuery*>& index_queries,
+    const MaterializedView& view, DiskModel& disk) {
+  SS_CHECK(!hash_queries.empty() || !index_queries.empty());
+  Result<SharedOutcome> outcome =
+      TrySharedHybridStarJoin(schema, hash_queries, index_queries, view, disk);
+  SS_CHECK_MSG(outcome.ok(), "%s", outcome.status().ToString().c_str());
+  for (const Status& s : outcome->statuses) {
+    SS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+  }
+  return std::move(outcome->results);
+}
+
+std::vector<QueryResult> SharedScanStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk) {
+  return SharedHybridStarJoin(schema, queries, {}, view, disk);
+}
+
+std::vector<QueryResult> SharedIndexStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk) {
+  SS_CHECK(!queries.empty());
+  Result<SharedOutcome> outcome =
+      TrySharedIndexStarJoin(schema, queries, view, disk);
+  SS_CHECK_MSG(outcome.ok(), "%s", outcome.status().ToString().c_str());
+  for (const Status& s : outcome->statuses) {
+    SS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+  }
+  return std::move(outcome->results);
 }
 
 }  // namespace starshare

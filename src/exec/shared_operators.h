@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "cube/materialized_view.h"
 #include "query/query.h"
 #include "query/result.h"
@@ -20,6 +21,16 @@ namespace starshare {
 
 // Maximum queries per shared class (per-dimension pass masks are 32-bit).
 inline constexpr size_t kMaxClassQueries = 32;
+
+// Per-class outcome of a fallible shared operator: `statuses[i]` pairs with
+// `results[i]` (same order as the plain operators — hash members first for
+// the hybrid). A member with an error status produced no result, but the
+// other members' results are still valid: sharing couples the queries'
+// I/O, not their fates.
+struct SharedOutcome {
+  std::vector<QueryResult> results;
+  std::vector<Status> statuses;
+};
 
 // Shared scan hash-based star join (§3.1, Fig. 2): one scan of `view`, one
 // pass-mask table per restricted dimension shared by all queries, one
@@ -45,6 +56,27 @@ std::vector<QueryResult> SharedIndexStarJoin(
 // the hash queries need anyway. Results: hash queries first, then index
 // queries, each in input order.
 std::vector<QueryResult> SharedHybridStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& hash_queries,
+    const std::vector<const DimensionalQuery*>& index_queries,
+    const MaterializedView& view, DiskModel& disk);
+
+// Fallible variants with graceful per-member degradation. A fault hitting
+// one member during its private phase (binding at "exec.bind_query",
+// bitmap construction at "exec.build_bitmap" / "disk.read_index", keyed by
+// query id) fails only that member; the survivors run the shared pass and
+// produce normal results. A fault during the shared pass itself (the scan
+// or probe, "disk.read_seq"/"disk.read_rand") fails every surviving
+// member. The whole call returns an error Status only for malformed input
+// (nothing to execute). With no faults armed these evaluate exactly like
+// the plain operators above, which remain for callers without a recovery
+// path.
+Result<SharedOutcome> TrySharedIndexStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk);
+
+Result<SharedOutcome> TrySharedHybridStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& hash_queries,
     const std::vector<const DimensionalQuery*>& index_queries,

@@ -1,8 +1,22 @@
 #include "exec/star_join.h"
 
+#include "common/fault_injector.h"
+#include "common/str_util.h"
 #include "exec/bound_query.h"
 
 namespace starshare {
+namespace {
+
+// Fires the per-query execution fault site, if armed for this query.
+Status BindFault(const DimensionalQuery& query) {
+  if (FaultHit("exec.bind_query", query.id())) {
+    return Status::Internal(
+        StrFormat("injected execution fault binding query %d", query.id()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 std::vector<uint8_t> BuildPassTable(const StarSchema& schema,
                                     const MaterializedView& view,
@@ -121,6 +135,28 @@ QueryResult IndexStarJoin(const StarSchema& schema,
   });
   disk.CountTuples(positions.size());
   return bound.Finish();
+}
+
+Result<QueryResult> TryHashStarJoin(const StarSchema& schema,
+                                    const DimensionalQuery& query,
+                                    const MaterializedView& view,
+                                    DiskModel& disk) {
+  SS_RETURN_IF_ERROR(BindFault(query));
+  disk.TakeFault();  // discard faults latched by earlier, unrelated work
+  QueryResult result = HashStarJoin(schema, query, view, disk);
+  SS_RETURN_IF_ERROR(disk.TakeFault());
+  return result;
+}
+
+Result<QueryResult> TryIndexStarJoin(const StarSchema& schema,
+                                     const DimensionalQuery& query,
+                                     const MaterializedView& view,
+                                     DiskModel& disk) {
+  SS_RETURN_IF_ERROR(BindFault(query));
+  disk.TakeFault();
+  QueryResult result = IndexStarJoin(schema, query, view, disk);
+  SS_RETURN_IF_ERROR(disk.TakeFault());
+  return result;
 }
 
 }  // namespace starshare

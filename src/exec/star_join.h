@@ -5,6 +5,7 @@
 #ifndef STARSHARE_EXEC_STAR_JOIN_H_
 #define STARSHARE_EXEC_STAR_JOIN_H_
 
+#include "common/status.h"
 #include "cube/materialized_view.h"
 #include "index/bitmap.h"
 #include "query/query.h"
@@ -27,6 +28,21 @@ QueryResult HashStarJoin(const StarSchema& schema,
 QueryResult IndexStarJoin(const StarSchema& schema,
                           const DimensionalQuery& query,
                           const MaterializedView& view, DiskModel& disk);
+
+// Fallible variants: identical evaluation, but injected faults — at the
+// "exec.bind_query" site (keyed by query id) or latched on the DiskModel
+// during the scan/probe ("disk.read_*") — surface as an error Status
+// instead of going unnoticed. With no fault armed these are exactly the
+// functions above. The non-Try forms remain for callers that have no
+// recovery story (benches, brute-force comparisons).
+Result<QueryResult> TryHashStarJoin(const StarSchema& schema,
+                                    const DimensionalQuery& query,
+                                    const MaterializedView& view,
+                                    DiskModel& disk);
+Result<QueryResult> TryIndexStarJoin(const StarSchema& schema,
+                                     const DimensionalQuery& query,
+                                     const MaterializedView& view,
+                                     DiskModel& disk);
 
 // Applies the restricted dimensions of a query that have no usable index:
 // dense pass tables over the view's stored keys, tested per retrieved

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "common/fault_injector.h"
+
 namespace starshare {
 
 bool BufferPool::Access(uint32_t table_id, uint64_t page) {
@@ -8,6 +10,18 @@ bool BufferPool::Access(uint32_t table_id, uint64_t page) {
     return false;
   }
   const uint64_t key = Key(table_id, page);
+  // Injected frame loss: the resident copy is treated as damaged, dropped,
+  // and the access degrades to a miss (re-read from "disk"). Correctness is
+  // unaffected; only the hit accounting changes.
+  if (FaultInjector::enabled() && FaultHit("buffer_pool.access")) {
+    auto damaged = index_.find(key);
+    if (damaged != index_.end()) {
+      lru_.erase(damaged->second);
+      index_.erase(damaged);
+    }
+    ++misses_;
+    return false;
+  }
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "common/fault_injector.h"
+#include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
 
@@ -53,6 +55,7 @@ class DiskModel {
 
   // One page read as part of a sequential scan of `table_id`.
   void ReadSequential(uint32_t table_id, uint64_t page) {
+    if (FaultInjector::enabled()) MaybeInjectFault("disk.read_seq");
     if (pool_ != nullptr && pool_->Access(table_id, page)) {
       ++stats_.cached_pages;
     } else {
@@ -62,6 +65,7 @@ class DiskModel {
 
   // One page read at a random position (bitmap probe).
   void ReadRandom(uint32_t table_id, uint64_t page) {
+    if (FaultInjector::enabled()) MaybeInjectFault("disk.read_rand");
     if (pool_ != nullptr && pool_->Access(table_id, page)) {
       ++stats_.cached_pages;
     } else {
@@ -71,7 +75,10 @@ class DiskModel {
 
   // `pages` pages of bitmap-index data. Index segments are not cached (they
   // are read once per query in all our plans).
-  void ReadIndexPages(uint64_t pages) { stats_.index_pages_read += pages; }
+  void ReadIndexPages(uint64_t pages) {
+    if (FaultInjector::enabled()) MaybeInjectFault("disk.read_index");
+    stats_.index_pages_read += pages;
+  }
 
   void WritePages(uint64_t pages) { stats_.pages_written += pages; }
 
@@ -84,10 +91,39 @@ class DiskModel {
   const DiskTimings& timings() const { return timings_; }
   double ModeledIoMs() const { return timings_.ModeledIoMs(stats_); }
 
+  // ---- Fault surfacing ----------------------------------------------------
+  // The page-touch methods above are called from deep inside scan/probe
+  // template loops, so an injected device fault cannot return an error
+  // directly; it is latched here and the fallible operator entry points
+  // (exec/star_join.h, exec/shared_operators.h) consume it with TakeFault()
+  // after the loop. The first fault per scope wins.
+
+  bool has_fault() const { return has_fault_; }
+
+  // Returns and clears the pending fault (OK if none).
+  Status TakeFault() {
+    if (!has_fault_) return Status::Ok();
+    has_fault_ = false;
+    Status out = std::move(fault_);
+    fault_ = Status();
+    return out;
+  }
+
  private:
+  void MaybeInjectFault(const char* site) {
+    if (has_fault_) return;
+    if (FaultHit(site)) {
+      has_fault_ = true;
+      fault_ = Status::Unavailable(std::string("injected device fault at ") +
+                                   site);
+    }
+  }
+
   DiskTimings timings_;
   BufferPool* pool_ = nullptr;
   IoStats stats_;
+  bool has_fault_ = false;
+  Status fault_;
 };
 
 }  // namespace starshare

@@ -1,17 +1,20 @@
 #include "storage/table_io.h"
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <vector>
 
+#include "common/crc32.h"
+#include "common/fault_injector.h"
 #include "common/str_util.h"
 
 namespace starshare {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'S', 'T', 'B'};
-constexpr uint32_t kVersion = 2;
 
 // RAII FILE handle.
 struct FileCloser {
@@ -21,123 +24,245 @@ struct FileCloser {
 };
 using File = std::unique_ptr<FILE, FileCloser>;
 
+// ---- Writing --------------------------------------------------------------
+
 bool WriteBytes(FILE* f, const void* data, size_t n) {
+  if (FaultHit("table_io.write")) return false;
   if (n == 0) return true;  // empty columns have null data()
   return std::fwrite(data, 1, n, f) == n;
 }
 
 bool WriteU32(FILE* f, uint32_t v) { return WriteBytes(f, &v, 4); }
-bool WriteU64(FILE* f, uint64_t v) { return WriteBytes(f, &v, 8); }
 
-bool WriteString(FILE* f, const std::string& s) {
-  return WriteU32(f, static_cast<uint32_t>(s.size())) &&
-         WriteBytes(f, s.data(), s.size());
+// Header serialization shared by the writer (to a buffer, so it can be
+// checksummed) and nothing else; the reader re-derives the same byte stream
+// from its individual field reads.
+void AppendU32(std::string& out, uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), 4);
+}
+void AppendU64(std::string& out, uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), 8);
+}
+void AppendString(std::string& out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
 }
 
-bool ReadBytes(FILE* f, void* data, size_t n) {
-  if (n == 0) return true;
-  return std::fread(data, 1, n, f) == n;
+// ---- Reading --------------------------------------------------------------
+
+// Wraps the FILE with fault injection and CRC accumulation. Reads at the
+// "table_io.read" site may fail outright (kError), come up short
+// (kShortRead) or silently flip one bit of the destination buffer
+// (kBitFlip); the flipped data is what gets checksummed, exactly as if the
+// corruption happened on disk or in transit.
+class Reader {
+ public:
+  explicit Reader(FILE* f) : f_(f) {}
+
+  bool Read(void* data, size_t n) {
+    const std::optional<FaultKind> fault = FaultHit("table_io.read");
+    if (fault == FaultKind::kError) {
+      transient_ = true;
+      return false;
+    }
+    if (fault == FaultKind::kShortRead) {
+      if (n > 0) std::fread(data, 1, n - 1, f_);
+      transient_ = true;
+      return false;
+    }
+    if (n > 0 && std::fread(data, 1, n, f_) != n) return false;
+    if (fault == FaultKind::kBitFlip && n > 0) {
+      const uint64_t bit = FaultInjector::Instance().NextBitIndex(n);
+      static_cast<uint8_t*>(data)[bit / 8] ^=
+          static_cast<uint8_t>(1u << (bit % 8));
+    }
+    crc_.Update(data, n);
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) { return Read(v, 4); }
+  bool ReadU64(uint64_t* v) { return Read(v, 8); }
+
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (len > (1u << 20)) return false;  // sanity: 1 MiB name limit
+    s->resize(len);
+    return Read(s->data(), len);
+  }
+
+  // CRC of everything Read since the last TakeCrc/ResetCrc, then resets.
+  uint32_t TakeCrc() {
+    const uint32_t v = crc_.value();
+    crc_.Reset();
+    return v;
+  }
+  void ResetCrc() { crc_.Reset(); }
+
+  // True when the last failed Read was an injected transient fault rather
+  // than end-of-file / a real stream error.
+  bool transient() const { return transient_; }
+
+  FILE* file() const { return f_; }
+
+ private:
+  FILE* f_;
+  Crc32Accumulator crc_;
+  bool transient_ = false;
+};
+
+// Maps a failed read to the right error for the format version: injected
+// transient faults are kUnavailable (retryable); otherwise a v3 file that
+// opened and identified correctly but cannot be read to the end is corrupt,
+// while v2 keeps its historical kInvalidArgument classification.
+Status ReadFailure(const Reader& reader, uint32_t version,
+                   const std::string& what, const std::string& path) {
+  if (reader.transient()) {
+    return Status::Unavailable("transient read fault in " + what + " of " +
+                               path);
+  }
+  if (version >= kTableFileV3) {
+    return Status::Corruption("truncated or unreadable " + what + " in " +
+                              path);
+  }
+  return Status::InvalidArgument("corrupt " + what + " in " + path);
 }
 
-bool ReadU32(FILE* f, uint32_t* v) { return ReadBytes(f, v, 4); }
-bool ReadU64(FILE* f, uint64_t* v) { return ReadBytes(f, v, 8); }
-
-bool ReadString(FILE* f, std::string* s) {
-  uint32_t len = 0;
-  if (!ReadU32(f, &len)) return false;
-  if (len > (1u << 20)) return false;  // sanity: 1 MiB name limit
-  s->resize(len);
-  return ReadBytes(f, s->data(), len);
-}
-
-}  // namespace
-
-Status WriteTableFile(const Table& table, const std::string& path) {
-  File file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
+Result<std::unique_ptr<Table>> ReadTableFileOnce(const std::string& path) {
+  if (FaultHit("table_io.open")) {
+    return Status::Unavailable("injected open fault for " + path);
   }
-  FILE* f = file.get();
-  bool ok = WriteBytes(f, kMagic, 4) && WriteU32(f, kVersion) &&
-            WriteString(f, table.name()) &&
-            WriteU32(f, static_cast<uint32_t>(table.num_measures()));
-  for (size_t m = 0; ok && m < table.num_measures(); ++m) {
-    ok = WriteString(f, table.measure_name(m));
-  }
-  ok = ok && WriteU32(f, static_cast<uint32_t>(table.num_key_columns()));
-  for (size_t c = 0; ok && c < table.num_key_columns(); ++c) {
-    ok = WriteString(f, table.key_column_name(c));
-  }
-  ok = ok && WriteU64(f, table.num_rows());
-  for (size_t c = 0; ok && c < table.num_key_columns(); ++c) {
-    const auto& col = table.key_column(c);
-    ok = WriteBytes(f, col.data(), col.size() * sizeof(int32_t));
-  }
-  for (size_t m = 0; ok && m < table.num_measures(); ++m) {
-    const auto& col = table.measure_column(m);
-    ok = WriteBytes(f, col.data(), col.size() * sizeof(double));
-  }
-  if (!ok) return Status::Internal("short write to " + path);
-  return Status::Ok();
-}
-
-Result<std::unique_ptr<Table>> ReadTableFile(const std::string& path) {
   File file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
     return Status::NotFound("cannot open: " + path);
   }
-  FILE* f = file.get();
+  Reader reader(file.get());
 
   char magic[4];
   uint32_t version = 0;
-  if (!ReadBytes(f, magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+  if (!reader.Read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    if (reader.transient()) {
+      return Status::Unavailable("transient read fault in magic of " + path);
+    }
     return Status::InvalidArgument("not a StarShare table file: " + path);
   }
-  if (!ReadU32(f, &version) || version != kVersion) {
+  if (!reader.ReadU32(&version) ||
+      (version != kTableFileV2 && version != kTableFileV3)) {
+    if (reader.transient()) {
+      return Status::Unavailable("transient read fault in version of " +
+                                 path);
+    }
     return Status::InvalidArgument(
         StrFormat("unsupported table file version %u in %s", version,
                   path.c_str()));
   }
+
+  reader.ResetCrc();  // the header CRC covers every byte after the version
   std::string name;
   uint32_t num_measures = 0;
-  if (!ReadString(f, &name) || !ReadU32(f, &num_measures) ||
+  if (!reader.ReadString(&name) || !reader.ReadU32(&num_measures) ||
       num_measures == 0 || num_measures > 64) {
-    return Status::InvalidArgument("corrupt table header in " + path);
+    return ReadFailure(reader, version, "table header", path);
   }
   std::vector<std::string> measure_names(num_measures);
   for (auto& measure_name : measure_names) {
-    if (!ReadString(f, &measure_name)) {
-      return Status::InvalidArgument("corrupt measure names in " + path);
+    if (!reader.ReadString(&measure_name)) {
+      return ReadFailure(reader, version, "measure names", path);
     }
   }
   uint32_t num_keys = 0;
-  if (!ReadU32(f, &num_keys) || num_keys > 64) {
-    return Status::InvalidArgument("corrupt table header in " + path);
+  if (!reader.ReadU32(&num_keys) || num_keys > 64) {
+    return ReadFailure(reader, version, "table header", path);
   }
   std::vector<std::string> key_names(num_keys);
   for (auto& key_name : key_names) {
-    if (!ReadString(f, &key_name)) {
-      return Status::InvalidArgument("corrupt column names in " + path);
+    if (!reader.ReadString(&key_name)) {
+      return ReadFailure(reader, version, "column names", path);
     }
   }
   uint64_t rows = 0;
-  if (!ReadU64(f, &rows)) {
-    return Status::InvalidArgument("corrupt row count in " + path);
+  if (!reader.ReadU64(&rows)) {
+    return ReadFailure(reader, version, "row count", path);
+  }
+  if (rows > (uint64_t{1} << 40)) {
+    return version >= kTableFileV3
+               ? Status::Corruption("implausible row count in " + path)
+               : Status::InvalidArgument("implausible row count in " + path);
+  }
+
+  if (version >= kTableFileV3) {
+    const uint32_t computed = reader.TakeCrc();
+    uint32_t stored = 0;
+    if (!reader.ReadU32(&stored)) {
+      return ReadFailure(reader, version, "header checksum", path);
+    }
+    if (stored != computed) {
+      return Status::Corruption("header checksum mismatch in " + path);
+    }
+    // Header-validated row count: the declared geometry must match the file
+    // size exactly, so a torn or truncated file fails fast, before any
+    // column allocation.
+    const long header_end = std::ftell(reader.file());
+    if (header_end >= 0 && std::fseek(reader.file(), 0, SEEK_END) == 0) {
+      const long file_size = std::ftell(reader.file());
+      const uint64_t expected =
+          static_cast<uint64_t>(header_end) +
+          uint64_t{num_keys} * (rows * 4 + 4) +
+          uint64_t{num_measures} * (rows * 8 + 4);
+      if (file_size < 0 || static_cast<uint64_t>(file_size) != expected) {
+        return Status::Corruption(
+            StrFormat("row count/file size mismatch in %s (declared %llu "
+                      "rows; torn or truncated file?)",
+                      path.c_str(),
+                      static_cast<unsigned long long>(rows)));
+      }
+      if (std::fseek(reader.file(), header_end, SEEK_SET) != 0) {
+        return Status::Unavailable("seek failed in " + path);
+      }
+    }
   }
 
   auto table = std::make_unique<Table>(name, key_names, measure_names);
   std::vector<std::vector<int32_t>> cols(num_keys);
-  for (auto& col : cols) {
+  for (size_t c = 0; c < num_keys; ++c) {
+    auto& col = cols[c];
     col.resize(rows);
-    if (!ReadBytes(f, col.data(), rows * sizeof(int32_t))) {
-      return Status::InvalidArgument("truncated key column in " + path);
+    reader.ResetCrc();
+    if (!reader.Read(col.data(), rows * sizeof(int32_t))) {
+      return ReadFailure(reader, version, "key column", path);
+    }
+    if (version >= kTableFileV3) {
+      const uint32_t computed = reader.TakeCrc();
+      uint32_t stored = 0;
+      if (!reader.ReadU32(&stored)) {
+        return ReadFailure(reader, version, "key column checksum", path);
+      }
+      if (stored != computed) {
+        return Status::Corruption(
+            StrFormat("checksum mismatch in key column %zu of %s", c,
+                      path.c_str()));
+      }
     }
   }
   std::vector<std::vector<double>> measures(num_measures);
-  for (auto& col : measures) {
+  for (size_t m = 0; m < num_measures; ++m) {
+    auto& col = measures[m];
     col.resize(rows);
-    if (!ReadBytes(f, col.data(), rows * sizeof(double))) {
-      return Status::InvalidArgument("truncated measure column in " + path);
+    reader.ResetCrc();
+    if (!reader.Read(col.data(), rows * sizeof(double))) {
+      return ReadFailure(reader, version, "measure column", path);
+    }
+    if (version >= kTableFileV3) {
+      const uint32_t computed = reader.TakeCrc();
+      uint32_t stored = 0;
+      if (!reader.ReadU32(&stored)) {
+        return ReadFailure(reader, version, "measure column checksum", path);
+      }
+      if (stored != computed) {
+        return Status::Corruption(
+            StrFormat("checksum mismatch in measure column %zu of %s", m,
+                      path.c_str()));
+      }
     }
   }
   table->Reserve(rows);
@@ -149,6 +274,80 @@ Result<std::unique_ptr<Table>> ReadTableFile(const std::string& path) {
     table->AppendRowM(key.data(), values.data());
   }
   return table;
+}
+
+}  // namespace
+
+Status WriteTableFile(const Table& table, const std::string& path,
+                      uint32_t version) {
+  SS_CHECK_MSG(version == kTableFileV2 || version == kTableFileV3,
+               "unsupported table file version %u", version);
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  FILE* f = file.get();
+
+  std::string header;
+  AppendString(header, table.name());
+  AppendU32(header, static_cast<uint32_t>(table.num_measures()));
+  for (size_t m = 0; m < table.num_measures(); ++m) {
+    AppendString(header, table.measure_name(m));
+  }
+  AppendU32(header, static_cast<uint32_t>(table.num_key_columns()));
+  for (size_t c = 0; c < table.num_key_columns(); ++c) {
+    AppendString(header, table.key_column_name(c));
+  }
+  AppendU64(header, table.num_rows());
+
+  bool ok = WriteBytes(f, kMagic, 4) && WriteU32(f, version) &&
+            WriteBytes(f, header.data(), header.size());
+  if (version >= kTableFileV3) {
+    ok = ok && WriteU32(f, Crc32(header.data(), header.size()));
+  }
+  for (size_t c = 0; ok && c < table.num_key_columns(); ++c) {
+    const auto& col = table.key_column(c);
+    const size_t bytes = col.size() * sizeof(int32_t);
+    ok = WriteBytes(f, col.data(), bytes);
+    if (version >= kTableFileV3) {
+      ok = ok && WriteU32(f, Crc32(col.data(), bytes));
+    }
+  }
+  for (size_t m = 0; ok && m < table.num_measures(); ++m) {
+    const auto& col = table.measure_column(m);
+    const size_t bytes = col.size() * sizeof(double);
+    ok = WriteBytes(f, col.data(), bytes);
+    if (version >= kTableFileV3) {
+      ok = ok && WriteU32(f, Crc32(col.data(), bytes));
+    }
+  }
+  if (!ok) return Status::Internal("short write to " + path);
+  if (std::fflush(f) != 0) {
+    return Status::Internal("flush failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Table>> ReadTableFile(const std::string& path,
+                                             const TableReadOptions& options) {
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && options.backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.backoff_ms << (attempt - 1)));
+    }
+    Result<std::unique_ptr<Table>> r = ReadTableFileOnce(path);
+    if (r.ok()) return r;
+    last = r.status();
+    // Permanent classifications are returned immediately; kUnavailable and
+    // kCorruption may be transient (in-transit damage) and get retried.
+    if (last.code() != StatusCode::kUnavailable &&
+        last.code() != StatusCode::kCorruption) {
+      return last;
+    }
+  }
+  return last;
 }
 
 }  // namespace starshare

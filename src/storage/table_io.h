@@ -3,7 +3,7 @@
 // a generated-and-aggregated cube can be reused across runs instead of
 // being rebuilt.
 //
-// Format (version 2):
+// Format (version 3, the current writer):
 //   magic   "SSTB"                      4 bytes
 //   version u32
 //   name                                length-prefixed string (u32 + bytes)
@@ -12,8 +12,15 @@
 //   k       u32                         number of key columns
 //   key column names                    k length-prefixed strings
 //   rows    u64
-//   key columns                         k x rows x int32 (raw)
-//   measure columns                     m x rows x double (raw)
+//   header CRC32 u32                    over every header byte after version
+//   key columns                         k x (rows x int32 raw + CRC32 u32)
+//   measure columns                     m x (rows x double raw + CRC32 u32)
+//
+// The reader validates the header CRC, cross-checks the declared row count
+// against the file size, and validates each column section's CRC, so a
+// torn, truncated or bit-flipped file surfaces as StatusCode::kCorruption
+// instead of an abort or silently wrong data. Version-2 files (no
+// checksums) still load for backward compatibility.
 
 #ifndef STARSHARE_STORAGE_TABLE_IO_H_
 #define STARSHARE_STORAGE_TABLE_IO_H_
@@ -26,11 +33,31 @@
 
 namespace starshare {
 
-// Writes `table` to `path`, replacing any existing file.
-Status WriteTableFile(const Table& table, const std::string& path);
+// The version WriteTableFile emits by default; kTableFileV2 is the legacy
+// checksum-free format, still writable for compatibility tests.
+inline constexpr uint32_t kTableFileV2 = 2;
+inline constexpr uint32_t kTableFileV3 = 3;
+inline constexpr uint32_t kTableFileVersionLatest = kTableFileV3;
 
-// Reads a table previously written by WriteTableFile.
-Result<std::unique_ptr<Table>> ReadTableFile(const std::string& path);
+// Retry policy for ReadTableFile. Transient faults (kUnavailable — e.g. a
+// failed fread or fopen that may succeed on retry) and corruption (which a
+// re-read heals when the damage happened in transit rather than at rest)
+// are retried up to `max_attempts` total attempts with exponential backoff
+// starting at `backoff_ms`. kNotFound / kInvalidArgument are permanent and
+// never retried.
+struct TableReadOptions {
+  int max_attempts = 3;
+  int backoff_ms = 1;
+};
+
+// Writes `table` to `path`, replacing any existing file.
+Status WriteTableFile(const Table& table, const std::string& path,
+                      uint32_t version = kTableFileVersionLatest);
+
+// Reads a table previously written by WriteTableFile (any supported
+// version).
+Result<std::unique_ptr<Table>> ReadTableFile(
+    const std::string& path, const TableReadOptions& options = {});
 
 }  // namespace starshare
 

@@ -1,0 +1,151 @@
+// The deterministic fault-injection framework: seeding, triggers
+// (probability / countdown), key filtering, fire caps, and the guarantee
+// that a disabled injector never fires.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/fault_injector.h"
+
+namespace starshare {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Disable(); }
+};
+
+TEST_F(FaultInjectorTest, DisabledNeverFiresOrCounts) {
+  ASSERT_FALSE(FaultInjector::enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(FaultHit("some.site").has_value());
+  }
+  // Hits are not even counted while disabled — the hot path is a single
+  // relaxed atomic load.
+  FaultInjector::Instance().Enable(1);
+  EXPECT_EQ(FaultInjector::Instance().hits("some.site"), 0u);
+}
+
+TEST_F(FaultInjectorTest, UnarmedSiteNeverFires) {
+  FaultInjector::Instance().Enable(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(FaultHit("never.armed").has_value());
+  }
+  EXPECT_EQ(FaultInjector::Instance().fires("never.armed"), 0u);
+  EXPECT_EQ(FaultInjector::Instance().total_fires(), 0u);
+}
+
+TEST_F(FaultInjectorTest, CountdownFiresOnExactlyTheNthHit) {
+  FaultInjector::Instance().Enable(7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kShortRead;
+  spec.countdown = 5;
+  FaultInjector::Instance().Arm("io.read", spec);
+  for (int i = 1; i <= 10; ++i) {
+    const auto hit = FaultHit("io.read");
+    if (i == 5) {
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(*hit, FaultKind::kShortRead);
+    } else {
+      EXPECT_FALSE(hit.has_value()) << "unexpected fire on hit " << i;
+    }
+  }
+  EXPECT_EQ(FaultInjector::Instance().fires("io.read"), 1u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsDeterministicPerSeed) {
+  auto pattern = [](uint64_t seed) {
+    FaultInjector::Instance().Disable();
+    FaultInjector::Instance().Enable(seed);
+    FaultSpec spec;
+    spec.probability = 0.3;
+    FaultInjector::Instance().Arm("io.read", spec);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(FaultHit("io.read").has_value());
+    }
+    return fires;
+  };
+  const std::vector<bool> a = pattern(42);
+  const std::vector<bool> b = pattern(42);
+  const std::vector<bool> c = pattern(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+
+  // p = 0.3 over 200 draws should fire a plausible number of times.
+  const size_t n = static_cast<size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(n, 20u);
+  EXPECT_LT(n, 120u);
+}
+
+TEST_F(FaultInjectorTest, KeyFilterOnlyMatchesThatKey) {
+  FaultInjector::Instance().Enable(7);
+  FaultSpec spec;
+  spec.key = 3;
+  FaultInjector::Instance().Arm("exec.bind", spec);
+  EXPECT_FALSE(FaultHit("exec.bind", 1).has_value());
+  EXPECT_FALSE(FaultHit("exec.bind", 2).has_value());
+  EXPECT_TRUE(FaultHit("exec.bind", 3).has_value());
+  EXPECT_FALSE(FaultHit("exec.bind", 4).has_value());
+}
+
+TEST_F(FaultInjectorTest, CountdownCountsOnlyMatchingKeys) {
+  FaultInjector::Instance().Enable(7);
+  FaultSpec spec;
+  spec.key = 3;
+  spec.countdown = 2;
+  FaultInjector::Instance().Arm("exec.bind", spec);
+  EXPECT_FALSE(FaultHit("exec.bind", 3).has_value());  // matching hit 1
+  EXPECT_FALSE(FaultHit("exec.bind", 1).has_value());  // other key: no count
+  EXPECT_TRUE(FaultHit("exec.bind", 3).has_value());   // matching hit 2
+  EXPECT_FALSE(FaultHit("exec.bind", 3).has_value());
+}
+
+TEST_F(FaultInjectorTest, MaxFiresCapsTheFaultStorm) {
+  FaultInjector::Instance().Enable(7);
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.max_fires = 3;
+  FaultInjector::Instance().Arm("io.read", spec);
+  int fired = 0;
+  for (int i = 0; i < 50; ++i) fired += FaultHit("io.read").has_value();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(FaultInjector::Instance().total_fires(), 3u);
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsAndRearmResetsCounters) {
+  FaultInjector::Instance().Enable(7);
+  FaultSpec spec;
+  spec.probability = 1.0;
+  FaultInjector::Instance().Arm("io.read", spec);
+  EXPECT_TRUE(FaultHit("io.read").has_value());
+  FaultInjector::Instance().Disarm("io.read");
+  EXPECT_FALSE(FaultHit("io.read").has_value());
+
+  // Re-arming starts a fresh countdown, regardless of prior hit counts.
+  FaultSpec countdown;
+  countdown.countdown = 2;
+  FaultInjector::Instance().Arm("io.read", countdown);
+  EXPECT_FALSE(FaultHit("io.read").has_value());
+  EXPECT_TRUE(FaultHit("io.read").has_value());
+}
+
+TEST_F(FaultInjectorTest, BitIndexIsInRangeAndDeterministic) {
+  FaultInjector::Instance().Enable(99);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 32; ++i) {
+    const uint64_t bit = FaultInjector::Instance().NextBitIndex(16);
+    EXPECT_LT(bit, 16u * 8u);
+    first.push_back(bit);
+  }
+  FaultInjector::Instance().Disable();
+  FaultInjector::Instance().Enable(99);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(FaultInjector::Instance().NextBitIndex(16), first[i]);
+  }
+}
+
+}  // namespace
+}  // namespace starshare

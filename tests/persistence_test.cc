@@ -75,7 +75,7 @@ TEST_F(PersistenceTest, ReadErrors) {
   EXPECT_EQ(ReadTableFile(junk).status().code(),
             StatusCode::kInvalidArgument);
 
-  // Truncated file.
+  // Truncated file: the v3 size cross-check flags it as corruption.
   Table t("t", {"k"}, "m");
   const int32_t key = 1;
   for (int i = 0; i < 100; ++i) t.AppendRow(&key, 1.0);
@@ -83,8 +83,65 @@ TEST_F(PersistenceTest, ReadErrors) {
   ASSERT_TRUE(WriteTableFile(t, path).ok());
   std::filesystem::resize_file(path,
                                std::filesystem::file_size(path) / 2);
-  EXPECT_EQ(ReadTableFile(path).status().code(),
-            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ReadTableFile(path).status().code(), StatusCode::kCorruption);
+}
+
+// Flips one bit in the file at `offset` bytes from the start (negative:
+// from the end).
+void FlipBitAt(const std::filesystem::path& path, int64_t offset) {
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, static_cast<long>(offset), offset < 0 ? SEEK_END : SEEK_SET);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  std::fseek(f, -1, SEEK_CUR);
+  std::fputc(c ^ 0x10, f);
+  std::fclose(f);
+}
+
+TEST_F(PersistenceTest, LoadCubeSkipsCorruptViewFile) {
+  Engine original(SmallSchema());
+  original.LoadFactTable({.num_rows = 4000, .seed = 33});
+  ASSERT_TRUE(original.MaterializeView("X'Y'").ok());
+  ASSERT_TRUE(original.MaterializeView("X''Z'").ok());
+  ASSERT_TRUE(original.SaveCube(dir_.string()).ok());
+
+  // view_0 is the base; corrupt one of the derived views.
+  FlipBitAt(dir_ / "view_1.sstb", -64);
+
+  // Strict load fails with a typed corruption status...
+  Engine strict(SmallSchema());
+  EXPECT_EQ(strict.LoadCube(dir_.string()).code(), StatusCode::kCorruption);
+
+  // ...while a lenient load skips the damaged (rebuildable) view and
+  // still answers queries correctly from what survived.
+  Engine lenient(SmallSchema());
+  std::vector<std::string> skipped;
+  ASSERT_TRUE(lenient.LoadCube(dir_.string(), &skipped).ok());
+  EXPECT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(lenient.views().size(), 2u);
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(
+      MakeQuery(lenient.schema(), 1, "X'Y''", {{"X", 2, {0}}}));
+  const auto results = lenient.ExecuteNaive(queries);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[0].result.ApproxEquals(BruteForce(
+      lenient.schema(), lenient.base_view()->table(), queries[0])));
+}
+
+TEST_F(PersistenceTest, LoadCubeCorruptBaseAlwaysFails) {
+  Engine original(SmallSchema());
+  original.LoadFactTable({.num_rows = 4000, .seed = 34});
+  ASSERT_TRUE(original.SaveCube(dir_.string()).ok());
+  FlipBitAt(dir_ / "view_0.sstb", -64);
+
+  Engine loaded(SmallSchema());
+  std::vector<std::string> skipped;
+  // The base fact table is not rebuildable, so even the lenient load
+  // must refuse.
+  EXPECT_EQ(loaded.LoadCube(dir_.string(), &skipped).code(),
+            StatusCode::kCorruption);
+  EXPECT_TRUE(skipped.empty());
 }
 
 TEST_F(PersistenceTest, CubeSaveLoadRoundTrip) {
