@@ -15,8 +15,10 @@ using namespace starshare::bench;
 int main() {
   const uint64_t rows = PaperWorkload::RowsFromEnv();
 
-  PrintHeader(StrFormat("Ablation: batch vs sequential cube build (%s rows)",
-                        WithCommas(rows).c_str()));
+  BenchReport report(
+      "ablation_batch_cube",
+      StrFormat("Ablation: batch vs sequential cube build (%s rows)",
+                WithCommas(rows).c_str()));
 
   // Sequential: each view from the smallest available source.
   {
@@ -29,7 +31,7 @@ int main() {
         SS_CHECK_MSG(view.ok(), "%s", view.status().ToString().c_str());
       }
     });
-    PrintRow("5 views, one at a time", m);
+    report.Row("5 views, one at a time", m);
   }
 
   // Batch: all five in one shared scan of the base.
@@ -41,14 +43,15 @@ int main() {
       auto views = engine.MaterializeViews(PaperWorkload::ViewSpecs());
       SS_CHECK_MSG(views.ok(), "%s", views.status().ToString().c_str());
     });
-    PrintRow("5 views, one shared scan", m);
+    report.Row("5 views, one shared scan", m);
   }
 
-  PrintNote(
+  report.Note(
       "\nShape check: the batch build reads the base exactly once (the\n"
       "sequential build re-reads a source per view, though it can pick\n"
       "smaller sources for coarser views); CPU grows with the per-tuple\n"
       "fan-out. The same I/O-vs-CPU trade the optimizers make at query\n"
       "time, applied at precomputation time.");
+  report.Write();
   return 0;
 }

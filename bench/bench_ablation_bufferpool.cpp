@@ -28,6 +28,12 @@ int main() {
   const uint64_t table_pages = PagesForBytes(rows * 24);
   const uint64_t pool_sizes[] = {0, table_pages / 4, 2 * table_pages};
 
+  BenchReport report(
+      "ablation_bufferpool",
+      StrFormat("Ablation: buffer pool vs shared-scan advantage "
+                "(fact table = %s pages, %s rows)",
+                WithCommas(table_pages).c_str(), WithCommas(rows).c_str()));
+
   for (uint64_t pool_pages : pool_sizes) {
     EngineConfig config;
     config.buffer_pool_pages = pool_pages;
@@ -39,7 +45,7 @@ int main() {
         engine, queries, "ABCD",
         std::vector<JoinMethod>(queries.size(), JoinMethod::kHashScan));
 
-    PrintHeader(StrFormat(
+    report.Section(StrFormat(
         "Buffer pool = %s pages (fact table = %s pages, %s rows)",
         WithCommas(pool_pages).c_str(), WithCommas(table_pages).c_str(),
         WithCommas(rows).c_str()));
@@ -58,9 +64,11 @@ int main() {
           std::chrono::duration<double, std::milli>(end - start).count();
       m.io = engine.ConsumeIoStats();
       m.modeled_io_ms = engine.ModeledIoMs(m.io);
-      PrintRow("4 queries separate", m);
-      PrintNote(StrFormat("      cache hits: %llu pages",
-                          static_cast<unsigned long long>(m.io.cached_pages)));
+      report.Row(StrFormat("pool=%s pages, 4 queries separate",
+                           WithCommas(pool_pages).c_str()),
+                 m);
+      report.Note(StrFormat("      cache hits: %llu pages",
+                            static_cast<unsigned long long>(m.io.cached_pages)));
     }
 
     engine.FlushCaches();
@@ -74,15 +82,18 @@ int main() {
           std::chrono::duration<double, std::milli>(end - start).count();
       m.io = engine.ConsumeIoStats();
       m.modeled_io_ms = engine.ModeledIoMs(m.io);
-      PrintRow("4 queries shared scan", m);
+      report.Row(StrFormat("pool=%s pages, 4 queries shared scan",
+                           WithCommas(pool_pages).c_str()),
+                 m);
       for (size_t i = 0; i < queries.size(); ++i) {
         SS_CHECK(shared[i].result.ApproxEquals(separate[i].result));
       }
     }
   }
-  PrintNote(
+  report.Note(
       "\nShape check: the shared scan's advantage is largest with cold\n"
       "caches (the paper's setting) and shrinks to a CPU-only advantage\n"
       "once the buffer pool holds the whole base table.");
+  report.Write();
   return 0;
 }

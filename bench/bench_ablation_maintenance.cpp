@@ -19,7 +19,9 @@ int main() {
   const uint64_t rows = PaperWorkload::RowsFromEnv();
   const uint64_t delta_rows = rows / 20;
 
-  PrintHeader(StrFormat(
+  BenchReport report("ablation_maintenance",
+                     "Ablation: view maintenance and the result cache");
+  report.Section(StrFormat(
       "Ablation 1: incremental refresh vs rebuild (+%s facts on %s)",
       WithCommas(delta_rows).c_str(), WithCommas(rows).c_str()));
 
@@ -31,7 +33,7 @@ int main() {
     const Measurement m = Measure(engine, [&] {
       SS_CHECK(engine.AppendFacts({.num_rows = delta_rows, .seed = 9}).ok());
     });
-    PrintRow("incremental (views + delta)", m);
+    report.Row("paper views: incremental (views + delta)", m);
   }
 
   // Rebuild: drop all views and re-materialize from the grown base.
@@ -50,17 +52,17 @@ int main() {
                                  PaperWorkload::IndexedDims())
                    .ok());
     });
-    PrintRow("rebuild from grown base", m);
+    report.Row("paper views: rebuild from grown base", m);
   }
-  PrintNote(
+  report.Note(
       "Shape check (paper view set): the five Table 1 views total ~3x the\n"
       "base, so reading them all back for the refresh costs MORE than one\n"
       "shared scan of the grown base — batch rebuild wins. Incremental\n"
       "maintenance pays off when the views are small relative to the base,\n"
       "shown next.");
 
-  PrintHeader(StrFormat(
-      "Ablation 1b: same comparison with small (coarse) views only"));
+  report.Section(
+      "Ablation 1b: same comparison with small (coarse) views only");
 
   // Views that aggregate D away are tiny (<= 729 cells): the regime where
   // self-maintenance shines.
@@ -74,7 +76,7 @@ int main() {
     const Measurement m = Measure(engine, [&] {
       SS_CHECK(engine.AppendFacts({.num_rows = delta_rows, .seed = 9}).ok());
     });
-    PrintRow("incremental (views + delta)", m);
+    report.Row("coarse views: incremental (views + delta)", m);
   }
   {
     Engine engine(StarSchema::PaperTestSchema());
@@ -88,13 +90,13 @@ int main() {
       SS_CHECK(engine.AppendFacts({.num_rows = delta_rows, .seed = 9}).ok());
       SS_CHECK(engine.MaterializeViews(coarse).ok());
     });
-    PrintRow("rebuild from grown base", m);
+    report.Row("coarse views: rebuild from grown base", m);
   }
-  PrintNote(
+  report.Note(
       "Shape check: with coarse views (a fraction of the base), the\n"
       "incremental refresh avoids the full base scan and wins.");
 
-  PrintHeader("Ablation 2: result cache on a repeated dashboard (Test 4)");
+  report.Section("Ablation 2: result cache on a repeated dashboard (Test 4)");
   {
     EngineConfig config;
     config.result_cache_entries = 64;
@@ -109,14 +111,15 @@ int main() {
     const Measurement warm = Measure(engine, [&] {
       engine.ExecuteCached(queries, OptimizerKind::kGlobalGreedy);
     });
-    PrintRow("first run (plans + executes)", cold);
-    PrintRow("second run (all cache hits)", warm);
+    report.Row("first run (plans + executes)", cold);
+    report.Row("second run (all cache hits)", warm);
     SS_CHECK(warm.io.TotalPagesRead() == 0);
-    PrintNote(StrFormat("cache: %llu hits, %llu misses",
-                        static_cast<unsigned long long>(
-                            engine.result_cache()->hits()),
-                        static_cast<unsigned long long>(
-                            engine.result_cache()->misses())));
+    report.Note(StrFormat("cache: %llu hits, %llu misses",
+                          static_cast<unsigned long long>(
+                              engine.result_cache()->hits()),
+                          static_cast<unsigned long long>(
+                              engine.result_cache()->misses())));
   }
+  report.Write();
   return 0;
 }

@@ -28,9 +28,10 @@ int main() {
   MaterializedView* view = engine.views().FindByName(view_name);
   SS_CHECK(view != nullptr);
 
-  PrintHeader(StrFormat(
-      "Ablation: hash vs. index crossover on %s (%s base rows)",
-      view_name.c_str(), WithCommas(rows).c_str()));
+  BenchReport report(
+      "ablation_selectivity",
+      StrFormat("Ablation: hash vs. index crossover on %s (%s base rows)",
+                view_name.c_str(), WithCommas(rows).c_str()));
 
   const size_t dim_a = schema.DimIndex("A").value();
   const size_t dim_d = schema.DimIndex("D").value();
@@ -66,22 +67,23 @@ int main() {
         Measure(engine, [&] { index_result = engine.Execute(index_plan); });
     SS_CHECK(hash_result[0].result.ApproxEquals(index_result[0].result));
 
-    PrintRow(StrFormat("A' members=%d hash (est %.0f)", picks, est_hash),
-             hash_m);
-    PrintRow(StrFormat("A' members=%d index (est %.0f)", picks, est_index),
-             index_m);
+    report.Row(StrFormat("A' members=%d hash (est %.0f)", picks, est_hash),
+               hash_m);
+    report.Row(StrFormat("A' members=%d index (est %.0f)", picks, est_index),
+               index_m);
     const bool est_index_wins = est_index < est_hash;
     const bool measured_index_wins = index_m.TotalMs() < hash_m.TotalMs();
-    PrintNote(StrFormat("      winner: estimated %s, measured %s%s",
+    report.Note(StrFormat("      winner: estimated %s, measured %s%s",
                         est_index_wins ? "index" : "hash",
                         measured_index_wins ? "index" : "hash",
                         est_index_wins == measured_index_wins
                             ? ""
                             : "   <-- model/measurement disagree"));
   }
-  PrintNote(
+  report.Note(
       "\nShape check: index wins at high selectivity (few members), hash\n"
       "wins as the selection widens; the cost model's crossover should\n"
       "match the measured one within a step or two.");
+  report.Write();
   return 0;
 }

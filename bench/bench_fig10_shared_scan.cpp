@@ -47,9 +47,11 @@ int main() {
     queries.push_back(std::move(extra.value()[0]));
   }
 
-  PrintHeader(StrFormat("Figure 10 / Test 1: shared scan hash star join "
-                        "on ABCD (%s rows)",
-                        WithCommas(rows).c_str()));
+  BenchReport report(
+      "fig10_shared_scan",
+      StrFormat("Figure 10 / Test 1: shared scan hash star join "
+                "on ABCD (%s rows)",
+                WithCommas(rows).c_str()));
   for (size_t k = 1; k <= queries.size(); ++k) {
     std::vector<DimensionalQuery> subset(queries.begin(),
                                          queries.begin() + k);
@@ -63,17 +65,18 @@ int main() {
         Measure(engine, [&] { shared = engine.Execute(plan); });
 
     const char* tag = k <= 4 ? "" : "  [extension]";
-    PrintRow(StrFormat("k=%zu separate (k scans)%s", k, tag), sep);
-    PrintRow(StrFormat("k=%zu shared scan%s", k, tag), shr);
+    report.Row(StrFormat("k=%zu separate (k scans)%s", k, tag), sep);
+    report.Row(StrFormat("k=%zu shared scan%s", k, tag), shr);
 
     for (size_t i = 0; i < k; ++i) {
       SS_CHECK_MSG(separate[i].result.ApproxEquals(shared[i].result),
                    "result mismatch on Q%d", separate[i].query->id());
     }
   }
-  PrintNote(
+  report.Note(
       "\nShape check vs. the paper: separate grows ~linearly in k (k full\n"
       "scans); shared pays one scan plus per-query CPU, so the ratio\n"
       "approaches k for I/O-bound settings.");
+  report.Write();
   return 0;
 }

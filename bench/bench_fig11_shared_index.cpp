@@ -28,9 +28,11 @@ int main() {
       PaperWorkload::MakeQueries(engine, {5, 6, 7, 8});
   const std::string view = PaperWorkload::IndexedViewSpec();
 
-  PrintHeader(StrFormat(
-      "Figure 11 / Test 2: shared index star join on %s (%s base rows)",
-      view.c_str(), WithCommas(rows).c_str()));
+  BenchReport report(
+      "fig11_shared_index",
+      StrFormat(
+          "Figure 11 / Test 2: shared index star join on %s (%s base rows)",
+          view.c_str(), WithCommas(rows).c_str()));
 
   const DiskTimings& timings = engine.disk().timings();
   for (size_t k = 1; k <= queries.size(); ++k) {
@@ -45,13 +47,13 @@ int main() {
     const Measurement shr =
         Measure(engine, [&] { shared = engine.Execute(plan); });
 
-    PrintRow(StrFormat("k=%zu separate (k probes)", k), sep);
-    PrintRow(StrFormat("k=%zu shared index join", k), shr);
+    report.Row(StrFormat("k=%zu separate (k probes)", k), sep);
+    report.Row(StrFormat("k=%zu shared index join", k), shr);
     const double sep_probe =
         static_cast<double>(sep.io.rand_pages_read) * timings.rand_page_ms;
     const double shr_probe =
         static_cast<double>(shr.io.rand_pages_read) * timings.rand_page_ms;
-    PrintNote(StrFormat(
+    report.Note(StrFormat(
         "      probe share of modeled time: separate %.0f%%, shared %.0f%%",
         100.0 * sep_probe / sep.TotalMs(),
         100.0 * shr_probe / shr.TotalMs()));
@@ -61,9 +63,10 @@ int main() {
                    "result mismatch on Q%d", separate[i].query->id());
     }
   }
-  PrintNote(
+  report.Note(
       "\nShape check vs. the paper: base-table probing dominates (>80% in\n"
       "the paper's runs); sharing the probe across queries keeps the total\n"
       "nearly flat as k grows, while separate probing grows with k.");
+  report.Write();
   return 0;
 }

@@ -29,9 +29,10 @@ int main() {
       PaperWorkload::MakeQueries(engine, {3, 5, 6, 7});
   const std::string view = PaperWorkload::IndexedViewSpec();
 
-  PrintHeader(StrFormat(
-      "Figure 12 / Test 3: hybrid shared scan on %s (%s base rows)",
-      view.c_str(), WithCommas(rows).c_str()));
+  BenchReport report(
+      "fig12_shared_hybrid",
+      StrFormat("Figure 12 / Test 3: hybrid shared scan on %s (%s base rows)",
+                view.c_str(), WithCommas(rows).c_str()));
 
   for (size_t k = 1; k <= queries.size(); ++k) {
     std::vector<DimensionalQuery> subset(queries.begin(),
@@ -46,13 +47,12 @@ int main() {
     const Measurement shr =
         Measure(engine, [&] { shared = engine.Execute(plan); });
 
-    PrintRow(StrFormat("Q3%s separate", k > 1 ? StrFormat("+%zu idx", k - 1)
-                                                    .c_str()
-                                              : ""),
-             sep);
-    PrintRow(StrFormat("Q3%s hybrid shared scan",
-                       k > 1 ? StrFormat("+%zu idx", k - 1).c_str() : ""),
-             shr);
+    report.Row(StrFormat("Q3%s separate",
+                         k > 1 ? StrFormat("+%zu idx", k - 1).c_str() : ""),
+               sep);
+    report.Row(StrFormat("Q3%s hybrid shared scan",
+                         k > 1 ? StrFormat("+%zu idx", k - 1).c_str() : ""),
+               shr);
 
     SS_CHECK(shr.io.rand_pages_read == 0);  // probes absorbed by the scan
     for (size_t i = 0; i < k; ++i) {
@@ -60,10 +60,11 @@ int main() {
                    "result mismatch on Q%d", separate[i].query->id());
     }
   }
-  PrintNote(
+  report.Note(
       "\nShape check vs. the paper: each added index query increases the\n"
       "shared total only slightly (its probe I/O disappears into the scan\n"
       "that the hash query needs anyway); the separate total grows by a\n"
       "full probe per query.");
+  report.Write();
   return 0;
 }

@@ -40,21 +40,21 @@ std::string ClassSummary(const GlobalPlan& plan) {
   return StrJoin(parts, "  ");
 }
 
-void RunTest(Engine& engine, int test_number,
+void RunTest(Engine& engine, BenchReport& report, int test_number,
              const std::vector<int>& query_ids) {
   const std::vector<DimensionalQuery> queries =
       PaperWorkload::MakeQueries(engine, query_ids);
 
   std::string ids;
   for (int id : query_ids) ids += StrFormat(" Q%d", id);
-  PrintHeader(StrFormat("Table 2 / Test %d: MDX ={%s }", test_number,
-                        ids.c_str()));
+  report.Section(StrFormat("Table 2 / Test %d: MDX ={%s }", test_number,
+                           ids.c_str()));
 
   // Naive baseline: every query separately on its locally optimal plan.
   std::vector<ExecutedQuery> reference;
   const Measurement naive =
       Measure(engine, [&] { reference = engine.ExecuteNaive(queries); });
-  PrintRow("naive (no sharing)", naive);
+  report.Row(StrFormat("Test %d: naive (no sharing)", test_number), naive);
 
   for (OptimizerKind kind :
        {OptimizerKind::kTplo, OptimizerKind::kEtplg,
@@ -63,10 +63,10 @@ void RunTest(Engine& engine, int test_number,
     std::vector<ExecutedQuery> results;
     const Measurement m =
         Measure(engine, [&] { results = engine.Execute(plan); });
-    PrintRow(StrFormat("%s (est %.1f ms)", OptimizerKindName(kind),
-                       plan.EstMs()),
-             m);
-    PrintNote("      plan: " + ClassSummary(plan));
+    report.Row(StrFormat("Test %d: %s (est %.1f ms)", test_number,
+                         OptimizerKindName(kind), plan.EstMs()),
+               m);
+    report.Note("      plan: " + ClassSummary(plan));
     for (size_t i = 0; i < queries.size(); ++i) {
       SS_CHECK_MSG(results[i].result.ApproxEquals(reference[i].result),
                    "Test %d: %s result mismatch on Q%d", test_number,
@@ -81,20 +81,23 @@ int main() {
   const uint64_t rows = PaperWorkload::RowsFromEnv();
   Engine engine(StarSchema::PaperTestSchema());
   PaperWorkload::Setup(engine, rows);
-  std::printf("Table 2 reproduction at %s base rows "
-              "(STARSHARE_ROWS=2000000 for paper scale)\n",
-              WithCommas(rows).c_str());
+  BenchReport report(
+      "table2_optimizers",
+      StrFormat("Table 2 reproduction at %s base rows "
+                "(STARSHARE_ROWS=2000000 for paper scale)",
+                WithCommas(rows).c_str()));
 
-  RunTest(engine, 4, {1, 2, 3});
-  RunTest(engine, 5, {2, 3, 5});
-  RunTest(engine, 6, {6, 7, 8});
-  RunTest(engine, 7, {1, 7, 9});
+  RunTest(engine, report, 4, {1, 2, 3});
+  RunTest(engine, report, 5, {2, 3, 5});
+  RunTest(engine, report, 6, {6, 7, 8});
+  RunTest(engine, report, 7, {1, 7, 9});
 
-  PrintNote(
+  report.Note(
       "\nShape check vs. the paper: GG <= ETPLG <= TPLO everywhere, GG\n"
       "close to OPTIMAL; Test 6 (all queries very selective) shows the\n"
       "algorithms converging because index-based local optima leave little\n"
       "logical sharing to exploit; Test 7 shows TPLO worst because its\n"
       "local optima scatter across three different fact tables.");
+  report.Write();
   return 0;
 }

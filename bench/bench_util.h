@@ -15,8 +15,11 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/engine.h"
+#include "parallel/thread_pool.h"
 
 namespace starshare {
 namespace bench {
@@ -62,6 +65,112 @@ inline void PrintRow(const std::string& name, const Measurement& m) {
 inline void PrintNote(const std::string& text) {
   std::printf("%s\n", text.c_str());
 }
+
+// Collects a bench's measurements as it prints them and dumps the run as
+// machine-readable JSON to BENCH_<name>.json in the working directory, so
+// sweeps can be diffed and plotted without scraping stdout. Row names and
+// notes are escaped; numbers are emitted verbatim.
+class BenchReport {
+ public:
+  // Prints the table header and opens the report. `name` becomes the file
+  // stem (BENCH_<name>.json).
+  BenchReport(std::string name, std::string title)
+      : name_(std::move(name)), title_(std::move(title)) {
+    PrintHeader(title_);
+  }
+
+  // Prints a table row and records it.
+  void Row(const std::string& config, const Measurement& m) {
+    PrintRow(config, m);
+    rows_.emplace_back(config, m);
+  }
+
+  // Prints an additional table header for benches with several sections;
+  // recorded as a note. Row names should still be globally unambiguous.
+  void Section(const std::string& title) {
+    PrintHeader(title);
+    notes_.push_back("section: " + title);
+  }
+
+  // Records a named scalar (speedups, derived ratios, environment facts).
+  void Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  // Prints a free-form note and records it.
+  void Note(const std::string& text) {
+    PrintNote(text);
+    notes_.push_back(text);
+  }
+
+  // Writes BENCH_<name>.json. Call once, after the last row.
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("(could not write %s)\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"name\": %s,\n  \"title\": %s,\n",
+                 Quoted(name_).c_str(), Quoted(title_).c_str());
+    std::fprintf(f, "  \"hardware_threads\": %zu,\n",
+                 ThreadPool::HardwareThreads());
+    std::fprintf(f, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const auto& [config, m] = rows_[i];
+      std::fprintf(
+          f,
+          "    {\"configuration\": %s, \"cpu_ms\": %.3f, "
+          "\"seq_pages\": %llu, \"rand_pages\": %llu, \"index_pages\": %llu, "
+          "\"pages_written\": %llu, \"cached_pages\": %llu, "
+          "\"tuples\": %llu, \"hash_probes\": %llu, "
+          "\"modeled_io_ms\": %.3f, \"total_ms\": %.3f}%s\n",
+          Quoted(config).c_str(), m.cpu_ms,
+          static_cast<unsigned long long>(m.io.seq_pages_read),
+          static_cast<unsigned long long>(m.io.rand_pages_read),
+          static_cast<unsigned long long>(m.io.index_pages_read),
+          static_cast<unsigned long long>(m.io.pages_written),
+          static_cast<unsigned long long>(m.io.cached_pages),
+          static_cast<unsigned long long>(m.io.tuples_processed),
+          static_cast<unsigned long long>(m.io.hash_probes),
+          m.modeled_io_ms, m.TotalMs(), i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"metrics\": {");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s%s: %.6f", i == 0 ? "" : ", ",
+                   Quoted(metrics_[i].first).c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "},\n  \"notes\": [");
+    for (size_t i = 0; i < notes_.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ", ", Quoted(notes_[i]).c_str());
+    }
+    std::fprintf(f, "]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  static std::string Quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::string title_;
+  std::vector<std::pair<std::string, Measurement>> rows_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::string> notes_;
+};
 
 // Builds a one-class plan on `view_name` with an explicit join method per
 // query — how the paper forces operators in Tests 1-3. `methods` must have

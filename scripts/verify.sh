@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the plain build + full test suite, then the same
-# suite under AddressSanitizer + UBSan (-DSTARSHARE_SANITIZE=ON). Both must
-# pass. Run from the repository root:
+# Tier-1 verification: the plain build + full test suite, the same suite
+# under AddressSanitizer + UBSan (-DSTARSHARE_SANITIZE=ON), then the
+# threading suites under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread).
+# All three must pass. Run from the repository root:
 #
 #   scripts/verify.sh [jobs]
 
@@ -20,5 +21,13 @@ cmake --build build-sanitize -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+
+echo "==> TSan build + threading suites"
+cmake -B build-tsan -S . -DSTARSHARE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target \
+  thread_pool_test parallel_determinism_test parallel_chaos_test
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'thread_pool_test|parallel_determinism_test|parallel_chaos_test'
 
 echo "==> verify OK"

@@ -22,28 +22,35 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::Enable(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
   rng_ = Rng(seed);
   sites_.clear();
-  total_fires_ = 0;
+  total_fires_.store(0, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
   enabled_.store(false, std::memory_order_relaxed);
   sites_.clear();
-  total_fires_ = 0;
+  total_fires_.store(0, std::memory_order_relaxed);
 }
 
 void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
   SS_CHECK_MSG(enabled(), "FaultInjector::Arm before Enable");
+  std::lock_guard<std::mutex> lock(mu_);
   SiteState state;
   state.spec = spec;
   sites_[site] = state;  // re-arming resets the site's counters
 }
 
-void FaultInjector::Disarm(const std::string& site) { sites_.erase(site); }
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+}
 
 std::optional<FaultKind> FaultInjector::Hit(const char* site, int64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return std::nullopt;
   SiteState& state = it->second;
@@ -62,21 +69,24 @@ std::optional<FaultKind> FaultInjector::Hit(const char* site, int64_t key) {
   }
   if (!fire) return std::nullopt;
   ++state.fires;
-  ++total_fires_;
+  total_fires_.fetch_add(1, std::memory_order_relaxed);
   return spec.kind;
 }
 
 uint64_t FaultInjector::NextBitIndex(uint64_t n_bytes) {
   if (n_bytes == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
   return rng_.NextBounded(n_bytes * 8);
 }
 
 uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fires;
 }

@@ -9,9 +9,12 @@
 //
 // The injector is OFF by default and costs one relaxed atomic load per site
 // when disabled (see FaultHit below); no site allocates, locks or draws
-// random numbers unless a test called FaultInjector::Enable. The injector
-// is not thread-safe — like the rest of StarShare it assumes a
-// single-threaded engine.
+// random numbers unless a test called FaultInjector::Enable. When enabled,
+// Hit/Arm/counter reads serialize on one internal mutex, so sites may fire
+// concurrently from morsel-parallel workers (src/parallel/); the hit and
+// fire counts stay exact, while *which* worker observes the Nth hit of a
+// countdown spec depends on thread interleaving. Enable/Disable must not
+// race with in-flight instrumented work.
 //
 // Site names in use are catalogued in DESIGN.md ("Failure model & fault
 // injection").
@@ -21,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -84,7 +88,9 @@ class FaultInjector {
   // Counters for assertions: matching hits seen / faults fired at a site.
   uint64_t hits(const std::string& site) const;
   uint64_t fires(const std::string& site) const;
-  uint64_t total_fires() const { return total_fires_; }
+  uint64_t total_fires() const {
+    return total_fires_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultInjector() : rng_(0) {}
@@ -96,9 +102,10 @@ class FaultInjector {
   };
 
   static std::atomic<bool> enabled_;
+  mutable std::mutex mu_;  // guards rng_ and sites_
   Rng rng_;
   std::unordered_map<std::string, SiteState> sites_;
-  uint64_t total_fires_ = 0;
+  std::atomic<uint64_t> total_fires_{0};
 };
 
 // The per-site entry point: nullopt (and no other work) unless a test

@@ -28,6 +28,26 @@ Engine::Engine(StarSchema schema, EngineConfig config)
     result_cache_ =
         std::make_unique<ResultCache>(config_.result_cache_entries);
   }
+  set_parallelism(config_.parallelism);
+}
+
+void Engine::set_parallelism(size_t parallelism) {
+  if (parallelism == 0) parallelism = ThreadPool::HardwareThreads();
+  parallelism_ = parallelism;
+  ParallelPolicy policy;
+  policy.morsel_rows = config_.morsel_rows;
+  if (parallelism > 1) {
+    if (thread_pool_ == nullptr ||
+        thread_pool_->num_threads() != parallelism) {
+      thread_pool_.reset();  // join the old workers before respawning
+      thread_pool_ = std::make_unique<ThreadPool>(parallelism);
+    }
+    policy.pool = thread_pool_.get();
+    policy.parallelism = parallelism;
+  } else {
+    thread_pool_.reset();
+  }
+  executor_.set_parallel_policy(policy);
 }
 
 MaterializedView* Engine::LoadFactTable(const DataGeneratorConfig& config) {
@@ -183,8 +203,8 @@ Result<std::vector<MaterializedView*>> Engine::MaterializeViews(
     return Status::InvalidArgument(
         "no single source can materialize all requested group-bys");
   }
-  std::vector<std::unique_ptr<Table>> tables =
-      builder_.BuildMany(*sources.front(), specs, disk_, clustered);
+  std::vector<std::unique_ptr<Table>> tables = builder_.BuildManyParallel(
+      *sources.front(), specs, disk_, executor_.parallel_policy(), clustered);
   std::vector<MaterializedView*> out;
   out.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {

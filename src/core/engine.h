@@ -31,6 +31,7 @@
 #include "exec/result_cache.h"
 #include "mdx/binder.h"
 #include "opt/optimizer.h"
+#include "parallel/thread_pool.h"
 #include "schema/data_generator.h"
 #include "schema/star_schema.h"
 #include "storage/buffer_pool.h"
@@ -47,6 +48,15 @@ struct EngineConfig {
   // repeated identical component queries without touching storage and is
   // invalidated whenever facts are appended.
   size_t result_cache_entries = 0;
+  // Worker threads for shared-class execution and batch view builds.
+  // 1 (the default) keeps everything on the calling thread — exactly the
+  // pre-parallel engine, so the 1998 cost-model benchmarks are untouched.
+  // Values > 1 spawn a ThreadPool; results and charged I/O stay
+  // bit-identical to serial at any setting (see DESIGN.md "Parallel
+  // execution model"). 0 means ThreadPool::HardwareThreads().
+  size_t parallelism = 1;
+  // Rows per morsel for parallel passes (0 = automatic, page aligned).
+  uint64_t morsel_rows = 0;
 };
 
 class Engine {
@@ -61,6 +71,12 @@ class Engine {
   const ViewSet& views() const { return views_; }
   const Catalog& catalog() const { return catalog_; }
   DiskModel& disk() { return disk_; }
+
+  // Runtime form of EngineConfig::parallelism: resizes (or drops) the
+  // worker pool. Safe between queries; must not be called while an Execute
+  // or MaterializeViews is in flight.
+  void set_parallelism(size_t parallelism);
+  size_t parallelism() const { return parallelism_; }
 
   // ---- Data -------------------------------------------------------------
 
@@ -196,6 +212,8 @@ class Engine {
   // Applies the fallback to one failed entry, appending its report event.
   void RecoverQuery(ExecutedQuery& entry);
 
+  // The executor's ParallelPolicy points at thread_pool_; both are updated
+  // together by set_parallelism.
   StarSchema schema_;
   EngineConfig config_;
   Catalog catalog_;
@@ -206,6 +224,8 @@ class Engine {
   CostModel cost_;
   ViewBuilder builder_;
   Executor executor_;
+  std::unique_ptr<ThreadPool> thread_pool_;
+  size_t parallelism_ = 1;
   MaterializedView* base_view_ = nullptr;
   ExecutionReport report_;
 };

@@ -5,6 +5,9 @@
 
 #include "exec/flat_hash.h"
 #include "exec/key_packer.h"
+#include "parallel/morsel.h"
+#include "parallel/morsel_pipeline.h"
+#include "parallel/parallel_context.h"
 
 namespace starshare {
 namespace {
@@ -228,6 +231,88 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildMany(
       for (TargetState& state : states) state.Accumulate(row);
     }
   });
+
+  std::vector<std::unique_ptr<Table>> tables;
+  tables.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    tables.push_back(Emit(*states[i].agg, targets[i], source.table(), disk,
+                          "", clustered));
+  }
+  return tables;
+}
+
+std::vector<std::unique_ptr<Table>> ViewBuilder::BuildManyParallel(
+    const MaterializedView& source, const std::vector<GroupBySpec>& targets,
+    DiskModel& disk, const ParallelPolicy& policy, bool clustered) const {
+  if (!policy.engaged()) return BuildMany(source, targets, disk, clustered);
+
+  std::vector<TargetState> states;
+  states.reserve(targets.size());
+  for (const GroupBySpec& target : targets) {
+    SS_CHECK_MSG(source.spec().CanAnswer(target),
+                 "view %s cannot materialize %s", source.name().c_str(),
+                 target.ToString(schema_).c_str());
+    states.push_back(MakeTargetState(source, target));
+  }
+
+  const Table& table = source.table();
+  const size_t workers =
+      std::min(policy.parallelism, policy.pool->num_threads());
+  const uint64_t morsel_rows =
+      policy.morsel_rows > 0
+          ? policy.morsel_rows
+          : MorselDispatcher::DefaultMorselRows(
+                table.num_rows(), table.rows_per_page(), workers);
+  MorselDispatcher dispatcher(table.num_rows(), morsel_rows,
+                              /*window=*/4 * workers);
+  ParallelContext ctx(disk, workers);
+
+  // Every row feeds every target, so a morsel's buffer is one packed-key
+  // column per target; measure values are re-read by the consumer (cheap,
+  // and already charged by the worker's page scan).
+  struct KeyBuffer {
+    std::vector<std::vector<uint64_t>> keys;
+  };
+  RunMorselPipeline<KeyBuffer>(
+      policy.pool, workers, dispatcher, ctx,
+      [&](const Morsel& morsel, DiskModel& wdisk, KeyBuffer& buffer) {
+        buffer.keys.resize(states.size());
+        std::vector<std::vector<int32_t>> scratch;
+        scratch.reserve(states.size());
+        for (const TargetState& state : states) {
+          scratch.emplace_back(state.src_cols.size());
+          buffer.keys[scratch.size() - 1].reserve(morsel.num_rows());
+        }
+        table.ScanRowRange(
+            wdisk, morsel.begin, morsel.end,
+            [&](uint64_t begin, uint64_t end) {
+              wdisk.CountTuples(end - begin);
+              for (uint64_t row = begin; row < end; ++row) {
+                for (size_t t = 0; t < states.size(); ++t) {
+                  const TargetState& state = states[t];
+                  for (size_t i = 0; i < state.src_cols.size(); ++i) {
+                    scratch[t][i] = state.maps[i][static_cast<size_t>(
+                        (*state.src_cols[i])[row])];
+                  }
+                  buffer.keys[t].push_back(
+                      state.agg->packer().Pack(scratch[t].data()));
+                }
+              }
+            });
+      },
+      [&](const Morsel& morsel, const KeyBuffer& buffer) {
+        std::vector<double> values(table.num_measures());
+        for (uint64_t i = 0; i < morsel.num_rows(); ++i) {
+          const uint64_t row = morsel.begin + i;
+          for (size_t m = 0; m < values.size(); ++m) {
+            values[m] = table.measure_column(m)[row];
+          }
+          for (size_t t = 0; t < states.size(); ++t) {
+            states[t].agg->Add(buffer.keys[t][i], values.data());
+          }
+        }
+      });
+  ctx.MergeIntoParent();
 
   std::vector<std::unique_ptr<Table>> tables;
   tables.reserve(targets.size());

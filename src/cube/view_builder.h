@@ -15,8 +15,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cube/materialized_view.h"
+#include "parallel/policy.h"
 #include "schema/groupby_spec.h"
 #include "schema/star_schema.h"
 #include "storage/disk_model.h"
@@ -44,6 +46,17 @@ class ViewBuilder {
       const MaterializedView& source,
       const std::vector<GroupBySpec>& targets, DiskModel& disk,
       bool clustered = false) const;
+
+  // BuildMany with the shared scan morsel-parallelized: workers map each
+  // row's keys up to every target's levels and emit per-morsel packed-key
+  // buffers; the calling thread folds them into the aggregators in morsel
+  // order. Output tables and charged I/O are bit-identical to BuildMany at
+  // any thread count (same ordered-merge argument as the parallel shared
+  // operators). A disengaged policy falls through to BuildMany.
+  std::vector<std::unique_ptr<Table>> BuildManyParallel(
+      const MaterializedView& source,
+      const std::vector<GroupBySpec>& targets, DiskModel& disk,
+      const ParallelPolicy& policy, bool clustered = false) const;
 
   // Incremental view maintenance: returns a fresh table for `view` that
   // folds the rows of `delta` (a view at the SAME or finer granularity,

@@ -60,10 +60,24 @@ class BoundQuery {
   // Adds view row `row` (already known to pass the query's selection) to
   // the aggregation, reading the query's own measure column.
   void Accumulate(uint64_t row) {
+    agg_.Add(PackedKeyAt(row, scratch_), MeasureAt(row));
+  }
+
+  // The split form of Accumulate used by morsel-parallel workers: the
+  // read-only half (map the row's keys up to the target levels and pack
+  // them) runs concurrently with a caller-supplied scratch buffer of
+  // num_retained() entries; the mutating half (AccumulateRaw) runs only on
+  // the merging thread, in serial row order, so the aggregation folds
+  // bit-identically to the serial operator.
+  uint64_t PackedKeyAt(uint64_t row, std::vector<int32_t>& scratch) const {
     for (size_t i = 0; i < cols_.size(); ++i) {
-      scratch_[i] = maps_[i][(*cols_[i])[row]];
+      scratch[i] = maps_[i][(*cols_[i])[row]];
     }
-    agg_.Add(agg_.packer().Pack(scratch_.data()), (*measures_)[row]);
+    return agg_.packer().Pack(scratch.data());
+  }
+  double MeasureAt(uint64_t row) const { return (*measures_)[row]; }
+  void AccumulateRaw(uint64_t packed_key, double value) {
+    agg_.Add(packed_key, value);
   }
 
   size_t num_retained() const { return cols_.size(); }

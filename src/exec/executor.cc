@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "exec/parallel_operators.h"
 #include "exec/shared_operators.h"
 #include "exec/star_join.h"
 
@@ -102,11 +103,19 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
   Result<SharedOutcome> outcome = Status::Internal("unreachable");
   std::vector<const DimensionalQuery*> order;
   if (hash_queries.empty()) {
-    outcome = TrySharedIndexStarJoin(schema_, index_queries, *cls.base, disk_);
+    outcome = policy_.engaged()
+                  ? ParallelSharedIndexStarJoin(schema_, index_queries,
+                                                *cls.base, disk_, policy_)
+                  : TrySharedIndexStarJoin(schema_, index_queries, *cls.base,
+                                           disk_);
     order = index_queries;
   } else {
-    outcome = TrySharedHybridStarJoin(schema_, hash_queries, index_queries,
-                                      *cls.base, disk_);
+    outcome = policy_.engaged()
+                  ? ParallelSharedHybridStarJoin(schema_, hash_queries,
+                                                 index_queries, *cls.base,
+                                                 disk_, policy_)
+                  : TrySharedHybridStarJoin(schema_, hash_queries,
+                                            index_queries, *cls.base, disk_);
     order = hash_queries;
     order.insert(order.end(), index_queries.begin(), index_queries.end());
   }

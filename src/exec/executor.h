@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/parallel_operators.h"
 #include "plan/plan.h"
 #include "query/result.h"
 #include "storage/disk_model.h"
@@ -54,6 +55,16 @@ class Executor {
   Executor(const StarSchema& schema, DiskModel& disk)
       : schema_(schema), disk_(disk) {}
 
+  // Morsel-parallel evaluation of shared classes. With the default policy
+  // (no pool, parallelism 1) every class runs the serial operators — the
+  // 1998 cost-model behavior. When engaged, ExecuteClass dispatches to the
+  // Parallel* operators, which are bit-identical to serial by construction
+  // (exec/parallel_operators.h). ExecuteSingle and the unshared baseline
+  // always stay serial: they exist to reproduce the paper's per-query
+  // costs, not to be fast.
+  void set_parallel_policy(const ParallelPolicy& policy) { policy_ = policy; }
+  const ParallelPolicy& parallel_policy() const { return policy_; }
+
   // One query, one view, one method — no sharing. An unknown method or an
   // injected fault is an error Status, never an abort.
   Result<QueryResult> ExecuteSingle(const DimensionalQuery& query,
@@ -78,6 +89,7 @@ class Executor {
  private:
   const StarSchema& schema_;
   DiskModel& disk_;
+  ParallelPolicy policy_;
 };
 
 }  // namespace starshare

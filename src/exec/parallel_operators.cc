@@ -1,0 +1,347 @@
+#include "exec/parallel_operators.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "common/str_util.h"
+#include "exec/bound_query.h"
+#include "exec/shared_star_join_internal.h"
+#include "exec/star_join.h"
+#include "index/bitmap.h"
+#include "parallel/morsel.h"
+#include "parallel/morsel_pipeline.h"
+#include "parallel/parallel_context.h"
+
+namespace starshare {
+namespace {
+
+using internal::AllQueriesMask;
+using internal::BuildMemberBitmap;
+using internal::BuildSharedFilters;
+using internal::MemberBindFault;
+using internal::SharedDimFilter;
+
+// Matches one morsel produced for the live queries of a shared pass:
+// parallel (packed key, measure) streams, one per live query, each in
+// ascending row order. Concatenating buffers in morsel order therefore
+// replays the serial operator's exact aggregation sequence per query.
+struct MatchBuffer {
+  std::vector<std::vector<uint64_t>> keys;
+  std::vector<std::vector<double>> values;
+
+  void InitSlots(size_t n) {
+    keys.resize(n);
+    values.resize(n);
+  }
+  void Push(size_t slot, uint64_t key, double value) {
+    keys[slot].push_back(key);
+    values[slot].push_back(value);
+  }
+};
+
+// Per-worker scratch for BoundQuery::PackedKeyAt (one vector per live
+// query, sized to its retained-dimension count).
+std::vector<std::vector<int32_t>> MakeScratch(
+    const std::vector<BoundQuery>& bound) {
+  std::vector<std::vector<int32_t>> scratch;
+  scratch.reserve(bound.size());
+  for (const BoundQuery& b : bound) {
+    scratch.emplace_back(b.num_retained());
+  }
+  return scratch;
+}
+
+size_t EffectiveWorkers(const ParallelPolicy& policy) {
+  if (!policy.engaged()) return 1;
+  return std::min(policy.parallelism, policy.pool->num_threads());
+}
+
+uint64_t MorselRowsFor(const ParallelPolicy& policy, uint64_t num_rows,
+                       uint64_t rows_per_page, size_t workers) {
+  if (policy.morsel_rows > 0) return policy.morsel_rows;
+  return MorselDispatcher::DefaultMorselRows(num_rows, rows_per_page,
+                                             workers);
+}
+
+// Feeds one morsel's buffer to the live queries' aggregators, in slot
+// order. Per-aggregator order is all that matters for bit-identity: each
+// query's stream is row-ascending within the morsel.
+void MergeBuffer(const MatchBuffer& buffer, std::vector<BoundQuery>& bound) {
+  for (size_t slot = 0; slot < bound.size(); ++slot) {
+    const std::vector<uint64_t>& keys = buffer.keys[slot];
+    const std::vector<double>& values = buffer.values[slot];
+    for (size_t i = 0; i < keys.size(); ++i) {
+      bound[slot].AccumulateRaw(keys[i], values[i]);
+    }
+  }
+}
+
+}  // namespace
+
+Result<SharedOutcome> ParallelSharedHybridStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& hash_queries,
+    const std::vector<const DimensionalQuery*>& index_queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy) {
+  if (hash_queries.empty() && index_queries.empty()) {
+    return Status::InvalidArgument("shared hybrid star join with no queries");
+  }
+  if (hash_queries.size() > kMaxClassQueries) {
+    return Status::InvalidArgument(StrFormat(
+        "shared hybrid star join: %zu hash members exceed the class limit "
+        "of %zu",
+        hash_queries.size(), kMaxClassQueries));
+  }
+  const size_t n_hash = hash_queries.size();
+  SharedOutcome out;
+  out.results.resize(n_hash + index_queries.size());
+  out.statuses.resize(n_hash + index_queries.size());
+
+  disk.TakeFault();  // discard faults latched by earlier, unrelated work
+
+  // Per-member private phases run on the calling thread, exactly as in the
+  // serial operator: faults here are attributed to one member and charged
+  // to the parent DiskModel.
+  std::vector<const DimensionalQuery*> live_hash;
+  std::vector<size_t> live_hash_slots;
+  for (size_t i = 0; i < hash_queries.size(); ++i) {
+    Status s = MemberBindFault(*hash_queries[i]);
+    if (!s.ok()) {
+      out.statuses[i] = std::move(s);
+      continue;
+    }
+    live_hash.push_back(hash_queries[i]);
+    live_hash_slots.push_back(i);
+  }
+
+  std::vector<const DimensionalQuery*> live_index;
+  std::vector<size_t> live_index_slots;
+  std::vector<Bitmap> index_bitmaps;
+  std::vector<std::vector<const DimPredicate*>> index_residual_preds;
+  for (size_t i = 0; i < index_queries.size(); ++i) {
+    const size_t slot = n_hash + i;
+    Status s = MemberBindFault(*index_queries[i]);
+    if (s.ok()) {
+      Bitmap bitmap;
+      std::vector<const DimPredicate*> residual;
+      s = BuildMemberBitmap(schema, *index_queries[i], view, disk, &bitmap,
+                            &residual);
+      if (s.ok()) {
+        live_index.push_back(index_queries[i]);
+        live_index_slots.push_back(slot);
+        index_bitmaps.push_back(std::move(bitmap));
+        index_residual_preds.push_back(std::move(residual));
+        continue;
+      }
+    }
+    out.statuses[slot] = std::move(s);
+  }
+
+  if (live_hash.empty() && live_index.empty()) return out;  // nothing left
+
+  std::vector<BoundQuery> bound;  // live hash members, then live index
+  bound.reserve(live_hash.size() + live_index.size());
+  for (const auto* q : live_hash) bound.emplace_back(schema, *q, view);
+  std::vector<ResidualFilter> index_residuals;
+  index_residuals.reserve(live_index.size());
+  for (size_t i = 0; i < live_index.size(); ++i) {
+    bound.emplace_back(schema, *live_index[i], view);
+    index_residuals.emplace_back(schema, view, index_residual_preds[i]);
+  }
+
+  const std::vector<SharedDimFilter> filters =
+      BuildSharedFilters(schema, live_hash, view);
+  const uint32_t all_mask = AllQueriesMask(live_hash.size());
+  const size_t n_live_hash = live_hash.size();
+  const size_t n_live = bound.size();
+
+  const Table& table = view.table();
+  const size_t workers = EffectiveWorkers(policy);
+  const uint64_t morsel_rows = MorselRowsFor(
+      policy, table.num_rows(), table.rows_per_page(), workers);
+  MorselDispatcher dispatcher(table.num_rows(), morsel_rows,
+                              /*window=*/4 * workers);
+  ParallelContext ctx(disk, workers);
+
+  RunMorselPipeline<MatchBuffer>(
+      policy.engaged() ? policy.pool : nullptr, workers, dispatcher, ctx,
+      [&](const Morsel& morsel, DiskModel& wdisk, MatchBuffer& buffer) {
+        buffer.InitSlots(n_live);
+        std::vector<std::vector<int32_t>> scratch = MakeScratch(bound);
+        table.ScanRowRange(
+            wdisk, morsel.begin, morsel.end,
+            [&](uint64_t begin, uint64_t end) {
+              wdisk.CountTuples(end - begin);
+              wdisk.CountHashProbes((end - begin) * filters.size());
+              for (uint64_t row = begin; row < end; ++row) {
+                uint32_t mask = all_mask;
+                for (const SharedDimFilter& f : filters) {
+                  mask &= f.masks[static_cast<size_t>((*f.col)[row])];
+                  if (mask == 0) break;
+                }
+                while (mask != 0) {
+                  const size_t qi =
+                      static_cast<size_t>(__builtin_ctz(mask));
+                  buffer.Push(qi, bound[qi].PackedKeyAt(row, scratch[qi]),
+                              bound[qi].MeasureAt(row));
+                  mask &= mask - 1;
+                }
+                for (size_t i = 0; i < live_index.size(); ++i) {
+                  const size_t qi = n_live_hash + i;
+                  if (index_bitmaps[i].Test(row) &&
+                      index_residuals[i].Matches(row)) {
+                    buffer.Push(qi,
+                                bound[qi].PackedKeyAt(row, scratch[qi]),
+                                bound[qi].MeasureAt(row));
+                  }
+                }
+              }
+            });
+      },
+      [&](const Morsel&, const MatchBuffer& buffer) {
+        MergeBuffer(buffer, bound);
+      });
+  ctx.MergeIntoParent();
+
+  // A device fault during the shared scan takes down every member that
+  // depended on it — but only those; members failed above keep their own
+  // (more precise) statuses.
+  const Status scan_fault = disk.TakeFault();
+  if (!scan_fault.ok()) {
+    for (size_t slot : live_hash_slots) out.statuses[slot] = scan_fault;
+    for (size_t slot : live_index_slots) out.statuses[slot] = scan_fault;
+    return out;
+  }
+
+  for (size_t i = 0; i < live_hash_slots.size(); ++i) {
+    out.results[live_hash_slots[i]] = bound[i].Finish();
+  }
+  for (size_t i = 0; i < live_index_slots.size(); ++i) {
+    out.results[live_index_slots[i]] = bound[n_live_hash + i].Finish();
+  }
+  return out;
+}
+
+Result<SharedOutcome> ParallelSharedScanStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy) {
+  return ParallelSharedHybridStarJoin(schema, queries, {}, view, disk,
+                                      policy);
+}
+
+Result<SharedOutcome> ParallelSharedIndexStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("shared index star join with no queries");
+  }
+  if (queries.size() > kMaxClassQueries) {
+    return Status::InvalidArgument(
+        StrFormat("shared index star join: %zu members exceed the class "
+                  "limit of %zu",
+                  queries.size(), kMaxClassQueries));
+  }
+  SharedOutcome out;
+  out.results.resize(queries.size());
+  out.statuses.resize(queries.size());
+
+  disk.TakeFault();
+
+  std::vector<size_t> live_slots;
+  std::vector<BoundQuery> bound;
+  std::vector<Bitmap> bitmaps;
+  std::vector<ResidualFilter> residuals;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Status s = MemberBindFault(*queries[i]);
+    if (s.ok()) {
+      Bitmap bitmap;
+      std::vector<const DimPredicate*> residual;
+      s = BuildMemberBitmap(schema, *queries[i], view, disk, &bitmap,
+                            &residual);
+      if (s.ok()) {
+        live_slots.push_back(i);
+        bound.emplace_back(schema, *queries[i], view);
+        bitmaps.push_back(std::move(bitmap));
+        residuals.emplace_back(schema, view, residual);
+        continue;
+      }
+    }
+    out.statuses[i] = std::move(s);
+  }
+  if (live_slots.empty()) return out;
+
+  // Step 1 of §3.2's shared operator: OR the per-query result bitmaps.
+  Bitmap unioned = bitmaps[0];
+  for (size_t i = 1; i < bitmaps.size(); ++i) unioned.OrWith(bitmaps[i]);
+  const std::vector<uint64_t> positions = unioned.ToPositions();
+
+  // Steps 2–4, morsel-parallel: the positions array is split into ranges
+  // whose effective boundaries are snapped forward to page changes, so no
+  // page is probed (or charged) by two workers and the union of effective
+  // ranges covers every position exactly once.
+  const Table& table = view.table();
+  const uint64_t rpp = table.rows_per_page();
+  const auto effective_begin = [&](uint64_t i) {
+    while (i > 0 && i < positions.size() &&
+           positions[i] / rpp == positions[i - 1] / rpp) {
+      ++i;
+    }
+    return i;
+  };
+
+  const size_t workers = EffectiveWorkers(policy);
+  uint64_t chunk = policy.morsel_rows;
+  if (chunk == 0) {
+    chunk = std::max<uint64_t>(
+        rpp, positions.size() /
+                 std::max<uint64_t>(
+                     1, workers * MorselDispatcher::kMorselsPerWorker));
+  }
+  MorselDispatcher dispatcher(positions.size(), chunk,
+                              /*window=*/4 * workers);
+  ParallelContext ctx(disk, workers);
+
+  RunMorselPipeline<MatchBuffer>(
+      policy.engaged() ? policy.pool : nullptr, workers, dispatcher, ctx,
+      [&](const Morsel& morsel, DiskModel& wdisk, MatchBuffer& buffer) {
+        buffer.InitSlots(bound.size());
+        std::vector<std::vector<int32_t>> scratch = MakeScratch(bound);
+        const uint64_t begin = effective_begin(morsel.begin);
+        const uint64_t end = effective_begin(morsel.end);
+        if (begin >= end) return;
+        table.ProbePositions(
+            wdisk,
+            std::span<const uint64_t>(positions).subspan(begin, end - begin),
+            [&](uint64_t row) {
+              for (size_t qi = 0; qi < bound.size(); ++qi) {
+                if (bitmaps[qi].Test(row) && residuals[qi].Matches(row)) {
+                  buffer.Push(qi, bound[qi].PackedKeyAt(row, scratch[qi]),
+                              bound[qi].MeasureAt(row));
+                }
+              }
+            });
+        wdisk.CountTuples(end - begin);
+      },
+      [&](const Morsel&, const MatchBuffer& buffer) {
+        MergeBuffer(buffer, bound);
+      });
+  ctx.MergeIntoParent();
+
+  const Status probe_fault = disk.TakeFault();
+  if (!probe_fault.ok()) {
+    for (size_t slot : live_slots) out.statuses[slot] = probe_fault;
+    return out;
+  }
+  for (size_t i = 0; i < live_slots.size(); ++i) {
+    out.results[live_slots[i]] = bound[i].Finish();
+  }
+  return out;
+}
+
+}  // namespace starshare

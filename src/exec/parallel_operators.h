@@ -1,0 +1,61 @@
+// Morsel-parallel variants of the three shared star-join operators
+// (exec/shared_operators.h), built on src/parallel/.
+//
+// Execution model: the fact/view scan (or the shared probe of the union
+// bitmap) is split into page-aligned morsels handed to pool workers by an
+// atomic cursor. Workers do the read-mostly work — evaluate the shared
+// dimension pass masks, test per-query bitmaps and residual predicates,
+// map keys up the hierarchies and pack group keys — and emit per-morsel
+// match buffers of (packed key, measure value) per query. The calling
+// thread merges buffers in ascending morsel order into each query's
+// HashAggregator, overlapping the workers.
+//
+// Determinism guarantee: because the merge replays every aggregation in
+// exactly the serial row order, results are BIT-IDENTICAL to the serial
+// operators for any thread count and any morsel size — floating-point
+// sums fold in the same sequence. Merged IoStats page counts also equal
+// the serial counts exactly (morsels are page-aligned; each page is
+// charged by one worker), so the 1998 modeled I/O time is unchanged; only
+// wall-clock CPU time is divided across cores. See DESIGN.md "Parallel
+// execution model".
+//
+// Failure contract: identical to the Try* serial operators — a fault in a
+// member's private phase fails only that member; a device fault latched by
+// any worker during the shared pass fails every surviving member.
+
+#ifndef STARSHARE_EXEC_PARALLEL_OPERATORS_H_
+#define STARSHARE_EXEC_PARALLEL_OPERATORS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "cube/materialized_view.h"
+#include "exec/shared_operators.h"
+#include "parallel/policy.h"
+#include "query/query.h"
+#include "storage/disk_model.h"
+
+namespace starshare {
+
+Result<SharedOutcome> ParallelSharedScanStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy);
+
+Result<SharedOutcome> ParallelSharedIndexStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy);
+
+Result<SharedOutcome> ParallelSharedHybridStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& hash_queries,
+    const std::vector<const DimensionalQuery*>& index_queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_PARALLEL_OPERATORS_H_

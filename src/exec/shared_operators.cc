@@ -3,29 +3,19 @@
 #include "common/fault_injector.h"
 #include "common/str_util.h"
 #include "exec/bound_query.h"
+#include "exec/shared_star_join_internal.h"
 #include "exec/star_join.h"
 #include "index/bitmap.h"
 
 namespace starshare {
-namespace {
-
-// One shared dimension filter: a pass mask per stored member, bit q set iff
-// hash query q accepts that member (queries that do not restrict the
-// dimension accept everything). This is the shared dimension hash table of
-// Fig. 2 carrying per-query predicate flags.
-struct SharedDimFilter {
-  const std::vector<int32_t>* col;
-  std::vector<uint32_t> masks;
-};
+namespace internal {
 
 std::vector<SharedDimFilter> BuildSharedFilters(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& queries,
     const MaterializedView& view) {
   SS_CHECK(queries.size() <= kMaxClassQueries);
-  const uint32_t all_mask =
-      queries.empty() ? 0
-                      : static_cast<uint32_t>((uint64_t{1} << queries.size()) - 1);
+  const uint32_t all_mask = AllQueriesMask(queries.size());
   std::vector<SharedDimFilter> filters;
   for (size_t d = 0; d < schema.num_dims(); ++d) {
     bool restricted = false;
@@ -56,7 +46,6 @@ std::vector<SharedDimFilter> BuildSharedFilters(
   return filters;
 }
 
-// Fires the per-member execution fault sites, if armed for this query.
 Status MemberBindFault(const DimensionalQuery& query) {
   if (FaultHit("exec.bind_query", query.id())) {
     return Status::Internal(
@@ -65,8 +54,6 @@ Status MemberBindFault(const DimensionalQuery& query) {
   return Status::Ok();
 }
 
-// Builds the candidate bitmap for one index member, attributing any fault
-// during its (private) index I/O to that member alone.
 Status BuildMemberBitmap(const StarSchema& schema,
                          const DimensionalQuery& query,
                          const MaterializedView& view, DiskModel& disk,
@@ -86,14 +73,13 @@ Status BuildMemberBitmap(const StarSchema& schema,
   return Status::Ok();
 }
 
-// One surviving member of a shared pass: its slot in the caller's outcome
-// arrays plus its execution state.
-struct LiveHashMember {
-  size_t slot;
-  const DimensionalQuery* query;
-};
+}  // namespace internal
 
-}  // namespace
+using internal::AllQueriesMask;
+using internal::BuildMemberBitmap;
+using internal::BuildSharedFilters;
+using internal::MemberBindFault;
+using internal::SharedDimFilter;
 
 Result<SharedOutcome> TrySharedHybridStarJoin(
     const StarSchema& schema,
@@ -102,6 +88,17 @@ Result<SharedOutcome> TrySharedHybridStarJoin(
     const MaterializedView& view, DiskModel& disk) {
   if (hash_queries.empty() && index_queries.empty()) {
     return Status::InvalidArgument("shared hybrid star join with no queries");
+  }
+  if (hash_queries.size() > kMaxClassQueries) {
+    // The shared-scan pass masks carry one bit per hash member; a larger
+    // class is the planner's mistake, reported as a typed error so callers
+    // with a degradation path (Engine's fact-table fallback) can recover
+    // instead of aborting. Executor::ExecuteClass chunks oversized classes
+    // before ever reaching this operator.
+    return Status::InvalidArgument(StrFormat(
+        "shared hybrid star join: %zu hash members exceed the class limit "
+        "of %zu",
+        hash_queries.size(), kMaxClassQueries));
   }
   const size_t n_hash = hash_queries.size();
   SharedOutcome out;
@@ -164,10 +161,7 @@ Result<SharedOutcome> TrySharedHybridStarJoin(
 
   const std::vector<SharedDimFilter> filters =
       BuildSharedFilters(schema, live_hash, view);
-  const uint32_t all_mask =
-      live_hash.empty()
-          ? 0
-          : static_cast<uint32_t>((uint64_t{1} << live_hash.size()) - 1);
+  const uint32_t all_mask = AllQueriesMask(live_hash.size());
 
   view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
     disk.CountTuples(end - begin);
@@ -221,7 +215,12 @@ Result<SharedOutcome> TrySharedIndexStarJoin(
   if (queries.empty()) {
     return Status::InvalidArgument("shared index star join with no queries");
   }
-  SS_CHECK(queries.size() <= kMaxClassQueries);
+  if (queries.size() > kMaxClassQueries) {
+    return Status::InvalidArgument(
+        StrFormat("shared index star join: %zu members exceed the class "
+                  "limit of %zu",
+                  queries.size(), kMaxClassQueries));
+  }
   SharedOutcome out;
   out.results.resize(queries.size());
   out.statuses.resize(queries.size());

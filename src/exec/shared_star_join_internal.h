@@ -1,0 +1,55 @@
+// Internals shared by the serial (shared_operators.cc) and morsel-parallel
+// (parallel_operators.cc) implementations of the §3 shared operators. Not
+// part of the public operator API.
+
+#ifndef STARSHARE_EXEC_SHARED_STAR_JOIN_INTERNAL_H_
+#define STARSHARE_EXEC_SHARED_STAR_JOIN_INTERNAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "cube/materialized_view.h"
+#include "index/bitmap.h"
+#include "query/query.h"
+#include "storage/disk_model.h"
+
+namespace starshare {
+namespace internal {
+
+// One shared dimension filter: a pass mask per stored member, bit q set iff
+// hash query q accepts that member (queries that do not restrict the
+// dimension accept everything). This is the shared dimension hash table of
+// Fig. 2 carrying per-query predicate flags. Read-only once built, so
+// parallel workers share one copy.
+struct SharedDimFilter {
+  const std::vector<int32_t>* col;
+  std::vector<uint32_t> masks;
+};
+
+// Builds the filters for up to kMaxClassQueries hash queries (callers have
+// already rejected larger classes with a Status).
+std::vector<SharedDimFilter> BuildSharedFilters(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view);
+
+// Mask with one bit per query in [0, n).
+inline uint32_t AllQueriesMask(size_t n) {
+  return n == 0 ? 0 : static_cast<uint32_t>((uint64_t{1} << n) - 1);
+}
+
+// Fires the per-member execution fault sites, if armed for this query.
+Status MemberBindFault(const DimensionalQuery& query);
+
+// Builds the candidate bitmap for one index member, attributing any fault
+// during its (private) index I/O to that member alone.
+Status BuildMemberBitmap(const StarSchema& schema,
+                         const DimensionalQuery& query,
+                         const MaterializedView& view, DiskModel& disk,
+                         Bitmap* bitmap,
+                         std::vector<const DimPredicate*>* residual);
+
+}  // namespace internal
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_SHARED_STAR_JOIN_INTERNAL_H_

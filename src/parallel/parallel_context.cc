@@ -1,0 +1,17 @@
+#include "parallel/parallel_context.h"
+
+namespace starshare {
+
+ParallelContext::ParallelContext(DiskModel& parent, size_t num_workers)
+    : parent_(parent) {
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back(parent.timings());
+    workers_.back().AttachBufferPool(parent.buffer_pool());
+  }
+}
+
+void ParallelContext::MergeIntoParent() {
+  for (DiskModel& w : workers_) parent_.MergeChild(w);
+}
+
+}  // namespace starshare

@@ -1,0 +1,50 @@
+// Per-worker execution state for one parallel operator invocation.
+//
+// DiskModel is single-threaded by design (plain counters, a latched fault
+// Status), so a parallel scan gives each worker a private DiskModel cloned
+// from the parent's timings and buffer pool. When the operator finishes,
+// MergeIntoParent() folds every worker's IoStats into the parent in worker
+// order and latches the first worker fault onto the parent — the parent
+// then looks exactly as if one thread had done all the work: page counts
+// (and therefore the 1998 modeled I/O time) are identical to a serial run,
+// because morsels are page-aligned and each page is charged once.
+//
+// The shared BufferPool is internally locked (storage/buffer_pool.h), so
+// concurrent workers may consult it; note that hit/miss *attribution*
+// between workers depends on thread interleaving, while the combined
+// counts stay deterministic for pool-less (cold) runs, which is how the
+// paper's experiments execute.
+
+#ifndef STARSHARE_PARALLEL_PARALLEL_CONTEXT_H_
+#define STARSHARE_PARALLEL_PARALLEL_CONTEXT_H_
+
+#include <deque>
+
+#include "storage/disk_model.h"
+
+namespace starshare {
+
+class ParallelContext {
+ public:
+  // `parent` must outlive the context and not be charged concurrently with
+  // the workers.
+  ParallelContext(DiskModel& parent, size_t num_workers);
+
+  ParallelContext(const ParallelContext&) = delete;
+  ParallelContext& operator=(const ParallelContext&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+  DiskModel& worker_disk(size_t i) { return workers_[i]; }
+
+  // Folds all worker counters (and the first latched worker fault) into the
+  // parent and resets the workers. Call after every worker has finished.
+  void MergeIntoParent();
+
+ private:
+  DiskModel& parent_;
+  std::deque<DiskModel> workers_;  // deque: DiskModel is non-movable
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_PARALLEL_PARALLEL_CONTEXT_H_

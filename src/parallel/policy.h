@@ -1,0 +1,29 @@
+// ParallelPolicy: how much parallelism a morsel-driven pass may use.
+// Shared by the exec/ parallel operators and cube/ view builds so neither
+// layer depends on the other for the knob.
+
+#ifndef STARSHARE_PARALLEL_POLICY_H_
+#define STARSHARE_PARALLEL_POLICY_H_
+
+#include <cstdint>
+
+#include "parallel/thread_pool.h"
+
+namespace starshare {
+
+// With a null pool or parallelism <= 1 the morsel pipeline runs inline on
+// the calling thread (no worker threads), which by construction produces
+// the same bits as the parallel path.
+struct ParallelPolicy {
+  ThreadPool* pool = nullptr;
+  size_t parallelism = 1;
+  // Rows per morsel; 0 picks MorselDispatcher::DefaultMorselRows (page
+  // aligned, >= 16K rows, ~8 morsels per worker).
+  uint64_t morsel_rows = 0;
+
+  bool engaged() const { return pool != nullptr && parallelism > 1; }
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_PARALLEL_POLICY_H_

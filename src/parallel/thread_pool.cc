@@ -1,0 +1,64 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace starshare {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+TaskHandle ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> done = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SS_CHECK_MSG(!shutting_down_, "Submit on a shutting-down ThreadPool");
+    queue_.push_back(std::move(task));
+    ++tasks_run_;
+  }
+  work_ready_.notify_one();
+  return TaskHandle(std::move(done));
+}
+
+uint64_t ThreadPool::tasks_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_run_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+size_t ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace starshare

@@ -1,0 +1,80 @@
+// A fixed-size worker pool for morsel-driven execution (see DESIGN.md
+// "Parallel execution model"). Tasks are plain closures pushed onto one
+// shared FIFO queue; Submit returns a futures-style TaskHandle the caller
+// can Wait on. Destruction is graceful: queued tasks still run, then the
+// workers join.
+//
+// The pool is deliberately dumb — scheduling intelligence lives in
+// MorselDispatcher (parallel/morsel.h), which hands cache-friendly row
+// ranges to whichever worker asks next. One engine owns one pool and
+// reuses it across queries and view builds; pools are cheap enough that
+// tests create their own.
+
+#ifndef STARSHARE_PARALLEL_THREAD_POOL_H_
+#define STARSHARE_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace starshare {
+
+// Completion handle for one submitted task. Wait() rethrows nothing:
+// StarShare code does not throw, and a task that aborts takes the process
+// with it (same contract as the serial engine).
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  explicit TaskHandle(std::future<void> done) : done_(std::move(done)) {}
+
+  bool valid() const { return done_.valid(); }
+
+  // Blocks until the task has finished running. No-op on an empty handle.
+  void Wait() {
+    if (done_.valid()) done_.get();
+  }
+
+ private:
+  std::future<void> done_;
+};
+
+class ThreadPool {
+ public:
+  // Spawns exactly `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues `fn` for execution on some worker.
+  TaskHandle Submit(std::function<void()> fn);
+
+  // Number of tasks submitted over the pool's lifetime (for tests).
+  uint64_t tasks_run() const;
+
+  // What the hardware offers; never 0.
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutting_down_ = false;
+  uint64_t tasks_run_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_PARALLEL_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 namespace starshare {
 
 bool BufferPool::Access(uint32_t table_id, uint64_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (capacity_pages_ == 0) {
     ++misses_;
     return false;
@@ -39,8 +40,24 @@ bool BufferPool::Access(uint32_t table_id, uint64_t page) {
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+}
+
+uint64_t BufferPool::resident_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t BufferPool::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t BufferPool::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
 }
 
 }  // namespace starshare

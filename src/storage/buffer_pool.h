@@ -5,12 +5,18 @@
 // pool exists for the buffer-size ablation bench and for workloads that
 // legitimately re-read a base table (e.g. TPLO plans that scan the same view
 // twice without sharing).
+//
+// The pool is internally locked: one pool may be shared by the per-worker
+// DiskModels of a parallel scan (parallel/parallel_context.h). Which worker
+// scores a given hit depends on thread interleaving, so per-scope cached
+// page attribution is only deterministic in single-threaded runs.
 
 #ifndef STARSHARE_STORAGE_BUFFER_POOL_H_
 #define STARSHARE_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 namespace starshare {
@@ -33,9 +39,9 @@ class BufferPool {
   void Clear();
 
   uint64_t capacity_pages() const { return capacity_pages_; }
-  uint64_t resident_pages() const { return lru_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t resident_pages() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
 
  private:
   // 32-bit table id in the high bits, page index in the low bits.
@@ -43,6 +49,7 @@ class BufferPool {
     return (static_cast<uint64_t>(table_id) << 40) | page;
   }
 
+  mutable std::mutex mu_;
   uint64_t capacity_pages_;
   std::list<uint64_t> lru_;  // front = most recently used
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;

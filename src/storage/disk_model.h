@@ -109,6 +109,24 @@ class DiskModel {
     return out;
   }
 
+  // Folds a parallel worker's counters into this model and adopts the
+  // worker's latched fault if none is pending here (first worker wins —
+  // workers are merged in worker-index order by ParallelContext). The
+  // worker is reset. Each DiskModel instance is still single-threaded;
+  // parallelism comes from giving every worker its own instance.
+  void MergeChild(DiskModel& child) {
+    stats_ += child.stats_;
+    child.stats_ = IoStats();
+    if (child.has_fault_) {
+      if (!has_fault_) {
+        has_fault_ = true;
+        fault_ = std::move(child.fault_);
+      }
+      child.has_fault_ = false;
+      child.fault_ = Status();
+    }
+  }
+
  private:
   void MaybeInjectFault(const char* site) {
     if (has_fault_) return;

@@ -9,6 +9,7 @@
 #ifndef STARSHARE_STORAGE_TABLE_H_
 #define STARSHARE_STORAGE_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -96,6 +97,25 @@ class Table {
     for (uint64_t begin = 0, page = 0; begin < rows; begin += rpp, ++page) {
       disk.ReadSequential(id_, page);
       fn(begin, std::min(begin + rpp, rows));
+    }
+  }
+
+  // Sequential scan of the row range [row_begin, row_end): invokes
+  // fn(begin, end) once per (partial) page, charging one sequential page
+  // read per page touched. Morsel-parallel scans hand page-aligned ranges
+  // to workers so every page is charged exactly once across the whole scan
+  // (parallel/morsel.h); ScanPages is the whole-table special case.
+  template <typename Fn>
+  void ScanRowRange(DiskModel& disk, uint64_t row_begin, uint64_t row_end,
+                    Fn&& fn) const {
+    const uint64_t rpp = rows_per_page();
+    SS_DCHECK(row_end <= num_rows());
+    for (uint64_t begin = row_begin; begin < row_end;) {
+      const uint64_t page = begin / rpp;
+      const uint64_t page_end = std::min((page + 1) * rpp, row_end);
+      disk.ReadSequential(id_, page);
+      fn(begin, page_end);
+      begin = page_end;
     }
   }
 

@@ -1,0 +1,213 @@
+// Unit coverage for the parallel substrate: ThreadPool, MorselDispatcher
+// (partitioning, page alignment, backpressure) and the ordered morsel
+// pipeline, plus ParallelContext's stat/fault merging.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "parallel/morsel.h"
+#include "parallel/morsel_pipeline.h"
+#include "parallel/parallel_context.h"
+#include "parallel/thread_pool.h"
+
+namespace starshare {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskAndWaitBlocks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<TaskHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(pool.Submit([&counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (TaskHandle& h : handles) h.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.tasks_run(), 100u);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).Wait();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No Wait: the destructor's graceful shutdown must run them all.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsNeverZero) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(MorselDispatcherTest, PartitionsRowsExactly) {
+  MorselDispatcher dispatcher(1000, 300);
+  EXPECT_EQ(dispatcher.num_morsels(), 4u);
+  uint64_t next_begin = 0;
+  uint64_t index = 0;
+  while (auto m = dispatcher.Next()) {
+    EXPECT_EQ(m->index, index++);
+    EXPECT_EQ(m->begin, next_begin);
+    EXPECT_GT(m->end, m->begin);
+    next_begin = m->end;
+  }
+  EXPECT_EQ(next_begin, 1000u);  // covered, no overlap, no gap
+  EXPECT_EQ(index, 4u);
+  EXPECT_FALSE(dispatcher.Next().has_value());  // stays exhausted
+}
+
+TEST(MorselDispatcherTest, EmptyScanYieldsNothing) {
+  MorselDispatcher dispatcher(0, 128);
+  EXPECT_EQ(dispatcher.num_morsels(), 0u);
+  EXPECT_FALSE(dispatcher.Next().has_value());
+}
+
+TEST(MorselDispatcherTest, DefaultMorselRowsIsPageAlignedAndBounded) {
+  // Big scan: a multiple of the page size, several morsels per worker.
+  const uint64_t rows = 2'000'000, rpp = 409;
+  const uint64_t m = MorselDispatcher::DefaultMorselRows(rows, rpp, 4);
+  EXPECT_EQ(m % rpp, 0u);
+  EXPECT_GE(m, MorselDispatcher::kMinMorselRows);
+  const uint64_t num_morsels = (rows + m - 1) / m;
+  EXPECT_GE(num_morsels, 4u);  // every worker has something to steal
+
+  // Tiny scan: never below the minimum even if that means one morsel.
+  const uint64_t tiny = MorselDispatcher::DefaultMorselRows(1000, rpp, 8);
+  EXPECT_EQ(tiny % rpp, 0u);
+  EXPECT_GE(tiny, MorselDispatcher::kMinMorselRows);
+}
+
+TEST(MorselDispatcherTest, WindowAppliesBackpressure) {
+  MorselDispatcher dispatcher(10 * 64, 64, /*window=*/2);
+  ASSERT_TRUE(dispatcher.Next().has_value());  // index 0
+  ASSERT_TRUE(dispatcher.Next().has_value());  // index 1
+
+  // Index 2 would run 2 ahead of the consumed floor (0): must block.
+  auto blocked = std::async(std::launch::async, [&] {
+    return dispatcher.Next();
+  });
+  EXPECT_EQ(blocked.wait_for(std::chrono::milliseconds(100)),
+            std::future_status::timeout);
+
+  dispatcher.MarkConsumed(0);
+  ASSERT_EQ(blocked.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  auto m = blocked.get();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->index, 2u);
+}
+
+TEST(MorselPipelineTest, InlineModeConsumesInOrder) {
+  DiskModel parent;
+  ParallelContext ctx(parent, 1);
+  MorselDispatcher dispatcher(100, 7);
+  std::vector<uint64_t> consumed;
+  RunMorselPipeline<uint64_t>(
+      /*pool=*/nullptr, /*parallelism=*/1, dispatcher, ctx,
+      [](const Morsel& m, DiskModel&, uint64_t& buf) { buf = m.index; },
+      [&](const Morsel& m, const uint64_t& buf) {
+        EXPECT_EQ(buf, m.index);
+        consumed.push_back(m.index);
+      });
+  ASSERT_EQ(consumed.size(), dispatcher.num_morsels());
+  for (size_t i = 0; i < consumed.size(); ++i) EXPECT_EQ(consumed[i], i);
+}
+
+TEST(MorselPipelineTest, ParallelModeConsumesInOrderExactlyOnce) {
+  ThreadPool pool(4);
+  DiskModel parent;
+  ParallelContext ctx(parent, 4);
+  MorselDispatcher dispatcher(64 * 37, 37, /*window=*/8);
+  std::atomic<uint64_t> produced{0};
+  std::vector<uint64_t> consumed;  // consumer runs on this thread only
+  RunMorselPipeline<uint64_t>(
+      &pool, 4, dispatcher, ctx,
+      [&](const Morsel& m, DiskModel&, uint64_t& buf) {
+        buf = m.begin;
+        produced.fetch_add(1, std::memory_order_relaxed);
+      },
+      [&](const Morsel& m, const uint64_t& buf) {
+        EXPECT_EQ(buf, m.begin);
+        consumed.push_back(m.index);
+      });
+  EXPECT_EQ(produced.load(), dispatcher.num_morsels());
+  ASSERT_EQ(consumed.size(), dispatcher.num_morsels());
+  for (size_t i = 0; i < consumed.size(); ++i) EXPECT_EQ(consumed[i], i);
+}
+
+TEST(ParallelContextTest, MergeSumsWorkerStatsIntoParent) {
+  DiskModel parent;
+  parent.CountTuples(5);
+  ParallelContext ctx(parent, 3);
+  ctx.worker_disk(0).ReadSequential(1, 0);
+  ctx.worker_disk(1).ReadSequential(1, 1);
+  ctx.worker_disk(1).ReadRandom(1, 9);
+  ctx.worker_disk(2).CountTuples(100);
+  ctx.MergeIntoParent();
+  EXPECT_EQ(parent.stats().seq_pages_read, 2u);
+  EXPECT_EQ(parent.stats().rand_pages_read, 1u);
+  EXPECT_EQ(parent.stats().tuples_processed, 105u);
+  // Workers were reset by the merge.
+  EXPECT_EQ(ctx.worker_disk(1).stats().seq_pages_read, 0u);
+}
+
+TEST(ParallelContextTest, FirstWorkerFaultWinsOnMerge) {
+  DiskModel parent;
+  ParallelContext ctx(parent, 2);
+  FaultInjector::Instance().Enable(42);
+  FaultSpec spec;
+  spec.probability = 1.0;
+  FaultInjector::Instance().Arm("disk.read_seq", spec);
+  ctx.worker_disk(0).ReadSequential(1, 0);
+  ctx.worker_disk(1).ReadSequential(1, 1);
+  FaultInjector::Instance().Disable();
+  ASSERT_TRUE(ctx.worker_disk(0).has_fault());
+  ASSERT_TRUE(ctx.worker_disk(1).has_fault());
+  ctx.MergeIntoParent();
+  EXPECT_TRUE(parent.has_fault());
+  EXPECT_EQ(parent.TakeFault().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(ctx.worker_disk(0).has_fault());  // consumed by the merge
+  EXPECT_FALSE(ctx.worker_disk(1).has_fault());  // cleared, not leaked
+}
+
+TEST(FaultInjectorTest, ConcurrentHitsAreCountedExactly) {
+  FaultInjector::Instance().Enable(7);
+  FaultSpec spec;
+  spec.probability = 0.0;  // count hits without firing
+  FaultInjector::Instance().Arm("parallel.test_site", spec);
+  {
+    ThreadPool pool(4);
+    std::vector<TaskHandle> handles;
+    for (int t = 0; t < 4; ++t) {
+      handles.push_back(pool.Submit([] {
+        for (int i = 0; i < 1000; ++i) FaultHit("parallel.test_site");
+      }));
+    }
+    for (TaskHandle& h : handles) h.Wait();
+  }
+  EXPECT_EQ(FaultInjector::Instance().hits("parallel.test_site"), 4000u);
+  FaultInjector::Instance().Disable();
+}
+
+}  // namespace
+}  // namespace starshare
