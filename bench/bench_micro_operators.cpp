@@ -33,16 +33,16 @@ void BM_BitmapOr(benchmark::State& state) {
 }
 BENCHMARK(BM_BitmapOr)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_BitmapCountOnes(benchmark::State& state) {
+void BM_BitmapCountSetBits(benchmark::State& state) {
   const uint64_t bits = static_cast<uint64_t>(state.range(0));
   Bitmap a(bits);
   Rng rng(2);
   for (uint64_t i = 0; i < bits / 8; ++i) a.Set(rng.NextBounded(bits));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(a.CountOnes());
+    benchmark::DoNotOptimize(a.CountSetBits());
   }
 }
-BENCHMARK(BM_BitmapCountOnes)->Arg(1 << 20);
+BENCHMARK(BM_BitmapCountSetBits)->Arg(1 << 20);
 
 void BM_BitmapIterate(benchmark::State& state) {
   const uint64_t bits = 1 << 20;

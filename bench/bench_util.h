@@ -21,6 +21,16 @@
 #include "core/engine.h"
 #include "parallel/thread_pool.h"
 
+// Source revision and build type, stamped into every report so archived
+// JSON runs stay attributable (set by bench/CMakeLists.txt at configure
+// time; "unknown" outside the CMake build).
+#ifndef STARSHARE_GIT_SHA
+#define STARSHARE_GIT_SHA "unknown"
+#endif
+#ifndef STARSHARE_BUILD_TYPE
+#define STARSHARE_BUILD_TYPE "unknown"
+#endif
+
 namespace starshare {
 namespace bench {
 
@@ -113,6 +123,9 @@ class BenchReport {
     }
     std::fprintf(f, "{\n  \"name\": %s,\n  \"title\": %s,\n",
                  Quoted(name_).c_str(), Quoted(title_).c_str());
+    std::fprintf(f, "  \"git_sha\": %s,\n  \"build_type\": %s,\n",
+                 Quoted(STARSHARE_GIT_SHA).c_str(),
+                 Quoted(STARSHARE_BUILD_TYPE).c_str());
     std::fprintf(f, "  \"hardware_threads\": %zu,\n",
                  ThreadPool::HardwareThreads());
     std::fprintf(f, "  \"rows\": [\n");

@@ -1,0 +1,143 @@
+// Vectorized batch execution: batch-size sweep on the paper workload.
+//
+// Queries 1-4 forced to the shared hash star join on the base table ABCD
+// (the Figure 10 k=4 configuration), executed tuple-at-a-time (the original
+// fused per-row loops) and then with the vectorized batch engine at several
+// batch sizes, plus one morsel-parallel vectorized point. Reported per
+// point:
+//   * cpu_ms     — wall time of the whole shared pass,
+//   * page counts / modeled_ms — identical across every configuration by
+//     construction (batching regroups CPU work only), asserted below,
+//   * speedup    — tuple-at-a-time cpu_ms / vectorized cpu_ms.
+// Every vectorized result is asserted BIT-identical to the tuple run: the
+// batch kernels preserve ascending row order per query and AddBatch replays
+// Add element-for-element, so the aggregation fold is the same
+// floating-point sequence.
+//
+// The acceptance bar for this engine is >= 2x cpu_ms reduction for the
+// 4-query shared scan on 2M rows in a Release build (recorded as the
+// speedup_batch_* metrics in BENCH_vectorized_scan.json). The assertion is
+// left to the reader/CI of the JSON rather than hard-coded here because
+// Debug builds and tiny STARSHARE_ROWS runs (scripts/verify.sh perf-smoke)
+// legitimately measure smaller, noisier ratios; the bit-identity and
+// page-count checks below are enforced unconditionally at every size.
+
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "core/paper_workload.h"
+
+using namespace starshare;
+using namespace starshare::bench;
+
+namespace {
+
+bool BitIdentical(const QueryResult& a, const QueryResult& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    if (a.rows()[i].keys != b.rows()[i].keys) return false;
+    if (std::memcmp(&a.rows()[i].value, &b.rows()[i].value,
+                    sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Best-of-N wall clock (first iteration doubles as warmup): page counts are
+// identical across iterations, only cpu_ms varies, so the minimum is the
+// least-noise estimate of the pass's cost.
+template <typename Fn>
+Measurement MeasureBest(Engine& engine, int iterations, Fn&& fn) {
+  Measurement best;
+  for (int i = 0; i < iterations; ++i) {
+    Measurement m = Measure(engine, fn);
+    if (i == 0 || m.cpu_ms < best.cpu_ms) best = m;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t rows = PaperWorkload::RowsFromEnv(2'000'000);
+  Engine engine(StarSchema::PaperTestSchema());
+  PaperWorkload::Setup(engine, rows);
+
+  std::vector<DimensionalQuery> queries =
+      PaperWorkload::MakeQueries(engine, {1, 2, 3, 4});
+  const std::vector<JoinMethod> methods(queries.size(),
+                                        JoinMethod::kHashScan);
+  const GlobalPlan plan = ForcedClassPlan(engine, queries, "ABCD", methods);
+
+  BenchReport report(
+      "vectorized_scan",
+      StrFormat("Vectorized shared scan, queries 1-4 on ABCD (%s rows)",
+                WithCommas(rows).c_str()));
+  report.Metric("fact_rows", static_cast<double>(rows));
+  report.Metric("default_batch_rows",
+                static_cast<double>(kDefaultBatchRows));
+
+  // Baseline: the original tuple-at-a-time loops.
+  engine.set_batch_config(BatchConfig::TupleAtATime());
+  std::vector<ExecutedQuery> baseline;
+  const Measurement baseline_m =
+      MeasureBest(engine, 3, [&] { baseline = engine.Execute(plan); });
+  report.Row("tuple-at-a-time", baseline_m);
+  for (const auto& r : baseline) {
+    SS_CHECK_MSG(r.ok(), "%s", r.status.ToString().c_str());
+  }
+
+  const auto check_against_baseline = [&](
+      const std::vector<ExecutedQuery>& run, const Measurement& m,
+      const std::string& label) {
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      SS_CHECK_MSG(run[i].ok(), "%s", run[i].status.ToString().c_str());
+      SS_CHECK_MSG(BitIdentical(run[i].result, baseline[i].result),
+                   "Q%d diverged from tuple-at-a-time (%s)",
+                   run[i].query->id(), label.c_str());
+    }
+    SS_CHECK_MSG(m.io == baseline_m.io,
+                 "%s charged different I/O than tuple-at-a-time — the 1998 "
+                 "modeled time would change",
+                 label.c_str());
+  };
+
+  // Batch-size sweep, serial.
+  for (const size_t batch_rows : {256u, 1024u, 4096u}) {
+    engine.set_batch_config(BatchConfig{true, batch_rows});
+    std::vector<ExecutedQuery> vectorized;
+    const Measurement m =
+        MeasureBest(engine, 3, [&] { vectorized = engine.Execute(plan); });
+    const std::string label = StrFormat("vectorized, batch %zu", batch_rows);
+    report.Row(label, m);
+    check_against_baseline(vectorized, m, label);
+    report.Metric(StrFormat("speedup_batch_%zu", batch_rows),
+                  baseline_m.cpu_ms / m.cpu_ms);
+  }
+
+  // One morsel-parallel vectorized point at the default batch size.
+  engine.set_batch_config(BatchConfig{});
+  engine.set_parallelism(4);
+  {
+    std::vector<ExecutedQuery> parallel;
+    const Measurement m =
+        MeasureBest(engine, 3, [&] { parallel = engine.Execute(plan); });
+    report.Row("vectorized, batch 1024, 4 threads", m);
+    check_against_baseline(parallel, m, "4-thread vectorized");
+    report.Metric("speedup_batch_1024_4_threads",
+                  baseline_m.cpu_ms / m.cpu_ms);
+  }
+  engine.set_parallelism(1);
+
+  report.Note(
+      "\nAll vectorized results are bit-identical to tuple-at-a-time, and\n"
+      "all page counts (hence the 1998 modeled I/O time) are equal by\n"
+      "construction; batching regroups CPU work only. The Release-build\n"
+      "target for the default batch size is >= 2x cpu_ms over the\n"
+      "tuple-at-a-time baseline on 2M rows.");
+  report.Write();
+  return 0;
+}

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain build + full test suite, the same suite
-# under AddressSanitizer + UBSan (-DSTARSHARE_SANITIZE=ON), then the
-# threading suites under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread).
-# All three must pass. Run from the repository root:
+# under AddressSanitizer + UBSan (-DSTARSHARE_SANITIZE=ON), the threading
+# suites under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread), and a
+# perf-smoke pass of the scan benches on a reduced row count (their internal
+# checks fail the stage if vectorized aggregate output differs from
+# tuple-at-a-time/serial or any charged page count changes). All four must
+# pass. Run from the repository root:
 #
 #   scripts/verify.sh [jobs]
 
@@ -29,5 +32,14 @@ cmake --build build-tsan -j "$JOBS" --target \
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'thread_pool_test|parallel_determinism_test|parallel_chaos_test'
+
+echo "==> perf-smoke: scan benches on reduced rows"
+# Each bench SS_CHECKs bit-identity against its reference execution and
+# exact IoStats equality across configurations — a vectorized result or a
+# page count drifting from tuple-at-a-time aborts the bench and this stage.
+# Speedup ratios at this row count are recorded but not asserted (see
+# bench_vectorized_scan.cpp); the Release 2M-row sweep is the perf gate.
+(cd build && STARSHARE_ROWS=120000 ./bench/bench_vectorized_scan >/dev/null)
+(cd build && STARSHARE_ROWS=120000 ./bench/bench_parallel_scan >/dev/null)
 
 echo "==> verify OK"

@@ -28,7 +28,14 @@ Engine::Engine(StarSchema schema, EngineConfig config)
     result_cache_ =
         std::make_unique<ResultCache>(config_.result_cache_entries);
   }
+  builder_.set_batch_config(config_.batch);
   set_parallelism(config_.parallelism);
+}
+
+void Engine::set_batch_config(const BatchConfig& batch) {
+  config_.batch = batch;
+  builder_.set_batch_config(batch);
+  set_parallelism(parallelism_);  // rebuild the policy with the new style
 }
 
 void Engine::set_parallelism(size_t parallelism) {
@@ -36,6 +43,7 @@ void Engine::set_parallelism(size_t parallelism) {
   parallelism_ = parallelism;
   ParallelPolicy policy;
   policy.morsel_rows = config_.morsel_rows;
+  policy.batch = config_.batch;
   if (parallelism > 1) {
     if (thread_pool_ == nullptr ||
         thread_pool_->num_threads() != parallelism) {

@@ -57,6 +57,13 @@ struct EngineConfig {
   size_t parallelism = 1;
   // Rows per morsel for parallel passes (0 = automatic, page aligned).
   uint64_t morsel_rows = 0;
+  // CPU execution style for the shared operators and view builds:
+  // vectorized batch-at-a-time by default. BatchConfig::TupleAtATime()
+  // restores the original fused per-tuple loops (the reference
+  // implementation). Either style produces bit-identical results and
+  // charges identical modeled I/O (see DESIGN.md "Vectorized execution
+  // model"); the knob exists for benchmarking and verification.
+  BatchConfig batch;
 };
 
 class Engine {
@@ -77,6 +84,22 @@ class Engine {
   // or MaterializeViews is in flight.
   void set_parallelism(size_t parallelism);
   size_t parallelism() const { return parallelism_; }
+
+  // Runtime form of EngineConfig::batch: switches the shared operators and
+  // the view builder between vectorized and tuple-at-a-time execution, or
+  // adjusts the batch size. Safe between queries, like set_parallelism.
+  void set_batch_config(const BatchConfig& batch);
+  void set_vectorized(bool vectorized) {
+    BatchConfig batch = config_.batch;
+    batch.vectorized = vectorized;
+    set_batch_config(batch);
+  }
+  void set_batch_rows(size_t batch_rows) {
+    BatchConfig batch = config_.batch;
+    batch.batch_rows = batch_rows;
+    set_batch_config(batch);
+  }
+  const BatchConfig& batch_config() const { return config_.batch; }
 
   // ---- Data -------------------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "exec/dim_translator.h"
 #include "exec/flat_hash.h"
 #include "exec/key_packer.h"
 #include "parallel/morsel.h"
@@ -51,6 +52,28 @@ class ViewBuilder::MultiAggregator {
     }
   }
 
+  // Batch form: equivalent to Add(keys[i], row base_row + i's measures) for
+  // i in [0, n) in order — row-outer, measure-inner, so every per-cell sum
+  // folds in exactly the serial order — but reading the measure columns
+  // directly instead of staging each row's values.
+  void AddBatch(const uint64_t* keys, size_t n,
+                const std::vector<const std::vector<double>*>& measure_cols,
+                uint64_t base_row) {
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t& slot = slots_.FindOrInsert(keys[i]);
+      if (slot == 0) {
+        cell_keys_.push_back(keys[i]);
+        for (auto& column : sums_) column.push_back(0);
+        slot = static_cast<uint32_t>(cell_keys_.size());
+      }
+      const size_t cell = slot - 1;
+      const uint64_t row = base_row + i;
+      for (size_t m = 0; m < sums_.size(); ++m) {
+        sums_[m][cell] += (*measure_cols[m])[row];
+      }
+    }
+  }
+
   uint64_t cell_key(size_t cell) const { return cell_keys_[cell]; }
   double cell_sum(size_t measure, size_t cell) const {
     return sums_[measure][cell];
@@ -63,23 +86,30 @@ class ViewBuilder::MultiAggregator {
   std::vector<std::vector<double>> sums_;  // [measure][cell]
 };
 
-// Per-target plumbing for one pass over a source view.
+// Per-target plumbing for one pass over a source view. Key translation goes
+// through the same dense arrays (exec/dim_translator.h) as query execution,
+// so tuple-at-a-time and batch accumulation produce identical packed keys.
 struct ViewBuilder::TargetState {
   std::unique_ptr<MultiAggregator> agg;
-  std::vector<const std::vector<int32_t>*> src_cols;
-  std::vector<std::vector<int32_t>> maps;  // stored key -> target member
+  DimTranslator translator;
   std::vector<const std::vector<double>*> measure_cols;
-  std::vector<int32_t> scratch;
   std::vector<double> values;
 
   void Accumulate(uint64_t row) {
-    for (size_t i = 0; i < src_cols.size(); ++i) {
-      scratch[i] = maps[i][static_cast<size_t>((*src_cols[i])[row])];
-    }
     for (size_t m = 0; m < measure_cols.size(); ++m) {
       values[m] = (*measure_cols[m])[row];
     }
-    agg->Add(agg->packer().Pack(scratch.data()), values.data());
+    agg->Add(translator.PackRow(row), values.data());
+  }
+
+  // Batch form over the contiguous rows [begin, end), with caller-owned key
+  // scratch. Fold order per cell matches the serial loop exactly.
+  void AccumulateBatch(uint64_t begin, uint64_t end,
+                       std::vector<uint64_t>& keys) {
+    const size_t n = static_cast<size_t>(end - begin);
+    keys.resize(n);
+    translator.PackRange(begin, n, keys.data());
+    agg->AddBatch(keys.data(), n, measure_cols, begin);
   }
 };
 
@@ -91,23 +121,11 @@ ViewBuilder::TargetState ViewBuilder::MakeTargetState(
       schema_, target, num_measures,
       std::min<uint64_t>(target.MaxCells(schema_),
                          source.table().num_rows()));
-  const auto retained = target.RetainedDims(schema_);
-  for (size_t d : retained) {
-    state.src_cols.push_back(
-        &source.table().key_column(source.KeyColForDim(d)));
-    const Hierarchy& h = schema_.dim(d);
-    const int from = source.StoredLevel(d);
-    const int to = target.level(d);
-    std::vector<int32_t> map(h.cardinality(from));
-    for (uint32_t m = 0; m < map.size(); ++m) {
-      map[m] = h.MapUp(from, to, static_cast<int32_t>(m));
-    }
-    state.maps.push_back(std::move(map));
-  }
+  state.translator =
+      DimTranslator(schema_, target, source, state.agg->packer());
   for (size_t m = 0; m < num_measures; ++m) {
     state.measure_cols.push_back(&source.table().measure_column(m));
   }
-  state.scratch.resize(retained.size());
   state.values.resize(num_measures);
   return state;
 }
@@ -169,12 +187,25 @@ std::unique_ptr<Table> ViewBuilder::Build(const MaterializedView& source,
                target.ToString(schema_).c_str());
 
   TargetState state = MakeTargetState(source, target);
-  source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-    disk.CountTuples(end - begin);
-    for (uint64_t row = begin; row < end; ++row) {
-      state.Accumulate(row);
-    }
-  });
+  if (batch_.vectorized) {
+    std::vector<uint64_t> keys;
+    RowBatcher batcher(batch_.EffectiveBatchRows(),
+                       [&](uint64_t b, uint64_t e) {
+                         state.AccumulateBatch(b, e, keys);
+                       });
+    source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+      disk.CountTuples(end - begin);
+      batcher.AddRange(begin, end);
+    });
+    batcher.Finish();
+  } else {
+    source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+      disk.CountTuples(end - begin);
+      for (uint64_t row = begin; row < end; ++row) {
+        state.Accumulate(row);
+      }
+    });
+  }
   return Emit(*state.agg, target, source.table(), disk, name, clustered);
 }
 
@@ -189,24 +220,35 @@ std::unique_ptr<Table> ViewBuilder::Refresh(const MaterializedView& view,
 
   // Fold in the existing cells (keys are already at the view's levels, in
   // column order) using an identity-mapped state over the view itself...
-  TargetState fold = MakeTargetState(view, view.spec());
-  view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-    disk.CountTuples(end - begin);
-    for (uint64_t row = begin; row < end; ++row) {
-      fold.Accumulate(row);
-    }
-  });
-
-  // ...then the delta, mapped up to the view's levels, into the SAME
+  // then the delta, mapped up to the view's levels, into the SAME
   // aggregator.
+  TargetState fold = MakeTargetState(view, view.spec());
   TargetState delta_state = MakeTargetState(delta, view.spec());
-  delta_state.agg = std::move(fold.agg);
-  delta.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-    disk.CountTuples(end - begin);
-    for (uint64_t row = begin; row < end; ++row) {
-      delta_state.Accumulate(row);
+  const auto scan_into = [this, &disk](const MaterializedView& src,
+                                       TargetState& state) {
+    if (batch_.vectorized) {
+      std::vector<uint64_t> keys;
+      RowBatcher batcher(batch_.EffectiveBatchRows(),
+                         [&](uint64_t b, uint64_t e) {
+                           state.AccumulateBatch(b, e, keys);
+                         });
+      src.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+        disk.CountTuples(end - begin);
+        batcher.AddRange(begin, end);
+      });
+      batcher.Finish();
+    } else {
+      src.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+        disk.CountTuples(end - begin);
+        for (uint64_t row = begin; row < end; ++row) {
+          state.Accumulate(row);
+        }
+      });
     }
-  });
+  };
+  scan_into(view, fold);
+  delta_state.agg = std::move(fold.agg);
+  scan_into(delta, delta_state);
 
   return Emit(*delta_state.agg, view.spec(), view.table(), disk, view.name(),
               view.clustered());
@@ -224,13 +266,30 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildMany(
     states.push_back(MakeTargetState(source, target));
   }
 
-  // One shared scan feeds every target's aggregation.
-  source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-    disk.CountTuples(end - begin);
-    for (uint64_t row = begin; row < end; ++row) {
-      for (TargetState& state : states) state.Accumulate(row);
-    }
-  });
+  // One shared scan feeds every target's aggregation. Targets aggregate
+  // independently, so the batch path's target-outer order folds each
+  // aggregator exactly as the row-outer serial loop does.
+  if (batch_.vectorized) {
+    std::vector<uint64_t> keys;
+    RowBatcher batcher(batch_.EffectiveBatchRows(),
+                       [&](uint64_t b, uint64_t e) {
+                         for (TargetState& state : states) {
+                           state.AccumulateBatch(b, e, keys);
+                         }
+                       });
+    source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+      disk.CountTuples(end - begin);
+      batcher.AddRange(begin, end);
+    });
+    batcher.Finish();
+  } else {
+    source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+      disk.CountTuples(end - begin);
+      for (uint64_t row = begin; row < end; ++row) {
+        for (TargetState& state : states) state.Accumulate(row);
+      }
+    });
+  }
 
   std::vector<std::unique_ptr<Table>> tables;
   tables.reserve(targets.size());
@@ -277,30 +336,47 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildManyParallel(
       policy.pool, workers, dispatcher, ctx,
       [&](const Morsel& morsel, DiskModel& wdisk, KeyBuffer& buffer) {
         buffer.keys.resize(states.size());
-        std::vector<std::vector<int32_t>> scratch;
-        scratch.reserve(states.size());
-        for (const TargetState& state : states) {
-          scratch.emplace_back(state.src_cols.size());
-          buffer.keys[scratch.size() - 1].reserve(morsel.num_rows());
+        for (std::vector<uint64_t>& keys : buffer.keys) {
+          keys.reserve(morsel.num_rows());
         }
         table.ScanRowRange(
             wdisk, morsel.begin, morsel.end,
             [&](uint64_t begin, uint64_t end) {
               wdisk.CountTuples(end - begin);
+              if (policy.batch.vectorized) {
+                // Ranges arrive adjacent and ascending, so packing each
+                // range onto the tail keeps buffer.keys[t][i] the key of
+                // row morsel.begin + i.
+                const size_t n = static_cast<size_t>(end - begin);
+                for (size_t t = 0; t < states.size(); ++t) {
+                  std::vector<uint64_t>& keys = buffer.keys[t];
+                  const size_t base = keys.size();
+                  keys.resize(base + n);
+                  states[t].translator.PackRange(begin, n,
+                                                 keys.data() + base);
+                }
+                return;
+              }
               for (uint64_t row = begin; row < end; ++row) {
                 for (size_t t = 0; t < states.size(); ++t) {
-                  const TargetState& state = states[t];
-                  for (size_t i = 0; i < state.src_cols.size(); ++i) {
-                    scratch[t][i] = state.maps[i][static_cast<size_t>(
-                        (*state.src_cols[i])[row])];
-                  }
                   buffer.keys[t].push_back(
-                      state.agg->packer().Pack(scratch[t].data()));
+                      states[t].translator.PackRow(row));
                 }
               }
             });
       },
       [&](const Morsel& morsel, const KeyBuffer& buffer) {
+        if (policy.batch.vectorized) {
+          // Per-target batch fold: targets are independent, and each
+          // target's stream is row-ascending, so this replays BuildMany's
+          // per-cell accumulation order exactly.
+          for (size_t t = 0; t < states.size(); ++t) {
+            states[t].agg->AddBatch(buffer.keys[t].data(),
+                                    buffer.keys[t].size(),
+                                    states[t].measure_cols, morsel.begin);
+          }
+          return;
+        }
         std::vector<double> values(table.num_measures());
         for (uint64_t i = 0; i < morsel.num_rows(); ++i) {
           const uint64_t row = morsel.begin + i;

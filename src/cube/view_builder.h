@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cube/materialized_view.h"
+#include "exec/vector_batch.h"
 #include "parallel/policy.h"
 #include "schema/groupby_spec.h"
 #include "schema/star_schema.h"
@@ -29,6 +30,14 @@ namespace starshare {
 class ViewBuilder {
  public:
   explicit ViewBuilder(const StarSchema& schema) : schema_(schema) {}
+
+  // CPU execution style for the serial build/refresh scans (vectorized
+  // batches by default; BatchConfig::TupleAtATime() restores the fused
+  // per-row loops). BuildManyParallel workers follow policy.batch instead,
+  // so one ParallelPolicy fully describes a parallel pass. Either style
+  // emits bit-identical tables and charges identical I/O.
+  void set_batch_config(const BatchConfig& batch) { batch_ = batch; }
+  const BatchConfig& batch_config() const { return batch_; }
 
   // Builds the table for `target` from `source`. The source must be able to
   // answer the target (checked). Scan + write costs are charged to `disk`.
@@ -83,6 +92,7 @@ class ViewBuilder {
                               const std::string& name, bool clustered) const;
 
   const StarSchema& schema_;
+  BatchConfig batch_;
 };
 
 }  // namespace starshare

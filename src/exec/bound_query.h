@@ -1,10 +1,10 @@
 // BoundQuery: one dimensional query bound to the view it is evaluated from.
-// Precomputes, per retained target dimension, the view column to read and a
-// dense stored-level -> target-level mapping array (the "dimension hash
-// table" of the paper's plans, realized as a perfect-hash array because
-// member ids are dense), plus the aggregation hash table. Every star-join
-// operator — single or shared — funnels matching tuples through
-// Accumulate().
+// Precomputes the dense translation arrays (exec/dim_translator.h) mapping
+// the view's stored member ids to pre-shifted packed-key bits at the query's
+// target levels — the "dimension hash table" of the paper's plans realized
+// as perfect-hash arrays — plus the aggregation hash table. Every star-join
+// operator — single or shared, tuple-at-a-time or vectorized — funnels
+// matching tuples through Accumulate() / AccumulateBatch().
 
 #ifndef STARSHARE_EXEC_BOUND_QUERY_H_
 #define STARSHARE_EXEC_BOUND_QUERY_H_
@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cube/materialized_view.h"
+#include "exec/dim_translator.h"
 #include "exec/hash_aggregator.h"
 #include "query/query.h"
 #include "query/result.h"
@@ -34,21 +35,8 @@ class BoundQuery {
                  "query Q%d aggregates measure %zu but view %s has %zu",
                  query.id(), query.measure(), view.name().c_str(),
                  view.table().num_measures());
-    const auto retained = query.target().RetainedDims(schema);
-    for (size_t d : retained) {
-      const size_t col = view.KeyColForDim(d);
-      SS_CHECK(col != SIZE_MAX);
-      cols_.push_back(&view.table().key_column(col));
-      const Hierarchy& h = schema.dim(d);
-      const int from = view.StoredLevel(d);
-      const int to = query.target().level(d);
-      std::vector<int32_t> map(h.cardinality(from));
-      for (uint32_t m = 0; m < map.size(); ++m) {
-        map[m] = h.MapUp(from, to, static_cast<int32_t>(m));
-      }
-      maps_.push_back(std::move(map));
-    }
-    scratch_.resize(retained.size());
+    translator_ =
+        DimTranslator(schema, query.target(), view, agg_.packer());
   }
 
   BoundQuery(const BoundQuery&) = delete;
@@ -60,27 +48,30 @@ class BoundQuery {
   // Adds view row `row` (already known to pass the query's selection) to
   // the aggregation, reading the query's own measure column.
   void Accumulate(uint64_t row) {
-    agg_.Add(PackedKeyAt(row, scratch_), MeasureAt(row));
+    agg_.Add(translator_.PackRow(row), MeasureAt(row));
   }
 
   // The split form of Accumulate used by morsel-parallel workers: the
-  // read-only half (map the row's keys up to the target levels and pack
-  // them) runs concurrently with a caller-supplied scratch buffer of
-  // num_retained() entries; the mutating half (AccumulateRaw) runs only on
-  // the merging thread, in serial row order, so the aggregation folds
-  // bit-identically to the serial operator.
-  uint64_t PackedKeyAt(uint64_t row, std::vector<int32_t>& scratch) const {
-    for (size_t i = 0; i < cols_.size(); ++i) {
-      scratch[i] = maps_[i][(*cols_[i])[row]];
-    }
-    return agg_.packer().Pack(scratch.data());
-  }
+  // read-only half (translate the row's keys and pack them) runs
+  // concurrently; the mutating half (AccumulateRaw / AccumulateRawBatch)
+  // runs only on the merging thread, in serial row order, so the
+  // aggregation folds bit-identically to the serial operator.
+  uint64_t PackedKeyAt(uint64_t row) const { return translator_.PackRow(row); }
   double MeasureAt(uint64_t row) const { return (*measures_)[row]; }
   void AccumulateRaw(uint64_t packed_key, double value) {
     agg_.Add(packed_key, value);
   }
+  void AccumulateRawBatch(const uint64_t* keys, const double* values,
+                          size_t n) {
+    agg_.AddBatch(keys, values, n);
+  }
 
-  size_t num_retained() const { return cols_.size(); }
+  // Vectorized accessors: the translation arrays and the raw measure
+  // column, for batch kernels that pack keys and gather values themselves.
+  const DimTranslator& translator() const { return translator_; }
+  const double* measure_data() const { return measures_->data(); }
+
+  size_t num_retained() const { return translator_.num_lanes(); }
 
   QueryResult Finish() const { return agg_.Finish(); }
 
@@ -88,9 +79,7 @@ class BoundQuery {
   const DimensionalQuery* query_;
   HashAggregator agg_;
   const std::vector<double>* measures_;
-  std::vector<const std::vector<int32_t>*> cols_;
-  std::vector<std::vector<int32_t>> maps_;
-  std::vector<int32_t> scratch_;
+  DimTranslator translator_;
 };
 
 }  // namespace starshare

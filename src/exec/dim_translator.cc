@@ -1,0 +1,79 @@
+#include "exec/dim_translator.h"
+
+#include <cstring>
+
+namespace starshare {
+
+DimTranslator::DimTranslator(const StarSchema& schema,
+                             const GroupBySpec& target,
+                             const MaterializedView& view,
+                             const KeyPacker& packer) {
+  const std::vector<size_t> retained = target.RetainedDims(schema);
+  SS_CHECK(retained.size() == packer.num_keys());
+  lanes_.reserve(retained.size());
+  for (size_t i = 0; i < retained.size(); ++i) {
+    const size_t d = retained[i];
+    const size_t col = view.KeyColForDim(d);
+    SS_CHECK(col != SIZE_MAX);
+    Lane lane;
+    lane.col = &view.table().key_column(col);
+    const Hierarchy& h = schema.dim(d);
+    const int from = view.StoredLevel(d);
+    const int to = target.level(d);
+    lane.keybits.resize(h.cardinality(from));
+    for (uint32_t m = 0; m < lane.keybits.size(); ++m) {
+      lane.keybits[m] =
+          packer.PackField(i, h.MapUp(from, to, static_cast<int32_t>(m)));
+    }
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+void DimTranslator::PackRange(uint64_t base, size_t n, uint64_t* out) const {
+  if (lanes_.empty()) {
+    std::memset(out, 0, n * sizeof(uint64_t));
+    return;
+  }
+  {
+    const Lane& lane = lanes_[0];
+    const int32_t* col = lane.col->data() + base;
+    const uint64_t* keybits = lane.keybits.data();
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = keybits[static_cast<size_t>(col[i])];
+    }
+  }
+  for (size_t l = 1; l < lanes_.size(); ++l) {
+    const Lane& lane = lanes_[l];
+    const int32_t* col = lane.col->data() + base;
+    const uint64_t* keybits = lane.keybits.data();
+    for (size_t i = 0; i < n; ++i) {
+      out[i] |= keybits[static_cast<size_t>(col[i])];
+    }
+  }
+}
+
+void DimTranslator::PackRows(const uint64_t* rows, size_t n,
+                             uint64_t* out) const {
+  if (lanes_.empty()) {
+    std::memset(out, 0, n * sizeof(uint64_t));
+    return;
+  }
+  {
+    const Lane& lane = lanes_[0];
+    const int32_t* col = lane.col->data();
+    const uint64_t* keybits = lane.keybits.data();
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = keybits[static_cast<size_t>(col[rows[i]])];
+    }
+  }
+  for (size_t l = 1; l < lanes_.size(); ++l) {
+    const Lane& lane = lanes_[l];
+    const int32_t* col = lane.col->data();
+    const uint64_t* keybits = lane.keybits.data();
+    for (size_t i = 0; i < n; ++i) {
+      out[i] |= keybits[static_cast<size_t>(col[rows[i]])];
+    }
+  }
+}
+
+}  // namespace starshare

@@ -1,0 +1,67 @@
+// Dense translation arrays: the vectorized engine's replacement for the
+// per-tuple "dimension hash table" probes of the paper's plans.
+//
+// Stored member ids are small contiguous ints, so for each retained
+// dimension of a group-by target the whole map
+//
+//   stored member id -> (member id at the target level) << field shift
+//
+// is precomputed into one flat array of pre-shifted key bits. Packing a
+// row's group key is then one load per retained dimension ORed together —
+// no per-row MapUp walk, no shift, no range check. The produced keys are
+// bit-identical to KeyPacker::Pack over MapUp'd members (PackField is the
+// single source of the field layout).
+
+#ifndef STARSHARE_EXEC_DIM_TRANSLATOR_H_
+#define STARSHARE_EXEC_DIM_TRANSLATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/materialized_view.h"
+#include "exec/key_packer.h"
+#include "schema/groupby_spec.h"
+#include "schema/star_schema.h"
+
+namespace starshare {
+
+class DimTranslator {
+ public:
+  DimTranslator() = default;
+
+  // Builds one translation array per retained dimension of `target`, from
+  // the stored level of `view` up to the target's level. `packer` supplies
+  // the key layout and must have been built for the same target.
+  DimTranslator(const StarSchema& schema, const GroupBySpec& target,
+                const MaterializedView& view, const KeyPacker& packer);
+
+  size_t num_lanes() const { return lanes_.size(); }
+
+  // Packed group key of one row.
+  uint64_t PackRow(uint64_t row) const {
+    uint64_t key = 0;
+    for (const Lane& lane : lanes_) {
+      key |= lane.keybits[static_cast<size_t>((*lane.col)[row])];
+    }
+    return key;
+  }
+
+  // Packed keys of the contiguous rows [base, base + n), column-at-a-time:
+  // out[i] is the key of row base + i.
+  void PackRange(uint64_t base, size_t n, uint64_t* out) const;
+
+  // Packed keys of `n` gathered row positions (a selection vector):
+  // out[i] is the key of rows[i].
+  void PackRows(const uint64_t* rows, size_t n, uint64_t* out) const;
+
+ private:
+  struct Lane {
+    const std::vector<int32_t>* col;   // view key column of the dimension
+    std::vector<uint64_t> keybits;     // stored member -> pre-shifted bits
+  };
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_DIM_TRANSLATOR_H_

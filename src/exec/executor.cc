@@ -107,7 +107,7 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
                   ? ParallelSharedIndexStarJoin(schema_, index_queries,
                                                 *cls.base, disk_, policy_)
                   : TrySharedIndexStarJoin(schema_, index_queries, *cls.base,
-                                           disk_);
+                                           disk_, policy_.batch);
     order = index_queries;
   } else {
     outcome = policy_.engaged()
@@ -115,7 +115,8 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
                                                  index_queries, *cls.base,
                                                  disk_, policy_)
                   : TrySharedHybridStarJoin(schema_, hash_queries,
-                                            index_queries, *cls.base, disk_);
+                                            index_queries, *cls.base, disk_,
+                                            policy_.batch);
     order = hash_queries;
     order.insert(order.end(), index_queries.begin(), index_queries.end());
   }

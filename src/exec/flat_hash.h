@@ -59,6 +59,10 @@ class FlatHashMap {
 
   size_t size() const { return size_; }
 
+  // Current slot-array capacity (a power of two). Exposed so tests can
+  // observe rehashes when inserting past the load-factor threshold.
+  size_t capacity() const { return slots_.size(); }
+
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const Slot& slot : slots_) {

@@ -41,6 +41,27 @@ class HashAggregator {
     ++a.count;
   }
 
+  // Batch form of Add: equivalent to Add(keys[i], values[i]) for i in
+  // [0, n) in order (so the fold is bit-identical), but with the AggOp
+  // dispatch hoisted out of the inner loop via template specialization.
+  void AddBatch(const uint64_t* keys, const double* values, size_t n) {
+    switch (op_) {
+      case AggOp::kSum:
+      case AggOp::kAvg:
+        AddBatchImpl<AggOp::kSum>(keys, values, n);
+        break;
+      case AggOp::kCount:
+        AddBatchImpl<AggOp::kCount>(keys, values, n);
+        break;
+      case AggOp::kMin:
+        AddBatchImpl<AggOp::kMin>(keys, values, n);
+        break;
+      case AggOp::kMax:
+        AddBatchImpl<AggOp::kMax>(keys, values, n);
+        break;
+    }
+  }
+
   size_t num_groups() const { return groups_.size(); }
 
   // Finalizes into a canonically sorted QueryResult.
@@ -59,6 +80,21 @@ class HashAggregator {
     double agg = 0;
     uint64_t count = 0;
   };
+
+  template <AggOp kOp>
+  void AddBatchImpl(const uint64_t* keys, const double* values, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      Accum& a = groups_.FindOrInsert(keys[i]);
+      if constexpr (kOp == AggOp::kSum) {  // also kAvg: same accumulation
+        a.agg += values[i];
+      } else if constexpr (kOp == AggOp::kMin) {
+        a.agg = (a.count == 0 || values[i] < a.agg) ? values[i] : a.agg;
+      } else if constexpr (kOp == AggOp::kMax) {
+        a.agg = (a.count == 0 || values[i] > a.agg) ? values[i] : a.agg;
+      }
+      ++a.count;
+    }
+  }
 
   GroupBySpec target_;
   AggOp op_;

@@ -28,11 +28,18 @@ class KeyPacker {
   uint64_t Pack(const int32_t* members) const {
     uint64_t key = 0;
     for (size_t i = 0; i < shifts_.size(); ++i) {
-      SS_DCHECK(static_cast<uint64_t>(members[i]) <= masks_[i]);
-      key |= static_cast<uint64_t>(static_cast<uint32_t>(members[i]))
-             << shifts_[i];
+      key |= PackField(i, members[i]);
     }
     return key;
+  }
+
+  // The bits field i contributes to a packed key when it holds `member`.
+  // ORing PackField over all fields is exactly Pack — the dense translation
+  // arrays of the vectorized engine (exec/dim_translator.h) precompute these
+  // per stored member so the hot loop is one load per dimension.
+  uint64_t PackField(size_t i, int32_t member) const {
+    SS_DCHECK(static_cast<uint64_t>(member) <= masks_[i]);
+    return static_cast<uint64_t>(static_cast<uint32_t>(member)) << shifts_[i];
   }
 
   std::vector<int32_t> Unpack(uint64_t key) const {

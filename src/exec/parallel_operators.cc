@@ -20,7 +20,9 @@ using internal::AllQueriesMask;
 using internal::BuildMemberBitmap;
 using internal::BuildSharedFilters;
 using internal::MemberBindFault;
+using internal::QueryMatchBatch;
 using internal::SharedDimFilter;
+using internal::SharedScanKernel;
 
 // Matches one morsel produced for the live queries of a shared pass:
 // parallel (packed key, measure) streams, one per live query, each in
@@ -38,19 +40,11 @@ struct MatchBuffer {
     keys[slot].push_back(key);
     values[slot].push_back(value);
   }
-};
-
-// Per-worker scratch for BoundQuery::PackedKeyAt (one vector per live
-// query, sized to its retained-dimension count).
-std::vector<std::vector<int32_t>> MakeScratch(
-    const std::vector<BoundQuery>& bound) {
-  std::vector<std::vector<int32_t>> scratch;
-  scratch.reserve(bound.size());
-  for (const BoundQuery& b : bound) {
-    scratch.emplace_back(b.num_retained());
+  void Append(size_t slot, const uint64_t* k, const double* v, size_t n) {
+    keys[slot].insert(keys[slot].end(), k, k + n);
+    values[slot].insert(values[slot].end(), v, v + n);
   }
-  return scratch;
-}
+};
 
 size_t EffectiveWorkers(const ParallelPolicy& policy) {
   if (!policy.engaged()) return 1;
@@ -66,14 +60,13 @@ uint64_t MorselRowsFor(const ParallelPolicy& policy, uint64_t num_rows,
 
 // Feeds one morsel's buffer to the live queries' aggregators, in slot
 // order. Per-aggregator order is all that matters for bit-identity: each
-// query's stream is row-ascending within the morsel.
+// query's stream is row-ascending within the morsel, and the batch fold is
+// element-wise identical to per-tuple Add.
 void MergeBuffer(const MatchBuffer& buffer, std::vector<BoundQuery>& bound) {
   for (size_t slot = 0; slot < bound.size(); ++slot) {
-    const std::vector<uint64_t>& keys = buffer.keys[slot];
-    const std::vector<double>& values = buffer.values[slot];
-    for (size_t i = 0; i < keys.size(); ++i) {
-      bound[slot].AccumulateRaw(keys[i], values[i]);
-    }
+    bound[slot].AccumulateRawBatch(buffer.keys[slot].data(),
+                                   buffer.values[slot].data(),
+                                   buffer.keys[slot].size());
   }
 }
 
@@ -169,7 +162,33 @@ Result<SharedOutcome> ParallelSharedHybridStarJoin(
       policy.engaged() ? policy.pool : nullptr, workers, dispatcher, ctx,
       [&](const Morsel& morsel, DiskModel& wdisk, MatchBuffer& buffer) {
         buffer.InitSlots(n_live);
-        std::vector<std::vector<int32_t>> scratch = MakeScratch(bound);
+        if (policy.batch.vectorized) {
+          // Same batch kernel as the serial operator, one instance (and
+          // scratch) per morsel. Morsels are contiguous row ranges, so the
+          // per-query streams stay row-ascending.
+          SharedScanKernel kernel(filters, all_mask, bound, n_live_hash,
+                                  index_bitmaps, index_residuals);
+          std::vector<QueryMatchBatch> matches(n_live);
+          RowBatcher batcher(
+              policy.batch.EffectiveBatchRows(),
+              [&](uint64_t b, uint64_t e) {
+                kernel.ProcessBatch(b, e, matches);
+                for (size_t qi = 0; qi < n_live; ++qi) {
+                  buffer.Append(qi, matches[qi].keys.data(),
+                                matches[qi].values.data(),
+                                matches[qi].size());
+                }
+              });
+          table.ScanRowRange(wdisk, morsel.begin, morsel.end,
+                             [&](uint64_t begin, uint64_t end) {
+                               wdisk.CountTuples(end - begin);
+                               wdisk.CountHashProbes((end - begin) *
+                                                     filters.size());
+                               batcher.AddRange(begin, end);
+                             });
+          batcher.Finish();
+          return;
+        }
         table.ScanRowRange(
             wdisk, morsel.begin, morsel.end,
             [&](uint64_t begin, uint64_t end) {
@@ -184,7 +203,7 @@ Result<SharedOutcome> ParallelSharedHybridStarJoin(
                 while (mask != 0) {
                   const size_t qi =
                       static_cast<size_t>(__builtin_ctz(mask));
-                  buffer.Push(qi, bound[qi].PackedKeyAt(row, scratch[qi]),
+                  buffer.Push(qi, bound[qi].PackedKeyAt(row),
                               bound[qi].MeasureAt(row));
                   mask &= mask - 1;
                 }
@@ -192,8 +211,7 @@ Result<SharedOutcome> ParallelSharedHybridStarJoin(
                   const size_t qi = n_live_hash + i;
                   if (index_bitmaps[i].Test(row) &&
                       index_residuals[i].Matches(row)) {
-                    buffer.Push(qi,
-                                bound[qi].PackedKeyAt(row, scratch[qi]),
+                    buffer.Push(qi, bound[qi].PackedKeyAt(row),
                                 bound[qi].MeasureAt(row));
                   }
                 }
@@ -311,17 +329,39 @@ Result<SharedOutcome> ParallelSharedIndexStarJoin(
       policy.engaged() ? policy.pool : nullptr, workers, dispatcher, ctx,
       [&](const Morsel& morsel, DiskModel& wdisk, MatchBuffer& buffer) {
         buffer.InitSlots(bound.size());
-        std::vector<std::vector<int32_t>> scratch = MakeScratch(bound);
         const uint64_t begin = effective_begin(morsel.begin);
         const uint64_t end = effective_begin(morsel.end);
         if (begin >= end) return;
+        if (policy.batch.vectorized) {
+          // Charge the probe exactly as the tuple path (one random read per
+          // distinct page in the sub-range), then route tuples per member
+          // by slicing its own bitmap over the sub-range's row span — the
+          // member's set rows there are exactly the probed rows it passes.
+          table.ProbePositions(
+              wdisk,
+              std::span<const uint64_t>(positions).subspan(begin,
+                                                           end - begin),
+              [](uint64_t) {});
+          wdisk.CountTuples(end - begin);
+          const uint64_t row_begin = positions[begin];
+          const uint64_t row_end = positions[end - 1] + 1;
+          for (size_t qi = 0; qi < bound.size(); ++qi) {
+            internal::ForEachIndexMemberBatch(
+                bitmaps[qi], row_begin, row_end, residuals[qi], bound[qi],
+                policy.batch.EffectiveBatchRows(),
+                [&](const uint64_t* keys, const double* values, size_t n) {
+                  buffer.Append(qi, keys, values, n);
+                });
+          }
+          return;
+        }
         table.ProbePositions(
             wdisk,
             std::span<const uint64_t>(positions).subspan(begin, end - begin),
             [&](uint64_t row) {
               for (size_t qi = 0; qi < bound.size(); ++qi) {
                 if (bitmaps[qi].Test(row) && residuals[qi].Matches(row)) {
-                  buffer.Push(qi, bound[qi].PackedKeyAt(row, scratch[qi]),
+                  buffer.Push(qi, bound[qi].PackedKeyAt(row),
                               bound[qi].MeasureAt(row));
                 }
               }

@@ -73,19 +73,99 @@ Status BuildMemberBitmap(const StarSchema& schema,
   return Status::Ok();
 }
 
+void SharedScanKernel::EmitSelected(const BoundQuery& bound,
+                                    QueryMatchBatch& out) {
+  const size_t n = sel_.size();
+  if (n == 0) return;
+  const size_t base = out.keys.size();
+  out.keys.resize(base + n);
+  out.values.resize(base + n);
+  bound.translator().PackRows(sel_.data(), n, out.keys.data() + base);
+  const double* measures = bound.measure_data();
+  double* values = out.values.data() + base;
+  const uint64_t* rows = sel_.data();
+  for (size_t i = 0; i < n; ++i) values[i] = measures[rows[i]];
+}
+
+void SharedScanKernel::ProcessBatch(uint64_t begin, uint64_t end,
+                                    std::vector<QueryMatchBatch>& out) {
+  const size_t n = static_cast<size_t>(end - begin);
+  for (QueryMatchBatch& o : out) o.Clear();
+
+  if (n_hash_ > 0) {
+    // Pass masks for the whole batch, one shared dimension filter at a
+    // time: a single dense-array load per (row, filter).
+    masks_.resize(n);
+    uint32_t any = all_mask_;
+    if (filters_.empty()) {
+      std::fill(masks_.begin(), masks_.end(), all_mask_);
+    } else {
+      {
+        const SharedDimFilter& f = filters_[0];
+        const int32_t* col = f.col->data() + begin;
+        const uint32_t* masks = f.masks.data();
+        for (size_t i = 0; i < n; ++i) {
+          masks_[i] = masks[static_cast<size_t>(col[i])];
+        }
+      }
+      for (size_t fi = 1; fi < filters_.size(); ++fi) {
+        const SharedDimFilter& f = filters_[fi];
+        const int32_t* col = f.col->data() + begin;
+        const uint32_t* masks = f.masks.data();
+        for (size_t i = 0; i < n; ++i) {
+          masks_[i] &= masks[static_cast<size_t>(col[i])];
+        }
+      }
+      any = 0;
+      for (size_t i = 0; i < n; ++i) any |= masks_[i];
+    }
+    // Per hash member: selection vector, then pack + gather + emit.
+    for (size_t qi = 0; qi < n_hash_; ++qi) {
+      const uint32_t bit = uint32_t{1} << qi;
+      if ((any & bit) == 0) continue;
+      sel_.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if (masks_[i] & bit) sel_.push_back(begin + i);
+      }
+      EmitSelected(bound_[qi], out[qi]);
+    }
+  }
+
+  // Index members: slice each candidate bitmap word-at-a-time instead of
+  // Test(row) per scanned tuple, then apply the residual predicates to the
+  // (usually far smaller) candidate set.
+  for (size_t k = 0; k < index_bitmaps_.size(); ++k) {
+    sel_.clear();
+    index_bitmaps_[k].ForEachSetBitInRange(
+        begin, end, [this](uint64_t row) { sel_.push_back(row); });
+    const ResidualFilter& residual = index_residuals_[k];
+    if (!residual.empty()) {
+      size_t kept = 0;
+      for (const uint64_t row : sel_) {
+        if (residual.Matches(row)) sel_[kept++] = row;
+      }
+      sel_.resize(kept);
+    }
+    EmitSelected(bound_[n_hash_ + k], out[n_hash_ + k]);
+  }
+}
+
 }  // namespace internal
 
 using internal::AllQueriesMask;
 using internal::BuildMemberBitmap;
 using internal::BuildSharedFilters;
 using internal::MemberBindFault;
+using internal::QueryMatchBatch;
 using internal::SharedDimFilter;
+using internal::SharedScanKernel;
 
 Result<SharedOutcome> TrySharedHybridStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& hash_queries,
     const std::vector<const DimensionalQuery*>& index_queries,
-    const MaterializedView& view, DiskModel& disk) {
+    const MaterializedView& view, DiskModel& disk,
+    const BatchConfig& batch) {
   if (hash_queries.empty() && index_queries.empty()) {
     return Status::InvalidArgument("shared hybrid star join with no queries");
   }
@@ -146,48 +226,70 @@ Result<SharedOutcome> TrySharedHybridStarJoin(
 
   if (live_hash.empty() && live_index.empty()) return out;  // nothing left
 
-  std::vector<BoundQuery> hash_bound;
-  hash_bound.reserve(live_hash.size());
-  for (const auto* q : live_hash) hash_bound.emplace_back(schema, *q, view);
-
-  std::vector<BoundQuery> index_bound;
+  std::vector<BoundQuery> bound;  // live hash members, then live index
+  bound.reserve(live_hash.size() + live_index.size());
+  for (const auto* q : live_hash) bound.emplace_back(schema, *q, view);
   std::vector<ResidualFilter> index_residuals;
-  index_bound.reserve(live_index.size());
   index_residuals.reserve(live_index.size());
   for (size_t i = 0; i < live_index.size(); ++i) {
-    index_bound.emplace_back(schema, *live_index[i], view);
+    bound.emplace_back(schema, *live_index[i], view);
     index_residuals.emplace_back(schema, view, index_residual_preds[i]);
   }
 
   const std::vector<SharedDimFilter> filters =
       BuildSharedFilters(schema, live_hash, view);
   const uint32_t all_mask = AllQueriesMask(live_hash.size());
+  const size_t n_live_hash = live_hash.size();
 
-  view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-    disk.CountTuples(end - begin);
-    for (uint64_t row = begin; row < end; ++row) {
-      // Hash members: one probe per shared dimension filter for all of them.
-      uint32_t mask = all_mask;
-      for (const SharedDimFilter& f : filters) {
-        mask &= f.masks[static_cast<size_t>((*f.col)[row])];
-        if (mask == 0) break;
-      }
-      disk.CountHashProbes(filters.size());
-      while (mask != 0) {
-        const int qi = __builtin_ctz(mask);
-        hash_bound[static_cast<size_t>(qi)].Accumulate(row);
-        mask &= mask - 1;
-      }
-      // Index members: candidate bitmap + residual predicates used as the
-      // selection filter (§3.3).
-      for (size_t qi = 0; qi < index_bound.size(); ++qi) {
-        if (index_bitmaps[qi].Test(row) &&
-            index_residuals[qi].Matches(row)) {
-          index_bound[qi].Accumulate(row);
+  if (batch.vectorized) {
+    // Batch-at-a-time: the scan callbacks only charge I/O and feed the
+    // batcher; the kernel does the CPU work per batch. Batches span page
+    // boundaries freely — page charging is untouched.
+    SharedScanKernel kernel(filters, all_mask, bound, n_live_hash,
+                            index_bitmaps, index_residuals);
+    std::vector<QueryMatchBatch> matches(bound.size());
+    RowBatcher batcher(batch.EffectiveBatchRows(),
+                       [&](uint64_t b, uint64_t e) {
+                         kernel.ProcessBatch(b, e, matches);
+                         for (size_t qi = 0; qi < bound.size(); ++qi) {
+                           bound[qi].AccumulateRawBatch(
+                               matches[qi].keys.data(),
+                               matches[qi].values.data(), matches[qi].size());
+                         }
+                       });
+    view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+      disk.CountTuples(end - begin);
+      disk.CountHashProbes((end - begin) * filters.size());
+      batcher.AddRange(begin, end);
+    });
+    batcher.Finish();
+  } else {
+    view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
+      disk.CountTuples(end - begin);
+      for (uint64_t row = begin; row < end; ++row) {
+        // Hash members: one probe per shared dimension filter for all of
+        // them.
+        uint32_t mask = all_mask;
+        for (const SharedDimFilter& f : filters) {
+          mask &= f.masks[static_cast<size_t>((*f.col)[row])];
+          if (mask == 0) break;
+        }
+        disk.CountHashProbes(filters.size());
+        while (mask != 0) {
+          const int qi = __builtin_ctz(mask);
+          bound[static_cast<size_t>(qi)].Accumulate(row);
+          mask &= mask - 1;
+        }
+        // Index members: candidate bitmap + residual predicates used as
+        // the selection filter (§3.3).
+        for (size_t i = 0; i < index_bitmaps.size(); ++i) {
+          if (index_bitmaps[i].Test(row) && index_residuals[i].Matches(row)) {
+            bound[n_live_hash + i].Accumulate(row);
+          }
         }
       }
-    }
-  });
+    });
+  }
 
   // A device fault during the shared scan takes down every member that
   // depended on it — but only those; members failed above keep their own
@@ -200,10 +302,10 @@ Result<SharedOutcome> TrySharedHybridStarJoin(
   }
 
   for (size_t i = 0; i < live_hash_slots.size(); ++i) {
-    out.results[live_hash_slots[i]] = hash_bound[i].Finish();
+    out.results[live_hash_slots[i]] = bound[i].Finish();
   }
   for (size_t i = 0; i < live_index_slots.size(); ++i) {
-    out.results[live_index_slots[i]] = index_bound[i].Finish();
+    out.results[live_index_slots[i]] = bound[n_live_hash + i].Finish();
   }
   return out;
 }
@@ -211,7 +313,8 @@ Result<SharedOutcome> TrySharedHybridStarJoin(
 Result<SharedOutcome> TrySharedIndexStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& queries,
-    const MaterializedView& view, DiskModel& disk) {
+    const MaterializedView& view, DiskModel& disk,
+    const BatchConfig& batch) {
   if (queries.empty()) {
     return Status::InvalidArgument("shared index star join with no queries");
   }
@@ -257,14 +360,31 @@ Result<SharedOutcome> TrySharedIndexStarJoin(
   // Steps 2–4: one probe pass; split tuples to their group-bys by testing
   // each query's bitmap at the tuple position.
   const std::vector<uint64_t> positions = unioned.ToPositions();
-  view.table().ProbePositions(disk, positions, [&](uint64_t row) {
+  if (batch.vectorized) {
+    // Charge the shared probe exactly as the tuple path does (one random
+    // read per distinct page of the union), then route tuples per member by
+    // slicing that member's own bitmap word-at-a-time — its set rows are a
+    // subset of the probed union, visited in the same ascending order.
+    view.table().ProbePositions(disk, positions, [](uint64_t) {});
+    disk.CountTuples(positions.size());
     for (size_t qi = 0; qi < bound.size(); ++qi) {
-      if (bitmaps[qi].Test(row) && residuals[qi].Matches(row)) {
-        bound[qi].Accumulate(row);
-      }
+      internal::ForEachIndexMemberBatch(
+          bitmaps[qi], 0, bitmaps[qi].num_bits(), residuals[qi], bound[qi],
+          batch.EffectiveBatchRows(),
+          [&](const uint64_t* keys, const double* values, size_t n) {
+            bound[qi].AccumulateRawBatch(keys, values, n);
+          });
     }
-  });
-  disk.CountTuples(positions.size());
+  } else {
+    view.table().ProbePositions(disk, positions, [&](uint64_t row) {
+      for (size_t qi = 0; qi < bound.size(); ++qi) {
+        if (bitmaps[qi].Test(row) && residuals[qi].Matches(row)) {
+          bound[qi].Accumulate(row);
+        }
+      }
+    });
+    disk.CountTuples(positions.size());
+  }
 
   const Status probe_fault = disk.TakeFault();
   if (!probe_fault.ok()) {
@@ -281,10 +401,10 @@ std::vector<QueryResult> SharedHybridStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& hash_queries,
     const std::vector<const DimensionalQuery*>& index_queries,
-    const MaterializedView& view, DiskModel& disk) {
+    const MaterializedView& view, DiskModel& disk, const BatchConfig& batch) {
   SS_CHECK(!hash_queries.empty() || !index_queries.empty());
-  Result<SharedOutcome> outcome =
-      TrySharedHybridStarJoin(schema, hash_queries, index_queries, view, disk);
+  Result<SharedOutcome> outcome = TrySharedHybridStarJoin(
+      schema, hash_queries, index_queries, view, disk, batch);
   SS_CHECK_MSG(outcome.ok(), "%s", outcome.status().ToString().c_str());
   for (const Status& s : outcome->statuses) {
     SS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
@@ -295,17 +415,17 @@ std::vector<QueryResult> SharedHybridStarJoin(
 std::vector<QueryResult> SharedScanStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& queries,
-    const MaterializedView& view, DiskModel& disk) {
-  return SharedHybridStarJoin(schema, queries, {}, view, disk);
+    const MaterializedView& view, DiskModel& disk, const BatchConfig& batch) {
+  return SharedHybridStarJoin(schema, queries, {}, view, disk, batch);
 }
 
 std::vector<QueryResult> SharedIndexStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& queries,
-    const MaterializedView& view, DiskModel& disk) {
+    const MaterializedView& view, DiskModel& disk, const BatchConfig& batch) {
   SS_CHECK(!queries.empty());
   Result<SharedOutcome> outcome =
-      TrySharedIndexStarJoin(schema, queries, view, disk);
+      TrySharedIndexStarJoin(schema, queries, view, disk, batch);
   SS_CHECK_MSG(outcome.ok(), "%s", outcome.status().ToString().c_str());
   for (const Status& s : outcome->statuses) {
     SS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());

@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "cube/materialized_view.h"
+#include "exec/vector_batch.h"
 #include "query/query.h"
 #include "query/result.h"
 #include "storage/disk_model.h"
@@ -32,13 +33,20 @@ struct SharedOutcome {
   std::vector<Status> statuses;
 };
 
+// All operators take a BatchConfig selecting the CPU execution style: the
+// default is the vectorized batch engine; `BatchConfig::TupleAtATime()`
+// runs the original fused per-tuple loops. Both styles produce bit-identical
+// results and charge exactly the same IoStats (batching regroups CPU work
+// only; see DESIGN.md "Vectorized execution model").
+
 // Shared scan hash-based star join (§3.1, Fig. 2): one scan of `view`, one
 // pass-mask table per restricted dimension shared by all queries, one
 // aggregation per query.
 std::vector<QueryResult> SharedScanStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& queries,
-    const MaterializedView& view, DiskModel& disk);
+    const MaterializedView& view, DiskModel& disk,
+    const BatchConfig& batch = BatchConfig());
 
 // Shared join-index-based star join (§3.2, Fig. 4): per-query result
 // bitmaps are ORed, the base table is probed once with the union, and each
@@ -47,7 +55,8 @@ std::vector<QueryResult> SharedScanStarJoin(
 std::vector<QueryResult> SharedIndexStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& queries,
-    const MaterializedView& view, DiskModel& disk);
+    const MaterializedView& view, DiskModel& disk,
+    const BatchConfig& batch = BatchConfig());
 
 // Shared scan for hash-based + index-based star join (§3.3, Fig. 5):
 // `hash_queries` run as a shared scan; each of `index_queries` builds its
@@ -59,7 +68,8 @@ std::vector<QueryResult> SharedHybridStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& hash_queries,
     const std::vector<const DimensionalQuery*>& index_queries,
-    const MaterializedView& view, DiskModel& disk);
+    const MaterializedView& view, DiskModel& disk,
+    const BatchConfig& batch = BatchConfig());
 
 // Fallible variants with graceful per-member degradation. A fault hitting
 // one member during its private phase (binding at "exec.bind_query",
@@ -74,13 +84,15 @@ std::vector<QueryResult> SharedHybridStarJoin(
 Result<SharedOutcome> TrySharedIndexStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& queries,
-    const MaterializedView& view, DiskModel& disk);
+    const MaterializedView& view, DiskModel& disk,
+    const BatchConfig& batch = BatchConfig());
 
 Result<SharedOutcome> TrySharedHybridStarJoin(
     const StarSchema& schema,
     const std::vector<const DimensionalQuery*>& hash_queries,
     const std::vector<const DimensionalQuery*>& index_queries,
-    const MaterializedView& view, DiskModel& disk);
+    const MaterializedView& view, DiskModel& disk,
+    const BatchConfig& batch = BatchConfig());
 
 }  // namespace starshare
 

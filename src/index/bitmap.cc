@@ -4,7 +4,7 @@ namespace starshare {
 
 void Bitmap::SetAll() {
   for (auto& w : words_) w = ~0ULL;
-  // Keep bits past num_bits_ zero so CountOnes stays exact.
+  // Keep bits past num_bits_ zero so CountSetBits stays exact.
   const uint64_t tail = num_bits_ & 63;
   if (tail != 0 && !words_.empty()) {
     words_.back() &= (1ULL << tail) - 1;
@@ -50,7 +50,7 @@ Bitmap Bitmap::And(const Bitmap& a, const Bitmap& b) {
   return out;
 }
 
-uint64_t Bitmap::CountOnes() const {
+uint64_t Bitmap::CountSetBits() const {
   uint64_t count = 0;
   for (uint64_t w : words_) count += __builtin_popcountll(w);
   return count;
@@ -73,7 +73,7 @@ bool Bitmap::IntersectsWith(const Bitmap& other) const {
 
 std::vector<uint64_t> Bitmap::ToPositions() const {
   std::vector<uint64_t> out;
-  out.reserve(CountOnes());
+  out.reserve(CountSetBits());
   ForEachSetBit([&out](uint64_t pos) { out.push_back(pos); });
   return out;
 }

@@ -52,16 +52,44 @@ class Bitmap {
   static Bitmap Or(const Bitmap& a, const Bitmap& b);
   static Bitmap And(const Bitmap& a, const Bitmap& b);
 
-  // Number of set bits.
-  uint64_t CountOnes() const;
+  // Number of set bits (word-at-a-time popcount).
+  uint64_t CountSetBits() const;
   bool AnySet() const;
   bool IntersectsWith(const Bitmap& other) const;
 
-  // Calls fn(position) for every set bit, ascending.
+  // Calls fn(position) for every set bit, ascending. Iterates 64-bit words
+  // with ctz, so sparse bitmaps cost one branch per set bit, not per row.
   template <typename Fn>
   void ForEachSetBit(Fn&& fn) const {
     for (size_t w = 0; w < words_.size(); ++w) {
       uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<uint64_t>(w) * 64 + static_cast<uint64_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Calls fn(position) for every set bit in [begin, end), ascending. The
+  // first and last words are masked so positions outside the range never
+  // fire — the batch form the vectorized operators use to turn a bitmap
+  // slice into a selection vector.
+  template <typename Fn>
+  void ForEachSetBitInRange(uint64_t begin, uint64_t end, Fn&& fn) const {
+    SS_DCHECK(end <= num_bits_);
+    if (begin >= end) return;
+    const size_t first_word = begin >> 6;
+    const size_t last_word = (end - 1) >> 6;
+    for (size_t w = first_word; w <= last_word; ++w) {
+      uint64_t word = words_[w];
+      if (w == first_word) {
+        word &= ~0ULL << (begin & 63);
+      }
+      if (w == last_word) {
+        const uint64_t tail = end - static_cast<uint64_t>(w) * 64;
+        if (tail < 64) word &= (1ULL << tail) - 1;
+      }
       while (word != 0) {
         const int bit = __builtin_ctzll(word);
         fn(static_cast<uint64_t>(w) * 64 + static_cast<uint64_t>(bit));

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "exec/flat_hash.h"
 #include "exec/hash_aggregator.h"
 #include "exec/key_packer.h"
@@ -39,6 +41,40 @@ TEST(FlatHashMapTest, GrowsPastInitialCapacity) {
     ASSERT_NE(map.Find(k * 3 + 1), nullptr);
     ASSERT_EQ(*map.Find(k * 3 + 1), k);
   }
+}
+
+TEST(FlatHashMapTest, SurvivesSeveralGrowBoundaries) {
+  // Start at the minimum capacity and insert enough keys to force several
+  // rehashes; every key must survive every Grow() and misses must stay
+  // misses. capacity() doubles, so each boundary crossing is observable.
+  FlatHashMap<uint64_t> map(1);
+  size_t grows_seen = 0;
+  size_t last_capacity = map.capacity();
+  for (uint64_t k = 0; k < 5000; ++k) {
+    map.FindOrInsert(k * 7 + 3) = k;
+    if (map.capacity() != last_capacity) {
+      EXPECT_EQ(map.capacity(), last_capacity * 2)
+          << "capacity must double at each growth";
+      last_capacity = map.capacity();
+      ++grows_seen;
+      // Immediately after a rehash: all prior keys present, misses miss.
+      for (uint64_t probe = 0; probe <= k; probe += 97) {
+        ASSERT_NE(map.Find(probe * 7 + 3), nullptr)
+            << "key lost across Grow() #" << grows_seen;
+        ASSERT_EQ(*map.Find(probe * 7 + 3), probe);
+      }
+      EXPECT_EQ(map.Find(k * 7 + 4), nullptr)
+          << "miss became a hit after Grow() #" << grows_seen;
+    }
+  }
+  EXPECT_GE(grows_seen, 4u) << "test did not cross several Grow boundaries";
+  EXPECT_EQ(map.size(), 5000u);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_NE(map.Find(k * 7 + 3), nullptr);
+    ASSERT_EQ(*map.Find(k * 7 + 3), k);
+  }
+  EXPECT_EQ(map.Find(2), nullptr);
+  EXPECT_EQ(map.Find(5000 * 7 + 3), nullptr);
 }
 
 TEST(FlatHashMapTest, ForEachVisitsAll) {
@@ -148,6 +184,77 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(AggCase{AggOp::kSum, 6.0}, AggCase{AggOp::kCount, 3.0},
                       AggCase{AggOp::kMin, 1.0}, AggCase{AggOp::kMax, 3.0},
                       AggCase{AggOp::kAvg, 2.0}));
+
+TEST(HashAggregatorTest, MinMaxWithAllNegativeValues) {
+  // The accumulator starts at agg = 0: min/max must initialize from the
+  // first value (count == 0), not fold the zero in — all-negative maxima
+  // and all-positive minima would otherwise come out wrong.
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Parse("X''", s).value();
+  const int32_t g[] = {0};
+
+  HashAggregator max_agg(s, spec, AggOp::kMax);
+  for (double v : {-5.0, -1.5, -9.0}) {
+    max_agg.Add(max_agg.packer().Pack(g), v);
+  }
+  QueryResult max_result = max_agg.Finish();
+  ASSERT_EQ(max_result.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(max_result.rows()[0].value, -1.5);
+
+  HashAggregator min_agg(s, spec, AggOp::kMin);
+  for (double v : {7.0, 2.25, 11.0}) {
+    min_agg.Add(min_agg.packer().Pack(g), v);
+  }
+  QueryResult min_result = min_agg.Finish();
+  ASSERT_EQ(min_result.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(min_result.rows()[0].value, 2.25);
+}
+
+TEST(HashAggregatorTest, EmptyInputFinishesEmpty) {
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Parse("X''", s).value();
+  for (AggOp op : {AggOp::kSum, AggOp::kCount, AggOp::kMin, AggOp::kMax,
+                   AggOp::kAvg}) {
+    HashAggregator agg(s, spec, op);
+    EXPECT_EQ(agg.num_groups(), 0u);
+    QueryResult result = agg.Finish();
+    EXPECT_EQ(result.num_rows(), 0u)
+        << "op " << static_cast<int>(op) << " produced rows from no input";
+  }
+}
+
+TEST(HashAggregatorTest, AddBatchMatchesAddPerOp) {
+  // AddBatch must replay Add's exact fold (it is the vectorized engine's
+  // only aggregation entry point). Inputs mix groups, signs and duplicates.
+  StarSchema s = SmallSchema();
+  auto spec = GroupBySpec::Parse("X'", s).value();
+  KeyPacker ref_packer(s, spec);
+  std::vector<uint64_t> keys;
+  std::vector<double> values;
+  for (int i = 0; i < 257; ++i) {  // not a multiple of any batch size
+    const int32_t g[] = {i % 5};
+    keys.push_back(ref_packer.Pack(g));
+    values.push_back((i % 7) * 1.25 - 3.0);
+  }
+  for (AggOp op : {AggOp::kSum, AggOp::kCount, AggOp::kMin, AggOp::kMax,
+                   AggOp::kAvg}) {
+    HashAggregator one(s, spec, op);
+    for (size_t i = 0; i < keys.size(); ++i) one.Add(keys[i], values[i]);
+    HashAggregator batch(s, spec, op);
+    batch.AddBatch(keys.data(), values.data(), keys.size());
+    const QueryResult a = one.Finish();
+    const QueryResult b = batch.Finish();
+    ASSERT_EQ(a.num_rows(), b.num_rows()) << static_cast<int>(op);
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      EXPECT_EQ(a.rows()[r].keys, b.rows()[r].keys);
+      EXPECT_EQ(std::memcmp(&a.rows()[r].value, &b.rows()[r].value,
+                            sizeof(double)),
+                0)
+          << "op " << static_cast<int>(op) << " row " << r
+          << " batch fold diverged from per-tuple fold";
+    }
+  }
+}
 
 TEST(HashAggregatorTest, FinishIsCanonicallySorted) {
   StarSchema s = SmallSchema();

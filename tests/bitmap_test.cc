@@ -17,29 +17,29 @@ TEST(BitmapTest, SetTestReset) {
   EXPECT_FALSE(b.Test(42));
 }
 
-TEST(BitmapTest, CountOnes) {
+TEST(BitmapTest, CountSetBits) {
   Bitmap b(200);
-  EXPECT_EQ(b.CountOnes(), 0u);
+  EXPECT_EQ(b.CountSetBits(), 0u);
   b.Set(0);
   b.Set(63);
   b.Set(64);
   b.Set(199);
-  EXPECT_EQ(b.CountOnes(), 4u);
+  EXPECT_EQ(b.CountSetBits(), 4u);
 }
 
 TEST(BitmapTest, SetAllRespectsTail) {
   Bitmap b(70);  // 6 trailing bits in the second word must stay clear
   b.SetAll();
-  EXPECT_EQ(b.CountOnes(), 70u);
+  EXPECT_EQ(b.CountSetBits(), 70u);
   b.Invert();
-  EXPECT_EQ(b.CountOnes(), 0u);
+  EXPECT_EQ(b.CountSetBits(), 0u);
 }
 
 TEST(BitmapTest, InvertRespectsTail) {
   Bitmap b(70);
   b.Set(5);
   b.Invert();
-  EXPECT_EQ(b.CountOnes(), 69u);
+  EXPECT_EQ(b.CountSetBits(), 69u);
   EXPECT_FALSE(b.Test(5));
 }
 
@@ -54,15 +54,15 @@ TEST(BitmapTest, OrAndAndNot) {
   EXPECT_TRUE(o.Test(1));
   EXPECT_TRUE(o.Test(2));
   EXPECT_TRUE(o.Test(100));
-  EXPECT_EQ(o.CountOnes(), 3u);
+  EXPECT_EQ(o.CountSetBits(), 3u);
 
   Bitmap n = Bitmap::And(a, b);
-  EXPECT_EQ(n.CountOnes(), 1u);
+  EXPECT_EQ(n.CountSetBits(), 1u);
   EXPECT_TRUE(n.Test(100));
 
   Bitmap d = a;
   d.AndNotWith(b);
-  EXPECT_EQ(d.CountOnes(), 1u);
+  EXPECT_EQ(d.CountSetBits(), 1u);
   EXPECT_TRUE(d.Test(1));
 }
 
@@ -91,6 +91,66 @@ TEST(BitmapTest, ForEachSetBitAscending) {
   b.ForEachSetBit([&](uint64_t pos) { seen.push_back(pos); });
   EXPECT_EQ(seen, (std::vector<uint64_t>{7, 64, 299}));
   EXPECT_EQ(b.ToPositions(), seen);
+}
+
+TEST(BitmapTest, ForEachSetBitInRangeMasksBothEnds) {
+  Bitmap b(300);
+  for (uint64_t pos : {0u, 7u, 63u, 64u, 65u, 128u, 191u, 192u, 299u}) {
+    b.Set(pos);
+  }
+  const auto collect = [&](uint64_t begin, uint64_t end) {
+    std::vector<uint64_t> seen;
+    b.ForEachSetBitInRange(begin, end,
+                           [&](uint64_t pos) { seen.push_back(pos); });
+    return seen;
+  };
+  // Full range == ForEachSetBit.
+  EXPECT_EQ(collect(0, 300), b.ToPositions());
+  // Range boundaries on, before and after word boundaries (bits 63/64/65).
+  EXPECT_EQ(collect(63, 65), (std::vector<uint64_t>{63, 64}));
+  EXPECT_EQ(collect(64, 65), (std::vector<uint64_t>{64}));
+  EXPECT_EQ(collect(65, 128), (std::vector<uint64_t>{65}));
+  EXPECT_EQ(collect(64, 64), (std::vector<uint64_t>{}));  // empty range
+  EXPECT_EQ(collect(8, 63), (std::vector<uint64_t>{}));   // no bits inside
+  // Begin and end inside the same word.
+  EXPECT_EQ(collect(1, 8), (std::vector<uint64_t>{7}));
+  // End exactly at num_bits, begin mid-word.
+  EXPECT_EQ(collect(192, 300), (std::vector<uint64_t>{192, 299}));
+}
+
+TEST(BitmapTest, ForEachSetBitInRangeTrailingPartialWord) {
+  // num_bits = 70: the second word holds only 6 valid bits. A range ending
+  // at num_bits must mask the trailing word correctly.
+  Bitmap b(70);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  std::vector<uint64_t> seen;
+  b.ForEachSetBitInRange(60, 70, [&](uint64_t pos) { seen.push_back(pos); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{63, 64, 69}));
+  seen.clear();
+  b.ForEachSetBitInRange(64, 69, [&](uint64_t pos) { seen.push_back(pos); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{64}));
+}
+
+TEST(BitmapTest, ForEachSetBitInRangeMatchesScanOnRandomBitmaps) {
+  for (const uint64_t n : {1u, 63u, 64u, 65u, 127u, 1000u, 4096u}) {
+    Rng rng(n * 31 + 7);
+    Bitmap b(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(0.2)) b.Set(i);
+    }
+    const uint64_t begin = n / 3, end = n - n / 5;
+    std::vector<uint64_t> expected;
+    for (uint64_t i = begin; i < end; ++i) {
+      if (b.Test(i)) expected.push_back(i);
+    }
+    std::vector<uint64_t> seen;
+    b.ForEachSetBitInRange(begin, end,
+                           [&](uint64_t pos) { seen.push_back(pos); });
+    EXPECT_EQ(seen, expected) << "n=" << n;
+    EXPECT_EQ(b.CountSetBits(), b.ToPositions().size()) << "n=" << n;
+  }
 }
 
 TEST(BitmapTest, PagesAndBytes) {
@@ -138,8 +198,8 @@ TEST_P(BitmapLawsTest, DeMorganAndFriends) {
   diff.AndNotWith(b);
   EXPECT_EQ(diff, Bitmap::And(a, nb));
   // Inclusion-exclusion on counts.
-  EXPECT_EQ(Bitmap::Or(a, b).CountOnes() + Bitmap::And(a, b).CountOnes(),
-            a.CountOnes() + b.CountOnes());
+  EXPECT_EQ(Bitmap::Or(a, b).CountSetBits() + Bitmap::And(a, b).CountSetBits(),
+            a.CountSetBits() + b.CountSetBits());
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, BitmapLawsTest,
@@ -163,7 +223,7 @@ TEST(BitmapJoinIndexTest, LookupFindsExactRows) {
   BitmapJoinIndex index(t, 0, 10, BitmapJoinIndex::IdentityMap(10), disk);
   const int32_t values[] = {3};
   Bitmap b = index.Lookup(values, disk);
-  EXPECT_EQ(b.CountOnes(), 100u);
+  EXPECT_EQ(b.CountSetBits(), 100u);
   b.ForEachSetBit([&](uint64_t pos) { EXPECT_EQ(t.key(0, pos), 3); });
 }
 
@@ -173,7 +233,7 @@ TEST(BitmapJoinIndexTest, LookupOrsMultipleValues) {
   BitmapJoinIndex index(t, 0, 10, BitmapJoinIndex::IdentityMap(10), disk);
   const int32_t values[] = {1, 4, 7};
   Bitmap b = index.Lookup(values, disk);
-  EXPECT_EQ(b.CountOnes(), 300u);
+  EXPECT_EQ(b.CountSetBits(), 300u);
 }
 
 TEST(BitmapJoinIndexTest, LookupEmptyValues) {
@@ -232,7 +292,7 @@ TEST(BitmapJoinIndexTest, MappedValuesGroupKeys) {
   BitmapJoinIndex index(t, 0, 5, map, disk);
   const int32_t values[] = {0};  // keys 0 and 1
   Bitmap b = index.Lookup(values, disk);
-  EXPECT_EQ(b.CountOnes(), 200u);
+  EXPECT_EQ(b.CountSetBits(), 200u);
   b.ForEachSetBit([&](uint64_t pos) { EXPECT_LT(t.key(0, pos), 2); });
 }
 

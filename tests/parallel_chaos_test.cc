@@ -66,7 +66,7 @@ class ParallelChaosTest : public ::testing::Test {
 
 TEST_F(ParallelChaosTest, BindFaultIsolatesOneMemberUnderParallelism) {
   ThreadPool pool(4);
-  ParallelPolicy policy{&pool, 4, 0};
+  ParallelPolicy policy{&pool, 4, 0, BatchConfig()};
 
   DiskModel clean_disk;
   auto clean = ParallelSharedScanStarJoin(schema_, query_ptrs_, *view_,
@@ -97,7 +97,7 @@ TEST_F(ParallelChaosTest, BindFaultIsolatesOneMemberUnderParallelism) {
 
 TEST_F(ParallelChaosTest, BitmapFaultIsolatesOneIndexMember) {
   ThreadPool pool(3);
-  ParallelPolicy policy{&pool, 3, 0};
+  ParallelPolicy policy{&pool, 3, 0, BatchConfig()};
   std::vector<const DimensionalQuery*> hash = {query_ptrs_[1]};
   std::vector<const DimensionalQuery*> index = {query_ptrs_[0],
                                                 query_ptrs_[2]};
@@ -127,7 +127,8 @@ TEST_F(ParallelChaosTest, BitmapFaultIsolatesOneIndexMember) {
 
 TEST_F(ParallelChaosTest, MidScanDeviceFaultFailsEverySurvivorOnly) {
   ThreadPool pool(4);
-  ParallelPolicy policy{&pool, 4, /*morsel_rows=*/table_->rows_per_page()};
+  ParallelPolicy policy{&pool, 4, /*morsel_rows=*/table_->rows_per_page(),
+                        BatchConfig()};
 
   FaultInjector::Instance().Enable(13);
   FaultSpec bind;
@@ -160,7 +161,7 @@ TEST_F(ParallelChaosTest, MidScanDeviceFaultFailsEverySurvivorOnly) {
 
 TEST_F(ParallelChaosTest, IndexProbeDeviceFaultFailsAllSurvivors) {
   ThreadPool pool(2);
-  ParallelPolicy policy{&pool, 2, 0};
+  ParallelPolicy policy{&pool, 2, 0, BatchConfig()};
   std::vector<const DimensionalQuery*> members = {query_ptrs_[0],
                                                   query_ptrs_[2]};
   FaultInjector::Instance().Enable(14);

@@ -97,7 +97,7 @@ TEST_F(ParallelDeterminismTest, SharedScanBitIdenticalAtEveryThreadCount) {
 
   for (const size_t threads : {1u, 2u, 3u, 8u}) {
     ThreadPool pool(threads);
-    ParallelPolicy policy{&pool, threads, 0};
+    ParallelPolicy policy{&pool, threads, 0, BatchConfig()};
     DiskModel disk;
     auto parallel =
         ParallelSharedScanStarJoin(schema_, query_ptrs_, *view_, disk, policy);
@@ -120,7 +120,7 @@ TEST_F(ParallelDeterminismTest, SharedIndexBitIdenticalAtEveryThreadCount) {
 
   for (const size_t threads : {1u, 2u, 3u, 8u}) {
     ThreadPool pool(threads);
-    ParallelPolicy policy{&pool, threads, 0};
+    ParallelPolicy policy{&pool, threads, 0, BatchConfig()};
     DiskModel disk;
     auto parallel =
         ParallelSharedIndexStarJoin(schema_, members, *view_, disk, policy);
@@ -144,7 +144,7 @@ TEST_F(ParallelDeterminismTest, SharedHybridBitIdenticalAtEveryThreadCount) {
 
   for (const size_t threads : {1u, 2u, 3u, 8u}) {
     ThreadPool pool(threads);
-    ParallelPolicy policy{&pool, threads, 0};
+    ParallelPolicy policy{&pool, threads, 0, BatchConfig()};
     DiskModel disk;
     auto parallel = ParallelSharedHybridStarJoin(schema_, hash, index, *view_,
                                                  disk, policy);
@@ -164,7 +164,7 @@ TEST_F(ParallelDeterminismTest, TinyMorselsChangeNothing) {
   ASSERT_TRUE(serial.ok());
 
   ThreadPool pool(8);
-  ParallelPolicy policy{&pool, 8, table_->rows_per_page()};
+  ParallelPolicy policy{&pool, 8, table_->rows_per_page(), BatchConfig()};
   DiskModel disk;
   auto parallel =
       ParallelSharedScanStarJoin(schema_, query_ptrs_, *view_, disk, policy);
@@ -177,7 +177,7 @@ TEST_F(ParallelDeterminismTest, OversizedClassIsTypedErrorNotAbort) {
   std::vector<const DimensionalQuery*> too_many(kMaxClassQueries + 1,
                                                 query_ptrs_[0]);
   ThreadPool pool(2);
-  ParallelPolicy policy{&pool, 2, 0};
+  ParallelPolicy policy{&pool, 2, 0, BatchConfig()};
   DiskModel disk;
   auto scan =
       ParallelSharedScanStarJoin(schema_, too_many, *view_, disk, policy);
@@ -235,7 +235,7 @@ TEST(ParallelEngineTest, BuildManyParallelMatchesSerialBuild) {
   const auto serial = builder.BuildMany(base, targets, serial_disk);
 
   ThreadPool pool(4);
-  ParallelPolicy policy{&pool, 4, 0};
+  ParallelPolicy policy{&pool, 4, 0, BatchConfig()};
   DiskModel parallel_disk;
   const auto parallel =
       builder.BuildManyParallel(base, targets, parallel_disk, policy);

@@ -75,7 +75,7 @@ TEST_F(ResidualTest, BuildResultBitmapReportsResiduals) {
       ASSERT_FALSE(candidates.Test(row)) << row;
     }
   }
-  EXPECT_EQ(candidates.CountOnes(), expected);
+  EXPECT_EQ(candidates.CountSetBits(), expected);
 }
 
 TEST_F(ResidualTest, SharedIndexJoinWithResidualsMatchesBruteForce) {

@@ -1,0 +1,318 @@
+// The vectorized engine's core promise (DESIGN.md "Vectorized execution
+// model"): batch-at-a-time execution is BIT-identical to the tuple-at-a-time
+// reference — same result doubles, same charged IoStats — for every shared
+// operator, the view builder, any batch size, and any thread count. Nothing
+// here uses tolerances: batches are contiguous ascending row ranges and every
+// kernel preserves ascending row order per query, so the aggregation fold is
+// the same floating-point sequence.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/paper_workload.h"
+#include "cube/view_builder.h"
+#include "exec/parallel_operators.h"
+#include "exec/shared_operators.h"
+#include "parallel/thread_pool.h"
+#include "schema/data_generator.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::MakeQuery;
+using testing::SmallSchema;
+
+bool BitIdentical(const QueryResult& a, const QueryResult& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    if (a.rows()[i].keys != b.rows()[i].keys) return false;
+    if (std::memcmp(&a.rows()[i].value, &b.rows()[i].value,
+                    sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ExpectOutcomesBitIdentical(const SharedOutcome& oracle,
+                                const SharedOutcome& vectorized,
+                                const char* label) {
+  ASSERT_EQ(oracle.results.size(), vectorized.results.size()) << label;
+  for (size_t i = 0; i < oracle.results.size(); ++i) {
+    EXPECT_EQ(oracle.statuses[i].code(), vectorized.statuses[i].code())
+        << label << " member " << i;
+    EXPECT_TRUE(BitIdentical(oracle.results[i], vectorized.results[i]))
+        << label << " member " << i << " diverged from tuple-at-a-time";
+  }
+}
+
+void ExpectTablesBitIdentical(const Table& a, const Table& b,
+                              const char* label) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << label;
+  ASSERT_EQ(a.num_key_columns(), b.num_key_columns()) << label;
+  ASSERT_EQ(a.num_measures(), b.num_measures()) << label;
+  for (uint64_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_key_columns(); ++c) {
+      ASSERT_EQ(a.key(c, r), b.key(c, r)) << label << " row " << r;
+    }
+    for (size_t m = 0; m < a.num_measures(); ++m) {
+      const double x = a.measure(r, m), y = b.measure(r, m);
+      ASSERT_EQ(std::memcmp(&x, &y, sizeof(double)), 0)
+          << label << " row " << r << " measure " << m << " differs";
+    }
+  }
+}
+
+// Mixed targets, predicate levels, and every aggregate kind, so key
+// translation, selection vectors and every AddBatch specialization are all
+// exercised (same mix as the parallel determinism suite).
+std::vector<DimensionalQuery> MixedQueries(const StarSchema& schema) {
+  std::vector<DimensionalQuery> qs;
+  qs.push_back(MakeQuery(schema, 1, "X'Y'Z", {{"X", 1, {0, 2}}}));
+  qs.push_back(MakeQuery(schema, 2, "X''Y''Z'", {{"Y", 0, {1, 3, 5, 7}}}));
+  qs.push_back(MakeQuery(schema, 3, "XY'Z'", {{"Z", 1, {0}}, {"X", 2, {1}}},
+                         AggOp::kMin));
+  qs.push_back(MakeQuery(schema, 4, "X'Z'", {}, AggOp::kMax));
+  qs.push_back(MakeQuery(schema, 5, "Y''Z", {{"Z", 0, {2, 4, 6}}},
+                         AggOp::kCount));
+  qs.push_back(MakeQuery(schema, 6, "X''", {{"Y", 1, {2}}}, AggOp::kAvg));
+  return qs;
+}
+
+// Batch sizes that stress the regrouping edges: degenerate single-row
+// batches, a size that never divides a page, and the default.
+const size_t kBatchSizes[] = {1, 7, kDefaultBatchRows};
+
+class VectorizedDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DataGenerator gen(schema_, {.num_rows = 50'000, .seed = 4242});
+    table_ = gen.Generate("base");
+    table_->set_id(1);
+    view_ = std::make_unique<MaterializedView>(
+        schema_, GroupBySpec::Base(schema_), table_.get());
+    view_->ComputeStats(schema_);
+    for (size_t d = 0; d < schema_.num_dims(); ++d) {
+      DiskModel scratch;
+      view_->BuildIndex(schema_, d, scratch);
+    }
+    queries_ = MixedQueries(schema_);
+    for (const auto& q : queries_) query_ptrs_.push_back(&q);
+  }
+
+  StarSchema schema_ = SmallSchema();
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<MaterializedView> view_;
+  std::vector<DimensionalQuery> queries_;
+  std::vector<const DimensionalQuery*> query_ptrs_;
+};
+
+TEST_F(VectorizedDeterminismTest, SharedScanBitIdenticalAtEveryBatchSize) {
+  DiskModel oracle_disk;
+  auto oracle = TrySharedHybridStarJoin(schema_, query_ptrs_, {}, *view_,
+                                        oracle_disk,
+                                        BatchConfig::TupleAtATime());
+  ASSERT_TRUE(oracle.ok());
+
+  for (const size_t batch_rows : kBatchSizes) {
+    DiskModel disk;
+    auto vectorized = TrySharedHybridStarJoin(
+        schema_, query_ptrs_, {}, *view_, disk,
+        BatchConfig{true, batch_rows});
+    ASSERT_TRUE(vectorized.ok()) << "batch " << batch_rows;
+    ExpectOutcomesBitIdentical(*oracle, *vectorized, "scan");
+    EXPECT_EQ(disk.stats(), oracle_disk.stats())
+        << "batch " << batch_rows
+        << " scan charged different I/O than tuple-at-a-time";
+  }
+}
+
+TEST_F(VectorizedDeterminismTest, SharedIndexBitIdenticalAtEveryBatchSize) {
+  std::vector<const DimensionalQuery*> members = {
+      query_ptrs_[0], query_ptrs_[2], query_ptrs_[4]};
+
+  DiskModel oracle_disk;
+  auto oracle = TrySharedIndexStarJoin(schema_, members, *view_, oracle_disk,
+                                       BatchConfig::TupleAtATime());
+  ASSERT_TRUE(oracle.ok());
+
+  for (const size_t batch_rows : kBatchSizes) {
+    DiskModel disk;
+    auto vectorized = TrySharedIndexStarJoin(schema_, members, *view_, disk,
+                                             BatchConfig{true, batch_rows});
+    ASSERT_TRUE(vectorized.ok()) << "batch " << batch_rows;
+    ExpectOutcomesBitIdentical(*oracle, *vectorized, "index");
+    EXPECT_EQ(disk.stats(), oracle_disk.stats())
+        << "batch " << batch_rows
+        << " index join charged different I/O than tuple-at-a-time";
+  }
+}
+
+TEST_F(VectorizedDeterminismTest, SharedHybridBitIdenticalAtEveryBatchSize) {
+  std::vector<const DimensionalQuery*> hash = {query_ptrs_[1], query_ptrs_[3],
+                                               query_ptrs_[5]};
+  std::vector<const DimensionalQuery*> index = {query_ptrs_[0],
+                                                query_ptrs_[4]};
+
+  DiskModel oracle_disk;
+  auto oracle = TrySharedHybridStarJoin(schema_, hash, index, *view_,
+                                        oracle_disk,
+                                        BatchConfig::TupleAtATime());
+  ASSERT_TRUE(oracle.ok());
+
+  for (const size_t batch_rows : kBatchSizes) {
+    DiskModel disk;
+    auto vectorized = TrySharedHybridStarJoin(
+        schema_, hash, index, *view_, disk, BatchConfig{true, batch_rows});
+    ASSERT_TRUE(vectorized.ok()) << "batch " << batch_rows;
+    ExpectOutcomesBitIdentical(*oracle, *vectorized, "hybrid");
+    EXPECT_EQ(disk.stats(), oracle_disk.stats())
+        << "batch " << batch_rows
+        << " hybrid charged different I/O than tuple-at-a-time";
+  }
+}
+
+TEST_F(VectorizedDeterminismTest,
+       ParallelVectorizedMatchesSerialTupleAtATime) {
+  // The acceptance chain in one test: serial tuple-at-a-time (the 1998
+  // reference) == parallel vectorized at 1 and 4 threads, results and
+  // IoStats both.
+  std::vector<const DimensionalQuery*> hash = {query_ptrs_[1], query_ptrs_[3],
+                                               query_ptrs_[5]};
+  std::vector<const DimensionalQuery*> index = {query_ptrs_[0],
+                                                query_ptrs_[4]};
+
+  DiskModel oracle_disk;
+  auto oracle = TrySharedHybridStarJoin(schema_, hash, index, *view_,
+                                        oracle_disk,
+                                        BatchConfig::TupleAtATime());
+  ASSERT_TRUE(oracle.ok());
+
+  for (const size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    ParallelPolicy policy{&pool, threads, 0, BatchConfig()};
+    DiskModel disk;
+    auto parallel = ParallelSharedHybridStarJoin(schema_, hash, index, *view_,
+                                                 disk, policy);
+    ASSERT_TRUE(parallel.ok()) << threads << " threads";
+    ExpectOutcomesBitIdentical(*oracle, *parallel, "parallel hybrid");
+    EXPECT_EQ(disk.stats(), oracle_disk.stats())
+        << threads << "-thread vectorized hybrid charged different I/O "
+        << "than serial tuple-at-a-time";
+
+    DiskModel index_disk;
+    DiskModel index_oracle_disk;
+    auto index_oracle =
+        TrySharedIndexStarJoin(schema_, index, *view_, index_oracle_disk,
+                               BatchConfig::TupleAtATime());
+    ASSERT_TRUE(index_oracle.ok());
+    auto index_parallel = ParallelSharedIndexStarJoin(schema_, index, *view_,
+                                                      index_disk, policy);
+    ASSERT_TRUE(index_parallel.ok()) << threads << " threads";
+    ExpectOutcomesBitIdentical(*index_oracle, *index_parallel,
+                               "parallel index");
+    EXPECT_EQ(index_disk.stats(), index_oracle_disk.stats());
+  }
+}
+
+TEST_F(VectorizedDeterminismTest, ViewBuilderBitIdenticalToTupleAtATime) {
+  std::vector<GroupBySpec> targets;
+  for (const char* text : {"X'Y'Z", "X''Z'", "Y'"}) {
+    targets.push_back(GroupBySpec::Parse(text, schema_).value());
+  }
+
+  ViewBuilder oracle_builder(schema_);
+  oracle_builder.set_batch_config(BatchConfig::TupleAtATime());
+  DiskModel oracle_disk;
+  const auto oracle = oracle_builder.BuildMany(*view_, targets, oracle_disk);
+
+  for (const size_t batch_rows : kBatchSizes) {
+    ViewBuilder builder(schema_);
+    builder.set_batch_config(BatchConfig{true, batch_rows});
+    DiskModel disk;
+    const auto built = builder.BuildMany(*view_, targets, disk);
+    ASSERT_EQ(built.size(), oracle.size());
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      ExpectTablesBitIdentical(*built[i], *oracle[i], "BuildMany");
+    }
+    EXPECT_EQ(disk.stats(), oracle_disk.stats()) << "batch " << batch_rows;
+  }
+
+  // BuildManyParallel with vectorized workers, 1 and 4 threads.
+  ViewBuilder builder(schema_);
+  for (const size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    ParallelPolicy policy{&pool, threads, 0, BatchConfig()};
+    DiskModel disk;
+    const auto built =
+        builder.BuildManyParallel(*view_, targets, disk, policy);
+    ASSERT_EQ(built.size(), oracle.size());
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      ExpectTablesBitIdentical(*built[i], *oracle[i], "BuildManyParallel");
+    }
+    EXPECT_EQ(disk.stats(), oracle_disk.stats()) << threads << " threads";
+  }
+}
+
+TEST_F(VectorizedDeterminismTest, RefreshBitIdenticalToTupleAtATime) {
+  const GroupBySpec target = GroupBySpec::Parse("X'Y'Z", schema_).value();
+
+  ViewBuilder oracle_builder(schema_);
+  oracle_builder.set_batch_config(BatchConfig::TupleAtATime());
+  DiskModel oracle_disk;
+  auto oracle_table = oracle_builder.Build(*view_, target, oracle_disk);
+  MaterializedView oracle_view(schema_, target, oracle_table.get());
+  auto oracle_refreshed =
+      oracle_builder.Refresh(oracle_view, *view_, oracle_disk);
+
+  ViewBuilder builder(schema_);  // vectorized default
+  DiskModel disk;
+  auto table = builder.Build(*view_, target, disk);
+  ExpectTablesBitIdentical(*table, *oracle_table, "Build");
+  MaterializedView built_view(schema_, target, table.get());
+  auto refreshed = builder.Refresh(built_view, *view_, disk);
+  ExpectTablesBitIdentical(*refreshed, *oracle_refreshed, "Refresh");
+  EXPECT_EQ(disk.stats(), oracle_disk.stats());
+}
+
+TEST(VectorizedEngineTest, VectorizedKnobReproducesTupleAtATimeWorkload) {
+  // End-to-end over the paper workload: the engine's vectorized default
+  // must reproduce the tuple-at-a-time engine bit-for-bit, including every
+  // charged page count, at 1 and 4 threads.
+  Engine engine(StarSchema::PaperTestSchema());
+  PaperWorkload::Setup(engine, /*rows=*/30'000, /*seed=*/7);
+  std::vector<DimensionalQuery> queries =
+      PaperWorkload::MakeQueries(engine, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const GlobalPlan plan =
+      engine.Optimize(queries, OptimizerKind::kGlobalGreedy);
+
+  engine.set_vectorized(false);
+  engine.ConsumeIoStats();
+  std::map<int, QueryResult> oracle;
+  for (auto& r : engine.Execute(plan)) {
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    oracle.emplace(r.query->id(), std::move(r.result));
+  }
+  const IoStats oracle_stats = engine.ConsumeIoStats();
+
+  engine.set_vectorized(true);
+  for (const size_t threads : {1u, 4u}) {
+    engine.set_parallelism(threads);
+    for (auto& r : engine.Execute(plan)) {
+      ASSERT_TRUE(r.ok()) << r.status.ToString();
+      EXPECT_TRUE(BitIdentical(r.result, oracle.at(r.query->id())))
+          << "Q" << r.query->id() << " vectorized at parallelism " << threads;
+    }
+    EXPECT_EQ(engine.ConsumeIoStats(), oracle_stats)
+        << "vectorized execution at parallelism " << threads
+        << " charged different I/O — the 1998 modeled time would change";
+  }
+}
+
+}  // namespace
+}  // namespace starshare
