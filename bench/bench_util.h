@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 // Source revision and build type, stamped into every report so archived
@@ -113,6 +115,10 @@ class BenchReport {
     notes_.push_back(text);
   }
 
+  // Attaches an execution trace to the report's profile section (optional;
+  // the metrics snapshot is always included). Call at most once.
+  void Profile(const obs::Trace& trace) { trace_json_ = trace.ToJson(); }
+
   // Writes BENCH_<name>.json. Call once, after the last row.
   void Write() const {
     const std::string path = "BENCH_" + name_ + ".json";
@@ -157,7 +163,11 @@ class BenchReport {
     for (size_t i = 0; i < notes_.size(); ++i) {
       std::fprintf(f, "%s%s", i == 0 ? "" : ", ", Quoted(notes_[i]).c_str());
     }
-    std::fprintf(f, "]\n}\n");
+    // Profile: a snapshot of the process-wide metrics registry at Write()
+    // time, plus the attached trace (if any). Both are already JSON.
+    std::fprintf(f, "],\n  \"profile\": {\"metrics\": %s, \"trace\": %s}\n}\n",
+                 obs::Metrics().ToJson().c_str(),
+                 trace_json_.empty() ? "null" : trace_json_.c_str());
     std::fclose(f);
     std::printf("\nwrote %s\n", path.c_str());
   }
@@ -183,6 +193,7 @@ class BenchReport {
   std::vector<std::pair<std::string, Measurement>> rows_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::string> notes_;
+  std::string trace_json_;
 };
 
 // Builds a one-class plan on `view_name` with an explicit join method per

@@ -7,6 +7,8 @@
 //   \q<N>           run paper query N (e.g. \q5)
 //   \opt NAME       switch optimizer (tplo | etplg | gg | optimal)
 //   \sql            toggle printing each component query as SQL (§2)
+//   \explain        toggle EXPLAIN ANALYZE (span tree with est-vs-actual)
+//   \metrics        dump process-wide counters / gauges / histograms
 //   \save DIR       persist the cube (checksummed v3 table files)
 //   \load DIR       replace the session's cube with a saved one
 //   \fault SITE [p] arm a fault at an injection site (\fault off disarms)
@@ -27,13 +29,15 @@
 #include "common/fault_injector.h"
 #include "common/str_util.h"
 #include "core/paper_workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace starshare;
 
 namespace {
 
 void RunMdx(Engine& engine, const std::string& mdx, OptimizerKind kind,
-            bool show_sql) {
+            bool show_sql, bool explain) {
   auto queries = engine.ParseMdx(mdx);
   if (!queries.ok()) {
     std::printf("error: %s\n", queries.status().ToString().c_str());
@@ -55,7 +59,15 @@ void RunMdx(Engine& engine, const std::string& mdx, OptimizerKind kind,
   std::printf("%s plan:\n%s", OptimizerKindName(kind),
               plan.Explain(engine.schema()).c_str());
   engine.ConsumeIoStats();
-  const auto results = engine.Execute(plan);
+  std::vector<ExecutedQuery> results;
+  obs::Trace trace;
+  if (explain) {
+    auto traced = engine.ExecuteTraced(plan);
+    results = std::move(traced.results);
+    trace = std::move(traced.trace);
+  } else {
+    results = engine.Execute(plan);
+  }
   const IoStats io = engine.ConsumeIoStats();
   for (const auto& r : results) {
     if (!r.ok()) {
@@ -74,6 +86,9 @@ void RunMdx(Engine& engine, const std::string& mdx, OptimizerKind kind,
   }
   std::printf("\nio: %s  (modeled %.1f ms)\n", io.ToString().c_str(),
               engine.ModeledIoMs(io));
+  if (explain) {
+    std::printf("\nEXPLAIN ANALYZE:\n%s", trace.ToText().c_str());
+  }
 }
 
 // \fault SITE [probability] | \fault off — arms one site (defaults to an
@@ -117,6 +132,7 @@ int main(int argc, char** argv) {
   PaperWorkload::Setup(*engine_ptr, rows);
   OptimizerKind kind = OptimizerKind::kGlobalGreedy;
   bool show_sql = false;
+  bool explain = false;
 
   std::string buffer;
   std::string line;
@@ -141,6 +157,11 @@ int main(int argc, char** argv) {
       } else if (line == "\\sql") {
         show_sql = !show_sql;
         std::printf("SQL output %s\n", show_sql ? "on" : "off");
+      } else if (line == "\\explain") {
+        explain = !explain;
+        std::printf("EXPLAIN ANALYZE %s\n", explain ? "on" : "off");
+      } else if (line == "\\metrics") {
+        std::printf("%s", obs::Metrics().ToText().c_str());
       } else if (StartsWith(line, "\\opt ")) {
         auto parsed = ParseOptimizerKind(line.substr(5));
         if (parsed.ok()) {
@@ -176,7 +197,8 @@ int main(int argc, char** argv) {
       } else if (line.size() >= 3 && line[1] == 'q' && isdigit(line[2])) {
         const int id = std::atoi(line.c_str() + 2);
         if (id >= 1 && id <= PaperWorkload::kNumQueries) {
-          RunMdx(engine, PaperWorkload::QueryMdx(id), kind, show_sql);
+          RunMdx(engine, PaperWorkload::QueryMdx(id), kind, show_sql,
+                 explain);
         } else {
           std::printf("no such canned query\n");
         }
@@ -189,7 +211,7 @@ int main(int argc, char** argv) {
     }
     buffer += line + "\n";
     if (buffer.find(';') != std::string::npos) {
-      RunMdx(engine, buffer, kind, show_sql);
+      RunMdx(engine, buffer, kind, show_sql, explain);
       buffer.clear();
       std::printf("mdx> ");
       std::fflush(stdout);

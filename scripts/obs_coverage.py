@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Aggregates gcov line coverage for src/obs/ and gates it at a threshold.
+
+Usage: scripts/obs_coverage.py [build_dir] [threshold_pct]
+
+Walks `build_dir` (default build-cov) for .gcda files produced by a
+-DSTARSHARE_COVERAGE=ON build after the test suite has run, asks gcov for
+JSON line records (gcov -t --json-format, no files written), and merges
+them per source file: a line is instrumented if any translation unit
+instruments it and covered if any translation unit executed it — this is
+what makes header-inline coverage (obs/metrics.h) add up across the many
+TUs that include it. Files outside src/obs/ are ignored. Prints a per-file
+table and exits non-zero when total src/obs/ line coverage falls below the
+threshold (default 90%).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def collect_gcda(build_dir):
+    out = []
+    for root, _, files in os.walk(build_dir):
+        out.extend(os.path.join(root, f) for f in files if f.endswith(".gcda"))
+    return sorted(out)
+
+
+def main():
+    build_dir = sys.argv[1] if len(sys.argv) > 1 else "build-cov"
+    threshold = float(sys.argv[2]) if len(sys.argv) > 2 else 90.0
+
+    gcda_files = collect_gcda(build_dir)
+    if not gcda_files:
+        print(
+            f"obs_coverage: no .gcda files under {build_dir} — configure "
+            "with -DSTARSHARE_COVERAGE=ON, build, and run ctest first"
+        )
+        return 1
+
+    # file -> set of instrumented / covered line numbers, merged across TUs.
+    instrumented = {}
+    covered = {}
+    for gcda in gcda_files:
+        proc = subprocess.run(
+            ["gcov", "-t", "--json-format", gcda],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            continue
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            for record in doc.get("files", []):
+                path = os.path.normpath(record.get("file", ""))
+                if f"src{os.sep}obs{os.sep}" not in path:
+                    continue
+                name = path[path.index(f"src{os.sep}obs{os.sep}"):]
+                inst = instrumented.setdefault(name, set())
+                cov = covered.setdefault(name, set())
+                for rec in record.get("lines", []):
+                    number = rec.get("line_number")
+                    if number is None:
+                        continue
+                    inst.add(number)
+                    if rec.get("count", 0) > 0:
+                        cov.add(number)
+
+    if not instrumented:
+        print("obs_coverage: no src/obs/ line records found in gcov output")
+        return 1
+
+    total_inst = 0
+    total_cov = 0
+    print(f"{'file':<28} {'lines':>7} {'covered':>8} {'pct':>7}")
+    for name in sorted(instrumented):
+        inst = len(instrumented[name])
+        cov = len(covered.get(name, set()))
+        total_inst += inst
+        total_cov += cov
+        pct = 100.0 * cov / inst if inst else 100.0
+        print(f"{name:<28} {inst:>7} {cov:>8} {pct:>6.1f}%")
+
+    total_pct = 100.0 * total_cov / total_inst if total_inst else 100.0
+    print(f"{'total src/obs/':<28} {total_inst:>7} {total_cov:>8} "
+          f"{total_pct:>6.1f}%")
+    if total_pct < threshold:
+        print(
+            f"obs_coverage: FAIL — src/obs/ line coverage {total_pct:.1f}% "
+            f"is below the {threshold:.0f}% gate"
+        )
+        return 1
+    print(f"obs_coverage: OK (gate {threshold:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

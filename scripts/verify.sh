@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain build + full test suite, the same suite
 # under AddressSanitizer + UBSan (-DSTARSHARE_SANITIZE=ON), the threading
-# suites under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread), and a
-# perf-smoke pass of the scan benches on a reduced row count (their internal
-# checks fail the stage if vectorized aggregate output differs from
-# tuple-at-a-time/serial or any charged page count changes). All four must
+# suites under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread), a perf-smoke
+# pass of the scan benches on a reduced row count (their internal checks
+# fail the stage if vectorized aggregate output differs from
+# tuple-at-a-time/serial, any charged page count changes, or the
+# disabled-trace overhead bound of bench_vectorized_scan is exceeded), and
+# a coverage pass gating src/obs/ at >= 90% covered lines. All five must
 # pass. Run from the repository root:
 #
 #   scripts/verify.sh [jobs]
@@ -28,10 +30,11 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
 echo "==> TSan build + threading suites"
 cmake -B build-tsan -S . -DSTARSHARE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  thread_pool_test parallel_determinism_test parallel_chaos_test
+  thread_pool_test parallel_determinism_test parallel_chaos_test \
+  metrics_test trace_test
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'thread_pool_test|parallel_determinism_test|parallel_chaos_test'
+  -R 'thread_pool_test|parallel_determinism_test|parallel_chaos_test|metrics_test|trace_test'
 
 echo "==> perf-smoke: scan benches on reduced rows"
 # Each bench SS_CHECKs bit-identity against its reference execution and
@@ -41,5 +44,12 @@ echo "==> perf-smoke: scan benches on reduced rows"
 # bench_vectorized_scan.cpp); the Release 2M-row sweep is the perf gate.
 (cd build && STARSHARE_ROWS=120000 ./bench/bench_vectorized_scan >/dev/null)
 (cd build && STARSHARE_ROWS=120000 ./bench/bench_parallel_scan >/dev/null)
+
+echo "==> coverage: src/obs/ line gate (>= 90%)"
+cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DSTARSHARE_COVERAGE=ON >/dev/null
+cmake --build build-cov -j "$JOBS"
+ctest --test-dir build-cov -j "$JOBS" >/dev/null
+python3 scripts/obs_coverage.py build-cov 90
 
 echo "==> verify OK"

@@ -1,5 +1,7 @@
 #include "common/fault_injector.h"
 
+#include "obs/metrics.h"
+
 namespace starshare {
 
 std::atomic<bool> FaultInjector::enabled_{false};
@@ -70,6 +72,8 @@ std::optional<FaultKind> FaultInjector::Hit(const char* site, int64_t key) {
   if (!fire) return std::nullopt;
   ++state.fires;
   total_fires_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& fire_metric = obs::Metrics().counter("faults.fired");
+  fire_metric.Add();
   return spec.kind;
 }
 

@@ -9,6 +9,7 @@
 
 #include "opt/local_optimizer.h"
 #include "common/str_util.h"
+#include "obs/metrics.h"
 #include "storage/table_io.h"
 
 namespace starshare {
@@ -91,6 +92,10 @@ Status Engine::AppendFacts(const DataGeneratorConfig& config) {
 }
 
 Status Engine::AppendFactTable(std::unique_ptr<Table> delta) {
+  if (config_.trace && obs::Tracer::Current() == nullptr) {
+    return Traced("engine.append_facts",
+                  [&] { return AppendFactTable(std::move(delta)); });
+  }
   if (base_view_ == nullptr) {
     return Status::FailedPrecondition("load the fact table first");
   }
@@ -161,6 +166,10 @@ Result<MaterializedView*> Engine::MaterializeView(
 
 Result<MaterializedView*> Engine::MaterializeView(const GroupBySpec& spec,
                                                   bool clustered) {
+  if (config_.trace && obs::Tracer::Current() == nullptr) {
+    return Traced("engine.materialize",
+                  [&] { return MaterializeView(spec, clustered); });
+  }
   if (base_view_ == nullptr) {
     return Status::FailedPrecondition("load the fact table first");
   }
@@ -185,6 +194,10 @@ Result<MaterializedView*> Engine::MaterializeView(const GroupBySpec& spec,
 
 Result<std::vector<MaterializedView*>> Engine::MaterializeViews(
     const std::vector<std::string>& spec_texts, bool clustered) {
+  if (config_.trace && obs::Tracer::Current() == nullptr) {
+    return Traced("engine.materialize",
+                  [&] { return MaterializeViews(spec_texts, clustered); });
+  }
   if (base_view_ == nullptr) {
     return Status::FailedPrecondition("load the fact table first");
   }
@@ -284,10 +297,45 @@ GlobalPlan Engine::Optimize(
 }
 
 std::vector<ExecutedQuery> Engine::Execute(const GlobalPlan& plan) {
+  if (config_.trace && obs::Tracer::Current() == nullptr) {
+    return std::move(ExecuteTraced(plan).results);
+  }
   return RunPlanWithFallback(plan);
 }
 
+TracedExecution Engine::ExecuteTraced(const GlobalPlan& plan) {
+  TracedExecution out;
+  out.results = Traced("engine.execute",
+                       [&] { return RunPlanWithFallback(plan); });
+  out.trace = last_trace_;
+  return out;
+}
+
+TracedExecution Engine::ExecuteTraced(
+    const std::vector<DimensionalQuery>& queries, OptimizerKind kind) {
+  TracedExecution out;
+  out.results = Traced("engine.session", [&] {
+    GlobalPlan plan;
+    {
+      obs::ScopedSpan opt_span("engine.optimize", OptimizerKindName(kind));
+      plan = Optimize(queries, kind);
+      opt_span.AddCounter("classes", plan.classes.size());
+      opt_span.AddCounter("queries", plan.NumQueries());
+      opt_span.SetEstMs(plan.EstMs());
+    }
+    obs::ScopedSpan exec_span("engine.execute");
+    return RunPlanWithFallback(plan);
+  });
+  out.trace = last_trace_;
+  return out;
+}
+
 void Engine::RecoverQuery(ExecutedQuery& entry) {
+  static obs::Counter& fallbacks = obs::Metrics().counter("engine.fallbacks");
+  fallbacks.Add();
+  obs::ScopedSpan span("exec.fallback", "", entry.query->id());
+  span.SetStatus(entry.status);  // the planned evaluation's failure
+
   ExecutionReport::Event event;
   event.query_id = entry.query->id();
   event.error = entry.status;
@@ -302,6 +350,8 @@ void Engine::RecoverQuery(ExecutedQuery& entry) {
       entry.status = Status::Ok();
       entry.degraded = true;
       event.recovered = true;
+      span.AddRows(entry.result.num_rows());
+      span.AddCounter("recovered", 1);
     } else {
       event.fallback_error = fallback.status();
       entry.status = Status(
@@ -316,6 +366,8 @@ void Engine::RecoverQuery(ExecutedQuery& entry) {
 
 std::vector<ExecutedQuery> Engine::RunPlanWithFallback(
     const GlobalPlan& plan) {
+  static obs::Counter& executions = obs::Metrics().counter("engine.executions");
+  executions.Add();
   report_ = ExecutionReport();
   std::vector<ExecutedQuery> out = executor_.ExecutePlan(plan);
   for (ExecutedQuery& entry : out) {
@@ -326,6 +378,10 @@ std::vector<ExecutedQuery> Engine::RunPlanWithFallback(
 
 std::vector<ExecutedQuery> Engine::ExecuteNaive(
     const std::vector<DimensionalQuery>& queries) {
+  if (config_.trace && obs::Tracer::Current() == nullptr) {
+    return Traced("engine.execute_naive",
+                  [&] { return ExecuteNaive(queries); });
+  }
   report_ = ExecutionReport();
   std::vector<ExecutedQuery> out;
   out.reserve(queries.size());
@@ -360,22 +416,31 @@ std::vector<ExecutedQuery> Engine::ExecuteCached(
     const std::vector<DimensionalQuery>& queries, OptimizerKind kind) {
   SS_CHECK_MSG(result_cache_ != nullptr,
                "result cache disabled; set result_cache_entries");
+  if (config_.trace && obs::Tracer::Current() == nullptr) {
+    return Traced("engine.execute_cached",
+                  [&] { return ExecuteCached(queries, kind); });
+  }
   report_ = ExecutionReport();
   std::vector<ExecutedQuery> out(queries.size());
   std::vector<const DimensionalQuery*> misses;
   std::vector<size_t> miss_slots;
   std::vector<std::string> miss_keys;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    const std::string key = ResultCache::KeyOf(queries[i], schema_);
-    const QueryResult* cached = result_cache_->Lookup(key);
-    if (cached != nullptr) {
-      out[i].query = &queries[i];
-      out[i].result = *cached;
-    } else {
-      misses.push_back(&queries[i]);
-      miss_slots.push_back(i);
-      miss_keys.push_back(key);
+  {
+    obs::ScopedSpan lookup("exec.cache_lookup");
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const std::string key = ResultCache::KeyOf(queries[i], schema_);
+      const QueryResult* cached = result_cache_->Lookup(key);
+      if (cached != nullptr) {
+        out[i].query = &queries[i];
+        out[i].result = *cached;
+      } else {
+        misses.push_back(&queries[i]);
+        miss_slots.push_back(i);
+        miss_keys.push_back(key);
+      }
     }
+    lookup.AddCounter("hits", queries.size() - misses.size());
+    lookup.AddCounter("misses", misses.size());
   }
   if (!misses.empty()) {
     const GlobalPlan plan = Optimize(misses, kind);

@@ -30,6 +30,7 @@
 #include "exec/executor.h"
 #include "exec/result_cache.h"
 #include "mdx/binder.h"
+#include "obs/trace.h"
 #include "opt/optimizer.h"
 #include "parallel/thread_pool.h"
 #include "schema/data_generator.h"
@@ -64,6 +65,19 @@ struct EngineConfig {
   // charges identical modeled I/O (see DESIGN.md "Vectorized execution
   // model"); the knob exists for benchmarking and verification.
   BatchConfig batch;
+  // Records an execution trace (span tree with per-node IoStats deltas and
+  // row counts; see obs/trace.h) for every Execute* / MaterializeView(s) /
+  // AppendFacts call, retrievable via Engine::last_trace(). Off by default:
+  // with tracing off every span site costs one thread-local load and a
+  // branch (<2% on the scan benches — asserted by bench_vectorized_scan).
+  // Engine::ExecuteTraced records a trace regardless of this knob.
+  bool trace = false;
+};
+
+// An Execute run plus the trace recorded for it (EXPLAIN ANALYZE).
+struct TracedExecution {
+  std::vector<ExecutedQuery> results;
+  obs::Trace trace;
 };
 
 class Engine {
@@ -174,6 +188,22 @@ class Engine {
   // last_execution_report(). The process never aborts on a query failure.
   std::vector<ExecutedQuery> Execute(const GlobalPlan& plan);
 
+  // EXPLAIN ANALYZE: like Execute, but records and returns the span tree of
+  // the run (per-class and per-member spans with IoStats deltas, row counts
+  // and estimated-vs-actual cost; obs/trace.h documents the determinism
+  // contract). Works whether or not EngineConfig::trace is set.
+  TracedExecution ExecuteTraced(const GlobalPlan& plan);
+
+  // Optimize + execute under one trace: the optimizer's phase spans appear
+  // under "engine.optimize" and the execution under "engine.execute".
+  TracedExecution ExecuteTraced(const std::vector<DimensionalQuery>& queries,
+                                OptimizerKind kind);
+
+  // The trace of the most recent traced call (ExecuteTraced always; every
+  // Execute* / MaterializeView(s) / AppendFacts when EngineConfig::trace is
+  // set). Empty when nothing has been traced.
+  const obs::Trace& last_trace() const { return last_trace_; }
+
   // What degraded (and what recovered) during the most recent Execute /
   // ExecuteCached / ExecuteNaive call. clean() when nothing did.
   const ExecutionReport& last_execution_report() const { return report_; }
@@ -232,6 +262,20 @@ class Engine {
   // and records events in report_ (which it resets first).
   std::vector<ExecutedQuery> RunPlanWithFallback(const GlobalPlan& plan);
 
+  // Runs `fn` under a tracer rooted at a span named `root`, stores the
+  // trace in last_trace_, and returns fn's result.
+  template <typename Fn>
+  auto Traced(const char* root, Fn&& fn) {
+    obs::Tracer tracer(&disk_);
+    auto out = [&] {
+      obs::Tracer::Scope bind(&tracer);
+      obs::ScopedSpan span(root);
+      return fn();
+    }();
+    last_trace_ = tracer.Take();
+    return out;
+  }
+
   // Applies the fallback to one failed entry, appending its report event.
   void RecoverQuery(ExecutedQuery& entry);
 
@@ -251,6 +295,7 @@ class Engine {
   size_t parallelism_ = 1;
   MaterializedView* base_view_ = nullptr;
   ExecutionReport report_;
+  obs::Trace last_trace_;
 };
 
 }  // namespace starshare

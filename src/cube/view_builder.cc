@@ -6,6 +6,8 @@
 #include "exec/dim_translator.h"
 #include "exec/flat_hash.h"
 #include "exec/key_packer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/morsel.h"
 #include "parallel/morsel_pipeline.h"
 #include "parallel/parallel_context.h"
@@ -136,6 +138,8 @@ std::unique_ptr<Table> ViewBuilder::Emit(const MultiAggregator& agg,
                                          DiskModel& disk,
                                          const std::string& name,
                                          bool clustered) const {
+  obs::ScopedSpan span("view.emit", target.ToString(schema_));
+  span.AddRows(agg.num_cells());
   // Deterministic emission order: lexicographic by key when clustered,
   // otherwise a pseudo-random permutation of the keys (hash order).
   std::vector<std::pair<uint64_t, uint32_t>> order;  // (sort key, cell)
@@ -185,6 +189,10 @@ std::unique_ptr<Table> ViewBuilder::Build(const MaterializedView& source,
   SS_CHECK_MSG(source.spec().CanAnswer(target),
                "view %s cannot materialize %s", source.name().c_str(),
                target.ToString(schema_).c_str());
+  static obs::Counter& builds = obs::Metrics().counter("view.builds");
+  builds.Add();
+  obs::ScopedSpan span("view.build", target.ToString(schema_));
+  span.AddRows(source.table().num_rows());
 
   TargetState state = MakeTargetState(source, target);
   if (batch_.vectorized) {
@@ -217,6 +225,10 @@ std::unique_ptr<Table> ViewBuilder::Refresh(const MaterializedView& view,
                view.name().c_str());
   SS_CHECK_MSG(delta.table().num_measures() == view.table().num_measures(),
                "delta and view measure counts differ");
+  static obs::Counter& refreshes = obs::Metrics().counter("view.refreshes");
+  refreshes.Add();
+  obs::ScopedSpan span("view.refresh", view.spec().ToString(schema_));
+  span.AddRows(view.table().num_rows() + delta.table().num_rows());
 
   // Fold in the existing cells (keys are already at the view's levels, in
   // column order) using an identity-mapped state over the view itself...
@@ -257,6 +269,12 @@ std::unique_ptr<Table> ViewBuilder::Refresh(const MaterializedView& view,
 std::vector<std::unique_ptr<Table>> ViewBuilder::BuildMany(
     const MaterializedView& source, const std::vector<GroupBySpec>& targets,
     DiskModel& disk, bool clustered) const {
+  static obs::Counter& builds = obs::Metrics().counter("view.builds");
+  builds.Add(targets.size());
+  obs::ScopedSpan span("view.build_many");
+  span.AddRows(source.table().num_rows());
+  span.AddCounter("targets", targets.size());
+
   std::vector<TargetState> states;
   states.reserve(targets.size());
   for (const GroupBySpec& target : targets) {
@@ -304,6 +322,14 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildManyParallel(
     const MaterializedView& source, const std::vector<GroupBySpec>& targets,
     DiskModel& disk, const ParallelPolicy& policy, bool clustered) const {
   if (!policy.engaged()) return BuildMany(source, targets, disk, clustered);
+
+  // Same span site as BuildMany; closes after MergeIntoParent so the
+  // merged worker I/O lands in its delta (see exec/parallel_operators.cc).
+  static obs::Counter& builds = obs::Metrics().counter("view.builds");
+  builds.Add(targets.size());
+  obs::ScopedSpan span("view.build_many");
+  span.AddRows(source.table().num_rows());
+  span.AddCounter("targets", targets.size());
 
   std::vector<TargetState> states;
   states.reserve(targets.size());

@@ -6,6 +6,8 @@
 #include "exec/parallel_operators.h"
 #include "exec/shared_operators.h"
 #include "exec/star_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace starshare {
 namespace {
@@ -75,6 +77,17 @@ Result<QueryResult> Executor::ExecuteSingle(const DimensionalQuery& query,
 
 std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
   SS_CHECK(cls.base != nullptr && !cls.members.empty());
+  static obs::Counter& classes = obs::Metrics().counter("exec.classes");
+  static obs::Counter& member_failures =
+      obs::Metrics().counter("exec.member_failures");
+  static obs::Histogram& class_members =
+      obs::Metrics().histogram("exec.class_members");
+  classes.Add();
+  class_members.Observe(cls.members.size());
+
+  obs::ScopedSpan class_span("exec.class",
+                             cls.base->spec().ToString(schema_));
+  class_span.SetEstMs(cls.EstMs());
   std::vector<const DimensionalQuery*> hash_queries;
   std::vector<const DimensionalQuery*> index_queries;
   for (const auto& m : cls.members) {
@@ -123,10 +136,32 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
 
   std::vector<ExecutedQuery> out;
   out.reserve(order.size());
+  // Per-member routing leaves: one span per query of the class, carrying
+  // the member's estimate, its produced row count and its status. Created
+  // post-hoc (the shared operators work on all members at once), so they
+  // charge no I/O of their own.
+  const auto emit_member_span = [&](const ExecutedQuery& entry) {
+    if (!class_span.active()) return;
+    const LocalPlan* local = nullptr;
+    for (const auto& m : cls.members) {
+      if (m.query == entry.query) {
+        local = &m;
+        break;
+      }
+    }
+    obs::ScopedSpan span("exec.member",
+                         local != nullptr ? JoinMethodName(local->method) : "",
+                         entry.query->id());
+    if (local != nullptr) span.SetEstMs(local->EstMs());
+    span.AddRows(entry.result.num_rows());
+    span.SetStatus(entry.status);
+  };
   if (!outcome.ok()) {
     // Whole-class failure (malformed class): every member inherits it.
     for (const auto* q : order) {
       out.push_back(FromOutcome(q, QueryResult(), outcome.status()));
+      member_failures.Add();
+      emit_member_span(out.back());
     }
     return out;
   }
@@ -134,6 +169,8 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
     out.push_back(FromOutcome(order[i],
                               std::move(outcome->results[i]),
                               std::move(outcome->statuses[i])));
+    if (!out.back().status.ok()) member_failures.Add();
+    emit_member_span(out.back());
   }
   return out;
 }

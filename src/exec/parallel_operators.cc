@@ -9,6 +9,8 @@
 #include "exec/shared_star_join_internal.h"
 #include "exec/star_join.h"
 #include "index/bitmap.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/morsel.h"
 #include "parallel/morsel_pipeline.h"
 #include "parallel/parallel_context.h"
@@ -150,6 +152,16 @@ Result<SharedOutcome> ParallelSharedHybridStarJoin(
   const size_t n_live_hash = live_hash.size();
   const size_t n_live = bound.size();
 
+  // Same span site as the serial operator. It is opened on the calling
+  // thread (workers never have a tracer bound) and stays open across
+  // ctx.MergeIntoParent(), so its I/O delta covers the merged worker
+  // counters — exactly the serial scan's counts, by the PR 2/3 guarantee.
+  static obs::Counter& scan_passes = obs::Metrics().counter("exec.scan_passes");
+  scan_passes.Add();
+  obs::ScopedSpan scan_span("exec.shared_scan");
+  scan_span.AddRows(view.table().num_rows());
+  scan_span.AddCounter("members", bound.size());
+
   const Table& table = view.table();
   const size_t workers = EffectiveWorkers(policy);
   const uint64_t morsel_rows = MorselRowsFor(
@@ -219,6 +231,7 @@ Result<SharedOutcome> ParallelSharedHybridStarJoin(
             });
       },
       [&](const Morsel&, const MatchBuffer& buffer) {
+        scan_span.AddBatches(1);  // one tally per merged morsel
         MergeBuffer(buffer, bound);
       });
   ctx.MergeIntoParent();
@@ -299,6 +312,15 @@ Result<SharedOutcome> ParallelSharedIndexStarJoin(
   for (size_t i = 1; i < bitmaps.size(); ++i) unioned.OrWith(bitmaps[i]);
   const std::vector<uint64_t> positions = unioned.ToPositions();
 
+  // Same span site as the serial operator; closes after MergeIntoParent so
+  // the merged worker I/O lands in its delta.
+  static obs::Counter& probe_passes =
+      obs::Metrics().counter("exec.probe_passes");
+  probe_passes.Add();
+  obs::ScopedSpan probe_span("exec.shared_probe");
+  probe_span.AddRows(positions.size());
+  probe_span.AddCounter("members", bound.size());
+
   // Steps 2–4, morsel-parallel: the positions array is split into ranges
   // whose effective boundaries are snapped forward to page changes, so no
   // page is probed (or charged) by two workers and the union of effective
@@ -369,6 +391,7 @@ Result<SharedOutcome> ParallelSharedIndexStarJoin(
         wdisk.CountTuples(end - begin);
       },
       [&](const Morsel&, const MatchBuffer& buffer) {
+        probe_span.AddBatches(1);  // one tally per merged morsel
         MergeBuffer(buffer, bound);
       });
   ctx.MergeIntoParent();

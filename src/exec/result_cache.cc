@@ -1,6 +1,7 @@
 #include "exec/result_cache.h"
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace starshare {
 
@@ -21,13 +22,18 @@ std::string ResultCache::KeyOf(const DimensionalQuery& query,
 }
 
 const QueryResult* ResultCache::Lookup(const std::string& key) {
+  static obs::Counter& hit_metric = obs::Metrics().counter("result_cache.hits");
+  static obs::Counter& miss_metric =
+      obs::Metrics().counter("result_cache.misses");
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    miss_metric.Add();
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
+  hit_metric.Add();
   return &lru_.front().result;
 }
 
@@ -41,12 +47,22 @@ void ResultCache::Insert(const std::string& key, QueryResult result) {
   lru_.push_front(Entry{key, std::move(result)});
   index_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
+    static obs::Counter& eviction_metric =
+        obs::Metrics().counter("result_cache.evictions");
     index_.erase(lru_.back().key);
     lru_.pop_back();
+    ++evictions_;
+    eviction_metric.Add();
   }
 }
 
 void ResultCache::Clear() {
+  if (!lru_.empty()) {
+    static obs::Counter& invalidation_metric =
+        obs::Metrics().counter("result_cache.invalidations");
+    invalidations_ += lru_.size();
+    invalidation_metric.Add(lru_.size());
+  }
   lru_.clear();
   index_.clear();
 }

@@ -41,6 +41,10 @@ class ResultCache {
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  // Entries dropped because an insert pushed the cache past capacity.
+  uint64_t evictions() const { return evictions_; }
+  // Entries dropped by Clear() (data changed under the cache).
+  uint64_t invalidations() const { return invalidations_; }
 
  private:
   struct Entry {
@@ -53,6 +57,8 @@ class ResultCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
 };
 
 }  // namespace starshare

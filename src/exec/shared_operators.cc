@@ -6,6 +6,8 @@
 #include "exec/shared_star_join_internal.h"
 #include "exec/star_join.h"
 #include "index/bitmap.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace starshare {
 namespace internal {
@@ -15,6 +17,7 @@ std::vector<SharedDimFilter> BuildSharedFilters(
     const std::vector<const DimensionalQuery*>& queries,
     const MaterializedView& view) {
   SS_CHECK(queries.size() <= kMaxClassQueries);
+  obs::ScopedSpan span("exec.dim_filters");
   const uint32_t all_mask = AllQueriesMask(queries.size());
   std::vector<SharedDimFilter> filters;
   for (size_t d = 0; d < schema.num_dims(); ++d) {
@@ -43,6 +46,7 @@ std::vector<SharedDimFilter> BuildSharedFilters(
     }
     filters.push_back(std::move(filter));
   }
+  span.AddCounter("dims", filters.size());
   return filters;
 }
 
@@ -59,17 +63,26 @@ Status BuildMemberBitmap(const StarSchema& schema,
                          const MaterializedView& view, DiskModel& disk,
                          Bitmap* bitmap,
                          std::vector<const DimPredicate*>* residual) {
+  static obs::Counter& bitmaps = obs::Metrics().counter("exec.bitmaps");
+  bitmaps.Add();
+  obs::ScopedSpan span("exec.bitmap", "", query.id());
   if (FaultHit("exec.build_bitmap", query.id())) {
-    return Status::Internal(StrFormat(
+    Status fault = Status::Internal(StrFormat(
         "injected fault building result bitmap for query %d", query.id()));
+    span.SetStatus(fault);
+    return fault;
   }
   *bitmap = BuildResultBitmap(schema, query, view, disk, residual);
   Status device = disk.TakeFault();
   if (!device.ok()) {
-    return Status(device.code(),
-                  StrFormat("query %d bitmap construction: %s", query.id(),
-                            device.message().c_str()));
+    Status fault =
+        Status(device.code(),
+               StrFormat("query %d bitmap construction: %s", query.id(),
+                         device.message().c_str()));
+    span.SetStatus(fault);
+    return fault;
   }
+  if (span.active()) span.AddRows(bitmap->CountSetBits());
   return Status::Ok();
 }
 
@@ -241,6 +254,11 @@ Result<SharedOutcome> TrySharedHybridStarJoin(
   const uint32_t all_mask = AllQueriesMask(live_hash.size());
   const size_t n_live_hash = live_hash.size();
 
+  static obs::Counter& scan_passes = obs::Metrics().counter("exec.scan_passes");
+  scan_passes.Add();
+  obs::ScopedSpan scan_span("exec.shared_scan");
+  scan_span.AddRows(view.table().num_rows());
+  scan_span.AddCounter("members", bound.size());
   if (batch.vectorized) {
     // Batch-at-a-time: the scan callbacks only charge I/O and feed the
     // batcher; the kernel does the CPU work per batch. Batches span page
@@ -250,6 +268,7 @@ Result<SharedOutcome> TrySharedHybridStarJoin(
     std::vector<QueryMatchBatch> matches(bound.size());
     RowBatcher batcher(batch.EffectiveBatchRows(),
                        [&](uint64_t b, uint64_t e) {
+                         scan_span.AddBatches(1);
                          kernel.ProcessBatch(b, e, matches);
                          for (size_t qi = 0; qi < bound.size(); ++qi) {
                            bound[qi].AccumulateRawBatch(
@@ -360,6 +379,12 @@ Result<SharedOutcome> TrySharedIndexStarJoin(
   // Steps 2–4: one probe pass; split tuples to their group-bys by testing
   // each query's bitmap at the tuple position.
   const std::vector<uint64_t> positions = unioned.ToPositions();
+  static obs::Counter& probe_passes =
+      obs::Metrics().counter("exec.probe_passes");
+  probe_passes.Add();
+  obs::ScopedSpan probe_span("exec.shared_probe");
+  probe_span.AddRows(positions.size());
+  probe_span.AddCounter("members", bound.size());
   if (batch.vectorized) {
     // Charge the shared probe exactly as the tuple path does (one random
     // read per distinct page of the union), then route tuples per member by

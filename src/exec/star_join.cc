@@ -3,6 +3,7 @@
 #include "common/fault_injector.h"
 #include "common/str_util.h"
 #include "exec/bound_query.h"
+#include "obs/trace.h"
 
 namespace starshare {
 namespace {
@@ -141,10 +142,20 @@ Result<QueryResult> TryHashStarJoin(const StarSchema& schema,
                                     const DimensionalQuery& query,
                                     const MaterializedView& view,
                                     DiskModel& disk) {
-  SS_RETURN_IF_ERROR(BindFault(query));
+  obs::ScopedSpan span("exec.hash_join", view.name(), query.id());
+  Status bind = BindFault(query);
+  if (!bind.ok()) {
+    span.SetStatus(bind);
+    return bind;
+  }
   disk.TakeFault();  // discard faults latched by earlier, unrelated work
   QueryResult result = HashStarJoin(schema, query, view, disk);
-  SS_RETURN_IF_ERROR(disk.TakeFault());
+  Status fault = disk.TakeFault();
+  if (!fault.ok()) {
+    span.SetStatus(fault);
+    return fault;
+  }
+  span.AddRows(result.num_rows());
   return result;
 }
 
@@ -152,10 +163,20 @@ Result<QueryResult> TryIndexStarJoin(const StarSchema& schema,
                                      const DimensionalQuery& query,
                                      const MaterializedView& view,
                                      DiskModel& disk) {
-  SS_RETURN_IF_ERROR(BindFault(query));
+  obs::ScopedSpan span("exec.index_join", view.name(), query.id());
+  Status bind = BindFault(query);
+  if (!bind.ok()) {
+    span.SetStatus(bind);
+    return bind;
+  }
   disk.TakeFault();
   QueryResult result = IndexStarJoin(schema, query, view, disk);
-  SS_RETURN_IF_ERROR(disk.TakeFault());
+  Status fault = disk.TakeFault();
+  if (!fault.ok()) {
+    span.SetStatus(fault);
+    return fault;
+  }
+  span.AddRows(result.num_rows());
   return result;
 }
 

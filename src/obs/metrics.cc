@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include "common/str_util.h"
+
+namespace starshare {
+namespace obs {
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("%-36s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("%-36s %lld\n", name.c_str(),
+                     static_cast<long long>(g->value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StrFormat("%-36s count=%llu sum=%llu", name.c_str(),
+                     static_cast<unsigned long long>(h->count()),
+                     static_cast<unsigned long long>(h->sum()));
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h->bucket(i) == 0) continue;
+      out += StrFormat(
+          " [%llu+]=%llu",
+          static_cast<unsigned long long>(Histogram::BucketLowerBound(i)),
+          static_cast<unsigned long long>(h->bucket(i)));
+    }
+    out += '\n';
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("%s\"%s\": %llu", first ? "" : ", ", name.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("%s\"%s\": %lld", first ? "" : ", ", name.c_str(),
+                     static_cast<long long>(g->value()));
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += StrFormat("%s\"%s\": {\"count\": %llu, \"sum\": %llu, "
+                     "\"buckets\": [",
+                     first ? "" : ", ", name.c_str(),
+                     static_cast<unsigned long long>(h->count()),
+                     static_cast<unsigned long long>(h->sum()));
+    bool first_bucket = true;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h->bucket(i) == 0) continue;
+      out += StrFormat(
+          "%s[%llu, %llu]", first_bucket ? "" : ", ",
+          static_cast<unsigned long long>(Histogram::BucketLowerBound(i)),
+          static_cast<unsigned long long>(h->bucket(i)));
+      first_bucket = false;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, g] : gauges_) g->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace starshare

@@ -1,0 +1,122 @@
+// Process-wide metrics: named counters, gauges and fixed-bucket histograms
+// fed by the buffer pool, result cache, thread pool, fault injector and the
+// shared operators (see DESIGN.md "Tracing & metrics" for the catalogue of
+// metric names in use).
+//
+// Hot-path contract: updating a metric is one relaxed atomic RMW — no lock,
+// no allocation. The registry mutex is taken only when *resolving* a name
+// to a metric, so call sites cache the reference once:
+//
+//   static obs::Counter& hits = obs::Metrics().counter("buffer_pool.hits");
+//   hits.Add();
+//
+// Metric objects live for the process (the registry never deletes), so
+// cached references stay valid across ResetAll().
+
+#ifndef STARSHARE_OBS_METRICS_H_
+#define STARSHARE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace starshare {
+namespace obs {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Power-of-two buckets: bucket 0 counts the value 0, bucket i >= 1 counts
+// values in [2^(i-1), 2^i). The last bucket absorbs everything from its
+// lower bound up. Boundaries are fixed at compile time so histograms from
+// different runs (or different builds) are always comparable.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;
+
+  static size_t BucketIndex(uint64_t v) {
+    if (v == 0) return 0;
+    const size_t bit = 64 - static_cast<size_t>(__builtin_clzll(v));
+    return bit < kNumBuckets ? bit : kNumBuckets - 1;
+  }
+  static uint64_t BucketLowerBound(size_t i) {
+    return i == 0 ? 0 : uint64_t{1} << (i - 1);
+  }
+
+  void Observe(uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// The process-wide registry. Metrics are created on first use and never
+// destroyed; ResetAll zeroes every value but keeps registrations (and the
+// references call sites cached) intact.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Snapshot renderers; names are emitted sorted so output is stable.
+  std::string ToText() const;
+  std::string ToJson() const;
+
+  // Zeroes every registered metric (tests and bench sections).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+inline MetricsRegistry& Metrics() { return MetricsRegistry::Instance(); }
+
+}  // namespace obs
+}  // namespace starshare
+
+#endif  // STARSHARE_OBS_METRICS_H_

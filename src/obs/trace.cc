@@ -1,0 +1,265 @@
+#include "obs/trace.h"
+
+#include <ctime>
+
+#include "common/macros.h"
+#include "common/str_util.h"
+
+namespace starshare {
+namespace obs {
+namespace {
+
+thread_local Tracer* g_current_tracer = nullptr;
+
+uint64_t ThreadCpuNs() {
+#if defined(__linux__)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return 0;
+}
+
+// Appends the non-zero IoStats fields as " io=[k=v ...]" (nothing when the
+// span charged no I/O), in a fixed field order so output is stable.
+void AppendIo(const IoStats& io, std::string& out) {
+  if (io == IoStats()) return;
+  out += " io=[";
+  bool first = true;
+  auto field = [&](const char* key, uint64_t value) {
+    if (value == 0) return;
+    out += StrFormat("%s%s=%llu", first ? "" : " ", key,
+                     static_cast<unsigned long long>(value));
+    first = false;
+  };
+  field("seq", io.seq_pages_read);
+  field("rand", io.rand_pages_read);
+  field("idx", io.index_pages_read);
+  field("wr", io.pages_written);
+  field("cached", io.cached_pages);
+  field("tuples", io.tuples_processed);
+  field("probes", io.hash_probes);
+  out += ']';
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceSpan::AddCounter(const std::string& key, uint64_t value) {
+  for (auto& [existing, total] : counters) {
+    if (existing == key) {
+      total += value;
+      return;
+    }
+  }
+  counters.emplace_back(key, value);
+}
+
+const TraceSpan* Trace::Find(const std::string& name) const {
+  for (const TraceSpan& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+std::vector<const TraceSpan*> Trace::FindAll(const std::string& name) const {
+  std::vector<const TraceSpan*> out;
+  for (const TraceSpan& span : spans) {
+    if (span.name == name) out.push_back(&span);
+  }
+  return out;
+}
+
+std::string Trace::ToText(const TraceRenderOptions& options) const {
+  std::string out;
+  for (const TraceSpan& span : spans) {
+    std::string line(static_cast<size_t>(span.depth) * 2, ' ');
+    line += span.name;
+    if (!span.detail.empty()) line += StrFormat("(%s)", span.detail.c_str());
+    if (span.query_id >= 0) line += StrFormat(" q%d", span.query_id);
+    if (span.rows > 0) {
+      line += StrFormat(" rows=%llu",
+                        static_cast<unsigned long long>(span.rows));
+    }
+    if (options.show_batches && span.batches > 0) {
+      line += StrFormat(" batches=%llu",
+                        static_cast<unsigned long long>(span.batches));
+    }
+    if (span.est_ms >= 0.0) {
+      line += StrFormat(" est=%sms", FormatMs(span.est_ms).c_str());
+    }
+    // "act" is the modeled cost of the I/O this span actually charged —
+    // deterministic, unlike wall time, so it survives timing masking.
+    line += StrFormat(" act=%sms", FormatMs(ActualMs(span)).c_str());
+    AppendIo(span.io, line);
+    for (const auto& [key, value] : span.counters) {
+      line += StrFormat(" %s=%llu", key.c_str(),
+                        static_cast<unsigned long long>(value));
+    }
+    if (span.status_code != 0) {
+      line += StrFormat(" status=%s", StatusCodeName(span.status_code));
+    }
+    if (options.mask_timings) {
+      line += " wall=--ms cpu=--ms";
+    } else {
+      line += StrFormat(" wall=%sms cpu=%sms", FormatMs(span.wall_ms).c_str(),
+                        FormatMs(span.cpu_ms).c_str());
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Trace::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (i > 0) out += ", ";
+    out += StrFormat(
+        "{\"id\": %u, \"parent\": %d, \"name\": \"%s\"", span.id, span.parent,
+        JsonEscape(span.name).c_str());
+    if (!span.detail.empty()) {
+      out += StrFormat(", \"detail\": \"%s\"", JsonEscape(span.detail).c_str());
+    }
+    if (span.query_id >= 0) out += StrFormat(", \"query\": %d", span.query_id);
+    out += StrFormat(", \"rows\": %llu, \"batches\": %llu",
+                     static_cast<unsigned long long>(span.rows),
+                     static_cast<unsigned long long>(span.batches));
+    if (span.est_ms >= 0.0) {
+      out += StrFormat(", \"est_ms\": %s", FormatMs(span.est_ms).c_str());
+    }
+    out += StrFormat(
+        ", \"act_io_ms\": %s, \"wall_ms\": %s, \"cpu_ms\": %s",
+        FormatMs(ActualMs(span)).c_str(), FormatMs(span.wall_ms).c_str(),
+        FormatMs(span.cpu_ms).c_str());
+    out += StrFormat(
+        ", \"io\": {\"seq\": %llu, \"rand\": %llu, \"index\": %llu, "
+        "\"written\": %llu, \"cached\": %llu, \"tuples\": %llu, "
+        "\"probes\": %llu}",
+        static_cast<unsigned long long>(span.io.seq_pages_read),
+        static_cast<unsigned long long>(span.io.rand_pages_read),
+        static_cast<unsigned long long>(span.io.index_pages_read),
+        static_cast<unsigned long long>(span.io.pages_written),
+        static_cast<unsigned long long>(span.io.cached_pages),
+        static_cast<unsigned long long>(span.io.tuples_processed),
+        static_cast<unsigned long long>(span.io.hash_probes));
+    if (span.status_code != 0) {
+      out += StrFormat(", \"status\": \"%s\"",
+                       StatusCodeName(span.status_code));
+    }
+    if (!span.counters.empty()) {
+      out += ", \"counters\": {";
+      for (size_t c = 0; c < span.counters.size(); ++c) {
+        if (c > 0) out += ", ";
+        out += StrFormat(
+            "\"%s\": %llu", JsonEscape(span.counters[c].first).c_str(),
+            static_cast<unsigned long long>(span.counters[c].second));
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+std::string Trace::StructureSignature() const {
+  std::string out;
+  for (const TraceSpan& span : spans) {
+    out += StrFormat("%u|%d|%s|%s|%d|rows=%llu|status=%d", span.id,
+                     span.parent, span.name.c_str(), span.detail.c_str(),
+                     span.query_id, static_cast<unsigned long long>(span.rows),
+                     span.status_code);
+    out += '|';
+    AppendIo(span.io, out);
+    for (const auto& [key, value] : span.counters) {
+      out += StrFormat("|%s=%llu", key.c_str(),
+                       static_cast<unsigned long long>(value));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+size_t Tracer::OpenSpan(std::string name, std::string detail, int query_id) {
+  const size_t index = trace_.spans.size();
+  TraceSpan& span = trace_.spans.emplace_back();
+  span.id = static_cast<uint32_t>(index);
+  span.parent = stack_.empty()
+                    ? -1
+                    : static_cast<int32_t>(stack_.back().index);
+  span.depth = static_cast<uint32_t>(stack_.size());
+  span.name = std::move(name);
+  span.detail = std::move(detail);
+  span.query_id = query_id;
+  stack_.push_back(OpenFrame{index, disk_->stats(),
+                             std::chrono::steady_clock::now(), ThreadCpuNs()});
+  return index;
+}
+
+void Tracer::CloseSpan(size_t index) {
+  SS_CHECK_MSG(!stack_.empty() && stack_.back().index == index,
+               "trace spans must close innermost-first");
+  const OpenFrame frame = stack_.back();
+  stack_.pop_back();
+  TraceSpan& span = trace_.spans[index];
+  span.io = disk_->stats() - frame.io_at_open;
+  span.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - frame.wall_at_open)
+          .count();
+  span.cpu_ms =
+      static_cast<double>(ThreadCpuNs() - frame.cpu_ns_at_open) / 1e6;
+}
+
+Trace Tracer::Take() {
+  SS_CHECK_MSG(stack_.empty(), "Tracer::Take with %zu open spans",
+               stack_.size());
+  Trace out = std::move(trace_);
+  trace_ = Trace();
+  trace_.timings = out.timings;
+  return out;
+}
+
+Tracer* Tracer::Current() { return g_current_tracer; }
+
+Tracer::Scope::Scope(Tracer* tracer) : previous_(g_current_tracer) {
+  g_current_tracer = tracer;
+}
+
+Tracer::Scope::~Scope() { g_current_tracer = previous_; }
+
+const char* StatusCodeName(int code) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace obs
+}  // namespace starshare

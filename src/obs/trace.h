@@ -1,0 +1,212 @@
+// Execution tracing: a span tree recorded per Engine::ExecuteTraced call
+// (one span per optimizer phase, shared-class operator, per-query routing
+// branch, view build), carrying IoStats deltas, row/batch counts and
+// cache/fault events next to the cost model's estimates.
+//
+// Determinism contract (asserted by trace_test.cc): span *structure* — ids,
+// nesting, names, per-span IoStats, row counts, status codes and named
+// counters — is identical across thread counts and batch sizes. Only the
+// wall/cpu timings and the batch tally vary. Two mechanisms make this hold
+// by construction:
+//
+//   1. Spans are opened only on the thread that owns the Tracer (the one
+//      Engine::ExecuteTraced runs on). Morsel workers never have a tracer
+//      bound, so span sites reached from worker threads are no-ops, and the
+//      shared-pass spans close only after ParallelContext has merged every
+//      worker's DiskModel back into the parent — the PR 2/3 guarantee that
+//      merged IoStats equal the serial counts then makes each span's I/O
+//      delta exact at any parallelism.
+//   2. No span is created per morsel or per batch; the enclosing operator
+//      span carries a `batches` tally instead, which renderers and the
+//      structure signature treat as non-structural.
+//
+// Cost when disabled: every ScopedSpan site is one thread-local load and a
+// branch (no tracer bound -> no-op), mirroring FaultInjector::enabled().
+
+#ifndef STARSHARE_OBS_TRACE_H_
+#define STARSHARE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_model.h"
+#include "storage/io_stats.h"
+
+namespace starshare {
+namespace obs {
+
+// One node of the span tree. Fields up to `counters` are structural (stable
+// across thread counts and batch sizes); wall_ms / cpu_ms / batches are not.
+struct TraceSpan {
+  uint32_t id = 0;        // preorder creation index, 0 = root
+  int32_t parent = -1;    // parent span id, -1 for the root
+  uint32_t depth = 0;     // nesting depth (root = 0)
+  std::string name;       // site name, e.g. "exec.shared_scan"
+  std::string detail;     // free-form qualifier, e.g. the base view spec
+  int query_id = -1;      // owning query, -1 when not query-scoped
+  uint64_t rows = 0;      // rows produced / examined at this node
+  IoStats io;             // I/O charged while the span was open (inclusive)
+  int status_code = 0;    // StatusCode observed at this node (0 = OK)
+  double est_ms = -1.0;   // cost-model estimate, < 0 when not a plan node
+  // Named structural counters (cache hits, fault events, bitmap sizes...).
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  // Non-structural measurements.
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;      // thread CPU time of the opening thread
+  uint64_t batches = 0;     // vectorized batches / morsels processed
+
+  void AddCounter(const std::string& key, uint64_t value);
+};
+
+struct TraceRenderOptions {
+  // Replaces wall/cpu timings with "--" so output is byte-stable across
+  // runs (golden tests, cross-config structure comparisons).
+  bool mask_timings = false;
+  // Omits the batch tally, which varies with batch size / morsel size.
+  bool show_batches = true;
+};
+
+// The completed span tree for one traced execution. Spans are stored in
+// creation (preorder) order; `timings` lets renderers turn each span's
+// IoStats delta into deterministic modeled-I/O "actual" milliseconds for
+// the estimated-vs-actual column.
+class Trace {
+ public:
+  std::vector<TraceSpan> spans;
+  DiskTimings timings;
+
+  bool empty() const { return spans.empty(); }
+  size_t size() const { return spans.size(); }
+
+  // First span with `name` (nullptr if absent).
+  const TraceSpan* Find(const std::string& name) const;
+  // All spans with `name`, in creation order.
+  std::vector<const TraceSpan*> FindAll(const std::string& name) const;
+
+  // Deterministic modeled cost of a span: modeled I/O from its page counts.
+  double ActualMs(const TraceSpan& span) const {
+    return timings.ModeledIoMs(span.io);
+  }
+
+  // Indented tree, one line per span (the \explain rendering).
+  std::string ToText(const TraceRenderOptions& options = {}) const;
+
+  // Flat span array keyed by id/parent (the bench profile export).
+  std::string ToJson() const;
+
+  // Canonical encoding of every structural field and nothing else; equal
+  // signatures mean structurally identical traces. trace_test.cc compares
+  // these across thread counts and batch sizes.
+  std::string StructureSignature() const;
+};
+
+// Records one trace. A Tracer is owned and driven by a single thread (the
+// one that runs Engine::ExecuteTraced); it snapshots the engine DiskModel
+// at span open/close to attribute I/O deltas. Bind it to the current thread
+// with Tracer::Scope so ScopedSpan sites below can find it.
+class Tracer {
+ public:
+  explicit Tracer(const DiskModel* disk) : disk_(disk) {
+    trace_.timings = disk->timings();
+  }
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Opens a span as a child of the innermost open span and returns its
+  // index into spans(). Spans must be closed innermost-first.
+  size_t OpenSpan(std::string name, std::string detail = "",
+                  int query_id = -1);
+  void CloseSpan(size_t index);
+
+  TraceSpan& span(size_t index) { return trace_.spans[index]; }
+
+  // Finalizes and returns the trace; all spans must be closed.
+  Trace Take();
+
+  // The tracer bound to this thread, or nullptr (the common, disabled
+  // case — one thread-local load and a null check).
+  static Tracer* Current();
+
+  // RAII thread binding. Worker threads never construct one, which is what
+  // keeps span structure independent of parallelism.
+  class Scope {
+   public:
+    explicit Scope(Tracer* tracer);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* previous_;
+  };
+
+ private:
+  struct OpenFrame {
+    size_t index;
+    IoStats io_at_open;
+    std::chrono::steady_clock::time_point wall_at_open;
+    uint64_t cpu_ns_at_open;
+  };
+
+  const DiskModel* disk_;
+  Trace trace_;
+  std::vector<OpenFrame> stack_;
+};
+
+// A span site. No-op (one TLS load + branch) when no tracer is bound to
+// the calling thread; otherwise opens a span for the enclosing scope.
+// The mutators are safe to call either way.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, std::string detail = "",
+                      int query_id = -1)
+      : tracer_(Tracer::Current()) {
+    if (tracer_ != nullptr) {
+      index_ = tracer_->OpenSpan(name, std::move(detail), query_id);
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->CloseSpan(index_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+
+  void AddRows(uint64_t n) {
+    if (tracer_ != nullptr) tracer_->span(index_).rows += n;
+  }
+  void AddBatches(uint64_t n) {
+    if (tracer_ != nullptr) tracer_->span(index_).batches += n;
+  }
+  void SetStatus(const Status& status) {
+    if (tracer_ != nullptr) {
+      tracer_->span(index_).status_code = static_cast<int>(status.code());
+    }
+  }
+  void SetEstMs(double est_ms) {
+    if (tracer_ != nullptr) tracer_->span(index_).est_ms = est_ms;
+  }
+  void AddCounter(const char* key, uint64_t value) {
+    if (tracer_ != nullptr) tracer_->span(index_).AddCounter(key, value);
+  }
+
+ private:
+  Tracer* tracer_;
+  size_t index_ = 0;
+};
+
+// Human-readable StatusCode name ("OK", "UNAVAILABLE", ...).
+const char* StatusCodeName(int code);
+
+}  // namespace obs
+}  // namespace starshare
+
+#endif  // STARSHARE_OBS_TRACE_H_

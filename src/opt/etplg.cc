@@ -3,12 +3,15 @@
 #include <limits>
 #include <set>
 
+#include "obs/trace.h"
 #include "opt/local_optimizer.h"
 
 namespace starshare {
 
 GlobalPlan EtplgOptimizer::Plan(
     const std::vector<const DimensionalQuery*>& queries) const {
+  obs::ScopedSpan span("opt.etplg");
+  span.AddCounter("queries", queries.size());
   const auto sorted = SortByGroupbyLevel(queries);
 
   GlobalPlan plan;
@@ -54,6 +57,7 @@ GlobalPlan EtplgOptimizer::Plan(
       used.insert(unused_choice.view);
     }
   }
+  span.AddCounter("classes", plan.classes.size());
   return plan;
 }
 

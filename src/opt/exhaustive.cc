@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.h"
 #include "opt/gg.h"
 
 namespace starshare {
@@ -77,7 +78,12 @@ GlobalPlan ExhaustiveOptimizer::Plan(
               });
     state.candidates.push_back(std::move(cands));
   }
-  state.Recurse(0);
+  {
+    obs::ScopedSpan span("opt.enumerate");
+    span.AddCounter("queries", queries.size());
+    state.Recurse(0);
+    span.AddCounter("nodes", state.nodes);
+  }
 
   if (state.best.empty()) return seed;  // GG already optimal (or node cap)
 

@@ -3,12 +3,15 @@
 #include <limits>
 #include <set>
 
+#include "obs/trace.h"
 #include "opt/local_optimizer.h"
 
 namespace starshare {
 
 GlobalPlan GlobalGreedyOptimizer::Plan(
     const std::vector<const DimensionalQuery*>& queries) const {
+  obs::ScopedSpan span("opt.greedy");
+  span.AddCounter("queries", queries.size());
   const auto sorted = SortByGroupbyLevel(queries);
 
   GlobalPlan plan;
@@ -95,6 +98,7 @@ GlobalPlan GlobalGreedyOptimizer::Plan(
       break;
     }
   }
+  span.AddCounter("classes", plan.classes.size());
   return plan;
 }
 

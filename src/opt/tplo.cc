@@ -1,16 +1,29 @@
 #include "opt/tplo.h"
 
+#include "obs/trace.h"
 #include "opt/local_optimizer.h"
 
 namespace starshare {
 
 GlobalPlan TploOptimizer::Plan(
     const std::vector<const DimensionalQuery*>& queries) const {
-  GlobalPlan plan;
-  for (const DimensionalQuery* q : queries) {
-    const LocalChoice choice = BestLocalPlan(*q, AnswerableViews(*q), cost_);
+  // Phase one: each query's locally optimal (view, method), independently.
+  std::vector<LocalChoice> choices;
+  choices.reserve(queries.size());
+  {
+    obs::ScopedSpan span("opt.local_choices");
+    span.AddCounter("queries", queries.size());
+    for (const DimensionalQuery* q : queries) {
+      choices.push_back(BestLocalPlan(*q, AnswerableViews(*q), cost_));
+    }
+  }
 
-    // Phase two: merge with an existing class on the same base table.
+  // Phase two: merge queries that landed on the same base table into one
+  // class, so the table is scanned once.
+  GlobalPlan plan;
+  obs::ScopedSpan span("opt.merge_classes");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const LocalChoice& choice = choices[i];
     ClassPlan* home = nullptr;
     for (auto& cls : plan.classes) {
       if (cls.base == choice.view) {
@@ -24,11 +37,12 @@ GlobalPlan TploOptimizer::Plan(
       home->base = choice.view;
     }
     LocalPlan lp;
-    lp.query = q;
+    lp.query = queries[i];
     lp.method = choice.method;
     home->members.push_back(lp);
   }
   cost_.AnnotatePlan(plan);
+  span.AddCounter("classes", plan.classes.size());
   return plan;
 }
 

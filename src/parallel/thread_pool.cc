@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace starshare {
 
@@ -24,6 +25,8 @@ ThreadPool::~ThreadPool() {
 }
 
 TaskHandle ThreadPool::Submit(std::function<void()> fn) {
+  static obs::Counter& task_metric = obs::Metrics().counter("thread_pool.tasks");
+  task_metric.Add();
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> done = task.get_future();
   {

@@ -1,13 +1,18 @@
 #include "storage/buffer_pool.h"
 
 #include "common/fault_injector.h"
+#include "obs/metrics.h"
 
 namespace starshare {
 
 bool BufferPool::Access(uint32_t table_id, uint64_t page) {
+  static obs::Counter& hit_metric = obs::Metrics().counter("buffer_pool.hits");
+  static obs::Counter& miss_metric =
+      obs::Metrics().counter("buffer_pool.misses");
   std::lock_guard<std::mutex> lock(mu_);
   if (capacity_pages_ == 0) {
     ++misses_;
+    miss_metric.Add();
     return false;
   }
   const uint64_t key = Key(table_id, page);
@@ -21,15 +26,18 @@ bool BufferPool::Access(uint32_t table_id, uint64_t page) {
       index_.erase(damaged);
     }
     ++misses_;
+    miss_metric.Add();
     return false;
   }
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     ++hits_;
+    hit_metric.Add();
     return true;
   }
   ++misses_;
+  miss_metric.Add();
   lru_.push_front(key);
   index_[key] = lru_.begin();
   if (lru_.size() > capacity_pages_) {

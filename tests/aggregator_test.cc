@@ -232,7 +232,7 @@ TEST(HashAggregatorTest, AddBatchMatchesAddPerOp) {
   std::vector<uint64_t> keys;
   std::vector<double> values;
   for (int i = 0; i < 257; ++i) {  // not a multiple of any batch size
-    const int32_t g[] = {i % 5};
+    const int32_t g[] = {i % 4};  // X' has 4 members (0..3)
     keys.push_back(ref_packer.Pack(g));
     values.push_back((i % 7) * 1.25 - 3.0);
   }

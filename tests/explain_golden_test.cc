@@ -1,0 +1,83 @@
+// Golden-output test for the EXPLAIN ANALYZE text renderer: a forced plan
+// on a fixed 20,000-row paper workload, rendered with timings masked, must
+// match the embedded transcript byte for byte. Everything left unmasked is
+// deterministic — span structure, row counts, page counts, the cost model's
+// estimates and the modeled "actual" milliseconds derived from the page
+// counts. If a legitimate change (cost constants, span taxonomy, renderer
+// format) shifts the output, rerun this test and paste the ACTUAL block it
+// prints to stderr over kGolden.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/paper_workload.h"
+#include "obs/trace.h"
+
+namespace starshare {
+namespace {
+
+constexpr char kGolden[] =
+    R"(engine.execute act=123.000ms io=[seq=59 rand=6 idx=4 tuples=20006 probes=80000] wall=--ms cpu=--ms
+  exec.class(ABCD) est=60.394ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] wall=--ms cpu=--ms
+    exec.dim_filters act=0.000ms dims=4 wall=--ms cpu=--ms
+    exec.shared_scan rows=20000 act=59.000ms io=[seq=59 tuples=20000 probes=80000] members=2 wall=--ms cpu=--ms
+    exec.member(hash-scan) q1 rows=3 est=0.041ms act=0.000ms wall=--ms cpu=--ms
+    exec.member(hash-scan) q2 rows=9 est=0.042ms act=0.000ms wall=--ms cpu=--ms
+  exec.class(A'B'C'D) est=74.662ms act=64.000ms io=[rand=6 idx=4 tuples=6] wall=--ms cpu=--ms
+    exec.bitmap q5 rows=6 act=4.000ms io=[idx=4] wall=--ms cpu=--ms
+    exec.shared_probe rows=6 act=60.000ms io=[rand=6 tuples=6] members=1 wall=--ms cpu=--ms
+    exec.member(index-probe) q5 rows=1 est=4.050ms act=0.000ms wall=--ms cpu=--ms
+)";
+
+TEST(ExplainGoldenTest, MaskedRenderingIsByteStable) {
+  Engine engine(StarSchema::PaperTestSchema());
+  PaperWorkload::Setup(engine, /*rows=*/20'000, /*seed=*/7);
+  std::vector<DimensionalQuery> queries =
+      PaperWorkload::MakeQueries(engine, {1, 2, 5});
+
+  // Forced two-class plan (the golden must not drift with the optimizer):
+  // Q1 and Q2 share a hash scan of the base table; the selective Q5 probes
+  // the indexed view.
+  MaterializedView* base = engine.views().FindByName("ABCD");
+  MaterializedView* indexed = engine.views().FindByName("A'B'C'D");
+  ASSERT_NE(base, nullptr);
+  ASSERT_NE(indexed, nullptr);
+  GlobalPlan plan;
+  plan.classes.push_back(ClassPlan{});
+  plan.classes[0].base = base;
+  for (size_t i = 0; i < 2; ++i) {
+    LocalPlan lp;
+    lp.query = &queries[i];
+    lp.method = JoinMethod::kHashScan;
+    plan.classes[0].members.push_back(lp);
+  }
+  plan.classes.push_back(ClassPlan{});
+  plan.classes[1].base = indexed;
+  {
+    LocalPlan lp;
+    lp.query = &queries[2];
+    lp.method = JoinMethod::kIndexProbe;
+    plan.classes[1].members.push_back(lp);
+  }
+  engine.cost_model().AnnotatePlan(plan);
+
+  auto traced = engine.ExecuteTraced(plan);
+  for (const auto& r : traced.results) {
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+  }
+
+  obs::TraceRenderOptions masked;
+  masked.mask_timings = true;
+  masked.show_batches = false;
+  const std::string text = traced.trace.ToText(masked);
+  if (text != kGolden) {
+    std::fprintf(stderr, "ACTUAL:\n%s<end>\n", text.c_str());
+  }
+  EXPECT_EQ(text, kGolden);
+}
+
+}  // namespace
+}  // namespace starshare

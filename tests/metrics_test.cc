@@ -1,0 +1,142 @@
+// The metrics registry: fixed power-of-two histogram buckets, lock-free
+// relaxed-atomic updates (exercised from many threads — run under TSan by
+// scripts/verify.sh), and the snapshot renderers. Metric objects are
+// process-wide and never destroyed, so cached references must survive
+// ResetAll; tests that assert absolute values therefore reset first and
+// use test-local metric names where isolation matters.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace starshare {
+namespace obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 counts the value 0; bucket i >= 1 counts [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+
+  for (size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    const uint64_t lower = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(lower), i) << "lower bound of " << i;
+    EXPECT_EQ(Histogram::BucketIndex(2 * lower - 1), i)
+        << "upper bound of " << i;
+    EXPECT_EQ(Histogram::BucketIndex(2 * lower), i + 1)
+        << "first value past bucket " << i;
+  }
+
+  // The last bucket absorbs everything from its lower bound up.
+  const size_t last = Histogram::kNumBuckets - 1;
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(last)), last);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), last);
+}
+
+TEST(HistogramTest, ObserveCountsSumsAndResets) {
+  Histogram h;
+  for (const uint64_t v : {0u, 1u, 1u, 3u, 1024u}) h.Observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1029u);
+  EXPECT_EQ(h.bucket(0), 1u);   // the 0
+  EXPECT_EQ(h.bucket(1), 2u);   // the 1s
+  EXPECT_EQ(h.bucket(2), 1u);   // the 3
+  EXPECT_EQ(h.bucket(11), 1u);  // 1024
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(h.bucket(i), 0u) << i;
+  }
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrementsAreLossless) {
+  // The hot-path contract: concurrent Add() from many threads loses no
+  // increments and needs no external locking. TSan (verify.sh) checks the
+  // absence of data races; the exact total checks atomicity.
+  Counter& counter = Metrics().counter("test.concurrent_counter");
+  Histogram& histogram = Metrics().histogram("test.concurrent_histogram");
+  counter.Reset();
+  histogram.Reset();
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        if (i % 1000 == 0) histogram.Observe(static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.count(), kThreads * (kPerThread / 1000));
+}
+
+TEST(MetricsTest, RegistryReturnsTheSameMetricForTheSameName) {
+  Counter& a = Metrics().counter("test.same_name");
+  Counter& b = Metrics().counter("test.same_name");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = Metrics().gauge("test.same_gauge");
+  Gauge& g2 = Metrics().gauge("test.same_gauge");
+  EXPECT_EQ(&g1, &g2);
+  // A counter and a gauge may share a name; they are distinct objects in
+  // distinct namespaces.
+  Gauge& g3 = Metrics().gauge("test.same_name");
+  EXPECT_NE(static_cast<void*>(&a), static_cast<void*>(&g3));
+}
+
+TEST(MetricsTest, CachedReferencesSurviveResetAll) {
+  Counter& counter = Metrics().counter("test.survives_reset");
+  counter.Reset();
+  counter.Add(41);
+  Metrics().ResetAll();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();  // the pre-reset reference still updates the live metric
+  EXPECT_EQ(Metrics().counter("test.survives_reset").value(), 1u);
+}
+
+TEST(MetricsTest, SnapshotRenderers) {
+  Counter& counter = Metrics().counter("test.render_counter");
+  Gauge& gauge = Metrics().gauge("test.render_gauge");
+  Histogram& histogram = Metrics().histogram("test.render_histogram");
+  counter.Reset();
+  gauge.Reset();
+  histogram.Reset();
+  counter.Add(7);
+  gauge.Set(-3);
+  histogram.Observe(5);
+
+  const std::string text = Metrics().ToText();
+  EXPECT_NE(text.find("test.render_counter"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("test.render_gauge"), std::string::npos);
+  EXPECT_NE(text.find("-3"), std::string::npos);
+  EXPECT_NE(text.find("test.render_histogram"), std::string::npos);
+
+  const std::string json = Metrics().ToJson();
+  EXPECT_NE(json.find("\"test.render_counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.render_gauge\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.render_histogram\""), std::string::npos);
+  // Histogram buckets export as [lower_bound, count] pairs; 5 lands in the
+  // bucket whose lower bound is 4.
+  EXPECT_NE(json.find("[4, 1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace starshare

@@ -56,6 +56,41 @@ TEST(ResultCacheTest, LruEviction) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(ResultCacheTest, EvictionAtCapacityIsCounted) {
+  StarSchema s = SmallSchema();
+  ResultCache cache(2);
+  QueryResult r(GroupBySpec::Parse("X''", s).value(), AggOp::kSum);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Insert("a", r);
+  cache.Insert("b", r);
+  EXPECT_EQ(cache.evictions(), 0u);  // exactly at capacity: nothing dropped
+  cache.Insert("c", r);
+  EXPECT_EQ(cache.evictions(), 1u);  // a (the LRU entry) went
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  // Refreshing a resident key is not an insertion and never evicts.
+  cache.Insert("b", r);
+  EXPECT_EQ(cache.evictions(), 1u);
+  cache.Insert("d", r);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(ResultCacheTest, ClearCountsInvalidationsPerEntry) {
+  StarSchema s = SmallSchema();
+  ResultCache cache(4);
+  QueryResult r(GroupBySpec::Parse("X''", s).value(), AggOp::kSum);
+  cache.Clear();  // clearing an empty cache invalidates nothing
+  EXPECT_EQ(cache.invalidations(), 0u);
+  cache.Insert("a", r);
+  cache.Insert("b", r);
+  cache.Clear();
+  EXPECT_EQ(cache.invalidations(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  // Invalidation is not eviction; the two counters stay independent.
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
 TEST(ResultCacheTest, InsertRefreshesExisting) {
   StarSchema s = SmallSchema();
   ResultCache cache(4);
@@ -121,6 +156,46 @@ TEST_F(EngineCacheTest, PartialHitsExecuteOnlyMisses) {
         engine_->schema(), engine_->base_view()->table(), mixed[i])));
   }
   EXPECT_EQ(engine_->result_cache()->hits(), 1u);
+}
+
+TEST_F(EngineCacheTest, RefreshInvalidationIsCountedNotEvicted) {
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(engine_->schema(), 1, "X''", {}));
+  engine_->ExecuteCached(queries, OptimizerKind::kGlobalGreedy);
+  ASSERT_EQ(engine_->result_cache()->size(), 1u);
+  // Appending facts refreshes every view and must drop the cached result as
+  // an invalidation (data changed), not an eviction (capacity pressure).
+  ASSERT_TRUE(engine_->AppendFacts({.num_rows = 1000, .seed = 3}).ok());
+  EXPECT_EQ(engine_->result_cache()->size(), 0u);
+  EXPECT_EQ(engine_->result_cache()->invalidations(), 1u);
+  EXPECT_EQ(engine_->result_cache()->evictions(), 0u);
+}
+
+TEST(EngineTinyCacheTest, CapacityOverflowEvictsOldestQuery) {
+  EngineConfig config;
+  config.result_cache_entries = 2;
+  Engine engine(SmallSchema(), config);
+  engine.LoadFactTable({.num_rows = 5000, .seed = 141});
+
+  // Three distinct queries through a 2-entry cache: the first is evicted.
+  std::vector<DimensionalQuery> queries;
+  queries.push_back(MakeQuery(engine.schema(), 1, "X''", {}));
+  queries.push_back(MakeQuery(engine.schema(), 2, "Y''", {}));
+  queries.push_back(MakeQuery(engine.schema(), 3, "Z'", {}));
+  engine.ExecuteCached(queries, OptimizerKind::kGlobalGreedy);
+  EXPECT_EQ(engine.result_cache()->size(), 2u);
+  EXPECT_EQ(engine.result_cache()->evictions(), 1u);
+
+  // Re-running the evicted query is a miss (and evicts the next-oldest);
+  // the two survivors would have been hits.
+  const uint64_t misses_before = engine.result_cache()->misses();
+  std::vector<DimensionalQuery> first_again;
+  first_again.push_back(MakeQuery(engine.schema(), 1, "X''", {}));
+  const auto rerun =
+      engine.ExecuteCached(first_again, OptimizerKind::kGlobalGreedy);
+  ASSERT_TRUE(rerun[0].ok());
+  EXPECT_EQ(engine.result_cache()->misses(), misses_before + 1);
+  EXPECT_EQ(engine.result_cache()->evictions(), 2u);
 }
 
 TEST_F(EngineCacheTest, AppendInvalidates) {

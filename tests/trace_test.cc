@@ -1,0 +1,247 @@
+// The tracing subsystem's core promise: span *structure* — ids, nesting,
+// names, per-span IoStats deltas, row counts, status codes and named
+// counters — is a function of the plan and the data, not of the execution
+// strategy. Thread counts and batch sizes may only change wall/cpu timings
+// and the non-structural batch tally. This leans directly on the parallel
+// and vectorized engines' bit-identity guarantee (every configuration
+// charges exactly the serial IoStats), which trace spans observe as deltas.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "core/paper_workload.h"
+#include "obs/trace.h"
+
+namespace starshare {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(StarSchema::PaperTestSchema());
+    PaperWorkload::Setup(*engine_, /*rows=*/30'000, /*seed=*/7);
+    queries_ = PaperWorkload::MakeQueries(*engine_,
+                                          {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    plan_ = engine_->Optimize(queries_, OptimizerKind::kGlobalGreedy);
+  }
+
+  void TearDown() override { FaultInjector::Instance().Disable(); }
+
+  std::unique_ptr<Engine> engine_;
+  std::vector<DimensionalQuery> queries_;
+  GlobalPlan plan_;
+};
+
+TEST_F(TraceTest, StructureInvariantAcrossThreadCountsAndBatchSizes) {
+  // The acceptance matrix: {1, 4} threads x {1, 1024} batch rows, all on
+  // the full nine-query paper workload. The serial tuple-sized reference
+  // comes first; every other configuration must produce a byte-identical
+  // structure signature and masked rendering.
+  struct Config {
+    size_t threads;
+    size_t batch_rows;
+  };
+  const std::vector<Config> configs = {{1, 1}, {1, 1024}, {4, 1}, {4, 1024}};
+
+  std::string reference_signature;
+  std::string reference_text;
+  obs::TraceRenderOptions masked;
+  masked.mask_timings = true;
+  masked.show_batches = false;
+
+  for (const Config& config : configs) {
+    engine_->set_parallelism(config.threads);
+    engine_->set_batch_rows(config.batch_rows);
+    auto traced = engine_->ExecuteTraced(plan_);
+    for (const auto& r : traced.results) {
+      ASSERT_TRUE(r.ok()) << r.status.ToString();
+    }
+    ASSERT_FALSE(traced.trace.empty());
+
+    const std::string signature = traced.trace.StructureSignature();
+    const std::string text = traced.trace.ToText(masked);
+    if (reference_signature.empty()) {
+      reference_signature = signature;
+      reference_text = text;
+      continue;
+    }
+    EXPECT_EQ(signature, reference_signature)
+        << config.threads << " threads, batch " << config.batch_rows
+        << " changed the span structure";
+    EXPECT_EQ(text, reference_text)
+        << config.threads << " threads, batch " << config.batch_rows
+        << " changed the masked rendering";
+  }
+  engine_->set_parallelism(1);
+}
+
+TEST_F(TraceTest, SpanTreeMirrorsThePlan) {
+  auto traced = engine_->ExecuteTraced(plan_);
+  const obs::Trace& trace = traced.trace;
+
+  // Root: one engine.execute span with id 0 at depth 0.
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.spans[0].name, "engine.execute");
+  EXPECT_EQ(trace.spans[0].id, 0u);
+  EXPECT_EQ(trace.spans[0].parent, -1);
+
+  // One exec.class span per plan class, each carrying the cost-model
+  // estimate for the estimated-vs-actual column.
+  const auto classes = trace.FindAll("exec.class");
+  ASSERT_EQ(classes.size(), plan_.classes.size());
+  for (const obs::TraceSpan* cls : classes) {
+    EXPECT_GE(cls->est_ms, 0.0) << cls->detail;
+  }
+
+  // One exec.member leaf per plan member, with the query's id, its own
+  // estimate, and the produced row count.
+  size_t plan_members = 0;
+  for (const auto& cls : plan_.classes) plan_members += cls.members.size();
+  const auto members = trace.FindAll("exec.member");
+  ASSERT_EQ(members.size(), plan_members);
+  for (const obs::TraceSpan* member : members) {
+    EXPECT_GE(member->query_id, 1);
+    EXPECT_LE(member->query_id, 9);
+    EXPECT_GE(member->est_ms, 0.0);
+    EXPECT_EQ(member->status_code, 0);
+    bool found = false;
+    for (const auto& r : traced.results) {
+      if (r.query->id() != member->query_id) continue;
+      EXPECT_EQ(member->rows, r.result.num_rows())
+          << "Q" << member->query_id;
+      found = true;
+    }
+    EXPECT_TRUE(found) << "Q" << member->query_id << " not in the results";
+  }
+
+  // Parent I/O is inclusive: the root span saw everything the shared
+  // passes charged.
+  const obs::TraceSpan* scan = trace.Find("exec.shared_scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_GT(scan->io.seq_pages_read, 0u);
+  EXPECT_GE(trace.spans[0].io.seq_pages_read, scan->io.seq_pages_read);
+  EXPECT_GT(trace.ActualMs(*scan), 0.0);
+}
+
+TEST_F(TraceTest, SessionTraceRecordsOptimizerPhases) {
+  auto traced =
+      engine_->ExecuteTraced(queries_, OptimizerKind::kGlobalGreedy);
+  for (const auto& r : traced.results) {
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+  }
+  const obs::Trace& trace = traced.trace;
+  EXPECT_EQ(trace.spans[0].name, "engine.session");
+
+  const obs::TraceSpan* optimize = trace.Find("engine.optimize");
+  ASSERT_NE(optimize, nullptr);
+  EXPECT_EQ(optimize->detail, OptimizerKindName(OptimizerKind::kGlobalGreedy));
+  EXPECT_GE(optimize->est_ms, 0.0);  // the chosen plan's estimated total
+
+  // The optimizer's own phase spans nest under engine.optimize.
+  const obs::TraceSpan* greedy = trace.Find("opt.greedy");
+  ASSERT_NE(greedy, nullptr);
+  EXPECT_EQ(greedy->parent, static_cast<int32_t>(optimize->id));
+  EXPECT_NE(trace.Find("engine.execute"), nullptr);
+
+  // TPLO splits into its two phases.
+  auto tplo = engine_->ExecuteTraced(queries_, OptimizerKind::kTplo);
+  EXPECT_NE(tplo.trace.Find("opt.local_choices"), nullptr);
+  EXPECT_NE(tplo.trace.Find("opt.merge_classes"), nullptr);
+}
+
+TEST_F(TraceTest, MemberDegradationIsVisibleInTheTrace) {
+  // Arm a one-shot bind fault against Q2 inside the shared pass: the class
+  // keeps going, the engine recovers Q2 from the fact table, and the trace
+  // must show both the member's failure status and the fallback span.
+  FaultInjector::Instance().Enable(/*seed=*/1);
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.key = 2;
+  spec.max_fires = 1;
+  FaultInjector::Instance().Arm("exec.bind_query", spec);
+
+  auto traced = engine_->ExecuteTraced(plan_);
+  FaultInjector::Instance().Disable();
+
+  bool saw_degraded = false;
+  for (const auto& r : traced.results) {
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    if (r.query->id() == 2) {
+      EXPECT_TRUE(r.degraded);
+      saw_degraded = r.degraded;
+    }
+  }
+  ASSERT_TRUE(saw_degraded);
+
+  // The failed member carries the non-OK status code at its span...
+  bool saw_failed_member = false;
+  for (const obs::TraceSpan* member : traced.trace.FindAll("exec.member")) {
+    if (member->query_id != 2) continue;
+    EXPECT_NE(member->status_code, 0);
+    saw_failed_member = true;
+  }
+  EXPECT_TRUE(saw_failed_member);
+
+  // ...and the recovery shows up as an exec.fallback span for Q2 with the
+  // triggering status and the recovered row count.
+  const obs::TraceSpan* fallback = traced.trace.Find("exec.fallback");
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(fallback->query_id, 2);
+  EXPECT_NE(fallback->status_code, 0);
+  bool recovered = false;
+  for (const auto& [key, value] : fallback->counters) {
+    if (key == "recovered" && value == 1) recovered = true;
+  }
+  EXPECT_TRUE(recovered);
+
+  // The rendering names the status so \explain output is self-describing.
+  const std::string text = traced.trace.ToText();
+  EXPECT_NE(text.find("status="), std::string::npos);
+}
+
+TEST_F(TraceTest, ConfigKnobTracesPlainExecuteCalls) {
+  EngineConfig config;
+  config.trace = true;
+  Engine engine(StarSchema::PaperTestSchema(), config);
+  PaperWorkload::Setup(engine, /*rows=*/20'000, /*seed=*/7);
+  EXPECT_FALSE(engine.last_trace().empty())  // Setup materializes views
+      << "EngineConfig::trace should record view builds";
+
+  std::vector<DimensionalQuery> queries =
+      PaperWorkload::MakeQueries(engine, {1, 2});
+  const GlobalPlan plan = engine.Optimize(queries, OptimizerKind::kGlobalGreedy);
+  for (const auto& r : engine.Execute(plan)) {
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+  }
+  const obs::Trace& trace = engine.last_trace();
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.spans[0].name, "engine.execute");
+  EXPECT_NE(trace.Find("exec.class"), nullptr);
+}
+
+TEST_F(TraceTest, UntracedExecutionRecordsNothing) {
+  // Default config: no tracer is ever bound, last_trace stays empty and
+  // every span site is a no-op.
+  for (const auto& r : engine_->Execute(plan_)) {
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+  }
+  EXPECT_TRUE(engine_->last_trace().empty());
+  EXPECT_EQ(obs::Tracer::Current(), nullptr);
+}
+
+TEST_F(TraceTest, JsonExportIsWellFormedAndKeyed) {
+  auto traced = engine_->ExecuteTraced(plan_);
+  const std::string json = traced.trace.ToJson();
+  // Every span appears with its id; the root is parented to -1.
+  EXPECT_NE(json.find("\"name\": \"engine.execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\": -1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"exec.class\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos)
+      << "flat single-line array for embedding in bench reports";
+}
+
+}  // namespace
+}  // namespace starshare
