@@ -52,6 +52,14 @@ int main() {
       "smaller sources for coarser views); CPU grows with the per-tuple\n"
       "fan-out. The same I/O-vs-CPU trade the optimizers make at query\n"
       "time, applied at precomputation time.");
+  // The batch build's plan shape: one Aggregate <- Scan tree per view.
+  {
+    PhysicalPlan phys;
+    for (const std::string& spec : PaperWorkload::ViewSpecs()) {
+      LowerViewBuild(phys, spec, /*num_scans=*/1);
+    }
+    report.PlanShape(phys.ShapeHash());
+  }
   report.Write();
   return 0;
 }

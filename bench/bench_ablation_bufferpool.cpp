@@ -44,6 +44,7 @@ int main() {
     const GlobalPlan plan = ForcedClassPlan(
         engine, queries, "ABCD",
         std::vector<JoinMethod>(queries.size(), JoinMethod::kHashScan));
+    report.PlanShape(PlanShapeHash(engine, plan));
 
     report.Section(StrFormat(
         "Buffer pool = %s pages (fact table = %s pages, %s rows)",

@@ -108,6 +108,8 @@ int main() {
     const Measurement cold = Measure(engine, [&] {
       engine.ExecuteCached(queries, OptimizerKind::kGlobalGreedy);
     });
+    // The cold run's executed tree (CacheLookup rooting the GG plan).
+    report.PlanShape(engine.last_physical_plan().ShapeHash());
     const Measurement warm = Measure(engine, [&] {
       engine.ExecuteCached(queries, OptimizerKind::kGlobalGreedy);
     });

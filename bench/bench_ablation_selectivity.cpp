@@ -60,6 +60,10 @@ int main() {
     const GlobalPlan index_plan = ForcedClassPlan(
         engine, query, view_name, {JoinMethod::kIndexProbe});
 
+    // Both branches of the crossover, re-stamped per selectivity point.
+    report.PlanShape(PlanShapeHash(engine, hash_plan) + ":" +
+                     PlanShapeHash(engine, index_plan));
+
     std::vector<ExecutedQuery> hash_result, index_result;
     const Measurement hash_m =
         Measure(engine, [&] { hash_result = engine.Execute(hash_plan); });

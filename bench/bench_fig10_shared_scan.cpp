@@ -58,6 +58,9 @@ int main() {
     std::vector<JoinMethod> methods(k, JoinMethod::kHashScan);
     const GlobalPlan plan = ForcedClassPlan(engine, subset, "ABCD", methods);
 
+    // Re-stamped each k: the archived value is the full-workload plan.
+    report.PlanShape(PlanShapeHash(engine, plan));
+
     std::vector<ExecutedQuery> separate, shared;
     const Measurement sep =
         Measure(engine, [&] { separate = engine.ExecuteUnshared(plan); });

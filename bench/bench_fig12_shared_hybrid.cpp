@@ -41,6 +41,9 @@ int main() {
     methods[0] = JoinMethod::kHashScan;  // Query 3 scans
     const GlobalPlan plan = ForcedClassPlan(engine, subset, view, methods);
 
+    // Re-stamped each k: the archived value is the full-workload plan.
+    report.PlanShape(PlanShapeHash(engine, plan));
+
     std::vector<ExecutedQuery> separate, shared;
     const Measurement sep =
         Measure(engine, [&] { separate = engine.ExecuteUnshared(plan); });

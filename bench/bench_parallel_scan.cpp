@@ -60,6 +60,7 @@ int main() {
   report.Metric("fact_rows", static_cast<double>(rows));
   report.Metric("hardware_threads",
                 static_cast<double>(ThreadPool::HardwareThreads()));
+  report.PlanShape(PlanShapeHash(engine, plan));
 
   std::vector<ExecutedQuery> serial;
   const Measurement serial_m =

@@ -67,6 +67,10 @@ void RunTest(Engine& engine, BenchReport& report, int test_number,
                          OptimizerKindName(kind), plan.EstMs()),
                m);
     report.Note("      plan: " + ClassSummary(plan));
+    // The archived shape is the last test's Global Greedy plan.
+    if (kind == OptimizerKind::kGlobalGreedy) {
+      report.PlanShape(PlanShapeHash(engine, plan));
+    }
     for (size_t i = 0; i < queries.size(); ++i) {
       SS_CHECK_MSG(results[i].result.ApproxEquals(reference[i].result),
                    "Test %d: %s result mismatch on Q%d", test_number,

@@ -22,6 +22,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "plan/lowering.h"
+#include "plan/physical_plan.h"
 
 // Source revision and build type, stamped into every report so archived
 // JSON runs stay attributable (set by bench/CMakeLists.txt at configure
@@ -119,6 +121,13 @@ class BenchReport {
   // the metrics snapshot is always included). Call at most once.
   void Profile(const obs::Trace& trace) { trace_json_ = trace.ToJson(); }
 
+  // Stamps the shape hash of the bench's representative physical plan
+  // (PhysicalPlan::ShapeHash — kinds/details/arity only, never timings),
+  // so plan drift across revisions shows up when diffing archived JSON.
+  // Pass the hash of a lowered GlobalPlan (PlanShapeHash below) or the
+  // tree the engine last executed (engine.last_physical_plan()).
+  void PlanShape(std::string hash) { plan_shape_ = std::move(hash); }
+
   // Writes BENCH_<name>.json. Call once, after the last row.
   void Write() const {
     const std::string path = "BENCH_" + name_ + ".json";
@@ -134,6 +143,8 @@ class BenchReport {
                  Quoted(STARSHARE_BUILD_TYPE).c_str());
     std::fprintf(f, "  \"hardware_threads\": %zu,\n",
                  ThreadPool::HardwareThreads());
+    std::fprintf(f, "  \"plan_shape\": %s,\n",
+                 Quoted(plan_shape_.empty() ? "none" : plan_shape_).c_str());
     std::fprintf(f, "  \"rows\": [\n");
     for (size_t i = 0; i < rows_.size(); ++i) {
       const auto& [config, m] = rows_[i];
@@ -194,7 +205,17 @@ class BenchReport {
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::string> notes_;
   std::string trace_json_;
+  std::string plan_shape_;
 };
+
+// Stable digest of the physical tree a GlobalPlan lowers to — the value
+// BenchReport::PlanShape expects for benches that pin a specific plan.
+inline std::string PlanShapeHash(const Engine& engine,
+                                 const GlobalPlan& plan) {
+  PhysicalPlan phys;
+  LowerGlobalPlan(phys, plan, engine.schema());
+  return phys.ShapeHash();
+}
 
 // Builds a one-class plan on `view_name` with an explicit join method per
 // query — how the paper forces operators in Tests 1-3. `methods` must have

@@ -82,6 +82,7 @@ int main() {
   report.Metric("fact_rows", static_cast<double>(rows));
   report.Metric("default_batch_rows",
                 static_cast<double>(kDefaultBatchRows));
+  report.PlanShape(PlanShapeHash(engine, plan));
 
   // Baseline: the original tuple-at-a-time loops.
   engine.set_batch_config(BatchConfig::TupleAtATime());

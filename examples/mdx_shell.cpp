@@ -7,7 +7,8 @@
 //   \q<N>           run paper query N (e.g. \q5)
 //   \opt NAME       switch optimizer (tplo | etplg | gg | optimal)
 //   \sql            toggle printing each component query as SQL (§2)
-//   \explain        toggle EXPLAIN ANALYZE (span tree with est-vs-actual)
+//   \explain        toggle EXPLAIN ANALYZE (span tree + executed physical
+//                   plan, both with est-vs-actual annotations)
 //   \metrics        dump process-wide counters / gauges / histograms
 //   \save DIR       persist the cube (checksummed v3 table files)
 //   \load DIR       replace the session's cube with a saved one
@@ -88,6 +89,8 @@ void RunMdx(Engine& engine, const std::string& mdx, OptimizerKind kind,
               engine.ModeledIoMs(io));
   if (explain) {
     std::printf("\nEXPLAIN ANALYZE:\n%s", trace.ToText().c_str());
+    std::printf("\nphysical plan (executed, est vs actual):\n%s",
+                engine.ExplainAnalyze().c_str());
   }
 }
 

@@ -5,9 +5,10 @@
 # pass of the scan benches on a reduced row count (their internal checks
 # fail the stage if vectorized aggregate output differs from
 # tuple-at-a-time/serial, any charged page count changes, or the
-# disabled-trace overhead bound of bench_vectorized_scan is exceeded), and
-# a coverage pass gating src/obs/ at >= 90% covered lines. All five must
-# pass. Run from the repository root:
+# disabled-trace overhead bound of bench_vectorized_scan is exceeded), a
+# clang-tidy pass over src/plan/ + src/exec/ (skipped when clang-tidy is
+# absent), and a coverage pass gating src/obs/ at >= 90% covered lines.
+# All stages must pass. Run from the repository root:
 #
 #   scripts/verify.sh [jobs]
 
@@ -44,6 +45,19 @@ echo "==> perf-smoke: scan benches on reduced rows"
 # bench_vectorized_scan.cpp); the Release 2M-row sweep is the perf gate.
 (cd build && STARSHARE_ROWS=120000 ./bench/bench_vectorized_scan >/dev/null)
 (cd build && STARSHARE_ROWS=120000 ./bench/bench_parallel_scan >/dev/null)
+
+echo "==> clang-tidy: src/plan/ + src/exec/ (bugprone, modernize, performance)"
+# Gates the physical-plan DAG and operator layers with the repo .clang-tidy
+# (warnings are errors there). Uses the plain build's compile commands;
+# skips with a notice when clang-tidy is not installed so the stage never
+# blocks environments without LLVM tooling.
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src/plan src/exec -name '*.cc' -print0 \
+    | xargs -0 -P "$JOBS" -n 1 clang-tidy -p build --quiet
+else
+  echo "    clang-tidy not found; skipping (install LLVM tooling to enable)"
+fi
 
 echo "==> coverage: src/obs/ line gate (>= 90%)"
 cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug \

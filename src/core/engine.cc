@@ -330,10 +330,12 @@ TracedExecution Engine::ExecuteTraced(
   return out;
 }
 
-void Engine::RecoverQuery(ExecutedQuery& entry) {
+void Engine::RecoverQuery(ExecutedQuery& entry, PhysicalPlan& phys) {
   static obs::Counter& fallbacks = obs::Metrics().counter("engine.fallbacks");
   fallbacks.Add();
-  obs::ScopedSpan span("exec.fallback", "", entry.query->id());
+  const size_t fb =
+      phys.AddNode(PhysOpKind::kFallback, "", entry.query->id());
+  NodeExec span(phys, fb, disk_);
   span.SetStatus(entry.status);  // the planned evaluation's failure
 
   ExecutionReport::Event event;
@@ -341,10 +343,11 @@ void Engine::RecoverQuery(ExecutedQuery& entry) {
   event.error = entry.status;
   // Re-plan as a single-query hash star join against the fact table: the
   // base answers every query (any aggregate, any predicate), needs no
-  // index, and shares no state with whatever just failed.
+  // index, and shares no state with whatever just failed. Its chain lowers
+  // under the Fallback node, so the retry is visible plan structure.
   if (base_view_ != nullptr) {
     Result<QueryResult> fallback = executor_.ExecuteSingle(
-        *entry.query, *base_view_, JoinMethod::kHashScan);
+        *entry.query, *base_view_, JoinMethod::kHashScan, &phys, fb);
     if (fallback.ok()) {
       entry.result = std::move(fallback.value());
       entry.status = Status::Ok();
@@ -364,15 +367,23 @@ void Engine::RecoverQuery(ExecutedQuery& entry) {
   report_.events.push_back(std::move(event));
 }
 
-std::vector<ExecutedQuery> Engine::RunPlanWithFallback(
-    const GlobalPlan& plan) {
+std::vector<ExecutedQuery> Engine::RunPlanWithFallbackInto(
+    const GlobalPlan& plan, PhysicalPlan& phys) {
   static obs::Counter& executions = obs::Metrics().counter("engine.executions");
   executions.Add();
   report_ = ExecutionReport();
-  std::vector<ExecutedQuery> out = executor_.ExecutePlan(plan);
+  std::vector<ExecutedQuery> out = executor_.ExecutePlan(plan, &phys);
   for (ExecutedQuery& entry : out) {
-    if (!entry.status.ok()) RecoverQuery(entry);
+    if (!entry.status.ok()) RecoverQuery(entry, phys);
   }
+  return out;
+}
+
+std::vector<ExecutedQuery> Engine::RunPlanWithFallback(
+    const GlobalPlan& plan) {
+  PhysicalPlan phys;
+  std::vector<ExecutedQuery> out = RunPlanWithFallbackInto(plan, phys);
+  last_physical_plan_ = std::move(phys);
   return out;
 }
 
@@ -383,6 +394,7 @@ std::vector<ExecutedQuery> Engine::ExecuteNaive(
                   [&] { return ExecuteNaive(queries); });
   }
   report_ = ExecutionReport();
+  PhysicalPlan phys;
   std::vector<ExecutedQuery> out;
   out.reserve(queries.size());
   for (const DimensionalQuery& q : queries) {
@@ -394,22 +406,26 @@ std::vector<ExecutedQuery> Engine::ExecuteNaive(
     }
     const LocalChoice choice = BestLocalPlan(q, candidates, cost_);
     Result<QueryResult> r =
-        executor_.ExecuteSingle(q, *choice.view, choice.method);
+        executor_.ExecuteSingle(q, *choice.view, choice.method, &phys);
     ExecutedQuery entry;
     entry.query = &q;
     if (r.ok()) {
       entry.result = std::move(r.value());
     } else {
       entry.status = r.status();
-      RecoverQuery(entry);
+      RecoverQuery(entry, phys);
     }
     out.push_back(std::move(entry));
   }
+  last_physical_plan_ = std::move(phys);
   return out;
 }
 
 std::vector<ExecutedQuery> Engine::ExecuteUnshared(const GlobalPlan& plan) {
-  return executor_.ExecutePlanUnshared(plan);
+  PhysicalPlan phys;
+  std::vector<ExecutedQuery> out = executor_.ExecutePlanUnshared(plan, &phys);
+  last_physical_plan_ = std::move(phys);
+  return out;
 }
 
 std::vector<ExecutedQuery> Engine::ExecuteCached(
@@ -421,12 +437,14 @@ std::vector<ExecutedQuery> Engine::ExecuteCached(
                   [&] { return ExecuteCached(queries, kind); });
   }
   report_ = ExecutionReport();
+  PhysicalPlan phys;
   std::vector<ExecutedQuery> out(queries.size());
   std::vector<const DimensionalQuery*> misses;
   std::vector<size_t> miss_slots;
   std::vector<std::string> miss_keys;
+  const size_t cache_node = phys.AddNode(PhysOpKind::kCacheLookup);
   {
-    obs::ScopedSpan lookup("exec.cache_lookup");
+    NodeExec lookup(phys, cache_node, disk_);
     for (size_t i = 0; i < queries.size(); ++i) {
       const std::string key = ResultCache::KeyOf(queries[i], schema_);
       const QueryResult* cached = result_cache_->Lookup(key);
@@ -444,7 +462,10 @@ std::vector<ExecutedQuery> Engine::ExecuteCached(
   }
   if (!misses.empty()) {
     const GlobalPlan plan = Optimize(misses, kind);
-    std::vector<ExecutedQuery> fresh = RunPlanWithFallback(plan);
+    std::vector<ExecutedQuery> fresh = RunPlanWithFallbackInto(plan, phys);
+    // The miss-execution chains ran as their own roots; hang them under the
+    // lookup node so the stored tree reads as one cached run.
+    phys.AdoptRootsAsChildren(cache_node, 1);
     // ExecutePlan returns by ascending query id; map back to input slots.
     for (ExecutedQuery& r : fresh) {
       for (size_t m = 0; m < misses.size(); ++m) {
@@ -457,6 +478,7 @@ std::vector<ExecutedQuery> Engine::ExecuteCached(
       }
     }
   }
+  last_physical_plan_ = std::move(phys);
   return out;
 }
 

@@ -33,6 +33,7 @@
 #include "obs/trace.h"
 #include "opt/optimizer.h"
 #include "parallel/thread_pool.h"
+#include "plan/physical_plan.h"
 #include "schema/data_generator.h"
 #include "schema/star_schema.h"
 #include "storage/buffer_pool.h"
@@ -204,6 +205,20 @@ class Engine {
   // set). Empty when nothing has been traced.
   const obs::Trace& last_trace() const { return last_trace_; }
 
+  // The physical plan tree the most recent Execute / ExecuteCached /
+  // ExecuteNaive / ExecuteUnshared call actually ran — every node annotated
+  // with its cost estimate and the I/O, rows and status it observed. Empty
+  // before the first execution.
+  const PhysicalPlan& last_physical_plan() const {
+    return last_physical_plan_;
+  }
+
+  // EXPLAIN ANALYZE: estimated-vs-actual rendering of last_physical_plan()
+  // under this engine's disk timings.
+  std::string ExplainAnalyze() const {
+    return last_physical_plan_.ExplainAnalyze(config_.disk_timings);
+  }
+
   // What degraded (and what recovered) during the most recent Execute /
   // ExecuteCached / ExecuteNaive call. clean() when nothing did.
   const ExecutionReport& last_execution_report() const { return report_; }
@@ -259,8 +274,15 @@ class Engine {
 
  private:
   // Runs the plan, then applies the fact-table fallback to failed entries
-  // and records events in report_ (which it resets first).
+  // and records events in report_ (which it resets first). The executed
+  // tree is stored into last_physical_plan_.
   std::vector<ExecutedQuery> RunPlanWithFallback(const GlobalPlan& plan);
+
+  // Same, but records the executed tree into `phys` instead of replacing
+  // last_physical_plan_ — lets ExecuteCached nest the miss execution under
+  // its CacheLookup node.
+  std::vector<ExecutedQuery> RunPlanWithFallbackInto(const GlobalPlan& plan,
+                                                     PhysicalPlan& phys);
 
   // Runs `fn` under a tracer rooted at a span named `root`, stores the
   // trace in last_trace_, and returns fn's result.
@@ -276,8 +298,9 @@ class Engine {
     return out;
   }
 
-  // Applies the fallback to one failed entry, appending its report event.
-  void RecoverQuery(ExecutedQuery& entry);
+  // Applies the fallback to one failed entry, appending its report event
+  // and a Fallback node (with its single-query chain) to `phys`.
+  void RecoverQuery(ExecutedQuery& entry, PhysicalPlan& phys);
 
   // The executor's ParallelPolicy points at thread_pool_; both are updated
   // together by set_parallelism.
@@ -296,6 +319,7 @@ class Engine {
   MaterializedView* base_view_ = nullptr;
   ExecutionReport report_;
   obs::Trace last_trace_;
+  PhysicalPlan last_physical_plan_;
 };
 
 }  // namespace starshare

@@ -6,11 +6,13 @@
 #include "exec/dim_translator.h"
 #include "exec/flat_hash.h"
 #include "exec/key_packer.h"
+#include "exec/operators/scan_source.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/morsel.h"
 #include "parallel/morsel_pipeline.h"
 #include "parallel/parallel_context.h"
+#include "plan/lowering.h"
 
 namespace starshare {
 namespace {
@@ -22,6 +24,26 @@ uint64_t HashKey(uint64_t x) {
   x ^= x >> 27;
   x *= 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+// Pulls one ScanSourceOp over the rows [begin, end) of `table` on `disk`,
+// executing the given Scan node: rows and batches land on the node, and
+// `per_batch(b, e)` sees exactly the fixed-size batch spans the §3 pipeline
+// driver sees (page charges and tuple counts are identical to the old
+// page-at-a-time build scans by ScanSourceOp's contract).
+template <typename PerBatch>
+void DriveScan(const Table& table, DiskModel& disk, uint64_t begin,
+               uint64_t end, uint64_t batch_rows, NodeExec& scan,
+               PerBatch&& per_batch) {
+  scan.AddRows(end - begin);
+  ScanSourceOp op(table, disk, begin, end, batch_rows);
+  ClassBatch batch;
+  op.Open();
+  while (op.NextBatch(batch)) {
+    scan.AddBatches(1);
+    per_batch(batch.begin, batch.end);
+  }
+  op.Close();
 }
 
 }  // namespace
@@ -194,27 +216,31 @@ std::unique_ptr<Table> ViewBuilder::Build(const MaterializedView& source,
   obs::ScopedSpan span("view.build", target.ToString(schema_));
   span.AddRows(source.table().num_rows());
 
+  // A build executes the lowered Aggregate <- Scan tree, like every other
+  // path in the system: the scan streams ScanSourceOp batches into the
+  // target's aggregator, and the physical nodes record what ran.
+  PhysicalPlan phys;
+  const LoweredViewBuild lowered =
+      LowerViewBuild(phys, target.ToString(schema_), /*num_scans=*/1);
   TargetState state = MakeTargetState(source, target);
-  if (batch_.vectorized) {
+  NodeExec agg(phys, lowered.aggregate, disk);
+  {
+    NodeExec scan(phys, lowered.scans[0], disk);
     std::vector<uint64_t> keys;
-    RowBatcher batcher(batch_.EffectiveBatchRows(),
-                       [&](uint64_t b, uint64_t e) {
-                         state.AccumulateBatch(b, e, keys);
-                       });
-    source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-      disk.CountTuples(end - begin);
-      batcher.AddRange(begin, end);
-    });
-    batcher.Finish();
-  } else {
-    source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-      disk.CountTuples(end - begin);
-      for (uint64_t row = begin; row < end; ++row) {
-        state.Accumulate(row);
-      }
-    });
+    DriveScan(source.table(), disk, 0, source.table().num_rows(),
+              batch_.EffectiveBatchRows(), scan,
+              [&](uint64_t b, uint64_t e) {
+                if (batch_.vectorized) {
+                  state.AccumulateBatch(b, e, keys);
+                } else {
+                  for (uint64_t row = b; row < e; ++row) state.Accumulate(row);
+                }
+              });
   }
-  return Emit(*state.agg, target, source.table(), disk, name, clustered);
+  std::unique_ptr<Table> table =
+      Emit(*state.agg, target, source.table(), disk, name, clustered);
+  agg.AddRows(table->num_rows());
+  return table;
 }
 
 std::unique_ptr<Table> ViewBuilder::Refresh(const MaterializedView& view,
@@ -233,37 +259,36 @@ std::unique_ptr<Table> ViewBuilder::Refresh(const MaterializedView& view,
   // Fold in the existing cells (keys are already at the view's levels, in
   // column order) using an identity-mapped state over the view itself...
   // then the delta, mapped up to the view's levels, into the SAME
-  // aggregator.
+  // aggregator. The lowered tree is one Aggregate over two Scans.
+  PhysicalPlan phys;
+  const LoweredViewBuild lowered =
+      LowerViewBuild(phys, view.spec().ToString(schema_), /*num_scans=*/2);
   TargetState fold = MakeTargetState(view, view.spec());
   TargetState delta_state = MakeTargetState(delta, view.spec());
-  const auto scan_into = [this, &disk](const MaterializedView& src,
-                                       TargetState& state) {
-    if (batch_.vectorized) {
-      std::vector<uint64_t> keys;
-      RowBatcher batcher(batch_.EffectiveBatchRows(),
-                         [&](uint64_t b, uint64_t e) {
-                           state.AccumulateBatch(b, e, keys);
-                         });
-      src.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-        disk.CountTuples(end - begin);
-        batcher.AddRange(begin, end);
-      });
-      batcher.Finish();
-    } else {
-      src.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-        disk.CountTuples(end - begin);
-        for (uint64_t row = begin; row < end; ++row) {
-          state.Accumulate(row);
-        }
-      });
-    }
+  NodeExec agg(phys, lowered.aggregate, disk);
+  const auto scan_into = [&](const MaterializedView& src, TargetState& state,
+                             size_t scan_slot) {
+    NodeExec scan(phys, lowered.scans[scan_slot], disk);
+    std::vector<uint64_t> keys;
+    DriveScan(src.table(), disk, 0, src.table().num_rows(),
+              batch_.EffectiveBatchRows(), scan,
+              [&](uint64_t b, uint64_t e) {
+                if (batch_.vectorized) {
+                  state.AccumulateBatch(b, e, keys);
+                } else {
+                  for (uint64_t row = b; row < e; ++row) state.Accumulate(row);
+                }
+              });
   };
-  scan_into(view, fold);
+  scan_into(view, fold, 0);
   delta_state.agg = std::move(fold.agg);
-  scan_into(delta, delta_state);
+  scan_into(delta, delta_state, 1);
 
-  return Emit(*delta_state.agg, view.spec(), view.table(), disk, view.name(),
-              view.clustered());
+  std::unique_ptr<Table> table = Emit(*delta_state.agg, view.spec(),
+                                      view.table(), disk, view.name(),
+                                      view.clustered());
+  agg.AddRows(table->num_rows());
+  return table;
 }
 
 std::vector<std::unique_ptr<Table>> ViewBuilder::BuildMany(
@@ -287,33 +312,37 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildMany(
   // One shared scan feeds every target's aggregation. Targets aggregate
   // independently, so the batch path's target-outer order folds each
   // aggregator exactly as the row-outer serial loop does.
-  if (batch_.vectorized) {
-    std::vector<uint64_t> keys;
-    RowBatcher batcher(batch_.EffectiveBatchRows(),
-                       [&](uint64_t b, uint64_t e) {
-                         for (TargetState& state : states) {
-                           state.AccumulateBatch(b, e, keys);
-                         }
-                       });
-    source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-      disk.CountTuples(end - begin);
-      batcher.AddRange(begin, end);
-    });
-    batcher.Finish();
-  } else {
-    source.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-      disk.CountTuples(end - begin);
-      for (uint64_t row = begin; row < end; ++row) {
-        for (TargetState& state : states) state.Accumulate(row);
-      }
-    });
-  }
-
+  PhysicalPlan phys;
+  const LoweredViewBuild lowered =
+      LowerViewBuild(phys, source.name(), /*num_scans=*/1);
   std::vector<std::unique_ptr<Table>> tables;
   tables.reserve(targets.size());
-  for (size_t i = 0; i < targets.size(); ++i) {
-    tables.push_back(Emit(*states[i].agg, targets[i], source.table(), disk,
-                          "", clustered));
+  {
+    NodeExec agg(phys, lowered.aggregate, disk);
+    {
+      NodeExec scan(phys, lowered.scans[0], disk);
+      std::vector<uint64_t> keys;
+      DriveScan(source.table(), disk, 0, source.table().num_rows(),
+                batch_.EffectiveBatchRows(), scan,
+                [&](uint64_t b, uint64_t e) {
+                  if (batch_.vectorized) {
+                    for (TargetState& state : states) {
+                      state.AccumulateBatch(b, e, keys);
+                    }
+                  } else {
+                    for (uint64_t row = b; row < e; ++row) {
+                      for (TargetState& state : states) state.Accumulate(row);
+                    }
+                  }
+                });
+    }
+    uint64_t cells = 0;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      tables.push_back(Emit(*states[i].agg, targets[i], source.table(), disk,
+                            "", clustered));
+      cells += tables.back()->num_rows();
+    }
+    agg.AddRows(cells);
   }
   return tables;
 }
@@ -352,75 +381,96 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildManyParallel(
                               /*window=*/4 * workers);
   ParallelContext ctx(disk, workers);
 
-  // Every row feeds every target, so a morsel's buffer is one packed-key
-  // column per target; measure values are re-read by the consumer (cheap,
-  // and already charged by the worker's page scan).
-  struct KeyBuffer {
-    std::vector<std::vector<uint64_t>> keys;
-  };
-  RunMorselPipeline<KeyBuffer>(
-      policy.pool, workers, dispatcher, ctx,
-      [&](const Morsel& morsel, DiskModel& wdisk, KeyBuffer& buffer) {
-        buffer.keys.resize(states.size());
-        for (std::vector<uint64_t>& keys : buffer.keys) {
-          keys.reserve(morsel.num_rows());
-        }
-        table.ScanRowRange(
-            wdisk, morsel.begin, morsel.end,
-            [&](uint64_t begin, uint64_t end) {
-              wdisk.CountTuples(end - begin);
+  // The same Aggregate <- Scan tree as BuildMany; parallelism is only a
+  // driver property. Every row feeds every target, so a morsel's buffer is
+  // one packed-key column per target; measure values are re-read by the
+  // consumer (cheap, and already charged by the worker's page scan).
+  PhysicalPlan phys;
+  const LoweredViewBuild lowered =
+      LowerViewBuild(phys, source.name(), /*num_scans=*/1);
+  std::vector<std::unique_ptr<Table>> tables;
+  tables.reserve(targets.size());
+  {
+    NodeExec agg(phys, lowered.aggregate, disk);
+    {
+      // Open across the whole pipeline: MergeIntoParent runs before this
+      // node closes, so the merged worker I/O lands in its delta.
+      NodeExec scan(phys, lowered.scans[0], disk);
+      scan.AddRows(table.num_rows());
+      struct KeyBuffer {
+        std::vector<std::vector<uint64_t>> keys;
+      };
+      RunMorselPipeline<KeyBuffer>(
+          policy.pool, workers, dispatcher, ctx,
+          [&](const Morsel& morsel, DiskModel& wdisk, KeyBuffer& buffer) {
+            buffer.keys.resize(states.size());
+            for (std::vector<uint64_t>& keys : buffer.keys) {
+              keys.clear();
+              keys.reserve(morsel.num_rows());
+            }
+            // Per-morsel ScanSourceOp on the worker disk: identical page
+            // charges and batch spans as the serial chain over this slice.
+            ScanSourceOp op(table, wdisk, morsel.begin, morsel.end,
+                            policy.batch.EffectiveBatchRows());
+            ClassBatch batch;
+            op.Open();
+            while (op.NextBatch(batch)) {
               if (policy.batch.vectorized) {
-                // Ranges arrive adjacent and ascending, so packing each
-                // range onto the tail keeps buffer.keys[t][i] the key of
+                // Batches arrive adjacent and ascending, so packing each
+                // span onto the tail keeps buffer.keys[t][i] the key of
                 // row morsel.begin + i.
-                const size_t n = static_cast<size_t>(end - begin);
+                const size_t n = static_cast<size_t>(batch.end - batch.begin);
                 for (size_t t = 0; t < states.size(); ++t) {
                   std::vector<uint64_t>& keys = buffer.keys[t];
                   const size_t base = keys.size();
                   keys.resize(base + n);
-                  states[t].translator.PackRange(begin, n,
+                  states[t].translator.PackRange(batch.begin, n,
                                                  keys.data() + base);
                 }
-                return;
+                continue;
               }
-              for (uint64_t row = begin; row < end; ++row) {
+              for (uint64_t row = batch.begin; row < batch.end; ++row) {
                 for (size_t t = 0; t < states.size(); ++t) {
                   buffer.keys[t].push_back(
                       states[t].translator.PackRow(row));
                 }
               }
-            });
-      },
-      [&](const Morsel& morsel, const KeyBuffer& buffer) {
-        if (policy.batch.vectorized) {
-          // Per-target batch fold: targets are independent, and each
-          // target's stream is row-ascending, so this replays BuildMany's
-          // per-cell accumulation order exactly.
-          for (size_t t = 0; t < states.size(); ++t) {
-            states[t].agg->AddBatch(buffer.keys[t].data(),
-                                    buffer.keys[t].size(),
-                                    states[t].measure_cols, morsel.begin);
-          }
-          return;
-        }
-        std::vector<double> values(table.num_measures());
-        for (uint64_t i = 0; i < morsel.num_rows(); ++i) {
-          const uint64_t row = morsel.begin + i;
-          for (size_t m = 0; m < values.size(); ++m) {
-            values[m] = table.measure_column(m)[row];
-          }
-          for (size_t t = 0; t < states.size(); ++t) {
-            states[t].agg->Add(buffer.keys[t][i], values.data());
-          }
-        }
-      });
-  ctx.MergeIntoParent();
-
-  std::vector<std::unique_ptr<Table>> tables;
-  tables.reserve(targets.size());
-  for (size_t i = 0; i < targets.size(); ++i) {
-    tables.push_back(Emit(*states[i].agg, targets[i], source.table(), disk,
-                          "", clustered));
+            }
+            op.Close();
+          },
+          [&](const Morsel& morsel, const KeyBuffer& buffer) {
+            scan.AddBatches(1);
+            if (policy.batch.vectorized) {
+              // Per-target batch fold: targets are independent, and each
+              // target's stream is row-ascending, so this replays
+              // BuildMany's per-cell accumulation order exactly.
+              for (size_t t = 0; t < states.size(); ++t) {
+                states[t].agg->AddBatch(buffer.keys[t].data(),
+                                        buffer.keys[t].size(),
+                                        states[t].measure_cols, morsel.begin);
+              }
+              return;
+            }
+            std::vector<double> values(table.num_measures());
+            for (uint64_t i = 0; i < morsel.num_rows(); ++i) {
+              const uint64_t row = morsel.begin + i;
+              for (size_t m = 0; m < values.size(); ++m) {
+                values[m] = table.measure_column(m)[row];
+              }
+              for (size_t t = 0; t < states.size(); ++t) {
+                states[t].agg->Add(buffer.keys[t][i], values.data());
+              }
+            }
+          });
+      ctx.MergeIntoParent();
+    }
+    uint64_t cells = 0;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      tables.push_back(Emit(*states[i].agg, targets[i], source.table(), disk,
+                            "", clustered));
+      cells += tables.back()->num_rows();
+    }
+    agg.AddRows(cells);
   }
   return tables;
 }

@@ -3,11 +3,11 @@
 #include <algorithm>
 
 #include "common/str_util.h"
-#include "exec/parallel_operators.h"
+#include "exec/operators/class_pipeline.h"
 #include "exec/shared_operators.h"
-#include "exec/star_join.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/lowering.h"
 
 namespace starshare {
 namespace {
@@ -63,19 +63,43 @@ std::string ExecutionReport::ToString() const {
 
 Result<QueryResult> Executor::ExecuteSingle(const DimensionalQuery& query,
                                             const MaterializedView& view,
-                                            JoinMethod method) const {
+                                            JoinMethod method,
+                                            PhysicalPlan* phys, size_t parent,
+                                            const LocalPlan* local) const {
+  SharedClassRequest req;
+  req.schema = &schema_;
+  req.view = &view;
+  req.disk = &disk_;
+  req.policy.batch = policy_.batch;  // always serial: the paper's per-query costs
   switch (method) {
     case JoinMethod::kHashScan:
-      return TryHashStarJoin(schema_, query, view, disk_);
+      req.hash_queries.push_back(&query);
+      req.probe = false;
+      break;
     case JoinMethod::kIndexProbe:
-      return TryIndexStarJoin(schema_, query, view, disk_);
+      req.index_queries.push_back(&query);
+      req.probe = true;
+      break;
+    default:
+      return Status::Internal(
+          StrFormat("unknown join method %d for query %d",
+                    static_cast<int>(method), query.id()));
   }
-  return Status::Internal(
-      StrFormat("unknown join method %d for query %d",
-                static_cast<int>(method), query.id()));
+  LoweredClassNodes nodes;
+  if (phys != nullptr) {
+    nodes = LowerSingleQuery(*phys, parent, view.name(), query.id(), method,
+                             local);
+    req.phys = phys;
+    req.nodes = &nodes;
+  }
+  Result<SharedOutcome> outcome = ExecuteSharedClass(req);
+  if (!outcome.ok()) return outcome.status();
+  if (!outcome->statuses[0].ok()) return outcome->statuses[0];
+  return std::move(outcome->results[0]);
 }
 
-std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
+std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls,
+                                                  PhysicalPlan* phys) const {
   SS_CHECK(cls.base != nullptr && !cls.members.empty());
   static obs::Counter& classes = obs::Metrics().counter("exec.classes");
   static obs::Counter& member_failures =
@@ -85,8 +109,8 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
   classes.Add();
   class_members.Observe(cls.members.size());
 
-  obs::ScopedSpan class_span("exec.class",
-                             cls.base->spec().ToString(schema_));
+  const std::string detail = cls.base->spec().ToString(schema_);
+  obs::ScopedSpan class_span("exec.class", detail);
   class_span.SetEstMs(cls.EstMs());
   std::vector<const DimensionalQuery*> hash_queries;
   std::vector<const DimensionalQuery*> index_queries;
@@ -97,7 +121,8 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
 
   // The shared-scan pass masks are 32 bits wide; an oversized class is
   // evaluated in chunks (one extra scan per 32 hash members — still far
-  // cheaper than per-query scans, and correct).
+  // cheaper than per-query scans, and correct). Each chunk lowers and runs
+  // its own chain, mirrored exactly by LowerGlobalPlan.
   if (cls.members.size() > kMaxClassQueries) {
     std::vector<ExecutedQuery> out;
     for (size_t begin = 0; begin < cls.members.size();
@@ -108,60 +133,76 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
           std::min(begin + kMaxClassQueries, cls.members.size());
       chunk.members.assign(cls.members.begin() + static_cast<long>(begin),
                            cls.members.begin() + static_cast<long>(end));
-      for (auto& r : ExecuteClass(chunk)) out.push_back(std::move(r));
+      for (auto& r : ExecuteClass(chunk, phys)) out.push_back(std::move(r));
     }
     return out;
   }
 
-  Result<SharedOutcome> outcome = Status::Internal("unreachable");
-  std::vector<const DimensionalQuery*> order;
-  if (hash_queries.empty()) {
-    outcome = policy_.engaged()
-                  ? ParallelSharedIndexStarJoin(schema_, index_queries,
-                                                *cls.base, disk_, policy_)
-                  : TrySharedIndexStarJoin(schema_, index_queries, *cls.base,
-                                           disk_, policy_.batch);
-    order = index_queries;
-  } else {
-    outcome = policy_.engaged()
-                  ? ParallelSharedHybridStarJoin(schema_, hash_queries,
-                                                 index_queries, *cls.base,
-                                                 disk_, policy_)
-                  : TrySharedHybridStarJoin(schema_, hash_queries,
-                                            index_queries, *cls.base, disk_,
-                                            policy_.batch);
-    order = hash_queries;
-    order.insert(order.end(), index_queries.begin(), index_queries.end());
+  const bool probe = hash_queries.empty();
+  SharedClassRequest req;
+  req.schema = &schema_;
+  req.hash_queries = hash_queries;
+  req.index_queries = index_queries;
+  req.view = cls.base;
+  req.disk = &disk_;
+  req.policy = policy_;  // serial or morsel-parallel: the driver's choice
+  req.probe = probe;
+  LoweredClassNodes nodes;
+  if (phys != nullptr) {
+    nodes = LowerSharedClass(*phys, kNoPhysNode, detail, hash_queries.size(),
+                             index_queries.size(), probe, /*query_id=*/-1,
+                             &cls);
+    req.phys = phys;
+    req.nodes = &nodes;
   }
+  Result<SharedOutcome> outcome = ExecuteSharedClass(req);
+
+  std::vector<const DimensionalQuery*> order = hash_queries;
+  order.insert(order.end(), index_queries.begin(), index_queries.end());
+
+  const auto find_local = [&](const DimensionalQuery* query) -> const LocalPlan* {
+    for (const auto& m : cls.members) {
+      if (m.query == query) return &m;
+    }
+    return nullptr;
+  };
+  // Per-member routing leaves: one span per query of the class, carrying
+  // the member's estimate, its produced row count and its status. Created
+  // post-hoc (the shared pipeline works on all members at once), so they
+  // charge no I/O of their own. The same record lands on the physical
+  // routing node (Route when present, Aggregate for one-member classes).
+  const auto emit_member = [&](const ExecutedQuery& entry) {
+    const LocalPlan* local = find_local(entry.query);
+    if (class_span.active()) {
+      obs::ScopedSpan span(
+          "exec.member",
+          local != nullptr ? JoinMethodName(local->method) : "",
+          entry.query->id());
+      if (local != nullptr) span.SetEstMs(local->EstMs());
+      span.AddRows(entry.result.num_rows());
+      span.SetStatus(entry.status);
+    }
+    if (phys != nullptr) {
+      const size_t stat_node =
+          nodes.route != kNoPhysNode ? nodes.route : nodes.aggregate;
+      PhysicalMemberStat stat;
+      stat.query_id = entry.query->id();
+      stat.method = local != nullptr ? JoinMethodName(local->method) : "";
+      stat.est_ms = local != nullptr ? local->EstMs() : -1.0;
+      stat.rows = entry.result.num_rows();
+      stat.status_code = static_cast<int>(entry.status.code());
+      phys->node(stat_node).member_stats.push_back(std::move(stat));
+    }
+  };
 
   std::vector<ExecutedQuery> out;
   out.reserve(order.size());
-  // Per-member routing leaves: one span per query of the class, carrying
-  // the member's estimate, its produced row count and its status. Created
-  // post-hoc (the shared operators work on all members at once), so they
-  // charge no I/O of their own.
-  const auto emit_member_span = [&](const ExecutedQuery& entry) {
-    if (!class_span.active()) return;
-    const LocalPlan* local = nullptr;
-    for (const auto& m : cls.members) {
-      if (m.query == entry.query) {
-        local = &m;
-        break;
-      }
-    }
-    obs::ScopedSpan span("exec.member",
-                         local != nullptr ? JoinMethodName(local->method) : "",
-                         entry.query->id());
-    if (local != nullptr) span.SetEstMs(local->EstMs());
-    span.AddRows(entry.result.num_rows());
-    span.SetStatus(entry.status);
-  };
   if (!outcome.ok()) {
     // Whole-class failure (malformed class): every member inherits it.
     for (const auto* q : order) {
       out.push_back(FromOutcome(q, QueryResult(), outcome.status()));
       member_failures.Add();
-      emit_member_span(out.back());
+      emit_member(out.back());
     }
     return out;
   }
@@ -170,16 +211,16 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls) const {
                               std::move(outcome->results[i]),
                               std::move(outcome->statuses[i])));
     if (!out.back().status.ok()) member_failures.Add();
-    emit_member_span(out.back());
+    emit_member(out.back());
   }
   return out;
 }
 
-std::vector<ExecutedQuery> Executor::ExecutePlan(
-    const GlobalPlan& plan) const {
+std::vector<ExecutedQuery> Executor::ExecutePlan(const GlobalPlan& plan,
+                                                 PhysicalPlan* phys) const {
   std::vector<ExecutedQuery> out;
   for (const auto& cls : plan.classes) {
-    std::vector<ExecutedQuery> cls_results = ExecuteClass(cls);
+    std::vector<ExecutedQuery> cls_results = ExecuteClass(cls, phys);
     for (auto& r : cls_results) out.push_back(std::move(r));
   }
   SortById(out);
@@ -187,11 +228,12 @@ std::vector<ExecutedQuery> Executor::ExecutePlan(
 }
 
 std::vector<ExecutedQuery> Executor::ExecutePlanUnshared(
-    const GlobalPlan& plan) const {
+    const GlobalPlan& plan, PhysicalPlan* phys) const {
   std::vector<ExecutedQuery> out;
   for (const auto& cls : plan.classes) {
     for (const auto& m : cls.members) {
-      Result<QueryResult> r = ExecuteSingle(*m.query, *cls.base, m.method);
+      Result<QueryResult> r = ExecuteSingle(*m.query, *cls.base, m.method,
+                                            phys, kNoPhysNode, &m);
       if (r.ok()) {
         out.push_back(FromOutcome(m.query, std::move(r.value()), Status::Ok()));
       } else {

@@ -1,6 +1,9 @@
-// Top-level plan execution: dispatches each class of a GlobalPlan to the
-// appropriate shared operator, or runs queries one at a time for the naive
-// (no-sharing) baseline the paper compares against.
+// Top-level plan execution: lowers each class of a GlobalPlan into its
+// physical operator chain (plan/lowering.h) and runs it through the unified
+// class pipeline (exec/operators/class_pipeline.h), or runs queries one at
+// a time for the naive (no-sharing) baseline the paper compares against.
+// Every path executes a lowered tree; callers that pass a PhysicalPlan get
+// the executed, annotated tree back for EXPLAIN ANALYZE.
 //
 // Execution never aborts on a per-query failure: every entry of the
 // returned vector carries a Status, and a failed member of a shared class
@@ -14,7 +17,8 @@
 #include <vector>
 
 #include "common/status.h"
-#include "exec/parallel_operators.h"
+#include "parallel/policy.h"
+#include "plan/physical_plan.h"
 #include "plan/plan.h"
 #include "query/result.h"
 #include "storage/disk_model.h"
@@ -55,36 +59,45 @@ class Executor {
   Executor(const StarSchema& schema, DiskModel& disk)
       : schema_(schema), disk_(disk) {}
 
-  // Morsel-parallel evaluation of shared classes. With the default policy
-  // (no pool, parallelism 1) every class runs the serial operators — the
-  // 1998 cost-model behavior. When engaged, ExecuteClass dispatches to the
-  // Parallel* operators, which are bit-identical to serial by construction
-  // (exec/parallel_operators.h). ExecuteSingle and the unshared baseline
-  // always stay serial: they exist to reproduce the paper's per-query
-  // costs, not to be fast.
+  // Parallelism of the shared-class pipeline driver. With the default
+  // policy (no pool, parallelism 1) every class runs the serial driver —
+  // the 1998 cost-model behavior; when engaged, the same operator chains
+  // run morsel-parallel, bit-identical by construction. ExecuteSingle and
+  // the unshared baseline always stay serial: they exist to reproduce the
+  // paper's per-query costs, not to be fast.
   void set_parallel_policy(const ParallelPolicy& policy) { policy_ = policy; }
   const ParallelPolicy& parallel_policy() const { return policy_; }
 
-  // One query, one view, one method — no sharing. An unknown method or an
-  // injected fault is an error Status, never an abort.
+  // One query, one view, one method — a one-member class, no sharing. An
+  // unknown method or an injected fault is an error Status, never an
+  // abort. With `phys` the lowered single-query chain is appended there
+  // (under `parent` when given); `local` optionally annotates it with the
+  // member's cost estimates.
   Result<QueryResult> ExecuteSingle(const DimensionalQuery& query,
                                     const MaterializedView& view,
-                                    JoinMethod method) const;
+                                    JoinMethod method,
+                                    PhysicalPlan* phys = nullptr,
+                                    size_t parent = kNoPhysNode,
+                                    const LocalPlan* local = nullptr) const;
 
-  // One class with the §3 operator its member methods call for:
+  // One class with the §3 operator chain its member methods call for:
   //   * any hash member  -> shared scan / hybrid shared scan,
   //   * all index members -> shared index join.
   // Results in member order; per-member failures are carried in each
-  // entry's `status` and do not affect the other members.
-  std::vector<ExecutedQuery> ExecuteClass(const ClassPlan& cls) const;
+  // entry's `status` and do not affect the other members. With `phys` the
+  // executed chain (one root per evaluated chunk) is recorded there.
+  std::vector<ExecutedQuery> ExecuteClass(const ClassPlan& cls,
+                                          PhysicalPlan* phys = nullptr) const;
 
   // Whole plan; results ordered by query id ascending.
-  std::vector<ExecutedQuery> ExecutePlan(const GlobalPlan& plan) const;
+  std::vector<ExecutedQuery> ExecutePlan(const GlobalPlan& plan,
+                                         PhysicalPlan* phys = nullptr) const;
 
   // Naive baseline: every member of every class evaluated separately (its
   // own scan or probe), as if the queries had been submitted one at a time.
   // Results ordered by query id ascending.
-  std::vector<ExecutedQuery> ExecutePlanUnshared(const GlobalPlan& plan) const;
+  std::vector<ExecutedQuery> ExecutePlanUnshared(
+      const GlobalPlan& plan, PhysicalPlan* phys = nullptr) const;
 
  private:
   const StarSchema& schema_;

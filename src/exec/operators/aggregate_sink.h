@@ -1,0 +1,36 @@
+// Aggregate sink (physical node kind kAggregate): folds each class
+// member's match stream into its BoundQuery aggregation, slot order within
+// a batch, batches in input order. Only ever invoked on the driving thread
+// — the morsel driver buffers worker matches and consumes them in morsel
+// order, so every aggregator folds in the exact serial sequence.
+
+#ifndef STARSHARE_EXEC_OPERATORS_AGGREGATE_SINK_H_
+#define STARSHARE_EXEC_OPERATORS_AGGREGATE_SINK_H_
+
+#include <vector>
+
+#include "common/macros.h"
+#include "exec/operators/operator.h"
+
+namespace starshare {
+
+class AggregateSink {
+ public:
+  explicit AggregateSink(std::vector<BoundQuery>& bound) : bound_(bound) {}
+
+  void Consume(const std::vector<QueryMatchBatch>& slots) {
+    SS_DCHECK(slots.size() == bound_.size());
+    for (size_t slot = 0; slot < bound_.size(); ++slot) {
+      bound_[slot].AccumulateRawBatch(slots[slot].keys.data(),
+                                      slots[slot].values.data(),
+                                      slots[slot].size());
+    }
+  }
+
+ private:
+  std::vector<BoundQuery>& bound_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_OPERATORS_AGGREGATE_SINK_H_

@@ -1,0 +1,360 @@
+#include "exec/operators/class_pipeline.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/str_util.h"
+#include "exec/bound_query.h"
+#include "exec/operators/aggregate_sink.h"
+#include "exec/operators/bitmap_filter.h"
+#include "exec/operators/probe_source.h"
+#include "exec/operators/scan_source.h"
+#include "exec/operators/star_join_filter.h"
+#include "exec/shared_star_join_internal.h"
+#include "exec/star_join.h"
+#include "index/bitmap.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/morsel.h"
+#include "parallel/morsel_pipeline.h"
+#include "parallel/parallel_context.h"
+
+namespace starshare {
+namespace {
+
+using internal::AllQueriesMask;
+using internal::BuildMemberBitmap;
+using internal::BuildSharedFilters;
+using internal::MemberBindFault;
+using internal::SharedDimFilter;
+
+size_t EffectiveWorkers(const ParallelPolicy& policy) {
+  if (!policy.engaged()) return 1;
+  return std::min(policy.parallelism, policy.pool->num_threads());
+}
+
+uint64_t MorselRowsFor(const ParallelPolicy& policy, uint64_t num_rows,
+                       uint64_t rows_per_page, size_t workers) {
+  if (policy.morsel_rows > 0) return policy.morsel_rows;
+  return MorselDispatcher::DefaultMorselRows(num_rows, rows_per_page,
+                                             workers);
+}
+
+// One morsel's worth of per-slot match streams, each in ascending row
+// order. Concatenating buffers in morsel order replays the serial
+// aggregation sequence exactly.
+struct MorselMatches {
+  std::vector<QueryMatchBatch> slots;
+};
+
+}  // namespace
+
+Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
+  const StarSchema& schema = *req.schema;
+  const MaterializedView& view = *req.view;
+  DiskModel& disk = *req.disk;
+  const std::vector<const DimensionalQuery*>& hash_queries = req.hash_queries;
+  const std::vector<const DimensionalQuery*>& index_queries =
+      req.index_queries;
+  SS_DCHECK(!req.probe || hash_queries.empty());
+
+  if (req.probe) {
+    if (index_queries.empty()) {
+      return Status::InvalidArgument("shared index star join with no queries");
+    }
+    if (index_queries.size() > kMaxClassQueries) {
+      return Status::InvalidArgument(
+          StrFormat("shared index star join: %zu members exceed the class "
+                    "limit of %zu",
+                    index_queries.size(), kMaxClassQueries));
+    }
+  } else {
+    if (hash_queries.empty() && index_queries.empty()) {
+      return Status::InvalidArgument(
+          "shared hybrid star join with no queries");
+    }
+    if (hash_queries.size() > kMaxClassQueries) {
+      // The shared-scan pass masks carry one bit per hash member; a larger
+      // class is the planner's mistake, reported as a typed error so callers
+      // with a degradation path (Engine's fact-table fallback) can recover
+      // instead of aborting. Executor::ExecuteClass chunks oversized classes
+      // before ever reaching this pipeline.
+      return Status::InvalidArgument(StrFormat(
+          "shared hybrid star join: %zu hash members exceed the class limit "
+          "of %zu",
+          hash_queries.size(), kMaxClassQueries));
+    }
+  }
+  const size_t n_hash = hash_queries.size();
+  SharedOutcome out;
+  out.results.resize(n_hash + index_queries.size());
+  out.statuses.resize(n_hash + index_queries.size());
+
+  disk.TakeFault();  // discard faults latched by earlier, unrelated work
+
+  // Per-member private phases, on the calling thread and the parent
+  // DiskModel. A member failing here drops out; the shared pass runs with
+  // the survivors.
+  std::vector<const DimensionalQuery*> live_hash;
+  std::vector<size_t> live_hash_slots;
+  for (size_t i = 0; i < hash_queries.size(); ++i) {
+    Status s = MemberBindFault(*hash_queries[i]);
+    if (!s.ok()) {
+      out.statuses[i] = std::move(s);
+      continue;
+    }
+    live_hash.push_back(hash_queries[i]);
+    live_hash_slots.push_back(i);
+  }
+
+  std::vector<const DimensionalQuery*> live_index;
+  std::vector<size_t> live_index_slots;
+  std::vector<Bitmap> index_bitmaps;
+  std::vector<std::vector<const DimPredicate*>> index_residual_preds;
+  for (size_t i = 0; i < index_queries.size(); ++i) {
+    const size_t slot = n_hash + i;
+    Status s = MemberBindFault(*index_queries[i]);
+    if (s.ok()) {
+      Bitmap bitmap;
+      std::vector<const DimPredicate*> residual;
+      s = BuildMemberBitmap(schema, *index_queries[i], view, disk, &bitmap,
+                            &residual);
+      if (s.ok()) {
+        live_index.push_back(index_queries[i]);
+        live_index_slots.push_back(slot);
+        index_bitmaps.push_back(std::move(bitmap));
+        index_residual_preds.push_back(std::move(residual));
+        continue;
+      }
+    }
+    out.statuses[slot] = std::move(s);
+  }
+
+  if (live_hash.empty() && live_index.empty()) return out;  // nothing left
+
+  std::vector<BoundQuery> bound;  // live hash members, then live index
+  bound.reserve(live_hash.size() + live_index.size());
+  for (const auto* q : live_hash) bound.emplace_back(schema, *q, view);
+  std::vector<ResidualFilter> index_residuals;
+  index_residuals.reserve(live_index.size());
+  for (size_t i = 0; i < live_index.size(); ++i) {
+    bound.emplace_back(schema, *live_index[i], view);
+    index_residuals.emplace_back(schema, view, index_residual_preds[i]);
+  }
+  const size_t n_live_hash = live_hash.size();
+  const size_t n_live = bound.size();
+
+  // §3.2 step 1: OR the per-member result bitmaps; the union's positions
+  // are the one shared probe stream.
+  std::vector<uint64_t> positions;
+  if (req.probe) {
+    Bitmap unioned = index_bitmaps[0];
+    for (size_t i = 1; i < index_bitmaps.size(); ++i) {
+      unioned.OrWith(index_bitmaps[i]);
+    }
+    positions = unioned.ToPositions();
+  }
+
+  // Standalone callers (the operator-level entry points) get a throwaway
+  // lowered tree; the Executor/Engine pass the session's tree instead.
+  PhysicalPlan local_plan;
+  PhysicalPlan* phys = req.phys;
+  const LoweredClassNodes* nodes = req.nodes;
+  LoweredClassNodes local_nodes;
+  if (phys == nullptr || nodes == nullptr) {
+    local_nodes = LowerSharedClass(local_plan, kNoPhysNode, view.name(),
+                                   hash_queries.size(), index_queries.size(),
+                                   req.probe, /*query_id=*/-1,
+                                   /*cls=*/nullptr);
+    phys = &local_plan;
+    nodes = &local_nodes;
+  }
+
+  const Table& table = view.table();
+  const bool vectorized = req.policy.batch.vectorized;
+  const size_t batch_rows = req.policy.batch.EffectiveBatchRows();
+
+  // Shared dimension filters (scan path). Built inside the StarJoinFilter
+  // node's scope below so the dim_filters span nests under it.
+  std::vector<SharedDimFilter> filters;
+  uint32_t all_mask = 0;
+
+  // Builds one operator chain over the given input slice on DiskModel `d`
+  // and pulls it dry, handing `on_batch` each batch's matches. The serial
+  // driver calls it once over the whole input on the parent disk; the
+  // morsel driver calls it per morsel on a worker disk.
+  const auto drive_chain = [&](DiskModel& d, uint64_t row_begin,
+                               uint64_t row_end, const uint64_t* pos,
+                               size_t n_pos,
+                               std::vector<QueryMatchBatch>& matches,
+                               const auto& on_batch) {
+    ScanSourceOp scan_src(table, d, row_begin, row_end, batch_rows);
+    ProbeSourceOp probe_src(table, d, pos, n_pos);
+    BatchOperator* chain = req.probe
+                               ? static_cast<BatchOperator*>(&probe_src)
+                               : static_cast<BatchOperator*>(&scan_src);
+    std::optional<StarJoinFilterOp> sjf_op;
+    if (!req.probe) {
+      sjf_op.emplace(chain, d, filters, all_mask, bound, n_live_hash,
+                     vectorized);
+      chain = &*sjf_op;
+    }
+    std::optional<BitmapFilterOp> bmf_op;
+    if (!index_bitmaps.empty()) {
+      bmf_op.emplace(chain, index_bitmaps, index_residuals, bound,
+                     n_live_hash, req.policy.batch);
+      chain = &*bmf_op;
+    }
+    ClassBatch batch;
+    batch.matches = &matches;
+    chain->Open();
+    while (chain->NextBatch(batch)) {
+      on_batch();
+      for (QueryMatchBatch& m : matches) m.Clear();
+    }
+    chain->Close();
+  };
+
+  AggregateSink sink(bound);
+
+  NodeExec agg(*phys, nodes->aggregate, disk);
+  {
+    std::optional<NodeExec> route;
+    if (nodes->route != kNoPhysNode) {
+      route.emplace(*phys, nodes->route, disk);
+    }
+    std::optional<NodeExec> bmf;
+    if (nodes->bitmap_filter != kNoPhysNode) {
+      bmf.emplace(*phys, nodes->bitmap_filter, disk);
+    }
+    std::optional<NodeExec> sjf;
+    if (!req.probe) {
+      sjf.emplace(*phys, nodes->star_join_filter, disk);
+      filters = BuildSharedFilters(schema, live_hash, view);
+      all_mask = AllQueriesMask(live_hash.size());
+      static obs::Counter& scan_passes =
+          obs::Metrics().counter("exec.scan_passes");
+      scan_passes.Add();
+    } else {
+      static obs::Counter& probe_passes =
+          obs::Metrics().counter("exec.probe_passes");
+      probe_passes.Add();
+    }
+    NodeExec source(*phys, nodes->source, disk);
+    source.AddRows(req.probe ? positions.size() : table.num_rows());
+    source.AddCounter("members", bound.size());
+
+    if (!req.policy.engaged()) {
+      // Serial drive: one chain over the whole input on the parent disk.
+      // Batch boundaries are [k*B, (k+1)*B) for the scan and the whole
+      // position set for the probe — the pre-DAG serial groupings.
+      std::vector<QueryMatchBatch> matches(n_live);
+      drive_chain(disk, 0, table.num_rows(), positions.data(),
+                  positions.size(), matches, [&] {
+                    source.AddBatches(1);
+                    sink.Consume(matches);
+                  });
+    } else {
+      const size_t workers = EffectiveWorkers(req.policy);
+      ParallelContext ctx(disk, workers);
+      if (!req.probe) {
+        const uint64_t morsel_rows = MorselRowsFor(
+            req.policy, table.num_rows(), table.rows_per_page(), workers);
+        MorselDispatcher dispatcher(table.num_rows(), morsel_rows,
+                                    /*window=*/4 * workers);
+        RunMorselPipeline<MorselMatches>(
+            req.policy.pool, workers, dispatcher, ctx,
+            [&](const Morsel& morsel, DiskModel& wdisk,
+                MorselMatches& buffer) {
+              buffer.slots.resize(n_live);
+              std::vector<QueryMatchBatch> matches(n_live);
+              drive_chain(wdisk, morsel.begin, morsel.end, nullptr, 0,
+                          matches, [&] {
+                            for (size_t qi = 0; qi < n_live; ++qi) {
+                              buffer.slots[qi].Append(
+                                  matches[qi].keys.data(),
+                                  matches[qi].values.data(),
+                                  matches[qi].size());
+                            }
+                          });
+            },
+            [&](const Morsel&, const MorselMatches& buffer) {
+              source.AddBatches(1);  // one tally per merged morsel
+              sink.Consume(buffer.slots);
+            });
+      } else {
+        // Position ranges are snapped forward to page changes so no page is
+        // probed (or charged) by two workers and the effective ranges cover
+        // every position exactly once.
+        const uint64_t rpp = table.rows_per_page();
+        const auto effective_begin = [&](uint64_t i) {
+          while (i > 0 && i < positions.size() &&
+                 positions[i] / rpp == positions[i - 1] / rpp) {
+            ++i;
+          }
+          return i;
+        };
+        uint64_t chunk = req.policy.morsel_rows;
+        if (chunk == 0) {
+          chunk = std::max<uint64_t>(
+              rpp, positions.size() /
+                       std::max<uint64_t>(
+                           1, workers * MorselDispatcher::kMorselsPerWorker));
+        }
+        MorselDispatcher dispatcher(positions.size(), chunk,
+                                    /*window=*/4 * workers);
+        RunMorselPipeline<MorselMatches>(
+            req.policy.pool, workers, dispatcher, ctx,
+            [&](const Morsel& morsel, DiskModel& wdisk,
+                MorselMatches& buffer) {
+              buffer.slots.resize(n_live);
+              const uint64_t begin = effective_begin(morsel.begin);
+              const uint64_t end = effective_begin(morsel.end);
+              if (begin >= end) return;
+              std::vector<QueryMatchBatch> matches(n_live);
+              drive_chain(wdisk, 0, 0, positions.data() + begin, end - begin,
+                          matches, [&] {
+                            for (size_t qi = 0; qi < n_live; ++qi) {
+                              buffer.slots[qi].Append(
+                                  matches[qi].keys.data(),
+                                  matches[qi].values.data(),
+                                  matches[qi].size());
+                            }
+                          });
+            },
+            [&](const Morsel&, const MorselMatches& buffer) {
+              source.AddBatches(1);  // one tally per merged morsel
+              sink.Consume(buffer.slots);
+            });
+      }
+      ctx.MergeIntoParent();
+    }
+  }
+
+  // A device fault during the shared pass takes down every member that
+  // depended on it — but only those; members failed above keep their own
+  // (more precise) statuses.
+  const Status pass_fault = disk.TakeFault();
+  if (!pass_fault.ok()) {
+    for (size_t slot : live_hash_slots) out.statuses[slot] = pass_fault;
+    for (size_t slot : live_index_slots) out.statuses[slot] = pass_fault;
+    agg.SetStatus(pass_fault);
+    return out;
+  }
+
+  uint64_t result_rows = 0;
+  for (size_t i = 0; i < live_hash_slots.size(); ++i) {
+    out.results[live_hash_slots[i]] = bound[i].Finish();
+    result_rows += out.results[live_hash_slots[i]].num_rows();
+  }
+  for (size_t i = 0; i < live_index_slots.size(); ++i) {
+    out.results[live_index_slots[i]] = bound[n_live_hash + i].Finish();
+    result_rows += out.results[live_index_slots[i]].num_rows();
+  }
+  agg.AddRows(result_rows);
+  return out;
+}
+
+}  // namespace starshare

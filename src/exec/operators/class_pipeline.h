@@ -1,0 +1,61 @@
+// The one shared-class execution path. Every way the engine evaluates a
+// query class — the serial §3.1/§3.2/§3.3 operators, their morsel-parallel
+// twins, single-query execution, the Engine's fact-table fallback — builds
+// a SharedClassRequest and runs it here. The request is executed as a
+// lowered physical operator chain (plan/lowering.h):
+//
+//   Aggregate <- [Route] <- [BitmapFilter] <- [StarJoinFilter] <- source
+//
+// where the source is a ScanSourceOp (§3.1/§3.3) or a ProbeSourceOp over
+// the union bitmap's positions (§3.2). Parallelism is a property of the
+// driver, not of the operators: a disengaged policy pulls one chain over
+// the whole input on the calling thread; an engaged policy instantiates
+// the same chain per morsel on worker DiskModels and merges match buffers
+// in morsel order (parallel/morsel_pipeline.h). Both drivers produce
+// bit-identical results and exactly equal IoStats at any thread count and
+// any batch size.
+
+#ifndef STARSHARE_EXEC_OPERATORS_CLASS_PIPELINE_H_
+#define STARSHARE_EXEC_OPERATORS_CLASS_PIPELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "cube/materialized_view.h"
+#include "exec/shared_operators.h"
+#include "parallel/policy.h"
+#include "plan/lowering.h"
+#include "plan/physical_plan.h"
+#include "query/query.h"
+#include "storage/disk_model.h"
+
+namespace starshare {
+
+// One shared-class execution request. `hash_queries` must be empty when
+// `probe` is set (§3.2 has no scan side). When `phys`/`nodes` are null the
+// pipeline lowers a throwaway tree internally; callers that want the
+// executed tree (Executor, Engine) lower it first and pass both.
+struct SharedClassRequest {
+  const StarSchema* schema = nullptr;
+  std::vector<const DimensionalQuery*> hash_queries;
+  std::vector<const DimensionalQuery*> index_queries;
+  const MaterializedView* view = nullptr;
+  DiskModel* disk = nullptr;
+  ParallelPolicy policy;
+  // True runs §3.2 (union-bitmap probe); false runs the shared scan
+  // (§3.1 pure-hash or §3.3 hybrid, depending on index_queries).
+  bool probe = false;
+  PhysicalPlan* phys = nullptr;
+  const LoweredClassNodes* nodes = nullptr;
+};
+
+// Executes the class. Statuses/results are slot-aligned: hash members
+// first, then index members, each in request order — exactly the contract
+// of the pre-DAG Try*/Parallel* operators, including per-member
+// degradation (a private-phase fault fails one member; a shared-pass
+// device fault fails every surviving member).
+Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_OPERATORS_CLASS_PIPELINE_H_

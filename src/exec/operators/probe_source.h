@@ -1,0 +1,53 @@
+// Index-union probe source (physical node kind kIndexUnionProbe): fetches
+// the tuples at the sorted candidate positions of the OR-ed member bitmaps
+// (§3.2), charging one random page read per distinct page — exactly
+// Table::ProbePositions — and emits ONE batch covering its whole position
+// slice. The serial driver hands it the full union; the morsel driver hands
+// each instance a page-snapped sub-slice, reproducing the parallel probe's
+// charging exactly.
+
+#ifndef STARSHARE_EXEC_OPERATORS_PROBE_SOURCE_H_
+#define STARSHARE_EXEC_OPERATORS_PROBE_SOURCE_H_
+
+#include <span>
+
+#include "exec/operators/operator.h"
+#include "storage/disk_model.h"
+#include "storage/table.h"
+
+namespace starshare {
+
+class ProbeSourceOp : public BatchOperator {
+ public:
+  ProbeSourceOp(const Table& table, DiskModel& disk,
+                const uint64_t* positions, size_t num_positions)
+      : table_(table),
+        disk_(disk),
+        positions_(positions),
+        num_positions_(num_positions) {}
+
+  bool NextBatch(ClassBatch& batch) override {
+    if (done_ || num_positions_ == 0) return false;
+    done_ = true;
+    table_.ProbePositions(
+        disk_, std::span<const uint64_t>(positions_, num_positions_),
+        [](uint64_t) {});
+    disk_.CountTuples(num_positions_);
+    batch.begin = positions_[0];
+    batch.end = positions_[num_positions_ - 1] + 1;
+    batch.positions = positions_;
+    batch.num_positions = num_positions_;
+    return true;
+  }
+
+ private:
+  const Table& table_;
+  DiskModel& disk_;
+  const uint64_t* positions_;
+  size_t num_positions_;
+  bool done_ = false;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_OPERATORS_PROBE_SOURCE_H_

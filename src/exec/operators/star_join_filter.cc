@@ -1,0 +1,72 @@
+#include "exec/operators/star_join_filter.h"
+
+#include <algorithm>
+
+namespace starshare {
+
+bool StarJoinFilterOp::NextBatch(ClassBatch& batch) {
+  if (!child_->NextBatch(batch)) return false;
+  // One dimension-table hash probe per scanned row per shared filter,
+  // whether or not the row survives (the paper's CPU cost model).
+  disk_.CountHashProbes((batch.end - batch.begin) * filters_.size());
+  if (n_hash_ > 0) {
+    if (vectorized_) {
+      ProcessVectorized(batch);
+    } else {
+      ProcessTuple(batch);
+    }
+  }
+  return true;
+}
+
+void StarJoinFilterOp::ProcessVectorized(const ClassBatch& batch) {
+  const size_t n = static_cast<size_t>(batch.end - batch.begin);
+  masks_.resize(n);
+  if (filters_.empty()) {
+    std::fill(masks_.begin(), masks_.end(), all_mask_);
+  } else {
+    // Column-at-a-time: load the first filter's masks, then AND the rest.
+    const internal::SharedDimFilter& first = filters_[0];
+    const int32_t* col = first.col->data();
+    for (size_t i = 0; i < n; ++i) {
+      masks_[i] = first.masks[static_cast<uint32_t>(col[batch.begin + i])];
+    }
+    for (size_t f = 1; f < filters_.size(); ++f) {
+      const internal::SharedDimFilter& filter = filters_[f];
+      const int32_t* fcol = filter.col->data();
+      for (size_t i = 0; i < n; ++i) {
+        masks_[i] &=
+            filter.masks[static_cast<uint32_t>(fcol[batch.begin + i])];
+      }
+    }
+  }
+  uint32_t any = 0;
+  for (size_t i = 0; i < n; ++i) any |= masks_[i];
+  for (size_t qi = 0; qi < n_hash_; ++qi) {
+    const uint32_t bit = 1u << qi;
+    if ((any & bit) == 0) continue;
+    sel_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if ((masks_[i] & bit) != 0) sel_.push_back(batch.begin + i);
+    }
+    EmitRows(bound_[qi], sel_.data(), sel_.size(), (*batch.matches)[qi]);
+  }
+}
+
+void StarJoinFilterOp::ProcessTuple(const ClassBatch& batch) {
+  for (uint64_t row = batch.begin; row < batch.end; ++row) {
+    uint32_t mask = all_mask_;
+    for (const internal::SharedDimFilter& filter : filters_) {
+      mask &= filter.masks[static_cast<uint32_t>((*filter.col)[row])];
+      if (mask == 0) break;
+    }
+    while (mask != 0) {
+      const unsigned qi = static_cast<unsigned>(__builtin_ctz(mask));
+      (*batch.matches)[qi].Push(bound_[qi].PackedKeyAt(row),
+                                bound_[qi].MeasureAt(row));
+      mask &= mask - 1;
+    }
+  }
+}
+
+}  // namespace starshare

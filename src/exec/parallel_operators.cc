@@ -1,78 +1,14 @@
 #include "exec/parallel_operators.h"
 
-#include <algorithm>
-#include <span>
-#include <utility>
+#include "exec/operators/class_pipeline.h"
 
-#include "common/str_util.h"
-#include "exec/bound_query.h"
-#include "exec/shared_star_join_internal.h"
-#include "exec/star_join.h"
-#include "index/bitmap.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "parallel/morsel.h"
-#include "parallel/morsel_pipeline.h"
-#include "parallel/parallel_context.h"
+// The morsel-parallel operator entry points are the same unified class
+// pipeline as the serial ones — parallelism is a property of the pipeline
+// driver, selected by the policy, not a separate implementation. These
+// shells exist for callers (and tests) that address the parallel variants
+// directly.
 
 namespace starshare {
-namespace {
-
-using internal::AllQueriesMask;
-using internal::BuildMemberBitmap;
-using internal::BuildSharedFilters;
-using internal::MemberBindFault;
-using internal::QueryMatchBatch;
-using internal::SharedDimFilter;
-using internal::SharedScanKernel;
-
-// Matches one morsel produced for the live queries of a shared pass:
-// parallel (packed key, measure) streams, one per live query, each in
-// ascending row order. Concatenating buffers in morsel order therefore
-// replays the serial operator's exact aggregation sequence per query.
-struct MatchBuffer {
-  std::vector<std::vector<uint64_t>> keys;
-  std::vector<std::vector<double>> values;
-
-  void InitSlots(size_t n) {
-    keys.resize(n);
-    values.resize(n);
-  }
-  void Push(size_t slot, uint64_t key, double value) {
-    keys[slot].push_back(key);
-    values[slot].push_back(value);
-  }
-  void Append(size_t slot, const uint64_t* k, const double* v, size_t n) {
-    keys[slot].insert(keys[slot].end(), k, k + n);
-    values[slot].insert(values[slot].end(), v, v + n);
-  }
-};
-
-size_t EffectiveWorkers(const ParallelPolicy& policy) {
-  if (!policy.engaged()) return 1;
-  return std::min(policy.parallelism, policy.pool->num_threads());
-}
-
-uint64_t MorselRowsFor(const ParallelPolicy& policy, uint64_t num_rows,
-                       uint64_t rows_per_page, size_t workers) {
-  if (policy.morsel_rows > 0) return policy.morsel_rows;
-  return MorselDispatcher::DefaultMorselRows(num_rows, rows_per_page,
-                                             workers);
-}
-
-// Feeds one morsel's buffer to the live queries' aggregators, in slot
-// order. Per-aggregator order is all that matters for bit-identity: each
-// query's stream is row-ascending within the morsel, and the batch fold is
-// element-wise identical to per-tuple Add.
-void MergeBuffer(const MatchBuffer& buffer, std::vector<BoundQuery>& bound) {
-  for (size_t slot = 0; slot < bound.size(); ++slot) {
-    bound[slot].AccumulateRawBatch(buffer.keys[slot].data(),
-                                   buffer.values[slot].data(),
-                                   buffer.keys[slot].size());
-  }
-}
-
-}  // namespace
 
 Result<SharedOutcome> ParallelSharedHybridStarJoin(
     const StarSchema& schema,
@@ -80,179 +16,15 @@ Result<SharedOutcome> ParallelSharedHybridStarJoin(
     const std::vector<const DimensionalQuery*>& index_queries,
     const MaterializedView& view, DiskModel& disk,
     const ParallelPolicy& policy) {
-  if (hash_queries.empty() && index_queries.empty()) {
-    return Status::InvalidArgument("shared hybrid star join with no queries");
-  }
-  if (hash_queries.size() > kMaxClassQueries) {
-    return Status::InvalidArgument(StrFormat(
-        "shared hybrid star join: %zu hash members exceed the class limit "
-        "of %zu",
-        hash_queries.size(), kMaxClassQueries));
-  }
-  const size_t n_hash = hash_queries.size();
-  SharedOutcome out;
-  out.results.resize(n_hash + index_queries.size());
-  out.statuses.resize(n_hash + index_queries.size());
-
-  disk.TakeFault();  // discard faults latched by earlier, unrelated work
-
-  // Per-member private phases run on the calling thread, exactly as in the
-  // serial operator: faults here are attributed to one member and charged
-  // to the parent DiskModel.
-  std::vector<const DimensionalQuery*> live_hash;
-  std::vector<size_t> live_hash_slots;
-  for (size_t i = 0; i < hash_queries.size(); ++i) {
-    Status s = MemberBindFault(*hash_queries[i]);
-    if (!s.ok()) {
-      out.statuses[i] = std::move(s);
-      continue;
-    }
-    live_hash.push_back(hash_queries[i]);
-    live_hash_slots.push_back(i);
-  }
-
-  std::vector<const DimensionalQuery*> live_index;
-  std::vector<size_t> live_index_slots;
-  std::vector<Bitmap> index_bitmaps;
-  std::vector<std::vector<const DimPredicate*>> index_residual_preds;
-  for (size_t i = 0; i < index_queries.size(); ++i) {
-    const size_t slot = n_hash + i;
-    Status s = MemberBindFault(*index_queries[i]);
-    if (s.ok()) {
-      Bitmap bitmap;
-      std::vector<const DimPredicate*> residual;
-      s = BuildMemberBitmap(schema, *index_queries[i], view, disk, &bitmap,
-                            &residual);
-      if (s.ok()) {
-        live_index.push_back(index_queries[i]);
-        live_index_slots.push_back(slot);
-        index_bitmaps.push_back(std::move(bitmap));
-        index_residual_preds.push_back(std::move(residual));
-        continue;
-      }
-    }
-    out.statuses[slot] = std::move(s);
-  }
-
-  if (live_hash.empty() && live_index.empty()) return out;  // nothing left
-
-  std::vector<BoundQuery> bound;  // live hash members, then live index
-  bound.reserve(live_hash.size() + live_index.size());
-  for (const auto* q : live_hash) bound.emplace_back(schema, *q, view);
-  std::vector<ResidualFilter> index_residuals;
-  index_residuals.reserve(live_index.size());
-  for (size_t i = 0; i < live_index.size(); ++i) {
-    bound.emplace_back(schema, *live_index[i], view);
-    index_residuals.emplace_back(schema, view, index_residual_preds[i]);
-  }
-
-  const std::vector<SharedDimFilter> filters =
-      BuildSharedFilters(schema, live_hash, view);
-  const uint32_t all_mask = AllQueriesMask(live_hash.size());
-  const size_t n_live_hash = live_hash.size();
-  const size_t n_live = bound.size();
-
-  // Same span site as the serial operator. It is opened on the calling
-  // thread (workers never have a tracer bound) and stays open across
-  // ctx.MergeIntoParent(), so its I/O delta covers the merged worker
-  // counters — exactly the serial scan's counts, by the PR 2/3 guarantee.
-  static obs::Counter& scan_passes = obs::Metrics().counter("exec.scan_passes");
-  scan_passes.Add();
-  obs::ScopedSpan scan_span("exec.shared_scan");
-  scan_span.AddRows(view.table().num_rows());
-  scan_span.AddCounter("members", bound.size());
-
-  const Table& table = view.table();
-  const size_t workers = EffectiveWorkers(policy);
-  const uint64_t morsel_rows = MorselRowsFor(
-      policy, table.num_rows(), table.rows_per_page(), workers);
-  MorselDispatcher dispatcher(table.num_rows(), morsel_rows,
-                              /*window=*/4 * workers);
-  ParallelContext ctx(disk, workers);
-
-  RunMorselPipeline<MatchBuffer>(
-      policy.engaged() ? policy.pool : nullptr, workers, dispatcher, ctx,
-      [&](const Morsel& morsel, DiskModel& wdisk, MatchBuffer& buffer) {
-        buffer.InitSlots(n_live);
-        if (policy.batch.vectorized) {
-          // Same batch kernel as the serial operator, one instance (and
-          // scratch) per morsel. Morsels are contiguous row ranges, so the
-          // per-query streams stay row-ascending.
-          SharedScanKernel kernel(filters, all_mask, bound, n_live_hash,
-                                  index_bitmaps, index_residuals);
-          std::vector<QueryMatchBatch> matches(n_live);
-          RowBatcher batcher(
-              policy.batch.EffectiveBatchRows(),
-              [&](uint64_t b, uint64_t e) {
-                kernel.ProcessBatch(b, e, matches);
-                for (size_t qi = 0; qi < n_live; ++qi) {
-                  buffer.Append(qi, matches[qi].keys.data(),
-                                matches[qi].values.data(),
-                                matches[qi].size());
-                }
-              });
-          table.ScanRowRange(wdisk, morsel.begin, morsel.end,
-                             [&](uint64_t begin, uint64_t end) {
-                               wdisk.CountTuples(end - begin);
-                               wdisk.CountHashProbes((end - begin) *
-                                                     filters.size());
-                               batcher.AddRange(begin, end);
-                             });
-          batcher.Finish();
-          return;
-        }
-        table.ScanRowRange(
-            wdisk, morsel.begin, morsel.end,
-            [&](uint64_t begin, uint64_t end) {
-              wdisk.CountTuples(end - begin);
-              wdisk.CountHashProbes((end - begin) * filters.size());
-              for (uint64_t row = begin; row < end; ++row) {
-                uint32_t mask = all_mask;
-                for (const SharedDimFilter& f : filters) {
-                  mask &= f.masks[static_cast<size_t>((*f.col)[row])];
-                  if (mask == 0) break;
-                }
-                while (mask != 0) {
-                  const size_t qi =
-                      static_cast<size_t>(__builtin_ctz(mask));
-                  buffer.Push(qi, bound[qi].PackedKeyAt(row),
-                              bound[qi].MeasureAt(row));
-                  mask &= mask - 1;
-                }
-                for (size_t i = 0; i < live_index.size(); ++i) {
-                  const size_t qi = n_live_hash + i;
-                  if (index_bitmaps[i].Test(row) &&
-                      index_residuals[i].Matches(row)) {
-                    buffer.Push(qi, bound[qi].PackedKeyAt(row),
-                                bound[qi].MeasureAt(row));
-                  }
-                }
-              }
-            });
-      },
-      [&](const Morsel&, const MatchBuffer& buffer) {
-        scan_span.AddBatches(1);  // one tally per merged morsel
-        MergeBuffer(buffer, bound);
-      });
-  ctx.MergeIntoParent();
-
-  // A device fault during the shared scan takes down every member that
-  // depended on it — but only those; members failed above keep their own
-  // (more precise) statuses.
-  const Status scan_fault = disk.TakeFault();
-  if (!scan_fault.ok()) {
-    for (size_t slot : live_hash_slots) out.statuses[slot] = scan_fault;
-    for (size_t slot : live_index_slots) out.statuses[slot] = scan_fault;
-    return out;
-  }
-
-  for (size_t i = 0; i < live_hash_slots.size(); ++i) {
-    out.results[live_hash_slots[i]] = bound[i].Finish();
-  }
-  for (size_t i = 0; i < live_index_slots.size(); ++i) {
-    out.results[live_index_slots[i]] = bound[n_live_hash + i].Finish();
-  }
-  return out;
+  SharedClassRequest req;
+  req.schema = &schema;
+  req.hash_queries = hash_queries;
+  req.index_queries = index_queries;
+  req.view = &view;
+  req.disk = &disk;
+  req.policy = policy;
+  req.probe = false;
+  return ExecuteSharedClass(req);
 }
 
 Result<SharedOutcome> ParallelSharedScanStarJoin(
@@ -269,142 +41,14 @@ Result<SharedOutcome> ParallelSharedIndexStarJoin(
     const std::vector<const DimensionalQuery*>& queries,
     const MaterializedView& view, DiskModel& disk,
     const ParallelPolicy& policy) {
-  if (queries.empty()) {
-    return Status::InvalidArgument("shared index star join with no queries");
-  }
-  if (queries.size() > kMaxClassQueries) {
-    return Status::InvalidArgument(
-        StrFormat("shared index star join: %zu members exceed the class "
-                  "limit of %zu",
-                  queries.size(), kMaxClassQueries));
-  }
-  SharedOutcome out;
-  out.results.resize(queries.size());
-  out.statuses.resize(queries.size());
-
-  disk.TakeFault();
-
-  std::vector<size_t> live_slots;
-  std::vector<BoundQuery> bound;
-  std::vector<Bitmap> bitmaps;
-  std::vector<ResidualFilter> residuals;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    Status s = MemberBindFault(*queries[i]);
-    if (s.ok()) {
-      Bitmap bitmap;
-      std::vector<const DimPredicate*> residual;
-      s = BuildMemberBitmap(schema, *queries[i], view, disk, &bitmap,
-                            &residual);
-      if (s.ok()) {
-        live_slots.push_back(i);
-        bound.emplace_back(schema, *queries[i], view);
-        bitmaps.push_back(std::move(bitmap));
-        residuals.emplace_back(schema, view, residual);
-        continue;
-      }
-    }
-    out.statuses[i] = std::move(s);
-  }
-  if (live_slots.empty()) return out;
-
-  // Step 1 of §3.2's shared operator: OR the per-query result bitmaps.
-  Bitmap unioned = bitmaps[0];
-  for (size_t i = 1; i < bitmaps.size(); ++i) unioned.OrWith(bitmaps[i]);
-  const std::vector<uint64_t> positions = unioned.ToPositions();
-
-  // Same span site as the serial operator; closes after MergeIntoParent so
-  // the merged worker I/O lands in its delta.
-  static obs::Counter& probe_passes =
-      obs::Metrics().counter("exec.probe_passes");
-  probe_passes.Add();
-  obs::ScopedSpan probe_span("exec.shared_probe");
-  probe_span.AddRows(positions.size());
-  probe_span.AddCounter("members", bound.size());
-
-  // Steps 2–4, morsel-parallel: the positions array is split into ranges
-  // whose effective boundaries are snapped forward to page changes, so no
-  // page is probed (or charged) by two workers and the union of effective
-  // ranges covers every position exactly once.
-  const Table& table = view.table();
-  const uint64_t rpp = table.rows_per_page();
-  const auto effective_begin = [&](uint64_t i) {
-    while (i > 0 && i < positions.size() &&
-           positions[i] / rpp == positions[i - 1] / rpp) {
-      ++i;
-    }
-    return i;
-  };
-
-  const size_t workers = EffectiveWorkers(policy);
-  uint64_t chunk = policy.morsel_rows;
-  if (chunk == 0) {
-    chunk = std::max<uint64_t>(
-        rpp, positions.size() /
-                 std::max<uint64_t>(
-                     1, workers * MorselDispatcher::kMorselsPerWorker));
-  }
-  MorselDispatcher dispatcher(positions.size(), chunk,
-                              /*window=*/4 * workers);
-  ParallelContext ctx(disk, workers);
-
-  RunMorselPipeline<MatchBuffer>(
-      policy.engaged() ? policy.pool : nullptr, workers, dispatcher, ctx,
-      [&](const Morsel& morsel, DiskModel& wdisk, MatchBuffer& buffer) {
-        buffer.InitSlots(bound.size());
-        const uint64_t begin = effective_begin(morsel.begin);
-        const uint64_t end = effective_begin(morsel.end);
-        if (begin >= end) return;
-        if (policy.batch.vectorized) {
-          // Charge the probe exactly as the tuple path (one random read per
-          // distinct page in the sub-range), then route tuples per member
-          // by slicing its own bitmap over the sub-range's row span — the
-          // member's set rows there are exactly the probed rows it passes.
-          table.ProbePositions(
-              wdisk,
-              std::span<const uint64_t>(positions).subspan(begin,
-                                                           end - begin),
-              [](uint64_t) {});
-          wdisk.CountTuples(end - begin);
-          const uint64_t row_begin = positions[begin];
-          const uint64_t row_end = positions[end - 1] + 1;
-          for (size_t qi = 0; qi < bound.size(); ++qi) {
-            internal::ForEachIndexMemberBatch(
-                bitmaps[qi], row_begin, row_end, residuals[qi], bound[qi],
-                policy.batch.EffectiveBatchRows(),
-                [&](const uint64_t* keys, const double* values, size_t n) {
-                  buffer.Append(qi, keys, values, n);
-                });
-          }
-          return;
-        }
-        table.ProbePositions(
-            wdisk,
-            std::span<const uint64_t>(positions).subspan(begin, end - begin),
-            [&](uint64_t row) {
-              for (size_t qi = 0; qi < bound.size(); ++qi) {
-                if (bitmaps[qi].Test(row) && residuals[qi].Matches(row)) {
-                  buffer.Push(qi, bound[qi].PackedKeyAt(row),
-                              bound[qi].MeasureAt(row));
-                }
-              }
-            });
-        wdisk.CountTuples(end - begin);
-      },
-      [&](const Morsel&, const MatchBuffer& buffer) {
-        probe_span.AddBatches(1);  // one tally per merged morsel
-        MergeBuffer(buffer, bound);
-      });
-  ctx.MergeIntoParent();
-
-  const Status probe_fault = disk.TakeFault();
-  if (!probe_fault.ok()) {
-    for (size_t slot : live_slots) out.statuses[slot] = probe_fault;
-    return out;
-  }
-  for (size_t i = 0; i < live_slots.size(); ++i) {
-    out.results[live_slots[i]] = bound[i].Finish();
-  }
-  return out;
+  SharedClassRequest req;
+  req.schema = &schema;
+  req.index_queries = queries;
+  req.view = &view;
+  req.disk = &disk;
+  req.policy = policy;
+  req.probe = true;
+  return ExecuteSharedClass(req);
 }
 
 }  // namespace starshare

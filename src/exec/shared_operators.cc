@@ -2,7 +2,7 @@
 
 #include "common/fault_injector.h"
 #include "common/str_util.h"
-#include "exec/bound_query.h"
+#include "exec/operators/class_pipeline.h"
 #include "exec/shared_star_join_internal.h"
 #include "exec/star_join.h"
 #include "index/bitmap.h"
@@ -86,92 +86,10 @@ Status BuildMemberBitmap(const StarSchema& schema,
   return Status::Ok();
 }
 
-void SharedScanKernel::EmitSelected(const BoundQuery& bound,
-                                    QueryMatchBatch& out) {
-  const size_t n = sel_.size();
-  if (n == 0) return;
-  const size_t base = out.keys.size();
-  out.keys.resize(base + n);
-  out.values.resize(base + n);
-  bound.translator().PackRows(sel_.data(), n, out.keys.data() + base);
-  const double* measures = bound.measure_data();
-  double* values = out.values.data() + base;
-  const uint64_t* rows = sel_.data();
-  for (size_t i = 0; i < n; ++i) values[i] = measures[rows[i]];
-}
-
-void SharedScanKernel::ProcessBatch(uint64_t begin, uint64_t end,
-                                    std::vector<QueryMatchBatch>& out) {
-  const size_t n = static_cast<size_t>(end - begin);
-  for (QueryMatchBatch& o : out) o.Clear();
-
-  if (n_hash_ > 0) {
-    // Pass masks for the whole batch, one shared dimension filter at a
-    // time: a single dense-array load per (row, filter).
-    masks_.resize(n);
-    uint32_t any = all_mask_;
-    if (filters_.empty()) {
-      std::fill(masks_.begin(), masks_.end(), all_mask_);
-    } else {
-      {
-        const SharedDimFilter& f = filters_[0];
-        const int32_t* col = f.col->data() + begin;
-        const uint32_t* masks = f.masks.data();
-        for (size_t i = 0; i < n; ++i) {
-          masks_[i] = masks[static_cast<size_t>(col[i])];
-        }
-      }
-      for (size_t fi = 1; fi < filters_.size(); ++fi) {
-        const SharedDimFilter& f = filters_[fi];
-        const int32_t* col = f.col->data() + begin;
-        const uint32_t* masks = f.masks.data();
-        for (size_t i = 0; i < n; ++i) {
-          masks_[i] &= masks[static_cast<size_t>(col[i])];
-        }
-      }
-      any = 0;
-      for (size_t i = 0; i < n; ++i) any |= masks_[i];
-    }
-    // Per hash member: selection vector, then pack + gather + emit.
-    for (size_t qi = 0; qi < n_hash_; ++qi) {
-      const uint32_t bit = uint32_t{1} << qi;
-      if ((any & bit) == 0) continue;
-      sel_.clear();
-      for (size_t i = 0; i < n; ++i) {
-        if (masks_[i] & bit) sel_.push_back(begin + i);
-      }
-      EmitSelected(bound_[qi], out[qi]);
-    }
-  }
-
-  // Index members: slice each candidate bitmap word-at-a-time instead of
-  // Test(row) per scanned tuple, then apply the residual predicates to the
-  // (usually far smaller) candidate set.
-  for (size_t k = 0; k < index_bitmaps_.size(); ++k) {
-    sel_.clear();
-    index_bitmaps_[k].ForEachSetBitInRange(
-        begin, end, [this](uint64_t row) { sel_.push_back(row); });
-    const ResidualFilter& residual = index_residuals_[k];
-    if (!residual.empty()) {
-      size_t kept = 0;
-      for (const uint64_t row : sel_) {
-        if (residual.Matches(row)) sel_[kept++] = row;
-      }
-      sel_.resize(kept);
-    }
-    EmitSelected(bound_[n_hash_ + k], out[n_hash_ + k]);
-  }
-}
-
 }  // namespace internal
 
-using internal::AllQueriesMask;
-using internal::BuildMemberBitmap;
-using internal::BuildSharedFilters;
-using internal::MemberBindFault;
-using internal::QueryMatchBatch;
-using internal::SharedDimFilter;
-using internal::SharedScanKernel;
+// The operator-level entry points are thin shells over the unified class
+// pipeline: one lowered physical chain, serial driver (no pool).
 
 Result<SharedOutcome> TrySharedHybridStarJoin(
     const StarSchema& schema,
@@ -179,154 +97,15 @@ Result<SharedOutcome> TrySharedHybridStarJoin(
     const std::vector<const DimensionalQuery*>& index_queries,
     const MaterializedView& view, DiskModel& disk,
     const BatchConfig& batch) {
-  if (hash_queries.empty() && index_queries.empty()) {
-    return Status::InvalidArgument("shared hybrid star join with no queries");
-  }
-  if (hash_queries.size() > kMaxClassQueries) {
-    // The shared-scan pass masks carry one bit per hash member; a larger
-    // class is the planner's mistake, reported as a typed error so callers
-    // with a degradation path (Engine's fact-table fallback) can recover
-    // instead of aborting. Executor::ExecuteClass chunks oversized classes
-    // before ever reaching this operator.
-    return Status::InvalidArgument(StrFormat(
-        "shared hybrid star join: %zu hash members exceed the class limit "
-        "of %zu",
-        hash_queries.size(), kMaxClassQueries));
-  }
-  const size_t n_hash = hash_queries.size();
-  SharedOutcome out;
-  out.results.resize(n_hash + index_queries.size());
-  out.statuses.resize(n_hash + index_queries.size());
-
-  disk.TakeFault();  // discard faults latched by earlier, unrelated work
-
-  // Per-member private phases. A member failing here drops out; the shared
-  // pass runs with the survivors.
-  std::vector<const DimensionalQuery*> live_hash;
-  std::vector<size_t> live_hash_slots;
-  for (size_t i = 0; i < hash_queries.size(); ++i) {
-    Status s = MemberBindFault(*hash_queries[i]);
-    if (!s.ok()) {
-      out.statuses[i] = std::move(s);
-      continue;
-    }
-    live_hash.push_back(hash_queries[i]);
-    live_hash_slots.push_back(i);
-  }
-
-  std::vector<const DimensionalQuery*> live_index;
-  std::vector<size_t> live_index_slots;
-  std::vector<Bitmap> index_bitmaps;
-  std::vector<std::vector<const DimPredicate*>> index_residual_preds;
-  for (size_t i = 0; i < index_queries.size(); ++i) {
-    const size_t slot = n_hash + i;
-    Status s = MemberBindFault(*index_queries[i]);
-    if (s.ok()) {
-      Bitmap bitmap;
-      std::vector<const DimPredicate*> residual;
-      s = BuildMemberBitmap(schema, *index_queries[i], view, disk, &bitmap,
-                            &residual);
-      if (s.ok()) {
-        live_index.push_back(index_queries[i]);
-        live_index_slots.push_back(slot);
-        index_bitmaps.push_back(std::move(bitmap));
-        index_residual_preds.push_back(std::move(residual));
-        continue;
-      }
-    }
-    out.statuses[slot] = std::move(s);
-  }
-
-  if (live_hash.empty() && live_index.empty()) return out;  // nothing left
-
-  std::vector<BoundQuery> bound;  // live hash members, then live index
-  bound.reserve(live_hash.size() + live_index.size());
-  for (const auto* q : live_hash) bound.emplace_back(schema, *q, view);
-  std::vector<ResidualFilter> index_residuals;
-  index_residuals.reserve(live_index.size());
-  for (size_t i = 0; i < live_index.size(); ++i) {
-    bound.emplace_back(schema, *live_index[i], view);
-    index_residuals.emplace_back(schema, view, index_residual_preds[i]);
-  }
-
-  const std::vector<SharedDimFilter> filters =
-      BuildSharedFilters(schema, live_hash, view);
-  const uint32_t all_mask = AllQueriesMask(live_hash.size());
-  const size_t n_live_hash = live_hash.size();
-
-  static obs::Counter& scan_passes = obs::Metrics().counter("exec.scan_passes");
-  scan_passes.Add();
-  obs::ScopedSpan scan_span("exec.shared_scan");
-  scan_span.AddRows(view.table().num_rows());
-  scan_span.AddCounter("members", bound.size());
-  if (batch.vectorized) {
-    // Batch-at-a-time: the scan callbacks only charge I/O and feed the
-    // batcher; the kernel does the CPU work per batch. Batches span page
-    // boundaries freely — page charging is untouched.
-    SharedScanKernel kernel(filters, all_mask, bound, n_live_hash,
-                            index_bitmaps, index_residuals);
-    std::vector<QueryMatchBatch> matches(bound.size());
-    RowBatcher batcher(batch.EffectiveBatchRows(),
-                       [&](uint64_t b, uint64_t e) {
-                         scan_span.AddBatches(1);
-                         kernel.ProcessBatch(b, e, matches);
-                         for (size_t qi = 0; qi < bound.size(); ++qi) {
-                           bound[qi].AccumulateRawBatch(
-                               matches[qi].keys.data(),
-                               matches[qi].values.data(), matches[qi].size());
-                         }
-                       });
-    view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-      disk.CountTuples(end - begin);
-      disk.CountHashProbes((end - begin) * filters.size());
-      batcher.AddRange(begin, end);
-    });
-    batcher.Finish();
-  } else {
-    view.table().ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-      disk.CountTuples(end - begin);
-      for (uint64_t row = begin; row < end; ++row) {
-        // Hash members: one probe per shared dimension filter for all of
-        // them.
-        uint32_t mask = all_mask;
-        for (const SharedDimFilter& f : filters) {
-          mask &= f.masks[static_cast<size_t>((*f.col)[row])];
-          if (mask == 0) break;
-        }
-        disk.CountHashProbes(filters.size());
-        while (mask != 0) {
-          const int qi = __builtin_ctz(mask);
-          bound[static_cast<size_t>(qi)].Accumulate(row);
-          mask &= mask - 1;
-        }
-        // Index members: candidate bitmap + residual predicates used as
-        // the selection filter (§3.3).
-        for (size_t i = 0; i < index_bitmaps.size(); ++i) {
-          if (index_bitmaps[i].Test(row) && index_residuals[i].Matches(row)) {
-            bound[n_live_hash + i].Accumulate(row);
-          }
-        }
-      }
-    });
-  }
-
-  // A device fault during the shared scan takes down every member that
-  // depended on it — but only those; members failed above keep their own
-  // (more precise) statuses.
-  const Status scan_fault = disk.TakeFault();
-  if (!scan_fault.ok()) {
-    for (size_t slot : live_hash_slots) out.statuses[slot] = scan_fault;
-    for (size_t slot : live_index_slots) out.statuses[slot] = scan_fault;
-    return out;
-  }
-
-  for (size_t i = 0; i < live_hash_slots.size(); ++i) {
-    out.results[live_hash_slots[i]] = bound[i].Finish();
-  }
-  for (size_t i = 0; i < live_index_slots.size(); ++i) {
-    out.results[live_index_slots[i]] = bound[n_live_hash + i].Finish();
-  }
-  return out;
+  SharedClassRequest req;
+  req.schema = &schema;
+  req.hash_queries = hash_queries;
+  req.index_queries = index_queries;
+  req.view = &view;
+  req.disk = &disk;
+  req.policy.batch = batch;
+  req.probe = false;
+  return ExecuteSharedClass(req);
 }
 
 Result<SharedOutcome> TrySharedIndexStarJoin(
@@ -334,92 +113,14 @@ Result<SharedOutcome> TrySharedIndexStarJoin(
     const std::vector<const DimensionalQuery*>& queries,
     const MaterializedView& view, DiskModel& disk,
     const BatchConfig& batch) {
-  if (queries.empty()) {
-    return Status::InvalidArgument("shared index star join with no queries");
-  }
-  if (queries.size() > kMaxClassQueries) {
-    return Status::InvalidArgument(
-        StrFormat("shared index star join: %zu members exceed the class "
-                  "limit of %zu",
-                  queries.size(), kMaxClassQueries));
-  }
-  SharedOutcome out;
-  out.results.resize(queries.size());
-  out.statuses.resize(queries.size());
-
-  disk.TakeFault();
-
-  std::vector<size_t> live_slots;
-  std::vector<BoundQuery> bound;
-  std::vector<Bitmap> bitmaps;
-  std::vector<ResidualFilter> residuals;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    Status s = MemberBindFault(*queries[i]);
-    if (s.ok()) {
-      Bitmap bitmap;
-      std::vector<const DimPredicate*> residual;
-      s = BuildMemberBitmap(schema, *queries[i], view, disk, &bitmap,
-                            &residual);
-      if (s.ok()) {
-        live_slots.push_back(i);
-        bound.emplace_back(schema, *queries[i], view);
-        bitmaps.push_back(std::move(bitmap));
-        residuals.emplace_back(schema, view, residual);
-        continue;
-      }
-    }
-    out.statuses[i] = std::move(s);
-  }
-  if (live_slots.empty()) return out;
-
-  // Step 1 of §3.2's shared operator: OR the per-query result bitmaps.
-  Bitmap unioned = bitmaps[0];
-  for (size_t i = 1; i < bitmaps.size(); ++i) unioned.OrWith(bitmaps[i]);
-
-  // Steps 2–4: one probe pass; split tuples to their group-bys by testing
-  // each query's bitmap at the tuple position.
-  const std::vector<uint64_t> positions = unioned.ToPositions();
-  static obs::Counter& probe_passes =
-      obs::Metrics().counter("exec.probe_passes");
-  probe_passes.Add();
-  obs::ScopedSpan probe_span("exec.shared_probe");
-  probe_span.AddRows(positions.size());
-  probe_span.AddCounter("members", bound.size());
-  if (batch.vectorized) {
-    // Charge the shared probe exactly as the tuple path does (one random
-    // read per distinct page of the union), then route tuples per member by
-    // slicing that member's own bitmap word-at-a-time — its set rows are a
-    // subset of the probed union, visited in the same ascending order.
-    view.table().ProbePositions(disk, positions, [](uint64_t) {});
-    disk.CountTuples(positions.size());
-    for (size_t qi = 0; qi < bound.size(); ++qi) {
-      internal::ForEachIndexMemberBatch(
-          bitmaps[qi], 0, bitmaps[qi].num_bits(), residuals[qi], bound[qi],
-          batch.EffectiveBatchRows(),
-          [&](const uint64_t* keys, const double* values, size_t n) {
-            bound[qi].AccumulateRawBatch(keys, values, n);
-          });
-    }
-  } else {
-    view.table().ProbePositions(disk, positions, [&](uint64_t row) {
-      for (size_t qi = 0; qi < bound.size(); ++qi) {
-        if (bitmaps[qi].Test(row) && residuals[qi].Matches(row)) {
-          bound[qi].Accumulate(row);
-        }
-      }
-    });
-    disk.CountTuples(positions.size());
-  }
-
-  const Status probe_fault = disk.TakeFault();
-  if (!probe_fault.ok()) {
-    for (size_t slot : live_slots) out.statuses[slot] = probe_fault;
-    return out;
-  }
-  for (size_t i = 0; i < live_slots.size(); ++i) {
-    out.results[live_slots[i]] = bound[i].Finish();
-  }
-  return out;
+  SharedClassRequest req;
+  req.schema = &schema;
+  req.index_queries = queries;
+  req.view = &view;
+  req.disk = &disk;
+  req.policy.batch = batch;
+  req.probe = true;
+  return ExecuteSharedClass(req);
 }
 
 std::vector<QueryResult> SharedHybridStarJoin(

@@ -1,6 +1,6 @@
-// Internals shared by the serial (shared_operators.cc) and morsel-parallel
-// (parallel_operators.cc) implementations of the §3 shared operators. Not
-// part of the public operator API.
+// Internals shared by the §3 class pipeline (exec/operators/) and its
+// operator-level entry points (shared_operators.cc). Not part of the public
+// operator API.
 
 #ifndef STARSHARE_EXEC_SHARED_STAR_JOIN_INTERNAL_H_
 #define STARSHARE_EXEC_SHARED_STAR_JOIN_INTERNAL_H_
@@ -9,9 +9,7 @@
 
 #include "common/status.h"
 #include "cube/materialized_view.h"
-#include "exec/bound_query.h"
 #include "exec/star_join.h"
-#include "exec/vector_batch.h"
 #include "index/bitmap.h"
 #include "query/query.h"
 #include "storage/disk_model.h"
@@ -51,109 +49,6 @@ Status BuildMemberBitmap(const StarSchema& schema,
                          const MaterializedView& view, DiskModel& disk,
                          Bitmap* bitmap,
                          std::vector<const DimPredicate*>* residual);
-
-// ---------------------------------------------------------------------------
-// Vectorized batch kernels (DESIGN.md "Vectorized execution model"). Shared
-// by the serial (shared_operators.cc) and morsel-parallel
-// (parallel_operators.cc) operators so both paths compute the exact same
-// per-query match streams — ascending row order within a batch, batches in
-// ascending row order — and therefore the exact same aggregation fold as
-// tuple-at-a-time execution.
-
-// One query's matches from one batch: parallel (packed key, measure value)
-// arrays, ascending row order.
-struct QueryMatchBatch {
-  std::vector<uint64_t> keys;
-  std::vector<double> values;
-
-  void Clear() {
-    keys.clear();
-    values.clear();
-  }
-  size_t size() const { return keys.size(); }
-};
-
-// Batch kernel for one shared scan pass over a class (hash members first,
-// then index members, matching the `bound` layout). Per batch it evaluates
-// every shared dimension filter column-at-a-time into per-row pass masks,
-// turns each hash member's mask bit into a selection vector, slices each
-// index member's candidate bitmap word-at-a-time (ctz), applies residual
-// predicates, and emits per-query matches through the members' dense
-// translation arrays. Owns the batch scratch: one instance per executing
-// thread.
-class SharedScanKernel {
- public:
-  SharedScanKernel(const std::vector<SharedDimFilter>& filters,
-                   uint32_t all_mask, const std::vector<BoundQuery>& bound,
-                   size_t n_hash, const std::vector<Bitmap>& index_bitmaps,
-                   const std::vector<ResidualFilter>& index_residuals)
-      : filters_(filters),
-        all_mask_(all_mask),
-        bound_(bound),
-        n_hash_(n_hash),
-        index_bitmaps_(index_bitmaps),
-        index_residuals_(index_residuals) {}
-
-  // Processes the contiguous rows [begin, end). `out` must hold one entry
-  // per bound query; every entry is cleared and refilled.
-  void ProcessBatch(uint64_t begin, uint64_t end,
-                    std::vector<QueryMatchBatch>& out);
-
- private:
-  // Packs keys and gathers measures for the rows in sel_ into `out`.
-  void EmitSelected(const BoundQuery& bound, QueryMatchBatch& out);
-
-  const std::vector<SharedDimFilter>& filters_;
-  uint32_t all_mask_;
-  const std::vector<BoundQuery>& bound_;
-  size_t n_hash_;
-  const std::vector<Bitmap>& index_bitmaps_;
-  const std::vector<ResidualFilter>& index_residuals_;
-
-  std::vector<uint32_t> masks_;  // per-row pass masks of the current batch
-  std::vector<uint64_t> sel_;    // selection vector (absolute row ids)
-};
-
-// Streams one index member's candidate rows in [row_begin, row_end) —
-// its bitmap sliced word-at-a-time, residual-filtered — through
-// `sink(keys, values, n)` in ascending row order, batch-at-a-time. Used by
-// the shared index operator, where each member filters the shared probe
-// stream through its own bitmap.
-template <typename Sink>
-void ForEachIndexMemberBatch(const Bitmap& bitmap, uint64_t row_begin,
-                             uint64_t row_end,
-                             const ResidualFilter& residual,
-                             const BoundQuery& bound, size_t batch_rows,
-                             Sink&& sink) {
-  if (batch_rows == 0) batch_rows = kDefaultBatchRows;
-  std::vector<uint64_t> rows;
-  rows.reserve(batch_rows);
-  std::vector<uint64_t> keys;
-  std::vector<double> values;
-  const auto flush = [&] {
-    if (rows.empty()) return;
-    if (!residual.empty()) {
-      size_t kept = 0;
-      for (const uint64_t row : rows) {
-        if (residual.Matches(row)) rows[kept++] = row;
-      }
-      rows.resize(kept);
-      if (rows.empty()) return;
-    }
-    keys.resize(rows.size());
-    values.resize(rows.size());
-    bound.translator().PackRows(rows.data(), rows.size(), keys.data());
-    const double* measures = bound.measure_data();
-    for (size_t i = 0; i < rows.size(); ++i) values[i] = measures[rows[i]];
-    sink(keys.data(), values.data(), keys.size());
-    rows.clear();
-  };
-  bitmap.ForEachSetBitInRange(row_begin, row_end, [&](uint64_t row) {
-    rows.push_back(row);
-    if (rows.size() == batch_rows) flush();
-  });
-  flush();
-}
 
 }  // namespace internal
 }  // namespace starshare

@@ -1,0 +1,73 @@
+// Lowering: GlobalPlan (the optimizer's class/member structure) down to the
+// PhysicalPlan DAG the exec layer runs. One shared class becomes the §3
+// operator chain its members' methods call for:
+//
+//   hash-only (§3.1)   Aggregate <- [Route] <- StarJoinFilter <- Scan
+//   index-only (§3.2)  Aggregate <- [Route] <- BitmapFilter <- IndexUnionProbe
+//   hybrid (§3.3)      Aggregate <- [Route] <- BitmapFilter
+//                        <- StarJoinFilter <- Scan
+//
+// Route appears only when the class has more than one member. Cost-model
+// estimates annotate the nodes: shared I/O on the source, shared CPU on the
+// top filter, per-member totals on Route, the class total on Aggregate.
+// The executor lowers through these same helpers at run time, so a plan
+// lowered here and the tree that actually executed have identical shape
+// (PhysicalPlan::ShapeHash) by construction.
+
+#ifndef STARSHARE_PLAN_LOWERING_H_
+#define STARSHARE_PLAN_LOWERING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "plan/physical_plan.h"
+#include "plan/plan.h"
+
+namespace starshare {
+
+// The nodes of one lowered class chain; absent nodes are kNoPhysNode.
+struct LoweredClassNodes {
+  size_t aggregate = kNoPhysNode;
+  size_t route = kNoPhysNode;
+  size_t bitmap_filter = kNoPhysNode;
+  size_t star_join_filter = kNoPhysNode;
+  size_t source = kNoPhysNode;  // Scan or IndexUnionProbe
+};
+
+// Lowers one shared class of n_hash hash-scan members and n_index
+// index-probe members over the view named by `detail`. `probe` selects the
+// §3.2 IndexUnionProbe source (callers pass n_hash == 0 then); otherwise
+// the chain scans (§3.1, or §3.3 when n_index > 0). `cls` optionally
+// carries cost estimates; `query_id` tags single-query chains.
+LoweredClassNodes LowerSharedClass(PhysicalPlan& plan, size_t parent,
+                                   const std::string& detail, size_t n_hash,
+                                   size_t n_index, bool probe, int query_id,
+                                   const ClassPlan* cls);
+
+// Lowers the single-query chain (unshared baseline, naive mode, fact-table
+// fallback): a one-member class of the query's join method.
+LoweredClassNodes LowerSingleQuery(PhysicalPlan& plan, size_t parent,
+                                   const std::string& detail, int query_id,
+                                   JoinMethod method, const LocalPlan* local);
+
+// The view-build plan shape: one Aggregate folding `num_scans` source
+// scans (1 for Build/BuildMany, 2 for Refresh: the view then the delta).
+struct LoweredViewBuild {
+  size_t aggregate = kNoPhysNode;
+  std::vector<size_t> scans;
+};
+LoweredViewBuild LowerViewBuild(PhysicalPlan& plan, const std::string& detail,
+                                size_t num_scans);
+
+// Lowers every class of a GlobalPlan (one root chain per executed class,
+// mirroring the executor's oversized-class chunking exactly). This is the
+// planning-time twin of execution: its ShapeHash equals the executed
+// tree's for a fault-free shared run, and benches stamp it into
+// BENCH_*.json to make plan drift visible.
+void LowerGlobalPlan(PhysicalPlan& phys, const GlobalPlan& plan,
+                     const StarSchema& schema);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_PLAN_LOWERING_H_

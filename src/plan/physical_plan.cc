@@ -1,0 +1,196 @@
+#include "plan/physical_plan.h"
+
+#include "common/macros.h"
+#include "common/str_util.h"
+
+namespace starshare {
+namespace {
+
+// Matches the trace renderer's compact io form: non-zero fields only, fixed
+// order, nothing at all when the node charged no I/O.
+void AppendIo(const IoStats& io, std::string& out) {
+  if (io == IoStats()) return;
+  out += " io=[";
+  bool first = true;
+  auto field = [&](const char* key, uint64_t value) {
+    if (value == 0) return;
+    out += StrFormat("%s%s=%llu", first ? "" : " ", key,
+                     static_cast<unsigned long long>(value));
+    first = false;
+  };
+  field("seq", io.seq_pages_read);
+  field("rand", io.rand_pages_read);
+  field("idx", io.index_pages_read);
+  field("wr", io.pages_written);
+  field("cached", io.cached_pages);
+  field("tuples", io.tuples_processed);
+  field("probes", io.hash_probes);
+  out += ']';
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void HashBytes(const void* data, size_t n, uint64_t& h) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t v, uint64_t& h) { HashBytes(&v, sizeof(v), h); }
+
+}  // namespace
+
+const char* PhysOpKindName(PhysOpKind kind) {
+  switch (kind) {
+    case PhysOpKind::kScan:
+      return "Scan";
+    case PhysOpKind::kIndexUnionProbe:
+      return "IndexUnionProbe";
+    case PhysOpKind::kBitmapFilter:
+      return "BitmapFilter";
+    case PhysOpKind::kRoute:
+      return "Route";
+    case PhysOpKind::kStarJoinFilter:
+      return "StarJoinFilter";
+    case PhysOpKind::kAggregate:
+      return "Aggregate";
+    case PhysOpKind::kCacheLookup:
+      return "CacheLookup";
+    case PhysOpKind::kFallback:
+      return "Fallback";
+  }
+  return "?";
+}
+
+const char* PhysOpSpanName(PhysOpKind kind) {
+  switch (kind) {
+    case PhysOpKind::kScan:
+      return "exec.shared_scan";
+    case PhysOpKind::kIndexUnionProbe:
+      return "exec.shared_probe";
+    case PhysOpKind::kBitmapFilter:
+      return "exec.bitmap_filter";
+    case PhysOpKind::kRoute:
+      return "exec.route";
+    case PhysOpKind::kStarJoinFilter:
+      return "exec.star_join_filter";
+    case PhysOpKind::kAggregate:
+      return "exec.aggregate";
+    case PhysOpKind::kCacheLookup:
+      return "exec.cache_lookup";
+    case PhysOpKind::kFallback:
+      return "exec.fallback";
+  }
+  return "?";
+}
+
+size_t PhysicalPlan::AddNode(PhysOpKind kind, std::string detail,
+                             int query_id, size_t parent) {
+  const size_t index = nodes_.size();
+  PhysicalNode& node = nodes_.emplace_back();
+  node.kind = kind;
+  node.detail = std::move(detail);
+  node.query_id = query_id;
+  if (parent == kNoPhysNode) {
+    roots_.push_back(index);
+  } else {
+    SS_DCHECK(parent < index);
+    nodes_[parent].children.push_back(index);
+  }
+  return index;
+}
+
+void PhysicalPlan::AdoptRootsAsChildren(size_t parent, size_t first_root) {
+  SS_CHECK(parent < nodes_.size());
+  SS_CHECK(first_root <= roots_.size());
+  for (size_t i = first_root; i < roots_.size(); ++i) {
+    if (roots_[i] == parent) continue;
+    nodes_[parent].children.push_back(roots_[i]);
+  }
+  roots_.resize(first_root);
+}
+
+void PhysicalPlan::Render(size_t index, int depth, bool analyze,
+                          const DiskTimings* timings,
+                          std::string& out) const {
+  const PhysicalNode& node = nodes_[index];
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += PhysOpKindName(node.kind);
+  if (!node.detail.empty()) out += StrFormat("(%s)", node.detail.c_str());
+  if (node.query_id >= 0) out += StrFormat(" q%d", node.query_id);
+  if (node.est_ms >= 0.0) out += StrFormat(" est=%.3fms", node.est_ms);
+  if (analyze && node.executed) {
+    out += StrFormat(" act=%.3fms", timings->ModeledIoMs(node.actual_io));
+    if (node.actual_rows > 0) {
+      out += StrFormat(" rows=%llu",
+                       static_cast<unsigned long long>(node.actual_rows));
+    }
+    AppendIo(node.actual_io, out);
+    for (const auto& [key, value] : node.counters) {
+      out += StrFormat(" %s=%llu", key.c_str(),
+                       static_cast<unsigned long long>(value));
+    }
+    if (node.status_code != 0) {
+      out += StrFormat(" status=%s", obs::StatusCodeName(node.status_code));
+    }
+  } else if (analyze) {
+    out += " (not executed)";
+  }
+  out += '\n';
+  for (const PhysicalMemberStat& member : node.member_stats) {
+    out.append(static_cast<size_t>(depth + 1) * 2, ' ');
+    out += StrFormat("-> member q%d (%s)", member.query_id,
+                     member.method.c_str());
+    if (member.est_ms >= 0.0) out += StrFormat(" est=%.3fms", member.est_ms);
+    if (analyze) {
+      out += StrFormat(" rows=%llu",
+                       static_cast<unsigned long long>(member.rows));
+      if (member.status_code != 0) {
+        out += StrFormat(" status=%s",
+                         obs::StatusCodeName(member.status_code));
+      }
+    }
+    out += '\n';
+  }
+  for (const size_t child : node.children) {
+    Render(child, depth + 1, analyze, timings, out);
+  }
+}
+
+std::string PhysicalPlan::ToText() const {
+  std::string out;
+  for (const size_t root : roots_) {
+    Render(root, 0, /*analyze=*/false, nullptr, out);
+  }
+  return out;
+}
+
+std::string PhysicalPlan::ExplainAnalyze(const DiskTimings& timings) const {
+  std::string out;
+  for (const size_t root : roots_) {
+    Render(root, 0, /*analyze=*/true, &timings, out);
+  }
+  return out;
+}
+
+std::string PhysicalPlan::ShapeHash() const {
+  uint64_t h = kFnvOffset;
+  // Preorder walk from the roots; node kind, identity and fan-out feed the
+  // digest, execution annotations never do.
+  const auto walk = [&](auto&& self, size_t index) -> void {
+    const PhysicalNode& node = nodes_[index];
+    HashU64(static_cast<uint64_t>(node.kind), h);
+    HashU64(static_cast<uint64_t>(node.query_id) + 1, h);
+    HashBytes(node.detail.data(), node.detail.size(), h);
+    HashU64(node.children.size(), h);
+    for (const size_t child : node.children) self(self, child);
+  };
+  HashU64(roots_.size(), h);
+  for (const size_t root : roots_) walk(walk, root);
+  return StrFormat("%016llx", static_cast<unsigned long long>(h));
+}
+
+}  // namespace starshare

@@ -1,0 +1,189 @@
+// The explicit physical plan DAG every execution path runs through: the
+// optimizer's GlobalPlan is lowered (plan/lowering.h) into a tree of
+// physical nodes — the paper-§3 operator shapes — and the exec layer walks
+// that exact tree, annotating each node with the I/O, row counts and status
+// it actually observed. EXPLAIN ANALYZE renders the executed tree, so what
+// the user reads is the structure that ran, not a description of it.
+//
+// Nodes are arena-allocated inside PhysicalPlan and reference children by
+// index; a plan may hold several roots (one per executed class, plus
+// CacheLookup / Fallback roots the engine adds around them).
+
+#ifndef STARSHARE_PLAN_PHYSICAL_PLAN_H_
+#define STARSHARE_PLAN_PHYSICAL_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+#include "storage/disk_model.h"
+#include "storage/io_stats.h"
+
+namespace starshare {
+
+inline constexpr size_t kNoPhysNode = static_cast<size_t>(-1);
+
+// The eight physical operator kinds. Scan and IndexUnionProbe are sources
+// (§3.1 shared table scan; §3.2 OR-ed bitmap probe); StarJoinFilter carries
+// the shared dimension pass masks, BitmapFilter the per-member candidate
+// bitmaps (§3.3 hybrid stacks both); Route fans one shared match stream out
+// to the class members; Aggregate folds each member's stream; CacheLookup
+// and Fallback are the engine-level wrappers (result cache, fact-table
+// degradation) made visible as plan structure.
+enum class PhysOpKind {
+  kScan,
+  kIndexUnionProbe,
+  kBitmapFilter,
+  kRoute,
+  kStarJoinFilter,
+  kAggregate,
+  kCacheLookup,
+  kFallback,
+};
+
+// Stable display name ("Scan", "Route", ...).
+const char* PhysOpKindName(PhysOpKind kind);
+
+// The trace span name derived for a node of this kind — obs/ emits exactly
+// one span per executed node, so span taxonomy and plan taxonomy coincide.
+const char* PhysOpSpanName(PhysOpKind kind);
+
+// Per-member outcome recorded at the node that fans out to the members
+// (Route when present, otherwise Aggregate).
+struct PhysicalMemberStat {
+  int query_id = -1;
+  std::string method;  // JoinMethodName of the member's local plan
+  double est_ms = -1.0;
+  uint64_t rows = 0;
+  int status_code = 0;  // StatusCode as int; 0 == OK
+};
+
+struct PhysicalNode {
+  PhysOpKind kind;
+  std::string detail;  // view / spec the node works over
+  int query_id = -1;   // single-query chains and fallbacks
+  std::vector<size_t> children;
+
+  // Planning-time annotation (cost model estimate; < 0 when unannotated).
+  double est_ms = -1.0;
+
+  // Execution-time annotations, filled by NodeExec as the tree runs. The
+  // I/O delta is inclusive of children, mirroring trace span semantics.
+  bool executed = false;
+  uint64_t actual_rows = 0;
+  uint64_t batches = 0;
+  IoStats actual_io;
+  int status_code = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<PhysicalMemberStat> member_stats;
+};
+
+class PhysicalPlan {
+ public:
+  // Adds a node; with parent == kNoPhysNode it becomes a new root,
+  // otherwise it is appended to the parent's children. Returns its index.
+  size_t AddNode(PhysOpKind kind, std::string detail = "", int query_id = -1,
+                 size_t parent = kNoPhysNode);
+
+  PhysicalNode& node(size_t i) { return nodes_[i]; }
+  const PhysicalNode& node(size_t i) const { return nodes_[i]; }
+  const std::vector<PhysicalNode>& nodes() const { return nodes_; }
+  const std::vector<size_t>& roots() const { return roots_; }
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  // Reparents every root from ordinal `first_root` onward under `parent` —
+  // how the engine nests the miss-execution trees of a cached run beneath
+  // the CacheLookup node after they ran.
+  void AdoptRootsAsChildren(size_t parent, size_t first_root);
+
+  // Structure-only rendering (kinds, details, estimates).
+  std::string ToText() const;
+
+  // Estimated-vs-actual rendering of the executed tree: per node the cost
+  // model estimate, the modeled actual milliseconds of its inclusive
+  // IoStats delta under `timings`, rows, I/O and status.
+  std::string ExplainAnalyze(const DiskTimings& timings) const;
+
+  // Stable 16-hex-digit digest of the lowered tree's *shape* — node kinds,
+  // details, query ids and child structure, never actuals or estimates.
+  // Stamped into BENCH_*.json so plan drift across changes is detectable.
+  std::string ShapeHash() const;
+
+ private:
+  void Render(size_t index, int depth, bool analyze,
+              const DiskTimings* timings, std::string& out) const;
+
+  std::vector<PhysicalNode> nodes_;
+  std::vector<size_t> roots_;
+};
+
+// RAII execution scope for one physical node: opens the node's trace span
+// (name derived from the kind, estimate attached when annotated), snapshots
+// the executing DiskModel's stats, and on destruction stores the inclusive
+// IoStats delta plus rows/batches/status/counters back into the node.
+// Construct in node order, destroy innermost-first — exactly the span
+// nesting discipline — and only on the tracer thread.
+class NodeExec {
+ public:
+  NodeExec(PhysicalPlan& plan, size_t index, DiskModel& disk)
+      : plan_(plan),
+        index_(index),
+        disk_(disk),
+        at_open_(disk.stats()),
+        span_(PhysOpSpanName(plan.node(index).kind), plan.node(index).detail,
+              plan.node(index).query_id) {
+    if (plan_.node(index_).est_ms >= 0) {
+      span_.SetEstMs(plan_.node(index_).est_ms);
+    }
+  }
+  ~NodeExec() { Finish(); }
+
+  NodeExec(const NodeExec&) = delete;
+  NodeExec& operator=(const NodeExec&) = delete;
+
+  void AddRows(uint64_t n) {
+    span_.AddRows(n);
+    plan_.node(index_).actual_rows += n;
+  }
+  void AddBatches(uint64_t n) {
+    span_.AddBatches(n);
+    plan_.node(index_).batches += n;
+  }
+  void SetStatus(const Status& status) {
+    span_.SetStatus(status);
+    plan_.node(index_).status_code = static_cast<int>(status.code());
+  }
+  void AddCounter(const char* key, uint64_t value) {
+    span_.AddCounter(key, value);
+    plan_.node(index_).counters.emplace_back(key, value);
+  }
+
+  size_t index() const { return index_; }
+
+ private:
+  // Seals the node's execution record; the span closes (and takes its own
+  // identical disk delta) when the member destructor runs right after.
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    PhysicalNode& node = plan_.node(index_);
+    node.executed = true;
+    node.actual_io += disk_.stats() - at_open_;
+  }
+
+  PhysicalPlan& plan_;
+  size_t index_;
+  DiskModel& disk_;
+  IoStats at_open_;
+  bool finished_ = false;
+  obs::ScopedSpan span_;  // last member: closes before the delta is stale
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_PLAN_PHYSICAL_PLAN_H_

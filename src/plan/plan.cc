@@ -46,13 +46,13 @@ size_t GlobalPlan::NumQueries() const {
   return n;
 }
 
-size_t GlobalPlan::ClassOf(int query_id) const {
+std::optional<size_t> GlobalPlan::ClassOf(int query_id) const {
   for (size_t i = 0; i < classes.size(); ++i) {
     for (const auto& m : classes[i].members) {
       if (m.query->id() == query_id) return i;
     }
   }
-  return SIZE_MAX;
+  return std::nullopt;
 }
 
 std::string GlobalPlan::Explain(const StarSchema& schema) const {

@@ -9,6 +9,7 @@
 #ifndef STARSHARE_PLAN_PLAN_H_
 #define STARSHARE_PLAN_PLAN_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,8 +58,9 @@ struct GlobalPlan {
   double EstMs() const;
   size_t NumQueries() const;
 
-  // Finds the class index containing query id `query_id`, or SIZE_MAX.
-  size_t ClassOf(int query_id) const;
+  // Finds the class index containing query id `query_id`; nullopt when no
+  // class plans that query.
+  std::optional<size_t> ClassOf(int query_id) const;
 
   // Multi-line human-readable description, e.g.
   //   Class A'B'C'D (1,020,600 rows):

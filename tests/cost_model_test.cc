@@ -236,8 +236,9 @@ TEST(PlanTest, ExplainAndAccessors) {
   plan.classes[0].members.push_back(lp);
 
   EXPECT_EQ(plan.NumQueries(), 1u);
-  EXPECT_EQ(plan.ClassOf(7), 0u);
-  EXPECT_EQ(plan.ClassOf(8), SIZE_MAX);
+  ASSERT_TRUE(plan.ClassOf(7).has_value());
+  EXPECT_EQ(*plan.ClassOf(7), 0u);
+  EXPECT_FALSE(plan.ClassOf(8).has_value());
   EXPECT_TRUE(plan.classes[0].HasIndexMember());
   EXPECT_FALSE(plan.classes[0].HasHashMember());
   const std::string text = plan.Explain(s);

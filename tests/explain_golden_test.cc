@@ -15,6 +15,7 @@
 
 #include "core/paper_workload.h"
 #include "obs/trace.h"
+#include "plan/lowering.h"
 
 namespace starshare {
 namespace {
@@ -22,14 +23,35 @@ namespace {
 constexpr char kGolden[] =
     R"(engine.execute act=123.000ms io=[seq=59 rand=6 idx=4 tuples=20006 probes=80000] wall=--ms cpu=--ms
   exec.class(ABCD) est=60.394ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] wall=--ms cpu=--ms
-    exec.dim_filters act=0.000ms dims=4 wall=--ms cpu=--ms
-    exec.shared_scan rows=20000 act=59.000ms io=[seq=59 tuples=20000 probes=80000] members=2 wall=--ms cpu=--ms
+    exec.aggregate(ABCD) rows=12 est=60.394ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] wall=--ms cpu=--ms
+      exec.route est=0.082ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] wall=--ms cpu=--ms
+        exec.star_join_filter est=1.312ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] wall=--ms cpu=--ms
+          exec.dim_filters act=0.000ms dims=4 wall=--ms cpu=--ms
+          exec.shared_scan(ABCD) rows=20000 est=59.000ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] members=2 wall=--ms cpu=--ms
     exec.member(hash-scan) q1 rows=3 est=0.041ms act=0.000ms wall=--ms cpu=--ms
     exec.member(hash-scan) q2 rows=9 est=0.042ms act=0.000ms wall=--ms cpu=--ms
   exec.class(A'B'C'D) est=74.662ms act=64.000ms io=[rand=6 idx=4 tuples=6] wall=--ms cpu=--ms
     exec.bitmap q5 rows=6 act=4.000ms io=[idx=4] wall=--ms cpu=--ms
-    exec.shared_probe rows=6 act=60.000ms io=[rand=6 tuples=6] members=1 wall=--ms cpu=--ms
+    exec.aggregate(A'B'C'D) rows=1 est=74.662ms act=60.000ms io=[rand=6 tuples=6] wall=--ms cpu=--ms
+      exec.bitmap_filter est=0.000ms act=60.000ms io=[rand=6 tuples=6] wall=--ms cpu=--ms
+        exec.shared_probe(A'B'C'D) rows=6 est=70.612ms act=60.000ms io=[rand=6 tuples=6] members=1 wall=--ms cpu=--ms
     exec.member(index-probe) q5 rows=1 est=4.050ms act=0.000ms wall=--ms cpu=--ms
+)";
+
+// Engine::ExplainAnalyze renders the exact PhysicalPlan tree that executed
+// (plan/physical_plan.h), annotated with estimates, modeled actuals, rows
+// and I/O. Regenerate the same way: paste the ACTUAL-PHYSICAL block.
+constexpr char kGoldenPhysical[] =
+    R"(Aggregate(ABCD) est=60.394ms act=59.000ms rows=12 io=[seq=59 tuples=20000 probes=80000]
+  Route est=0.082ms act=59.000ms io=[seq=59 tuples=20000 probes=80000]
+    -> member q1 (hash-scan) est=0.041ms rows=3
+    -> member q2 (hash-scan) est=0.042ms rows=9
+    StarJoinFilter est=1.312ms act=59.000ms io=[seq=59 tuples=20000 probes=80000]
+      Scan(ABCD) est=59.000ms act=59.000ms rows=20000 io=[seq=59 tuples=20000 probes=80000] members=2
+Aggregate(A'B'C'D) est=74.662ms act=60.000ms rows=1 io=[rand=6 tuples=6]
+  -> member q5 (index-probe) est=4.050ms rows=1
+  BitmapFilter est=0.000ms act=60.000ms io=[rand=6 tuples=6]
+    IndexUnionProbe(A'B'C'D) est=70.612ms act=60.000ms rows=6 io=[rand=6 tuples=6] members=1
 )";
 
 TEST(ExplainGoldenTest, MaskedRenderingIsByteStable) {
@@ -77,6 +99,17 @@ TEST(ExplainGoldenTest, MaskedRenderingIsByteStable) {
     std::fprintf(stderr, "ACTUAL:\n%s<end>\n", text.c_str());
   }
   EXPECT_EQ(text, kGolden);
+
+  // The physical tree the run executed, rendered estimated-vs-actual. Its
+  // shape must equal the planning-time lowering of the same GlobalPlan.
+  const std::string phys = engine.ExplainAnalyze();
+  if (phys != kGoldenPhysical) {
+    std::fprintf(stderr, "ACTUAL-PHYSICAL:\n%s<end>\n", phys.c_str());
+  }
+  EXPECT_EQ(phys, kGoldenPhysical);
+  PhysicalPlan lowered;
+  LowerGlobalPlan(lowered, plan, engine.schema());
+  EXPECT_EQ(lowered.ShapeHash(), engine.last_physical_plan().ShapeHash());
 }
 
 }  // namespace

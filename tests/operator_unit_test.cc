@@ -1,0 +1,359 @@
+// Unit tests for the composable batch-pull operators (exec/operators/) in
+// isolation: synthetic inputs, hand-driven chains, no Engine and no
+// Executor. Covers the edge shapes the drivers rely on — empty input,
+// single-row batches, batch sizes that do not divide the page size — and
+// checks every operator's charging against its storage-layer oracle.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "exec/operators/aggregate_sink.h"
+#include "exec/operators/bitmap_filter.h"
+#include "exec/operators/operator.h"
+#include "exec/operators/probe_source.h"
+#include "exec/operators/scan_source.h"
+#include "exec/operators/star_join_filter.h"
+#include "exec/shared_star_join_internal.h"
+#include "exec/star_join.h"
+#include "schema/data_generator.h"
+#include "tests/test_util.h"
+
+namespace starshare {
+namespace {
+
+using testing::MakeQuery;
+using testing::SmallSchema;
+
+class OperatorUnitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DataGenerator gen(schema_, {.num_rows = 5'000, .seed = 11});
+    table_ = gen.Generate("base");
+    table_->set_id(1);
+    view_ = std::make_unique<MaterializedView>(
+        schema_, GroupBySpec::Base(schema_), table_.get());
+    view_->ComputeStats(schema_);
+    for (size_t d = 0; d < schema_.num_dims(); ++d) {
+      DiskModel scratch;
+      view_->BuildIndex(schema_, d, scratch);
+    }
+  }
+
+  StarSchema schema_ = SmallSchema();
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<MaterializedView> view_;
+};
+
+// Pulls a chain to exhaustion, appending every slot's matches into `out`
+// (the driver's job in class_pipeline.cc).
+void Drain(BatchOperator& chain, size_t num_slots,
+           std::vector<QueryMatchBatch>& out, uint64_t* batches = nullptr) {
+  out.assign(num_slots, QueryMatchBatch());
+  std::vector<QueryMatchBatch> matches(num_slots);
+  ClassBatch batch;
+  batch.matches = &matches;
+  chain.Open();
+  while (chain.NextBatch(batch)) {
+    if (batches != nullptr) ++*batches;
+    for (size_t s = 0; s < num_slots; ++s) {
+      out[s].Append(matches[s].keys.data(), matches[s].values.data(),
+                    matches[s].size());
+      matches[s].Clear();
+    }
+  }
+  chain.Close();
+}
+
+bool SameStream(const QueryMatchBatch& a, const QueryMatchBatch& b) {
+  return a.keys == b.keys &&
+         a.values.size() == b.values.size() &&
+         std::memcmp(a.values.data(), b.values.data(),
+                     a.values.size() * sizeof(double)) == 0;
+}
+
+TEST_F(OperatorUnitTest, ScanSourceChargesEveryPageOnceAtAnyBatchSize) {
+  DiskModel oracle_disk;
+  table_->ScanPages(oracle_disk, [&](uint64_t begin, uint64_t end) {
+    oracle_disk.CountTuples(end - begin);
+  });
+  const IoStats oracle = oracle_disk.stats();
+
+  for (const uint64_t batch_rows : {uint64_t{1}, uint64_t{7}, uint64_t{1024},
+                                    table_->num_rows() * 2}) {
+    DiskModel disk;
+    ScanSourceOp op(*table_, disk, 0, table_->num_rows(), batch_rows);
+    ClassBatch batch;
+    uint64_t expect_begin = 0;
+    op.Open();
+    while (op.NextBatch(batch)) {
+      EXPECT_EQ(batch.begin, expect_begin) << "batch_rows=" << batch_rows;
+      EXPECT_GT(batch.end, batch.begin);
+      EXPECT_LE(batch.end - batch.begin, batch_rows);
+      EXPECT_EQ(batch.positions, nullptr);
+      expect_begin = batch.end;
+    }
+    op.Close();
+    EXPECT_EQ(expect_begin, table_->num_rows()) << "batch_rows=" << batch_rows;
+    EXPECT_EQ(disk.stats(), oracle) << "batch_rows=" << batch_rows;
+  }
+}
+
+TEST_F(OperatorUnitTest, ScanSourceEmptyRangeEmitsNothingAndChargesNothing) {
+  DiskModel disk;
+  ScanSourceOp op(*table_, disk, 42, 42, 16);
+  ClassBatch batch;
+  op.Open();
+  EXPECT_FALSE(op.NextBatch(batch));
+  op.Close();
+  EXPECT_EQ(disk.stats(), IoStats());
+}
+
+TEST_F(OperatorUnitTest, ScanSourceSubRangeChargesOnlyTouchedPages) {
+  const uint64_t rpp = table_->rows_per_page();
+  const uint64_t begin = rpp;          // page 1
+  const uint64_t end = 3 * rpp + 1;    // reaches into page 3
+  DiskModel oracle_disk;
+  table_->ScanRowRange(oracle_disk, begin, end,
+                       [&](uint64_t b, uint64_t e) {
+                         oracle_disk.CountTuples(e - b);
+                       });
+  DiskModel disk;
+  ScanSourceOp op(*table_, disk, begin, end, 5);
+  ClassBatch batch;
+  op.Open();
+  while (op.NextBatch(batch)) {
+  }
+  op.Close();
+  EXPECT_EQ(disk.stats(), oracle_disk.stats());
+}
+
+TEST_F(OperatorUnitTest, ProbeSourceEmitsOneBatchAndMatchesProbeOracle) {
+  // Candidate positions spread across pages, including adjacent pairs on
+  // one page (must charge the page once).
+  std::vector<uint64_t> positions = {3, 4, 200, 1037, 1038, 4999};
+  DiskModel oracle_disk;
+  table_->ProbePositions(
+      oracle_disk, std::span<const uint64_t>(positions), [](uint64_t) {});
+  oracle_disk.CountTuples(positions.size());
+
+  DiskModel disk;
+  ProbeSourceOp op(*table_, disk, positions.data(), positions.size());
+  ClassBatch batch;
+  op.Open();
+  ASSERT_TRUE(op.NextBatch(batch));
+  EXPECT_EQ(batch.begin, positions.front());
+  EXPECT_EQ(batch.end, positions.back() + 1);
+  EXPECT_EQ(batch.positions, positions.data());
+  EXPECT_EQ(batch.num_positions, positions.size());
+  EXPECT_FALSE(op.NextBatch(batch));  // one-shot
+  op.Close();
+  EXPECT_EQ(disk.stats(), oracle_disk.stats());
+}
+
+TEST_F(OperatorUnitTest, ProbeSourceEmptyPositionsEmitsNothing) {
+  DiskModel disk;
+  ProbeSourceOp op(*table_, disk, nullptr, 0);
+  ClassBatch batch;
+  op.Open();
+  EXPECT_FALSE(op.NextBatch(batch));
+  op.Close();
+  EXPECT_EQ(disk.stats(), IoStats());
+}
+
+TEST_F(OperatorUnitTest, StarJoinFilterStreamsAreBatchSizeInvariant) {
+  DimensionalQuery q1 = MakeQuery(schema_, 1, "X'Y'Z", {{"X", 1, {0, 2}}});
+  DimensionalQuery q2 =
+      MakeQuery(schema_, 2, "X''Y''Z'", {{"Y", 0, {1, 3, 5, 7}}});
+  const std::vector<const DimensionalQuery*> members = {&q1, &q2};
+  const std::vector<internal::SharedDimFilter> filters =
+      internal::BuildSharedFilters(schema_, members, *view_);
+  const uint32_t all_mask = internal::AllQueriesMask(members.size());
+
+  const auto run = [&](uint64_t batch_rows, bool vectorized,
+                       std::vector<QueryMatchBatch>& out) {
+    std::vector<BoundQuery> bound;
+    bound.emplace_back(schema_, q1, *view_);
+    bound.emplace_back(schema_, q2, *view_);
+    DiskModel disk;
+    ScanSourceOp scan(*table_, disk, 0, table_->num_rows(), batch_rows);
+    StarJoinFilterOp filter(&scan, disk, filters, all_mask, bound,
+                            /*n_hash=*/2, vectorized);
+    Drain(filter, 2, out);
+    return disk.stats();
+  };
+
+  std::vector<QueryMatchBatch> reference;
+  const IoStats reference_stats = run(1024, true, reference);
+  EXPECT_GT(reference[0].size() + reference[1].size(), 0u);
+  for (const uint64_t batch_rows : {uint64_t{1}, uint64_t{13}}) {
+    for (const bool vectorized : {true, false}) {
+      std::vector<QueryMatchBatch> out;
+      const IoStats stats = run(batch_rows, vectorized, out);
+      EXPECT_TRUE(SameStream(out[0], reference[0]))
+          << "batch=" << batch_rows << " vec=" << vectorized;
+      EXPECT_TRUE(SameStream(out[1], reference[1]))
+          << "batch=" << batch_rows << " vec=" << vectorized;
+      EXPECT_EQ(stats, reference_stats)
+          << "batch=" << batch_rows << " vec=" << vectorized;
+    }
+  }
+}
+
+TEST_F(OperatorUnitTest, StarJoinFilterEmptyInputEmitsNoMatches) {
+  DimensionalQuery q1 = MakeQuery(schema_, 1, "X'Y'Z", {{"X", 1, {0, 2}}});
+  const std::vector<const DimensionalQuery*> members = {&q1};
+  const std::vector<internal::SharedDimFilter> filters =
+      internal::BuildSharedFilters(schema_, members, *view_);
+  std::vector<BoundQuery> bound;
+  bound.emplace_back(schema_, q1, *view_);
+  DiskModel disk;
+  ScanSourceOp scan(*table_, disk, 0, 0, 1024);
+  StarJoinFilterOp filter(&scan, disk, filters, 1u, bound, 1, true);
+  std::vector<QueryMatchBatch> out;
+  Drain(filter, 1, out);
+  EXPECT_EQ(out[0].size(), 0u);
+  EXPECT_EQ(disk.stats(), IoStats());
+}
+
+TEST_F(OperatorUnitTest, BitmapFilterScanAndProbeModesAgree) {
+  DimensionalQuery q = MakeQuery(schema_, 5, "Y''Z", {{"Z", 0, {2, 4, 6}}});
+  DiskModel index_disk;
+  Bitmap bitmap;
+  std::vector<const DimPredicate*> residual;
+  ASSERT_TRUE(internal::BuildMemberBitmap(schema_, q, *view_, index_disk,
+                                          &bitmap, &residual)
+                  .ok());
+  std::vector<Bitmap> bitmaps;
+  bitmaps.push_back(std::move(bitmap));
+  std::vector<ResidualFilter> residuals;
+  residuals.emplace_back(schema_, *view_, residual);
+  const std::vector<uint64_t> positions = bitmaps[0].ToPositions();
+  ASSERT_FALSE(positions.empty());
+
+  // §3.3 scan mode: slice the bitmap over each scanned span.
+  const auto run_scan = [&](const BatchConfig& cfg,
+                            std::vector<QueryMatchBatch>& out) {
+    std::vector<BoundQuery> bound;
+    bound.emplace_back(schema_, q, *view_);
+    DiskModel disk;
+    ScanSourceOp scan(*table_, disk, 0, table_->num_rows(),
+                      cfg.EffectiveBatchRows());
+    BitmapFilterOp filter(&scan, bitmaps, residuals, bound, /*slot_base=*/0,
+                          cfg);
+    Drain(filter, 1, out);
+  };
+  // §3.2 probe mode: route the probed positions through the member.
+  const auto run_probe = [&](const BatchConfig& cfg,
+                             std::vector<QueryMatchBatch>& out) {
+    std::vector<BoundQuery> bound;
+    bound.emplace_back(schema_, q, *view_);
+    DiskModel disk;
+    ProbeSourceOp probe(*table_, disk, positions.data(), positions.size());
+    BitmapFilterOp filter(&probe, bitmaps, residuals, bound, /*slot_base=*/0,
+                          cfg);
+    Drain(filter, 1, out);
+  };
+
+  std::vector<QueryMatchBatch> reference;
+  run_scan(BatchConfig{true, 1024}, reference);
+  ASSERT_GT(reference[0].size(), 0u);
+  for (const BatchConfig cfg :
+       {BatchConfig{true, 1}, BatchConfig{false, 0}, BatchConfig{true, 9}}) {
+    std::vector<QueryMatchBatch> scan_out;
+    run_scan(cfg, scan_out);
+    EXPECT_TRUE(SameStream(scan_out[0], reference[0]))
+        << "scan vec=" << cfg.vectorized << " batch=" << cfg.batch_rows;
+    std::vector<QueryMatchBatch> probe_out;
+    run_probe(cfg, probe_out);
+    EXPECT_TRUE(SameStream(probe_out[0], reference[0]))
+        << "probe vec=" << cfg.vectorized << " batch=" << cfg.batch_rows;
+  }
+}
+
+TEST_F(OperatorUnitTest, BitmapFilterOverEmptyProbeEmitsNothing) {
+  DimensionalQuery q = MakeQuery(schema_, 5, "Y''Z", {{"Z", 0, {2, 4, 6}}});
+  std::vector<Bitmap> bitmaps;
+  bitmaps.emplace_back(table_->num_rows());  // all-zero bitmap
+  std::vector<ResidualFilter> residuals;
+  residuals.emplace_back(schema_, *view_,
+                         std::vector<const DimPredicate*>());
+  std::vector<BoundQuery> bound;
+  bound.emplace_back(schema_, q, *view_);
+  DiskModel disk;
+  ProbeSourceOp probe(*table_, disk, nullptr, 0);
+  BitmapFilterOp filter(&probe, bitmaps, residuals, bound, 0, BatchConfig());
+  std::vector<QueryMatchBatch> out;
+  Drain(filter, 1, out);
+  EXPECT_EQ(out[0].size(), 0u);
+  EXPECT_EQ(disk.stats(), IoStats());
+}
+
+TEST_F(OperatorUnitTest, AggregateSinkFoldIsChunkingInvariant) {
+  DimensionalQuery q = MakeQuery(schema_, 1, "X'Y'Z", {{"X", 1, {0, 2}}});
+
+  // The full match stream of the query over the view, produced once.
+  std::vector<QueryMatchBatch> stream;
+  {
+    const std::vector<const DimensionalQuery*> members = {&q};
+    const auto filters =
+        internal::BuildSharedFilters(schema_, members, *view_);
+    std::vector<BoundQuery> bound;
+    bound.emplace_back(schema_, q, *view_);
+    DiskModel disk;
+    ScanSourceOp scan(*table_, disk, 0, table_->num_rows(), 1024);
+    StarJoinFilterOp filter(&scan, disk, filters, 1u, bound, 1, true);
+    Drain(filter, 1, stream);
+  }
+  ASSERT_GT(stream[0].size(), 2u);
+
+  const auto fold = [&](const std::vector<size_t>& cuts) {
+    std::vector<BoundQuery> bound;
+    bound.emplace_back(schema_, q, *view_);
+    AggregateSink sink(bound);
+    std::vector<QueryMatchBatch> slot(1);
+    size_t at = 0;
+    for (const size_t cut : cuts) {
+      slot[0].Clear();
+      slot[0].Append(stream[0].keys.data() + at,
+                     stream[0].values.data() + at, cut - at);
+      sink.Consume(slot);
+      at = cut;
+    }
+    slot[0].Clear();
+    slot[0].Append(stream[0].keys.data() + at, stream[0].values.data() + at,
+                   stream[0].size() - at);
+    sink.Consume(slot);
+    // Empty trailing batch: must be a no-op.
+    slot[0].Clear();
+    sink.Consume(slot);
+    return bound[0].Finish();
+  };
+
+  const QueryResult whole = fold({});
+  const QueryResult rows_of_one = fold([&] {
+    std::vector<size_t> cuts;
+    for (size_t i = 1; i < stream[0].size(); ++i) cuts.push_back(i);
+    return cuts;
+  }());
+  const QueryResult lopsided = fold({1, stream[0].size() / 2});
+
+  const auto identical = [](const QueryResult& a, const QueryResult& b) {
+    if (a.num_rows() != b.num_rows()) return false;
+    for (size_t i = 0; i < a.num_rows(); ++i) {
+      if (a.rows()[i].keys != b.rows()[i].keys) return false;
+      if (std::memcmp(&a.rows()[i].value, &b.rows()[i].value,
+                      sizeof(double)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  EXPECT_TRUE(identical(rows_of_one, whole));
+  EXPECT_TRUE(identical(lopsided, whole));
+}
+
+}  // namespace
+}  // namespace starshare
