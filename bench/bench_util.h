@@ -42,16 +42,28 @@ struct Measurement {
   double cpu_ms = 0;
   IoStats io;
   double modeled_io_ms = 0;
+  // Memory accounting for the measured run: the per-node peak memory
+  // high-water (exec.mem.peak_bytes) and the spill activity it drove.
+  // Spill I/O is real scratch-file I/O, never part of `io`.
+  uint64_t peak_mem_bytes = 0;
+  uint64_t spill_runs = 0;
+  uint64_t spill_bytes = 0;
 
   double TotalMs() const { return cpu_ms + modeled_io_ms; }
 };
 
 // Runs `fn` against `engine` with clean I/O counters and returns the
-// measurement triple.
+// measurement triple plus the run's peak memory and spill counters.
 template <typename Fn>
 Measurement Measure(Engine& engine, Fn&& fn) {
   engine.FlushCaches();
   engine.ConsumeIoStats();
+  obs::Gauge& peak = obs::Metrics().gauge("exec.mem.peak_bytes");
+  obs::Counter& spill_runs = obs::Metrics().counter("exec.spill.runs");
+  obs::Counter& spill_bytes = obs::Metrics().counter("exec.spill.bytes");
+  peak.Set(0);
+  const uint64_t runs_before = spill_runs.value();
+  const uint64_t bytes_before = spill_bytes.value();
   const auto start = std::chrono::steady_clock::now();
   fn();
   const auto end = std::chrono::steady_clock::now();
@@ -59,6 +71,9 @@ Measurement Measure(Engine& engine, Fn&& fn) {
   m.cpu_ms = std::chrono::duration<double, std::milli>(end - start).count();
   m.io = engine.ConsumeIoStats();
   m.modeled_io_ms = engine.ModeledIoMs(m.io);
+  m.peak_mem_bytes = static_cast<uint64_t>(peak.value());
+  m.spill_runs = spill_runs.value() - runs_before;
+  m.spill_bytes = spill_bytes.value() - bytes_before;
   return m;
 }
 
@@ -154,6 +169,8 @@ class BenchReport {
           "\"seq_pages\": %llu, \"rand_pages\": %llu, \"index_pages\": %llu, "
           "\"pages_written\": %llu, \"cached_pages\": %llu, "
           "\"tuples\": %llu, \"hash_probes\": %llu, "
+          "\"peak_mem_bytes\": %llu, \"spill_runs\": %llu, "
+          "\"spill_bytes\": %llu, "
           "\"modeled_io_ms\": %.3f, \"total_ms\": %.3f}%s\n",
           Quoted(config).c_str(), m.cpu_ms,
           static_cast<unsigned long long>(m.io.seq_pages_read),
@@ -163,6 +180,9 @@ class BenchReport {
           static_cast<unsigned long long>(m.io.cached_pages),
           static_cast<unsigned long long>(m.io.tuples_processed),
           static_cast<unsigned long long>(m.io.hash_probes),
+          static_cast<unsigned long long>(m.peak_mem_bytes),
+          static_cast<unsigned long long>(m.spill_runs),
+          static_cast<unsigned long long>(m.spill_bytes),
           m.modeled_io_ms, m.TotalMs(), i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"metrics\": {");

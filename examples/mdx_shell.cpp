@@ -165,6 +165,29 @@ int main(int argc, char** argv) {
         std::printf("EXPLAIN ANALYZE %s\n", explain ? "on" : "off");
       } else if (line == "\\metrics") {
         std::printf("%s", obs::Metrics().ToText().c_str());
+      } else if (line == "\\mem" || StartsWith(line, "\\mem ")) {
+        // \mem BYTES caps aggregation memory (0 restores unbounded);
+        // \mem alone shows the current budget. Spill activity shows up in
+        // EXPLAIN ANALYZE (mem=/spill_runs) and \metrics (exec.spill.*).
+        if (line == "\\mem") {
+          const uint64_t budget = engine.memory_budget_bytes();
+          if (budget == 0) {
+            std::printf("memory budget: unbounded\n");
+          } else {
+            std::printf("memory budget: %llu bytes\n",
+                        static_cast<unsigned long long>(budget));
+          }
+        } else {
+          const uint64_t bytes =
+              std::strtoull(line.c_str() + 5, nullptr, 10);
+          engine.set_memory_budget_bytes(bytes);
+          if (bytes == 0) {
+            std::printf("memory budget cleared (unbounded)\n");
+          } else {
+            std::printf("memory budget set to %llu bytes\n",
+                        static_cast<unsigned long long>(bytes));
+          }
+        }
       } else if (StartsWith(line, "\\opt ")) {
         auto parsed = ParseOptimizerKind(line.substr(5));
         if (parsed.ok()) {

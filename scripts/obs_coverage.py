@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Aggregates gcov line coverage for src/obs/ and gates it at a threshold.
+"""Aggregates gcov line coverage for the observability and memory-accounting
+code and gates it at a threshold.
 
 Usage: scripts/obs_coverage.py [build_dir] [threshold_pct]
 
@@ -9,15 +10,34 @@ JSON line records (gcov -t --json-format, no files written), and merges
 them per source file: a line is instrumented if any translation unit
 instruments it and covered if any translation unit executed it — this is
 what makes header-inline coverage (obs/metrics.h) add up across the many
-TUs that include it. Files outside src/obs/ are ignored. Prints a per-file
-table and exits non-zero when total src/obs/ line coverage falls below the
-threshold (default 90%).
+TUs that include it. Gated files: everything under src/obs/, plus the
+memory-accounting subsystem (exec/spill, exec/memory_budget,
+common/mem_stats). Other files are ignored. Prints a per-file table and
+exits non-zero when total gated line coverage falls below the threshold
+(default 90%).
 """
 
 import json
 import os
 import subprocess
 import sys
+
+# Path fragments whose files are coverage-gated.
+GATED = (
+    os.path.join("src", "obs") + os.sep,
+    os.path.join("src", "exec", "spill."),
+    os.path.join("src", "exec", "memory_budget."),
+    os.path.join("src", "common", "mem_stats.h"),
+)
+
+
+def gated_name(path):
+    """Returns the src/-relative name when `path` is gated, else None."""
+    idx = path.find("src" + os.sep)
+    if idx < 0:
+        return None
+    name = path[idx:]
+    return name if any(frag in name for frag in GATED) else None
 
 
 def collect_gcda(build_dir):
@@ -60,9 +80,9 @@ def main():
                 continue
             for record in doc.get("files", []):
                 path = os.path.normpath(record.get("file", ""))
-                if f"src{os.sep}obs{os.sep}" not in path:
+                name = gated_name(path)
+                if name is None:
                     continue
-                name = path[path.index(f"src{os.sep}obs{os.sep}"):]
                 inst = instrumented.setdefault(name, set())
                 cov = covered.setdefault(name, set())
                 for rec in record.get("lines", []):
@@ -74,26 +94,26 @@ def main():
                         cov.add(number)
 
     if not instrumented:
-        print("obs_coverage: no src/obs/ line records found in gcov output")
+        print("obs_coverage: no gated line records found in gcov output")
         return 1
 
     total_inst = 0
     total_cov = 0
-    print(f"{'file':<28} {'lines':>7} {'covered':>8} {'pct':>7}")
+    print(f"{'file':<34} {'lines':>7} {'covered':>8} {'pct':>7}")
     for name in sorted(instrumented):
         inst = len(instrumented[name])
         cov = len(covered.get(name, set()))
         total_inst += inst
         total_cov += cov
         pct = 100.0 * cov / inst if inst else 100.0
-        print(f"{name:<28} {inst:>7} {cov:>8} {pct:>6.1f}%")
+        print(f"{name:<34} {inst:>7} {cov:>8} {pct:>6.1f}%")
 
     total_pct = 100.0 * total_cov / total_inst if total_inst else 100.0
-    print(f"{'total src/obs/':<28} {total_inst:>7} {total_cov:>8} "
+    print(f"{'total gated':<34} {total_inst:>7} {total_cov:>8} "
           f"{total_pct:>6.1f}%")
     if total_pct < threshold:
         print(
-            f"obs_coverage: FAIL — src/obs/ line coverage {total_pct:.1f}% "
+            f"obs_coverage: FAIL — gated line coverage {total_pct:.1f}% "
             f"is below the {threshold:.0f}% gate"
         )
         return 1

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain build + full test suite, the same suite
-# under AddressSanitizer + UBSan (-DSTARSHARE_SANITIZE=ON), the threading
-# suites under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread), a perf-smoke
+# under AddressSanitizer + UBSan (-DSTARSHARE_SANITIZE=ON), a dedicated
+# ASan pass of the spilling-aggregation suite (tiny budgets exercise every
+# spill/merge/cleanup path under the leak checker), the threading suites
+# under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread), a perf-smoke
 # pass of the scan benches on a reduced row count (their internal checks
 # fail the stage if vectorized aggregate output differs from
 # tuple-at-a-time/serial, any charged page count changes, or the
 # disabled-trace overhead bound of bench_vectorized_scan is exceeded), a
 # clang-tidy pass over src/plan/ + src/exec/ (skipped when clang-tidy is
-# absent), and a coverage pass gating src/obs/ at >= 90% covered lines.
+# absent), and a coverage pass gating src/obs/ plus the memory-accounting
+# subsystem at >= 90% covered lines.
 # All stages must pass. Run from the repository root:
 #
 #   scripts/verify.sh [jobs]
@@ -28,14 +31,24 @@ ASAN_OPTIONS=detect_leaks=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
 
+echo "==> spill suite under ASan (tiny budgets, scratch hygiene, chaos)"
+# spill_aggregate_test runs budgets down to 1 byte (every batch spills),
+# injects spill.write/spill.read/budget.grant faults, and scans the
+# scratch dir after every run; under ASan's leak checker this proves the
+# spill files and buffers are released on success and failure alike.
+ASAN_OPTIONS=detect_leaks=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ctest --test-dir build-sanitize --output-on-failure \
+  -R 'spill_aggregate_test'
+
 echo "==> TSan build + threading suites"
 cmake -B build-tsan -S . -DSTARSHARE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test parallel_determinism_test parallel_chaos_test \
-  metrics_test trace_test
+  metrics_test trace_test spill_aggregate_test
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'thread_pool_test|parallel_determinism_test|parallel_chaos_test|metrics_test|trace_test'
+  -R 'thread_pool_test|parallel_determinism_test|parallel_chaos_test|metrics_test|trace_test|spill_aggregate_test'
 
 echo "==> perf-smoke: scan benches on reduced rows"
 # Each bench SS_CHECKs bit-identity against its reference execution and

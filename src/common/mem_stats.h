@@ -1,0 +1,55 @@
+// Byte-level memory accounting for execution state, the memory twin of
+// storage/io_stats.h: every physical node records how many bytes its
+// transient structures held while it ran, and EXPLAIN ANALYZE prints the
+// gauge as `mem=` next to `io=`. Unlike IoStats the fields are high-water
+// gauges, not cumulative counters — merging two snapshots keeps the peak of
+// each category, and `peak_bytes` tracks the largest simultaneous total any
+// single snapshot observed.
+
+#ifndef STARSHARE_COMMON_MEM_STATS_H_
+#define STARSHARE_COMMON_MEM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace starshare {
+
+// One memory snapshot (or the running high-water merge of many). Categories
+// follow the structures that dominate execution memory:
+//   match_bytes  — per-member match buffers (QueryMatchBatch key/value
+//                  arrays, morsel merge buffers)
+//   hash_bytes   — aggregation state (hash-table slots, spill staging
+//                  buffers, view-build cell arrays)
+//   bitmap_bytes — per-member candidate bitmaps (§3.2/§3.3)
+//   batch_bytes  — batch scratch (shared dimension pass masks, probe
+//                  position arrays, key-translation scratch)
+struct MemStats {
+  uint64_t match_bytes = 0;
+  uint64_t hash_bytes = 0;
+  uint64_t bitmap_bytes = 0;
+  uint64_t batch_bytes = 0;
+  // Largest total() any merged snapshot held at one instant.
+  uint64_t peak_bytes = 0;
+
+  uint64_t total() const {
+    return match_bytes + hash_bytes + bitmap_bytes + batch_bytes;
+  }
+
+  // High-water merge: field-wise max, with peak_bytes raised to the larger
+  // of the two peaks and the incoming snapshot's instantaneous total.
+  void MergePeak(const MemStats& snapshot) {
+    match_bytes = std::max(match_bytes, snapshot.match_bytes);
+    hash_bytes = std::max(hash_bytes, snapshot.hash_bytes);
+    bitmap_bytes = std::max(bitmap_bytes, snapshot.bitmap_bytes);
+    batch_bytes = std::max(batch_bytes, snapshot.batch_bytes);
+    peak_bytes = std::max(
+        {peak_bytes, snapshot.peak_bytes, snapshot.total()});
+  }
+
+  bool empty() const { return total() == 0 && peak_bytes == 0; }
+  bool operator==(const MemStats& other) const = default;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_COMMON_MEM_STATS_H_

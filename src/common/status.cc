@@ -19,6 +19,8 @@ const char* CodeName(StatusCode code) {
       return "CORRUPTION";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

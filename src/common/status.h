@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kCorruption,  // stored data failed validation (bad CRC, torn file)
   kUnavailable,  // transient I/O failure; retrying may succeed
+  kResourceExhausted,  // a memory grant or spill could not be satisfied
 };
 
 // The result of an operation that can fail on user input.
@@ -48,6 +49,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

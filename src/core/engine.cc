@@ -19,6 +19,7 @@ Engine::Engine(StarSchema schema, EngineConfig config)
       config_(config),
       disk_(config.disk_timings),
       cost_(schema_, config.disk_timings, config.cpu_costs),
+      memory_budget_(config.memory_budget_bytes),
       builder_(schema_),
       executor_(schema_, disk_) {
   if (config_.buffer_pool_pages > 0) {
@@ -31,6 +32,14 @@ Engine::Engine(StarSchema schema, EngineConfig config)
   }
   builder_.set_batch_config(config_.batch);
   set_parallelism(config_.parallelism);
+  const SpillConfig spill{config_.scratch_dir};
+  executor_.set_memory_budget(&memory_budget_, spill);
+  builder_.set_memory_budget(&memory_budget_, spill);
+}
+
+void Engine::set_memory_budget_bytes(uint64_t bytes) {
+  config_.memory_budget_bytes = bytes;
+  memory_budget_ = MemoryBudget(bytes);
 }
 
 void Engine::set_batch_config(const BatchConfig& batch) {

@@ -66,6 +66,19 @@ struct EngineConfig {
   // charges identical modeled I/O (see DESIGN.md "Vectorized execution
   // model"); the knob exists for benchmarking and verification.
   BatchConfig batch;
+  // Aggregation memory budget in bytes for query execution and view builds
+  // (0 = unbounded, the default). When set, each shared class's budget is
+  // split evenly across its live members; a member whose aggregation state
+  // would exceed its share spills sorted runs to scratch files and merges
+  // them at finish — results stay bit-identical to the unbudgeted run, and
+  // modeled IoStats are unchanged (spill I/O is real scratch-file I/O,
+  // reported separately as spill_runs/spill_bytes). A member that cannot
+  // proceed even by spilling fails with kResourceExhausted and degrades
+  // through the fact-table fallback alone.
+  uint64_t memory_budget_bytes = 0;
+  // Directory for spill run files (empty = $TMPDIR, else /tmp). Files are
+  // uniquely named per query and removed on success and error paths alike.
+  std::string scratch_dir;
   // Records an execution trace (span tree with per-node IoStats deltas and
   // row counts; see obs/trace.h) for every Execute* / MaterializeView(s) /
   // AppendFacts call, retrievable via Engine::last_trace(). Off by default:
@@ -115,6 +128,13 @@ class Engine {
     set_batch_config(batch);
   }
   const BatchConfig& batch_config() const { return config_.batch; }
+
+  // Runtime form of EngineConfig::memory_budget_bytes. Safe between
+  // queries, like set_parallelism; 0 restores unbounded execution.
+  void set_memory_budget_bytes(uint64_t bytes);
+  uint64_t memory_budget_bytes() const {
+    return config_.memory_budget_bytes;
+  }
 
   // ---- Data -------------------------------------------------------------
 
@@ -219,6 +239,12 @@ class Engine {
     return last_physical_plan_.ExplainAnalyze(config_.disk_timings);
   }
 
+  // The same executed tree as JSON (nested children, io/mem/counters per
+  // node) for tooling.
+  std::string ExplainAnalyzeJson() const {
+    return last_physical_plan_.ExplainAnalyzeJson(config_.disk_timings);
+  }
+
   // What degraded (and what recovered) during the most recent Execute /
   // ExecuteCached / ExecuteNaive call. clean() when nothing did.
   const ExecutionReport& last_execution_report() const { return report_; }
@@ -312,6 +338,7 @@ class Engine {
   std::unique_ptr<ResultCache> result_cache_;
   DiskModel disk_;
   CostModel cost_;
+  MemoryBudget memory_budget_;
   ViewBuilder builder_;
   Executor executor_;
   std::unique_ptr<ThreadPool> thread_pool_;

@@ -103,6 +103,14 @@ class ViewBuilder::MultiAggregator {
     return sums_[measure][cell];
   }
 
+  // Bytes held by the aggregation state (hash slots + key column + sum
+  // columns) — the quantity a memory grant caps.
+  uint64_t MemoryBytes() const {
+    uint64_t bytes = slots_.MemoryBytes() + cell_keys_.size() * 8;
+    for (const auto& column : sums_) bytes += column.size() * 8;
+    return bytes;
+  }
+
  private:
   KeyPacker packer_;
   FlatHashMap<uint32_t> slots_;  // packed key -> cell index + 1
@@ -119,11 +127,65 @@ struct ViewBuilder::TargetState {
   std::vector<const std::vector<double>*> measure_cols;
   std::vector<double> values;
 
+  // Budget state. An unbounded grant (the default) keeps every fold on the
+  // direct in-memory path below, byte-for-byte the pre-budget behaviour.
+  // A bounded grant stages (key, measures...) records instead and spills
+  // sorted runs past the cap; FinishFolds() replays everything into `agg`
+  // in per-cell arrival order, so the emitted table is bit-identical.
+  // `degraded` is set when a spill write fails: the target abandons
+  // spilling and completes in memory (already-written runs still merge at
+  // finish).
+  MemoryGrant grant;
+  SpillConfig spill_config;
+  std::unique_ptr<SpillFile> spill;
+  std::vector<uint64_t> staged_keys;
+  std::vector<double> staged_values;  // measure-cols per record, interleaved
+  uint64_t staged_peak_bytes = 0;
+  uint64_t spill_runs = 0;   // captured by FinishFolds for the plan node
+  uint64_t spill_bytes = 0;
+  bool degraded = false;
+
+  bool budgeted() const { return !grant.unbounded && !degraded; }
+
+  uint64_t StagedBytes() const {
+    return (staged_keys.size() + staged_values.size()) * 8;
+  }
+
+  // One fold, either path. `vals` holds this row's measures.
+  void Fold(uint64_t key, const double* vals) {
+    if (!budgeted()) {
+      agg->Add(key, vals);
+      return;
+    }
+    staged_keys.push_back(key);
+    staged_values.insert(staged_values.end(), vals,
+                         vals + measure_cols.size());
+    staged_peak_bytes = std::max(staged_peak_bytes, StagedBytes());
+    if (grant.WouldExceed(StagedBytes())) FlushRun();
+  }
+
+  // Batch fold of rows [base_row, base_row + n) whose packed keys are
+  // `keys`. Unbudgeted this is MultiAggregator::AddBatch; budgeted it
+  // stages row-by-row (same arrival order either way).
+  void FoldBatch(const uint64_t* keys, size_t n, uint64_t base_row) {
+    if (!budgeted()) {
+      agg->AddBatch(keys, n, measure_cols, base_row);
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t row = base_row + i;
+      for (size_t m = 0; m < measure_cols.size(); ++m) {
+        values[m] = (*measure_cols[m])[row];
+      }
+      Fold(keys[i], values.data());
+    }
+  }
+
   void Accumulate(uint64_t row) {
     for (size_t m = 0; m < measure_cols.size(); ++m) {
       values[m] = (*measure_cols[m])[row];
     }
-    agg->Add(translator.PackRow(row), values.data());
+    Fold(translator.PackRow(row), values.data());
   }
 
   // Batch form over the contiguous rows [begin, end), with caller-owned key
@@ -133,7 +195,72 @@ struct ViewBuilder::TargetState {
     const size_t n = static_cast<size_t>(end - begin);
     keys.resize(n);
     translator.PackRange(begin, n, keys.data());
-    agg->AddBatch(keys.data(), n, measure_cols, begin);
+    FoldBatch(keys.data(), n, begin);
+  }
+
+  // Sorts the staged records by key (stable, preserving arrival order
+  // within a key) and appends them as one run. A write failure flips the
+  // target to `degraded`: the staged rows fold straight into the
+  // aggregator and all later folds bypass staging.
+  void FlushRun() {
+    if (staged_keys.empty()) return;
+    const size_t m = measure_cols.size();
+    if (spill == nullptr) {
+      spill = std::make_unique<SpillFile>(spill_config, /*query_id=*/-1, m);
+    }
+    std::vector<uint32_t> perm(staged_keys.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<uint32_t>(i);
+    std::stable_sort(perm.begin(), perm.end(),
+                     [this](uint32_t a, uint32_t b) {
+                       return staged_keys[a] < staged_keys[b];
+                     });
+    std::vector<uint64_t> sorted_keys(staged_keys.size());
+    std::vector<double> sorted_values(staged_values.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      sorted_keys[i] = staged_keys[perm[i]];
+      for (size_t j = 0; j < m; ++j) {
+        sorted_values[i * m + j] = staged_values[perm[i] * m + j];
+      }
+    }
+    const Status written = spill->AppendRun(
+        sorted_keys.data(), sorted_values.data(), sorted_keys.size());
+    if (!written.ok()) {
+      degraded = true;
+      for (size_t i = 0; i < staged_keys.size(); ++i) {
+        agg->Add(staged_keys[i], staged_values.data() + i * m);
+      }
+    }
+    staged_keys.clear();
+    staged_keys.shrink_to_fit();
+    staged_values.clear();
+    staged_values.shrink_to_fit();
+  }
+
+  // Replays every staged/spilled record into the aggregator. Must run
+  // before Emit. With runs on disk the ordered merge feeds each cell's
+  // folds in arrival order; without, the staged buffer already is arrival
+  // order. A merge read failure (torn scratch file) is fatal — the rows
+  // exist nowhere else.
+  void FinishFolds() {
+    if (spill == nullptr || spill->empty()) {
+      const size_t m = measure_cols.size();
+      for (size_t i = 0; i < staged_keys.size(); ++i) {
+        agg->Add(staged_keys[i], staged_values.data() + i * m);
+      }
+      staged_keys.clear();
+      staged_values.clear();
+      return;
+    }
+    if (!degraded) FlushRun();  // tail (may itself degrade; runs still merge)
+    spill_runs = spill->num_runs();
+    spill_bytes = spill->spilled_bytes();
+    const Status merged = spill->Merge(
+        grant.cap_bytes, [this](uint64_t key, const double* vals) {
+          agg->Add(key, vals);
+        });
+    SS_CHECK_MSG(merged.ok(), "view build spill merge failed: %s",
+                 merged.ToString().c_str());
+    spill.reset();
   }
 };
 
@@ -152,6 +279,32 @@ ViewBuilder::TargetState ViewBuilder::MakeTargetState(
   }
   state.values.resize(num_measures);
   return state;
+}
+
+void ViewBuilder::RecordBuildMem(const std::vector<TargetState>& states,
+                                 NodeExec& agg) {
+  MemStats mem;
+  uint64_t runs = 0;
+  uint64_t bytes = 0;
+  for (const TargetState& state : states) {
+    mem.hash_bytes += state.agg->MemoryBytes() + state.staged_peak_bytes;
+    runs += state.spill_runs;
+    bytes += state.spill_bytes;
+  }
+  agg.RecordMem(mem);
+  if (runs > 0) {
+    agg.AddNodeOnlyCounter("spill_runs", runs);
+    agg.AddNodeOnlyCounter("spill_bytes", bytes);
+  }
+}
+
+void ViewBuilder::GrantBudget(TargetState& state, uint64_t consumers) const {
+  if (budget_ == nullptr || !budget_->bounded()) return;
+  // View builds have no query id; -1 keys their grant/spill fault sites.
+  Result<MemoryGrant> grant = budget_->Grant(/*query_id=*/-1, consumers);
+  if (!grant.ok()) return;  // denied: this target completes in memory
+  state.grant = grant.value();
+  state.spill_config = spill_;
 }
 
 std::unique_ptr<Table> ViewBuilder::Emit(const MultiAggregator& agg,
@@ -223,6 +376,7 @@ std::unique_ptr<Table> ViewBuilder::Build(const MaterializedView& source,
   const LoweredViewBuild lowered =
       LowerViewBuild(phys, target.ToString(schema_), /*num_scans=*/1);
   TargetState state = MakeTargetState(source, target);
+  GrantBudget(state, /*consumers=*/1);
   NodeExec agg(phys, lowered.aggregate, disk);
   {
     NodeExec scan(phys, lowered.scans[0], disk);
@@ -237,9 +391,17 @@ std::unique_ptr<Table> ViewBuilder::Build(const MaterializedView& source,
                 }
               });
   }
+  state.FinishFolds();
   std::unique_ptr<Table> table =
       Emit(*state.agg, target, source.table(), disk, name, clustered);
   agg.AddRows(table->num_rows());
+  MemStats mem;
+  mem.hash_bytes = state.agg->MemoryBytes() + state.staged_peak_bytes;
+  agg.RecordMem(mem);
+  if (state.spill_runs > 0) {
+    agg.AddNodeOnlyCounter("spill_runs", state.spill_runs);
+    agg.AddNodeOnlyCounter("spill_bytes", state.spill_bytes);
+  }
   return table;
 }
 
@@ -308,6 +470,7 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildMany(
                  target.ToString(schema_).c_str());
     states.push_back(MakeTargetState(source, target));
   }
+  for (TargetState& state : states) GrantBudget(state, states.size());
 
   // One shared scan feeds every target's aggregation. Targets aggregate
   // independently, so the batch path's target-outer order folds each
@@ -338,11 +501,13 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildMany(
     }
     uint64_t cells = 0;
     for (size_t i = 0; i < targets.size(); ++i) {
+      states[i].FinishFolds();
       tables.push_back(Emit(*states[i].agg, targets[i], source.table(), disk,
                             "", clustered));
       cells += tables.back()->num_rows();
     }
     agg.AddRows(cells);
+    RecordBuildMem(states, agg);
   }
   return tables;
 }
@@ -353,7 +518,7 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildManyParallel(
   if (!policy.engaged()) return BuildMany(source, targets, disk, clustered);
 
   // Same span site as BuildMany; closes after MergeIntoParent so the
-  // merged worker I/O lands in its delta (see exec/parallel_operators.cc).
+  // merged worker I/O lands in its delta (see exec/operators/).
   static obs::Counter& builds = obs::Metrics().counter("view.builds");
   builds.Add(targets.size());
   obs::ScopedSpan span("view.build_many");
@@ -368,6 +533,7 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildManyParallel(
                  target.ToString(schema_).c_str());
     states.push_back(MakeTargetState(source, target));
   }
+  for (TargetState& state : states) GrantBudget(state, states.size());
 
   const Table& table = source.table();
   const size_t workers =
@@ -445,9 +611,8 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildManyParallel(
               // target's stream is row-ascending, so this replays
               // BuildMany's per-cell accumulation order exactly.
               for (size_t t = 0; t < states.size(); ++t) {
-                states[t].agg->AddBatch(buffer.keys[t].data(),
-                                        buffer.keys[t].size(),
-                                        states[t].measure_cols, morsel.begin);
+                states[t].FoldBatch(buffer.keys[t].data(),
+                                    buffer.keys[t].size(), morsel.begin);
               }
               return;
             }
@@ -458,7 +623,7 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildManyParallel(
                 values[m] = table.measure_column(m)[row];
               }
               for (size_t t = 0; t < states.size(); ++t) {
-                states[t].agg->Add(buffer.keys[t][i], values.data());
+                states[t].Fold(buffer.keys[t][i], values.data());
               }
             }
           });
@@ -466,11 +631,13 @@ std::vector<std::unique_ptr<Table>> ViewBuilder::BuildManyParallel(
     }
     uint64_t cells = 0;
     for (size_t i = 0; i < targets.size(); ++i) {
+      states[i].FinishFolds();
       tables.push_back(Emit(*states[i].agg, targets[i], source.table(), disk,
                             "", clustered));
       cells += tables.back()->num_rows();
     }
     agg.AddRows(cells);
+    RecordBuildMem(states, agg);
   }
   return tables;
 }

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "cube/materialized_view.h"
+#include "exec/memory_budget.h"
+#include "exec/spill.h"
 #include "exec/vector_batch.h"
 #include "parallel/policy.h"
 #include "schema/groupby_spec.h"
@@ -26,6 +28,8 @@
 #include "storage/table.h"
 
 namespace starshare {
+
+class NodeExec;
 
 class ViewBuilder {
  public:
@@ -38,6 +42,23 @@ class ViewBuilder {
   // emits bit-identical tables and charges identical I/O.
   void set_batch_config(const BatchConfig& batch) { batch_ = batch; }
   const BatchConfig& batch_config() const { return batch_; }
+
+  // Aggregation memory budget for builds (null or unbounded = the legacy
+  // in-memory path, byte-for-byte). A bounded budget is split evenly across
+  // the targets of one build pass; a target past its share stages rows and
+  // spills sorted runs (exec/spill.h), merging them back before Emit — the
+  // emitted tables are bit-identical to the unbudgeted build because Emit
+  // orders cells by key, and the merge replays each cell's folds in arrival
+  // order. A failed spill write degrades that target to in-memory
+  // completion (builds have no per-query status channel to surface
+  // kResourceExhausted through). Refresh always stays in-memory: the view
+  // being refreshed already fits by construction. The pointer must outlive
+  // the builder's use.
+  void set_memory_budget(const MemoryBudget* budget,
+                         const SpillConfig& spill) {
+    budget_ = budget;
+    spill_ = spill;
+  }
 
   // Builds the table for `target` from `source`. The source must be able to
   // answer the target (checked). Scan + write costs are charged to `disk`.
@@ -84,6 +105,16 @@ class ViewBuilder {
   TargetState MakeTargetState(const MaterializedView& source,
                               const GroupBySpec& target) const;
 
+  // Attaches this builder's budget (split across `consumers` targets) to a
+  // target's state. No-op when the budget is null, unbounded, or denied (a
+  // denied grant degrades that target to the in-memory path).
+  void GrantBudget(TargetState& state, uint64_t consumers) const;
+
+  // Lands the pass's aggregation memory high-water and spill counters on
+  // the executed Aggregate node.
+  static void RecordBuildMem(const std::vector<TargetState>& states,
+                             NodeExec& agg);
+
   // Emits the contents of a finished aggregator as a table carrying every
   // measure of `source_table`.
   std::unique_ptr<Table> Emit(const MultiAggregator& agg,
@@ -93,6 +124,8 @@ class ViewBuilder {
 
   const StarSchema& schema_;
   BatchConfig batch_;
+  const MemoryBudget* budget_ = nullptr;
+  SpillConfig spill_;
 };
 
 }  // namespace starshare

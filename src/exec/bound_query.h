@@ -73,6 +73,9 @@ class BoundQuery {
 
   size_t num_retained() const { return translator_.num_lanes(); }
 
+  // Resident bytes of the aggregation table (per-node memory accounting).
+  uint64_t AggMemoryBytes() const { return agg_.MemoryBytes(); }
+
   QueryResult Finish() const { return agg_.Finish(); }
 
  private:

@@ -71,6 +71,8 @@ Result<QueryResult> Executor::ExecuteSingle(const DimensionalQuery& query,
   req.view = &view;
   req.disk = &disk_;
   req.policy.batch = policy_.batch;  // always serial: the paper's per-query costs
+  req.budget = budget_;
+  req.spill = spill_;
   switch (method) {
     case JoinMethod::kHashScan:
       req.hash_queries.push_back(&query);
@@ -147,6 +149,8 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls,
   req.disk = &disk_;
   req.policy = policy_;  // serial or morsel-parallel: the driver's choice
   req.probe = probe;
+  req.budget = budget_;
+  req.spill = spill_;
   LoweredClassNodes nodes;
   if (phys != nullptr) {
     nodes = LowerSharedClass(*phys, kNoPhysNode, detail, hash_queries.size(),

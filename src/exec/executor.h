@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/memory_budget.h"
+#include "exec/spill.h"
 #include "parallel/policy.h"
 #include "plan/physical_plan.h"
 #include "plan/plan.h"
@@ -68,6 +70,17 @@ class Executor {
   void set_parallel_policy(const ParallelPolicy& policy) { policy_ = policy; }
   const ParallelPolicy& parallel_policy() const { return policy_; }
 
+  // Aggregation memory budget for every class this executor runs (null or
+  // unbounded = the legacy in-memory path). The budget is split across a
+  // class's live members; a single-member class — including the engine's
+  // fact-table fallback — gets the whole budget. `spill` says where runs
+  // land. The pointer must outlive the executor's use.
+  void set_memory_budget(const MemoryBudget* budget,
+                         const SpillConfig& spill) {
+    budget_ = budget;
+    spill_ = spill;
+  }
+
   // One query, one view, one method — a one-member class, no sharing. An
   // unknown method or an injected fault is an error Status, never an
   // abort. With `phys` the lowered single-query chain is appended there
@@ -103,6 +116,8 @@ class Executor {
   const StarSchema& schema_;
   DiskModel& disk_;
   ParallelPolicy policy_;
+  const MemoryBudget* budget_ = nullptr;
+  SpillConfig spill_;
 };
 
 }  // namespace starshare

@@ -63,6 +63,10 @@ class FlatHashMap {
   // observe rehashes when inserting past the load-factor threshold.
   size_t capacity() const { return slots_.size(); }
 
+  // Resident bytes of the slot array — the map's only allocation. Feeds the
+  // hash_bytes field of per-node memory accounting (common/mem_stats.h).
+  uint64_t MemoryBytes() const { return slots_.size() * sizeof(Slot); }
+
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const Slot& slot : slots_) {

@@ -64,6 +64,9 @@ class HashAggregator {
 
   size_t num_groups() const { return groups_.size(); }
 
+  // Resident bytes of the group table (per-node memory accounting).
+  uint64_t MemoryBytes() const { return groups_.MemoryBytes(); }
+
   // Finalizes into a canonically sorted QueryResult.
   QueryResult Finish() const;
 

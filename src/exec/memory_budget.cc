@@ -1,0 +1,27 @@
+#include "exec/memory_budget.h"
+
+#include "common/fault_injector.h"
+#include "common/str_util.h"
+#include "obs/metrics.h"
+
+namespace starshare {
+
+Result<MemoryGrant> MemoryBudget::Grant(int query_id,
+                                        uint64_t consumers) const {
+  static obs::Counter& grants = obs::Metrics().counter("exec.mem.grants");
+  static obs::Counter& denials =
+      obs::Metrics().counter("exec.mem.grant_denials");
+  if (FaultHit("budget.grant", query_id)) {
+    denials.Add();
+    return Status::ResourceExhausted(
+        StrFormat("memory grant denied for q%d", query_id));
+  }
+  grants.Add();
+  if (!bounded()) return MemoryGrant{};
+  MemoryGrant grant;
+  grant.unbounded = false;
+  grant.cap_bytes = consumers == 0 ? total_ : total_ / consumers;
+  return grant;
+}
+
+}  // namespace starshare

@@ -1,0 +1,61 @@
+// The memory arbiter behind EngineConfig::memory_budget_bytes: execution
+// asks for a grant per aggregation consumer, and the grant is the ceiling
+// that consumer may hold in memory before it must spill (exec/spill.h).
+//
+// Grants are ceilings, not allocations — the arbiter never reserves real
+// memory; it divides the configured budget across the consumers that are
+// live at grant time and lets each enforce its own cap. A zero budget means
+// "unbounded": every grant is infinite and the spill path never engages,
+// which keeps the default engine behaviour byte-for-byte what it was before
+// budgets existed.
+//
+// Failure path: the fault site "budget.grant" (keyed by query id) can deny
+// a grant, producing StatusCode::kResourceExhausted for exactly that
+// member; the engine's fallback ladder then degrades the member without
+// touching its shared-class siblings.
+
+#ifndef STARSHARE_EXEC_MEMORY_BUDGET_H_
+#define STARSHARE_EXEC_MEMORY_BUDGET_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace starshare {
+
+// The per-consumer ceiling handed out by MemoryBudget::Grant. `unbounded`
+// grants never trigger spilling regardless of bytes held.
+struct MemoryGrant {
+  uint64_t cap_bytes = std::numeric_limits<uint64_t>::max();
+  bool unbounded = true;
+
+  // True when holding `held` bytes (with `incoming` more about to be
+  // staged) would exceed the ceiling.
+  bool WouldExceed(uint64_t held, uint64_t incoming = 0) const {
+    if (unbounded) return false;
+    return held + incoming > cap_bytes;
+  }
+};
+
+class MemoryBudget {
+ public:
+  // total_bytes == 0 disables budgeting (every grant unbounded).
+  explicit MemoryBudget(uint64_t total_bytes = 0) : total_(total_bytes) {}
+
+  uint64_t total_bytes() const { return total_; }
+  bool bounded() const { return total_ > 0; }
+
+  // Splits the budget across `consumers` live members and returns the share
+  // for the member `query_id`. A share of zero is legal — it means every
+  // batch spills. Fails with kResourceExhausted when the "budget.grant"
+  // fault site fires for this query id.
+  Result<MemoryGrant> Grant(int query_id, uint64_t consumers) const;
+
+ private:
+  uint64_t total_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_MEMORY_BUDGET_H_

@@ -3,32 +3,87 @@
 // a batch, batches in input order. Only ever invoked on the driving thread
 // — the morsel driver buffers worker matches and consumes them in morsel
 // order, so every aggregator folds in the exact serial sequence.
+//
+// Budget mode (exec/memory_budget.h): a slot given a bounded grant stages
+// its raw (key, value) records in arrival order instead of folding them
+// immediately; when the staged bytes exceed the grant the stage is
+// stable-sorted by key and appended to the slot's spill file
+// (exec/spill.h). FinishSlot() replays the spilled stream — per key, in
+// arrival order — through the very same HashAggregator fold, so a budgeted
+// execution's results are bit-identical to the unbudgeted ones at any
+// thread count, batch size and budget. Spill I/O is real scratch-file I/O,
+// never charged to the DiskModel: modeled IoStats are unchanged by
+// budgeting, and spill volume is reported separately (spill_runs /
+// spill_bytes).
+//
+// A slot whose spill fails is sticky-failed (kResourceExhausted) without
+// touching its siblings; the failure surfaces from FinishSlot so the
+// engine's per-member fallback ladder can degrade exactly that member.
 
 #ifndef STARSHARE_EXEC_OPERATORS_AGGREGATE_SINK_H_
 #define STARSHARE_EXEC_OPERATORS_AGGREGATE_SINK_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mem_stats.h"
+#include "exec/bound_query.h"
+#include "exec/memory_budget.h"
 #include "exec/operators/operator.h"
+#include "exec/spill.h"
 
 namespace starshare {
 
 class AggregateSink {
  public:
-  explicit AggregateSink(std::vector<BoundQuery>& bound) : bound_(bound) {}
+  explicit AggregateSink(std::vector<BoundQuery>& bound)
+      : bound_(bound), slots_(bound.size()) {}
 
-  void Consume(const std::vector<QueryMatchBatch>& slots) {
-    SS_DCHECK(slots.size() == bound_.size());
-    for (size_t slot = 0; slot < bound_.size(); ++slot) {
-      bound_[slot].AccumulateRawBatch(slots[slot].keys.data(),
-                                      slots[slot].values.data(),
-                                      slots[slot].size());
-    }
-  }
+  // Puts slot `slot` under a bounded grant; spill runs go to a file named
+  // for `query_id` under config's scratch dir. Unbounded grants are a no-op
+  // (the slot keeps the direct fold path).
+  void SetGrant(size_t slot, const MemoryGrant& grant,
+                const SpillConfig& config, int query_id);
+
+  void Consume(const std::vector<QueryMatchBatch>& slots);
+
+  // Finalizes one slot: folds any staged/spilled records (merge replay) and
+  // finishes the bound aggregation. Returns the slot's sticky spill failure
+  // instead, if it has one.
+  Result<QueryResult> FinishSlot(size_t slot);
+
+  // High-water accounting across every Consume so far: staged spill buffers
+  // plus the aggregation tables (both land in MemStats::hash_bytes).
+  uint64_t staged_peak_bytes() const { return staged_peak_bytes_; }
+  uint64_t agg_table_bytes() const;
+
+  // Totals across slots, for the aggregate node's spill counters.
+  uint64_t spill_runs() const;
+  uint64_t spill_bytes() const;
 
  private:
+  struct SlotState {
+    MemoryGrant grant;  // unbounded by default
+    int query_id = -1;
+    SpillConfig config;
+    // Arrival-order stage; flushed as one stable-sorted run on overflow.
+    std::vector<uint64_t> keys;
+    std::vector<double> values;
+    std::unique_ptr<SpillFile> spill;
+    Status status;  // sticky first spill failure
+  };
+
+  uint64_t StagedBytes(const SlotState& s) const {
+    return (s.keys.size() + s.values.size()) * 8;
+  }
+
+  // Stable-sorts the stage by key and appends it as one run.
+  Status FlushRun(SlotState& s);
+
   std::vector<BoundQuery>& bound_;
+  std::vector<SlotState> slots_;
+  uint64_t staged_peak_bytes_ = 0;
 };
 
 }  // namespace starshare

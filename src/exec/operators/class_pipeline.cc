@@ -134,6 +134,56 @@ Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
 
   if (live_hash.empty() && live_index.empty()) return out;  // nothing left
 
+  // Memory grants: an even split of the budget across the members still
+  // live. A denied grant ("budget.grant" fault) demotes exactly that member
+  // — before any shared work — leaving its slot kResourceExhausted for the
+  // engine's fallback ladder. Grants are ceilings the sink enforces by
+  // spilling, so a zero share is legal (every batch spills).
+  std::vector<MemoryGrant> hash_grants(live_hash.size());
+  std::vector<MemoryGrant> index_grants(live_index.size());
+  if (req.budget != nullptr) {
+    const uint64_t n_live_total = live_hash.size() + live_index.size();
+    size_t kept = 0;
+    for (size_t i = 0; i < live_hash.size(); ++i) {
+      Result<MemoryGrant> grant =
+          req.budget->Grant(live_hash[i]->id(), n_live_total);
+      if (!grant.ok()) {
+        out.statuses[live_hash_slots[i]] = grant.status();
+        continue;
+      }
+      live_hash[kept] = live_hash[i];
+      live_hash_slots[kept] = live_hash_slots[i];
+      hash_grants[kept] = *grant;
+      ++kept;
+    }
+    live_hash.resize(kept);
+    live_hash_slots.resize(kept);
+    hash_grants.resize(kept);
+    kept = 0;
+    for (size_t i = 0; i < live_index.size(); ++i) {
+      Result<MemoryGrant> grant =
+          req.budget->Grant(live_index[i]->id(), n_live_total);
+      if (!grant.ok()) {
+        out.statuses[live_index_slots[i]] = grant.status();
+        continue;
+      }
+      live_index[kept] = live_index[i];
+      live_index_slots[kept] = live_index_slots[i];
+      index_grants[kept] = *grant;
+      if (kept != i) {
+        index_bitmaps[kept] = std::move(index_bitmaps[i]);
+        index_residual_preds[kept] = std::move(index_residual_preds[i]);
+      }
+      ++kept;
+    }
+    live_index.resize(kept);
+    live_index_slots.resize(kept);
+    index_grants.resize(kept);
+    index_bitmaps.resize(kept);
+    index_residual_preds.resize(kept);
+    if (live_hash.empty() && live_index.empty()) return out;
+  }
+
   std::vector<BoundQuery> bound;  // live hash members, then live index
   bound.reserve(live_hash.size() + live_index.size());
   for (const auto* q : live_hash) bound.emplace_back(schema, *q, view);
@@ -218,6 +268,24 @@ Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
   };
 
   AggregateSink sink(bound);
+  for (size_t i = 0; i < hash_grants.size(); ++i) {
+    sink.SetGrant(i, hash_grants[i], req.spill, live_hash[i]->id());
+  }
+  for (size_t i = 0; i < index_grants.size(); ++i) {
+    sink.SetGrant(n_live_hash + i, index_grants[i], req.spill,
+                  live_index[i]->id());
+  }
+
+  // High-water of the per-member match buffers feeding the sink, summed
+  // across slots at each consume point (logical bytes, not capacities).
+  uint64_t match_peak_bytes = 0;
+  const auto note_match_bytes = [&](const std::vector<QueryMatchBatch>& m) {
+    uint64_t now = 0;
+    for (const QueryMatchBatch& slot : m) {
+      now += (slot.keys.size() + slot.values.size()) * 8;
+    }
+    match_peak_bytes = std::max(match_peak_bytes, now);
+  };
 
   NodeExec agg(*phys, nodes->aggregate, disk);
   {
@@ -254,6 +322,7 @@ Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
       drive_chain(disk, 0, table.num_rows(), positions.data(),
                   positions.size(), matches, [&] {
                     source.AddBatches(1);
+                    note_match_bytes(matches);
                     sink.Consume(matches);
                   });
     } else {
@@ -282,6 +351,7 @@ Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
             },
             [&](const Morsel&, const MorselMatches& buffer) {
               source.AddBatches(1);  // one tally per merged morsel
+              note_match_bytes(buffer.slots);
               sink.Consume(buffer.slots);
             });
       } else {
@@ -326,11 +396,42 @@ Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
             },
             [&](const Morsel&, const MorselMatches& buffer) {
               source.AddBatches(1);  // one tally per merged morsel
+              note_match_bytes(buffer.slots);
               sink.Consume(buffer.slots);
             });
       }
       ctx.MergeIntoParent();
     }
+
+    // Seal each filter node's memory gauge before its scope closes: the
+    // shared pass masks, the per-member candidate bitmaps, and (probe path)
+    // the union's position array.
+    if (sjf) {
+      MemStats sjf_mem;
+      for (const SharedDimFilter& filter : filters) {
+        sjf_mem.batch_bytes += filter.masks.size() * sizeof(uint32_t);
+      }
+      sjf->RecordMem(sjf_mem);
+    }
+    if (bmf) {
+      MemStats bmf_mem;
+      for (const Bitmap& bitmap : index_bitmaps) {
+        bmf_mem.bitmap_bytes += bitmap.SizeBytes();
+      }
+      bmf->RecordMem(bmf_mem);
+    }
+    if (req.probe) {
+      MemStats src_mem;
+      src_mem.batch_bytes = positions.size() * sizeof(uint64_t);
+      source.RecordMem(src_mem);
+    }
+  }
+
+  {
+    MemStats agg_mem;
+    agg_mem.match_bytes = match_peak_bytes;
+    agg_mem.hash_bytes = sink.agg_table_bytes() + sink.staged_peak_bytes();
+    agg.RecordMem(agg_mem);
   }
 
   // A device fault during the shared pass takes down every member that
@@ -344,16 +445,37 @@ Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
     return out;
   }
 
+  // Per-slot finish: a budgeted slot merges its spill runs here. A slot
+  // whose spill failed surfaces kResourceExhausted for exactly that member;
+  // its siblings finish normally.
   uint64_t result_rows = 0;
+  const auto finish_member = [&](size_t slot, size_t out_slot) {
+    Result<QueryResult> result = sink.FinishSlot(slot);
+    if (!result.ok()) {
+      out.statuses[out_slot] = result.status();
+      return;
+    }
+    result_rows += result->num_rows();
+    out.results[out_slot] = std::move(*result);
+  };
   for (size_t i = 0; i < live_hash_slots.size(); ++i) {
-    out.results[live_hash_slots[i]] = bound[i].Finish();
-    result_rows += out.results[live_hash_slots[i]].num_rows();
+    finish_member(i, live_hash_slots[i]);
   }
   for (size_t i = 0; i < live_index_slots.size(); ++i) {
-    out.results[live_index_slots[i]] = bound[n_live_hash + i].Finish();
-    result_rows += out.results[live_index_slots[i]].num_rows();
+    finish_member(n_live_hash + i, live_index_slots[i]);
   }
   agg.AddRows(result_rows);
+  // The final aggregation tables (and any spill) exist only after the
+  // per-slot finish; fold them into the gauge and surface spill volume.
+  {
+    MemStats final_mem;
+    final_mem.hash_bytes = sink.agg_table_bytes() + sink.staged_peak_bytes();
+    agg.RecordMem(final_mem);
+  }
+  if (sink.spill_runs() > 0) {
+    agg.AddNodeOnlyCounter("spill_runs", sink.spill_runs());
+    agg.AddNodeOnlyCounter("spill_bytes", sink.spill_bytes());
+  }
   return out;
 }
 

@@ -22,7 +22,9 @@
 
 #include "common/status.h"
 #include "cube/materialized_view.h"
+#include "exec/memory_budget.h"
 #include "exec/shared_operators.h"
+#include "exec/spill.h"
 #include "parallel/policy.h"
 #include "plan/lowering.h"
 #include "plan/physical_plan.h"
@@ -47,6 +49,13 @@ struct SharedClassRequest {
   bool probe = false;
   PhysicalPlan* phys = nullptr;
   const LoweredClassNodes* nodes = nullptr;
+  // When set, each live member is granted budget->total / n_live bytes of
+  // aggregation memory and spills past it (exec/spill.h, runs under
+  // spill.scratch_dir). A denied grant or failed spill costs exactly that
+  // member (kResourceExhausted); null or an unbounded budget keeps the
+  // legacy in-memory path byte-for-byte.
+  const MemoryBudget* budget = nullptr;
+  SpillConfig spill;
 };
 
 // Executes the class. Statuses/results are slot-aligned: hash members

@@ -159,4 +159,45 @@ std::vector<QueryResult> SharedIndexStarJoin(
   return std::move(outcome->results);
 }
 
+Result<SharedOutcome> ParallelSharedHybridStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& hash_queries,
+    const std::vector<const DimensionalQuery*>& index_queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy) {
+  SharedClassRequest req;
+  req.schema = &schema;
+  req.hash_queries = hash_queries;
+  req.index_queries = index_queries;
+  req.view = &view;
+  req.disk = &disk;
+  req.policy = policy;
+  req.probe = false;
+  return ExecuteSharedClass(req);
+}
+
+Result<SharedOutcome> ParallelSharedScanStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy) {
+  return ParallelSharedHybridStarJoin(schema, queries, {}, view, disk,
+                                      policy);
+}
+
+Result<SharedOutcome> ParallelSharedIndexStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy) {
+  SharedClassRequest req;
+  req.schema = &schema;
+  req.index_queries = queries;
+  req.view = &view;
+  req.disk = &disk;
+  req.policy = policy;
+  req.probe = true;
+  return ExecuteSharedClass(req);
+}
+
 }  // namespace starshare

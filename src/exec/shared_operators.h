@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "cube/materialized_view.h"
 #include "exec/vector_batch.h"
+#include "parallel/policy.h"
 #include "query/query.h"
 #include "query/result.h"
 #include "storage/disk_model.h"
@@ -93,6 +94,32 @@ Result<SharedOutcome> TrySharedHybridStarJoin(
     const std::vector<const DimensionalQuery*>& index_queries,
     const MaterializedView& view, DiskModel& disk,
     const BatchConfig& batch = BatchConfig());
+
+// Morsel-parallel entry points: the same unified class pipeline with an
+// engaged policy — parallelism is a property of the pipeline driver, not a
+// separate operator family. The merge replays every aggregation in serial
+// row order, so results are bit-identical to the serial operators (and
+// merged IoStats exactly equal) at any thread count and morsel size; the
+// failure contract matches the Try* variants. See DESIGN.md "Parallel
+// execution model".
+Result<SharedOutcome> ParallelSharedScanStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy);
+
+Result<SharedOutcome> ParallelSharedIndexStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy);
+
+Result<SharedOutcome> ParallelSharedHybridStarJoin(
+    const StarSchema& schema,
+    const std::vector<const DimensionalQuery*>& hash_queries,
+    const std::vector<const DimensionalQuery*>& index_queries,
+    const MaterializedView& view, DiskModel& disk,
+    const ParallelPolicy& policy);
 
 }  // namespace starshare
 

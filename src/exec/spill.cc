@@ -1,0 +1,212 @@
+#include "exec/spill.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <queue>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/fault_injector.h"
+#include "common/str_util.h"
+#include "obs/metrics.h"
+
+namespace starshare {
+namespace {
+
+// Process-wide uniquifier so two consumers of the same query (or two
+// engines in one process) never collide on a name.
+std::atomic<uint64_t> g_spill_sequence{0};
+
+Status SpillError(const char* what, const std::string& path) {
+  return Status::ResourceExhausted(
+      StrFormat("spill %s failed: %s", what, path.c_str()));
+}
+
+}  // namespace
+
+std::string DefaultScratchDir() {
+  const char* env = std::getenv("TMPDIR");
+  return (env != nullptr && *env != '\0') ? env : "/tmp";
+}
+
+SpillFile::SpillFile(const SpillConfig& config, int query_id,
+                     size_t doubles_per_record)
+    : query_id_(query_id), doubles_(doubles_per_record) {
+  const std::string dir =
+      config.scratch_dir.empty() ? DefaultScratchDir() : config.scratch_dir;
+  path_ = StrFormat(
+      "%s/starshare-spill-q%d-p%ld-%llu.run", dir.c_str(), query_id,
+      static_cast<long>(getpid()),
+      static_cast<unsigned long long>(
+          g_spill_sequence.fetch_add(1, std::memory_order_relaxed)));
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+}
+
+Status SpillFile::AppendRun(const uint64_t* keys, const double* values,
+                            uint64_t rows) {
+  static obs::Counter& run_count = obs::Metrics().counter("exec.spill.runs");
+  static obs::Counter& byte_count = obs::Metrics().counter("exec.spill.bytes");
+  if (file_ == nullptr) {
+    file_ = std::fopen(path_.c_str(), "wb+");
+    if (file_ == nullptr) return SpillError("open", path_);
+  }
+  if (FaultHit("spill.write", query_id_) == FaultKind::kError) {
+    return SpillError("write (injected)", path_);
+  }
+  if (std::fseek(file_, static_cast<long>(end_offset_), SEEK_SET) != 0) {
+    return SpillError("seek", path_);
+  }
+  if (std::fwrite(&rows, 1, 8, file_) != 8) return SpillError("write", path_);
+
+  // Interleave (key, m doubles) records through a bounded scratch buffer so
+  // one run is a handful of fwrites, not one per record.
+  Crc32Accumulator crc;
+  const size_t rec = record_size();
+  std::vector<uint8_t> chunk;
+  chunk.reserve(std::min<uint64_t>(rows, 1024) * rec);
+  uint64_t row = 0;
+  while (row < rows) {
+    const uint64_t n = std::min<uint64_t>(rows - row, 1024);
+    chunk.resize(static_cast<size_t>(n) * rec);
+    uint8_t* out = chunk.data();
+    for (uint64_t i = 0; i < n; ++i) {
+      std::memcpy(out, &keys[row + i], 8);
+      std::memcpy(out + 8, &values[(row + i) * doubles_], 8 * doubles_);
+      out += rec;
+    }
+    crc.Update(chunk.data(), chunk.size());
+    if (std::fwrite(chunk.data(), 1, chunk.size(), file_) != chunk.size()) {
+      return SpillError("write", path_);
+    }
+    row += n;
+  }
+  const uint32_t checksum = crc.value();
+  if (std::fwrite(&checksum, 1, 4, file_) != 4) {
+    return SpillError("write", path_);
+  }
+
+  RunInfo info;
+  info.payload_offset = end_offset_ + 8;
+  info.rows = rows;
+  runs_.push_back(info);
+  const uint64_t run_bytes = 8 + rows * rec + 4;
+  end_offset_ += run_bytes;
+  spilled_rows_ += rows;
+  spilled_bytes_ += run_bytes;
+  run_count.Add();
+  byte_count.Add(run_bytes);
+  return Status::Ok();
+}
+
+Status SpillFile::Merge(
+    uint64_t chunk_budget_bytes,
+    const std::function<void(uint64_t, const double*)>& emit) {
+  if (runs_.empty()) return Status::Ok();
+  if (std::fflush(file_) != 0) return SpillError("flush", path_);
+
+  const size_t rec = record_size();
+  // Bound total read-buffer bytes by the budget: with R runs each buffer
+  // holds budget/(rec*R) records, floored at 1 (a 1-byte budget still
+  // merges, one record at a time) and capped at 1024.
+  const uint64_t chunk_rows = std::clamp<uint64_t>(
+      chunk_budget_bytes / (rec * runs_.size()), 1, 1024);
+
+  struct Cursor {
+    uint64_t next_offset = 0;  // next unread payload byte
+    uint64_t rows_left = 0;    // rows not yet read into the buffer
+    Crc32Accumulator crc;
+    std::vector<uint8_t> buffer;
+    size_t buffer_pos = 0;  // byte position of the current record
+  };
+  std::vector<Cursor> cursors(runs_.size());
+
+  // Reads the next chunk of run `r`; validates the run CRC when the last
+  // chunk comes in. Bit-flip faults land in the buffer before checksumming.
+  const auto refill = [&](size_t r) -> Status {
+    Cursor& cur = cursors[r];
+    const std::optional<FaultKind> fault = FaultHit("spill.read", query_id_);
+    if (fault == FaultKind::kError) {
+      return SpillError("read (injected)", path_);
+    }
+    const uint64_t n = std::min(cur.rows_left, chunk_rows);
+    cur.buffer.resize(static_cast<size_t>(n) * rec);
+    cur.buffer_pos = 0;
+    if (std::fseek(file_, static_cast<long>(cur.next_offset), SEEK_SET) != 0) {
+      return SpillError("seek", path_);
+    }
+    size_t want = cur.buffer.size();
+    if (fault == FaultKind::kShortRead && want > 0) {
+      std::fread(cur.buffer.data(), 1, want - 1, file_);
+      return SpillError("short read (injected)", path_);
+    }
+    if (std::fread(cur.buffer.data(), 1, want, file_) != want) {
+      return SpillError("read", path_);
+    }
+    if (fault == FaultKind::kBitFlip && want > 0) {
+      const uint64_t bit = FaultInjector::Instance().NextBitIndex(want);
+      cur.buffer[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    cur.crc.Update(cur.buffer.data(), want);
+    cur.next_offset += want;
+    cur.rows_left -= n;
+    if (cur.rows_left == 0) {
+      uint32_t stored = 0;
+      if (std::fseek(file_, static_cast<long>(cur.next_offset), SEEK_SET) !=
+              0 ||
+          std::fread(&stored, 1, 4, file_) != 4) {
+        return SpillError("read", path_);
+      }
+      if (stored != cur.crc.value()) {
+        return SpillError("checksum", path_);
+      }
+    }
+    return Status::Ok();
+  };
+
+  // Min-heap over (key, run index): equal keys drain lower-numbered (older)
+  // runs first, and within a run the buffer replays file order — together,
+  // arrival order per key.
+  using Entry = std::pair<uint64_t, size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  const auto current_key = [&](size_t r) {
+    uint64_t key = 0;
+    std::memcpy(&key, cursors[r].buffer.data() + cursors[r].buffer_pos, 8);
+    return key;
+  };
+  for (size_t r = 0; r < runs_.size(); ++r) {
+    cursors[r].next_offset = runs_[r].payload_offset;
+    cursors[r].rows_left = runs_[r].rows;
+    if (runs_[r].rows == 0) continue;
+    SS_RETURN_IF_ERROR(refill(r));
+    heap.emplace(current_key(r), r);
+  }
+
+  std::vector<double> values(doubles_);
+  while (!heap.empty()) {
+    const auto [key, r] = heap.top();
+    heap.pop();
+    Cursor& cur = cursors[r];
+    std::memcpy(values.data(), cur.buffer.data() + cur.buffer_pos + 8,
+                8 * doubles_);
+    emit(key, values.data());
+    cur.buffer_pos += rec;
+    if (cur.buffer_pos >= cur.buffer.size()) {
+      if (cur.rows_left == 0) continue;  // run exhausted
+      SS_RETURN_IF_ERROR(refill(r));
+    }
+    heap.emplace(current_key(r), r);
+  }
+  return Status::Ok();
+}
+
+}  // namespace starshare

@@ -257,6 +257,8 @@ const char* StatusCodeName(int code) {
       return "CORRUPTION";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace starshare {
 namespace {
@@ -26,6 +27,37 @@ void AppendIo(const IoStats& io, std::string& out) {
   field("tuples", io.tuples_processed);
   field("probes", io.hash_probes);
   out += ']';
+}
+
+// Same compact form for the memory gauge: non-zero fields only, fixed
+// order, nothing when the node recorded no memory. Goldens mask the bracket
+// body (`mem=[--]`) because capacities vary across standard libraries.
+void AppendMem(const MemStats& mem, std::string& out) {
+  if (mem.empty()) return;
+  out += " mem=[";
+  bool first = true;
+  auto field = [&](const char* key, uint64_t value) {
+    if (value == 0) return;
+    out += StrFormat("%s%s=%llu", first ? "" : " ", key,
+                     static_cast<unsigned long long>(value));
+    first = false;
+  };
+  field("match", mem.match_bytes);
+  field("hash", mem.hash_bytes);
+  field("bitmap", mem.bitmap_bytes);
+  field("batch", mem.batch_bytes);
+  field("peak", mem.peak_bytes);
+  out += ']';
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
 }
 
 constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
@@ -129,6 +161,7 @@ void PhysicalPlan::Render(size_t index, int depth, bool analyze,
                        static_cast<unsigned long long>(node.actual_rows));
     }
     AppendIo(node.actual_io, out);
+    AppendMem(node.mem, out);
     for (const auto& [key, value] : node.counters) {
       out += StrFormat(" %s=%llu", key.c_str(),
                        static_cast<unsigned long long>(value));
@@ -173,6 +206,105 @@ std::string PhysicalPlan::ExplainAnalyze(const DiskTimings& timings) const {
   for (const size_t root : roots_) {
     Render(root, 0, /*analyze=*/true, &timings, out);
   }
+  return out;
+}
+
+void PublishNodeMemMetrics(const MemStats& mem) {
+  static obs::Histogram& node_peak =
+      obs::Metrics().histogram("exec.mem.node_peak_bytes");
+  static obs::Gauge& peak = obs::Metrics().gauge("exec.mem.peak_bytes");
+  node_peak.Observe(mem.peak_bytes);
+  // NodeExec seals on the tracer thread only, so max-update is race-free.
+  if (static_cast<int64_t>(mem.peak_bytes) > peak.value()) {
+    peak.Set(static_cast<int64_t>(mem.peak_bytes));
+  }
+}
+
+std::string PhysicalPlan::ExplainAnalyzeJson(const DiskTimings& timings) const {
+  std::string out = "[";
+  // Iterative-free recursive lambda mirroring Render's walk.
+  const auto walk = [&](auto&& self, size_t index) -> void {
+    const PhysicalNode& node = nodes_[index];
+    out += StrFormat("{\"op\": \"%s\"", PhysOpKindName(node.kind));
+    if (!node.detail.empty()) {
+      out += StrFormat(", \"detail\": \"%s\"", JsonEscape(node.detail).c_str());
+    }
+    if (node.query_id >= 0) out += StrFormat(", \"query\": %d", node.query_id);
+    if (node.est_ms >= 0.0) out += StrFormat(", \"est_ms\": %.3f", node.est_ms);
+    out += StrFormat(", \"executed\": %s", node.executed ? "true" : "false");
+    if (node.executed) {
+      out += StrFormat(", \"act_io_ms\": %.3f",
+                       timings.ModeledIoMs(node.actual_io));
+      out += StrFormat(", \"rows\": %llu, \"batches\": %llu",
+                       static_cast<unsigned long long>(node.actual_rows),
+                       static_cast<unsigned long long>(node.batches));
+      out += StrFormat(
+          ", \"io\": {\"seq\": %llu, \"rand\": %llu, \"index\": %llu, "
+          "\"written\": %llu, \"cached\": %llu, \"tuples\": %llu, "
+          "\"probes\": %llu}",
+          static_cast<unsigned long long>(node.actual_io.seq_pages_read),
+          static_cast<unsigned long long>(node.actual_io.rand_pages_read),
+          static_cast<unsigned long long>(node.actual_io.index_pages_read),
+          static_cast<unsigned long long>(node.actual_io.pages_written),
+          static_cast<unsigned long long>(node.actual_io.cached_pages),
+          static_cast<unsigned long long>(node.actual_io.tuples_processed),
+          static_cast<unsigned long long>(node.actual_io.hash_probes));
+      if (!node.mem.empty()) {
+        out += StrFormat(
+            ", \"mem\": {\"match\": %llu, \"hash\": %llu, \"bitmap\": %llu, "
+            "\"batch\": %llu, \"peak\": %llu}",
+            static_cast<unsigned long long>(node.mem.match_bytes),
+            static_cast<unsigned long long>(node.mem.hash_bytes),
+            static_cast<unsigned long long>(node.mem.bitmap_bytes),
+            static_cast<unsigned long long>(node.mem.batch_bytes),
+            static_cast<unsigned long long>(node.mem.peak_bytes));
+      }
+      if (!node.counters.empty()) {
+        out += ", \"counters\": {";
+        for (size_t c = 0; c < node.counters.size(); ++c) {
+          if (c > 0) out += ", ";
+          out += StrFormat(
+              "\"%s\": %llu", JsonEscape(node.counters[c].first).c_str(),
+              static_cast<unsigned long long>(node.counters[c].second));
+        }
+        out += '}';
+      }
+      if (node.status_code != 0) {
+        out += StrFormat(", \"status\": \"%s\"",
+                         obs::StatusCodeName(node.status_code));
+      }
+    }
+    if (!node.member_stats.empty()) {
+      out += ", \"members\": [";
+      for (size_t m = 0; m < node.member_stats.size(); ++m) {
+        const PhysicalMemberStat& member = node.member_stats[m];
+        if (m > 0) out += ", ";
+        out += StrFormat("{\"query\": %d, \"method\": \"%s\", \"rows\": %llu",
+                         member.query_id, JsonEscape(member.method).c_str(),
+                         static_cast<unsigned long long>(member.rows));
+        if (member.status_code != 0) {
+          out += StrFormat(", \"status\": \"%s\"",
+                           obs::StatusCodeName(member.status_code));
+        }
+        out += '}';
+      }
+      out += ']';
+    }
+    if (!node.children.empty()) {
+      out += ", \"children\": [";
+      for (size_t c = 0; c < node.children.size(); ++c) {
+        if (c > 0) out += ", ";
+        self(self, node.children[c]);
+      }
+      out += ']';
+    }
+    out += '}';
+  };
+  for (size_t i = 0; i < roots_.size(); ++i) {
+    if (i > 0) out += ", ";
+    walk(walk, roots_[i]);
+  }
+  out += ']';
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mem_stats.h"
 #include "common/status.h"
 #include "obs/trace.h"
 #include "storage/disk_model.h"
@@ -77,6 +78,12 @@ struct PhysicalNode {
   uint64_t actual_rows = 0;
   uint64_t batches = 0;
   IoStats actual_io;
+  // High-water memory gauge of the node's transient structures (match
+  // buffers, hash tables, bitmaps, batch scratch); rendered as `mem=` next
+  // to `io=`. Lives on the node only — never on the trace span, whose
+  // structural fields must stay identical across thread counts and batch
+  // sizes while buffer capacities may not.
+  MemStats mem;
   int status_code = 0;
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<PhysicalMemberStat> member_stats;
@@ -109,6 +116,10 @@ class PhysicalPlan {
   // IoStats delta under `timings`, rows, I/O and status.
   std::string ExplainAnalyze(const DiskTimings& timings) const;
 
+  // The same executed tree as a JSON array of root objects (children
+  // nested), for tooling that post-processes EXPLAIN ANALYZE output.
+  std::string ExplainAnalyzeJson(const DiskTimings& timings) const;
+
   // Stable 16-hex-digit digest of the lowered tree's *shape* — node kinds,
   // details, query ids and child structure, never actuals or estimates.
   // Stamped into BENCH_*.json so plan drift across changes is detectable.
@@ -121,6 +132,10 @@ class PhysicalPlan {
   std::vector<PhysicalNode> nodes_;
   std::vector<size_t> roots_;
 };
+
+// Feeds one node's sealed memory gauge into the MetricsRegistry
+// ("exec.mem.node_peak_bytes" histogram, "exec.mem.peak_bytes" gauge).
+void PublishNodeMemMetrics(const MemStats& mem);
 
 // RAII execution scope for one physical node: opens the node's trace span
 // (name derived from the kind, estimate attached when annotated), snapshots
@@ -162,6 +177,18 @@ class NodeExec {
     span_.AddCounter(key, value);
     plan_.node(index_).counters.emplace_back(key, value);
   }
+  // Counter recorded on the plan node but NOT the trace span — for values
+  // (spill run counts) that legitimately vary with batch size while traces
+  // must stay structurally identical across batch configurations.
+  void AddNodeOnlyCounter(const char* key, uint64_t value) {
+    plan_.node(index_).counters.emplace_back(key, value);
+  }
+  // Folds a memory snapshot into the node's high-water gauge. Deliberately
+  // not mirrored onto the span: capacities (hash-table geometry, vector
+  // growth) vary across configurations that must trace identically.
+  void RecordMem(const MemStats& snapshot) {
+    plan_.node(index_).mem.MergePeak(snapshot);
+  }
 
   size_t index() const { return index_; }
 
@@ -174,6 +201,7 @@ class NodeExec {
     PhysicalNode& node = plan_.node(index_);
     node.executed = true;
     node.actual_io += disk_.stats() - at_open_;
+    if (!node.mem.empty()) PublishNodeMemMetrics(node.mem);
   }
 
   PhysicalPlan& plan_;

@@ -12,7 +12,7 @@
 
 #include "common/fault_injector.h"
 #include "core/paper_workload.h"
-#include "exec/parallel_operators.h"
+#include "exec/shared_operators.h"
 #include "exec/shared_operators.h"
 #include "parallel/thread_pool.h"
 #include "schema/data_generator.h"

@@ -13,7 +13,7 @@
 
 #include "core/paper_workload.h"
 #include "cube/view_builder.h"
-#include "exec/parallel_operators.h"
+#include "exec/shared_operators.h"
 #include "exec/shared_operators.h"
 #include "parallel/thread_pool.h"
 #include "schema/data_generator.h"
