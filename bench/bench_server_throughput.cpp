@@ -1,0 +1,158 @@
+// Closed-loop throughput of the continuous query server.
+//
+// Phase 1 (cold): the Figure-10 paper queries 1-4 submitted in one batch
+// reach one admission round and share scan classes — the reported
+// shared-class hit rate is (admitted - classes_opened) / admitted.
+//
+// Phase 2 (warm sweep): 1/2/4/8 closed-loop clients, each with its own
+// session, re-submit the now-cached queries and Await each handle before
+// sending the next. Every sweep point reports queries/s and the p50/p99
+// submit-to-complete latency, computed from the per-point delta of the
+// server.latency_us histogram (power-of-two buckets, so percentiles are
+// bucket lower bounds). Acceptance: >= 10k queries/s on cached views.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "core/paper_workload.h"
+#include "server/query_server.h"
+
+using namespace starshare;
+using namespace starshare::bench;
+
+namespace {
+
+using BucketSnapshot = std::array<uint64_t, obs::Histogram::kNumBuckets>;
+
+BucketSnapshot Snapshot(const obs::Histogram& h) {
+  BucketSnapshot s{};
+  for (size_t i = 0; i < s.size(); ++i) s[i] = h.bucket(i);
+  return s;
+}
+
+// Percentile over the histogram delta between two snapshots: the lower
+// bound of the first bucket where the cumulative count reaches q * total.
+uint64_t PercentileUs(const BucketSnapshot& before, const BucketSnapshot& after,
+                      double q) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < before.size(); ++i) total += after[i] - before[i];
+  if (total == 0) return 0;
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(total)) + 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    cum += after[i] - before[i];
+    if (cum >= target || i + 1 == before.size()) {
+      return obs::Histogram::BucketLowerBound(i);
+    }
+  }
+  return 0;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t rows = PaperWorkload::RowsFromEnv(400'000);
+  EngineConfig cfg;
+  cfg.result_cache_entries = 64;  // the warm phase runs on cached views
+  Engine engine(StarSchema::PaperTestSchema(), cfg);
+  PaperWorkload::Setup(engine, rows);
+  QueryServer& srv = engine.server();
+  obs::Histogram& latency = obs::Metrics().histogram("server.latency_us");
+
+  const std::vector<DimensionalQuery> queries =
+      PaperWorkload::MakeQueries(engine, {1, 2, 3, 4});
+
+  BenchReport report(
+      "server_throughput",
+      StrFormat("Continuous query server: closed-loop client sweep (%s rows)",
+                WithCommas(rows).c_str()));
+  report.Metric("fact_rows", static_cast<double>(rows));
+
+  // ---- Phase 1: cold batch, one admission round, shared classes ----
+  engine.ConsumeIoStats();
+  {
+    const auto start = std::chrono::steady_clock::now();
+    Session session = engine.OpenSession();
+    std::vector<QueryHandle> handles = session.SubmitBatch(queries);
+    for (QueryHandle& h : handles) {
+      const QueryOutcome& out = h.Await();
+      SS_CHECK_MSG(out.ok(), "cold query failed: %s",
+                   out.status.ToString().c_str());
+    }
+    Measurement m;
+    m.cpu_ms = ElapsedMs(start);
+    m.io = engine.ConsumeIoStats();
+    m.modeled_io_ms = engine.ModeledIoMs(m.io);
+    report.Row("cold_shared_batch_4q", m);
+  }
+  const double hit_rate = srv.SharedClassHitRate();
+  report.Metric("shared_class_hit_rate", hit_rate);
+  report.Metric("cold_classes_opened", static_cast<double>(srv.classes_opened()));
+  report.Note(StrFormat("cold batch: admitted=%llu classes_opened=%llu "
+                        "shared-class hit rate=%.2f",
+                        static_cast<unsigned long long>(srv.admitted()),
+                        static_cast<unsigned long long>(srv.classes_opened()),
+                        hit_rate));
+
+  // ---- Phase 2: warm closed-loop sweep on the result cache ----
+  report.Section("warm cache sweep (closed-loop, 2000 ops/client)");
+  constexpr uint64_t kOpsPerClient = 2000;
+  double best_qps = 0;
+  for (const int clients : {1, 2, 4, 8}) {
+    engine.ConsumeIoStats();
+    const BucketSnapshot before = Snapshot(latency);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&engine, &queries] {
+        Session session = engine.OpenSession();
+        for (uint64_t op = 0; op < kOpsPerClient; ++op) {
+          QueryHandle h = session.Submit(queries[op % queries.size()]);
+          const QueryOutcome& out = h.Await();
+          SS_CHECK_MSG(out.ok() && out.cache_hit, "warm query missed: %s",
+                       out.status.ToString().c_str());
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    Measurement m;
+    m.cpu_ms = ElapsedMs(start);
+    m.io = engine.ConsumeIoStats();
+    m.modeled_io_ms = engine.ModeledIoMs(m.io);
+    const BucketSnapshot after = Snapshot(latency);
+
+    const uint64_t ops = kOpsPerClient * static_cast<uint64_t>(clients);
+    const double qps = static_cast<double>(ops) / (m.cpu_ms / 1000.0);
+    if (qps > best_qps) best_qps = qps;
+    const uint64_t p50 = PercentileUs(before, after, 0.50);
+    const uint64_t p99 = PercentileUs(before, after, 0.99);
+    report.Row(StrFormat("warm_cache_c%d", clients), m);
+    report.Metric(StrFormat("qps_c%d", clients), qps);
+    report.Metric(StrFormat("p50_us_c%d", clients), static_cast<double>(p50));
+    report.Metric(StrFormat("p99_us_c%d", clients), static_cast<double>(p99));
+    report.Note(StrFormat("clients=%d: %.0f queries/s, p50=%lluus p99=%lluus",
+                          clients, qps, static_cast<unsigned long long>(p50),
+                          static_cast<unsigned long long>(p99)));
+  }
+  report.Metric("best_qps", best_qps);
+  report.Note(best_qps >= 10'000.0
+                  ? StrFormat("PASS: %.0f queries/s >= 10k on cached views",
+                              best_qps)
+                  : StrFormat("BELOW TARGET: %.0f queries/s < 10k", best_qps));
+
+  engine.StopServer();
+  report.Write();
+  return 0;
+}

@@ -13,6 +13,9 @@
 //   \save DIR       persist the cube (checksummed v3 table files)
 //   \load DIR       replace the session's cube with a saved one
 //   \fault SITE [p] arm a fault at an injection site (\fault off disarms)
+//   \serve          show the query server's admission counters
+//   \submit N       submit paper query N asynchronously (returns at once)
+//   \await          await every outstanding \submit and print its outcome
 //   \quit           exit
 //
 // Every failure — bad MDX, a missing or corrupt cube file, an injected
@@ -32,6 +35,7 @@
 #include "core/paper_workload.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/query_server.h"
 
 using namespace starshare;
 
@@ -136,6 +140,33 @@ int main(int argc, char** argv) {
   OptimizerKind kind = OptimizerKind::kGlobalGreedy;
   bool show_sql = false;
   bool explain = false;
+  // Outstanding \submit handles (query id, handle). While any are in
+  // flight the server's controller thread owns the engine internals, so
+  // synchronous paths drain them first.
+  std::vector<std::pair<int, QueryHandle>> inflight;
+  const auto drain_inflight = [&](Engine& engine) {
+    for (auto& [id, handle] : inflight) {
+      const QueryOutcome& out = handle.Await();
+      if (!out.ok()) {
+        std::printf("Q%d FAILED: %s\n", id, out.status.ToString().c_str());
+        continue;
+      }
+      std::printf("Q%d done: %zu groups%s%s%s\n", id,
+                  out.result.num_rows(), out.cache_hit ? "  [cache hit]" : "",
+                  out.attached_late
+                      ? StrFormat("  [attached late at row %llu]",
+                                  static_cast<unsigned long long>(
+                                      out.attach_cursor))
+                            .c_str()
+                      : "",
+                  out.degraded ? "  [degraded]" : "");
+    }
+    inflight.clear();
+    const IoStats io = engine.ConsumeIoStats();
+    if (io.TotalPagesRead() > 0) {
+      std::printf("io: %s\n", io.ToString().c_str());
+    }
+  };
 
   std::string buffer;
   std::string line;
@@ -202,6 +233,7 @@ int main(int argc, char** argv) {
       } else if (StartsWith(line, "\\load ")) {
         // Load into a fresh engine; the session's cube is replaced only on
         // success, so a missing or corrupt cube file costs nothing.
+        if (!inflight.empty()) drain_inflight(engine);
         auto fresh = std::make_unique<Engine>(StarSchema::PaperTestSchema());
         std::vector<std::string> skipped;
         const Status s = fresh->LoadCube(line.substr(6), &skipped);
@@ -216,6 +248,38 @@ int main(int argc, char** argv) {
         } else {
           std::printf("load failed: %s\n", s.ToString().c_str());
         }
+      } else if (line == "\\serve") {
+        QueryServer& srv = engine.server();
+        std::printf(
+            "query server: submitted=%llu completed=%llu admitted=%llu "
+            "classes_opened=%llu attached=%llu cache_hits=%llu denied=%llu "
+            "cancelled=%llu shared-class hit rate=%.2f\n",
+            static_cast<unsigned long long>(srv.submitted()),
+            static_cast<unsigned long long>(srv.completed()),
+            static_cast<unsigned long long>(srv.admitted()),
+            static_cast<unsigned long long>(srv.classes_opened()),
+            static_cast<unsigned long long>(srv.attached()),
+            static_cast<unsigned long long>(srv.cache_hits()),
+            static_cast<unsigned long long>(srv.denied()),
+            static_cast<unsigned long long>(srv.cancelled()),
+            srv.SharedClassHitRate());
+      } else if (StartsWith(line, "\\submit ")) {
+        const int id = std::atoi(line.c_str() + 8);
+        if (id >= 1 && id <= PaperWorkload::kNumQueries) {
+          inflight.emplace_back(
+              id, engine.Submit(PaperWorkload::MakeQuery(engine, id)));
+          std::printf("submitted Q%d (%zu in flight); \\await collects\n",
+                      id, inflight.size());
+        } else {
+          std::printf("usage: \\submit N (1..%d)\n",
+                      PaperWorkload::kNumQueries);
+        }
+      } else if (line == "\\await") {
+        if (inflight.empty()) {
+          std::printf("nothing in flight\n");
+        } else {
+          drain_inflight(engine);
+        }
       } else if (StartsWith(line, "\\fault")) {
         const size_t arg_at = line.find(' ');
         HandleFaultCommand(
@@ -223,6 +287,7 @@ int main(int argc, char** argv) {
       } else if (line.size() >= 3 && line[1] == 'q' && isdigit(line[2])) {
         const int id = std::atoi(line.c_str() + 2);
         if (id >= 1 && id <= PaperWorkload::kNumQueries) {
+          if (!inflight.empty()) drain_inflight(engine);
           RunMdx(engine, PaperWorkload::QueryMdx(id), kind, show_sql,
                  explain);
         } else {
@@ -237,6 +302,7 @@ int main(int argc, char** argv) {
     }
     buffer += line + "\n";
     if (buffer.find(';') != std::string::npos) {
+      if (!inflight.empty()) drain_inflight(engine);
       RunMdx(engine, buffer, kind, show_sql, explain);
       buffer.clear();
       std::printf("mdx> ");

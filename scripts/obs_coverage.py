@@ -10,9 +10,10 @@ JSON line records (gcov -t --json-format, no files written), and merges
 them per source file: a line is instrumented if any translation unit
 instruments it and covered if any translation unit executed it — this is
 what makes header-inline coverage (obs/metrics.h) add up across the many
-TUs that include it. Gated files: everything under src/obs/, plus the
-memory-accounting subsystem (exec/spill, exec/memory_budget,
-common/mem_stats). Other files are ignored. Prints a per-file table and
+TUs that include it. Gated files: everything under src/obs/ and
+src/server/ (the query-server subsystem), plus the memory-accounting
+subsystem (exec/spill, exec/memory_budget, common/mem_stats). Other
+files are ignored. Prints a per-file table and
 exits non-zero when total gated line coverage falls below the threshold
 (default 90%).
 """
@@ -25,6 +26,7 @@ import sys
 # Path fragments whose files are coverage-gated.
 GATED = (
     os.path.join("src", "obs") + os.sep,
+    os.path.join("src", "server") + os.sep,
     os.path.join("src", "exec", "spill."),
     os.path.join("src", "exec", "memory_budget."),
     os.path.join("src", "common", "mem_stats.h"),

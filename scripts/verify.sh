@@ -3,14 +3,16 @@
 # under AddressSanitizer + UBSan (-DSTARSHARE_SANITIZE=ON), a dedicated
 # ASan pass of the spilling-aggregation suite (tiny budgets exercise every
 # spill/merge/cleanup path under the leak checker), the threading suites
-# under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread), a perf-smoke
+# under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread), a TSan pass of the
+# query-server suites (cross-session admission races, shutdown with
+# queries in flight), a perf-smoke
 # pass of the scan benches on a reduced row count (their internal checks
 # fail the stage if vectorized aggregate output differs from
 # tuple-at-a-time/serial, any charged page count changes, or the
 # disabled-trace overhead bound of bench_vectorized_scan is exceeded), a
 # clang-tidy pass over src/plan/ + src/exec/ (skipped when clang-tidy is
-# absent), and a coverage pass gating src/obs/ plus the memory-accounting
-# subsystem at >= 90% covered lines.
+# absent), and a coverage pass gating src/obs/, src/server/, and the
+# memory-accounting subsystem at >= 90% covered lines.
 # All stages must pass. Run from the repository root:
 #
 #   scripts/verify.sh [jobs]
@@ -50,6 +52,17 @@ TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'thread_pool_test|parallel_determinism_test|parallel_chaos_test|metrics_test|trace_test|spill_aggregate_test'
 
+echo "==> TSan: query-server suites (sessions, admission, chaos)"
+# The continuous shared-scan server is the most concurrency-heavy
+# subsystem: client threads race Submit against the controller, engine
+# destruction races queries in flight, and the typed ThreadPool shutdown
+# ordering is exactly the class of bug TSan exists for.
+cmake --build build-tsan -j "$JOBS" --target \
+  server_session_test server_admission_test server_chaos_test
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'server_session_test|server_admission_test|server_chaos_test'
+
 echo "==> perf-smoke: scan benches on reduced rows"
 # Each bench SS_CHECKs bit-identity against its reference execution and
 # exact IoStats equality across configurations — a vectorized result or a
@@ -58,6 +71,7 @@ echo "==> perf-smoke: scan benches on reduced rows"
 # bench_vectorized_scan.cpp); the Release 2M-row sweep is the perf gate.
 (cd build && STARSHARE_ROWS=120000 ./bench/bench_vectorized_scan >/dev/null)
 (cd build && STARSHARE_ROWS=120000 ./bench/bench_parallel_scan >/dev/null)
+(cd build && STARSHARE_ROWS=120000 ./bench/bench_server_throughput >/dev/null)
 
 echo "==> clang-tidy: src/plan/ + src/exec/ (bugprone, modernize, performance)"
 # Gates the physical-plan DAG and operator layers with the repo .clang-tidy
@@ -72,7 +86,7 @@ else
   echo "    clang-tidy not found; skipping (install LLVM tooling to enable)"
 fi
 
-echo "==> coverage: src/obs/ line gate (>= 90%)"
+echo "==> coverage: src/obs/ + src/server/ line gate (>= 90%)"
 cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug \
   -DSTARSHARE_COVERAGE=ON >/dev/null
 cmake --build build-cov -j "$JOBS"

@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kShuttingDown:
+      return "SHUTTING_DOWN";
   }
   return "UNKNOWN";
 }

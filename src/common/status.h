@@ -22,6 +22,8 @@ enum class StatusCode {
   kCorruption,  // stored data failed validation (bad CRC, torn file)
   kUnavailable,  // transient I/O failure; retrying may succeed
   kResourceExhausted,  // a memory grant or spill could not be satisfied
+  kShuttingDown,  // the engine / query server is stopping; work was refused
+                  // or abandoned, never half-done
 };
 
 // The result of an operation that can fail on user input.
@@ -52,6 +54,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ShuttingDown(std::string msg) {
+    return Status(StatusCode::kShuttingDown, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,9 +10,37 @@
 #include "opt/local_optimizer.h"
 #include "common/str_util.h"
 #include "obs/metrics.h"
+#include "server/query_server.h"
 #include "storage/table_io.h"
 
 namespace starshare {
+
+Engine::~Engine() {
+  // Joins the server's controller thread before any member it references
+  // (executor_, disk_, result_cache_, memory_budget_) is destroyed.
+  server_.reset();
+}
+
+QueryServer& Engine::server() {
+  std::lock_guard<std::mutex> lock(server_mu_);
+  if (server_ == nullptr) {
+    server_ = std::make_unique<QueryServer>(*this, config_.server,
+                                            result_cache_.get(),
+                                            &memory_budget_, &executor_);
+  }
+  return *server_;
+}
+
+Session Engine::OpenSession() { return server().OpenSession(); }
+
+QueryHandle Engine::Submit(const DimensionalQuery& query) {
+  return server().Submit(/*session_id=*/0, query);
+}
+
+void Engine::StopServer() {
+  std::lock_guard<std::mutex> lock(server_mu_);
+  if (server_ != nullptr) server_->Stop();
+}
 
 Engine::Engine(StarSchema schema, EngineConfig config)
     : schema_(std::move(schema)),

@@ -21,6 +21,7 @@
 #define STARSHARE_CORE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,10 +37,15 @@
 #include "plan/physical_plan.h"
 #include "schema/data_generator.h"
 #include "schema/star_schema.h"
+#include "server/query_handle.h"
+#include "server/server_config.h"
+#include "server/session.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
 
 namespace starshare {
+
+class QueryServer;
 
 struct EngineConfig {
   DiskTimings disk_timings;
@@ -86,6 +92,10 @@ struct EngineConfig {
   // branch (<2% on the scan benches — asserted by bench_vectorized_scan).
   // Engine::ExecuteTraced records a trace regardless of this knob.
   bool trace = false;
+  // Knobs for the continuous query server (Engine::server(); DESIGN.md §13):
+  // admission optimizer, scan segment granularity, queue depth, late
+  // attachment. The server itself starts lazily on first use.
+  ServerConfig server;
 };
 
 // An Execute run plus the trace recorded for it (EXPLAIN ANALYZE).
@@ -100,6 +110,11 @@ class Engine {
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  // Stops the query server first (failing in-flight queries with a typed
+  // kShuttingDown outcome), then tears down the engine. Outstanding
+  // QueryHandles stay valid past destruction.
+  ~Engine();
 
   const StarSchema& schema() const { return schema_; }
   const CostModel& cost_model() const { return cost_; }
@@ -268,6 +283,27 @@ class Engine {
   // "queries running separately" bars of the paper's Figures 10-12).
   std::vector<ExecutedQuery> ExecuteUnshared(const GlobalPlan& plan);
 
+  // ---- Query server -------------------------------------------------------
+
+  // The continuous shared-scan query server (DESIGN.md §13), started lazily
+  // on first use with EngineConfig::server. While it is processing queries,
+  // submit through it instead of calling the synchronous Execute* methods —
+  // the server's controller thread owns the engine internals.
+  QueryServer& server();
+
+  // Opens a new client session on the server.
+  Session OpenSession();
+
+  // Asynchronously submits one query on the default session and returns a
+  // futures-style handle; Await blocks for the outcome. Sugar over
+  // server().Submit / QueryHandle::Await.
+  QueryHandle Submit(const DimensionalQuery& query);
+  const QueryOutcome& Await(QueryHandle& handle) { return handle.Await(); }
+
+  // Stops the server (idempotent; no-op when it never started). In-flight
+  // and pending queries complete with kShuttingDown.
+  void StopServer();
+
   // ---- Persistence --------------------------------------------------------
 
   // Writes the base table, every materialized view and a manifest into
@@ -347,6 +383,11 @@ class Engine {
   ExecutionReport report_;
   obs::Trace last_trace_;
   PhysicalPlan last_physical_plan_;
+
+  // The query server references the members above, so it is declared last:
+  // ~Engine stops it before anything it points at dies.
+  std::mutex server_mu_;  // guards lazy construction of server_
+  std::unique_ptr<QueryServer> server_;
 };
 
 }  // namespace starshare

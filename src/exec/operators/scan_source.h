@@ -48,6 +48,19 @@ class ScanSourceOp : public BatchOperator {
     return true;
   }
 
+  // Continuous-scan support (server/scan_runner.h): repositions the
+  // operator on a new [begin, end) slice. The high-water page cursor is
+  // reset too, so rows revisited after a circular wraparound are charged
+  // again — a second revolution over a page is real modeled I/O.
+  void Reset(uint64_t row_begin, uint64_t row_end) {
+    cursor_ = row_begin;
+    end_ = row_end;
+    next_page_ = row_begin / rpp_;
+  }
+
+  uint64_t cursor() const { return cursor_; }
+  uint64_t end() const { return end_; }
+
  private:
   DiskModel& disk_;
   uint32_t table_id_;

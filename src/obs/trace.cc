@@ -259,6 +259,8 @@ const char* StatusCodeName(int code) {
       return "UNAVAILABLE";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kShuttingDown:
+      return "SHUTTING_DOWN";
   }
   return "UNKNOWN";
 }

@@ -72,7 +72,7 @@ void RunMorselPipeline(ThreadPool* pool, size_t parallelism,
   std::vector<TaskHandle> tasks;
   tasks.reserve(n_workers);
   for (size_t w = 0; w < n_workers; ++w) {
-    tasks.push_back(pool->Submit([&, w] {
+    Result<TaskHandle> task = pool->TrySubmit([&, w] {
       DiskModel& disk = ctx.worker_disk(w);
       while (auto morsel = dispatcher.Next()) {
         Slot& slot = slots[morsel->index];
@@ -84,7 +84,22 @@ void RunMorselPipeline(ThreadPool* pool, size_t parallelism,
         }
         slot_ready.notify_one();
       }
-    }));
+    });
+    if (!task.ok()) break;  // pool draining: run with however many we got
+    tasks.push_back(std::move(task).value());
+  }
+
+  if (tasks.empty()) {
+    // The pool refused every worker (engine teardown racing a query).
+    // Degrade to the inline serial path — same order, zero threads — so
+    // the query still completes instead of deadlocking the consumer loop.
+    DiskModel& disk = ctx.worker_disk(0);
+    while (auto morsel = dispatcher.Next()) {
+      Slot& slot = slots[morsel->index];
+      slot.morsel = *morsel;
+      produce(*morsel, disk, slot.buffer);
+      ready[morsel->index].store(true, std::memory_order_release);
+    }
   }
 
   // Ordered consumption on the calling thread, overlapping the workers.

@@ -1,0 +1,98 @@
+// Circular scan cursor for continuous shared scans (server/scan_runner.h).
+//
+// A continuous scan walks a table as a fixed grid of page-aligned segments
+// and wraps from the last row back to row 0 instead of terminating. Late
+// arrivals attach at the current grid position and complete when the
+// cursor comes back around to it ("completion on wraparound"). Keeping the
+// grid FIXED — segment k always covers the same rows, regardless of when a
+// member attached — is what makes attachment points and completion points
+// coincide: a member attached at cursor `a` has seen exactly the whole
+// table when the cursor next returns to `a`, never a partial segment.
+//
+// Segments are multiples of rows_per_page (except the final, possibly
+// partial segment ending at num_rows), so segment-by-segment driving
+// charges exactly the serial scan's page sequence.
+
+#ifndef STARSHARE_PARALLEL_SCAN_CURSOR_H_
+#define STARSHARE_PARALLEL_SCAN_CURSOR_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace starshare {
+
+class CircularScanCursor {
+ public:
+  struct Segment {
+    uint64_t begin = 0;  // first row (inclusive)
+    uint64_t end = 0;    // last row (exclusive); == num_rows on the last
+                         // segment of a revolution, after which the cursor
+                         // wraps to 0
+
+    uint64_t num_rows() const { return end - begin; }
+  };
+
+  // `segment_rows` == 0 picks DefaultSegmentRows. Whatever the source, the
+  // value is rounded up to a multiple of `rows_per_page` and clamped into
+  // [rows_per_page, num_rows].
+  CircularScanCursor(uint64_t num_rows, uint64_t segment_rows,
+                     uint64_t rows_per_page)
+      : num_rows_(num_rows) {
+    SS_CHECK_MSG(num_rows > 0, "circular scan over an empty table");
+    SS_CHECK(rows_per_page > 0);
+    uint64_t seg = segment_rows == 0
+                       ? DefaultSegmentRows(num_rows, rows_per_page)
+                       : segment_rows;
+    seg = ((seg + rows_per_page - 1) / rows_per_page) * rows_per_page;
+    segment_rows_ = std::max<uint64_t>(rows_per_page, std::min(seg, ((num_rows + rows_per_page - 1) / rows_per_page) * rows_per_page));
+  }
+
+  // Advances past the next segment of the fixed grid and returns it. When
+  // the segment ends at num_rows the cursor wraps to 0 and a revolution is
+  // counted.
+  Segment Next() {
+    Segment seg;
+    seg.begin = cursor_;
+    seg.end = std::min(cursor_ + segment_rows_, num_rows_);
+    if (seg.end == num_rows_) {
+      cursor_ = 0;
+      ++revolutions_;
+    } else {
+      cursor_ = seg.end;
+    }
+    return seg;
+  }
+
+  // The grid position the next segment starts at — also the attachment
+  // cursor handed to members joining the scan now.
+  uint64_t cursor() const { return cursor_; }
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t segment_rows() const { return segment_rows_; }
+  // Completed trips past the end of the table.
+  uint64_t revolutions() const { return revolutions_; }
+
+  // A segment size giving a revolution several attachment points (so late
+  // arrivals rarely wait long for a boundary) while staying page-aligned
+  // and big enough to amortize per-segment filter setup.
+  static uint64_t DefaultSegmentRows(uint64_t num_rows,
+                                     uint64_t rows_per_page) {
+    const uint64_t target = num_rows / kSegmentsPerRevolution;
+    const uint64_t aligned =
+        ((target + rows_per_page - 1) / rows_per_page) * rows_per_page;
+    return std::max(rows_per_page, aligned);
+  }
+
+  static constexpr uint64_t kSegmentsPerRevolution = 8;
+
+ private:
+  uint64_t num_rows_;
+  uint64_t segment_rows_ = 0;
+  uint64_t cursor_ = 0;
+  uint64_t revolutions_ = 0;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_PARALLEL_SCAN_CURSOR_H_

@@ -25,16 +25,24 @@ ThreadPool::~ThreadPool() {
 }
 
 TaskHandle ThreadPool::Submit(std::function<void()> fn) {
+  Result<TaskHandle> handle = TrySubmit(std::move(fn));
+  SS_CHECK_MSG(handle.ok(), "Submit on a shutting-down ThreadPool");
+  return std::move(handle).value();
+}
+
+Result<TaskHandle> ThreadPool::TrySubmit(std::function<void()> fn) {
   static obs::Counter& task_metric = obs::Metrics().counter("thread_pool.tasks");
-  task_metric.Add();
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> done = task.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    SS_CHECK_MSG(!shutting_down_, "Submit on a shutting-down ThreadPool");
+    if (shutting_down_) {
+      return Status::ShuttingDown("ThreadPool is draining; task refused");
+    }
     queue_.push_back(std::move(task));
     ++tasks_run_;
   }
+  task_metric.Add();
   work_ready_.notify_one();
   return TaskHandle(std::move(done));
 }

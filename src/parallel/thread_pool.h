@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace starshare {
 
 // Completion handle for one submitted task. Wait() rethrows nothing:
@@ -55,8 +57,15 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  // Enqueues `fn` for execution on some worker.
+  // Enqueues `fn` for execution on some worker. Aborts if the pool is
+  // already shutting down; use TrySubmit when that is a reachable state.
   TaskHandle Submit(std::function<void()> fn);
+
+  // Like Submit, but a pool mid-destruction yields a typed kShuttingDown
+  // error instead of aborting. This is the racy-teardown-safe entry point:
+  // a caller holding a ThreadPool* across an Engine shutdown gets a Status
+  // it can act on (run the work inline, or drain) rather than a crash.
+  Result<TaskHandle> TrySubmit(std::function<void()> fn);
 
   // Number of tasks submitted over the pool's lifetime (for tests).
   uint64_t tasks_run() const;

@@ -1,0 +1,60 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace starshare {
+
+uint64_t EstimatedAggBytes(const DimensionalQuery& query,
+                           const StarSchema& schema) {
+  // One packed 64-bit key + one 64-bit accumulator per estimated group.
+  return query.EstimatedGroups(schema) * 16;
+}
+
+bool BudgetAdmits(const MemoryBudget& budget, const DimensionalQuery& query,
+                  const StarSchema& schema) {
+  if (!budget.bounded()) return true;
+  return EstimatedAggBytes(query, schema) <= budget.total_bytes();
+}
+
+bool ScanOnlyClass(const ClassPlan& cls) {
+  for (const LocalPlan& member : cls.members) {
+    if (member.method != JoinMethod::kHashScan) return false;
+  }
+  return !cls.members.empty();
+}
+
+JoinOrOpen EvaluateJoinOrOpen(
+    const CostModel& cost, const MaterializedView& view,
+    const std::vector<const DimensionalQuery*>& active,
+    const ClassPlan& incoming, uint64_t cursor_rows) {
+  JoinOrOpen out;
+  out.open_ms = incoming.EstMs();
+
+  double nonshared_ms = 0;
+  std::vector<const DimensionalQuery*> combined = active;
+  for (const LocalPlan& member : incoming.members) {
+    nonshared_ms += member.EstMs();
+    combined.push_back(member.query);
+  }
+
+  // Wraparound I/O: late members re-read the prefix [0, cursor) the scan
+  // has already passed, a `cursor/num_rows` fraction of one full scan.
+  const uint64_t num_rows = view.table().num_rows();
+  const double wrap_fraction =
+      num_rows == 0 ? 0.0
+                    : static_cast<double>(cursor_rows) /
+                          static_cast<double>(num_rows);
+  const double wrap_io_ms = wrap_fraction * cost.ScanIoMs(view);
+
+  // Marginal shared CPU of carrying the extra pass-mask bits for the rest
+  // of the revolution (the §5 CostOfAdd idea applied to a scan mid-flight).
+  const double cpu_delta =
+      std::max(0.0, cost.SharedScanCpuMs(combined, view) -
+                        cost.SharedScanCpuMs(active, view));
+
+  out.join_ms = nonshared_ms + wrap_io_ms + cpu_delta;
+  out.join = out.join_ms < out.open_ms;
+  return out;
+}
+
+}  // namespace starshare

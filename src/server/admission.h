@@ -1,0 +1,60 @@
+// The online admission policy: the paper's §5/§6 "join this class or open
+// a new one" arithmetic, evaluated per admission round instead of once per
+// batch. Pure functions over the cost model so the policy is unit-testable
+// without a running server.
+
+#ifndef STARSHARE_SERVER_ADMISSION_H_
+#define STARSHARE_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cube/materialized_view.h"
+#include "exec/memory_budget.h"
+#include "plan/plan.h"
+#include "query/query.h"
+#include "schema/star_schema.h"
+
+namespace starshare {
+
+// Estimated resident aggregation bytes for `query` (packed key + measure
+// per estimated result group) — the admission-time proxy for the memory a
+// query will pin while riding a continuous scan.
+uint64_t EstimatedAggBytes(const DimensionalQuery& query,
+                           const StarSchema& schema);
+
+// Admission gate on the memory budget: a query whose estimated aggregation
+// state exceeds the ENTIRE budget can never finish even with the whole
+// grant, so it is denied up front (kResourceExhausted) instead of failing
+// mid-flight. Queries within budget are admitted — spilling handles
+// overflow during execution.
+bool BudgetAdmits(const MemoryBudget& budget, const DimensionalQuery& query,
+                  const StarSchema& schema);
+
+// True when every member of the class runs the §3.1 hash-scan method —
+// the only shape a continuous scan (and hence late attachment) supports.
+bool ScanOnlyClass(const ClassPlan& cls);
+
+// The two sides of the join-or-open decision for a class arriving while a
+// compatible shared scan is at `cursor_rows`:
+//   open_ms : run the incoming class standalone from row 0 (its EstMs).
+//   join_ms : ride the in-flight scan — the members' non-shared work, plus
+//             the wraparound re-read of rows [0, cursor) the late members
+//             owe, plus the marginal shared-scan CPU of widening the pass
+//             masks from `active` to active+incoming.
+// join is true iff join_ms < open_ms (ties open a fresh class, matching
+// the batch optimizers' preference for the standalone plan).
+struct JoinOrOpen {
+  bool join = false;
+  double join_ms = 0;
+  double open_ms = 0;
+};
+JoinOrOpen EvaluateJoinOrOpen(
+    const CostModel& cost, const MaterializedView& view,
+    const std::vector<const DimensionalQuery*>& active,
+    const ClassPlan& incoming, uint64_t cursor_rows);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_SERVER_ADMISSION_H_

@@ -1,0 +1,118 @@
+// Futures-style completion handles for queries submitted to the query
+// server. A QueryHandle is a cheap copyable reference to shared completion
+// state; it stays valid — and Await() returns — even if the Engine that
+// accepted the submission is destroyed mid-flight (the outcome is then a
+// typed kShuttingDown status, never a use-after-free).
+
+#ifndef STARSHARE_SERVER_QUERY_HANDLE_H_
+#define STARSHARE_SERVER_QUERY_HANDLE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "query/query.h"
+#include "query/result.h"
+
+namespace starshare {
+
+// Everything the server has to say about one submitted query.
+struct QueryOutcome {
+  QueryResult result;
+  // OK iff `result` is valid.
+  Status status;
+  // The planned evaluation failed and the result came from the fact-table
+  // fallback (same meaning as ExecutedQuery::degraded).
+  bool degraded = false;
+  // Served from the result cache without touching storage.
+  bool cache_hit = false;
+  // The query attached to a shared scan already in flight and completed on
+  // wraparound; attach_cursor is the row the scan was at when it joined.
+  bool attached_late = false;
+  uint64_t attach_cursor = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+namespace serverdetail {
+
+// Shared between the client holding the handle and the controller thread
+// completing it. The query is copied in at Submit so plans and operators
+// can point at stable storage for the whole flight.
+struct HandleState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;  // guarded by mu
+  QueryOutcome outcome;  // guarded by mu until done
+  DimensionalQuery query;
+  uint64_t session_id = 0;
+  uint64_t token = 0;  // server-assigned, unique per submission
+  std::atomic<bool> cancelled{false};
+  std::chrono::steady_clock::time_point submitted_at;
+
+  // Publishes the outcome and wakes waiters. Later calls are ignored: the
+  // first completion (e.g. a cancel racing normal completion) wins.
+  void Complete(QueryOutcome out) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (done) return;
+      outcome = std::move(out);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace serverdetail
+
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+  explicit QueryHandle(std::shared_ptr<serverdetail::HandleState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  int query_id() const { return state_->query.id(); }
+
+  // Blocks until the server completes the query (normally, degraded, denied
+  // or shut down) and returns the outcome. Idempotent.
+  const QueryOutcome& Await() {
+    SS_CHECK_MSG(valid(), "Await on an empty QueryHandle");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->done; });
+    return state_->outcome;
+  }
+
+  // Non-blocking: has the query completed?
+  bool done() const {
+    SS_CHECK_MSG(valid(), "done() on an empty QueryHandle");
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+  // Best-effort cancellation: a query still pending (or riding a shared
+  // scan) completes with kUnavailable at the server's next opportunity; a
+  // query that already finished keeps its result.
+  void Cancel() {
+    SS_CHECK_MSG(valid(), "Cancel on an empty QueryHandle");
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  // Internal (server use): the shared completion state.
+  const std::shared_ptr<serverdetail::HandleState>& state() const {
+    return state_;
+  }
+
+ private:
+  std::shared_ptr<serverdetail::HandleState> state_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_SERVER_QUERY_HANDLE_H_

@@ -1,0 +1,192 @@
+// The continuous shared-scan query server: the engine's front end for
+// asynchronously arriving queries from many client sessions.
+//
+// Architecture (DESIGN.md §13). Clients call Submit/SubmitBatch, which
+// park the query on a pending queue and return a futures-style
+// QueryHandle immediately. One controller thread drains the queue in
+// ADMISSION ROUNDS: each round's queries are checked against the result
+// cache and the memory budget, then planned together with the configured
+// optimizer — the same §5/§6 cost models that group a batch into classes
+// now group concurrently arriving queries ACROSS sessions. Each planned
+// class becomes a job:
+//
+//   * all-hash-scan classes run as a ContinuousScanRun — a circular,
+//     segment-driven shared scan that later rounds can ATTACH compatible
+//     queries to mid-flight (the join-or-open decision of
+//     server/admission.h); late members complete on wraparound,
+//     bit-identical to standalone execution (scan_runner.h).
+//   * classes with index/hybrid members, and every class when a memory
+//     budget is set, run through the engine's batch Execute — identical
+//     plans, fallback ladder and spilling included.
+//
+// Within a segment, production can be morsel-parallel on the engine's
+// ThreadPool; the controller thread does all folding, cache access and
+// engine calls, so the single-threaded engine internals are never raced.
+// While a server is processing queries, use this API — do not call the
+// engine's synchronous Execute* concurrently.
+//
+// Shutdown: Stop() (or destroying the Engine) wakes the controller, fails
+// everything pending or mid-flight with a typed kShuttingDown status, and
+// joins. Handles outlive the server: Await after shutdown returns the
+// typed outcome, never dangles.
+
+#ifndef STARSHARE_SERVER_QUERY_SERVER_H_
+#define STARSHARE_SERVER_QUERY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/engine.h"
+#include "plan/plan.h"
+#include "server/query_handle.h"
+#include "server/scan_runner.h"
+#include "server/server_config.h"
+#include "server/session.h"
+
+namespace starshare {
+
+class QueryServer {
+ public:
+  // Constructed by Engine::server(), which passes its cache / budget /
+  // executor internals; the server starts its controller thread
+  // immediately. All pointers may outlive every query but must belong to
+  // `engine`.
+  QueryServer(Engine& engine, ServerConfig config, ResultCache* cache,
+              const MemoryBudget* budget, const Executor* executor);
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  ~QueryServer();
+
+  // Fails everything pending or in flight with kShuttingDown and joins the
+  // controller. Idempotent; further Submits are refused typed.
+  void Stop();
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  // ---- Sessions ----------------------------------------------------------
+
+  // A new client session. Session 0 is the implicit default session (used
+  // by Engine::Submit) and is always open.
+  Session OpenSession();
+  // Disconnects `session_id`: its outstanding queries complete with
+  // kUnavailable at the next admission round / segment boundary.
+  void CloseSession(uint64_t session_id);
+
+  // ---- Submission --------------------------------------------------------
+
+  QueryHandle Submit(uint64_t session_id, const DimensionalQuery& query);
+
+  // Enqueues all queries under one lock so they reach the SAME admission
+  // round and are planned together like one batch Execute.
+  std::vector<QueryHandle> SubmitBatch(
+      uint64_t session_id, const std::vector<DimensionalQuery>& queries);
+
+  const ServerConfig& config() const { return config_; }
+
+  // ---- Accounting (for tests and benches; monotonic) ---------------------
+
+  uint64_t submitted() const { return submitted_.load(); }
+  uint64_t completed() const { return completed_.load(); }
+  // Queries that passed cache + budget checks and were planned.
+  uint64_t admitted() const { return admitted_.load(); }
+  // Planned classes that opened a fresh run / batch job.
+  uint64_t classes_opened() const { return classes_opened_.load(); }
+  // Queries that attached to an in-flight continuous scan.
+  uint64_t attached() const { return attached_.load(); }
+  uint64_t cache_hits() const { return cache_hits_.load(); }
+  // Refused at submission or admission (queue full, budget).
+  uint64_t denied() const { return denied_.load(); }
+  uint64_t cancelled() const { return cancelled_.load(); }
+
+  // Fraction of admitted queries that shared work instead of opening their
+  // own class: (admitted - classes_opened) / admitted. 0 before traffic.
+  double SharedClassHitRate() const;
+
+ private:
+  friend class Session;
+
+  struct ClassJob {
+    ClassPlan cls;
+    // Index-aligned with cls.members; each state's query is the member's
+    // stable DimensionalQuery storage.
+    std::vector<std::shared_ptr<serverdetail::HandleState>> states;
+  };
+  struct ActiveMember {
+    std::shared_ptr<serverdetail::HandleState> state;
+    bool attached_late = false;
+  };
+
+  void ControllerLoop();
+  // Drains pending submissions: cache hits and budget denials complete
+  // immediately; the rest are planned (in waves of distinct query ids) and
+  // either attached to the active run or queued as class jobs.
+  void AdmissionRound();
+  void PlanWave(std::vector<std::shared_ptr<serverdetail::HandleState>> wave);
+  // Joins `job` onto the active continuous scan when the §5/§6 arithmetic
+  // says riding it beats opening fresh. True when attached.
+  bool TryAttach(ClassJob& job);
+  void RunJob(ClassJob job);
+  void RunContinuous(ClassJob job);
+  void RunBatch(ClassJob job);
+  // Completes members of the active run whose session disconnected.
+  void DetachCancelled(ContinuousScanRun& run);
+  // Re-runs one failed member standalone on the base fact table (the same
+  // degradation ladder as batch execution). kShuttingDown never falls back.
+  void FallbackMember(const std::shared_ptr<serverdetail::HandleState>& state,
+                      const Status& planned_error, bool attached_late,
+                      uint64_t attach_cursor);
+  void CacheInsert(const DimensionalQuery& query, const QueryResult& result);
+  void CompleteState(const std::shared_ptr<serverdetail::HandleState>& state,
+                     QueryOutcome outcome);
+  bool Continuable(const ClassPlan& cls) const;
+  void UpdateInflightGauge();
+
+  Engine& engine_;
+  ServerConfig config_;
+  ResultCache* cache_;              // controller thread only
+  const MemoryBudget* budget_;
+  const Executor* executor_;
+
+  std::mutex mu_;  // pending_, session_states_, closed_sessions_, ids
+  std::condition_variable work_ready_;
+  std::deque<std::shared_ptr<serverdetail::HandleState>> pending_;
+  std::unordered_map<uint64_t,
+                     std::vector<std::weak_ptr<serverdetail::HandleState>>>
+      session_states_;
+  std::unordered_set<uint64_t> closed_sessions_;
+  uint64_t next_session_ = 1;
+  uint64_t next_token_ = 1;
+
+  std::atomic<bool> stop_requested_{false};
+  std::mutex stop_mu_;  // serializes Stop/join
+
+  // Controller-thread-only state.
+  std::deque<ClassJob> run_queue_;
+  ContinuousScanRun* active_run_ = nullptr;
+  std::unordered_map<uint64_t, ActiveMember> active_states_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> classes_opened_{0};
+  std::atomic<uint64_t> attached_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> denied_{0};
+  std::atomic<uint64_t> cancelled_{0};
+
+  std::thread controller_;  // last member: started in the ctor body
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_SERVER_QUERY_SERVER_H_

@@ -1,0 +1,47 @@
+// Knobs for the continuous shared-scan query server (server/query_server.h).
+// Lives in its own header so core/engine.h can embed a ServerConfig in
+// EngineConfig without pulling in the server itself.
+
+#ifndef STARSHARE_SERVER_SERVER_CONFIG_H_
+#define STARSHARE_SERVER_SERVER_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "opt/optimizer.h"
+
+namespace starshare {
+
+struct ServerConfig {
+  // Optimizer used for each admission round: the queries of one round are
+  // planned together, exactly as a batch Execute would plan them.
+  OptimizerKind optimizer = OptimizerKind::kGlobalGreedy;
+
+  // Rows per continuous-scan segment (0 = automatic: page-aligned, ~8
+  // segments per revolution). Segments are the late-attachment granularity:
+  // a query arriving mid-scan waits at most one segment for a boundary.
+  uint64_t segment_rows = 0;
+
+  // Submissions parked before admission; beyond this Submit is denied with
+  // kResourceExhausted instead of queuing unboundedly.
+  size_t max_pending = 65536;
+
+  // Answer repeated identical queries from the engine's result cache
+  // (requires EngineConfig::result_cache_entries > 0 to have any effect).
+  bool use_result_cache = true;
+
+  // Allow queries to attach to a compatible shared scan already in flight
+  // (completing on wraparound). Off = every admitted class runs from row 0.
+  bool allow_late_attach = true;
+
+  // Test hook, called on the controller thread after every continuous-scan
+  // segment with the cursor position the scan is paused at. Submissions
+  // made from the hook are admitted at exactly that cursor — tests use this
+  // to pin late attachments to a chosen boundary. Keep it fast.
+  std::function<void(uint64_t cursor_rows)> on_segment_boundary;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_SERVER_SERVER_CONFIG_H_

@@ -1,0 +1,48 @@
+// A client session on the query server: a lightweight, copyable handle
+// identifying who submitted what. Closing a session cancels its
+// outstanding queries (the "client disconnected mid-scan" path); queries
+// from other sessions riding the same shared scan are unaffected.
+
+#ifndef STARSHARE_SERVER_SESSION_H_
+#define STARSHARE_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "server/query_handle.h"
+
+namespace starshare {
+
+class QueryServer;
+
+class Session {
+ public:
+  Session() = default;
+
+  uint64_t id() const { return id_; }
+  bool valid() const { return server_ != nullptr; }
+
+  // Enqueues one query for admission. Returns immediately with a handle.
+  QueryHandle Submit(const DimensionalQuery& query);
+
+  // Enqueues several queries so they reach the SAME admission round — they
+  // are planned together, exactly as one batch Execute would plan them.
+  std::vector<QueryHandle> SubmitBatch(
+      const std::vector<DimensionalQuery>& queries);
+
+  // Disconnects: outstanding queries of this session complete with
+  // kUnavailable at the server's next opportunity. Idempotent.
+  void Close();
+
+ private:
+  friend class QueryServer;
+  Session(QueryServer* server, uint64_t id) : server_(server), id_(id) {}
+
+  QueryServer* server_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_SERVER_SESSION_H_

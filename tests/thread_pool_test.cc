@@ -8,6 +8,7 @@
 #include <chrono>
 #include <future>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injector.h"
@@ -188,6 +189,45 @@ TEST(ParallelContextTest, FirstWorkerFaultWinsOnMerge) {
   EXPECT_EQ(parent.TakeFault().code(), StatusCode::kUnavailable);
   EXPECT_FALSE(ctx.worker_disk(0).has_fault());  // consumed by the merge
   EXPECT_FALSE(ctx.worker_disk(1).has_fault());  // cleared, not leaked
+}
+
+TEST(ThreadPoolTest, TrySubmitSucceedsOnALivePool) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  Result<TaskHandle> handle = pool.TrySubmit([&] { ran.fetch_add(1); });
+  ASSERT_TRUE(handle.ok());
+  handle.value().Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+// The shutdown-ordering regression test: a task racing pool destruction
+// gets a typed kShuttingDown refusal from TrySubmit instead of an abort or
+// a use-after-free (the query server relies on this when an Engine dies
+// with queries in flight; verify.sh runs this file under TSan).
+TEST(ThreadPoolTest, TrySubmitRefusedTypedDuringShutdown) {
+  std::atomic<bool> destroying{false};
+  std::atomic<bool> refused{false};
+  StatusCode refusal_code = StatusCode::kOk;
+  {
+    ThreadPool pool(1);
+    pool.Submit([&] {
+      while (!destroying.load()) std::this_thread::yield();
+      // The destructor is now flipping shutting_down_; keep trying until
+      // the typed refusal arrives. Accepted no-ops still run and drain.
+      for (;;) {
+        Result<TaskHandle> r = pool.TrySubmit([] {});
+        if (!r.ok()) {
+          refusal_code = r.status().code();
+          refused.store(true);
+          return;
+        }
+        std::this_thread::yield();
+      }
+    });
+    destroying.store(true);
+  }  // ~ThreadPool joins: the worker must have been refused by now
+  EXPECT_TRUE(refused.load());
+  EXPECT_EQ(refusal_code, StatusCode::kShuttingDown);
 }
 
 TEST(FaultInjectorTest, ConcurrentHitsAreCountedExactly) {
