@@ -91,15 +91,18 @@ void RunMorselPipeline(ThreadPool* pool, size_t parallelism,
 
   if (tasks.empty()) {
     // The pool refused every worker (engine teardown racing a query).
-    // Degrade to the inline serial path — same order, zero threads — so
-    // the query still completes instead of deadlocking the consumer loop.
+    // Degrade to the inline serial path — produce + consume + MarkConsumed
+    // per morsel, same order, zero threads — so the query still completes.
+    // Producing without consuming would fill the dispatcher's backpressure
+    // window and block Next() forever once num_morsels exceeds it.
     DiskModel& disk = ctx.worker_disk(0);
     while (auto morsel = dispatcher.Next()) {
-      Slot& slot = slots[morsel->index];
-      slot.morsel = *morsel;
-      produce(*morsel, disk, slot.buffer);
-      ready[morsel->index].store(true, std::memory_order_release);
+      Buffer buffer;
+      produce(*morsel, disk, buffer);
+      consume(*morsel, buffer);
+      dispatcher.MarkConsumed(morsel->index);
     }
+    return;
   }
 
   // Ordered consumption on the calling thread, overlapping the workers.

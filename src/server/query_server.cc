@@ -88,6 +88,7 @@ void QueryServer::Stop() {
 Session QueryServer::OpenSession() {
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t id = next_session_++;
+  open_sessions_.insert(id);
   SMetrics().sessions_open.Add(1);
   return Session(this, id);
 }
@@ -96,7 +97,10 @@ void QueryServer::CloseSession(uint64_t session_id) {
   std::vector<std::weak_ptr<serverdetail::HandleState>> states;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!closed_sessions_.insert(session_id).second) return;  // already
+    // Session 0 is the implicit default (Engine::Submit) and always stays
+    // open; ids never opened, or closed already, are ignored so the
+    // sessions_open gauge only moves for real open->closed transitions.
+    if (session_id == 0 || open_sessions_.erase(session_id) == 0) return;
     auto it = session_states_.find(session_id);
     if (it != session_states_.end()) {
       states = std::move(it->second);
@@ -142,13 +146,26 @@ std::vector<QueryHandle> QueryServer::SubmitBatch(
       refused;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Completed queries whose clients dropped the handle leave expired
+    // weak_ptrs behind; prune on append so the vector tracks in-flight
+    // queries instead of growing with the session's total traffic.
+    auto tracked = session_states_.find(session_id);
+    if (tracked != session_states_.end()) {
+      auto& vec = tracked->second;
+      vec.erase(std::remove_if(
+                    vec.begin(), vec.end(),
+                    [](const std::weak_ptr<serverdetail::HandleState>& weak) {
+                      return weak.expired();
+                    }),
+                vec.end());
+    }
     for (auto& state : states) {
       if (stop_requested_.load(std::memory_order_acquire)) {
         refused.emplace_back(state,
                              Status::ShuttingDown("query server stopped"));
         continue;
       }
-      if (closed_sessions_.count(session_id) > 0) {
+      if (session_id != 0 && open_sessions_.count(session_id) == 0) {
         refused.emplace_back(
             state, Status::FailedPrecondition(StrFormat(
                        "session %llu is closed",
@@ -330,6 +347,7 @@ void QueryServer::PlanWave(
 
 bool QueryServer::TryAttach(ClassJob& job) {
   if (active_run_ == nullptr || active_run_->empty()) return false;
+  if (attach_paused_) return false;
   if (!config_.allow_late_attach) return false;
   if (!ScanOnlyClass(job.cls)) return false;
   if (job.cls.base != &active_run_->view()) return false;
@@ -448,9 +466,17 @@ void QueryServer::RunContinuous(ClassJob job) {
     // disconnects detach, then new arrivals may attach at this cursor.
     if (config_.on_segment_boundary) config_.on_segment_boundary(run.cursor());
     DetachCancelled(run);
+    // Starvation guard: with non-attachable class jobs waiting in
+    // run_queue_, sustained attach traffic could keep this run alive for
+    // ever. After max_absorb_revolutions with jobs waiting, stop absorbing
+    // — new compatible classes queue behind the waiters and the run drains
+    // on the wraparound of its current members.
+    attach_paused_ = !run_queue_.empty() &&
+                     run.revolutions() >= config_.max_absorb_revolutions;
     AdmissionRound();
   }
 
+  attach_paused_ = false;
   active_run_ = nullptr;
   SS_CHECK_MSG(active_states_.empty(),
                "continuous scan ended with members unaccounted for");

@@ -157,13 +157,19 @@ class QueryServer {
   const MemoryBudget* budget_;
   const Executor* executor_;
 
-  std::mutex mu_;  // pending_, session_states_, closed_sessions_, ids
+  std::mutex mu_;  // pending_, session_states_, open_sessions_, ids
   std::condition_variable work_ready_;
   std::deque<std::shared_ptr<serverdetail::HandleState>> pending_;
+  // Expired entries (handle dropped after completion) are pruned on every
+  // append, so the long-lived default session tracks in-flight queries
+  // instead of growing with total traffic.
   std::unordered_map<uint64_t,
                      std::vector<std::weak_ptr<serverdetail::HandleState>>>
       session_states_;
-  std::unordered_set<uint64_t> closed_sessions_;
+  // Ids handed out by OpenSession and not yet closed. Session 0 (the
+  // implicit default used by Engine::Submit) is never a member and can
+  // never be closed; CloseSession ignores ids not in this set.
+  std::unordered_set<uint64_t> open_sessions_;
   uint64_t next_session_ = 1;
   uint64_t next_token_ = 1;
 
@@ -174,6 +180,10 @@ class QueryServer {
   std::deque<ClassJob> run_queue_;
   ContinuousScanRun* active_run_ = nullptr;
   std::unordered_map<uint64_t, ActiveMember> active_states_;
+  // Starvation guard: set while the active run has absorbed attachments
+  // for max_absorb_revolutions with class jobs waiting in run_queue_;
+  // TryAttach refuses, so the run drains and the queued jobs get served.
+  bool attach_paused_ = false;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};

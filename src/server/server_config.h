@@ -35,6 +35,13 @@ struct ServerConfig {
   // (completing on wraparound). Off = every admitted class runs from row 0.
   bool allow_late_attach = true;
 
+  // Starvation guard for allow_late_attach: once non-attachable class jobs
+  // are waiting behind an in-flight continuous scan, the scan may keep
+  // absorbing attachments for at most this many full revolutions before
+  // attachment pauses and it drains, letting the waiters run. Attachment
+  // is unlimited while nothing waits.
+  uint64_t max_absorb_revolutions = 4;
+
   // Test hook, called on the controller thread after every continuous-scan
   // segment with the cursor position the scan is paused at. Submissions
   // made from the hook are admitted at exactly that cursor — tests use this

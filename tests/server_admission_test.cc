@@ -229,6 +229,74 @@ TEST(ServerAdmissionTest, ConcurrentSessionsWithDuplicateIdsAllComplete) {
   EXPECT_EQ(engine->server().admitted(), total);
 }
 
+// Starvation guard: once a non-attachable class job (here an index-probe
+// class) is queued behind the active continuous scan, later attachable
+// arrivals must stop absorbing into the run (max_absorb_revolutions = 0
+// pauses attachment as soon as anything waits) so the run drains and the
+// queued job gets served instead of starving indefinitely.
+TEST(ServerAdmissionTest, QueuedJobBoundsAttachAbsorption) {
+  auto slot = std::make_shared<HookSlot>();
+  EngineConfig cfg;
+  cfg.parallelism = 1;
+  cfg.server.segment_rows = 7500;  // 8 segments per revolution
+  cfg.server.max_absorb_revolutions = 0;
+  cfg.server.on_segment_boundary = [slot](uint64_t cursor) {
+    if (slot->fn) slot->fn(cursor);
+  };
+  std::vector<DimensionConfig> dims;
+  dims.push_back({.name = "X", .top_cardinality = 2, .fanouts = {8, 5}});
+  dims.push_back({.name = "Y", .top_cardinality = 2, .fanouts = {8, 5}});
+  dims.push_back({.name = "W", .top_cardinality = 3, .fanouts = {4}});
+  Engine engine(StarSchema(std::move(dims), "m"), cfg);
+  engine.LoadFactTable({.num_rows = 60000, .seed = 91});
+  ASSERT_TRUE(engine.BuildIndexes("XYW", {"X", "Y"}).ok());
+  const StarSchema& schema = engine.schema();
+
+  // Very selective on the indexed prefix: plans as kIndexProbe, so its
+  // class is not scan-only and always queues behind the active run.
+  const DimensionalQuery probe = MakeQuery(
+      schema, 99, "XY", {{"X", 0, {3}}, {"Y", 0, {7}}, {"W", 1, {1}}});
+  {
+    std::vector<DimensionalQuery> one{probe};
+    const GlobalPlan plan = engine.Optimize(one, OptimizerKind::kGlobalGreedy);
+    ASSERT_EQ(plan.classes[0].members[0].method, JoinMethod::kIndexProbe);
+  }
+
+  std::vector<DimensionalQuery> attachables;
+  for (int i = 0; i < 12; ++i) {
+    attachables.push_back(MakeQuery(schema, 100 + i, "X'", {}));
+  }
+
+  QueryHandle probe_handle;
+  std::vector<QueryHandle> attach_handles;
+  int boundaries = 0;
+  slot->fn = [&](uint64_t) {
+    ++boundaries;
+    if (boundaries > 8) return;  // only feed the first revolution
+    if (boundaries == 1) {
+      // Queue empty: this one is allowed to absorb into the run.
+      attach_handles.push_back(engine.server().Submit(0, attachables[0]));
+    } else if (boundaries == 2) {
+      probe_handle = engine.server().Submit(0, probe);
+    } else if (attach_handles.size() < attachables.size()) {
+      attach_handles.push_back(
+          engine.server().Submit(0, attachables[attach_handles.size()]));
+    }
+  };
+
+  QueryHandle first = engine.Submit(MakeQuery(schema, 1, "Y'", {}));
+  ASSERT_TRUE(first.Await().ok());
+  ASSERT_TRUE(probe_handle.Await().ok()) << probe_handle.Await().status.ToString();
+  ASSERT_GE(attach_handles.size(), 3u);
+  for (QueryHandle& h : attach_handles) EXPECT_TRUE(h.Await().ok());
+
+  // Exactly the pre-queue arrival attached; everything after the index job
+  // queued opened its own class instead of keeping the run alive.
+  EXPECT_EQ(engine.server().attached(), 1u);
+  EXPECT_EQ(engine.server().classes_opened(),
+            2u + attach_handles.size() - 1);  // first + probe + later arrivals
+}
+
 TEST(ServerAdmissionTest, JoinOrOpenArithmetic) {
   auto engine = MakeEngine(nullptr);
   const auto queries = Workload(engine->schema());

@@ -161,6 +161,22 @@ TEST(ServerSessionTest, ClosedSessionRefusesSubmissionTyped) {
   EXPECT_TRUE(ok.Await().ok());
 }
 
+TEST(ServerSessionTest, CloseDefaultOrUnknownSessionIsIgnored) {
+  auto engine = MakeEngine(1, 1024);
+  const auto queries = Workload(engine->schema());
+  QueryServer& server = engine->server();
+  server.CloseSession(0);      // the implicit default: always open
+  server.CloseSession(12345);  // never opened
+  EXPECT_TRUE(engine->Submit(queries[0]).Await().ok());
+
+  Session session = engine->OpenSession();
+  session.Close();
+  session.Close();  // double-close: idempotent, no gauge imbalance
+  EXPECT_EQ(session.Submit(queries[1]).Await().status.code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(engine->Submit(queries[2]).Await().ok());
+}
+
 TEST(ServerSessionTest, StopServerRefusesFurtherSubmissionsTyped) {
   auto engine = MakeEngine(1, 1024);
   const auto queries = Workload(engine->schema());

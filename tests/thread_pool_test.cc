@@ -156,6 +156,42 @@ TEST(MorselPipelineTest, ParallelModeConsumesInOrderExactlyOnce) {
   for (size_t i = 0; i < consumed.size(); ++i) EXPECT_EQ(consumed[i], i);
 }
 
+// Regression: a pool that refuses every TrySubmit (mid-destruction) must
+// degrade to the inline serial path. The dispatcher's backpressure window
+// here is far smaller than the morsel count, so the old fallback — which
+// produced every morsel without consuming any — would block in Next()
+// forever once the window filled.
+TEST(MorselPipelineTest, PoolRefusalFallsBackInlineDespiteBackpressure) {
+  auto pool = std::make_unique<ThreadPool>(1);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  pool->Submit([released] { released.wait(); });  // parks the only worker
+
+  // Begin destruction on a side thread: shutdown flips, the join parks on
+  // the blocked worker, and TrySubmit starts refusing.
+  ThreadPool* raw = pool.get();
+  std::thread destroyer([&] { pool.reset(); });
+  while (raw->TrySubmit([] {}).ok()) std::this_thread::yield();
+
+  DiskModel parent;
+  ParallelContext ctx(parent, 2);
+  MorselDispatcher dispatcher(100, 1, /*window=*/4);
+  ASSERT_GT(dispatcher.num_morsels(), 4u);  // morsels >> window
+  std::vector<uint64_t> consumed;
+  RunMorselPipeline<uint64_t>(
+      raw, /*parallelism=*/2, dispatcher, ctx,
+      [](const Morsel& m, DiskModel&, uint64_t& buf) { buf = m.index; },
+      [&](const Morsel& m, const uint64_t& buf) {
+        EXPECT_EQ(buf, m.index);
+        consumed.push_back(m.index);
+      });
+  ASSERT_EQ(consumed.size(), dispatcher.num_morsels());
+  for (size_t i = 0; i < consumed.size(); ++i) EXPECT_EQ(consumed[i], i);
+
+  release.set_value();
+  destroyer.join();
+}
+
 TEST(ParallelContextTest, MergeSumsWorkerStatsIntoParent) {
   DiskModel parent;
   parent.CountTuples(5);
