@@ -24,6 +24,7 @@ int main() {
   {
     Engine engine(StarSchema::PaperTestSchema());
     engine.LoadFactTable({.num_rows = rows});
+    StampPageLayout(report, engine);
     engine.ConsumeIoStats();
     const Measurement m = Measure(engine, [&] {
       for (const std::string& spec : PaperWorkload::ViewSpecs()) {

@@ -39,6 +39,7 @@ int main() {
     config.buffer_pool_pages = pool_pages;
     Engine engine(StarSchema::PaperTestSchema(), config);
     PaperWorkload::Setup(engine, rows);
+    if (pool_pages == pool_sizes[0]) StampPageLayout(report, engine);
     const std::vector<DimensionalQuery> queries =
         PaperWorkload::MakeQueries(engine, {1, 2, 3, 4});
     const GlobalPlan plan = ForcedClassPlan(

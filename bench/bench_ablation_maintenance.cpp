@@ -29,6 +29,7 @@ int main() {
   {
     Engine engine(StarSchema::PaperTestSchema());
     PaperWorkload::Setup(engine, rows);
+    StampPageLayout(report, engine);
     engine.ConsumeIoStats();
     const Measurement m = Measure(engine, [&] {
       SS_CHECK(engine.AppendFacts({.num_rows = delta_rows, .seed = 9}).ok());

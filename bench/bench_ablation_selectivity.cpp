@@ -32,6 +32,7 @@ int main() {
       "ablation_selectivity",
       StrFormat("Ablation: hash vs. index crossover on %s (%s base rows)",
                 view_name.c_str(), WithCommas(rows).c_str()));
+  StampPageLayout(report, engine);
 
   const size_t dim_a = schema.DimIndex("A").value();
   const size_t dim_d = schema.DimIndex("D").value();

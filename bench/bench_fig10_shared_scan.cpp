@@ -52,6 +52,7 @@ int main() {
       StrFormat("Figure 10 / Test 1: shared scan hash star join "
                 "on ABCD (%s rows)",
                 WithCommas(rows).c_str()));
+  StampPageLayout(report, engine);
   for (size_t k = 1; k <= queries.size(); ++k) {
     std::vector<DimensionalQuery> subset(queries.begin(),
                                          queries.begin() + k);

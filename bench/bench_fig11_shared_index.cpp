@@ -33,6 +33,7 @@ int main() {
       StrFormat(
           "Figure 11 / Test 2: shared index star join on %s (%s base rows)",
           view.c_str(), WithCommas(rows).c_str()));
+  StampPageLayout(report, engine);
 
   const DiskTimings& timings = engine.disk().timings();
   for (size_t k = 1; k <= queries.size(); ++k) {

@@ -33,6 +33,7 @@ int main() {
       "fig12_shared_hybrid",
       StrFormat("Figure 12 / Test 3: hybrid shared scan on %s (%s base rows)",
                 view.c_str(), WithCommas(rows).c_str()));
+  StampPageLayout(report, engine);
 
   for (size_t k = 1; k <= queries.size(); ++k) {
     std::vector<DimensionalQuery> subset(queries.begin(),

@@ -57,6 +57,7 @@ int main() {
       StrFormat("Morsel-parallel shared scan, queries 1-4 on ABCD (%s rows, "
                 "%zu hardware threads)",
                 WithCommas(rows).c_str(), ThreadPool::HardwareThreads()));
+  StampPageLayout(report, engine);
   report.Metric("fact_rows", static_cast<double>(rows));
   report.Metric("hardware_threads",
                 static_cast<double>(ThreadPool::HardwareThreads()));

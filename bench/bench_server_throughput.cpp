@@ -78,6 +78,7 @@ int main() {
       "server_throughput",
       StrFormat("Continuous query server: closed-loop client sweep (%s rows)",
                 WithCommas(rows).c_str()));
+  StampPageLayout(report, engine);
   report.Metric("fact_rows", static_cast<double>(rows));
 
   // ---- Phase 1: cold batch, one admission round, shared classes ----

@@ -54,6 +54,7 @@ int main() {
       "spill_aggregate",
       StrFormat("Memory-budgeted shared scan, queries 1-4 on ABCD (%s rows)",
                 WithCommas(rows).c_str()));
+  StampPageLayout(report, engine);
   report.Metric("fact_rows", static_cast<double>(rows));
   report.PlanShape(PlanShapeHash(engine, plan));
 

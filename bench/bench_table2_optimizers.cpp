@@ -90,6 +90,7 @@ int main() {
       StrFormat("Table 2 reproduction at %s base rows "
                 "(STARSHARE_ROWS=2000000 for paper scale)",
                 WithCommas(rows).c_str()));
+  StampPageLayout(report, engine);
 
   RunTest(engine, report, 4, {1, 2, 3});
   RunTest(engine, report, 5, {2, 3, 5});

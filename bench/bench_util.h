@@ -12,6 +12,7 @@
 #ifndef STARSHARE_BENCH_BENCH_UTIL_H_
 #define STARSHARE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "storage/page.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
@@ -227,6 +229,31 @@ class BenchReport {
   std::string trace_json_;
   std::string plan_shape_;
 };
+
+// Stamps the engine's physical page layout into the report so archived
+// JSON runs are comparable across layouts: the base fact table's bits per
+// tuple, rows per page and page count, the same figures under the
+// historical uncompressed layout (4-byte keys + 8-byte measures), and the
+// resulting sequential page-compression ratio (uncompressed pages /
+// current pages; 1.0 when EngineConfig::compressed_pages is off). Call
+// once after the workload is loaded, before Write().
+inline void StampPageLayout(BenchReport& report, const Engine& engine) {
+  const MaterializedView* base = engine.base_view();
+  if (base == nullptr) return;
+  const Table& t = base->table();
+  const uint64_t rpp_unc =
+      std::max<uint64_t>(1, kPageSizeBytes / t.tuple_width_bytes());
+  const uint64_t pages_unc = (t.num_rows() + rpp_unc - 1) / rpp_unc;
+  report.Metric("fact_tuple_bits", static_cast<double>(t.tuple_width_bits()));
+  report.Metric("fact_rows_per_page", static_cast<double>(t.rows_per_page()));
+  report.Metric("fact_pages", static_cast<double>(t.num_pages()));
+  report.Metric("fact_pages_uncompressed", static_cast<double>(pages_unc));
+  report.Metric("page_compression_ratio",
+                t.num_pages() > 0
+                    ? static_cast<double>(pages_unc) /
+                          static_cast<double>(t.num_pages())
+                    : 1.0);
+}
 
 // Stable digest of the physical tree a GlobalPlan lowers to — the value
 // BenchReport::PlanShape expects for benches that pin a specific plan.

@@ -3,6 +3,8 @@
 // the Global Greedy plan, and the results. Also accepts meta commands:
 //
 //   \views          list materialized group-bys
+//   \pages          per-table page geometry: rows/page, pages, bits per
+//                   tuple, compression ratio vs the 4k+8m byte layout
 //   \queries        print the paper's nine canned queries
 //   \q<N>           run paper query N (e.g. \q5)
 //   \opt NAME       switch optimizer (tplo | etplg | gg | optimal)
@@ -10,7 +12,7 @@
 //   \explain        toggle EXPLAIN ANALYZE (span tree + executed physical
 //                   plan, both with est-vs-actual annotations)
 //   \metrics        dump process-wide counters / gauges / histograms
-//   \save DIR       persist the cube (checksummed v3 table files)
+//   \save DIR       persist the cube (checksummed v3/v4 table files)
 //   \load DIR       replace the session's cube with a saved one
 //   \fault SITE [p] arm a fault at an injection site (\fault off disarms)
 //   \serve          show the query server's admission counters
@@ -36,6 +38,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/query_server.h"
+#include "storage/page.h"
 
 using namespace starshare;
 
@@ -183,6 +186,31 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(
                           view->table().num_rows()),
                       view->IndexedDims().empty() ? "" : "  [indexed]");
+        }
+      } else if (line == "\\pages") {
+        // Page geometry per table: the compressed layout packs keys at
+        // ceil(log2(domain)) bits, so rows/page grows and every charged
+        // page count shrinks vs the 4k+8m byte layout (DESIGN.md §14).
+        std::printf("  %-12s %10s %6s %9s %8s %8s %6s\n", "table", "rows",
+                    "bits", "rows/page", "pages", "raw pgs", "ratio");
+        for (const auto& view : engine.views().all()) {
+          const Table& t = view->table();
+          const uint64_t rpp_raw =
+              kPageSizeBytes / t.tuple_width_bytes();
+          const uint64_t pages_raw =
+              (t.num_rows() + rpp_raw - 1) / rpp_raw;
+          std::printf(
+              "  %-12s %10llu %6llu %9llu %8llu %8llu %5.2fx%s\n",
+              t.name().c_str(),
+              static_cast<unsigned long long>(t.num_rows()),
+              static_cast<unsigned long long>(t.tuple_width_bits()),
+              static_cast<unsigned long long>(t.rows_per_page()),
+              static_cast<unsigned long long>(t.num_pages()),
+              static_cast<unsigned long long>(pages_raw),
+              t.num_pages() > 0
+                  ? static_cast<double>(pages_raw) / t.num_pages()
+                  : 1.0,
+              t.compressed() ? "" : "  [uncompressed]");
         }
       } else if (line == "\\queries") {
         for (int i = 1; i <= PaperWorkload::kNumQueries; ++i) {

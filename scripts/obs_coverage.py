@@ -30,6 +30,8 @@ GATED = (
     os.path.join("src", "exec", "spill."),
     os.path.join("src", "exec", "memory_budget."),
     os.path.join("src", "common", "mem_stats.h"),
+    os.path.join("src", "storage", "packed_column."),
+    os.path.join("src", "storage", "table_io."),
 )
 
 

@@ -5,14 +5,16 @@
 # spill/merge/cleanup path under the leak checker), the threading suites
 # under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread), a TSan pass of the
 # query-server suites (cross-session admission races, shutdown with
-# queries in flight), a perf-smoke
+# queries in flight), a second full-suite pass with
+# STARSHARE_UNCOMPRESSED=1 (the raw page layout), a perf-smoke
 # pass of the scan benches on a reduced row count (their internal checks
 # fail the stage if vectorized aggregate output differs from
 # tuple-at-a-time/serial, any charged page count changes, or the
 # disabled-trace overhead bound of bench_vectorized_scan is exceeded), a
 # clang-tidy pass over src/plan/ + src/exec/ (skipped when clang-tidy is
-# absent), and a coverage pass gating src/obs/, src/server/, and the
-# memory-accounting subsystem at >= 90% covered lines.
+# absent), and a coverage pass gating src/obs/, src/server/, the
+# memory-accounting subsystem, and the compressed-storage files
+# (packed_column, table_io) at >= 90% covered lines.
 # All stages must pass. Run from the repository root:
 #
 #   scripts/verify.sh [jobs]
@@ -21,10 +23,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> plain build + tests"
+echo "==> plain build + tests (compressed pages: default on)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> compressed-layout matrix: full suite with the knob off"
+# STARSHARE_UNCOMPRESSED=1 flips EngineConfig::compressed_pages' default
+# to false (explicit assignments in tests still win), so the whole tier-1
+# suite also runs on the raw 4k+8m byte layout — both physical layouts
+# stay fully supported, not just the default.
+STARSHARE_UNCOMPRESSED=1 \
+  ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "==> ASan+UBSan build + tests"
 cmake -B build-sanitize -S . -DSTARSHARE_SANITIZE=ON >/dev/null
@@ -86,7 +96,7 @@ else
   echo "    clang-tidy not found; skipping (install LLVM tooling to enable)"
 fi
 
-echo "==> coverage: src/obs/ + src/server/ line gate (>= 90%)"
+echo "==> coverage: obs/server/spill/storage line gate (>= 90%)"
 cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug \
   -DSTARSHARE_COVERAGE=ON >/dev/null
 cmake --build build-cov -j "$JOBS"

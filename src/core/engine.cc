@@ -3,8 +3,10 @@
 #include <sys/stat.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <string_view>
 #include <utility>
 
 #include "opt/local_optimizer.h"
@@ -14,6 +16,11 @@
 #include "storage/table_io.h"
 
 namespace starshare {
+
+bool DefaultCompressedPages() {
+  const char* env = std::getenv("STARSHARE_UNCOMPRESSED");
+  return env == nullptr || *env == '\0' || std::string_view(env) == "0";
+}
 
 Engine::~Engine() {
   // Joins the server's controller thread before any member it references
@@ -60,7 +67,14 @@ Engine::Engine(StarSchema schema, EngineConfig config)
   }
   builder_.set_batch_config(config_.batch);
   set_parallelism(config_.parallelism);
-  const SpillConfig spill{config_.scratch_dir};
+  // Compressed layout: the catalog normalizes every registered table
+  // (generator output, view builds, cube loads, attached fact tables), the
+  // builder packs before charging view-write I/O, and spill runs reuse the
+  // bit-packed key encoding.
+  catalog_.set_compressed_default(config_.compressed_pages);
+  builder_.set_compressed_pages(config_.compressed_pages);
+  SpillConfig spill{config_.scratch_dir};
+  spill.packed_keys = config_.compressed_pages;
   executor_.set_memory_budget(&memory_budget_, spill);
   builder_.set_memory_budget(&memory_budget_, spill);
 }
@@ -146,12 +160,14 @@ Status Engine::AppendFactTable(std::unique_ptr<Table> delta) {
   }
   for (size_t d = 0; d < schema_.num_dims(); ++d) {
     const int32_t card = static_cast<int32_t>(schema_.dim(d).cardinality(0));
-    for (int32_t key : delta->key_column(d)) {
-      if (key < 0 || key >= card) {
-        return Status::InvalidArgument(
-            "delta key out of range on dimension " +
-            schema_.dim(d).dim_name());
-      }
+    const KeyColumn& col = delta->key_column(d);
+    bool in_range = true;
+    col.ForEach(0, col.size(), [&](uint64_t, int32_t key) {
+      if (key < 0 || key >= card) in_range = false;
+    });
+    if (!in_range) {
+      return Status::InvalidArgument("delta key out of range on dimension " +
+                                     schema_.dim(d).dim_name());
     }
   }
   const MaterializedView delta_view(schema_, GroupBySpec::Base(schema_),

@@ -47,6 +47,11 @@ namespace starshare {
 
 class QueryServer;
 
+// Default for EngineConfig::compressed_pages: true unless the
+// STARSHARE_UNCOMPRESSED environment variable is set to a non-empty,
+// non-"0" value.
+bool DefaultCompressedPages();
+
 struct EngineConfig {
   DiskTimings disk_timings;
   CpuCosts cpu_costs;
@@ -92,6 +97,21 @@ struct EngineConfig {
   // branch (<2% on the scan benches — asserted by bench_vectorized_scan).
   // Engine::ExecuteTraced records a trace regardless of this knob.
   bool trace = false;
+  // Compressed physical layout (DESIGN.md §14), on by default: every
+  // registered table bit-packs its key columns (frame-of-reference +
+  // ceil(log2(domain)) bits per value) and the modeled page geometry —
+  // rows_per_page(), num_pages(), every charged page — shrinks in exact
+  // proportion (the paper's 24-byte fact tuple drops to ~11 bytes, ~2.4x
+  // fewer pages). Packing is lossless: results are bit-identical to the
+  // uncompressed layout at any parallelism x batch x memory budget, and
+  // the cost model prices the same geometry the scans charge, so EXPLAIN
+  // ANALYZE estimated == actual either way. Spill runs reuse the same
+  // encoding (SpillConfig::packed_keys). false restores the historical
+  // 4k + 8m byte layout exactly. The default is true; setting
+  // STARSHARE_UNCOMPRESSED=1 in the environment flips the default to
+  // false (verify.sh uses this to run the whole tier-1 suite on the raw
+  // layout) — explicit assignments always win over the env.
+  bool compressed_pages = DefaultCompressedPages();
   // Knobs for the continuous query server (Engine::server(); DESIGN.md §13):
   // admission optimizer, scan segment granularity, queue depth, late
   // attachment. The server itself starts lazily on first use.

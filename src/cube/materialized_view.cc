@@ -54,15 +54,15 @@ void MaterializedView::BuildIndex(const StarSchema& schema, size_t d,
     maps.push_back(std::move(map));
     lists.emplace_back(h.cardinality(level));
   }
-  const std::vector<int32_t>& keys = table_->key_column(KeyColForDim(d));
+  const KeyColumn& keys = table_->key_column(KeyColForDim(d));
   table_->ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-    for (uint64_t row = begin; row < end; ++row) {
-      const size_t key = static_cast<size_t>(keys[row]);
+    keys.ForEach(begin, end, [&](uint64_t row, int32_t stored_key) {
+      const size_t key = static_cast<size_t>(stored_key);
       for (size_t i = 0; i < levels.size(); ++i) {
         lists[i][static_cast<size_t>(maps[i][key])].push_back(
             static_cast<uint32_t>(row));
       }
-    }
+    });
   });
   for (size_t i = 0; i < levels.size(); ++i) {
     indexes_.emplace(IndexKey(d, levels[i]),
@@ -98,9 +98,10 @@ void MaterializedView::ComputeStats(const StarSchema& schema) {
     if (col == SIZE_MAX) continue;
     std::vector<uint32_t> counts(
         schema.dim(d).cardinality(spec_.level(d)), 0);
-    for (int32_t key : table_->key_column(col)) {
+    const KeyColumn& keys = table_->key_column(col);
+    keys.ForEach(0, keys.size(), [&](uint64_t, int32_t key) {
       ++counts[static_cast<size_t>(key)];
-    }
+    });
     member_counts_[d] = std::move(counts);
   }
 }

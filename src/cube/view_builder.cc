@@ -352,6 +352,9 @@ std::unique_ptr<Table> ViewBuilder::Emit(const MultiAggregator& agg,
     }
     table->AppendRowM(keys.data(), values.data());
   }
+  // Pack before charging the write: the pages written are the pages later
+  // scans of this view will read, so both sides price the same layout.
+  if (compressed_pages_) table->SetCompressed(true);
   disk.WritePages(table->num_pages());
   return table;
 }

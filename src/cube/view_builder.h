@@ -43,6 +43,13 @@ class ViewBuilder {
   void set_batch_config(const BatchConfig& batch) { batch_ = batch; }
   const BatchConfig& batch_config() const { return batch_; }
 
+  // Compressed layout for emitted tables: Emit packs the finished table
+  // BEFORE charging its write I/O, so a view build's WritePages reflect the
+  // same compressed geometry its later scans will be charged with. Catalog
+  // registration re-normalizes anyway; this flag only keeps the build-time
+  // write charge consistent with the engine's layout.
+  void set_compressed_pages(bool compressed) { compressed_pages_ = compressed; }
+
   // Aggregation memory budget for builds (null or unbounded = the legacy
   // in-memory path, byte-for-byte). A bounded budget is split evenly across
   // the targets of one build pass; a target past its share stages rows and
@@ -124,6 +131,7 @@ class ViewBuilder {
 
   const StarSchema& schema_;
   BatchConfig batch_;
+  bool compressed_pages_ = false;
   const MemoryBudget* budget_ = nullptr;
   SpillConfig spill_;
 };

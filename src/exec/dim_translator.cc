@@ -29,6 +29,11 @@ DimTranslator::DimTranslator(const StarSchema& schema,
   }
 }
 
+// Contiguous ranges translate straight off the column's physical layout:
+// KeyColumn::ForEach decodes packed words 64 bits at a time (or walks the
+// raw array) and the fused lambda maps each stored code through the dense
+// translation array in the same pass — no intermediate decode buffer, so
+// this stays safe for concurrent morsel workers sharing one translator.
 void DimTranslator::PackRange(uint64_t base, size_t n, uint64_t* out) const {
   if (lanes_.empty()) {
     std::memset(out, 0, n * sizeof(uint64_t));
@@ -36,19 +41,17 @@ void DimTranslator::PackRange(uint64_t base, size_t n, uint64_t* out) const {
   }
   {
     const Lane& lane = lanes_[0];
-    const int32_t* col = lane.col->data() + base;
     const uint64_t* keybits = lane.keybits.data();
-    for (size_t i = 0; i < n; ++i) {
-      out[i] = keybits[static_cast<size_t>(col[i])];
-    }
+    lane.col->ForEach(base, base + n, [&](uint64_t row, int32_t v) {
+      out[row - base] = keybits[static_cast<size_t>(v)];
+    });
   }
   for (size_t l = 1; l < lanes_.size(); ++l) {
     const Lane& lane = lanes_[l];
-    const int32_t* col = lane.col->data() + base;
     const uint64_t* keybits = lane.keybits.data();
-    for (size_t i = 0; i < n; ++i) {
-      out[i] |= keybits[static_cast<size_t>(col[i])];
-    }
+    lane.col->ForEach(base, base + n, [&](uint64_t row, int32_t v) {
+      out[row - base] |= keybits[static_cast<size_t>(v)];
+    });
   }
 }
 
@@ -60,18 +63,18 @@ void DimTranslator::PackRows(const uint64_t* rows, size_t n,
   }
   {
     const Lane& lane = lanes_[0];
-    const int32_t* col = lane.col->data();
+    const KeyColumn& col = *lane.col;
     const uint64_t* keybits = lane.keybits.data();
     for (size_t i = 0; i < n; ++i) {
-      out[i] = keybits[static_cast<size_t>(col[rows[i]])];
+      out[i] = keybits[static_cast<size_t>(col.Get(rows[i]))];
     }
   }
   for (size_t l = 1; l < lanes_.size(); ++l) {
     const Lane& lane = lanes_[l];
-    const int32_t* col = lane.col->data();
+    const KeyColumn& col = *lane.col;
     const uint64_t* keybits = lane.keybits.data();
     for (size_t i = 0; i < n; ++i) {
-      out[i] |= keybits[static_cast<size_t>(col[rows[i]])];
+      out[i] |= keybits[static_cast<size_t>(col.Get(rows[i]))];
     }
   }
 }

@@ -41,7 +41,7 @@ class DimTranslator {
   uint64_t PackRow(uint64_t row) const {
     uint64_t key = 0;
     for (const Lane& lane : lanes_) {
-      key |= lane.keybits[static_cast<size_t>((*lane.col)[row])];
+      key |= lane.keybits[static_cast<size_t>(lane.col->Get(row))];
     }
     return key;
   }
@@ -56,8 +56,8 @@ class DimTranslator {
 
  private:
   struct Lane {
-    const std::vector<int32_t>* col;   // view key column of the dimension
-    std::vector<uint64_t> keybits;     // stored member -> pre-shifted bits
+    const KeyColumn* col;           // view key column of the dimension
+    std::vector<uint64_t> keybits;  // stored member -> pre-shifted bits
   };
   std::vector<Lane> lanes_;
 };

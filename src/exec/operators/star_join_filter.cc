@@ -26,18 +26,22 @@ void StarJoinFilterOp::ProcessVectorized(const ClassBatch& batch) {
     std::fill(masks_.begin(), masks_.end(), all_mask_);
   } else {
     // Column-at-a-time: load the first filter's masks, then AND the rest.
+    // KeyColumn::ForEach decodes packed key words 64 bits at a time into
+    // the fused mask lookup, so compressed batches never materialize an
+    // intermediate int32 array.
+    uint32_t* masks = masks_.data();
+    const uint64_t begin = batch.begin;
     const internal::SharedDimFilter& first = filters_[0];
-    const int32_t* col = first.col->data();
-    for (size_t i = 0; i < n; ++i) {
-      masks_[i] = first.masks[static_cast<uint32_t>(col[batch.begin + i])];
-    }
+    const uint32_t* fmasks = first.masks.data();
+    first.col->ForEach(begin, batch.end, [&](uint64_t row, int32_t v) {
+      masks[row - begin] = fmasks[static_cast<uint32_t>(v)];
+    });
     for (size_t f = 1; f < filters_.size(); ++f) {
       const internal::SharedDimFilter& filter = filters_[f];
-      const int32_t* fcol = filter.col->data();
-      for (size_t i = 0; i < n; ++i) {
-        masks_[i] &=
-            filter.masks[static_cast<uint32_t>(fcol[batch.begin + i])];
-      }
+      const uint32_t* fm = filter.masks.data();
+      filter.col->ForEach(begin, batch.end, [&](uint64_t row, int32_t v) {
+        masks[row - begin] &= fm[static_cast<uint32_t>(v)];
+      });
     }
   }
   uint32_t any = 0;
@@ -57,7 +61,7 @@ void StarJoinFilterOp::ProcessTuple(const ClassBatch& batch) {
   for (uint64_t row = batch.begin; row < batch.end; ++row) {
     uint32_t mask = all_mask_;
     for (const internal::SharedDimFilter& filter : filters_) {
-      mask &= filter.masks[static_cast<uint32_t>((*filter.col)[row])];
+      mask &= filter.masks[static_cast<uint32_t>(filter.col->Get(row))];
       if (mask == 0) break;
     }
     while (mask != 0) {

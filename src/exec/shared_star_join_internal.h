@@ -23,7 +23,7 @@ namespace internal {
 // Fig. 2 carrying per-query predicate flags. Read-only once built, so
 // parallel workers share one copy.
 struct SharedDimFilter {
-  const std::vector<int32_t>* col;
+  const KeyColumn* col;
   std::vector<uint32_t> masks;
 };
 

@@ -4,12 +4,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdlib>
 #include <cstring>
 #include <queue>
 #include <utility>
 
-#include "common/crc32.h"
 #include "common/fault_injector.h"
 #include "common/str_util.h"
 #include "obs/metrics.h"
@@ -26,6 +26,15 @@ Status SpillError(const char* what, const std::string& path) {
       StrFormat("spill %s failed: %s", what, path.c_str()));
 }
 
+obs::Counter& RunCounter() {
+  static obs::Counter& c = obs::Metrics().counter("exec.spill.runs");
+  return c;
+}
+obs::Counter& ByteCounter() {
+  static obs::Counter& c = obs::Metrics().counter("exec.spill.bytes");
+  return c;
+}
+
 }  // namespace
 
 std::string DefaultScratchDir() {
@@ -35,7 +44,9 @@ std::string DefaultScratchDir() {
 
 SpillFile::SpillFile(const SpillConfig& config, int query_id,
                      size_t doubles_per_record)
-    : query_id_(query_id), doubles_(doubles_per_record) {
+    : query_id_(query_id),
+      doubles_(doubles_per_record),
+      packed_(config.packed_keys) {
   const std::string dir =
       config.scratch_dir.empty() ? DefaultScratchDir() : config.scratch_dir;
   path_ = StrFormat(
@@ -52,20 +63,29 @@ SpillFile::~SpillFile() {
   }
 }
 
-Status SpillFile::AppendRun(const uint64_t* keys, const double* values,
-                            uint64_t rows) {
-  static obs::Counter& run_count = obs::Metrics().counter("exec.spill.runs");
-  static obs::Counter& byte_count = obs::Metrics().counter("exec.spill.bytes");
+Status SpillFile::OpenAndSeek(uint64_t offset, const char* what) {
   if (file_ == nullptr) {
     file_ = std::fopen(path_.c_str(), "wb+");
     if (file_ == nullptr) return SpillError("open", path_);
   }
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return SpillError(what, path_);
+  }
+  return Status::Ok();
+}
+
+Status SpillFile::AppendRun(const uint64_t* keys, const double* values,
+                            uint64_t rows) {
   if (FaultHit("spill.write", query_id_) == FaultKind::kError) {
     return SpillError("write (injected)", path_);
   }
-  if (std::fseek(file_, static_cast<long>(end_offset_), SEEK_SET) != 0) {
-    return SpillError("seek", path_);
-  }
+  SS_RETURN_IF_ERROR(OpenAndSeek(end_offset_, "seek"));
+  return packed_ ? AppendRunPacked(keys, values, rows)
+                 : AppendRunInterleaved(keys, values, rows);
+}
+
+Status SpillFile::AppendRunInterleaved(const uint64_t* keys,
+                                       const double* values, uint64_t rows) {
   if (std::fwrite(&rows, 1, 8, file_) != 8) return SpillError("write", path_);
 
   // Interleave (key, m doubles) records through a bounded scratch buffer so
@@ -103,8 +123,61 @@ Status SpillFile::AppendRun(const uint64_t* keys, const double* values,
   end_offset_ += run_bytes;
   spilled_rows_ += rows;
   spilled_bytes_ += run_bytes;
-  run_count.Add();
-  byte_count.Add(run_bytes);
+  RunCounter().Add();
+  ByteCounter().Add(run_bytes);
+  return Status::Ok();
+}
+
+Status SpillFile::AppendRunPacked(const uint64_t* keys, const double* values,
+                                  uint64_t rows) {
+  // Keys arrive sorted ascending, so the first key is the frame of
+  // reference and the last key bounds the delta domain.
+  const uint64_t ref = rows > 0 ? keys[0] : 0;
+  const uint64_t range = rows > 0 ? keys[rows - 1] - ref : 0;
+  const uint32_t bits =
+      range == 0 ? 1 : static_cast<uint32_t>(std::bit_width(range));
+
+  if (std::fwrite(&rows, 1, 8, file_) != 8 ||
+      std::fwrite(&bits, 1, 4, file_) != 4 ||
+      std::fwrite(&ref, 1, 8, file_) != 8) {
+    return SpillError("write", path_);
+  }
+
+  std::vector<uint64_t> words(KeyWords(rows, bits), 0);
+  for (uint64_t i = 0; i < rows; ++i) {
+    const uint64_t delta = keys[i] - ref;
+    const uint64_t pos = i * bits;
+    const uint64_t off = pos & 63;
+    words[pos >> 6] |= delta << off;
+    if (off + bits > 64) words[(pos >> 6) + 1] |= delta >> (64 - off);
+  }
+  const size_t key_bytes = words.size() * 8;
+  const uint32_t key_crc = Crc32(words.data(), key_bytes);
+  if (std::fwrite(words.data(), 1, key_bytes, file_) != key_bytes ||
+      std::fwrite(&key_crc, 1, 4, file_) != 4) {
+    return SpillError("write", path_);
+  }
+
+  const size_t val_bytes = static_cast<size_t>(rows) * value_size();
+  const uint32_t val_crc = Crc32(values, val_bytes);
+  if ((val_bytes > 0 &&
+       std::fwrite(values, 1, val_bytes, file_) != val_bytes) ||
+      std::fwrite(&val_crc, 1, 4, file_) != 4) {
+    return SpillError("write", path_);
+  }
+
+  RunInfo info;
+  info.payload_offset = end_offset_ + 8 + 4 + 8;
+  info.rows = rows;
+  info.key_bits = bits;
+  info.key_ref = ref;
+  runs_.push_back(info);
+  const uint64_t run_bytes = 8 + 4 + 8 + key_bytes + 4 + val_bytes + 4;
+  end_offset_ += run_bytes;
+  spilled_rows_ += rows;
+  spilled_bytes_ += run_bytes;
+  RunCounter().Add();
+  ByteCounter().Add(run_bytes);
   return Status::Ok();
 }
 
@@ -113,7 +186,13 @@ Status SpillFile::Merge(
     const std::function<void(uint64_t, const double*)>& emit) {
   if (runs_.empty()) return Status::Ok();
   if (std::fflush(file_) != 0) return SpillError("flush", path_);
+  return packed_ ? MergePacked(chunk_budget_bytes, emit)
+                 : MergeInterleaved(chunk_budget_bytes, emit);
+}
 
+Status SpillFile::MergeInterleaved(
+    uint64_t chunk_budget_bytes,
+    const std::function<void(uint64_t, const double*)>& emit) {
   const size_t rec = record_size();
   // Bound total read-buffer bytes by the budget: with R runs each buffer
   // holds budget/(rec*R) records, floored at 1 (a 1-byte budget still
@@ -201,6 +280,167 @@ Status SpillFile::Merge(
     emit(key, values.data());
     cur.buffer_pos += rec;
     if (cur.buffer_pos >= cur.buffer.size()) {
+      if (cur.rows_left == 0) continue;  // run exhausted
+      SS_RETURN_IF_ERROR(refill(r));
+    }
+    heap.emplace(current_key(r), r);
+  }
+  return Status::Ok();
+}
+
+Status SpillFile::MergePacked(
+    uint64_t chunk_budget_bytes,
+    const std::function<void(uint64_t, const double*)>& emit) {
+  const size_t val_rec = value_size();
+  // Budget a chunk as if records were interleaved (key word bytes amortize
+  // to <= 8 per record), same floor/cap as the legacy path.
+  const uint64_t chunk_rows = std::clamp<uint64_t>(
+      chunk_budget_bytes / (record_size() * runs_.size()), 1, 1024);
+
+  struct Cursor {
+    uint64_t rows_left = 0;   // rows not yet buffered
+    uint64_t rec = 0;         // current record index within the run
+    uint64_t buf_first = 0;   // first buffered record index
+    uint64_t buf_end = 0;     // one past the last buffered record
+    // Key word window [word_lo, word_lo + words.size()). Chunk boundaries
+    // rarely align to words, so consecutive windows overlap by at most one
+    // word; crc_words is the watermark of words already checksummed, which
+    // keeps the linear key CRC exact despite the overlap.
+    std::vector<uint64_t> words;
+    uint64_t word_lo = 0;
+    uint64_t crc_words = 0;
+    Crc32Accumulator key_crc;
+    std::vector<uint8_t> vals;  // value bytes of the buffered records
+    Crc32Accumulator val_crc;
+  };
+  std::vector<Cursor> cursors(runs_.size());
+
+  const auto refill = [&](size_t r) -> Status {
+    Cursor& cur = cursors[r];
+    const RunInfo& run = runs_[r];
+    const std::optional<FaultKind> fault = FaultHit("spill.read", query_id_);
+    if (fault == FaultKind::kError) {
+      return SpillError("read (injected)", path_);
+    }
+    const uint64_t first = cur.buf_end;
+    const uint64_t n = std::min(cur.rows_left, chunk_rows);
+    const uint32_t bits = run.key_bits;
+    const uint64_t total_words = KeyWords(run.rows, bits);
+    const uint64_t wlo = first * bits / 64;
+    const uint64_t whi = ((first + n) * bits + 63) / 64;
+    const uint64_t val_off =
+        run.payload_offset + total_words * 8 + 4 + first * val_rec;
+
+    cur.words.resize(whi - wlo);
+    if (std::fseek(file_,
+                   static_cast<long>(run.payload_offset + wlo * 8),
+                   SEEK_SET) != 0) {
+      return SpillError("seek", path_);
+    }
+    const size_t key_want = cur.words.size() * 8;
+    if (fault == FaultKind::kShortRead && key_want > 0) {
+      std::fread(cur.words.data(), 1, key_want - 1, file_);
+      return SpillError("short read (injected)", path_);
+    }
+    if (std::fread(cur.words.data(), 1, key_want, file_) != key_want) {
+      return SpillError("read", path_);
+    }
+    cur.vals.resize(static_cast<size_t>(n) * val_rec);
+    if (std::fseek(file_, static_cast<long>(val_off), SEEK_SET) != 0) {
+      return SpillError("seek", path_);
+    }
+    if (std::fread(cur.vals.data(), 1, cur.vals.size(), file_) !=
+        cur.vals.size()) {
+      return SpillError("read", path_);
+    }
+    // Bytes not yet checksummed this refill: the key words past the
+    // watermark plus the freshly read values. A bit flip lands among them,
+    // so the damage is always inside what the CRCs still cover.
+    const size_t new_key_bytes =
+        static_cast<size_t>(whi - cur.crc_words) * 8;
+    if (fault == FaultKind::kBitFlip &&
+        new_key_bytes + cur.vals.size() > 0) {
+      const uint64_t bit = FaultInjector::Instance().NextBitIndex(
+          new_key_bytes + cur.vals.size());
+      if (bit / 8 < new_key_bytes) {
+        const size_t byte = (cur.crc_words - wlo) * 8 + bit / 8;
+        reinterpret_cast<uint8_t*>(cur.words.data())[byte] ^=
+            static_cast<uint8_t>(1u << (bit % 8));
+      } else {
+        const size_t byte = bit / 8 - new_key_bytes;
+        cur.vals[byte] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+    }
+    cur.key_crc.Update(
+        reinterpret_cast<const uint8_t*>(cur.words.data()) +
+            (cur.crc_words - wlo) * 8,
+        new_key_bytes);
+    cur.crc_words = whi;
+    cur.val_crc.Update(cur.vals.data(), cur.vals.size());
+
+    cur.word_lo = wlo;
+    cur.buf_first = first;
+    cur.buf_end = first + n;
+    cur.rec = first;
+    cur.rows_left -= n;
+
+    if (cur.rows_left == 0) {
+      // Last chunk: both section CRCs are now complete; compare them with
+      // the stored ones.
+      uint32_t stored_key = 0;
+      uint32_t stored_val = 0;
+      if (std::fseek(file_,
+                     static_cast<long>(run.payload_offset + total_words * 8),
+                     SEEK_SET) != 0 ||
+          std::fread(&stored_key, 1, 4, file_) != 4) {
+        return SpillError("read", path_);
+      }
+      if (std::fseek(file_,
+                     static_cast<long>(run.payload_offset + total_words * 8 +
+                                       4 + run.rows * val_rec),
+                     SEEK_SET) != 0 ||
+          std::fread(&stored_val, 1, 4, file_) != 4) {
+        return SpillError("read", path_);
+      }
+      if (stored_key != cur.key_crc.value() ||
+          stored_val != cur.val_crc.value()) {
+        return SpillError("checksum", path_);
+      }
+    }
+    return Status::Ok();
+  };
+
+  const auto current_key = [&](size_t r) {
+    const Cursor& cur = cursors[r];
+    const RunInfo& run = runs_[r];
+    const uint32_t bits = run.key_bits;
+    const uint64_t mask =
+        bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+    const uint64_t pos = cur.rec * bits - cur.word_lo * 64;
+    const uint64_t off = pos & 63;
+    uint64_t v = cur.words[pos >> 6] >> off;
+    if (off + bits > 64) v |= cur.words[(pos >> 6) + 1] << (64 - off);
+    return run.key_ref + (v & mask);
+  };
+
+  using Entry = std::pair<uint64_t, size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (size_t r = 0; r < runs_.size(); ++r) {
+    cursors[r].rows_left = runs_[r].rows;
+    if (runs_[r].rows == 0) continue;
+    SS_RETURN_IF_ERROR(refill(r));
+    heap.emplace(current_key(r), r);
+  }
+
+  while (!heap.empty()) {
+    const auto [key, r] = heap.top();
+    heap.pop();
+    Cursor& cur = cursors[r];
+    emit(key, reinterpret_cast<const double*>(
+                  cur.vals.data() +
+                  static_cast<size_t>(cur.rec - cur.buf_first) * val_rec));
+    ++cur.rec;
+    if (cur.rec >= cur.buf_end) {
       if (cur.rows_left == 0) continue;  // run exhausted
       SS_RETURN_IF_ERROR(refill(r));
     }

@@ -43,7 +43,7 @@ QueryResult HashStarJoin(const StarSchema& schema,
   // unrestricted dimension needs no filtering, and its level mapping lives
   // in the BoundQuery).
   struct Filter {
-    const std::vector<int32_t>* col;
+    const KeyColumn* col;
     std::vector<uint8_t> pass;
   };
   std::vector<Filter> filters;
@@ -59,7 +59,7 @@ QueryResult HashStarJoin(const StarSchema& schema,
     for (uint64_t row = begin; row < end; ++row) {
       bool pass = true;
       for (const Filter& f : filters) {
-        if (!f.pass[static_cast<size_t>((*f.col)[row])]) {
+        if (!f.pass[static_cast<size_t>(f.col->Get(row))]) {
           pass = false;
           break;
         }

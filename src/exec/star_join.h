@@ -54,7 +54,7 @@ class ResidualFilter {
 
   bool Matches(uint64_t row) const {
     for (const auto& f : filters_) {
-      if (!f.pass[static_cast<size_t>((*f.col)[row])]) return false;
+      if (!f.pass[static_cast<size_t>(f.col->Get(row))]) return false;
     }
     return true;
   }
@@ -64,7 +64,7 @@ class ResidualFilter {
 
  private:
   struct Filter {
-    const std::vector<int32_t>* col;
+    const KeyColumn* col;
     std::vector<uint8_t> pass;
   };
   std::vector<Filter> filters_;

@@ -9,11 +9,10 @@ BitmapJoinIndex::BitmapJoinIndex(const Table& table, size_t key_col,
     : key_col_(key_col), num_values_(num_values), num_rows_(table.num_rows()) {
   SS_CHECK(key_col < table.num_key_columns());
   rid_lists_.resize(num_values);
-  const std::vector<int32_t>& keys = table.key_column(key_col);
+  const KeyColumn& keys = table.key_column(key_col);
   // Index construction scans the table once.
   table.ScanPages(disk, [&](uint64_t begin, uint64_t end) {
-    for (uint64_t row = begin; row < end; ++row) {
-      const int32_t key = keys[row];
+    keys.ForEach(begin, end, [&](uint64_t row, int32_t key) {
       SS_CHECK_MSG(key >= 0 && static_cast<size_t>(key) < value_map.size(),
                    "key %d outside the value map (%zu entries)", key,
                    value_map.size());
@@ -23,7 +22,7 @@ BitmapJoinIndex::BitmapJoinIndex(const Table& table, size_t key_col,
                    num_values);
       rid_lists_[static_cast<size_t>(v)].push_back(
           static_cast<uint32_t>(row));
-    }
+    });
   });
   disk.WritePages(TotalPages());
 }

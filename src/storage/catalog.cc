@@ -11,6 +11,7 @@ Result<Table*> Catalog::Register(std::unique_ptr<Table> table) {
     return Status::InvalidArgument("table already exists: " + name);
   }
   table->set_id(next_id_++);
+  table->SetCompressed(compressed_default_);
   Table* raw = table.get();
   tables_.emplace(name, std::move(table));
   return raw;
@@ -34,6 +35,7 @@ Result<Table*> Catalog::Replace(std::unique_ptr<Table> table) {
     return Status::NotFound("cannot replace missing table: " + table->name());
   }
   table->set_id(next_id_++);
+  table->SetCompressed(compressed_default_);
   Table* raw = table.get();
   tables_[raw->name()] = std::move(table);
   return raw;

@@ -19,6 +19,15 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
+  // Physical layout every registered table is normalized to: Register and
+  // Replace pack (or unpack) incoming tables to match, so generator output,
+  // view builds, cube loads and attached fact tables all land in the
+  // engine-configured layout regardless of how they were built.
+  void set_compressed_default(bool compressed) {
+    compressed_default_ = compressed;
+  }
+  bool compressed_default() const { return compressed_default_; }
+
   // Registers `table` (taking ownership), assigning it a unique id.
   // Fails if a table with the same name already exists.
   Result<Table*> Register(std::unique_ptr<Table> table);
@@ -42,6 +51,7 @@ class Catalog {
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   uint32_t next_id_ = 1;
+  bool compressed_default_ = false;
 };
 
 }  // namespace starshare

@@ -1,0 +1,114 @@
+#include "storage/packed_column.h"
+
+#include <utility>
+
+namespace starshare {
+
+void KeyColumn::Reserve(uint64_t rows) {
+  if (packed_) {
+    words_.reserve((rows * bits_ + 63) / 64 + 1);
+  } else {
+    raw_.reserve(rows);
+  }
+}
+
+void KeyColumn::RecomputeWidth() {
+  ref_ = any_ ? min_ : 0;
+  const uint64_t range =
+      any_ ? static_cast<uint64_t>(max_ - min_) : 0;
+  bits_ = range == 0 ? 1 : static_cast<uint32_t>(std::bit_width(range));
+  mask_ = bits_ == 64 ? ~uint64_t{0} : (uint64_t{1} << bits_) - 1;
+}
+
+void KeyColumn::PackedAppend(int32_t value) {
+  const uint64_t delta = static_cast<uint64_t>(value - ref_);
+  const uint64_t pos = size_ * bits_;
+  const uint64_t w = pos >> 6;
+  const uint64_t off = pos & 63;
+  // Keep the straddle word plus one sentinel allocated past the write.
+  while (words_.size() < w + 2) words_.push_back(0);
+  words_[w] |= delta << off;
+  if (off + bits_ > 64) words_[w + 1] |= delta >> (64 - off);
+  ++size_;
+}
+
+void KeyColumn::Append(int32_t value) {
+  if (!any_ || value < min_) min_ = value;
+  if (!any_ || value > max_) max_ = value;
+  any_ = true;
+  if (!packed_) {
+    raw_.push_back(value);
+    ++size_;
+    return;
+  }
+  const int64_t delta = value - ref_;
+  if (delta >= 0 && static_cast<uint64_t>(delta) <= mask_) {
+    PackedAppend(value);
+    return;
+  }
+  // Out-of-range value: widen by repacking the whole column at the new
+  // frame of reference. Rare (appends normally stay within the domain the
+  // column was packed with), and O(n) when it happens.
+  Unpack();
+  raw_.push_back(value);
+  ++size_;
+  Pack();
+}
+
+void KeyColumn::Pack() {
+  if (packed_) return;
+  RecomputeWidth();
+  std::vector<int32_t> raw = std::move(raw_);
+  raw_.clear();
+  words_.assign((raw.size() * bits_ + 63) / 64 + 1, 0);
+  packed_ = true;
+  size_ = 0;
+  for (const int32_t v : raw) PackedAppend(v);
+}
+
+void KeyColumn::Unpack() {
+  if (!packed_) return;
+  std::vector<int32_t> raw;
+  raw.resize(size_);
+  Decode(0, size_, raw.data());
+  words_.clear();
+  words_.shrink_to_fit();
+  raw_ = std::move(raw);
+  packed_ = false;
+}
+
+KeyColumn KeyColumn::FromRaw(std::vector<int32_t> values) {
+  KeyColumn col;
+  col.size_ = values.size();
+  for (const int32_t v : values) {
+    if (!col.any_ || v < col.min_) col.min_ = v;
+    if (!col.any_ || v > col.max_) col.max_ = v;
+    col.any_ = true;
+  }
+  col.raw_ = std::move(values);
+  return col;
+}
+
+KeyColumn KeyColumn::FromPacked(uint64_t rows, uint32_t bits, int32_t ref,
+                                std::vector<uint64_t> words) {
+  SS_CHECK_MSG(bits >= 1 && bits <= 32,
+               "implausible packed key width %u bits", bits);
+  SS_CHECK(words.size() == (rows * bits + 63) / 64);
+  KeyColumn col;
+  col.packed_ = true;
+  col.size_ = rows;
+  col.bits_ = bits;
+  col.mask_ = (uint64_t{1} << bits) - 1;
+  col.ref_ = ref;
+  // Conservative range: the persisted geometry can represent
+  // [ref, ref + mask], so later appends in that window stay O(1) and a
+  // widening repack never narrows below the on-disk width.
+  col.min_ = ref;
+  col.max_ = ref + static_cast<int64_t>(col.mask_);
+  col.any_ = rows > 0;
+  words.push_back(0);  // sentinel for straddle loads
+  col.words_ = std::move(words);
+  return col;
+}
+
+}  // namespace starshare

@@ -1,0 +1,134 @@
+// Bit-packed key column storage (DESIGN.md §14).
+//
+// Member ids are dense int32 domains, so a key column whose values span
+// [min, max] needs only width = ceil(log2(max - min + 1)) bits per value.
+// KeyColumn stores values either raw (a plain int32 vector, the layout every
+// table starts in) or packed: frame-of-reference deltas `value - ref` (ref =
+// the minimum observed value, so zero-based domains pack with ref 0) laid
+// out little-endian across 64-bit words. Packing is lossless — Get/ForEach
+// return exactly the appended values in either mode — which is what makes
+// the engine-wide bit-identity invariant hold.
+//
+// Thread-safety: all read paths (Get, ForEach, Decode, accessors) are const
+// and touch no mutable state, so concurrent morsel workers may decode the
+// same column freely. Mutation (Append/Pack/Unpack/Reserve) requires
+// external exclusion, same as std::vector.
+
+#ifndef STARSHARE_STORAGE_PACKED_COLUMN_H_
+#define STARSHARE_STORAGE_PACKED_COLUMN_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace starshare {
+
+class KeyColumn {
+ public:
+  KeyColumn() = default;
+
+  uint64_t size() const { return size_; }
+  bool packed() const { return packed_; }
+
+  // Packed-layout parameters. `bits` is the per-value width the column
+  // occupies in the compressed page geometry (and in file format v4);
+  // meaningful only when packed. An empty packed column is 1 bit wide.
+  uint32_t bits() const { return bits_; }
+  int32_t ref() const { return static_cast<int32_t>(ref_); }
+
+  void Reserve(uint64_t rows);
+  void Append(int32_t value);
+
+  // Value at `row` (packed: two-word straddle extraction; the words array
+  // always carries one sentinel word past the payload so the second load is
+  // in bounds even for the final value).
+  int32_t Get(uint64_t row) const {
+    if (!packed_) return raw_[row];
+    const uint64_t pos = row * bits_;
+    const uint64_t off = pos & 63;
+    uint64_t v = words_[pos >> 6] >> off;
+    if (off + bits_ > 64) v |= words_[(pos >> 6) + 1] << (64 - off);
+    return static_cast<int32_t>(ref_ + static_cast<int64_t>(v & mask_));
+  }
+
+  // Invokes fn(row, value) for each row in [begin, end), decoding
+  // word-at-a-time from the packed words in the hot layout. This is the
+  // batch kernel entry point: vectorized operators hand it a batch range
+  // and a lambda writing into batch-local arrays or folding directly.
+  template <typename Fn>
+  void ForEach(uint64_t begin, uint64_t end, Fn&& fn) const {
+    if (!packed_) {
+      const int32_t* data = raw_.data();
+      for (uint64_t i = begin; i < end; ++i) fn(i, data[i]);
+      return;
+    }
+    const uint64_t bits = bits_;
+    const uint64_t mask = mask_;
+    const int64_t ref = ref_;
+    const uint64_t* words = words_.data();
+    uint64_t pos = begin * bits;
+    for (uint64_t i = begin; i < end; ++i, pos += bits) {
+      const uint64_t off = pos & 63;
+      uint64_t v = words[pos >> 6] >> off;
+      if (off + bits > 64) v |= words[(pos >> 6) + 1] << (64 - off);
+      fn(i, static_cast<int32_t>(ref + static_cast<int64_t>(v & mask)));
+    }
+  }
+
+  // Decodes [begin, end) into out[0 .. end-begin).
+  void Decode(uint64_t begin, uint64_t end, int32_t* out) const {
+    ForEach(begin, end, [&](uint64_t i, int32_t v) { out[i - begin] = v; });
+  }
+
+  // Switches layout in place. Both are lossless; Pack picks ref = min
+  // observed value and bits = ceil(log2(range + 1)) (>= 1 even for a
+  // constant or empty column, so geometry never divides by zero).
+  void Pack();
+  void Unpack();
+
+  // Packed words including the sentinel; num_words() is the payload length
+  // persisted by table file format v4 (ceil(size * bits / 64)).
+  const std::vector<uint64_t>& words() const { return words_; }
+  uint64_t num_words() const { return (size_ * bits_ + 63) / 64; }
+
+  // Rebuilds a packed column from persisted geometry + payload words
+  // (table_io v4 reader). `words` holds exactly ceil(rows * bits / 64)
+  // payload words; the sentinel is re-added here.
+  static KeyColumn FromPacked(uint64_t rows, uint32_t bits, int32_t ref,
+                              std::vector<uint64_t> words);
+
+  // Adopts a raw int32 vector wholesale (table_io v2/v3 reader), scanning
+  // once for the min/max a later Pack() needs.
+  static KeyColumn FromRaw(std::vector<int32_t> values);
+
+  uint64_t MemoryBytes() const {
+    return packed_ ? words_.capacity() * 8 : raw_.capacity() * 4;
+  }
+
+ private:
+  // Appends `value` to the packed words without range checks; caller
+  // guarantees value - ref_ fits in bits_.
+  void PackedAppend(int32_t value);
+  // Re-derives bits_/mask_/ref_ from the observed min/max.
+  void RecomputeWidth();
+
+  bool packed_ = false;
+  uint64_t size_ = 0;
+  std::vector<int32_t> raw_;
+  std::vector<uint64_t> words_;  // payload + >= 1 sentinel word when packed
+  uint32_t bits_ = 1;
+  uint64_t mask_ = 1;
+  // Observed value range, tracked in both layouts so Pack() and widening
+  // repacks never rescan. int64 so conservative bounds from FromPacked
+  // (ref .. ref + mask) cannot overflow int32 arithmetic.
+  int64_t ref_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  bool any_ = false;  // false until the first Append seeds min_/max_
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_STORAGE_PACKED_COLUMN_H_

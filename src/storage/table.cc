@@ -20,10 +20,61 @@ Table::Table(std::string name, std::vector<std::string> key_column_names,
                name_.c_str());
   key_columns_.resize(key_column_names_.size());
   measures_.resize(measure_names_.size());
+  RecomputeGeometry();
+}
+
+void Table::RecomputeGeometry() {
+  uint64_t bits = 64 * num_measures();
+  if (compressed_) {
+    for (const KeyColumn& col : key_columns_) bits += col.bits();
+  } else {
+    bits += 32 * num_key_columns();
+  }
+  tuple_width_bits_ = bits;
+  // With compression off this is exactly the historical byte formula:
+  // floor(8 * 8192 / (8 * w)) == floor(8192 / w) for the byte width w.
+  rows_per_page_ =
+      std::max<uint64_t>(1, kPageSizeBytes * 8 / tuple_width_bits_);
+}
+
+void Table::SetCompressed(bool compressed) {
+  if (compressed_ == compressed) return;
+  compressed_ = compressed;
+  for (KeyColumn& col : key_columns_) {
+    if (compressed) {
+      col.Pack();
+    } else {
+      col.Unpack();
+    }
+  }
+  RecomputeGeometry();
+}
+
+void Table::AdoptColumns(std::vector<KeyColumn> keys,
+                         std::vector<std::vector<double>> measures,
+                         bool compressed) {
+  SS_CHECK(keys.size() == key_columns_.size());
+  SS_CHECK(measures.size() == measures_.size());
+  const uint64_t rows = measures[0].size();
+  for (const auto& key_col : keys) SS_CHECK(key_col.size() == rows);
+  for (const auto& measure_col : measures) {
+    SS_CHECK(measure_col.size() == rows);
+  }
+  key_columns_ = std::move(keys);
+  measures_ = std::move(measures);
+  compressed_ = compressed;
+  for (KeyColumn& col : key_columns_) {
+    if (compressed) {
+      col.Pack();
+    } else {
+      col.Unpack();
+    }
+  }
+  RecomputeGeometry();
 }
 
 void Table::Reserve(uint64_t rows) {
-  for (auto& col : key_columns_) col.reserve(rows);
+  for (auto& col : key_columns_) col.Reserve(rows);
   for (auto& col : measures_) col.reserve(rows);
 }
 
@@ -34,11 +85,14 @@ void Table::AppendRow(const int32_t* keys, double measure) {
 
 void Table::AppendRowM(const int32_t* keys, const double* measures) {
   for (size_t i = 0; i < key_columns_.size(); ++i) {
-    key_columns_[i].push_back(keys[i]);
+    key_columns_[i].Append(keys[i]);
   }
   for (size_t m = 0; m < measures_.size(); ++m) {
     measures_[m].push_back(measures[m]);
   }
+  // An append can widen a packed column (out-of-domain key), so compressed
+  // geometry is refreshed per append; bulk loads build raw and pack once.
+  if (compressed_) RecomputeGeometry();
 }
 
 }  // namespace starshare

@@ -3,8 +3,15 @@
 // Every StarShare table (the base fact table and every materialized
 // group-by) has the same shape: k int32 key columns (one per retained
 // dimension, holding the member id at the level the table is aggregated to)
-// plus m double measure columns. Tuple width is therefore 4k + 8m bytes
-// (the paper's ~20-byte fact tuples at k = 4, m = 1).
+// plus m double measure columns. The uncompressed tuple width is therefore
+// 4k + 8m bytes (the paper's ~20-byte fact tuples at k = 4, m = 1).
+//
+// Compressed layout (DESIGN.md §14): when a table is compressed, each key
+// column is bit-packed (KeyColumn) and the modeled tuple width shrinks to
+// sum(key bits) + 64m bits, so rows_per_page()/num_pages()/PageOfRow() —
+// and with them every modeled I/O charge in the engine — drop in exact
+// proportion. Packing is lossless, so results are bit-identical across
+// layouts; only the page geometry differs.
 
 #ifndef STARSHARE_STORAGE_TABLE_H_
 #define STARSHARE_STORAGE_TABLE_H_
@@ -17,6 +24,7 @@
 
 #include "common/macros.h"
 #include "storage/disk_model.h"
+#include "storage/packed_column.h"
 #include "storage/page.h"
 
 namespace starshare {
@@ -54,20 +62,35 @@ class Table {
   }
 
   uint64_t num_rows() const { return measures_[0].size(); }
+
+  // Uncompressed physical tuple width — the 1998 baseline layout.
   uint64_t tuple_width_bytes() const {
     return 4 * num_key_columns() + 8 * num_measures();
   }
-  uint64_t rows_per_page() const {
-    return kPageSizeBytes / tuple_width_bytes();
-  }
+  // Width of one tuple in the table's *current* layout, in bits. Compressed
+  // tables pay sum(per-column key bits) + 64 per measure; uncompressed
+  // tables pay 8 * tuple_width_bytes() exactly, so geometry with
+  // compression off is identical to the historical byte-based formula.
+  uint64_t tuple_width_bits() const { return tuple_width_bits_; }
+
+  bool compressed() const { return compressed_; }
+  // Packs (or unpacks) every key column in place and refreshes the page
+  // geometry. Lossless in both directions. Not safe during a concurrent
+  // scan of this table.
+  void SetCompressed(bool compressed);
+
+  // Cached at every geometry change, so the hot scan/probe loops below pay
+  // a load instead of a division per page.
+  uint64_t rows_per_page() const { return rows_per_page_; }
   uint64_t num_pages() const {
     // Rows never straddle pages, so geometry is ceil(rows / rows_per_page)
     // (slightly more than the raw byte count suggests).
-    const uint64_t rpp = rows_per_page();
-    return (num_rows() + rpp - 1) / rpp;
+    return (num_rows() + rows_per_page_ - 1) / rows_per_page_;
   }
-  uint64_t PageOfRow(uint64_t row) const { return row / rows_per_page(); }
-  uint64_t SizeBytes() const { return num_rows() * tuple_width_bytes(); }
+  uint64_t PageOfRow(uint64_t row) const { return row / rows_per_page_; }
+  uint64_t SizeBytes() const {
+    return (num_rows() * tuple_width_bits_ + 7) / 8;
+  }
 
   void Reserve(uint64_t rows);
 
@@ -76,14 +99,22 @@ class Table {
   // Appends a row with one value per measure column.
   void AppendRowM(const int32_t* keys, const double* measures);
 
-  // Raw column access for hot loops.
-  const std::vector<int32_t>& key_column(size_t i) const {
-    return key_columns_[i];
-  }
+  // Bulk adoption for the table_io reader: installs fully-built columns
+  // (all the same length) and normalizes their layout to `compressed`, so
+  // a v4 file's packed words land without a decode + repack round trip.
+  void AdoptColumns(std::vector<KeyColumn> keys,
+                    std::vector<std::vector<double>> measures,
+                    bool compressed);
+
+  // Key column access for hot loops: Get(row) for gathered probes,
+  // ForEach(begin, end, fn) for batch decode (see packed_column.h).
+  const KeyColumn& key_column(size_t i) const { return key_columns_[i]; }
   const std::vector<double>& measure_column(size_t m = 0) const {
     return measures_[m];
   }
-  int32_t key(size_t col, uint64_t row) const { return key_columns_[col][row]; }
+  int32_t key(size_t col, uint64_t row) const {
+    return key_columns_[col].Get(row);
+  }
   double measure(uint64_t row, size_t m = 0) const {
     return measures_[m][row];
   }
@@ -92,7 +123,7 @@ class Table {
   // one sequential page read per page to `disk`.
   template <typename Fn>
   void ScanPages(DiskModel& disk, Fn&& fn) const {
-    const uint64_t rpp = rows_per_page();
+    const uint64_t rpp = rows_per_page_;
     const uint64_t rows = num_rows();
     for (uint64_t begin = 0, page = 0; begin < rows; begin += rpp, ++page) {
       disk.ReadSequential(id_, page);
@@ -108,7 +139,7 @@ class Table {
   template <typename Fn>
   void ScanRowRange(DiskModel& disk, uint64_t row_begin, uint64_t row_end,
                     Fn&& fn) const {
-    const uint64_t rpp = rows_per_page();
+    const uint64_t rpp = rows_per_page_;
     SS_DCHECK(row_end <= num_rows());
     for (uint64_t begin = row_begin; begin < row_end;) {
       const uint64_t page = begin / rpp;
@@ -125,7 +156,7 @@ class Table {
   template <typename Fn>
   void ProbePositions(DiskModel& disk, std::span<const uint64_t> positions,
                       Fn&& fn) const {
-    const uint64_t rpp = rows_per_page();
+    const uint64_t rpp = rows_per_page_;
     uint64_t last_page = UINT64_MAX;
     for (uint64_t row : positions) {
       SS_DCHECK(row < num_rows());
@@ -140,12 +171,17 @@ class Table {
   }
 
  private:
+  void RecomputeGeometry();
+
   std::string name_;
   uint32_t id_ = 0;
   std::vector<std::string> key_column_names_;
   std::vector<std::string> measure_names_;
-  std::vector<std::vector<int32_t>> key_columns_;
+  std::vector<KeyColumn> key_columns_;
   std::vector<std::vector<double>> measures_;
+  bool compressed_ = false;
+  uint64_t tuple_width_bits_ = 64;
+  uint64_t rows_per_page_ = 1;
 };
 
 }  // namespace starshare

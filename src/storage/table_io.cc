@@ -147,7 +147,8 @@ Result<std::unique_ptr<Table>> ReadTableFileOnce(const std::string& path) {
     return Status::InvalidArgument("not a StarShare table file: " + path);
   }
   if (!reader.ReadU32(&version) ||
-      (version != kTableFileV2 && version != kTableFileV3)) {
+      (version != kTableFileV2 && version != kTableFileV3 &&
+       version != kTableFileV4)) {
     if (reader.transient()) {
       return Status::Unavailable("transient read fault in version of " +
                                  path);
@@ -190,6 +191,23 @@ Result<std::unique_ptr<Table>> ReadTableFileOnce(const std::string& path) {
                : Status::InvalidArgument("implausible row count in " + path);
   }
 
+  // v4: per-key-column packed geometry (covered by the header CRC).
+  std::vector<uint32_t> key_bits(num_keys, 0);
+  std::vector<int32_t> key_refs(num_keys, 0);
+  if (version >= kTableFileV4) {
+    for (size_t c = 0; c < num_keys; ++c) {
+      if (!reader.ReadU32(&key_bits[c]) ||
+          !reader.Read(&key_refs[c], 4)) {
+        return ReadFailure(reader, version, "key geometry", path);
+      }
+      if (key_bits[c] < 1 || key_bits[c] > 32) {
+        return Status::Corruption(
+            StrFormat("implausible key width %u bits in %s", key_bits[c],
+                      path.c_str()));
+      }
+    }
+  }
+
   if (version >= kTableFileV3) {
     const uint32_t computed = reader.TakeCrc();
     uint32_t stored = 0;
@@ -205,10 +223,16 @@ Result<std::unique_ptr<Table>> ReadTableFileOnce(const std::string& path) {
     const long header_end = std::ftell(reader.file());
     if (header_end >= 0 && std::fseek(reader.file(), 0, SEEK_END) == 0) {
       const long file_size = std::ftell(reader.file());
-      const uint64_t expected =
-          static_cast<uint64_t>(header_end) +
-          uint64_t{num_keys} * (rows * 4 + 4) +
-          uint64_t{num_measures} * (rows * 8 + 4);
+      uint64_t key_section_bytes = 0;
+      for (size_t c = 0; c < num_keys; ++c) {
+        key_section_bytes +=
+            version >= kTableFileV4
+                ? (rows * key_bits[c] + 63) / 64 * 8 + 4
+                : rows * 4 + 4;
+      }
+      const uint64_t expected = static_cast<uint64_t>(header_end) +
+                                key_section_bytes +
+                                uint64_t{num_measures} * (rows * 8 + 4);
       if (file_size < 0 || static_cast<uint64_t>(file_size) != expected) {
         return Status::Corruption(
             StrFormat("row count/file size mismatch in %s (declared %llu "
@@ -223,11 +247,30 @@ Result<std::unique_ptr<Table>> ReadTableFileOnce(const std::string& path) {
   }
 
   auto table = std::make_unique<Table>(name, key_names, measure_names);
-  std::vector<std::vector<int32_t>> cols(num_keys);
+  std::vector<KeyColumn> cols;
+  cols.reserve(num_keys);
   for (size_t c = 0; c < num_keys; ++c) {
-    auto& col = cols[c];
-    col.resize(rows);
     reader.ResetCrc();
+    if (version >= kTableFileV4) {
+      std::vector<uint64_t> words((rows * key_bits[c] + 63) / 64);
+      if (!reader.Read(words.data(), words.size() * sizeof(uint64_t))) {
+        return ReadFailure(reader, version, "key column", path);
+      }
+      const uint32_t computed = reader.TakeCrc();
+      uint32_t stored = 0;
+      if (!reader.ReadU32(&stored)) {
+        return ReadFailure(reader, version, "key column checksum", path);
+      }
+      if (stored != computed) {
+        return Status::Corruption(
+            StrFormat("checksum mismatch in key column %zu of %s", c,
+                      path.c_str()));
+      }
+      cols.push_back(KeyColumn::FromPacked(rows, key_bits[c], key_refs[c],
+                                           std::move(words)));
+      continue;
+    }
+    std::vector<int32_t> col(rows);
     if (!reader.Read(col.data(), rows * sizeof(int32_t))) {
       return ReadFailure(reader, version, "key column", path);
     }
@@ -243,6 +286,7 @@ Result<std::unique_ptr<Table>> ReadTableFileOnce(const std::string& path) {
                       path.c_str()));
       }
     }
+    cols.push_back(KeyColumn::FromRaw(std::move(col)));
   }
   std::vector<std::vector<double>> measures(num_measures);
   for (size_t m = 0; m < num_measures; ++m) {
@@ -265,14 +309,10 @@ Result<std::unique_ptr<Table>> ReadTableFileOnce(const std::string& path) {
       }
     }
   }
-  table->Reserve(rows);
-  std::vector<int32_t> key(num_keys);
-  std::vector<double> values(num_measures);
-  for (uint64_t r = 0; r < rows; ++r) {
-    for (uint32_t c = 0; c < num_keys; ++c) key[c] = cols[c][r];
-    for (uint32_t m = 0; m < num_measures; ++m) values[m] = measures[m][r];
-    table->AppendRowM(key.data(), values.data());
-  }
+  // Adopt the columns wholesale: a v4 file's packed words become the
+  // compressed in-memory layout without a decode + repack round trip.
+  table->AdoptColumns(std::move(cols), std::move(measures),
+                      version >= kTableFileV4);
   return table;
 }
 
@@ -280,13 +320,30 @@ Result<std::unique_ptr<Table>> ReadTableFileOnce(const std::string& path) {
 
 Status WriteTableFile(const Table& table, const std::string& path,
                       uint32_t version) {
-  SS_CHECK_MSG(version == kTableFileV2 || version == kTableFileV3,
+  if (version == kTableFileVersionAuto) {
+    version = table.compressed() ? kTableFileV4 : kTableFileV3;
+  }
+  SS_CHECK_MSG(version >= kTableFileV2 && version <= kTableFileV4,
                "unsupported table file version %u", version);
   File file(std::fopen(path.c_str(), "wb"));
   if (file == nullptr) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
   FILE* f = file.get();
+
+  // Any version can be written from any in-memory layout: v4 packs raw
+  // columns into scratch copies; v2/v3 decode packed columns into scratch
+  // raw buffers. The common cases (layout matches version) copy nothing
+  // beyond the column handle.
+  std::vector<KeyColumn> scratch_packed;
+  if (version >= kTableFileV4) {
+    scratch_packed.reserve(table.num_key_columns());
+    for (size_t c = 0; c < table.num_key_columns(); ++c) {
+      KeyColumn col = table.key_column(c);
+      col.Pack();
+      scratch_packed.push_back(std::move(col));
+    }
+  }
 
   std::string header;
   AppendString(header, table.name());
@@ -299,6 +356,12 @@ Status WriteTableFile(const Table& table, const std::string& path,
     AppendString(header, table.key_column_name(c));
   }
   AppendU64(header, table.num_rows());
+  if (version >= kTableFileV4) {
+    for (const KeyColumn& col : scratch_packed) {
+      AppendU32(header, col.bits());
+      AppendU32(header, static_cast<uint32_t>(col.ref()));
+    }
+  }
 
   bool ok = WriteBytes(f, kMagic, 4) && WriteU32(f, version) &&
             WriteBytes(f, header.data(), header.size());
@@ -306,11 +369,20 @@ Status WriteTableFile(const Table& table, const std::string& path,
     ok = ok && WriteU32(f, Crc32(header.data(), header.size()));
   }
   for (size_t c = 0; ok && c < table.num_key_columns(); ++c) {
-    const auto& col = table.key_column(c);
-    const size_t bytes = col.size() * sizeof(int32_t);
-    ok = WriteBytes(f, col.data(), bytes);
+    if (version >= kTableFileV4) {
+      const KeyColumn& col = scratch_packed[c];
+      const size_t bytes = col.num_words() * sizeof(uint64_t);
+      ok = WriteBytes(f, col.words().data(), bytes) &&
+           WriteU32(f, Crc32(col.words().data(), bytes));
+      continue;
+    }
+    const KeyColumn& col = table.key_column(c);
+    std::vector<int32_t> raw(col.size());
+    col.Decode(0, col.size(), raw.data());
+    const size_t bytes = raw.size() * sizeof(int32_t);
+    ok = WriteBytes(f, raw.data(), bytes);
     if (version >= kTableFileV3) {
-      ok = ok && WriteU32(f, Crc32(col.data(), bytes));
+      ok = ok && WriteU32(f, Crc32(raw.data(), bytes));
     }
   }
   for (size_t m = 0; ok && m < table.num_measures(); ++m) {

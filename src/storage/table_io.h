@@ -1,9 +1,9 @@
 // Binary table persistence: a compact little-endian format holding the
-// schema header and raw column arrays. Used by Engine::SaveCube/LoadCube so
-// a generated-and-aggregated cube can be reused across runs instead of
-// being rebuilt.
+// schema header and column arrays. Used by Engine::SaveCube/LoadCube so a
+// generated-and-aggregated cube can be reused across runs instead of being
+// rebuilt.
 //
-// Format (version 3, the current writer):
+// Format (version 4, the current writer):
 //   magic   "SSTB"                      4 bytes
 //   version u32
 //   name                                length-prefixed string (u32 + bytes)
@@ -12,15 +12,25 @@
 //   k       u32                         number of key columns
 //   key column names                    k length-prefixed strings
 //   rows    u64
+//   key geometry (v4 only)              k x (bits u32 + ref i32)
 //   header CRC32 u32                    over every header byte after version
-//   key columns                         k x (rows x int32 raw + CRC32 u32)
+//   key columns                         v4: k x (ceil(rows*bits/64) u64
+//                                       packed words + CRC32 u32)
+//                                       v2/v3: k x (rows x int32 raw
+//                                       [+ CRC32 u32 in v3])
 //   measure columns                     m x (rows x double raw + CRC32 u32)
 //
-// The reader validates the header CRC, cross-checks the declared row count
+// v4 persists each key column bit-packed (storage/packed_column.h): values
+// are frame-of-reference deltas `value - ref` at `bits` per value, packed
+// little-endian across 64-bit words — the same words the compressed
+// in-memory layout uses, so a v4 load adopts them without a repack.
+//
+// The reader validates the header CRC, cross-checks the declared geometry
 // against the file size, and validates each column section's CRC, so a
 // torn, truncated or bit-flipped file surfaces as StatusCode::kCorruption
 // instead of an abort or silently wrong data. Version-2 files (no
-// checksums) still load for backward compatibility.
+// checksums) and version-3 files (raw checksummed columns) still load for
+// backward compatibility.
 
 #ifndef STARSHARE_STORAGE_TABLE_IO_H_
 #define STARSHARE_STORAGE_TABLE_IO_H_
@@ -33,11 +43,15 @@
 
 namespace starshare {
 
-// The version WriteTableFile emits by default; kTableFileV2 is the legacy
-// checksum-free format, still writable for compatibility tests.
+// Writable format versions. kTableFileVersionAuto (the WriteTableFile
+// default) matches the table's in-memory layout: v4 for compressed tables,
+// v3 for raw ones — so an engine with compression off keeps producing
+// byte-identical v3 files.
+inline constexpr uint32_t kTableFileVersionAuto = 0;
 inline constexpr uint32_t kTableFileV2 = 2;
 inline constexpr uint32_t kTableFileV3 = 3;
-inline constexpr uint32_t kTableFileVersionLatest = kTableFileV3;
+inline constexpr uint32_t kTableFileV4 = 4;
+inline constexpr uint32_t kTableFileVersionLatest = kTableFileV4;
 
 // Retry policy for ReadTableFile. Transient faults (kUnavailable — e.g. a
 // failed fread or fopen that may succeed on retry) and corruption (which a
@@ -50,12 +64,15 @@ struct TableReadOptions {
   int backoff_ms = 1;
 };
 
-// Writes `table` to `path`, replacing any existing file.
+// Writes `table` to `path`, replacing any existing file. Any version can be
+// written from any in-memory layout (columns are packed or decoded on the
+// fly as needed).
 Status WriteTableFile(const Table& table, const std::string& path,
-                      uint32_t version = kTableFileVersionLatest);
+                      uint32_t version = kTableFileVersionAuto);
 
 // Reads a table previously written by WriteTableFile (any supported
-// version).
+// version). The returned table's layout matches the file (v4 → compressed);
+// Catalog registration normalizes it to the engine's configured default.
 Result<std::unique_ptr<Table>> ReadTableFile(
     const std::string& path, const TableReadOptions& options = {});
 

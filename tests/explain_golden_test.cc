@@ -21,20 +21,20 @@ namespace starshare {
 namespace {
 
 constexpr char kGolden[] =
-    R"(engine.execute act=123.000ms io=[seq=59 rand=6 idx=4 tuples=20006 probes=80000] wall=--ms cpu=--ms
-  exec.class(ABCD) est=60.394ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] wall=--ms cpu=--ms
-    exec.aggregate(ABCD) rows=12 est=60.394ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] wall=--ms cpu=--ms
-      exec.route est=0.082ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] wall=--ms cpu=--ms
-        exec.star_join_filter est=1.312ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] wall=--ms cpu=--ms
+    R"(engine.execute act=94.000ms io=[seq=30 rand=6 idx=4 tuples=20006 probes=80000] wall=--ms cpu=--ms
+  exec.class(ABCD) est=31.394ms act=30.000ms io=[seq=30 tuples=20000 probes=80000] wall=--ms cpu=--ms
+    exec.aggregate(ABCD) rows=12 est=31.394ms act=30.000ms io=[seq=30 tuples=20000 probes=80000] wall=--ms cpu=--ms
+      exec.route est=0.082ms act=30.000ms io=[seq=30 tuples=20000 probes=80000] wall=--ms cpu=--ms
+        exec.star_join_filter est=1.312ms act=30.000ms io=[seq=30 tuples=20000 probes=80000] wall=--ms cpu=--ms
           exec.dim_filters act=0.000ms dims=4 wall=--ms cpu=--ms
-          exec.shared_scan(ABCD) rows=20000 est=59.000ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] members=2 wall=--ms cpu=--ms
+          exec.shared_scan(ABCD) rows=20000 est=30.000ms act=30.000ms io=[seq=30 tuples=20000 probes=80000] members=2 wall=--ms cpu=--ms
     exec.member(hash-scan) q1 rows=3 est=0.041ms act=0.000ms wall=--ms cpu=--ms
     exec.member(hash-scan) q2 rows=9 est=0.042ms act=0.000ms wall=--ms cpu=--ms
-  exec.class(A'B'C'D) est=74.662ms act=64.000ms io=[rand=6 idx=4 tuples=6] wall=--ms cpu=--ms
+  exec.class(A'B'C'D) est=70.558ms act=64.000ms io=[rand=6 idx=4 tuples=6] wall=--ms cpu=--ms
     exec.bitmap q5 rows=6 act=4.000ms io=[idx=4] wall=--ms cpu=--ms
-    exec.aggregate(A'B'C'D) rows=1 est=74.662ms act=60.000ms io=[rand=6 tuples=6] wall=--ms cpu=--ms
+    exec.aggregate(A'B'C'D) rows=1 est=70.558ms act=60.000ms io=[rand=6 tuples=6] wall=--ms cpu=--ms
       exec.bitmap_filter est=0.000ms act=60.000ms io=[rand=6 tuples=6] wall=--ms cpu=--ms
-        exec.shared_probe(A'B'C'D) rows=6 est=70.612ms act=60.000ms io=[rand=6 tuples=6] members=1 wall=--ms cpu=--ms
+        exec.shared_probe(A'B'C'D) rows=6 est=66.508ms act=60.000ms io=[rand=6 tuples=6] members=1 wall=--ms cpu=--ms
     exec.member(index-probe) q5 rows=1 est=4.050ms act=0.000ms wall=--ms cpu=--ms
 )";
 
@@ -42,16 +42,16 @@ constexpr char kGolden[] =
 // (plan/physical_plan.h), annotated with estimates, modeled actuals, rows
 // and I/O. Regenerate the same way: paste the ACTUAL-PHYSICAL block.
 constexpr char kGoldenPhysical[] =
-    R"(Aggregate(ABCD) est=60.394ms act=59.000ms rows=12 io=[seq=59 tuples=20000 probes=80000] mem=[--]
-  Route est=0.082ms act=59.000ms io=[seq=59 tuples=20000 probes=80000]
+    R"(Aggregate(ABCD) est=31.394ms act=30.000ms rows=12 io=[seq=30 tuples=20000 probes=80000] mem=[--]
+  Route est=0.082ms act=30.000ms io=[seq=30 tuples=20000 probes=80000]
     -> member q1 (hash-scan) est=0.041ms rows=3
     -> member q2 (hash-scan) est=0.042ms rows=9
-    StarJoinFilter est=1.312ms act=59.000ms io=[seq=59 tuples=20000 probes=80000] mem=[--]
-      Scan(ABCD) est=59.000ms act=59.000ms rows=20000 io=[seq=59 tuples=20000 probes=80000] members=2
-Aggregate(A'B'C'D) est=74.662ms act=60.000ms rows=1 io=[rand=6 tuples=6] mem=[--]
+    StarJoinFilter est=1.312ms act=30.000ms io=[seq=30 tuples=20000 probes=80000] mem=[--]
+      Scan(ABCD) est=30.000ms act=30.000ms rows=20000 io=[seq=30 tuples=20000 probes=80000] members=2
+Aggregate(A'B'C'D) est=70.558ms act=60.000ms rows=1 io=[rand=6 tuples=6] mem=[--]
   -> member q5 (index-probe) est=4.050ms rows=1
   BitmapFilter est=0.000ms act=60.000ms io=[rand=6 tuples=6] mem=[--]
-    IndexUnionProbe(A'B'C'D) est=70.612ms act=60.000ms rows=6 io=[rand=6 tuples=6] mem=[--] members=1
+    IndexUnionProbe(A'B'C'D) est=66.508ms act=60.000ms rows=6 io=[rand=6 tuples=6] mem=[--] members=1
 )";
 
 // Replaces the body of every `mem=[...]` field with `--`. Memory gauges
@@ -72,7 +72,12 @@ std::string MaskMem(std::string text) {
 }
 
 TEST(ExplainGoldenTest, MaskedRenderingIsByteStable) {
-  Engine engine(StarSchema::PaperTestSchema());
+  // The golden's io=[...] page counts encode the compressed layout's
+  // geometry, so pin the knob explicitly: the transcript must stay
+  // byte-stable even under verify.sh's STARSHARE_UNCOMPRESSED pass.
+  EngineConfig config;
+  config.compressed_pages = true;
+  Engine engine(StarSchema::PaperTestSchema(), config);
   PaperWorkload::Setup(engine, /*rows=*/20'000, /*seed=*/7);
   std::vector<DimensionalQuery> queries =
       PaperWorkload::MakeQueries(engine, {1, 2, 5});

@@ -19,7 +19,7 @@ class MaintenanceTest : public ::testing::Test {
  protected:
   void SetUp() override {
     engine_ = std::make_unique<Engine>(SmallSchema());
-    engine_->LoadFactTable({.num_rows = 6000, .seed = 131});
+    engine_->LoadFactTable({.num_rows = 12000, .seed = 131});
     ASSERT_TRUE(engine_->MaterializeView("X'Y'").ok());
     ASSERT_TRUE(engine_->MaterializeView("X''Z'", /*clustered=*/true).ok());
     ASSERT_TRUE(engine_->BuildIndexes("X'Y'", {"X", "Y"}).ok());
@@ -32,11 +32,11 @@ class MaintenanceTest : public ::testing::Test {
 
 TEST_F(MaintenanceTest, RefreshedViewsMatchRebuiltFromScratch) {
   ASSERT_TRUE(engine_->AppendFacts({.num_rows = 2500, .seed = 999}).ok());
-  EXPECT_EQ(engine_->base_view()->table().num_rows(), 8500u);
+  EXPECT_EQ(engine_->base_view()->table().num_rows(), 14500u);
 
   // A second engine builds the same final state from scratch.
   Engine fresh(SmallSchema());
-  fresh.LoadFactTable({.num_rows = 6000, .seed = 131});
+  fresh.LoadFactTable({.num_rows = 12000, .seed = 131});
   ASSERT_TRUE(fresh.AppendFacts({.num_rows = 2500, .seed = 999}).ok());
   // (fresh has no views; build them from the final base)
   ASSERT_TRUE(fresh.MaterializeView("X'Y'").ok());
@@ -127,7 +127,7 @@ TEST_F(MaintenanceTest, RepeatedAppendsAccumulate) {
     ASSERT_TRUE(
         engine_->AppendFacts({.num_rows = 400, .seed = 1000u + round}).ok());
   }
-  EXPECT_EQ(engine_->base_view()->table().num_rows(), 6000u + 3 * 400);
+  EXPECT_EQ(engine_->base_view()->table().num_rows(), 12000u + 3 * 400);
   // The grand total over the refreshed X''Z' view equals the base total.
   std::vector<DimensionalQuery> q;
   q.push_back(MakeQuery(schema(), 1, "()", {}));

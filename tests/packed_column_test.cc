@@ -1,0 +1,186 @@
+// Edge coverage for bit-packed key columns (storage/packed_column.h) and
+// the compressed table geometry built on them: degenerate 1-value domains,
+// the full int32 domain (32-bit deltas, the widest v4 allows), empty
+// columns/tables, payloads ending in a partial word, and widening repacks
+// on out-of-range appends. Everything round-trips exactly — packing is
+// lossless by contract.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "storage/packed_column.h"
+#include "storage/page.h"
+#include "storage/table.h"
+#include "storage/table_io.h"
+
+namespace starshare {
+namespace {
+
+std::vector<int32_t> DecodeAll(const KeyColumn& col) {
+  std::vector<int32_t> out(col.size());
+  col.Decode(0, col.size(), out.data());
+  return out;
+}
+
+TEST(PackedColumnTest, ConstantDomainPacksToOneBit) {
+  KeyColumn col;
+  for (int i = 0; i < 100; ++i) col.Append(7);
+  col.Pack();
+  ASSERT_TRUE(col.packed());
+  EXPECT_EQ(col.bits(), 1u);
+  EXPECT_EQ(col.ref(), 7);
+  // 100 one-bit values: two payload words.
+  EXPECT_EQ(col.num_words(), 2u);
+  for (uint64_t r = 0; r < col.size(); ++r) EXPECT_EQ(col.Get(r), 7);
+  EXPECT_EQ(DecodeAll(col), std::vector<int32_t>(100, 7));
+}
+
+TEST(PackedColumnTest, FullInt32DomainNeedsThirtyTwoBits) {
+  // min .. max spans 2^32 - 1 delta values — the widest a key column can
+  // be. Extraction must not truncate and ref arithmetic must not overflow.
+  const int32_t lo = std::numeric_limits<int32_t>::min();
+  const int32_t hi = std::numeric_limits<int32_t>::max();
+  const std::vector<int32_t> values = {lo, -1, 0, 1, hi, lo + 1, hi - 1};
+  KeyColumn col = KeyColumn::FromRaw(values);
+  col.Pack();
+  ASSERT_TRUE(col.packed());
+  EXPECT_EQ(col.bits(), 32u);
+  EXPECT_EQ(col.ref(), lo);
+  EXPECT_EQ(DecodeAll(col), values);
+  // And back out again.
+  col.Unpack();
+  EXPECT_FALSE(col.packed());
+  EXPECT_EQ(DecodeAll(col), values);
+}
+
+TEST(PackedColumnTest, EmptyColumnHasSaneGeometry) {
+  KeyColumn col;
+  col.Pack();
+  EXPECT_TRUE(col.packed());
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_EQ(col.bits(), 1u);  // geometry never divides by zero
+  EXPECT_EQ(col.num_words(), 0u);
+  col.ForEach(0, 0, [](uint64_t, int32_t) { FAIL(); });
+}
+
+TEST(PackedColumnTest, TrailingPartialWordRoundTrips) {
+  // 13 values at 5 bits = 65 bits: one full word plus a 1-bit remainder in
+  // the second. The straddle at value 12 (bits 60..64) crosses the word
+  // boundary and the final word is almost entirely padding.
+  std::vector<int32_t> values;
+  for (int32_t i = 0; i < 13; ++i) values.push_back(i * 2 + 5);  // 5..29
+  KeyColumn col = KeyColumn::FromRaw(values);
+  col.Pack();
+  ASSERT_TRUE(col.packed());
+  EXPECT_EQ(col.bits(), 5u);
+  EXPECT_EQ(col.num_words(), 2u);
+  EXPECT_EQ(DecodeAll(col), values);
+
+  // Persist-and-restore through the v4 payload contract: exactly
+  // num_words() words, sentinel re-added by FromPacked.
+  std::vector<uint64_t> payload(col.words().begin(),
+                                col.words().begin() + col.num_words());
+  KeyColumn restored =
+      KeyColumn::FromPacked(col.size(), col.bits(), col.ref(),
+                            std::move(payload));
+  EXPECT_EQ(DecodeAll(restored), values);
+}
+
+TEST(PackedColumnTest, OutOfRangeAppendWidensInPlace) {
+  KeyColumn col;
+  for (int32_t i = 0; i < 50; ++i) col.Append(i % 8);  // 3 bits
+  col.Pack();
+  ASSERT_EQ(col.bits(), 3u);
+  col.Append(1000);  // forces a widening repack
+  ASSERT_TRUE(col.packed());
+  EXPECT_EQ(col.bits(), 10u);  // range 0..1000
+  EXPECT_EQ(col.size(), 51u);
+  for (uint64_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(col.Get(r), static_cast<int32_t>(r % 8));
+  }
+  EXPECT_EQ(col.Get(50), 1000);
+  // In-range appends stay O(1) on the packed layout.
+  col.Append(3);
+  EXPECT_EQ(col.bits(), 10u);
+  EXPECT_EQ(col.Get(51), 3);
+}
+
+// ---- Compressed table geometry over the edge columns ----------------------
+
+TEST(PackedColumnTest, EmptyCompressedTableHasZeroPages) {
+  Table t("empty", {"a", "b"}, "m");
+  t.SetCompressed(true);
+  EXPECT_TRUE(t.compressed());
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_pages(), 0u);
+  EXPECT_EQ(t.SizeBytes(), 0u);
+}
+
+TEST(PackedColumnTest, CompressedGeometryTracksKeyWidths) {
+  Table t("t", {"a", "b"}, "m");
+  for (int32_t r = 0; r < 10'000; ++r) {
+    const int32_t keys[] = {r % 2, r % 1000};
+    t.AppendRow(keys, 1.0);
+  }
+  const uint64_t rpp_unc = t.rows_per_page();
+  ASSERT_EQ(rpp_unc, kPageSizeBytes / t.tuple_width_bytes());
+  t.SetCompressed(true);
+  // 1 bit + 10 bits + 64 measure bits = 75 bits per tuple.
+  EXPECT_EQ(t.tuple_width_bits(), 75u);
+  EXPECT_EQ(t.rows_per_page(), kPageSizeBytes * 8 / 75);
+  EXPECT_GT(t.rows_per_page(), rpp_unc);
+  EXPECT_LT(t.num_pages(), (t.num_rows() + rpp_unc - 1) / rpp_unc);
+  // Values unchanged by the layout switch.
+  EXPECT_EQ(t.key(0, 9'999), 9'999 % 2);
+  EXPECT_EQ(t.key(1, 9'999), 9'999 % 1000);
+  t.SetCompressed(false);
+  EXPECT_EQ(t.rows_per_page(), rpp_unc);
+  EXPECT_EQ(t.key(1, 1'234), 1'234 % 1000);
+}
+
+TEST(PackedColumnTest, EdgeTablesSurviveV4Files) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("starshare_packed_col_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Constant key domain, int32-extreme domain, and an empty table.
+  Table edge("edge", {"c", "wide"}, "m");
+  const int32_t hi = std::numeric_limits<int32_t>::max();
+  const int32_t lo = std::numeric_limits<int32_t>::min();
+  for (int32_t r = 0; r < 777; ++r) {
+    const int32_t keys[] = {42, (r % 2 != 0) ? hi : lo};
+    edge.AppendRow(keys, r * 0.5);
+  }
+  edge.SetCompressed(true);
+  Table empty("nothing", {"a"}, "m");
+  empty.SetCompressed(true);
+
+  for (const Table* t : {&edge, &empty}) {
+    const std::string path = (dir / (t->name() + ".sstb")).string();
+    ASSERT_TRUE(WriteTableFile(*t, path).ok()) << t->name();
+    const auto r = ReadTableFile(path, {.max_attempts = 1, .backoff_ms = 0});
+    ASSERT_TRUE(r.ok()) << t->name() << ": " << r.status().ToString();
+    const Table& back = *r.value();
+    EXPECT_TRUE(back.compressed()) << t->name();
+    ASSERT_EQ(back.num_rows(), t->num_rows()) << t->name();
+    EXPECT_EQ(back.tuple_width_bits(), t->tuple_width_bits()) << t->name();
+    for (uint64_t row = 0; row < back.num_rows(); ++row) {
+      for (size_t c = 0; c < back.num_key_columns(); ++c) {
+        ASSERT_EQ(back.key(c, row), t->key(c, row))
+            << t->name() << " row " << row;
+      }
+      ASSERT_DOUBLE_EQ(back.measure(row), t->measure(row)) << t->name();
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace starshare

@@ -244,8 +244,8 @@ TEST(ServerAdmissionTest, QueuedJobBoundsAttachAbsorption) {
     if (slot->fn) slot->fn(cursor);
   };
   std::vector<DimensionConfig> dims;
-  dims.push_back({.name = "X", .top_cardinality = 2, .fanouts = {8, 5}});
-  dims.push_back({.name = "Y", .top_cardinality = 2, .fanouts = {8, 5}});
+  dims.push_back({.name = "X", .top_cardinality = 2, .fanouts = {8, 10}});
+  dims.push_back({.name = "Y", .top_cardinality = 2, .fanouts = {8, 10}});
   dims.push_back({.name = "W", .top_cardinality = 3, .fanouts = {4}});
   Engine engine(StarSchema(std::move(dims), "m"), cfg);
   engine.LoadFactTable({.num_rows = 60000, .seed = 91});
