@@ -7,7 +7,7 @@
 //                   tuple, compression ratio vs the 4k+8m byte layout
 //   \queries        print the paper's nine canned queries
 //   \q<N>           run paper query N (e.g. \q5)
-//   \opt NAME       switch optimizer (tplo | etplg | gg | optimal)
+//   \opt NAME       switch optimizer (tplo | etplg | gg | dag | optimal)
 //   \sql            toggle printing each component query as SQL (§2)
 //   \explain        toggle EXPLAIN ANALYZE (span tree + executed physical
 //                   plan, both with est-vs-actual annotations)

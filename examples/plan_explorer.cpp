@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
 
   for (OptimizerKind kind :
        {OptimizerKind::kTplo, OptimizerKind::kEtplg,
-        OptimizerKind::kGlobalGreedy, OptimizerKind::kExhaustive}) {
+        OptimizerKind::kGlobalGreedy, OptimizerKind::kDagGreedy,
+        OptimizerKind::kExhaustive}) {
     const GlobalPlan plan = engine.Optimize(queries, kind);
     std::printf("\n=== %s ===\n%s", OptimizerKindName(kind),
                 plan.Explain(engine.schema()).c_str());

@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
 
   for (OptimizerKind kind :
        {OptimizerKind::kTplo, OptimizerKind::kEtplg,
-        OptimizerKind::kGlobalGreedy, OptimizerKind::kExhaustive}) {
+        OptimizerKind::kGlobalGreedy, OptimizerKind::kDagGreedy,
+        OptimizerKind::kExhaustive}) {
     GlobalPlan plan = engine.Optimize(queries.value(), kind);
     std::printf("\n--- %s plan (estimated %.3f ms) ---\n",
                 OptimizerKindName(kind), plan.EstMs());

@@ -10,9 +10,11 @@ JSON line records (gcov -t --json-format, no files written), and merges
 them per source file: a line is instrumented if any translation unit
 instruments it and covered if any translation unit executed it — this is
 what makes header-inline coverage (obs/metrics.h) add up across the many
-TUs that include it. Gated files: everything under src/obs/ and
-src/server/ (the query-server subsystem), plus the memory-accounting
-subsystem (exec/spill, exec/memory_budget, common/mem_stats). Other
+TUs that include it. Gated files: everything under src/obs/,
+src/server/ (the query-server subsystem) and src/opt/ (the five
+optimizers and the AND-OR DAG), plus the memory-accounting subsystem
+(exec/spill, exec/memory_budget, common/mem_stats) and the incremental
+class-cost tracker (cost/class_cost_tracker). Other
 files are ignored. Prints a per-file table and
 exits non-zero when total gated line coverage falls below the threshold
 (default 90%).
@@ -32,6 +34,8 @@ GATED = (
     os.path.join("src", "common", "mem_stats.h"),
     os.path.join("src", "storage", "packed_column."),
     os.path.join("src", "storage", "table_io."),
+    os.path.join("src", "opt") + os.sep,
+    os.path.join("src", "cost", "class_cost_tracker."),
 )
 
 

@@ -12,8 +12,11 @@
 # tuple-at-a-time/serial, any charged page count changes, or the
 # disabled-trace overhead bound of bench_vectorized_scan is exceeded), a
 # clang-tidy pass over src/plan/ + src/exec/ (skipped when clang-tidy is
-# absent), and a coverage pass gating src/obs/, src/server/, the
-# memory-accounting subsystem, and the compressed-storage files
+# absent), a Release-build optimizer-differential pass (all five
+# optimizers, 200 seeded random workloads, bit-identical results and
+# exact modeled-I/O agreement), and a coverage pass gating src/obs/,
+# src/server/, src/opt/, the memory-accounting subsystem, the
+# incremental class-cost tracker, and the compressed-storage files
 # (packed_column, table_io) at >= 90% covered lines.
 # All stages must pass. Run from the repository root:
 #
@@ -83,6 +86,19 @@ echo "==> perf-smoke: scan benches on reduced rows"
 (cd build && STARSHARE_ROWS=120000 ./bench/bench_parallel_scan >/dev/null)
 (cd build && STARSHARE_ROWS=120000 ./bench/bench_server_throughput >/dev/null)
 
+echo "==> optimizer differential: Release build, 200 seeds, all optimizers"
+# The differential suite pins all five optimizers to bit-identical
+# results, exact est==actual modeled IoStats on scan-only plans, and the
+# cost ordering (DAG <= GG, OPTIMAL <= everything) across the paper
+# workloads plus 200 seeded random workloads, at {1,4} threads x
+# {1,1024} batch rows. A dedicated Release build keeps the 200-seed
+# sweep fast and matches the configuration the benches run under.
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$JOBS" --target \
+  optimizer_differential_test optimizer_test
+ctest --test-dir build-release --output-on-failure -j "$JOBS" \
+  -R 'optimizer_differential_test|optimizer_test'
+
 echo "==> clang-tidy: src/plan/ + src/exec/ (bugprone, modernize, performance)"
 # Gates the physical-plan DAG and operator layers with the repo .clang-tidy
 # (warnings are errors there). Uses the plain build's compile commands;
@@ -96,7 +112,7 @@ else
   echo "    clang-tidy not found; skipping (install LLVM tooling to enable)"
 fi
 
-echo "==> coverage: obs/server/spill/storage line gate (>= 90%)"
+echo "==> coverage: obs/server/opt/spill/storage line gate (>= 90%)"
 cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug \
   -DSTARSHARE_COVERAGE=ON >/dev/null
 cmake --build build-cov -j "$JOBS"

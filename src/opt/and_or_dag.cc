@@ -1,0 +1,85 @@
+#include "opt/and_or_dag.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace starshare {
+
+AndOrDag::AndOrDag(
+    const std::vector<const DimensionalQuery*>& queries,
+    const std::vector<std::vector<MaterializedView*>>& candidates,
+    const CostModel& cost) {
+  SS_CHECK(queries.size() == candidates.size());
+  std::unordered_map<MaterializedView*, size_t> shared_id;
+
+  queries_.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryOrNode node;
+    node.query = queries[i];
+    for (MaterializedView* v : candidates[i]) {
+      auto [it, inserted] = shared_id.try_emplace(v, shared_.size());
+      if (inserted) shared_.push_back(SharedAccessNode{v, {}});
+      const size_t sid = it->second;
+      SharedAccessNode& sn = shared_[sid];
+      if (sn.users.empty() || sn.users.back() != i) sn.users.push_back(i);
+
+      PlanAlternative scan;
+      scan.shared = sid;
+      scan.view = v;
+      scan.method = JoinMethod::kHashScan;
+      scan.standalone_ms = cost.HashJoinCostMs(*queries[i], *v);
+      node.alts.push_back(scan);
+
+      if (cost.IndexAvailable(*queries[i], *v)) {
+        PlanAlternative probe;
+        probe.shared = sid;
+        probe.view = v;
+        probe.method = JoinMethod::kIndexProbe;
+        probe.standalone_ms = cost.IndexJoinCostMs(*queries[i], *v);
+        node.alts.push_back(probe);
+      }
+    }
+    SS_CHECK_MSG(!node.alts.empty(), "query Q%d has no answering view",
+                 queries[i]->id());
+    std::stable_sort(node.alts.begin(), node.alts.end(),
+                     [](const PlanAlternative& a, const PlanAlternative& b) {
+                       if (a.standalone_ms != b.standalone_ms) {
+                         return a.standalone_ms < b.standalone_ms;
+                       }
+                       return a.shared < b.shared;
+                     });
+    queries_.push_back(std::move(node));
+  }
+}
+
+size_t AndOrDag::NumAndNodes() const {
+  size_t n = 0;
+  for (const auto& q : queries_) n += q.alts.size();
+  return n;
+}
+
+std::string AndOrDag::ToString() const {
+  std::ostringstream os;
+  for (const auto& node : queries_) {
+    os << "Q" << node.query->id() << ":";
+    for (const auto& alt : node.alts) {
+      os << " [" << alt.view->name() << "/"
+         << (alt.method == JoinMethod::kHashScan ? "scan" : "probe") << " "
+         << alt.standalone_ms << "ms #" << alt.shared << "]";
+    }
+    os << "\n";
+  }
+  for (size_t s = 0; s < shared_.size(); ++s) {
+    os << "#" << s << " " << shared_[s].view->name() << " users:";
+    for (size_t u : shared_[s].users) {
+      os << " Q" << queries_[u].query->id();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace starshare

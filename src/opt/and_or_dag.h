@@ -1,0 +1,85 @@
+// The AND-OR DAG the DAG-greedy optimizer searches over (Roy et al.,
+// "Efficient and Extensible Algorithms for Multi Query Optimization").
+//
+// Every component query of the MDX expression becomes an OR node whose
+// children are its alternative evaluation plans — for each answering
+// materialized group-by, a fact-scan (hash star join) alternative and,
+// when the view carries usable bitmap join indexes, an index-probe
+// alternative (residual predicates become filter hybrids inside the cost
+// model, exactly as exhaustive.cc prices them). The sharable work of an
+// alternative is the access path of its view — the sequential scan or the
+// shared probe pass — and that is the *equivalence node*: one
+// SharedAccessNode per view, unified across every query that can ride it.
+// Two queries answered from the same view point at the same node, which is
+// what makes "materialize this subexpression once, share it" a single
+// decision with a class-cost delta (cost/class_cost_tracker.h) instead of
+// a pairwise comparison.
+//
+// The DAG is a static representation: it owns no costs beyond the
+// standalone (class-of-one) estimate per alternative, which seeds the
+// greedy loop's initial assignment and orders the alternatives
+// cheapest-first. All shared-state pricing happens in the trackers.
+
+#ifndef STARSHARE_OPT_AND_OR_DAG_H_
+#define STARSHARE_OPT_AND_OR_DAG_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cube/materialized_view.h"
+#include "query/query.h"
+
+namespace starshare {
+
+// An AND node: one concrete way to answer one query. `shared` indexes the
+// equivalence node (AndOrDag::shared()) whose access path it rides.
+struct PlanAlternative {
+  size_t shared = 0;
+  MaterializedView* view = nullptr;
+  JoinMethod method = JoinMethod::kHashScan;
+  double standalone_ms = 0;  // cost as a class of one
+};
+
+// An equivalence node: the sharable access path of one materialized view,
+// unified across queries. `users` lists the OR nodes (query indexes) with
+// at least one alternative riding this node.
+struct SharedAccessNode {
+  MaterializedView* view = nullptr;
+  std::vector<size_t> users;
+};
+
+// An OR node: the query plus its alternatives, sorted cheapest-first
+// (ties by equivalence-node id, hash before probe).
+struct QueryOrNode {
+  const DimensionalQuery* query = nullptr;
+  std::vector<PlanAlternative> alts;
+};
+
+class AndOrDag {
+ public:
+  // Expands `queries[i]`'s alternatives over `candidates[i]` (its answering
+  // views, as Optimizer::AnswerableViews produces them) and unifies the
+  // shared access-path nodes across queries. Deterministic: node ids follow
+  // first-seen order over (query, candidate) pairs.
+  AndOrDag(const std::vector<const DimensionalQuery*>& queries,
+           const std::vector<std::vector<MaterializedView*>>& candidates,
+           const CostModel& cost);
+
+  const std::vector<QueryOrNode>& queries() const { return queries_; }
+  const std::vector<SharedAccessNode>& shared() const { return shared_; }
+
+  // Total AND nodes (alternatives) across all OR nodes.
+  size_t NumAndNodes() const;
+
+  // Debug dump: one line per OR node plus the equivalence-node fan-in.
+  std::string ToString() const;
+
+ private:
+  std::vector<QueryOrNode> queries_;
+  std::vector<SharedAccessNode> shared_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_OPT_AND_OR_DAG_H_

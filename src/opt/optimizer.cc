@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "opt/dag_greedy.h"
 #include "opt/etplg.h"
 #include "opt/exhaustive.h"
 #include "opt/gg.h"
@@ -18,6 +19,8 @@ const char* OptimizerKindName(OptimizerKind kind) {
       return "ETPLG";
     case OptimizerKind::kGlobalGreedy:
       return "GG";
+    case OptimizerKind::kDagGreedy:
+      return "DAG";
     case OptimizerKind::kExhaustive:
       return "OPTIMAL";
   }
@@ -28,6 +31,9 @@ Result<OptimizerKind> ParseOptimizerKind(const std::string& name) {
   if (name == "TPLO" || name == "tplo") return OptimizerKind::kTplo;
   if (name == "ETPLG" || name == "etplg") return OptimizerKind::kEtplg;
   if (name == "GG" || name == "gg") return OptimizerKind::kGlobalGreedy;
+  if (name == "DAG" || name == "dag" || name == "dag_greedy") {
+    return OptimizerKind::kDagGreedy;
+  }
   if (name == "OPTIMAL" || name == "optimal" || name == "exhaustive") {
     return OptimizerKind::kExhaustive;
   }
@@ -97,6 +103,8 @@ std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
       return std::make_unique<EtplgOptimizer>(schema, views, cost);
     case OptimizerKind::kGlobalGreedy:
       return std::make_unique<GlobalGreedyOptimizer>(schema, views, cost);
+    case OptimizerKind::kDagGreedy:
+      return std::make_unique<DagGreedyOptimizer>(schema, views, cost);
     case OptimizerKind::kExhaustive:
       return std::make_unique<ExhaustiveOptimizer>(schema, views, cost);
   }

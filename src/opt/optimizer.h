@@ -25,6 +25,7 @@ enum class OptimizerKind {
   kTplo,          // Two-Phase Local Optimal (§4)
   kEtplg,         // Extended Two-Phase Local Greedy (§5)
   kGlobalGreedy,  // Global Greedy (§6)
+  kDagGreedy,     // AND-OR DAG greedy sharing (Roy et al., PAPERS.md)
   kExhaustive,    // optimal global plan by enumeration (§7's yardstick)
 };
 

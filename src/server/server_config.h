@@ -15,7 +15,10 @@ namespace starshare {
 
 struct ServerConfig {
   // Optimizer used for each admission round: the queries of one round are
-  // planned together, exactly as a batch Execute would plan them.
+  // planned together, exactly as a batch Execute would plan them. Any
+  // OptimizerKind works; kDagGreedy is the strongest heuristic (never a
+  // costlier plan than kGlobalGreedy on tested workloads, and a faster
+  // search than kExhaustive).
   OptimizerKind optimizer = OptimizerKind::kGlobalGreedy;
 
   // Rows per continuous-scan segment (0 = automatic: page-aligned, ~8

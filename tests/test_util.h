@@ -1,13 +1,21 @@
 // Shared helpers for the StarShare test suite: tiny deterministic schemas,
-// a brute-force reference evaluator, and query construction shorthand.
+// a brute-force reference evaluator, query construction shorthand, and a
+// seeded random workload generator (engine + component queries) used by the
+// differential optimizer suite and available to future fuzzing.
 
 #ifndef STARSHARE_TESTS_TEST_UTIL_H_
 #define STARSHARE_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
+#include <cstring>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/engine.h"
 #include "query/query.h"
 #include "query/result.h"
@@ -100,6 +108,269 @@ inline DimensionalQuery MakeQuery(const StarSchema& schema, int id,
   }
   return DimensionalQuery(id, target_spec, std::move(target.value()),
                           std::move(predicate), agg);
+}
+
+// Exact result comparison: same groups in the same canonical order and the
+// same value bits (memcmp on the doubles, so -0.0 vs 0.0 and NaN patterns
+// count as differences). Both results must be Canonicalize()d.
+inline bool BitIdentical(const QueryResult& a, const QueryResult& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    if (a.rows()[i].keys != b.rows()[i].keys) return false;
+    if (std::memcmp(&a.rows()[i].value, &b.rows()[i].value,
+                    sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- Seeded random workloads -------------------------------------------
+//
+// One deterministic source of (engine, component queries) pairs for the
+// differential optimizer suite and future fuzzing. Everything — schema
+// shape, fact rows, view lattice, indexes, queries — is drawn from a
+// single seeded Rng, so a failing seed reproduces exactly.
+//
+// Measures are integer-valued (stored in doubles). Integer sums stay exact
+// in double arithmetic, so every grouping/summation order produces the
+// same bits — which is what lets the differential suite demand
+// bit-identical results across optimizers whose plans route queries
+// through different views.
+
+struct RandomWorkloadConfig {
+  uint64_t seed = 1;
+  size_t num_queries = 4;
+  size_t num_dims = 3;  // 2..5 (dimension names A..E)
+  uint64_t num_rows = 20000;
+  // Random materialized group-bys beyond the always-present base.
+  size_t num_views = 4;
+  double index_probability = 0.5;      // per view (and base)
+  double clustered_probability = 0.3;  // per view physical layout
+  size_t max_predicates = 2;           // restricted dims per query
+  double min_selectivity = 0.05;       // fraction of members kept, per dim
+  double max_selectivity = 0.6;
+  size_t max_group_by_arity = 2;  // retained dims per query target
+  // Chance query i derives its target/predicate shape from query i-1 —
+  // high overlap creates shareable scans, low overlap independent queries.
+  double overlap = 0.5;
+  double non_sum_probability = 0.15;  // min/max/count/avg (pinned to base)
+  int first_query_id = 1;
+};
+
+struct RandomWorkload {
+  std::unique_ptr<Engine> engine;
+  std::vector<DimensionalQuery> queries;
+};
+
+// Spec text ("A'B''") for a GroupBySpec; dims at ALL are omitted.
+inline std::string SpecText(const StarSchema& schema,
+                            const GroupBySpec& spec) {
+  std::string text;
+  for (size_t d = 0; d < schema.num_dims(); ++d) {
+    const int level = spec.level(d);
+    if (level >= schema.dim(d).all_level()) continue;
+    text += schema.dim(d).dim_name();
+    text.append(static_cast<size_t>(level), '\'');
+  }
+  return text;
+}
+
+// `count` distinct members of [0, cardinality), by partial Fisher-Yates.
+inline std::vector<int32_t> SampleMembers(Rng& rng, uint32_t cardinality,
+                                          size_t count) {
+  std::vector<int32_t> pool(cardinality);
+  for (uint32_t m = 0; m < cardinality; ++m) pool[m] = static_cast<int32_t>(m);
+  count = std::min<size_t>(count, pool.size());
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + rng.NextBounded(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+inline RandomWorkload MakeRandomWorkload(const RandomWorkloadConfig& config) {
+  SS_CHECK(config.num_dims >= 2 && config.num_dims <= 5);
+  SS_CHECK(config.num_queries >= 1);
+  Rng rng(config.seed);
+
+  // Schema: num_dims hierarchies with 2-3 levels and small fanouts, so the
+  // cross product stays brute-forceable.
+  static const char* kDimNames[] = {"A", "B", "C", "D", "E"};
+  std::vector<DimensionConfig> dims;
+  for (size_t d = 0; d < config.num_dims; ++d) {
+    DimensionConfig dim;
+    dim.name = kDimNames[d];
+    dim.top_cardinality = 2 + static_cast<uint32_t>(rng.NextBounded(3));
+    const size_t extra_levels = 1 + rng.NextBounded(2);
+    for (size_t l = 0; l < extra_levels; ++l) {
+      dim.fanouts.push_back(2 + static_cast<uint32_t>(rng.NextBounded(3)));
+    }
+    dims.push_back(std::move(dim));
+  }
+  StarSchema schema(std::move(dims), "amount");
+
+  // Flash-like random reads, as in optimizer_test.cc: selective queries
+  // can win with indexes even at this small scale.
+  EngineConfig engine_config;
+  engine_config.disk_timings.rand_page_ms = 1.0;
+  RandomWorkload workload;
+  workload.engine =
+      std::make_unique<Engine>(std::move(schema), engine_config);
+  const StarSchema& s = workload.engine->schema();
+
+  // Base facts with integer-valued measures (exact in double arithmetic).
+  {
+    std::vector<std::string> key_names;
+    for (size_t d = 0; d < s.num_dims(); ++d) {
+      key_names.push_back(s.dim(d).dim_name());
+    }
+    auto table = std::make_unique<Table>("facts", key_names,
+                                         s.measure_names());
+    table->Reserve(config.num_rows);
+    std::vector<int32_t> keys(s.num_dims());
+    for (uint64_t row = 0; row < config.num_rows; ++row) {
+      for (size_t d = 0; d < s.num_dims(); ++d) {
+        keys[d] = static_cast<int32_t>(
+            rng.NextBounded(s.dim(d).cardinality(0)));
+      }
+      const double measure = static_cast<double>(rng.NextBounded(1000));
+      table->AppendRowM(keys.data(), &measure);
+    }
+    SS_CHECK(workload.engine->AttachFactTable(std::move(table)).ok());
+  }
+
+  // Random view lattice. Specs are drawn with replacement and deduplicated;
+  // the base (all level 0) and the empty spec (all ALL) are excluded.
+  std::vector<std::string> view_specs;
+  {
+    std::set<std::string> seen;
+    for (size_t attempt = 0;
+         attempt < 6 * config.num_views && seen.size() < config.num_views;
+         ++attempt) {
+      std::vector<int> levels(s.num_dims());
+      bool all_base = true;
+      bool all_top = true;
+      for (size_t d = 0; d < s.num_dims(); ++d) {
+        levels[d] = static_cast<int>(
+            rng.NextBounded(static_cast<uint64_t>(s.dim(d).all_level()) + 1));
+        if (levels[d] != 0) all_base = false;
+        if (levels[d] != s.dim(d).all_level()) all_top = false;
+      }
+      if (all_base || all_top) continue;
+      const GroupBySpec spec(std::move(levels));
+      const std::string text = SpecText(s, spec);
+      if (!seen.insert(text).second) continue;
+      const bool clustered = rng.NextBernoulli(config.clustered_probability);
+      SS_CHECK(workload.engine->MaterializeView(spec, clustered).ok());
+      view_specs.push_back(text);
+    }
+  }
+
+  // Indexes: each view (and the base) gets bitmap join indexes on a random
+  // subset of its retained dimensions.
+  {
+    std::string base_text;
+    for (size_t d = 0; d < s.num_dims(); ++d) {
+      base_text += s.dim(d).dim_name();
+    }
+    view_specs.push_back(base_text);
+    for (const std::string& text : view_specs) {
+      if (!rng.NextBernoulli(config.index_probability)) continue;
+      auto spec = GroupBySpec::Parse(text, s);
+      SS_CHECK(spec.ok());
+      std::vector<std::string> index_dims;
+      for (size_t d = 0; d < s.num_dims(); ++d) {
+        if (spec.value().level(d) >= s.dim(d).all_level()) continue;
+        if (rng.NextBernoulli(0.7)) index_dims.push_back(s.dim(d).dim_name());
+      }
+      if (index_dims.empty()) continue;
+      SS_CHECK(workload.engine->BuildIndexes(text, index_dims).ok());
+    }
+  }
+
+  // Component queries.
+  std::vector<int> prev_target;
+  std::vector<std::pair<size_t, int>> prev_pred_shape;  // (dim, level)
+  for (size_t i = 0; i < config.num_queries; ++i) {
+    std::vector<int> target(s.num_dims());
+    std::vector<std::pair<size_t, int>> pred_shape;
+    const bool derive =
+        i > 0 && rng.NextBernoulli(config.overlap) && !prev_target.empty();
+    if (derive) {
+      // Shape overlap: same target (possibly coarsened by one level on one
+      // dimension) and the same restricted dimensions, fresh member sets.
+      target = prev_target;
+      const size_t d = rng.NextBounded(s.num_dims());
+      if (target[d] < s.dim(d).all_level() &&
+          rng.NextBernoulli(0.5)) {
+        ++target[d];
+      }
+      pred_shape = prev_pred_shape;
+    } else {
+      // Fresh target: pick the retained dimensions, then a level for each.
+      for (size_t d = 0; d < s.num_dims(); ++d) {
+        target[d] = s.dim(d).all_level();
+      }
+      const size_t arity =
+          1 + rng.NextBounded(std::min(config.max_group_by_arity,
+                                       s.num_dims()));
+      for (size_t d : SampleMembers(rng, static_cast<uint32_t>(s.num_dims()),
+                                    arity)) {
+        target[static_cast<size_t>(d)] = static_cast<int>(rng.NextBounded(
+            static_cast<uint64_t>(s.dim(static_cast<size_t>(d))
+                                      .num_levels())));
+      }
+      const size_t num_preds = rng.NextBounded(config.max_predicates + 1);
+      for (size_t p = 0; p < num_preds; ++p) {
+        const size_t d = rng.NextBounded(s.num_dims());
+        bool dup = false;
+        for (const auto& [pd, _] : pred_shape) dup = dup || pd == d;
+        if (dup) continue;
+        pred_shape.emplace_back(
+            d, static_cast<int>(rng.NextBounded(
+                   static_cast<uint64_t>(s.dim(d).num_levels()))));
+      }
+    }
+
+    // Ensure at least one retained dimension survived.
+    bool any_retained = false;
+    for (size_t d = 0; d < s.num_dims(); ++d) {
+      any_retained = any_retained || target[d] < s.dim(d).all_level();
+    }
+    if (!any_retained) target[0] = s.dim(0).num_levels() - 1;
+
+    QueryPredicate predicate;
+    for (const auto& [d, level] : pred_shape) {
+      const uint32_t card = s.dim(d).cardinality(level);
+      const double sel =
+          config.min_selectivity +
+          rng.NextDouble() * (config.max_selectivity -
+                              config.min_selectivity);
+      const size_t count = std::max<size_t>(
+          1, static_cast<size_t>(sel * static_cast<double>(card) + 0.5));
+      predicate.AddConjunct(
+          s.dim(d), DimPredicate{d, level, SampleMembers(rng, card, count)});
+    }
+
+    AggOp agg = AggOp::kSum;
+    if (rng.NextBernoulli(config.non_sum_probability)) {
+      static const AggOp kNonSum[] = {AggOp::kMin, AggOp::kMax, AggOp::kCount,
+                                      AggOp::kAvg};
+      agg = kNonSum[rng.NextBounded(4)];
+    }
+
+    GroupBySpec target_spec{std::vector<int>(target)};
+    const std::string text = SpecText(s, target_spec);
+    workload.queries.emplace_back(config.first_query_id + static_cast<int>(i),
+                                  text, std::move(target_spec),
+                                  std::move(predicate), agg);
+    prev_target = std::move(target);
+    prev_pred_shape = std::move(pred_shape);
+  }
+  return workload;
 }
 
 }  // namespace testing
