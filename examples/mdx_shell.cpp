@@ -15,6 +15,10 @@
 //   \save DIR       persist the cube (checksummed v3/v4 table files)
 //   \load DIR       replace the session's cube with a saved one
 //   \fault SITE [p] arm a fault at an injection site (\fault off disarms)
+//   \cube MDX;      run MDX through the CUBE/ROLLUP lattice planner; plain
+//                   expressions ending in WITH CUBE / WITH ROLLUP route
+//                   there automatically (base levels run as one shared
+//                   batch, the rest roll up from their smallest parent)
 //   \serve          show the query server's admission counters
 //   \submit N       submit paper query N asynchronously (returns at once)
 //   \await          await every outstanding \submit and print its outcome
@@ -99,6 +103,60 @@ void RunMdx(Engine& engine, const std::string& mdx, OptimizerKind kind,
     std::printf("\nphysical plan (executed, est vs actual):\n%s",
                 engine.ExplainAnalyze().c_str());
   }
+}
+
+// A WITH CUBE / WITH ROLLUP expression goes through the lattice planner:
+// print the cube request, the scheduled lattice (which levels roll up from
+// which parent and why), then every level's result. ExecuteCube traces
+// itself, so \explain shows the derived-scan spans and the executed DAG.
+void RunCube(Engine& engine, const std::string& mdx, OptimizerKind kind,
+             bool explain) {
+  auto cube = engine.ParseCube(mdx);
+  if (!cube.ok()) {
+    std::printf("error: %s\n", cube.status().ToString().c_str());
+    return;
+  }
+  std::printf("cube request: %s\n",
+              cube->ToString(engine.schema()).c_str());
+  engine.ConsumeIoStats();
+  auto exec = engine.ExecuteCube(cube.value(), kind);
+  const IoStats io = engine.ConsumeIoStats();
+  if (!exec.ok()) {
+    std::printf("error: %s\n", exec.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", exec->lattice.ToString(engine.schema()).c_str());
+  for (const auto& r : exec->results) {
+    if (!r.ok()) {
+      std::printf("\nQ%d FAILED: %s\n", r.query->id(),
+                  r.status.ToString().c_str());
+      continue;
+    }
+    std::printf("\nQ%d (%zu groups)%s:\n%s", r.query->id(),
+                r.result.num_rows(),
+                r.degraded ? "  [degraded: fact-table fallback]" : "",
+                r.result.ToString(engine.schema(), 10).c_str());
+  }
+  if (!engine.last_execution_report().clean()) {
+    std::printf("\nexecution report: %s",
+                engine.last_execution_report().ToString().c_str());
+  }
+  std::printf("\nio: %s  (modeled %.1f ms)\n", io.ToString().c_str(),
+              engine.ModeledIoMs(io));
+  if (explain) {
+    std::printf("\nEXPLAIN ANALYZE:\n%s",
+                engine.last_trace().ToText().c_str());
+    std::printf("\nphysical plan (executed, est vs actual):\n%s",
+                engine.ExplainAnalyze().c_str());
+  }
+}
+
+// Ends with WITH CUBE / WITH ROLLUP (before any ';')? Then the expression
+// is a cube request and routes through RunCube instead of RunMdx.
+bool IsCubeExpression(const std::string& mdx) {
+  const std::string upper = AsciiUpper(mdx);
+  return upper.find("WITH CUBE") != std::string::npos ||
+         upper.find("WITH ROLLUP") != std::string::npos;
 }
 
 // \fault SITE [probability] | \fault off — arms one site (defaults to an
@@ -308,6 +366,24 @@ int main(int argc, char** argv) {
         } else {
           drain_inflight(engine);
         }
+      } else if (StartsWith(line, "\\cube")) {
+        // \cube EXPR; — force EXPR through the CUBE/ROLLUP lattice path
+        // (plain expressions ending in WITH CUBE / WITH ROLLUP route there
+        // automatically). \cube alone prints a worked example.
+        const size_t arg_at = line.find(' ');
+        if (arg_at == std::string::npos) {
+          std::printf(
+              "usage: \\cube MDX;  e.g.\n"
+              "  \\cube {A'.MEMBERS} on COLUMNS {B'.MEMBERS} on ROWS "
+              "CONTEXT sales WITH CUBE;\n"
+              "Each axis contributes one cubed (dimension, level); the "
+              "lattice's base levels\nrun as one shared batch and every "
+              "other level rolls up from its smallest\nalready-computed "
+              "parent (DESIGN.md \xc2\xa7" "16).\n");
+        } else {
+          if (!inflight.empty()) drain_inflight(engine);
+          RunCube(engine, line.substr(arg_at + 1), kind, explain);
+        }
       } else if (StartsWith(line, "\\fault")) {
         const size_t arg_at = line.find(' ');
         HandleFaultCommand(
@@ -331,7 +407,11 @@ int main(int argc, char** argv) {
     buffer += line + "\n";
     if (buffer.find(';') != std::string::npos) {
       if (!inflight.empty()) drain_inflight(engine);
-      RunMdx(engine, buffer, kind, show_sql, explain);
+      if (IsCubeExpression(buffer)) {
+        RunCube(engine, buffer, kind, explain);
+      } else {
+        RunMdx(engine, buffer, kind, show_sql, explain);
+      }
       buffer.clear();
       std::printf("mdx> ");
       std::fflush(stdout);

@@ -82,6 +82,83 @@ void RunPanel(Engine& engine, const char* title, const std::string& mdx) {
   }
 }
 
+// One WITH CUBE submission renders a whole cross-tab — cell grid, row and
+// column subtotals, grand total — from a single shared evaluation: the
+// finest level runs once against stored data and every margin rolls up
+// from it in memory (see DESIGN.md §16).
+void RunCubeCrossTab(Engine& engine, const char* title,
+                     const std::string& mdx) {
+  std::printf("\n--- %s ---\nMDX: %s\n", title, mdx.c_str());
+  auto cube = engine.ParseCube(mdx);
+  if (!cube.ok()) {
+    std::fprintf(stderr, "  %s\n", cube.status().ToString().c_str());
+    return;
+  }
+  engine.ConsumeIoStats();
+  auto exec = engine.ExecuteCube(cube.value(), OptimizerKind::kGlobalGreedy);
+  if (!exec.ok()) {
+    std::fprintf(stderr, "  %s\n", exec.status().ToString().c_str());
+    return;
+  }
+  const IoStats io = engine.ConsumeIoStats();
+  const StarSchema& s = engine.schema();
+  std::printf("Lattice (%zu levels, %zu rolled up from a parent):\n%s",
+              exec->lattice.steps.size(), exec->lattice.NumRollups(),
+              exec->lattice.ToString(s).c_str());
+  std::printf("I/O for the whole lattice: %llu pages\n",
+              static_cast<unsigned long long>(io.TotalPagesRead()));
+  if (cube->dims().size() != 2) return;  // cross-tab wants a 2-d cube
+
+  // Expansion order of a 2-d CUBE: [0] both dims, [1] rows margin,
+  // [2] columns margin, [3] grand total.
+  const size_t row_dim = cube->dims()[0], col_dim = cube->dims()[1];
+  const int row_level = cube->levels()[0], col_level = cube->levels()[1];
+  const auto find_cell = [&](const QueryResult& r, int32_t want_row,
+                             int32_t want_col) -> double {
+    // Keys are in schema-dimension order; locate each cube dim's lane.
+    const auto retained =
+        r.target().RetainedDims(s);
+    size_t row_lane = SIZE_MAX, col_lane = SIZE_MAX;
+    for (size_t i = 0; i < retained.size(); ++i) {
+      if (retained[i] == row_dim) row_lane = i;
+      if (retained[i] == col_dim) col_lane = i;
+    }
+    for (const QueryResult::Row& row : r.rows()) {
+      if (row_lane != SIZE_MAX && row.keys[row_lane] != want_row) continue;
+      if (col_lane != SIZE_MAX && row.keys[col_lane] != want_col) continue;
+      return row.value;
+    }
+    return 0.0;
+  };
+
+  // Rows/columns actually present come from the two margin levels, so
+  // members pruned by the FILTER predicate do not render as empty lanes.
+  std::vector<int32_t> row_ids, col_ids;
+  for (const QueryResult::Row& r : exec->results[1].result.rows()) {
+    row_ids.push_back(r.keys[0]);
+  }
+  for (const QueryResult::Row& r : exec->results[2].result.rows()) {
+    col_ids.push_back(r.keys[0]);
+  }
+  std::printf("\n%-10s", "");
+  for (int32_t c : col_ids) {
+    std::printf("%10s", s.dim(col_dim).MemberName(col_level, c).c_str());
+  }
+  std::printf("%12s\n", "TOTAL");
+  for (int32_t r : row_ids) {
+    std::printf("%-10s", s.dim(row_dim).MemberName(row_level, r).c_str());
+    for (int32_t c : col_ids) {
+      std::printf("%10.0f", find_cell(exec->results[0].result, r, c));
+    }
+    std::printf("%12.0f\n", find_cell(exec->results[1].result, r, 0));
+  }
+  std::printf("%-10s", "TOTAL");
+  for (int32_t c : col_ids) {
+    std::printf("%10.0f", find_cell(exec->results[2].result, 0, c));
+  }
+  std::printf("%12.0f\n", find_cell(exec->results[3].result, 0, 0));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,6 +205,11 @@ int main(int argc, char** argv) {
   RunPanel(engine, "Units (second measure) by region",
            "{Region.East, Region.Central, Region.West} on COLUMNS "
            "CONTEXT Sales FILTER (units, [1998]);");
+
+  RunCubeCrossTab(engine, "Cube cross-tab: revenue by region x quarter, 1998",
+                  "{Region.East, Region.Central, Region.West} on COLUMNS "
+                  "{Q1_98, Q2_98, Q3_98, Q4_98} on ROWS "
+                  "CONTEXT Sales WITH CUBE;");
 
   std::printf("\nDone.\n");
   return 0;

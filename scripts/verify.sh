@@ -5,7 +5,9 @@
 # spill/merge/cleanup path under the leak checker), the threading suites
 # under ThreadSanitizer (-DSTARSHARE_SANITIZE=thread), a TSan pass of the
 # query-server suites (cross-session admission races, shutdown with
-# queries in flight), a second full-suite pass with
+# queries in flight), ASan+TSan passes of the CUBE/ROLLUP lattice suite
+# (derived-table lifetimes, rollup passes on the morsel driver), a
+# second full-suite pass with
 # STARSHARE_UNCOMPRESSED=1 (the raw page layout), a perf-smoke
 # pass of the scan benches on a reduced row count (their internal checks
 # fail the stage if vectorized aggregate output differs from
@@ -16,8 +18,9 @@
 # optimizers, 200 seeded random workloads, bit-identical results and
 # exact modeled-I/O agreement), and a coverage pass gating src/obs/,
 # src/server/, src/opt/, the memory-accounting subsystem, the
-# incremental class-cost tracker, and the compressed-storage files
-# (packed_column, table_io) at >= 90% covered lines.
+# incremental class-cost tracker, the compressed-storage files
+# (packed_column, table_io), and the CUBE/ROLLUP lattice path
+# (cube/lattice, the derived-source operator) at >= 90% covered lines.
 # All stages must pass. Run from the repository root:
 #
 #   scripts/verify.sh [jobs]
@@ -64,6 +67,21 @@ cmake --build build-tsan -j "$JOBS" --target \
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'thread_pool_test|parallel_determinism_test|parallel_chaos_test|metrics_test|trace_test|spill_aggregate_test'
+
+echo "==> cube lattice: ASan + TSan on the CUBE/ROLLUP suite"
+# The cube path stacks every subsystem: shared base batch, derived
+# re-aggregation (spill-capable), DAG-edged physical plans, MDX WITH
+# CUBE/ROLLUP. ASan covers the derived-table lifetime (ephemeral views
+# over re-materialized results); TSan covers the 4-thread morsel driver
+# re-used for rollup passes.
+ASAN_OPTIONS=detect_leaks=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ctest --test-dir build-sanitize --output-on-failure \
+  -R 'cube_lattice_test'
+cmake --build build-tsan -j "$JOBS" --target cube_lattice_test
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ctest --test-dir build-tsan --output-on-failure \
+  -R 'cube_lattice_test'
 
 echo "==> TSan: query-server suites (sessions, admission, chaos)"
 # The continuous shared-scan server is the most concurrency-heavy

@@ -11,6 +11,7 @@
 
 #include "opt/local_optimizer.h"
 #include "common/str_util.h"
+#include "exec/derived_table.h"
 #include "obs/metrics.h"
 #include "server/query_server.h"
 #include "storage/table_io.h"
@@ -333,6 +334,10 @@ Result<std::vector<DimensionalQuery>> Engine::ParseMdx(
   return mdx::ParseAndExpandMdx(text, schema_, first_id);
 }
 
+Result<CubeQuery> Engine::ParseCube(const std::string& text) const {
+  return mdx::ParseAndExpandCube(text, schema_);
+}
+
 GlobalPlan Engine::Optimize(const std::vector<DimensionalQuery>& queries,
                             OptimizerKind kind) const {
   std::vector<const DimensionalQuery*> ptrs;
@@ -436,6 +441,159 @@ std::vector<ExecutedQuery> Engine::RunPlanWithFallback(
     const GlobalPlan& plan) {
   PhysicalPlan phys;
   std::vector<ExecutedQuery> out = RunPlanWithFallbackInto(plan, phys);
+  last_physical_plan_ = std::move(phys);
+  return out;
+}
+
+Result<CubeExecution> Engine::ExecuteCube(const CubeQuery& cube,
+                                          OptimizerKind kind, int first_id) {
+  if (config_.trace && obs::Tracer::Current() == nullptr) {
+    return Traced("engine.execute_cube",
+                  [&] { return ExecuteCube(cube, kind, first_id); });
+  }
+  if (base_view_ == nullptr) {
+    return Status::FailedPrecondition("load the fact table first");
+  }
+  static obs::Counter& cubes =
+      obs::Metrics().counter("engine.cube_executions");
+  cubes.Add();
+
+  Result<LatticePlan> planned =
+      PlanLattice(cube, schema_, views_, cost_, first_id);
+  if (!planned.ok()) return planned.status();
+
+  CubeExecution out;
+  out.lattice = std::move(planned.value());
+  std::vector<LatticeStep>& steps = out.lattice.steps;
+  out.results.resize(steps.size());
+
+  report_ = ExecutionReport();
+  PhysicalPlan phys;
+
+  // 1. The base levels run as one ordinary related-query batch: whatever
+  //    sharing `kind` finds applies unchanged, and the fact (or view) pages
+  //    are read here — once for the whole lattice.
+  GlobalPlan plan;
+  {
+    obs::ScopedSpan opt_span("engine.optimize", OptimizerKindName(kind));
+    plan = Optimize(out.lattice.BaseQueries(), kind);
+    opt_span.AddCounter("classes", plan.classes.size());
+    opt_span.AddCounter("queries", plan.NumQueries());
+    opt_span.SetEstMs(plan.EstMs());
+  }
+  std::vector<ExecutedQuery> base_results = executor_.ExecutePlan(plan, &phys);
+  for (ExecutedQuery& entry : base_results) {
+    if (!entry.status.ok()) RecoverQuery(entry, phys);
+  }
+  for (ExecutedQuery& entry : base_results) {
+    const size_t step = static_cast<size_t>(entry.query->id() - first_id);
+    SS_CHECK(step < steps.size());
+    out.results[step] = std::move(entry);
+  }
+
+  // Producer map: for every finished step, the physical node whose output a
+  // child rollup reads — the member's class-chunk Aggregate root, or the
+  // Fallback that recovered it (fallback roots come later, so they win).
+  std::vector<size_t> producer(steps.size(), kNoPhysNode);
+  for (const size_t root : phys.roots()) {
+    const PhysicalNode& node = phys.node(root);
+    const std::vector<PhysicalMemberStat>* stats = nullptr;
+    if (node.kind == PhysOpKind::kAggregate) {
+      if (!node.member_stats.empty()) {
+        stats = &node.member_stats;
+      } else {
+        for (const size_t child : node.children) {
+          if (phys.node(child).kind == PhysOpKind::kRoute &&
+              !phys.node(child).member_stats.empty()) {
+            stats = &phys.node(child).member_stats;
+            break;
+          }
+        }
+      }
+    }
+    if (stats != nullptr) {
+      for (const PhysicalMemberStat& stat : *stats) {
+        const size_t step = static_cast<size_t>(stat.query_id - first_id);
+        if (step < steps.size()) producer[step] = root;
+      }
+    } else if (node.kind == PhysOpKind::kFallback &&
+               node.query_id >= first_id) {
+      const size_t step = static_cast<size_t>(node.query_id - first_id);
+      if (step < steps.size()) producer[step] = root;
+    }
+  }
+
+  // 2. Rollup levels, grouped by scheduled parent in step order: parents
+  //    always precede their children and rollups cascade, so by induction
+  //    every parent's result is finished when its group runs. Each group
+  //    re-batches the parent's groups through the derived pipeline — zero
+  //    fact I/O by construction (DerivedSourceOp charges nothing).
+  for (size_t p = 0; p < steps.size(); ++p) {
+    std::vector<size_t> children;
+    for (size_t c = p + 1; c < steps.size(); ++c) {
+      if (steps[c].parent == p) children.push_back(c);
+    }
+    if (children.empty()) continue;
+
+    if (!out.results[p].ok()) {
+      // The parent produced no groups (even its fallback failed); each
+      // child degrades through the fact-table fallback on its own.
+      for (const size_t c : children) {
+        ExecutedQuery& entry = out.results[c];
+        entry.query = &steps[c].query;
+        entry.status = Status::FailedPrecondition(
+            StrFormat("rollup parent q%d failed", steps[p].query.id()));
+        RecoverQuery(entry, phys);
+        producer[c] = phys.roots().back();
+      }
+      continue;
+    }
+
+    std::unique_ptr<Table> derived = MakeDerivedTable(
+        schema_, steps[p].query.target(), out.results[p].result,
+        "rollup(" + steps[p].query.target().ToString(schema_) + ")");
+    MaterializedView derived_view(schema_, steps[p].query.target(),
+                                  derived.get());
+    derived_view.ComputeStats(schema_);
+
+    std::vector<DimensionalQuery> rollup_queries;
+    rollup_queries.reserve(children.size());
+    std::vector<double> member_est;
+    member_est.reserve(children.size());
+    double class_est = 0.0;
+    for (const size_t c : children) {
+      rollup_queries.push_back(RollupQueryFor(steps[c].query));
+      member_est.push_back(steps[c].est_rollup_ms);
+      if (steps[c].est_rollup_ms > 0.0) class_est += steps[c].est_rollup_ms;
+    }
+    std::vector<const DimensionalQuery*> rollup_ptrs;
+    rollup_ptrs.reserve(children.size());
+    for (const DimensionalQuery& q : rollup_queries) rollup_ptrs.push_back(&q);
+
+    std::vector<size_t> agg_nodes;
+    std::vector<ExecutedQuery> rolled = executor_.ExecuteDerivedClass(
+        rollup_ptrs, derived_view, class_est, &member_est, &phys,
+        producer[p], &agg_nodes);
+    SS_CHECK(rolled.size() == children.size());
+    for (size_t i = 0; i < children.size(); ++i) {
+      const size_t c = children[i];
+      ExecutedQuery& entry = out.results[c];
+      entry.query = &steps[c].query;
+      if (rolled[i].ok()) {
+        entry.result = std::move(rolled[i].result);
+        // COUNT rolls up as a SUM of the parent's per-group counts;
+        // relabel the result as what the user asked for.
+        entry.result.set_agg(steps[c].query.agg());
+        entry.status = Status::Ok();
+        producer[c] = agg_nodes[i];
+      } else {
+        entry.status = std::move(rolled[i].status);
+        RecoverQuery(entry, phys);
+        producer[c] = phys.roots().back();
+      }
+    }
+  }
+
   last_physical_plan_ = std::move(phys);
   return out;
 }

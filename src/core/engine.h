@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "cube/lattice.h"
 #include "cube/view_builder.h"
 #include "cube/view_set.h"
 #include "exec/executor.h"
@@ -122,6 +123,21 @@ struct EngineConfig {
 struct TracedExecution {
   std::vector<ExecutedQuery> results;
   obs::Trace trace;
+};
+
+// One ExecuteCube run: the scheduled lattice and, aligned with its steps,
+// every level's result. results[i].query points at lattice.steps[i].query,
+// so the pair stays self-describing after the call returns.
+struct CubeExecution {
+  LatticePlan lattice;
+  std::vector<ExecutedQuery> results;
+
+  bool all_ok() const {
+    for (const ExecutedQuery& r : results) {
+      if (!r.ok()) return false;
+    }
+    return true;
+  }
 };
 
 class Engine {
@@ -228,6 +244,12 @@ class Engine {
   Result<std::vector<DimensionalQuery>> ParseMdx(const std::string& text,
                                                  int first_id = 1) const;
 
+  // Parses one MDX expression carrying a trailing WITH CUBE / WITH ROLLUP
+  // clause into the cube request it names: each axis group contributes one
+  // cubed (dimension, level) pair, restricting members and FILTER slicers
+  // land in the shared predicate (mdx/binder.h documents the mapping).
+  Result<CubeQuery> ParseCube(const std::string& text) const;
+
   // Produces a global plan with the chosen algorithm. The returned plan
   // holds pointers into `queries`, which must outlive it.
   GlobalPlan Optimize(const std::vector<DimensionalQuery>& queries,
@@ -292,6 +314,20 @@ class Engine {
 
   // The cache, or nullptr when disabled.
   const ResultCache* result_cache() const { return result_cache_.get(); }
+
+  // Executes a WITH CUBE / WITH ROLLUP request as one shared submission:
+  // plans the group-by lattice with smallest-parent scheduling
+  // (cube/lattice.h), runs the base levels as an ordinary related-query
+  // batch under `kind` — so the fact pages are read exactly once for the
+  // whole lattice — then rolls every remaining level up from its scheduled
+  // parent's in-memory groups through the derived pipeline, which charges
+  // no fact I/O at all. Per-level failures degrade through the same
+  // fact-table fallback as Execute (see last_execution_report()). Component
+  // ids are first_id, first_id + 1, ... in lattice step order, and the
+  // executed tree — rollup chains reading their producers via DAG edges —
+  // lands in last_physical_plan() for EXPLAIN ANALYZE.
+  Result<CubeExecution> ExecuteCube(const CubeQuery& cube, OptimizerKind kind,
+                                    int first_id = 1);
 
   // The no-sharing baseline: each query separately on its locally optimal
   // (view, method) — what a data source that ignores query relationships

@@ -420,4 +420,12 @@ void CostModel::AnnotatePlan(GlobalPlan& plan) const {
   for (auto& cls : plan.classes) ComputeClassEstimates(cls);
 }
 
+double CostModel::RollupCpuMs(double parent_rows,
+                              const DimensionalQuery& child) const {
+  const double lanes =
+      static_cast<double>(child.target().RetainedDims(schema_).size());
+  return parent_rows * (cpu_.tuple_ns + lanes * cpu_.probe_ns + cpu_.agg_ns) *
+         1e-6;
+}
+
 }  // namespace starshare

@@ -153,6 +153,17 @@ class CostModel {
   // Re-derives estimates for an externally assembled plan (methods fixed).
   void AnnotatePlan(GlobalPlan& plan) const;
 
+  // ---- Rollup (derived-input) estimates ---------------------------------
+
+  // CPU of re-aggregating `parent_rows` already-computed groups into
+  // `child`'s coarser target: per group one streaming touch, one key
+  // translation per retained child dimension, one aggregation update — the
+  // same per-tuple terms SharedScanCpuMs charges a base scan, with no I/O
+  // term at all because derived rows live in memory. The lattice scheduler
+  // weighs this against CostOfAddMs (joining the base-scan class) when
+  // picking each level's parent.
+  double RollupCpuMs(double parent_rows, const DimensionalQuery& child) const;
+
  private:
   // Queries of a class as raw pointers.
   static std::vector<const DimensionalQuery*> Queries(const ClassPlan& cls);

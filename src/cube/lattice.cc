@@ -1,0 +1,139 @@
+#include "cube/lattice.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/str_util.h"
+#include "plan/plan.h"
+
+namespace starshare {
+
+size_t LatticePlan::NumBase() const {
+  size_t n = 0;
+  for (const LatticeStep& step : steps) {
+    if (step.parent == kNoLatticeParent) ++n;
+  }
+  return n;
+}
+
+std::vector<const DimensionalQuery*> LatticePlan::BaseQueries() const {
+  std::vector<const DimensionalQuery*> out;
+  for (const LatticeStep& step : steps) {
+    if (step.parent == kNoLatticeParent) out.push_back(&step.query);
+  }
+  return out;
+}
+
+std::string LatticePlan::ToString(const StarSchema& schema) const {
+  std::string out =
+      StrFormat("%s lattice: %zu levels, %zu base + %zu rollup\n",
+                CubeFormName(form), steps.size(), NumBase(), NumRollups());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const LatticeStep& step = steps[i];
+    out += StrFormat("  [%zu] q%d %s est_rows=%.0f", i, step.query.id(),
+                     step.query.target().ToString(schema).c_str(),
+                     step.est_rows);
+    if (step.parent == kNoLatticeParent) {
+      out += " base";
+      if (step.est_rescan_ms >= 0.0) {
+        out += StrFormat(" (rescan %.3fms beat rollup %.3fms)",
+                         step.est_rescan_ms, step.est_rollup_ms);
+      }
+    } else {
+      out += StrFormat(" <- [%zu] rollup %.3fms (vs rescan %.3fms)",
+                       step.parent, step.est_rollup_ms, step.est_rescan_ms);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+DimensionalQuery RollupQueryFor(const DimensionalQuery& level) {
+  SS_DCHECK(level.agg() != AggOp::kAvg);
+  const AggOp agg =
+      level.agg() == AggOp::kCount ? AggOp::kSum : level.agg();
+  return DimensionalQuery(level.id(), level.label(), level.target(),
+                          QueryPredicate(), agg, /*measure=*/0);
+}
+
+Result<LatticePlan> PlanLattice(const CubeQuery& cube,
+                                const StarSchema& schema,
+                                const ViewSet& views, const CostModel& cost,
+                                int first_id) {
+  Result<std::vector<DimensionalQuery>> expanded =
+      cube.ExpandLevels(schema, first_id);
+  if (!expanded.ok()) return expanded.status();
+
+  LatticePlan plan;
+  plan.form = cube.form();
+  plan.steps.reserve(expanded->size());
+  for (DimensionalQuery& q : *expanded) {
+    LatticeStep step;
+    step.query = std::move(q);
+    plan.steps.push_back(std::move(step));
+  }
+  std::vector<LatticeStep>& steps = plan.steps;
+
+  // The view the rescan alternative is priced against: smallest view able
+  // to answer the finest level (which subsumes every coarser one). Non-SUM
+  // aggregates can only be answered from base data — views store SUM cells.
+  MaterializedView* pricing = nullptr;
+  if (cube.agg() == AggOp::kSum) {
+    const auto candidates =
+        views.CandidatesFor(steps[0].query.RequiredSpec(schema));
+    if (!candidates.empty()) pricing = candidates.front();
+  } else {
+    pricing = views.Find(GroupBySpec::Base(schema));
+  }
+  if (pricing == nullptr) {
+    return Status::FailedPrecondition(
+        "no view can answer the cube's finest level (load the fact table "
+        "first)");
+  }
+
+  for (LatticeStep& step : steps) {
+    step.est_rows =
+        std::min(static_cast<double>(step.query.EstimatedGroups(schema)),
+                 cost.MatchRows(step.query, *pricing));
+  }
+
+  // Partial averages do not re-aggregate into coarser averages, so an AVG
+  // cube computes every level against base data.
+  const bool rollup_allowed = cube.agg() != AggOp::kAvg;
+
+  std::vector<const DimensionalQuery*> base_members;
+  base_members.push_back(&steps[0].query);  // finest level: always base
+
+  for (size_t i = 1; i < steps.size(); ++i) {
+    // Smallest-parent rule: among every earlier level whose target is
+    // finer-or-equal on each dimension, the fewest estimated groups wins —
+    // fewer derived rows to re-aggregate. Rollup parents are themselves
+    // eligible, so chains cascade down the lattice.
+    size_t best = kNoLatticeParent;
+    for (size_t j = 0; j < i; ++j) {
+      if (!steps[j].query.target().CanAnswer(steps[i].query.target())) {
+        continue;
+      }
+      if (best == kNoLatticeParent ||
+          steps[j].est_rows < steps[best].est_rows) {
+        best = j;
+      }
+    }
+    if (rollup_allowed && best != kNoLatticeParent) {
+      steps[i].est_rollup_ms =
+          cost.RollupCpuMs(steps[best].est_rows, steps[i].query);
+      // What the base batch would charge to carry this level through the
+      // shared pass, given the members already scheduled there.
+      const ClassPlan cls = cost.MakeClassPlan(pricing, base_members);
+      steps[i].est_rescan_ms = cost.CostOfAddMs(cls, steps[i].query);
+      if (steps[i].est_rollup_ms <= steps[i].est_rescan_ms) {
+        steps[i].parent = best;
+        continue;
+      }
+    }
+    base_members.push_back(&steps[i].query);
+  }
+  return plan;
+}
+
+}  // namespace starshare

@@ -1,0 +1,85 @@
+// CUBE/ROLLUP lattice planning with smallest-parent scheduling.
+//
+// A CubeQuery expands into the group-by lattice (query/cube_query.h); this
+// module decides HOW each level is computed. The finest level always runs
+// against base data. Every coarser level weighs two §5/§6-priced options:
+//
+//   * roll up from the smallest already-scheduled level whose target can
+//     answer it — CostModel::RollupCpuMs over the parent's estimated
+//     groups, zero I/O (the parent's output is in memory);
+//   * join the base-level shared batch — CostModel::CostOfAddMs against
+//     the provisional class of current base members on the cheapest
+//     answering view, i.e. exactly what the batch optimizers would pay to
+//     carry it through the shared scan.
+//
+// Levels that roll up cascade (a rollup may parent further rollups); levels
+// that rescan join the base batch, which the caller hands to an ordinary
+// batch optimizer — so DAG/GG sharing composes with rollup reuse. AVG never
+// rolls up (partial averages do not re-aggregate); COUNT rolls up as a SUM
+// of the parent's per-group counts (see RollupQueryFor).
+
+#ifndef STARSHARE_CUBE_LATTICE_H_
+#define STARSHARE_CUBE_LATTICE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "cube/view_set.h"
+#include "query/cube_query.h"
+#include "query/query.h"
+#include "schema/star_schema.h"
+
+namespace starshare {
+
+inline constexpr size_t kNoLatticeParent = static_cast<size_t>(-1);
+
+// One scheduled lattice level. `parent == kNoLatticeParent` means the level
+// executes in the base shared batch; otherwise it rolls up from
+// steps[parent]'s finished result.
+struct LatticeStep {
+  DimensionalQuery query;  // the user-facing level query (full predicate)
+  size_t parent = kNoLatticeParent;
+  double est_rows = 0.0;        // estimated result groups of this level
+  double est_rollup_ms = -1.0;  // priced rollup cost (-1 = not applicable)
+  double est_rescan_ms = -1.0;  // priced base-batch alternative (-1 = n/a)
+};
+
+struct LatticePlan {
+  CubeForm form = CubeForm::kCube;
+  // Topologically ordered: every step's parent (and any step a parent could
+  // have been chosen from) precedes it.
+  std::vector<LatticeStep> steps;
+
+  size_t NumBase() const;
+  size_t NumRollups() const { return steps.size() - NumBase(); }
+
+  // The base-batch members, in step order — the ordinary related-query
+  // batch the caller hands to an optimizer. Pointers into `steps`.
+  std::vector<const DimensionalQuery*> BaseQueries() const;
+
+  std::string ToString(const StarSchema& schema) const;
+};
+
+// Expands `cube` and schedules every level. `views` supplies the candidate
+// base views for pricing the rescan alternative (non-SUM aggregates price
+// against the base table only, mirroring the optimizers' admissibility
+// rule). Component query ids are first_id, first_id + 1, ... in expansion
+// order.
+Result<LatticePlan> PlanLattice(const CubeQuery& cube,
+                                const StarSchema& schema,
+                                const ViewSet& views, const CostModel& cost,
+                                int first_id = 1);
+
+// The stripped query a rollup level actually runs over its parent's derived
+// table: same id/label/target, no predicate (the parent already applied
+// every restriction), measure 0 (derived tables have one "value" column),
+// and COUNT mapped to SUM (the parent's values are per-group counts; their
+// sum is the child's count — the caller relabels the result afterwards).
+DimensionalQuery RollupQueryFor(const DimensionalQuery& level);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_CUBE_LATTICE_H_

@@ -1,0 +1,26 @@
+#include "exec/derived_table.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace starshare {
+
+std::unique_ptr<Table> MakeDerivedTable(const StarSchema& schema,
+                                        const GroupBySpec& spec,
+                                        const QueryResult& result,
+                                        const std::string& name) {
+  const std::vector<size_t> retained = spec.RetainedDims(schema);
+  std::vector<std::string> key_names;
+  key_names.reserve(retained.size());
+  for (const size_t d : retained) key_names.push_back(schema.dim(d).dim_name());
+  auto table = std::make_unique<Table>(name, std::move(key_names), "value");
+  table->Reserve(result.num_rows());
+  for (const QueryResult::Row& row : result.rows()) {
+    SS_CHECK(row.keys.size() == retained.size());
+    table->AppendRow(row.keys.data(), row.value);
+  }
+  return table;
+}
+
+}  // namespace starshare

@@ -1,0 +1,35 @@
+// Derived tables: the in-memory Table a finished aggregate's groups become
+// so a coarser group-by can consume them through the ordinary class
+// pipeline. This is the materialization seam of the CUBE/ROLLUP lattice —
+// one parent level's QueryResult turns into a (never catalog-registered,
+// never page-charged) table whose layout matches what ViewBuilder would
+// have produced for the same spec: one int32 key column per retained
+// dimension in schema order, one measure column holding the group values.
+
+#ifndef STARSHARE_EXEC_DERIVED_TABLE_H_
+#define STARSHARE_EXEC_DERIVED_TABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "query/result.h"
+#include "schema/groupby_spec.h"
+#include "schema/star_schema.h"
+#include "storage/table.h"
+
+namespace starshare {
+
+// Materializes `result` (canonically sorted, target spec `spec`) as an
+// uncompressed in-memory table named `name`. The rows keep the result's
+// canonical order, so every downstream consumer sees one deterministic row
+// sequence regardless of how the parent was driven. MaterializedView can
+// wrap the returned table directly (same key-column contract as
+// ViewBuilder).
+std::unique_ptr<Table> MakeDerivedTable(const StarSchema& schema,
+                                        const GroupBySpec& spec,
+                                        const QueryResult& result,
+                                        const std::string& name);
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_DERIVED_TABLE_H_

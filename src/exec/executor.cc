@@ -220,6 +220,116 @@ std::vector<ExecutedQuery> Executor::ExecuteClass(const ClassPlan& cls,
   return out;
 }
 
+std::vector<ExecutedQuery> Executor::ExecuteDerivedClass(
+    const std::vector<const DimensionalQuery*>& queries,
+    const MaterializedView& view, double rollup_est_ms,
+    const std::vector<double>* member_est_ms, PhysicalPlan* phys,
+    size_t input_node, std::vector<size_t>* aggregate_nodes) const {
+  SS_CHECK(!queries.empty());
+  SS_CHECK(member_est_ms == nullptr || member_est_ms->size() == queries.size());
+  static obs::Counter& classes =
+      obs::Metrics().counter("exec.derived_classes");
+  static obs::Counter& member_failures =
+      obs::Metrics().counter("exec.member_failures");
+  classes.Add();
+
+  // Same 32-wide pass-mask limit as the shared scan: oversized rollup
+  // classes re-read the derived table once per chunk — in-memory rows, so
+  // the extra passes cost CPU only.
+  if (queries.size() > kMaxClassQueries) {
+    std::vector<ExecutedQuery> out;
+    for (size_t begin = 0; begin < queries.size();
+         begin += kMaxClassQueries) {
+      const size_t end = std::min(begin + kMaxClassQueries, queries.size());
+      const std::vector<const DimensionalQuery*> chunk(
+          queries.begin() + static_cast<long>(begin),
+          queries.begin() + static_cast<long>(end));
+      std::vector<double> chunk_est;
+      if (member_est_ms != nullptr) {
+        chunk_est.assign(member_est_ms->begin() + static_cast<long>(begin),
+                         member_est_ms->begin() + static_cast<long>(end));
+      }
+      double chunk_total = 0.0;
+      for (const double est : chunk_est) chunk_total += est;
+      for (auto& r : ExecuteDerivedClass(
+               chunk, view, member_est_ms != nullptr ? chunk_total : -1.0,
+               member_est_ms != nullptr ? &chunk_est : nullptr, phys,
+               input_node, aggregate_nodes)) {
+        out.push_back(std::move(r));
+      }
+    }
+    return out;
+  }
+
+  const std::string detail = view.name();
+  obs::ScopedSpan class_span("exec.class", detail);
+  if (rollup_est_ms >= 0.0) class_span.SetEstMs(rollup_est_ms);
+
+  SharedClassRequest req;
+  req.schema = &schema_;
+  req.hash_queries = queries;
+  req.view = &view;
+  req.disk = &disk_;
+  req.policy = policy_;
+  req.derived = true;
+  req.budget = budget_;
+  req.spill = spill_;
+  LoweredClassNodes nodes;
+  if (phys != nullptr) {
+    nodes = LowerDerivedClass(*phys, kNoPhysNode, detail, queries.size(),
+                              /*query_id=*/-1, input_node, rollup_est_ms,
+                              member_est_ms);
+    req.phys = phys;
+    req.nodes = &nodes;
+  }
+  if (aggregate_nodes != nullptr) {
+    aggregate_nodes->insert(aggregate_nodes->end(), queries.size(),
+                            phys != nullptr ? nodes.aggregate : kNoPhysNode);
+  }
+  Result<SharedOutcome> outcome = ExecuteSharedClass(req);
+
+  // Per-member leaves, as in ExecuteClass, with method "rollup".
+  const auto emit_member = [&](const ExecutedQuery& entry, size_t i) {
+    const double est =
+        member_est_ms != nullptr ? (*member_est_ms)[i] : -1.0;
+    if (class_span.active()) {
+      obs::ScopedSpan span("exec.member", "rollup", entry.query->id());
+      if (est >= 0.0) span.SetEstMs(est);
+      span.AddRows(entry.result.num_rows());
+      span.SetStatus(entry.status);
+    }
+    if (phys != nullptr) {
+      const size_t stat_node =
+          nodes.route != kNoPhysNode ? nodes.route : nodes.aggregate;
+      PhysicalMemberStat stat;
+      stat.query_id = entry.query->id();
+      stat.method = "rollup";
+      stat.est_ms = est;
+      stat.rows = entry.result.num_rows();
+      stat.status_code = static_cast<int>(entry.status.code());
+      phys->node(stat_node).member_stats.push_back(std::move(stat));
+    }
+  };
+
+  std::vector<ExecutedQuery> out;
+  out.reserve(queries.size());
+  if (!outcome.ok()) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out.push_back(FromOutcome(queries[i], QueryResult(), outcome.status()));
+      member_failures.Add();
+      emit_member(out.back(), i);
+    }
+    return out;
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out.push_back(FromOutcome(queries[i], std::move(outcome->results[i]),
+                              std::move(outcome->statuses[i])));
+    if (!out.back().status.ok()) member_failures.Add();
+    emit_member(out.back(), i);
+  }
+  return out;
+}
+
 std::vector<ExecutedQuery> Executor::ExecutePlan(const GlobalPlan& plan,
                                                  PhysicalPlan* phys) const {
   std::vector<ExecutedQuery> out;

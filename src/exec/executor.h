@@ -102,6 +102,24 @@ class Executor {
   std::vector<ExecutedQuery> ExecuteClass(const ClassPlan& cls,
                                           PhysicalPlan* phys = nullptr) const;
 
+  // One derived (rollup) class: coarser cube levels re-aggregated from the
+  // in-memory derived table of a finished parent level (wrapped as `view`;
+  // see exec/derived_table.h and cube/lattice.h). Runs the same pipeline as
+  // ExecuteClass — grants, spill, serial or morsel drivers — but sources
+  // rows from DerivedSourceOp, so no disk model charge is recorded at all.
+  // Results in `queries` order. With `phys` the chain is appended there and
+  // its DerivedScan gains a `reads` DAG edge to `input_node` (the producer's
+  // Aggregate or Fallback; pass kNoPhysNode to skip). `rollup_est_ms` prices
+  // the whole class, `member_est_ms` (optional, parallel to `queries`) the
+  // members. `aggregate_nodes` (optional, parallel to `queries`) receives
+  // each member's Aggregate node so cascading rollups can name this class
+  // as their own producer.
+  std::vector<ExecutedQuery> ExecuteDerivedClass(
+      const std::vector<const DimensionalQuery*>& queries,
+      const MaterializedView& view, double rollup_est_ms,
+      const std::vector<double>* member_est_ms, PhysicalPlan* phys,
+      size_t input_node, std::vector<size_t>* aggregate_nodes = nullptr) const;
+
   // Whole plan; results ordered by query id ascending.
   std::vector<ExecutedQuery> ExecutePlan(const GlobalPlan& plan,
                                          PhysicalPlan* phys = nullptr) const;

@@ -9,6 +9,7 @@
 #include "exec/bound_query.h"
 #include "exec/operators/aggregate_sink.h"
 #include "exec/operators/bitmap_filter.h"
+#include "exec/operators/derived_source.h"
 #include "exec/operators/probe_source.h"
 #include "exec/operators/scan_source.h"
 #include "exec/operators/star_join_filter.h"
@@ -59,6 +60,7 @@ Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
   const std::vector<const DimensionalQuery*>& index_queries =
       req.index_queries;
   SS_DCHECK(!req.probe || hash_queries.empty());
+  SS_DCHECK(!req.derived || (!req.probe && index_queries.empty()));
 
   if (req.probe) {
     if (index_queries.empty()) {
@@ -214,10 +216,18 @@ Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
   const LoweredClassNodes* nodes = req.nodes;
   LoweredClassNodes local_nodes;
   if (phys == nullptr || nodes == nullptr) {
-    local_nodes = LowerSharedClass(local_plan, kNoPhysNode, view.name(),
-                                   hash_queries.size(), index_queries.size(),
-                                   req.probe, /*query_id=*/-1,
-                                   /*cls=*/nullptr);
+    if (req.derived) {
+      local_nodes = LowerDerivedClass(local_plan, kNoPhysNode, view.name(),
+                                      hash_queries.size(), /*query_id=*/-1,
+                                      /*input=*/kNoPhysNode,
+                                      /*rollup_cpu_est_ms=*/-1.0,
+                                      /*member_est_ms=*/nullptr);
+    } else {
+      local_nodes = LowerSharedClass(local_plan, kNoPhysNode, view.name(),
+                                     hash_queries.size(),
+                                     index_queries.size(), req.probe,
+                                     /*query_id=*/-1, /*cls=*/nullptr);
+    }
     phys = &local_plan;
     nodes = &local_nodes;
   }
@@ -242,9 +252,11 @@ Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
                                const auto& on_batch) {
     ScanSourceOp scan_src(table, d, row_begin, row_end, batch_rows);
     ProbeSourceOp probe_src(table, d, pos, n_pos);
-    BatchOperator* chain = req.probe
-                               ? static_cast<BatchOperator*>(&probe_src)
-                               : static_cast<BatchOperator*>(&scan_src);
+    DerivedSourceOp derived_src(row_begin, row_end, batch_rows);
+    BatchOperator* chain =
+        req.probe     ? static_cast<BatchOperator*>(&probe_src)
+        : req.derived ? static_cast<BatchOperator*>(&derived_src)
+                      : static_cast<BatchOperator*>(&scan_src);
     std::optional<StarJoinFilterOp> sjf_op;
     if (!req.probe) {
       sjf_op.emplace(chain, d, filters, all_mask, bound, n_live_hash,
@@ -302,9 +314,17 @@ Result<SharedOutcome> ExecuteSharedClass(const SharedClassRequest& req) {
       sjf.emplace(*phys, nodes->star_join_filter, disk);
       filters = BuildSharedFilters(schema, live_hash, view);
       all_mask = AllQueriesMask(live_hash.size());
-      static obs::Counter& scan_passes =
-          obs::Metrics().counter("exec.scan_passes");
-      scan_passes.Add();
+      if (req.derived) {
+        // Predicate-free rollup members build no filters (every derived row
+        // passes); count the pass under its own taxonomy.
+        static obs::Counter& derived_passes =
+            obs::Metrics().counter("exec.derived_passes");
+        derived_passes.Add();
+      } else {
+        static obs::Counter& scan_passes =
+            obs::Metrics().counter("exec.scan_passes");
+        scan_passes.Add();
+      }
     } else {
       static obs::Counter& probe_passes =
           obs::Metrics().counter("exec.probe_passes");

@@ -6,8 +6,10 @@
 //
 //   Aggregate <- [Route] <- [BitmapFilter] <- [StarJoinFilter] <- source
 //
-// where the source is a ScanSourceOp (§3.1/§3.3) or a ProbeSourceOp over
-// the union bitmap's positions (§3.2). Parallelism is a property of the
+// where the source is a ScanSourceOp (§3.1/§3.3), a ProbeSourceOp over the
+// union bitmap's positions (§3.2), or — for a CUBE/ROLLUP rollup class — a
+// DerivedSourceOp re-batching a finished sibling aggregate's groups with
+// zero modeled I/O. Parallelism is a property of the
 // driver, not of the operators: a disengaged policy pulls one chain over
 // the whole input on the calling thread; an engaged policy instantiates
 // the same chain per morsel on worker DiskModels and merges match buffers
@@ -47,6 +49,12 @@ struct SharedClassRequest {
   // True runs §3.2 (union-bitmap probe); false runs the shared scan
   // (§3.1 pure-hash or §3.3 hybrid, depending on index_queries).
   bool probe = false;
+  // True re-batches `view`'s (in-memory, derived) table through a
+  // DerivedSourceOp instead of scanning it: nothing is charged to `disk`,
+  // since the producer's scan already paid for the fact pages. Derived
+  // classes are hash-only (`probe` false, `index_queries` empty) and their
+  // members carry no predicates — the producer already applied them.
+  bool derived = false;
   PhysicalPlan* phys = nullptr;
   const LoweredClassNodes* nodes = nullptr;
   // When set, each live member is granted budget->total / n_live bytes of

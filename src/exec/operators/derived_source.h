@@ -1,0 +1,52 @@
+// Derived source (physical node kind kDerivedScan): streams the rows of an
+// in-memory derived table — the canonicalized groups a finished
+// AggregateSink produced — in the same fixed-size batch geometry as
+// ScanSourceOp, so every downstream operator, driver and sink runs
+// unchanged. Unlike ScanSourceOp it charges NOTHING to the DiskModel: the
+// rows it re-batches were materialized by a sibling Aggregate whose scan
+// already paid for the fact pages, so a rollup shows zero io= in EXPLAIN
+// ANALYZE at any page layout.
+
+#ifndef STARSHARE_EXEC_OPERATORS_DERIVED_SOURCE_H_
+#define STARSHARE_EXEC_OPERATORS_DERIVED_SOURCE_H_
+
+#include <algorithm>
+
+#include "exec/operators/operator.h"
+
+namespace starshare {
+
+class DerivedSourceOp : public BatchOperator {
+ public:
+  // Batch boundaries are [k*B, (k+1)*B) over the derived table exactly as
+  // ScanSourceOp slices a base table, so morsel drivers can hand this
+  // operator page-aligned sub-ranges and merge in morsel order with results
+  // bit-identical to the serial pull.
+  DerivedSourceOp(uint64_t row_begin, uint64_t row_end, uint64_t batch_rows)
+      : cursor_(row_begin),
+        end_(row_end),
+        batch_rows_(batch_rows == 0 ? 1 : batch_rows) {}
+
+  bool NextBatch(ClassBatch& batch) override {
+    if (cursor_ >= end_) return false;
+    const uint64_t batch_end = std::min(cursor_ + batch_rows_, end_);
+    batch.begin = cursor_;
+    batch.end = batch_end;
+    batch.positions = nullptr;
+    batch.num_positions = 0;
+    cursor_ = batch_end;
+    return true;
+  }
+
+  uint64_t cursor() const { return cursor_; }
+  uint64_t end() const { return end_; }
+
+ private:
+  uint64_t cursor_;
+  uint64_t end_;
+  uint64_t batch_rows_;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_EXEC_OPERATORS_DERIVED_SOURCE_H_

@@ -31,6 +31,8 @@ std::string MdxExpression::ToString() const {
     for (const auto& f : filters) parts.push_back(f.ToString());
     out += " FILTER(" + StrJoin(parts, ", ") + ")";
   }
+  if (cube_suffix == CubeSuffix::kCube) out += " WITH CUBE";
+  if (cube_suffix == CubeSuffix::kRollup) out += " WITH ROLLUP";
   return out;
 }
 

@@ -1,6 +1,7 @@
 // Abstract syntax of the MDX subset (paper §2, §7.3):
 //
-//   expression := axis+ CONTEXT cube [FILTER '(' member (',' member)* ')'] [';']
+//   expression := axis+ CONTEXT cube [FILTER '(' member (',' member)* ')']
+//                 [WITH (CUBE | ROLLUP)] [';']
 //   axis       := set ON axisname          (axisname: COLUMNS | ROWS |
 //                                           PAGES | CHAPTERS | SECTIONS)
 //   set        := '{' member_list '}'
@@ -42,10 +43,16 @@ struct AxisExpr {
   std::string axis_name;  // COLUMNS / ROWS / PAGES / ...
 };
 
+// Trailing WITH CUBE / WITH ROLLUP clause: the expression denotes a whole
+// group-by lattice over its axis dimensions rather than the single finest
+// group-by (binder.h: ExpandMdxCube).
+enum class CubeSuffix { kNone, kCube, kRollup };
+
 struct MdxExpression {
   std::vector<AxisExpr> axes;
   std::string cube;                 // CONTEXT <cube>
   std::vector<MemberExpr> filters;  // FILTER(...) slicer members
+  CubeSuffix cube_suffix = CubeSuffix::kNone;
 
   std::string ToString() const;
 };

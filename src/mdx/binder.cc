@@ -292,5 +292,73 @@ Result<std::vector<DimensionalQuery>> ParseAndExpandMdx(
   return ExpandMdx(expr.value(), schema, first_id);
 }
 
+Result<CubeQuery> ExpandMdxCube(const MdxExpression& expr,
+                                const StarSchema& schema) {
+  if (expr.cube_suffix == CubeSuffix::kNone) {
+    return Status::InvalidArgument(
+        "expression has no WITH CUBE / WITH ROLLUP clause");
+  }
+  std::vector<size_t> dims;
+  std::vector<int> levels;
+  QueryPredicate predicate;
+  for (const AxisExpr& axis : expr.axes) {
+    Result<std::vector<Variant>> variants = EvaluateSet(axis.set, schema);
+    if (!variants.ok()) return variants.status();
+    if (variants.value().size() != 1) {
+      return Status::InvalidArgument(
+          "axis " + axis.axis_name +
+          " mixes grouping levels; WITH CUBE/ROLLUP needs one level per "
+          "cubed dimension");
+    }
+    for (const ResolvedMembers& r : variants.value().front()) {
+      if (r.is_all) continue;  // Dim.ALL: slicer no-op, nothing to cube
+      for (const size_t d : dims) {
+        if (d == r.dim) {
+          return Status::InvalidArgument(
+              "dimension " + schema.dim(r.dim).dim_name() +
+              " appears on more than one axis");
+        }
+      }
+      dims.push_back(r.dim);
+      levels.push_back(r.level);
+      if (!r.CoversLevel(schema)) {
+        predicate.AddConjunct(schema.dim(r.dim),
+                              DimPredicate{r.dim, r.level, r.members});
+      }
+    }
+  }
+  // FILTER members are slicers, exactly as in ExpandMdx: they restrict
+  // every lattice level but contribute no cubed dimension.
+  size_t measure = 0;
+  for (const MemberExpr& f : expr.filters) {
+    if (f.segments.size() == 1) {
+      Result<size_t> m = schema.MeasureIndex(f.segments[0]);
+      if (m.ok()) {
+        measure = m.value();
+        continue;
+      }
+    }
+    Result<ResolvedMembers> resolved = ResolveMember(f, schema);
+    if (!resolved.ok()) return resolved.status();
+    const ResolvedMembers& s = resolved.value();
+    if (s.is_all || s.CoversLevel(schema)) continue;
+    predicate.AddConjunct(schema.dim(s.dim),
+                          DimPredicate{s.dim, s.level, s.members});
+  }
+  CubeQuery cube(expr.cube_suffix == CubeSuffix::kCube ? CubeForm::kCube
+                                                       : CubeForm::kRollup,
+                 std::move(dims), std::move(levels), std::move(predicate),
+                 AggOp::kSum, measure);
+  SS_RETURN_IF_ERROR(cube.Validate(schema));
+  return cube;
+}
+
+Result<CubeQuery> ParseAndExpandCube(const std::string& text,
+                                     const StarSchema& schema) {
+  Result<MdxExpression> expr = ParseMdx(text);
+  if (!expr.ok()) return expr.status();
+  return ExpandMdxCube(expr.value(), schema);
+}
+
 }  // namespace mdx
 }  // namespace starshare

@@ -19,6 +19,7 @@
 
 #include "common/status.h"
 #include "mdx/ast.h"
+#include "query/cube_query.h"
 #include "query/query.h"
 #include "schema/star_schema.h"
 
@@ -59,6 +60,21 @@ Result<std::vector<DimensionalQuery>> ExpandMdx(const MdxExpression& expr,
 // Convenience: parse + expand.
 Result<std::vector<DimensionalQuery>> ParseAndExpandMdx(
     const std::string& text, const StarSchema& schema, int first_id = 1);
+
+// Binds an expression carrying WITH CUBE / WITH ROLLUP into the cube
+// request it names. Each axis contributes its (dimension, level) pairs in
+// order (NEST components each contribute one) — so axis order is the ROLLUP
+// prefix order; restricting members and FILTER slicers become the shared
+// predicate; Dim.ALL axes contribute nothing. An axis set that mixes
+// levels, or a dimension on two axes, is an error: the lattice needs one
+// grouping level per cubed dimension.
+Result<CubeQuery> ExpandMdxCube(const MdxExpression& expr,
+                                const StarSchema& schema);
+
+// Convenience: parse + bind. Fails when the expression has no WITH CUBE /
+// WITH ROLLUP clause.
+Result<CubeQuery> ParseAndExpandCube(const std::string& text,
+                                     const StarSchema& schema);
 
 }  // namespace mdx
 }  // namespace starshare

@@ -49,6 +49,23 @@ class Parser {
       }
       if (parenthesized) SS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
     }
+    // Trailing WITH CUBE / WITH ROLLUP clause. WITH is not a lexer keyword
+    // (nothing else uses it), so it arrives as an ordinary identifier.
+    if (Peek().type == TokenType::kIdent &&
+        AsciiUpper(Peek().text) == "WITH") {
+      Next();
+      if (Peek().type != TokenType::kIdent) {
+        return Error("expected CUBE or ROLLUP after WITH");
+      }
+      const std::string word = AsciiUpper(Next().text);
+      if (word == "CUBE") {
+        expr.cube_suffix = CubeSuffix::kCube;
+      } else if (word == "ROLLUP") {
+        expr.cube_suffix = CubeSuffix::kRollup;
+      } else {
+        return Error("expected CUBE or ROLLUP after WITH, not " + word);
+      }
+    }
     if (Peek().type == TokenType::kSemicolon) Next();
     if (Peek().type != TokenType::kEof) {
       return Error("unexpected trailing input");

@@ -53,6 +53,40 @@ LoweredClassNodes LowerSharedClass(PhysicalPlan& plan, size_t parent,
   return nodes;
 }
 
+LoweredClassNodes LowerDerivedClass(PhysicalPlan& plan, size_t parent,
+                                    const std::string& detail,
+                                    size_t n_members, int query_id,
+                                    size_t input, double rollup_cpu_est_ms,
+                                    const std::vector<double>* member_est_ms) {
+  SS_DCHECK(n_members > 0);
+  LoweredClassNodes nodes;
+  nodes.aggregate =
+      plan.AddNode(PhysOpKind::kAggregate, detail, query_id, parent);
+  plan.node(nodes.aggregate).est_ms = rollup_cpu_est_ms;
+  size_t tail = nodes.aggregate;
+  if (n_members > 1) {
+    nodes.route = plan.AddNode(PhysOpKind::kRoute, "", query_id, tail);
+    if (member_est_ms != nullptr) {
+      double total = 0.0;
+      for (const double est : *member_est_ms) total += est;
+      plan.node(nodes.route).est_ms = total;
+    }
+    tail = nodes.route;
+  }
+  // The star-join filter runs predicate-free over derived rows (the parent
+  // already applied every restriction), so it carries no shared dimension
+  // tables — but keeping it in the chain preserves the §3.1 shape, the
+  // fan-out point, and the per-member EmitRows path unchanged.
+  nodes.star_join_filter =
+      plan.AddNode(PhysOpKind::kStarJoinFilter, "", query_id, tail);
+  plan.node(nodes.star_join_filter).est_ms = rollup_cpu_est_ms;
+  nodes.source = plan.AddNode(PhysOpKind::kDerivedScan, detail, query_id,
+                              nodes.star_join_filter);
+  plan.node(nodes.source).est_ms = 0.0;
+  if (input != kNoPhysNode) plan.AddInput(nodes.source, input);
+  return nodes;
+}
+
 LoweredClassNodes LowerSingleQuery(PhysicalPlan& plan, size_t parent,
                                    const std::string& detail, int query_id,
                                    JoinMethod method, const LocalPlan* local) {

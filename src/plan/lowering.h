@@ -6,6 +6,12 @@
 //   index-only (§3.2)  Aggregate <- [Route] <- BitmapFilter <- IndexUnionProbe
 //   hybrid (§3.3)      Aggregate <- [Route] <- BitmapFilter
 //                        <- StarJoinFilter <- Scan
+//   rollup (cube)      Aggregate <- [Route] <- StarJoinFilter <- DerivedScan
+//
+// A class tree is therefore no longer always rooted at a base-table source:
+// the rollup chain's DerivedScan reads the in-memory groups of an earlier
+// Aggregate, named by a `PhysicalNode::inputs` DAG edge rather than a child
+// edge (the producer already ran under its own root).
 //
 // Route appears only when the class has more than one member. Cost-model
 // estimates annotate the nodes: shared I/O on the source, shared CPU on the
@@ -32,7 +38,7 @@ struct LoweredClassNodes {
   size_t route = kNoPhysNode;
   size_t bitmap_filter = kNoPhysNode;
   size_t star_join_filter = kNoPhysNode;
-  size_t source = kNoPhysNode;  // Scan or IndexUnionProbe
+  size_t source = kNoPhysNode;  // Scan, IndexUnionProbe or DerivedScan
 };
 
 // Lowers one shared class of n_hash hash-scan members and n_index
@@ -44,6 +50,20 @@ LoweredClassNodes LowerSharedClass(PhysicalPlan& plan, size_t parent,
                                    const std::string& detail, size_t n_hash,
                                    size_t n_index, bool probe, int query_id,
                                    const ClassPlan* cls);
+
+// Lowers one derived (rollup) class: `n_members` coarser group-bys
+// re-aggregating the finished groups of the producer node `input` (its
+// Aggregate, or the Fallback that recovered it; pass kNoPhysNode for a
+// throwaway lowering with no recorded edge). The chain is
+// Aggregate <- [Route] <- StarJoinFilter <- DerivedScan; the DerivedScan
+// carries est_ms = 0 — derived rows are in memory, so the cost model
+// charges the rollup's CPU (`rollup_cpu_est_ms`, on the filter) and no I/O.
+// `member_est_ms` (optional, per member in order) annotates Route.
+LoweredClassNodes LowerDerivedClass(PhysicalPlan& plan, size_t parent,
+                                    const std::string& detail,
+                                    size_t n_members, int query_id,
+                                    size_t input, double rollup_cpu_est_ms,
+                                    const std::vector<double>* member_est_ms);
 
 // Lowers the single-query chain (unshared baseline, naive mode, fact-table
 // fallback): a one-member class of the query's join method.

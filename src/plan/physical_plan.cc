@@ -93,6 +93,8 @@ const char* PhysOpKindName(PhysOpKind kind) {
       return "CacheLookup";
     case PhysOpKind::kFallback:
       return "Fallback";
+    case PhysOpKind::kDerivedScan:
+      return "DerivedScan";
   }
   return "?";
 }
@@ -115,6 +117,8 @@ const char* PhysOpSpanName(PhysOpKind kind) {
       return "exec.cache_lookup";
     case PhysOpKind::kFallback:
       return "exec.fallback";
+    case PhysOpKind::kDerivedScan:
+      return "exec.derived_scan";
   }
   return "?";
 }
@@ -135,6 +139,12 @@ size_t PhysicalPlan::AddNode(PhysOpKind kind, std::string detail,
   return index;
 }
 
+void PhysicalPlan::AddInput(size_t node, size_t input) {
+  SS_CHECK(node < nodes_.size());
+  SS_CHECK(input < nodes_.size());
+  nodes_[node].inputs.push_back(input);
+}
+
 void PhysicalPlan::AdoptRootsAsChildren(size_t parent, size_t first_root) {
   SS_CHECK(parent < nodes_.size());
   SS_CHECK(first_root <= roots_.size());
@@ -153,6 +163,14 @@ void PhysicalPlan::Render(size_t index, int depth, bool analyze,
   out += PhysOpKindName(node.kind);
   if (!node.detail.empty()) out += StrFormat("(%s)", node.detail.c_str());
   if (node.query_id >= 0) out += StrFormat(" q%d", node.query_id);
+  if (!node.inputs.empty()) {
+    out += " reads=[";
+    for (size_t i = 0; i < node.inputs.size(); ++i) {
+      out += StrFormat("%s#%llu", i > 0 ? " " : "",
+                       static_cast<unsigned long long>(node.inputs[i]));
+    }
+    out += ']';
+  }
   if (node.est_ms >= 0.0) out += StrFormat(" est=%.3fms", node.est_ms);
   if (analyze && node.executed) {
     out += StrFormat(" act=%.3fms", timings->ModeledIoMs(node.actual_io));
@@ -230,6 +248,15 @@ std::string PhysicalPlan::ExplainAnalyzeJson(const DiskTimings& timings) const {
       out += StrFormat(", \"detail\": \"%s\"", JsonEscape(node.detail).c_str());
     }
     if (node.query_id >= 0) out += StrFormat(", \"query\": %d", node.query_id);
+    if (!node.inputs.empty()) {
+      out += ", \"inputs\": [";
+      for (size_t i = 0; i < node.inputs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += StrFormat("%llu",
+                         static_cast<unsigned long long>(node.inputs[i]));
+      }
+      out += ']';
+    }
     if (node.est_ms >= 0.0) out += StrFormat(", \"est_ms\": %.3f", node.est_ms);
     out += StrFormat(", \"executed\": %s", node.executed ? "true" : "false");
     if (node.executed) {
@@ -317,6 +344,10 @@ std::string PhysicalPlan::ShapeHash() const {
     HashU64(static_cast<uint64_t>(node.kind), h);
     HashU64(static_cast<uint64_t>(node.query_id) + 1, h);
     HashBytes(node.detail.data(), node.detail.size(), h);
+    // DAG edges are shape: a rollup reading producer #3 differs from one
+    // reading #5 even when the subtrees below each look alike.
+    HashU64(node.inputs.size(), h);
+    for (const size_t input : node.inputs) HashU64(input + 1, h);
     HashU64(node.children.size(), h);
     for (const size_t child : node.children) self(self, child);
   };

@@ -7,7 +7,12 @@
 //
 // Nodes are arena-allocated inside PhysicalPlan and reference children by
 // index; a plan may hold several roots (one per executed class, plus
-// CacheLookup / Fallback roots the engine adds around them).
+// CacheLookup / Fallback roots the engine adds around them). Beyond the
+// child tree, a node may carry `inputs` — cross-tree DAG edges naming the
+// sibling nodes whose *output* it consumes. DerivedScan uses them to point
+// at the Aggregate (or Fallback) node whose finished groups it re-batches,
+// which is what lets a coarser group-by roll up from a finer one instead of
+// rescanning the fact table.
 
 #ifndef STARSHARE_PLAN_PHYSICAL_PLAN_H_
 #define STARSHARE_PLAN_PHYSICAL_PLAN_H_
@@ -28,13 +33,19 @@ namespace starshare {
 
 inline constexpr size_t kNoPhysNode = static_cast<size_t>(-1);
 
-// The eight physical operator kinds. Scan and IndexUnionProbe are sources
+// The nine physical operator kinds. Scan and IndexUnionProbe are sources
 // (§3.1 shared table scan; §3.2 OR-ed bitmap probe); StarJoinFilter carries
 // the shared dimension pass masks, BitmapFilter the per-member candidate
 // bitmaps (§3.3 hybrid stacks both); Route fans one shared match stream out
 // to the class members; Aggregate folds each member's stream; CacheLookup
 // and Fallback are the engine-level wrappers (result cache, fact-table
-// degradation) made visible as plan structure.
+// degradation) made visible as plan structure. DerivedScan is the third
+// source kind: it re-batches the in-memory output of a sibling Aggregate
+// node (named by `PhysicalNode::inputs`) so coarser group-bys in a
+// CUBE/ROLLUP lattice aggregate their parent's groups instead of the fact
+// table — it charges no modeled I/O at all. New kinds append here:
+// ShapeHash folds the numeric kind value, so reordering would silently
+// re-digest every existing plan.
 enum class PhysOpKind {
   kScan,
   kIndexUnionProbe,
@@ -44,6 +55,7 @@ enum class PhysOpKind {
   kAggregate,
   kCacheLookup,
   kFallback,
+  kDerivedScan,
 };
 
 // Stable display name ("Scan", "Route", ...).
@@ -68,6 +80,12 @@ struct PhysicalNode {
   std::string detail;  // view / spec the node works over
   int query_id = -1;   // single-query chains and fallbacks
   std::vector<size_t> children;
+  // Cross-tree DAG edges: indices of sibling nodes whose finished output
+  // this node consumes (DerivedScan -> producing Aggregate/Fallback). Unlike
+  // `children` these never imply execution nesting — the producer ran
+  // earlier under its own root — so Render shows them as `reads=[#i ...]`
+  // references rather than indentation.
+  std::vector<size_t> inputs;
 
   // Planning-time annotation (cost model estimate; < 0 when unannotated).
   double est_ms = -1.0;
@@ -102,6 +120,10 @@ class PhysicalPlan {
   const std::vector<size_t>& roots() const { return roots_; }
   size_t size() const { return nodes_.size(); }
   bool empty() const { return nodes_.empty(); }
+
+  // Records a DAG edge: `node` consumes the finished output of `input`.
+  // The producer must already exist (it ran, or was lowered, first).
+  void AddInput(size_t node, size_t input);
 
   // Reparents every root from ordinal `first_root` onward under `parent` —
   // how the engine nests the miss-execution trees of a cached run beneath

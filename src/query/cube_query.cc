@@ -1,0 +1,108 @@
+#include "query/cube_query.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/str_util.h"
+
+namespace starshare {
+
+const char* CubeFormName(CubeForm form) {
+  return form == CubeForm::kCube ? "CUBE" : "ROLLUP";
+}
+
+Status CubeQuery::Validate(const StarSchema& schema) const {
+  if (dims_.empty()) {
+    return Status::InvalidArgument("cube query with no dimensions");
+  }
+  if (dims_.size() != levels_.size()) {
+    return Status::InvalidArgument(
+        "cube query: dims and levels differ in length");
+  }
+  if (form_ == CubeForm::kCube && dims_.size() > kMaxCubeDims) {
+    return Status::InvalidArgument(
+        StrFormat("cube query: %zu dimensions exceed the CUBE limit of %zu "
+                  "(the expansion is 2^d group-bys)",
+                  dims_.size(), kMaxCubeDims));
+  }
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i] >= schema.num_dims()) {
+      return Status::InvalidArgument(
+          StrFormat("cube query: dimension index %zu out of range", dims_[i]));
+    }
+    const Hierarchy& h = schema.dim(dims_[i]);
+    if (levels_[i] < 0 || levels_[i] >= h.num_levels()) {
+      return Status::InvalidArgument(
+          StrFormat("cube query: level %d out of range for dimension %s",
+                    levels_[i], h.dim_name().c_str()));
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (dims_[j] == dims_[i]) {
+        return Status::InvalidArgument(
+            StrFormat("cube query: dimension %s named twice",
+                      h.dim_name().c_str()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<DimensionalQuery>> CubeQuery::ExpandLevels(
+    const StarSchema& schema, int first_id) const {
+  Status valid = Validate(schema);
+  if (!valid.ok()) return valid;
+
+  const size_t d = dims_.size();
+  std::vector<uint64_t> masks;  // bit i set <=> dims_[i] retained
+  masks.reserve(NumLevels());
+  if (form_ == CubeForm::kCube) {
+    for (uint64_t m = 0; m < (uint64_t{1} << d); ++m) masks.push_back(m);
+    std::stable_sort(masks.begin(), masks.end(),
+                     [](uint64_t a, uint64_t b) {
+                       const int pa = std::popcount(a);
+                       const int pb = std::popcount(b);
+                       if (pa != pb) return pa > pb;
+                       return a < b;
+                     });
+  } else {
+    for (size_t k = d + 1; k-- > 0;) {
+      masks.push_back((uint64_t{1} << k) - 1);
+    }
+  }
+
+  std::vector<int> all_levels(schema.num_dims());
+  for (size_t dim = 0; dim < schema.num_dims(); ++dim) {
+    all_levels[dim] = schema.dim(dim).all_level();
+  }
+
+  std::vector<DimensionalQuery> out;
+  out.reserve(masks.size());
+  for (size_t idx = 0; idx < masks.size(); ++idx) {
+    GroupBySpec target(all_levels);
+    for (size_t i = 0; i < d; ++i) {
+      if ((masks[idx] >> i) & 1) target.set_level(dims_[i], levels_[i]);
+    }
+    std::string label = target.ToString(schema);
+    out.emplace_back(first_id + static_cast<int>(idx), std::move(label),
+                     std::move(target), predicate_, agg_, measure_);
+  }
+  return out;
+}
+
+std::string CubeQuery::ToString(const StarSchema& schema) const {
+  std::string out = CubeFormName(form_);
+  out += '(';
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.dim(dims_[i]).LevelName(levels_[i]);
+  }
+  out += ')';
+  if (!predicate_.empty()) {
+    out += " WHERE ";
+    out += predicate_.ToString(schema);
+  }
+  out += StrFormat(" [%s(m%zu)]", AggOpName(agg_), measure_);
+  return out;
+}
+
+}  // namespace starshare

@@ -1,0 +1,91 @@
+// The CUBE/ROLLUP query form (Gray et al., referenced from PAPERS.md): one
+// request naming d (dimension, level) pairs that expands into the group-by
+// lattice — 2^d component group-bys for WITH CUBE, the d+1 prefix chain for
+// WITH ROLLUP. Each component is an ordinary DimensionalQuery sharing the
+// request's predicate, aggregate and measure, so the whole lattice is just
+// a related-query batch the §5/§6 optimizers already know how to share;
+// cube/lattice.h adds the parent scheduling on top.
+
+#ifndef STARSHARE_QUERY_CUBE_QUERY_H_
+#define STARSHARE_QUERY_CUBE_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/predicate.h"
+#include "query/query.h"
+#include "schema/star_schema.h"
+
+namespace starshare {
+
+enum class CubeForm {
+  kCube,    // every subset of the cubed dimensions
+  kRollup,  // prefixes only, dropping the last dimension first
+};
+
+const char* CubeFormName(CubeForm form);  // "CUBE" / "ROLLUP"
+
+class CubeQuery {
+ public:
+  CubeQuery() = default;
+  // `dims`/`levels` are parallel: cube dimension i is schema dimension
+  // dims[i] grouped at levels[i]. Their order matters for ROLLUP (prefix
+  // order) and fixes the expansion order for CUBE. The predicate applies to
+  // every lattice level (FILTER slicers and axis member restrictions both
+  // land here).
+  CubeQuery(CubeForm form, std::vector<size_t> dims, std::vector<int> levels,
+            QueryPredicate predicate, AggOp agg = AggOp::kSum,
+            size_t measure = 0)
+      : form_(form),
+        dims_(std::move(dims)),
+        levels_(std::move(levels)),
+        predicate_(std::move(predicate)),
+        agg_(agg),
+        measure_(measure) {}
+
+  CubeForm form() const { return form_; }
+  const std::vector<size_t>& dims() const { return dims_; }
+  const std::vector<int>& levels() const { return levels_; }
+  const QueryPredicate& predicate() const { return predicate_; }
+  AggOp agg() const { return agg_; }
+  size_t measure() const { return measure_; }
+
+  // Number of component group-bys the expansion produces.
+  size_t NumLevels() const {
+    return form_ == CubeForm::kCube ? (size_t{1} << dims_.size())
+                                    : dims_.size() + 1;
+  }
+
+  // Shape checks: at least one dimension, no duplicates, dims/levels in
+  // range, and (CUBE only) at most kMaxCubeDims dimensions so the 2^d
+  // expansion stays sane.
+  Status Validate(const StarSchema& schema) const;
+
+  // Expands into the lattice's component queries with ids first_id,
+  // first_id + 1, ...: finest level (all dimensions retained / the full
+  // prefix) first, the grand total last. CUBE orders levels by descending
+  // retained count, ties broken by dimension order, so every level's
+  // potential parents always precede it; ROLLUP walks the prefixes from
+  // longest to empty. Each query's label is its target spec string.
+  Result<std::vector<DimensionalQuery>> ExpandLevels(const StarSchema& schema,
+                                                     int first_id) const;
+
+  // "CUBE(A', B) WHERE ..." display form.
+  std::string ToString(const StarSchema& schema) const;
+
+  static constexpr size_t kMaxCubeDims = 10;
+
+ private:
+  CubeForm form_ = CubeForm::kCube;
+  std::vector<size_t> dims_;
+  std::vector<int> levels_;
+  QueryPredicate predicate_;
+  AggOp agg_ = AggOp::kSum;
+  size_t measure_ = 0;
+};
+
+}  // namespace starshare
+
+#endif  // STARSHARE_QUERY_CUBE_QUERY_H_

@@ -27,6 +27,10 @@ class QueryResult {
 
   const GroupBySpec& target() const { return target_; }
   AggOp agg() const { return agg_; }
+  // Relabels the aggregate without touching the rows. The CUBE/ROLLUP path
+  // computes a COUNT rollup as a SUM of the parent's per-group counts (the
+  // values are the counts), then restores the user-facing label here.
+  void set_agg(AggOp agg) { agg_ = agg; }
 
   void AddRow(std::vector<int32_t> keys, double value);
 

@@ -37,6 +37,7 @@ std::unique_ptr<Table> DataGenerator::Generate(
     }
     for (double& m : measures) {
       m = config_.measure_min + rng.NextDouble() * measure_span;
+      if (config_.integer_measures) m = static_cast<double>(static_cast<int64_t>(m));
     }
     table->AppendRowM(keys.data(), measures.data());
   }

@@ -18,6 +18,11 @@ struct DataGeneratorConfig {
   uint64_t seed = 19980601;  // SIGMOD '98
   double measure_min = 1.0;
   double measure_max = 100.0;
+  // Round every generated measure down to a whole number. Integer-valued
+  // measures make SUM re-aggregation exact under any fold order, so cube
+  // rollups (and their oracles) compare bit-identically; the default keeps
+  // the paper's continuous uniform measures.
+  bool integer_measures = false;
 };
 
 class DataGenerator {
